@@ -1,0 +1,118 @@
+"""Shared utilities of the benchmark suite.
+
+Each bench reproduces one table or figure of the paper: it times the
+relevant kernel with pytest-benchmark and prints the same rows/series the
+paper reports (through ``capsys.disabled()`` so the tables reach the
+console even under capture).
+
+Environment knobs:
+
+* ``NOVA_BENCH_FULL=1`` — run the scalability study to paper scale
+  (10^6 nodes); default caps at 10^4 so the suite stays minutes-fast.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.registry import available_baselines, make_baseline
+from repro.baselines.tree import TreePlacement
+from repro.baselines.cluster_tree_sf import ClusterTreeSfPlacement
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova, NovaSession
+from repro.core.placement import Placement
+from repro.evaluation.latency import (
+    direct_transmission_latencies,
+    matrix_distance,
+    placement_latencies,
+    tree_route_distance,
+)
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.synthetic import OppWorkload, synthetic_opp_workload
+
+FULL_SCALE = os.environ.get("NOVA_BENCH_FULL", "") == "1"
+
+
+def print_report(capsys, text: str) -> None:
+    """Emit a figure table to the real console, bypassing pytest capture."""
+    with capsys.disabled():
+        print()
+        print(text)
+        print()
+
+
+def nova_session(
+    workload: OppWorkload,
+    latency: DenseLatencyMatrix,
+    seed: int = 0,
+    **config_overrides,
+) -> NovaSession:
+    """Run Nova on a workload with the paper's default configuration."""
+    config = NovaConfig(seed=seed, **config_overrides)
+    return Nova(config).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+
+
+def baseline_placements(
+    workload: OppWorkload,
+    latency: DenseLatencyMatrix,
+    names: Optional[List[str]] = None,
+) -> Dict[str, Tuple[Placement, object]]:
+    """Place every requested baseline; returns (placement, strategy)."""
+    results: Dict[str, Tuple[Placement, object]] = {}
+    for name in names or available_baselines():
+        strategy = make_baseline(name)
+        placement = strategy.place(workload.topology, workload.plan, workload.matrix, latency)
+        results[name] = (placement, strategy)
+    return results
+
+
+def measured_distance_for(
+    name: str,
+    strategy,
+    latency: DenseLatencyMatrix,
+    sink_id: str,
+) -> Callable[[str, str], float]:
+    """The distance function matching how an approach actually routes.
+
+    Tree-family baselines ship data along their spanning trees, so their
+    measured latencies follow the tree (this is what makes them blow up
+    in Section 4.4); everything else transmits point to point.
+    """
+    if isinstance(strategy, TreePlacement) and strategy.last_parents_by_root:
+        return tree_route_distance(
+            strategy.last_parents_by_root, latency, root_of=lambda _: sink_id
+        )
+    if isinstance(strategy, ClusterTreeSfPlacement) and strategy.last_parents_by_sink:
+        return tree_route_distance(
+            strategy.last_parents_by_sink, latency, root_of=lambda _: sink_id
+        )
+    return matrix_distance(latency)
+
+
+def p90_delta(placement: Placement, achieved_distance, bound_distance) -> float:
+    """90P latency above the direct-transmission bound (Figure 7 metric)."""
+    achieved = placement_latencies(placement, achieved_distance)
+    bound = direct_transmission_latencies(placement, bound_distance)
+    if achieved.size == 0:
+        return 0.0
+    return float(np.percentile(achieved, 90) - np.percentile(bound, 90))
+
+
+def timed(fn: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``fn`` once, returning (result, elapsed seconds)."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def synthetic_1k(seed: int = 11) -> Tuple[OppWorkload, DenseLatencyMatrix]:
+    """The 1000-node synthetic instance used across several figures."""
+    workload = synthetic_opp_workload(1000, seed=seed)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+    return workload, latency

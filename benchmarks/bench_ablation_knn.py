@@ -1,0 +1,69 @@
+"""Ablation — exact k-d tree vs approximate Annoy-style candidate index.
+
+Phase III switches from exact to approximate k-NN on large topologies.
+This ablation measures what the approximation costs in placement quality
+(90P latency delta) and buys in optimization runtime on a 3K-node
+synthetic instance where both backends are feasible.
+"""
+
+import pytest
+
+from _harness import print_report, timed
+from repro.common.tables import render_table
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.evaluation.latency import latency_stats, matrix_distance
+from repro.evaluation.overload import overload_percentage
+from repro.geometry.knn import APPROXIMATE_BACKEND, EXACT_BACKEND
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.synthetic import synthetic_opp_workload
+
+N_NODES = 3000
+
+
+@pytest.mark.benchmark(group="ablation-knn")
+def test_exact_vs_approximate_index(benchmark, capsys):
+    workload = synthetic_opp_workload(N_NODES, seed=19)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+
+    def optimize(backend):
+        config = NovaConfig(seed=19, knn_backend=backend)
+        return Nova(config).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+
+    session_exact = benchmark.pedantic(
+        lambda: optimize(EXACT_BACKEND), rounds=1, iterations=1
+    )
+    session_approx, approx_time = timed(lambda: optimize(APPROXIMATE_BACKEND))
+
+    rows = []
+    for name, session, total in [
+        ("exact (k-d tree)", session_exact, session_exact.timings.total_s),
+        ("approximate (annoy)", session_approx, approx_time),
+    ]:
+        stats = latency_stats(session.placement, matrix_distance(latency))
+        rows.append(
+            [
+                name,
+                total,
+                stats.p90,
+                overload_percentage(session.placement, workload.topology),
+                len(session.placement.sub_replicas),
+            ]
+        )
+    print_report(
+        capsys,
+        render_table(
+            ["index", "total s", "p90 ms", "overload %", "sub-joins"],
+            rows,
+            precision=3,
+            title=f"Ablation — candidate index backends (n={N_NODES})",
+        ),
+    )
+
+    exact_p90 = rows[0][2]
+    approx_p90 = rows[1][2]
+    # The approximation must not degrade placement quality materially.
+    assert approx_p90 <= exact_p90 * 1.5
+    assert rows[1][3] == 0.0  # still no overload

@@ -1,0 +1,80 @@
+"""Ablation — geometric-median solver and placement objective.
+
+Two design choices DESIGN.md calls out:
+
+* **Solver**: Weiszfeld vs plain gradient descent (the paper cites
+  gradient descent; Weiszfeld converges faster to the same optimum).
+* **Objective**: min-sum (geometric median) vs min-max (smallest
+  enclosing ball). Section 2.3 argues min-sum is more robust to noisy
+  latency estimates; this bench measures exactly that — the placement's
+  p90 variability across noisy re-measurements of the latency matrix.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import print_report, timed
+from repro.common.tables import render_table
+from repro.core.config import (
+    MEDIAN_GRADIENT,
+    MEDIAN_MINIMAX,
+    MEDIAN_WEISZFELD,
+    NovaConfig,
+)
+from repro.core.optimizer import Nova
+from repro.evaluation.latency import latency_stats, matrix_distance
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.synthetic import synthetic_opp_workload
+
+N_NODES = 500
+NOISE_TRIALS = 5
+
+
+@pytest.mark.benchmark(group="ablation-median")
+def test_median_solver_and_objective(benchmark, capsys):
+    workload = synthetic_opp_workload(N_NODES, seed=23)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+
+    def optimize(solver):
+        config = NovaConfig(seed=23, median_solver=solver)
+        return Nova(config).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+
+    sessions = {}
+    times = {}
+    sessions[MEDIAN_WEISZFELD] = benchmark.pedantic(
+        lambda: optimize(MEDIAN_WEISZFELD), rounds=1, iterations=1
+    )
+    times[MEDIAN_WEISZFELD] = sessions[MEDIAN_WEISZFELD].timings.total_s
+    for solver in (MEDIAN_GRADIENT, MEDIAN_MINIMAX):
+        sessions[solver], times[solver] = timed(lambda solver=solver: optimize(solver))
+
+    rows = []
+    stability = {}
+    for solver, session in sessions.items():
+        stats = latency_stats(session.placement, matrix_distance(latency))
+        # Robustness: re-evaluate the fixed placement under noisy
+        # re-measurements; report the p90's spread.
+        p90s = []
+        for trial in range(NOISE_TRIALS):
+            noisy = latency.with_noise(relative_std=0.15, seed=trial)
+            p90s.append(latency_stats(session.placement, matrix_distance(noisy)).p90)
+        stability[solver] = float(np.std(p90s))
+        rows.append([solver, times[solver], stats.mean, stats.p90, stability[solver]])
+
+    print_report(
+        capsys,
+        render_table(
+            ["solver/objective", "total s", "mean ms", "p90 ms", "p90 std under noise"],
+            rows,
+            precision=3,
+            title=f"Ablation — median solver and objective (n={N_NODES})",
+        ),
+    )
+
+    by_solver = {row[0]: row for row in rows}
+    # Weiszfeld and gradient descent solve the same convex problem: the
+    # resulting placement quality must agree closely.
+    assert by_solver[MEDIAN_GRADIENT][3] <= by_solver[MEDIAN_WEISZFELD][3] * 1.25
+    assert by_solver[MEDIAN_WEISZFELD][3] <= by_solver[MEDIAN_GRADIENT][3] * 1.25

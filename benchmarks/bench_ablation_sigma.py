@@ -1,0 +1,70 @@
+"""Ablation — the partitioning scaling factor sigma.
+
+The paper fixes sigma = 0.4 as a "well-balanced trade-off". This sweep
+quantifies the trade-off on the 1K-node synthetic workload: smaller sigma
+means more partitions (robustness to overload, more replicas to place,
+more network transfer); larger sigma means fewer, heavier sub-joins.
+"""
+
+import pytest
+
+from _harness import nova_session, print_report, synthetic_1k
+from repro.common.tables import render_table
+from repro.core.partitioning import plan_partitions
+from repro.evaluation.latency import latency_stats, matrix_distance
+from repro.evaluation.overload import overload_percentage
+
+SIGMAS = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+@pytest.mark.benchmark(group="ablation-sigma")
+def test_sigma_sweep(benchmark, capsys):
+    workload, latency = synthetic_1k(seed=11)
+
+    def run_sweep():
+        return {
+            sigma: nova_session(workload, latency, seed=11, sigma=sigma)
+            for sigma in SIGMAS
+        }
+
+    sessions = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    transfer = {}
+    for sigma, session in sessions.items():
+        stats = latency_stats(session.placement, matrix_distance(latency))
+        total_transfer = sum(
+            plan_partitions(r.left_rate, r.right_rate, sigma=sigma).network_transfer_rate
+            for r in session.resolved.replicas
+        )
+        transfer[sigma] = total_transfer
+        rows.append(
+            [
+                sigma,
+                len(session.placement.sub_replicas),
+                len(session.placement.nodes_used()),
+                overload_percentage(session.placement, workload.topology),
+                stats.p90,
+                total_transfer,
+                session.timings.physical_s,
+            ]
+        )
+    print_report(
+        capsys,
+        render_table(
+            ["sigma", "sub-joins", "hosts", "overload %", "p90 ms", "transfer t/s", "phase III s"],
+            rows,
+            precision=2,
+            title="Ablation — sigma sweep (1K synthetic)",
+        ),
+    )
+
+    # Monotonicity of the trade-off: partitions and transfer shrink as
+    # sigma grows.
+    subs = [row[1] for row in rows]
+    assert subs == sorted(subs, reverse=True)
+    transfers = [transfer[s] for s in SIGMAS]
+    assert transfers == sorted(transfers, reverse=True)
+    # The paper's default keeps zero overload on this workload.
+    by_sigma = {row[0]: row[3] for row in rows}
+    assert by_sigma[0.4] == 0.0

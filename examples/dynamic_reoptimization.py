@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Dynamic re-optimization: surviving churn without recomputation.
+
+Runs Nova on a 400-node synthetic geo-distributed workload and then
+applies a stream of topology and workload changes — a sensor joins, a
+worker dies mid-computation, a source's data rate triples — re-optimizing
+incrementally after each event. Each re-optimization touches only the
+affected sub-joins, so it completes in milliseconds while keeping the
+placement overload-free.
+
+Run with::
+
+    python examples/dynamic_reoptimization.py
+"""
+
+import time
+
+from repro import Nova, NovaConfig, Reoptimizer
+from repro.common.tables import render_table
+from repro.evaluation import overload_percentage
+from repro.topology import DenseLatencyMatrix
+from repro.topology.dynamics import (
+    AddSourceEvent,
+    AddWorkerEvent,
+    CapacityChangeEvent,
+    DataRateChangeEvent,
+    RemoveNodeEvent,
+)
+from repro.workloads import synthetic_opp_workload
+
+
+def main() -> None:
+    workload = synthetic_opp_workload(400, seed=42)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+
+    started = time.perf_counter()
+    session = Nova(NovaConfig(seed=42)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+    full_seconds = time.perf_counter() - started
+    print(f"Initial optimization: {session.placement.replica_count()} sub-joins "
+          f"in {full_seconds:.3f}s, overload "
+          f"{overload_percentage(session.placement, workload.topology):.1f}%")
+
+    reoptimizer = Reoptimizer(session)
+    ids = session.topology.node_ids
+    neighbors = {nid: latency.latency(ids[0], nid) + 1.0 for nid in ids[1:13]}
+    partner = next(
+        op.op_id for op in session.plan.sources() if op.logical_stream == "right"
+    )
+    victim_source = next(
+        op.op_id for op in session.plan.sources() if op.logical_stream == "left"
+    )
+    busiest_host = max(
+        session.placement.node_loads().items(), key=lambda item: item[1]
+    )[0]
+    rate_target = session.plan.sources()[5].op_id
+
+    events = [
+        ("new worker joins", AddWorkerEvent("edge-gw-new", 250.0, neighbors)),
+        (
+            "new sensor joins",
+            AddSourceEvent("sensor-new", 120.0, 80.0, "left", partner, neighbors),
+        ),
+        ("sensor leaves", RemoveNodeEvent(victim_source)),
+        ("join host fails", RemoveNodeEvent(busiest_host)),
+        ("data rate triples", DataRateChangeEvent(rate_target, 180.0)),
+        ("worker degrades", CapacityChangeEvent("edge-gw-new", 40.0)),
+    ]
+
+    rows = []
+    for label, event in events:
+        started = time.perf_counter()
+        reoptimizer.apply(event)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            [
+                label,
+                f"{elapsed * 1000:.1f} ms",
+                session.placement.replica_count(),
+                overload_percentage(session.placement, workload.topology),
+            ]
+        )
+
+    print()
+    print(
+        render_table(
+            ["event", "re-optimization time", "sub-joins", "overload %"],
+            rows,
+            precision=1,
+            title="Incremental re-optimization under churn",
+        )
+    )
+    speedup = full_seconds * 1000 / max(
+        float(rows[-1][1].split()[0]), 1e-3
+    )
+    print(f"\nEvery event re-optimized without recomputing the {full_seconds:.3f}s "
+          f"full placement (last event ~{speedup:.0f}x faster).")
+
+
+if __name__ == "__main__":
+    main()

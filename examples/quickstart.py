@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: optimize a geo-distributed streaming join with Nova.
+
+Builds the paper's running example (Figure 2) — four pressure sensors and
+two humidity sensors in two regions, joined on region identifier and
+delivered to a local sink — runs Nova's three-phase optimizer, and
+compares the result against the sink-based default placement.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Nova, NovaConfig, make_baseline
+from repro.common.tables import render_table
+from repro.evaluation import latency_stats, matrix_distance, overload_percentage
+from repro.workloads import build_running_example
+
+
+def main() -> None:
+    example = build_running_example()
+    print(f"Topology: {len(example.topology)} nodes, "
+          f"{example.topology.num_links()} links")
+    print(f"Join pairs from the join matrix: {example.matrix.num_pairs()}")
+
+    # Run Nova: cost-space embedding, geometric-median virtual placement,
+    # bandwidth-aware partitioning, capacity-checked physical assignment.
+    session = Nova(NovaConfig(seed=7)).optimize(
+        example.topology, example.plan, example.matrix, latency=example.latency
+    )
+
+    print("\nNova placement (node <- merged sub-join load, tuples/s):")
+    for node_id, load in sorted(session.placement.node_loads().items()):
+        capacity = example.topology.node(node_id).capacity
+        print(f"  {node_id:6s}  load {load:6.1f} / capacity {capacity:.0f}")
+
+    distance = matrix_distance(example.latency)
+    rows = []
+    nova_stats = latency_stats(session.placement, distance)
+    rows.append(
+        [
+            "nova",
+            nova_stats.mean,
+            nova_stats.p90,
+            overload_percentage(session.placement, example.topology),
+        ]
+    )
+    for name in ("sink-based", "source-based", "top-c"):
+        placement = make_baseline(name).place(
+            example.topology, example.plan, example.matrix, example.latency
+        )
+        stats = latency_stats(placement, distance)
+        rows.append(
+            [name, stats.mean, stats.p90, overload_percentage(placement, example.topology)]
+        )
+    print()
+    print(
+        render_table(
+            ["approach", "mean ms", "p90 ms", "overloaded hosts %"],
+            rows,
+            precision=1,
+            title="Running example — Nova vs baselines",
+        )
+    )
+    print(
+        "\nNova keeps every node within capacity while staying close to the"
+        "\ndirect-transmission latency bound; the sink-based default funnels"
+        "\nall four sub-joins onto the 20-tuples/s sink."
+    )
+
+
+if __name__ == "__main__":
+    main()

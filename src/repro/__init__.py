@@ -1,0 +1,96 @@
+"""repro: a reproduction of Nova (EDBT 2026).
+
+Nova is a scalable, resource-aware optimizer for the placement and
+parallelization of streaming join operators in geo-distributed
+environments. This package implements the full system described in the
+paper — the three-phase optimizer, its substrates (topology model, network
+coordinate systems, geometric solvers), six baseline strategies, a
+discrete-event SPE simulator standing in for the physical testbed, and the
+workload generators of the evaluation.
+
+Quickstart::
+
+    from repro import (
+        Nova, NovaConfig, synthetic_opp_workload,
+        overload_percentage, latency_stats, matrix_distance,
+    )
+    from repro.topology import DenseLatencyMatrix
+
+    workload = synthetic_opp_workload(200, seed=7)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+    session = Nova(NovaConfig(seed=7)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+    print(overload_percentage(session.placement, workload.topology))
+    print(latency_stats(session.placement, matrix_distance(latency)))
+"""
+
+from repro.baselines import available_baselines, make_baseline
+from repro.core import (
+    CostSpace,
+    Nova,
+    NovaConfig,
+    NovaSession,
+    Placement,
+    Reoptimizer,
+    plan_partitions,
+)
+from repro.evaluation import (
+    LatencyStats,
+    embedding_distance,
+    latency_stats,
+    matrix_distance,
+    overload_percentage,
+    p90_delta_vs_direct,
+)
+from repro.query import JoinMatrix, LogicalPlan, resolve_operators
+from repro.spe import Deployment, SimulationConfig, stress_sources
+from repro.topology import (
+    DenseLatencyMatrix,
+    Node,
+    NodeRole,
+    Topology,
+    gaussian_cluster_topology,
+    load_testbed,
+)
+from repro.workloads import (
+    build_running_example,
+    debs_workload,
+    synthetic_opp_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostSpace",
+    "Deployment",
+    "DenseLatencyMatrix",
+    "JoinMatrix",
+    "LatencyStats",
+    "LogicalPlan",
+    "Node",
+    "NodeRole",
+    "Nova",
+    "NovaConfig",
+    "NovaSession",
+    "Placement",
+    "Reoptimizer",
+    "SimulationConfig",
+    "Topology",
+    "__version__",
+    "available_baselines",
+    "build_running_example",
+    "debs_workload",
+    "embedding_distance",
+    "gaussian_cluster_topology",
+    "latency_stats",
+    "load_testbed",
+    "make_baseline",
+    "matrix_distance",
+    "overload_percentage",
+    "p90_delta_vs_direct",
+    "plan_partitions",
+    "resolve_operators",
+    "stress_sources",
+    "synthetic_opp_workload",
+]

@@ -1,0 +1,99 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      — run the Figure 2 running example and print the placement.
+* ``figures``   — list the benchmark targets that regenerate each paper
+  figure.
+* ``version``   — print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+FIGURE_TARGETS = [
+    ("Figure 5", "benchmarks/bench_fig05_ncs_embeddings.py", "NCS embeddings of the four testbeds"),
+    ("Figure 6", "benchmarks/bench_fig06_overload.py", "% overloaded nodes vs heterogeneity"),
+    ("Figure 7", "benchmarks/bench_fig07_placement_quality.py", "90P latency deltas vs direct transmission"),
+    ("Figure 8", "benchmarks/bench_fig08_estimation_errors.py", "estimated vs measured latencies (TIVs)"),
+    ("Figure 9", "benchmarks/bench_fig09_latency_variation.py", "24-hour latency resilience"),
+    ("Figure 10", "benchmarks/bench_fig10_scalability.py", "optimization/re-optimization scalability"),
+    ("Figure 11", "benchmarks/bench_fig11_throughput.py", "DEBS end-to-end throughput"),
+    ("Figure 12", "benchmarks/bench_fig12_e2e_latency.py", "DEBS latency percentiles, normal + stress"),
+    ("Ablation", "benchmarks/bench_ablation_sigma.py", "sigma sweep"),
+    ("Ablation", "benchmarks/bench_ablation_knn.py", "exact vs approximate k-NN"),
+    ("Ablation", "benchmarks/bench_ablation_median.py", "median solver and objective"),
+]
+
+
+def run_demo() -> int:
+    """Optimize the running example and print a compact report."""
+    from repro import Nova, NovaConfig
+    from repro.common.tables import render_table
+    from repro.evaluation import latency_stats, matrix_distance, overload_percentage
+    from repro.workloads import build_running_example
+
+    example = build_running_example()
+    session = Nova(NovaConfig(seed=7)).optimize(
+        example.topology, example.plan, example.matrix, latency=example.latency
+    )
+    stats = latency_stats(session.placement, matrix_distance(example.latency))
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["sub-joins placed", session.placement.replica_count()],
+                ["hosting nodes", ", ".join(session.placement.nodes_used())],
+                ["overloaded hosts %", overload_percentage(session.placement, example.topology)],
+                ["mean latency ms", stats.mean],
+                ["p90 latency ms", stats.p90],
+                ["optimization time s", session.timings.total_s],
+            ],
+            precision=2,
+            title="Nova on the running example (Figure 2)",
+        )
+    )
+    return 0
+
+
+def list_figures() -> int:
+    """Print the figure-to-bench mapping."""
+    from repro.common.tables import render_table
+
+    print(
+        render_table(
+            ["experiment", "bench target", "content"],
+            [list(row) for row in FIGURE_TARGETS],
+            title="Reproduction targets (run with: pytest <target> --benchmark-only)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI dispatch."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of Nova (EDBT 2026): streaming join placement.",
+    )
+    parser.add_argument(
+        "command",
+        choices=["demo", "figures", "version"],
+        help="demo: run the running example; figures: list bench targets",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return run_demo()
+    if args.command == "figures":
+        return list_figures()
+    from repro import __version__
+
+    print(__version__)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

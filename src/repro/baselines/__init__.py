@@ -1,0 +1,38 @@
+"""Baseline placement strategies from SPEs and WSN research."""
+
+from repro.baselines.base import PlacementStrategy, baseline_coordinates, ensure_latency
+from repro.baselines.cluster_sf import ClusterSfPlacement
+from repro.baselines.cluster_tree_sf import ClusterTreeSfPlacement
+from repro.baselines.leach_sf import Clustering, fuzzy_c_means, leach_sf_clustering
+from repro.baselines.registry import available_baselines, make_baseline
+from repro.baselines.sink_based import SinkBasedPlacement
+from repro.baselines.source_based import SourceBasedPlacement
+from repro.baselines.top_c import TopCPlacement
+from repro.baselines.tree import (
+    TreePlacement,
+    meeting_node,
+    mst_parent_map,
+    path_to_root,
+    tree_path_latency,
+)
+
+__all__ = [
+    "ClusterSfPlacement",
+    "ClusterTreeSfPlacement",
+    "Clustering",
+    "PlacementStrategy",
+    "SinkBasedPlacement",
+    "SourceBasedPlacement",
+    "TopCPlacement",
+    "TreePlacement",
+    "available_baselines",
+    "baseline_coordinates",
+    "ensure_latency",
+    "fuzzy_c_means",
+    "leach_sf_clustering",
+    "make_baseline",
+    "meeting_node",
+    "mst_parent_map",
+    "path_to_root",
+    "tree_path_latency",
+]

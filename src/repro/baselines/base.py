@@ -1,0 +1,106 @@
+"""Baseline placement strategies: shared interface and helpers.
+
+Every baseline consumes the same inputs as Nova — a topology, a logical
+plan, and a join matrix — and yields a :class:`~repro.core.placement.Placement`.
+Baselines place whole join pair replicas (no stream partitioning); that is
+precisely the capability gap the paper's evaluation quantifies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.placement import Placement, SubReplicaPlacement
+from repro.ncs.mds import classical_mds
+from repro.query.expansion import JoinPairReplica, ResolvedPlan, resolve_operators
+from repro.query.join_matrix import JoinMatrix
+from repro.query.plan import LogicalPlan
+from repro.topology.latency import DenseLatencyMatrix
+from repro.topology.model import Topology
+
+
+class PlacementStrategy(ABC):
+    """A join placement baseline."""
+
+    #: Short identifier used in benchmark tables.
+    name: str = "strategy"
+
+    @abstractmethod
+    def place(
+        self,
+        topology: Topology,
+        plan: LogicalPlan,
+        matrix: JoinMatrix,
+        latency: Optional[DenseLatencyMatrix] = None,
+    ) -> Placement:
+        """Produce a placement for the given workload."""
+
+    def _resolve(self, plan: LogicalPlan, matrix: JoinMatrix) -> ResolvedPlan:
+        return resolve_operators(plan, matrix)
+
+    @staticmethod
+    def _pinned(plan: LogicalPlan) -> Dict[str, str]:
+        return {
+            operator.op_id: operator.pinned_node
+            for operator in plan.operators()
+            if operator.is_pinned
+        }
+
+    @staticmethod
+    def whole_sub(replica: JoinPairReplica, node_id: str) -> SubReplicaPlacement:
+        """A single un-partitioned sub-replica hosting the full join pair."""
+        return SubReplicaPlacement(
+            sub_id=f"{replica.replica_id}/0x0",
+            replica_id=replica.replica_id,
+            join_id=replica.join_id,
+            node_id=node_id,
+            left_source=replica.left_source,
+            right_source=replica.right_source,
+            left_node=replica.left_node,
+            right_node=replica.right_node,
+            sink_node=replica.sink_node,
+            left_rate=replica.left_rate,
+            right_rate=replica.right_rate,
+        )
+
+    def place_by(
+        self,
+        topology: Topology,
+        plan: LogicalPlan,
+        matrix: JoinMatrix,
+        chooser: Callable[[JoinPairReplica], str],
+    ) -> Placement:
+        """Assemble a placement by mapping each pair replica via ``chooser``."""
+        resolved = self._resolve(plan, matrix)
+        placement = Placement(pinned=self._pinned(plan))
+        for replica in resolved.replicas:
+            placement.sub_replicas.append(self.whole_sub(replica, chooser(replica)))
+        return placement
+
+
+def ensure_latency(
+    topology: Topology, latency: Optional[DenseLatencyMatrix]
+) -> DenseLatencyMatrix:
+    """Default the latency matrix from the topology when not supplied."""
+    if latency is not None:
+        return latency
+    return DenseLatencyMatrix.from_topology(topology)
+
+
+def baseline_coordinates(
+    topology: Topology, latency: Optional[DenseLatencyMatrix]
+) -> Dict[str, np.ndarray]:
+    """2-D coordinates for cluster-based baselines.
+
+    Prefers the topology's native positions; otherwise embeds the latency
+    matrix with classical MDS.
+    """
+    if topology.has_positions():
+        ids, points = topology.positions_array()
+        return {node_id: points[i] for i, node_id in enumerate(ids)}
+    matrix = ensure_latency(topology, latency)
+    result = classical_mds(matrix, dimensions=2)
+    return {node_id: result.coordinates[i] for i, node_id in enumerate(result.ids)}

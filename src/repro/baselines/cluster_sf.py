@@ -1,0 +1,51 @@
+"""Cl-SF placement: joins at intersecting LEACH-SF cluster heads.
+
+The topology is clustered with LEACH-SF; a join pair whose sources share a
+cluster is computed at that cluster's head, otherwise at the sink. The
+clustering minimizes distance to heads, so latencies are near-optimal, but
+head election ignores capacity, concentrating load on a few heads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import PlacementStrategy, baseline_coordinates
+from repro.baselines.leach_sf import Clustering, leach_sf_clustering
+from repro.core.placement import Placement
+from repro.query.join_matrix import JoinMatrix
+from repro.query.plan import LogicalPlan
+from repro.topology.latency import DenseLatencyMatrix
+from repro.topology.model import Topology
+
+
+class ClusterSfPlacement(PlacementStrategy):
+    """Join at the shared cluster head, or at the sink when clusters differ."""
+
+    name = "cl-sf"
+
+    def __init__(self, n_clusters: Optional[int] = None, seed: int = 0) -> None:
+        self.n_clusters = n_clusters
+        self.seed = seed
+        self.last_clustering: Optional[Clustering] = None
+
+    def place(
+        self,
+        topology: Topology,
+        plan: LogicalPlan,
+        matrix: JoinMatrix,
+        latency: Optional[DenseLatencyMatrix] = None,
+    ) -> Placement:
+        """Cluster, then place each pair at its intersecting head or the sink."""
+        coordinates = baseline_coordinates(topology, latency)
+        clustering = leach_sf_clustering(coordinates, self.n_clusters, seed=self.seed)
+        self.last_clustering = clustering
+
+        def chooser(replica):
+            left_cluster = clustering.cluster_of(replica.left_node)
+            right_cluster = clustering.cluster_of(replica.right_node)
+            if left_cluster == right_cluster:
+                return clustering.heads[left_cluster]
+            return replica.sink_node
+
+        return self.place_by(topology, plan, matrix, chooser)

@@ -1,0 +1,64 @@
+"""Cl-Tree-SF placement: the hybrid cluster + tree baseline.
+
+Clusters the topology with LEACH-SF, builds a minimum spanning tree over
+the cluster heads (plus the sink), and computes each join where the head
+paths of its two sources intersect on that tree — combining the cluster
+overlay with tree-style in-network joining. Like both parents, it is
+resource-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.base import PlacementStrategy, baseline_coordinates, ensure_latency
+from repro.baselines.leach_sf import Clustering, leach_sf_clustering
+from repro.baselines.tree import meeting_node, mst_parent_map
+from repro.core.placement import Placement
+from repro.query.join_matrix import JoinMatrix
+from repro.query.plan import LogicalPlan
+from repro.topology.latency import DenseLatencyMatrix
+from repro.topology.model import Topology
+
+
+class ClusterTreeSfPlacement(PlacementStrategy):
+    """Join at the MST intersection of the sources' cluster heads."""
+
+    name = "cl-tree-sf"
+
+    def __init__(self, n_clusters: Optional[int] = None, seed: int = 0) -> None:
+        self.n_clusters = n_clusters
+        self.seed = seed
+        self.last_clustering: Optional[Clustering] = None
+        #: Head-overlay MST parent maps from the last ``place`` call.
+        self.last_parents_by_sink: Dict[str, Dict[str, str]] = {}
+
+    def place(
+        self,
+        topology: Topology,
+        plan: LogicalPlan,
+        matrix: JoinMatrix,
+        latency: Optional[DenseLatencyMatrix] = None,
+    ) -> Placement:
+        """Cluster, build the head MST per sink, place at head-path meets."""
+        latency = ensure_latency(topology, latency)
+        coordinates = baseline_coordinates(topology, latency)
+        clustering = leach_sf_clustering(coordinates, self.n_clusters, seed=self.seed)
+        self.last_clustering = clustering
+
+        resolved = self._resolve(plan, matrix)
+        placement = Placement(pinned=self._pinned(plan))
+        parents_by_sink: Dict[str, Dict[str, str]] = {}
+        for replica in resolved.replicas:
+            parents = parents_by_sink.get(replica.sink_node)
+            if parents is None:
+                overlay_ids = sorted(set(clustering.heads.values()) | {replica.sink_node})
+                overlay = latency.submatrix(overlay_ids)
+                parents = mst_parent_map(overlay, replica.sink_node)
+                parents_by_sink[replica.sink_node] = parents
+            left_head = clustering.head_of(replica.left_node)
+            right_head = clustering.head_of(replica.right_node)
+            host = meeting_node(left_head, right_head, parents)
+            placement.sub_replicas.append(self.whole_sub(replica, host))
+        self.last_parents_by_sink = parents_by_sink
+        return placement

@@ -1,0 +1,114 @@
+"""LEACH-SF-style fuzzy clustering of the topology.
+
+Shokouhifar and Jalali's LEACH-SF clusters a sensor network with fuzzy
+c-means and elects one cluster head per cluster. This module implements the
+clustering substrate used by the Cl-SF and Cl-Tree-SF baselines: plain
+fuzzy c-means over node coordinates, with the head chosen as the member
+with the highest membership degree (i.e. nearest the fuzzy centroid) —
+deliberately resource-agnostic, as in the original protocol family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import OptimizationError
+from repro.common.rng import SeedLike, ensure_rng
+
+
+def fuzzy_c_means(
+    points: np.ndarray,
+    n_clusters: int,
+    fuzzifier: float = 2.0,
+    max_iterations: int = 100,
+    tolerance: float = 1e-5,
+    seed: SeedLike = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fuzzy c-means: returns (centers, memberships).
+
+    ``memberships`` has shape (n_points, n_clusters), rows summing to one.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise OptimizationError("points must be a non-empty (n, d) array")
+    n = points.shape[0]
+    if not 1 <= n_clusters <= n:
+        raise OptimizationError(f"n_clusters must lie in [1, {n}], got {n_clusters}")
+    if fuzzifier <= 1.0:
+        raise OptimizationError("fuzzifier must be > 1")
+    rng = ensure_rng(seed)
+    memberships = rng.dirichlet(np.ones(n_clusters), size=n)
+    exponent = 2.0 / (fuzzifier - 1.0)
+    centers = np.zeros((n_clusters, points.shape[1]))
+    for _ in range(max_iterations):
+        weights = memberships**fuzzifier
+        centers = (weights.T @ points) / np.maximum(
+            weights.sum(axis=0)[:, None], 1e-12
+        )
+        distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        distances = np.maximum(distances, 1e-12)
+        inverse = distances ** (-exponent)
+        updated = inverse / inverse.sum(axis=1, keepdims=True)
+        shift = float(np.abs(updated - memberships).max())
+        memberships = updated
+        if shift < tolerance:
+            break
+    return centers, memberships
+
+
+@dataclass
+class Clustering:
+    """A hard clustering with elected heads, derived from fuzzy memberships."""
+
+    ids: List[str]
+    labels: np.ndarray
+    heads: Dict[int, str]
+
+    def cluster_of(self, node_id: str) -> int:
+        """Cluster label of a node."""
+        return int(self.labels[self.ids.index(node_id)])
+
+    def head_of(self, node_id: str) -> str:
+        """Head of the node's cluster."""
+        return self.heads[self.cluster_of(node_id)]
+
+    def members(self, cluster: int) -> List[str]:
+        """Node ids of a cluster."""
+        return [nid for nid, label in zip(self.ids, self.labels) if label == cluster]
+
+
+def leach_sf_clustering(
+    coordinates: Mapping[str, np.ndarray],
+    n_clusters: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> Clustering:
+    """Cluster the topology and elect heads, LEACH-SF style.
+
+    ``n_clusters`` defaults to ``round(sqrt(n))``, the usual WSN sizing.
+    Heads are the members with maximal fuzzy membership in their cluster.
+    """
+    ids = list(coordinates)
+    if not ids:
+        raise OptimizationError("cannot cluster an empty coordinate set")
+    points = np.vstack([coordinates[node_id] for node_id in ids])
+    if n_clusters is None:
+        n_clusters = max(1, int(round(np.sqrt(len(ids)))))
+    n_clusters = min(n_clusters, len(ids))
+    _, memberships = fuzzy_c_means(points, n_clusters, seed=seed)
+    labels = memberships.argmax(axis=1)
+    heads: Dict[int, str] = {}
+    for cluster in range(n_clusters):
+        member_indices = np.nonzero(labels == cluster)[0]
+        if member_indices.size == 0:
+            continue
+        best = member_indices[np.argmax(memberships[member_indices, cluster])]
+        heads[cluster] = ids[int(best)]
+    # Re-label empty clusters away so every label has a head.
+    live_labels = sorted(heads)
+    remap = {old: new for new, old in enumerate(live_labels)}
+    labels = np.array([remap[int(label)] for label in labels])
+    heads = {remap[old]: head for old, head in heads.items()}
+    return Clustering(ids=ids, labels=labels, heads=heads)

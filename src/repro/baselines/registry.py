@@ -1,0 +1,39 @@
+"""Name-based registry of baseline placement strategies."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines.base import PlacementStrategy
+from repro.baselines.cluster_sf import ClusterSfPlacement
+from repro.baselines.cluster_tree_sf import ClusterTreeSfPlacement
+from repro.baselines.sink_based import SinkBasedPlacement
+from repro.baselines.source_based import SourceBasedPlacement
+from repro.baselines.top_c import TopCPlacement
+from repro.baselines.tree import TreePlacement
+from repro.common.errors import OptimizationError
+
+_FACTORIES: Dict[str, Callable[[], PlacementStrategy]] = {
+    "sink-based": SinkBasedPlacement,
+    "source-based": SourceBasedPlacement,
+    "top-c": TopCPlacement,
+    "tree": TreePlacement,
+    "cl-sf": ClusterSfPlacement,
+    "cl-tree-sf": ClusterTreeSfPlacement,
+}
+
+
+def available_baselines() -> List[str]:
+    """Names of all registered baselines, in the paper's order."""
+    return list(_FACTORIES)
+
+
+def make_baseline(name: str) -> PlacementStrategy:
+    """Instantiate a baseline by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise OptimizationError(
+            f"unknown baseline {name!r}; available: {available_baselines()}"
+        ) from None
+    return factory()

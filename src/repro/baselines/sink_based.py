@@ -1,0 +1,34 @@
+"""Sink-based placement: NebulaStream's default.
+
+Every join is computed at the sink node. This is the latency lower bound
+for *transmission* (each tuple travels source -> sink directly, with no
+detour), but it funnels all compute into one node, which is why it
+invariably overloads 100% of its workers in the paper's study.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import PlacementStrategy
+from repro.core.placement import Placement
+from repro.query.join_matrix import JoinMatrix
+from repro.query.plan import LogicalPlan
+from repro.topology.latency import DenseLatencyMatrix
+from repro.topology.model import Topology
+
+
+class SinkBasedPlacement(PlacementStrategy):
+    """Compute every join pair at its downstream sink."""
+
+    name = "sink-based"
+
+    def place(
+        self,
+        topology: Topology,
+        plan: LogicalPlan,
+        matrix: JoinMatrix,
+        latency: Optional[DenseLatencyMatrix] = None,
+    ) -> Placement:
+        """Place each pair replica on its sink node."""
+        return self.place_by(topology, plan, matrix, lambda replica: replica.sink_node)

@@ -1,0 +1,123 @@
+"""Tree placement: the WSN-style minimum-spanning-tree baseline.
+
+Mihaylov et al. route data over a spanning tree toward the base station and
+compute joins where the sources' paths intersect. The topology's latency
+graph is reduced to an MST rooted at the sink; each join pair is placed at
+the lowest common ancestor of its two sources — the node where both routes
+toward the sink first meet. The method is resource-agnostic and incurs
+multi-hop detours, which the paper's latency study quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy.sparse.csgraph import breadth_first_order, minimum_spanning_tree
+
+from repro.baselines.base import PlacementStrategy, ensure_latency
+from repro.common.errors import TopologyError
+from repro.core.placement import Placement
+from repro.query.join_matrix import JoinMatrix
+from repro.query.plan import LogicalPlan
+from repro.topology.latency import DenseLatencyMatrix
+from repro.topology.model import Topology
+
+
+def mst_parent_map(latency: DenseLatencyMatrix, root: str) -> Dict[str, str]:
+    """Parent pointers of the latency-MST rooted at ``root``.
+
+    The MST is computed over the complete latency graph, matching the WSN
+    practice of building the overlay from pairwise link costs.
+    """
+    matrix = latency.matrix
+    tree = minimum_spanning_tree(matrix)
+    symmetric = tree + tree.T
+    root_index = latency.index_of(root)
+    order, predecessors = breadth_first_order(
+        symmetric, root_index, directed=False, return_predecessors=True
+    )
+    if len(order) != len(latency.ids):
+        raise TopologyError("latency MST is disconnected")
+    ids = latency.ids
+    parents: Dict[str, str] = {}
+    for index in order:
+        predecessor = predecessors[index]
+        if predecessor >= 0:
+            parents[ids[index]] = ids[predecessor]
+    return parents
+
+
+def path_to_root(node: str, parents: Dict[str, str]) -> List[str]:
+    """The node sequence from ``node`` up to the tree root (inclusive)."""
+    path = [node]
+    current = node
+    seen = {node}
+    while current in parents:
+        current = parents[current]
+        if current in seen:
+            raise TopologyError("cycle in parent map")
+        seen.add(current)
+        path.append(current)
+    return path
+
+
+def meeting_node(left: str, right: str, parents: Dict[str, str]) -> str:
+    """Where the root-bound paths of ``left`` and ``right`` first intersect."""
+    left_ancestors = set(path_to_root(left, parents))
+    for candidate in path_to_root(right, parents):
+        if candidate in left_ancestors:
+            return candidate
+    raise TopologyError(f"paths of {left!r} and {right!r} never meet")
+
+
+def tree_path_latency(
+    u: str, v: str, parents: Dict[str, str], latency: DenseLatencyMatrix
+) -> float:
+    """Latency of the tree route between two nodes (sum of tree hops)."""
+    up = path_to_root(u, parents)
+    vp = path_to_root(v, parents)
+    common = meeting_node(u, v, parents)
+
+    def climb(path: List[str]) -> float:
+        total = 0.0
+        for current, parent in zip(path, path[1:]):
+            total += latency.latency(current, parent)
+            if parent == common:
+                break
+        return 0.0 if path[0] == common else total
+
+    return climb(up) + climb(vp)
+
+
+class TreePlacement(PlacementStrategy):
+    """Join-at-path-intersection over the latency MST."""
+
+    name = "tree"
+
+    def __init__(self) -> None:
+        #: Parent maps of the MSTs built during the last ``place`` call,
+        #: keyed by sink node; used to evaluate true multi-hop latencies.
+        self.last_parents_by_root: Dict[str, Dict[str, str]] = {}
+
+    def place(
+        self,
+        topology: Topology,
+        plan: LogicalPlan,
+        matrix: JoinMatrix,
+        latency: Optional[DenseLatencyMatrix] = None,
+    ) -> Placement:
+        """Place each pair replica where its sources' MST paths meet."""
+        latency = ensure_latency(topology, latency)
+        resolved = self._resolve(plan, matrix)
+        placement = Placement(pinned=self._pinned(plan))
+        parents_by_root: Dict[str, Dict[str, str]] = {}
+        for replica in resolved.replicas:
+            parents = parents_by_root.get(replica.sink_node)
+            if parents is None:
+                parents = mst_parent_map(latency, replica.sink_node)
+                parents_by_root[replica.sink_node] = parents
+            host = meeting_node(replica.left_node, replica.right_node, parents)
+            placement.sub_replicas.append(self.whole_sub(replica, host))
+        self.last_parents_by_root = parents_by_root
+        return placement

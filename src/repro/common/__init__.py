@@ -1,0 +1,53 @@
+"""Shared utilities: errors, random-number handling, units, and tables."""
+
+from repro.common.errors import (
+    DisconnectedTopologyError,
+    EmbeddingError,
+    InfeasiblePlacementError,
+    JoinMatrixError,
+    OptimizationError,
+    PlanError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    UnknownNodeError,
+    UnknownOperatorError,
+    WorkloadError,
+)
+from repro.common.rng import SeedLike, ensure_rng, spawn_rng
+from repro.common.tables import format_value, render_series, render_table
+from repro.common.units import (
+    MS_PER_SECOND,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    ms_to_seconds,
+    seconds_to_ms,
+)
+
+__all__ = [
+    "DisconnectedTopologyError",
+    "EmbeddingError",
+    "InfeasiblePlacementError",
+    "JoinMatrixError",
+    "MS_PER_SECOND",
+    "OptimizationError",
+    "PlanError",
+    "ReproError",
+    "SeedLike",
+    "SimulationError",
+    "TopologyError",
+    "UnknownNodeError",
+    "UnknownOperatorError",
+    "WorkloadError",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "ensure_rng",
+    "format_value",
+    "ms_to_seconds",
+    "render_series",
+    "render_table",
+    "seconds_to_ms",
+    "spawn_rng",
+]

@@ -1,0 +1,82 @@
+"""ASCII scatter plots for coordinate-system figures.
+
+The paper's Figure 5 shows the 2-D network coordinate systems of the four
+testbeds. Without a plotting backend, :func:`scatter` renders point sets
+onto a character grid — enough to eyeball cluster structure in a terminal
+or in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+import numpy as np
+
+DEFAULT_GLYPHS = ".oO@#"
+
+
+def scatter(
+    points: np.ndarray,
+    width: int = 60,
+    height: int = 20,
+    labels: Optional[Mapping[str, np.ndarray]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a 2-D point cloud as an ASCII density plot.
+
+    Cells accumulate point counts and are drawn with increasingly dense
+    glyphs; ``labels`` marks named positions (e.g. the sink) with their
+    first character.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] < 2:
+        raise ValueError("points must be an (n, >=2) array")
+    if width < 2 or height < 2:
+        raise ValueError("plot must be at least 2x2 characters")
+    xs, ys = points[:, 0], points[:, 1]
+    x_min, x_max = float(xs.min()), float(xs.max())
+    y_min, y_max = float(ys.min()), float(ys.max())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    counts = np.zeros((height, width), dtype=int)
+    for x, y in zip(xs, ys):
+        column = min(int((x - x_min) / x_span * (width - 1)), width - 1)
+        row = min(int((y - y_min) / y_span * (height - 1)), height - 1)
+        counts[height - 1 - row, column] += 1
+
+    peak = counts.max() or 1
+    grid: List[List[str]] = []
+    for row in counts:
+        line = []
+        for value in row:
+            if value == 0:
+                line.append(" ")
+            else:
+                glyph = DEFAULT_GLYPHS[
+                    min(
+                        int(value / peak * (len(DEFAULT_GLYPHS) - 1)),
+                        len(DEFAULT_GLYPHS) - 1,
+                    )
+                ]
+                line.append(glyph)
+        grid.append(line)
+
+    for name, position in (labels or {}).items():
+        position = np.asarray(position, dtype=float)
+        column = min(int((position[0] - x_min) / x_span * (width - 1)), width - 1)
+        row = min(int((position[1] - y_min) / y_span * (height - 1)), height - 1)
+        grid[height - 1 - row][column] = name[0].upper()
+
+    lines = []
+    if title:
+        lines.append(title)
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    lines.append(
+        f"x: [{x_min:.1f}, {x_max:.1f}]  y: [{y_min:.1f}, {y_max:.1f}]  "
+        f"n={len(points)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed or inconsistent topologies."""
+
+
+class UnknownNodeError(TopologyError):
+    """Raised when a node id is not present in a topology."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"unknown node: {node_id!r}")
+        self.node_id = node_id
+
+
+class DisconnectedTopologyError(TopologyError):
+    """Raised when an operation requires a connected topology."""
+
+
+class PlanError(ReproError):
+    """Raised for malformed logical plans."""
+
+
+class UnknownOperatorError(PlanError):
+    """Raised when an operator id is not present in a plan."""
+
+    def __init__(self, operator_id: str) -> None:
+        super().__init__(f"unknown operator: {operator_id!r}")
+        self.operator_id = operator_id
+
+
+class JoinMatrixError(PlanError):
+    """Raised for inconsistent join matrices."""
+
+
+class EmbeddingError(ReproError):
+    """Raised when a cost-space embedding cannot be computed."""
+
+
+class OptimizationError(ReproError):
+    """Raised when an optimizer cannot produce a placement."""
+
+
+class InfeasiblePlacementError(OptimizationError):
+    """Raised when constraints cannot be satisfied and no fallback applies."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulator configurations or runtime faults."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload specifications."""

@@ -1,0 +1,36 @@
+"""Seeded random-number helpers.
+
+Every stochastic component of the library accepts either an integer seed or a
+ready-made :class:`numpy.random.Generator`. :func:`ensure_rng` normalizes both
+forms (and ``None`` for nondeterministic behaviour) into a generator so that
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an ``int`` (deterministic), an existing generator
+    (used as-is, allowing streams to be shared), or ``None`` (OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Useful when a component wants to hand out sub-streams (e.g. one per
+    node) whose draws do not perturb the parent sequence.
+    """
+    seed = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)

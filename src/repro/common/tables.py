@@ -1,0 +1,74 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness reproduces the paper's tables and figures as text.
+:func:`render_table` produces an aligned, pipe-delimited table that reads
+well both in a terminal and when pasted into Markdown documents such as
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_value(value: object, precision: int = 2) -> str:
+    """Format a single cell: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        magnitude = abs(value)
+        if magnitude != 0.0 and (magnitude >= 1e6 or magnitude < 10 ** (-precision)):
+            return f"{value:.{precision}e}"
+        return f"{value:,.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned Markdown-style table."""
+    text_rows = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 2,
+) -> str:
+    """Render a named (x, y) series as a two-column table (a text "figure")."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    return render_table(
+        [x_label, y_label],
+        [[x, y] for x, y in zip(xs, ys)],
+        precision=precision,
+        title=name,
+    )

@@ -1,0 +1,53 @@
+"""Unit conventions and validation helpers.
+
+The library uses a single consistent unit system:
+
+* latency / delay: **milliseconds** (float)
+* data rates and processing capacities: **tuples per second** (float)
+* bandwidth budgets: **tuples per second** (the paper defines bandwidth
+  demand through the tuple-rate cost model, Eq. 4)
+* simulated wall-clock time: **seconds** (float)
+
+The helpers below centralize argument validation so call sites stay terse
+and error messages stay uniform.
+"""
+
+from __future__ import annotations
+
+import math
+
+MS_PER_SECOND = 1000.0
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    value = float(value)
+    if not math.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def ms_to_seconds(latency_ms: float) -> float:
+    """Convert a latency in milliseconds to seconds."""
+    return latency_ms / MS_PER_SECOND
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert a duration in seconds to milliseconds."""
+    return seconds * MS_PER_SECOND

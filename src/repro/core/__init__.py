@@ -1,0 +1,80 @@
+"""Nova core: cost space, partitioning, candidate selection, optimizer."""
+
+from repro.core.assignment import AssignmentOutcome, place_replica
+from repro.core.candidates import Candidate, adaptive_k, select_candidates
+from repro.core.config import (
+    EMBEDDING_CLASSICAL_MDS,
+    EMBEDDING_SMACOF,
+    EMBEDDING_VIVALDI,
+    FALLBACK_EXPAND,
+    FALLBACK_SPREAD,
+    MEDIAN_GRADIENT,
+    MEDIAN_MINIMAX,
+    MEDIAN_WEISZFELD,
+    NovaConfig,
+)
+from repro.core.cost_model import (
+    ConstraintViolation,
+    check_bandwidth,
+    check_capacity,
+    check_min_availability,
+    required_capacity,
+)
+from repro.core.cost_space import AvailabilityLedger, CostSpace
+from repro.core.optimizer import Nova, NovaSession, PhaseTimings
+from repro.core.partitioning import (
+    PartitioningPlan,
+    derive_sigma,
+    max_partition_load,
+    partition_rates,
+    plan_partitions,
+)
+from repro.core.placement import Placement, SubReplicaPlacement
+from repro.core.reoptimizer import Reoptimizer
+from repro.core.serialization import (
+    load_placement,
+    placement_from_dict,
+    placement_to_dict,
+    save_placement,
+    session_summary,
+)
+
+__all__ = [
+    "AssignmentOutcome",
+    "AvailabilityLedger",
+    "Candidate",
+    "ConstraintViolation",
+    "CostSpace",
+    "EMBEDDING_CLASSICAL_MDS",
+    "EMBEDDING_SMACOF",
+    "EMBEDDING_VIVALDI",
+    "FALLBACK_EXPAND",
+    "FALLBACK_SPREAD",
+    "MEDIAN_GRADIENT",
+    "MEDIAN_MINIMAX",
+    "MEDIAN_WEISZFELD",
+    "Nova",
+    "NovaConfig",
+    "NovaSession",
+    "PartitioningPlan",
+    "PhaseTimings",
+    "Placement",
+    "Reoptimizer",
+    "SubReplicaPlacement",
+    "adaptive_k",
+    "check_bandwidth",
+    "check_capacity",
+    "check_min_availability",
+    "derive_sigma",
+    "max_partition_load",
+    "partition_rates",
+    "place_replica",
+    "plan_partitions",
+    "required_capacity",
+    "select_candidates",
+    "load_placement",
+    "placement_from_dict",
+    "placement_to_dict",
+    "save_placement",
+    "session_summary",
+]

@@ -1,0 +1,198 @@
+"""Phase III: physical replica assignment.
+
+Maps each join pair replica onto physical nodes: partition its input
+streams (Eq. 7), then walk the partition grid cell by cell, placing each
+sub-join on the nearest node (by cost-space k-NN around the replica's
+virtual position) with enough available capacity. When no node can host a
+cell, Nova spreads the remainder evenly over the nearest candidates,
+accepting overload (Section 3.4).
+
+Two properties keep this linear and tight:
+
+* **Capacity-filtered search.** The neighbour index answers "nearest node
+  with at least X available", so a single k=1 query replaces the
+  expand-and-retry loop over ever larger candidate sets.
+* **Merged accounting.** Sub-replicas of the same pair on one node share
+  partition streams: a partition already delivered for a sibling is
+  received (and processed) once, so the marginal demand of cell (i, j)
+  excludes shared partitions — this is what lets the running example pack
+  625 sub-joins onto two fog nodes of capacity 40.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, MutableMapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.common.errors import InfeasiblePlacementError
+from repro.core.config import NovaConfig
+from repro.core.cost_space import AvailabilityLedger, CostSpace
+from repro.core.partitioning import PartitioningPlan, plan_partitions
+from repro.core.placement import SubReplicaPlacement
+from repro.query.expansion import JoinPairReplica
+
+
+@dataclass
+class AssignmentOutcome:
+    """Result of placing one join pair replica."""
+
+    subs: List[SubReplicaPlacement]
+    partitioning: PartitioningPlan
+    overload_accepted: bool
+    expansions_used: int = 0
+
+
+class _PartitionLedger:
+    """Tracks which partitions each node already receives for one replica."""
+
+    def __init__(self, left_rates: Sequence[float], right_rates: Sequence[float]) -> None:
+        self._left_rates = left_rates
+        self._right_rates = right_rates
+        self._delivered: Dict[str, Set[Tuple[str, int]]] = {}
+
+    def marginal(self, node_id: str, i: int, j: int) -> float:
+        """Extra demand sub-join (i, j) adds on ``node_id``."""
+        existing = self._delivered.get(node_id)
+        if existing is None:
+            return self._left_rates[i] + self._right_rates[j]
+        demand = 0.0
+        if ("L", i) not in existing:
+            demand += self._left_rates[i]
+        if ("R", j) not in existing:
+            demand += self._right_rates[j]
+        return demand
+
+    def commit(self, node_id: str, i: int, j: int) -> float:
+        """Record delivery of both partitions to ``node_id``; return marginal."""
+        demand = self.marginal(node_id, i, j)
+        delivered = self._delivered.setdefault(node_id, set())
+        delivered.add(("L", i))
+        delivered.add(("R", j))
+        return demand
+
+
+def _grid(partitioning: PartitioningPlan) -> List[Tuple[int, int]]:
+    """All (left index, right index) cells in row-major order.
+
+    Row-major order keeps consecutive cells sharing the same left
+    partition, which maximizes stream sharing under first-fit.
+    """
+    return [
+        (i, j)
+        for i in range(len(partitioning.left_partitions))
+        for j in range(len(partitioning.right_partitions))
+    ]
+
+
+def place_replica(
+    replica: JoinPairReplica,
+    virtual_position: np.ndarray,
+    cost_space: CostSpace,
+    available: MutableMapping[str, float],
+    config: NovaConfig,
+) -> AssignmentOutcome:
+    """Partition and physically place one join pair replica.
+
+    Mutates ``available`` to account for consumed (marginal) capacity.
+    Never raises on overload: the spread fallback guarantees a placement,
+    flagged through ``overload_accepted``.
+    """
+    partitioning = plan_partitions(
+        replica.left_rate,
+        replica.right_rate,
+        sigma=config.sigma,
+        bandwidth_threshold=config.bandwidth_threshold,
+    )
+    # Capacity-filtered queries need the index to know availabilities;
+    # wrap plain mappings in a write-through ledger (callers' dicts still
+    # observe every mutation).
+    if not (
+        isinstance(available, AvailabilityLedger) and available.cost_space is cost_space
+    ):
+        available = AvailabilityLedger(cost_space, backing=available)
+    ledger = _PartitionLedger(partitioning.left_partitions, partitioning.right_partitions)
+    c_min = config.min_available_capacity
+
+    subs: List[SubReplicaPlacement] = []
+    used_nodes: List[str] = []  # in first-use order (roughly by distance)
+    pending: List[Tuple[int, int]] = []
+
+    def assign(node_id: str, i: int, j: int) -> None:
+        charged = ledger.commit(node_id, i, j)
+        available[node_id] = available.get(node_id, 0.0) - charged
+        if node_id not in ledger._delivered or node_id not in used_nodes:
+            used_nodes.append(node_id)
+        subs.append(_make_sub(replica, node_id, i, j, partitioning, charged))
+
+    for i, j in _grid(partitioning):
+        host: Optional[str] = None
+        # 1) A node already receiving both partitions hosts for free.
+        for node_id in used_nodes:
+            if ledger.marginal(node_id, i, j) == 0.0:
+                host = node_id
+                break
+        # 2) A node already receiving one partition, with room for the rest.
+        if host is None:
+            for node_id in used_nodes:
+                marginal = ledger.marginal(node_id, i, j)
+                remaining = available.get(node_id, 0.0)
+                if remaining >= marginal and remaining >= c_min:
+                    host = node_id
+                    break
+        # 3) The nearest fresh node able to host the full cell (Eq. 2-3).
+        if host is None:
+            demand = ledger._left_rates[i] + ledger._right_rates[j]
+            results = cost_space.knn(
+                virtual_position, k=1, min_capacity=max(demand, c_min, 1e-12)
+            )
+            if results:
+                host = results[0][0]
+        if host is None:
+            pending.append((i, j))
+        else:
+            assign(host, i, j)
+
+    # Spread fallback: no node can host these cells; distribute them evenly
+    # over the nearest candidates, accepting overload.
+    overload = False
+    if pending:
+        candidates = cost_space.knn(virtual_position, k=max(len(pending), 4))
+        if not candidates:
+            raise InfeasiblePlacementError(
+                f"no candidate nodes exist for replica {replica.replica_id!r}"
+            )
+        overload = True
+        for slot, (i, j) in enumerate(pending):
+            assign(candidates[slot % len(candidates)][0], i, j)
+
+    return AssignmentOutcome(
+        subs=subs,
+        partitioning=partitioning,
+        overload_accepted=overload,
+    )
+
+
+def _make_sub(
+    replica: JoinPairReplica,
+    node_id: str,
+    left_index: int,
+    right_index: int,
+    partitioning: PartitioningPlan,
+    charged: float,
+) -> SubReplicaPlacement:
+    return SubReplicaPlacement(
+        sub_id=f"{replica.replica_id}/{left_index}x{right_index}",
+        replica_id=replica.replica_id,
+        join_id=replica.join_id,
+        node_id=node_id,
+        left_source=replica.left_source,
+        right_source=replica.right_source,
+        left_node=replica.left_node,
+        right_node=replica.right_node,
+        sink_node=replica.sink_node,
+        left_rate=partitioning.left_partitions[left_index],
+        right_rate=partitioning.right_partitions[right_index],
+        charged_capacity=charged,
+    )

@@ -1,0 +1,70 @@
+"""Phase III candidate selection.
+
+For each operator, Nova queries the k nearest nodes to its virtual
+coordinates. The neighbourhood size ``k`` scales with workload demand: the
+ratio of the operator's total required capacity to the median available
+capacity per node (Section 3.4), so heavy operators automatically consider
+more hosts. Only nodes satisfying the C_min availability constraint
+(Eq. 3) qualify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost_space import CostSpace
+
+
+def adaptive_k(required_capacity: float, median_available: float, minimum: int = 2) -> int:
+    """Number of candidates to consider for an operator.
+
+    ``ceil(C_r / median_available)``, floored at ``minimum`` so even light
+    operators see a couple of options.
+    """
+    if median_available <= 0:
+        return max(minimum, 1)
+    return max(minimum, int(np.ceil(required_capacity / median_available)))
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A candidate host: node id, cost-space distance, available capacity."""
+
+    node_id: str
+    distance: float
+    available: float
+
+
+def select_candidates(
+    cost_space: CostSpace,
+    virtual_position: Sequence[float],
+    required_capacity: float,
+    available: Mapping[str, float],
+    min_available: float = 0.0,
+    k: Optional[int] = None,
+    exclude: Optional[set] = None,
+    oversample: int = 2,
+) -> List[Candidate]:
+    """The candidate node list for one operator, nearest first.
+
+    ``available`` maps node id to remaining capacity; nodes below
+    ``min_available`` are filtered out per Eq. 3. The k-NN query oversamples
+    so that filtering still leaves ~k candidates.
+    """
+    capacities = np.fromiter(
+        (value for value in available.values()), dtype=float, count=len(available)
+    )
+    eligible = capacities[capacities >= min_available]
+    median_available = float(np.median(eligible)) if eligible.size else 0.0
+    if k is None:
+        k = adaptive_k(required_capacity, median_available)
+    fetched = cost_space.knn(virtual_position, k * max(oversample, 1), exclude=exclude)
+    candidates = [
+        Candidate(node_id, distance, available.get(node_id, 0.0))
+        for node_id, distance in fetched
+        if available.get(node_id, 0.0) >= min_available
+    ]
+    return candidates[:k]

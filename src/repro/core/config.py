@@ -1,0 +1,69 @@
+"""Configuration of the Nova optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.units import check_fraction, check_non_negative, check_positive
+from repro.ncs.vivaldi import VivaldiConfig
+
+EMBEDDING_VIVALDI = "vivaldi"
+EMBEDDING_CLASSICAL_MDS = "classical_mds"
+EMBEDDING_SMACOF = "smacof"
+
+MEDIAN_WEISZFELD = "weiszfeld"
+MEDIAN_GRADIENT = "gradient"
+MEDIAN_MINIMAX = "minimax"
+
+FALLBACK_SPREAD = "spread"
+FALLBACK_EXPAND = "expand"
+
+
+@dataclass
+class NovaConfig:
+    """All tuning knobs of the Nova approach.
+
+    Defaults follow the paper's experimental setup: sigma = 0.4, Vivaldi
+    embeddings in two dimensions, Weiszfeld for the geometric median, and
+    candidate expansion as overload fallback.
+    """
+
+    dimensions: int = 2
+    embedding: str = EMBEDDING_VIVALDI
+    vivaldi: VivaldiConfig = field(default_factory=VivaldiConfig)
+    median_solver: str = MEDIAN_WEISZFELD
+    sigma: Optional[float] = 0.4
+    bandwidth_threshold: Optional[float] = None
+    min_available_capacity: float = 0.0
+    knn_backend: Optional[str] = None
+    exact_knn_limit: int = 200_000
+    fallback: str = FALLBACK_EXPAND
+    max_candidate_expansions: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 1:
+            raise ValueError("dimensions must be >= 1")
+        if self.embedding not in (
+            EMBEDDING_VIVALDI,
+            EMBEDDING_CLASSICAL_MDS,
+            EMBEDDING_SMACOF,
+        ):
+            raise ValueError(f"unknown embedding method {self.embedding!r}")
+        if self.median_solver not in (MEDIAN_WEISZFELD, MEDIAN_GRADIENT, MEDIAN_MINIMAX):
+            raise ValueError(f"unknown median solver {self.median_solver!r}")
+        if self.sigma is not None:
+            check_fraction("sigma", self.sigma)
+        if self.bandwidth_threshold is not None:
+            check_positive("bandwidth_threshold", self.bandwidth_threshold)
+        check_non_negative("min_available_capacity", self.min_available_capacity)
+        if self.fallback not in (FALLBACK_SPREAD, FALLBACK_EXPAND):
+            raise ValueError(f"unknown fallback strategy {self.fallback!r}")
+        if self.max_candidate_expansions < 0:
+            raise ValueError("max_candidate_expansions must be >= 0")
+        if self.sigma is None and self.bandwidth_threshold is None:
+            raise ValueError(
+                "either sigma must be fixed or bandwidth_threshold must be set "
+                "so sigma can be derived (Eq. 8)"
+            )

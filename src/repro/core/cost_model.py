@@ -1,0 +1,97 @@
+"""Cost model: required capacity and feasibility constraints.
+
+Section 2.2: for edge-computable lightweight joins, compute demand is
+driven by tuple arrival rate, so the required capacity of an operator is
+the sum of its input data rates,
+
+    C_r(omega) = sum over s in L_in(omega) of dr(s),
+
+and the same quantity doubles as the operator's bandwidth utilization
+(Eq. 4). Feasibility (Eqs. 2-4): each replica fits its node's available
+capacity, assignable nodes keep at least ``C_min`` available, and each
+replica's demand stays within the bandwidth threshold ``t_b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional
+
+from repro.common.units import check_non_negative
+
+
+def required_capacity(input_rates: Iterable[float]) -> float:
+    """C_r of an operator with the given per-stream input rates."""
+    total = 0.0
+    for rate in input_rates:
+        total += check_non_negative("input rate", rate)
+    return total
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """A single constraint breach found by :func:`check_feasibility`."""
+
+    kind: str
+    subject: str
+    detail: str
+
+
+def check_capacity(
+    demand_by_node: Mapping[str, float], capacity_by_node: Mapping[str, float]
+) -> List[ConstraintViolation]:
+    """Eq. 2: per-node demand must not exceed capacity."""
+    violations: List[ConstraintViolation] = []
+    for node_id, demand in demand_by_node.items():
+        capacity = capacity_by_node.get(node_id, 0.0)
+        if demand > capacity + 1e-9:
+            violations.append(
+                ConstraintViolation(
+                    kind="capacity",
+                    subject=node_id,
+                    detail=f"demand {demand:.3f} exceeds capacity {capacity:.3f}",
+                )
+            )
+    return violations
+
+
+def check_min_availability(
+    used_nodes: Iterable[str],
+    capacity_by_node: Mapping[str, float],
+    min_available: float,
+) -> List[ConstraintViolation]:
+    """Eq. 3: every assigned node must offer at least ``C_min`` capacity."""
+    violations: List[ConstraintViolation] = []
+    for node_id in used_nodes:
+        capacity = capacity_by_node.get(node_id, 0.0)
+        if capacity < min_available - 1e-9:
+            violations.append(
+                ConstraintViolation(
+                    kind="min_availability",
+                    subject=node_id,
+                    detail=f"capacity {capacity:.3f} below C_min {min_available:.3f}",
+                )
+            )
+    return violations
+
+
+def check_bandwidth(
+    replica_demands: Mapping[str, float], bandwidth_threshold: Optional[float]
+) -> List[ConstraintViolation]:
+    """Eq. 4: each replica's demand must stay within the bandwidth budget."""
+    if bandwidth_threshold is None:
+        return []
+    violations: List[ConstraintViolation] = []
+    for replica_id, demand in replica_demands.items():
+        if demand > bandwidth_threshold + 1e-9:
+            violations.append(
+                ConstraintViolation(
+                    kind="bandwidth",
+                    subject=replica_id,
+                    detail=(
+                        f"demand {demand:.3f} exceeds bandwidth threshold "
+                        f"{bandwidth_threshold:.3f}"
+                    ),
+                )
+            )
+    return violations

@@ -1,0 +1,224 @@
+"""Phase I: the cost space.
+
+Embeds the topology's pairwise latencies into a Euclidean space (Eq. 5)
+and maintains a nearest-neighbour index over node coordinates. The cost
+space is *live*: re-optimization adds, removes, and re-embeds single nodes
+without touching the rest (Section 3.5), which is what keeps those updates
+constant-time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import MutableMapping
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import EmbeddingError, UnknownNodeError
+from repro.core.config import (
+    EMBEDDING_CLASSICAL_MDS,
+    EMBEDDING_SMACOF,
+    EMBEDDING_VIVALDI,
+    NovaConfig,
+)
+from repro.geometry.knn import NeighborIndex
+from repro.ncs.mds import classical_mds, smacof_mds
+from repro.ncs.vivaldi import VivaldiConfig, VivaldiEmbedding
+from repro.topology.latency import DenseLatencyMatrix, LatencyProvider
+
+
+class AvailabilityLedger(MutableMapping):
+    """A write-through view of per-node available capacity.
+
+    Wraps a plain ``dict`` (reads and writes go to it) while mirroring
+    every write into the cost space's neighbour index, so capacity-filtered
+    k-NN queries always see current availability.
+    """
+
+    def __init__(self, cost_space: "CostSpace", backing: Dict[str, float]) -> None:
+        self.cost_space = cost_space
+        self._backing = backing
+        for node_id, value in backing.items():
+            if node_id in cost_space:
+                cost_space.set_available(node_id, value)
+
+    def __getitem__(self, key: str) -> float:
+        return self._backing[key]
+
+    def __setitem__(self, key: str, value: float) -> None:
+        self._backing[key] = value
+        if key in self.cost_space:
+            self.cost_space.set_available(key, value)
+
+    def __delitem__(self, key: str) -> None:
+        del self._backing[key]
+
+    def __iter__(self):
+        return iter(self._backing)
+
+    def __len__(self) -> int:
+        return len(self._backing)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._backing
+
+
+class CostSpace:
+    """Node coordinates plus a maintained k-NN index."""
+
+    def __init__(
+        self,
+        coordinates: Mapping[str, np.ndarray],
+        config: Optional[NovaConfig] = None,
+    ) -> None:
+        if not coordinates:
+            raise EmbeddingError("cost space requires at least one coordinate")
+        self._config = config or NovaConfig()
+        self._coords: Dict[str, np.ndarray] = {
+            node_id: np.asarray(point, dtype=float) for node_id, point in coordinates.items()
+        }
+        dims = {point.shape for point in self._coords.values()}
+        if len(dims) != 1:
+            raise EmbeddingError("all coordinates must share one dimensionality")
+        ids = list(self._coords)
+        points = np.vstack([self._coords[i] for i in ids])
+        self._index = NeighborIndex(
+            ids,
+            points,
+            backend=self._config.knn_backend,
+            exact_limit=self._config.exact_knn_limit,
+            seed=self._config.seed,
+        )
+        self._vivaldi = VivaldiEmbedding(self._config.vivaldi, seed=self._config.seed)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        latency: LatencyProvider,
+        config: Optional[NovaConfig] = None,
+    ) -> "CostSpace":
+        """Embed a latency provider per the configured method.
+
+        Vivaldi works for any provider (it only samples neighbour pairs);
+        the MDS variants require a dense matrix.
+        """
+        config = config or NovaConfig()
+        if config.embedding == EMBEDDING_VIVALDI:
+            vivaldi_config = VivaldiConfig(
+                dimensions=config.dimensions,
+                neighbors=config.vivaldi.neighbors,
+                rounds=config.vivaldi.rounds,
+                ce=config.vivaldi.ce,
+                cc=config.vivaldi.cc,
+            )
+            embedding = VivaldiEmbedding(vivaldi_config, seed=config.seed)
+            result = embedding.embed(latency)
+            coords = {nid: result.coordinates[i] for i, nid in enumerate(result.ids)}
+            return cls(coords, config)
+        if not isinstance(latency, DenseLatencyMatrix):
+            raise EmbeddingError(
+                f"embedding method {config.embedding!r} requires a dense latency matrix"
+            )
+        if config.embedding == EMBEDDING_CLASSICAL_MDS:
+            result = classical_mds(latency, dimensions=config.dimensions)
+        elif config.embedding == EMBEDDING_SMACOF:
+            result = smacof_mds(latency, dimensions=config.dimensions, seed=config.seed)
+        else:  # pragma: no cover - guarded by NovaConfig validation
+            raise EmbeddingError(f"unknown embedding method {config.embedding!r}")
+        coords = {nid: result.coordinates[i] for i, nid in enumerate(result.ids)}
+        return cls(coords, config)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the cost space."""
+        return next(iter(self._coords.values())).shape[0]
+
+    @property
+    def node_ids(self) -> List[str]:
+        """Ids of all embedded nodes."""
+        return [nid for nid in self._coords if nid in self._index]
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._index
+
+    def position(self, node_id: str) -> np.ndarray:
+        """Cost-space coordinates of a node."""
+        return self._index.position(node_id)
+
+    def distance(self, u: str, v: str) -> float:
+        """Estimated latency between two nodes = coordinate distance (ms)."""
+        return float(np.linalg.norm(self.position(u) - self.position(v)))
+
+    def distance_to_point(self, node_id: str, point: Sequence[float]) -> float:
+        """Distance from a node to an arbitrary cost-space point."""
+        return float(np.linalg.norm(self.position(node_id) - np.asarray(point, dtype=float)))
+
+    def knn(
+        self,
+        point: Sequence[float],
+        k: int,
+        exclude: Optional[set] = None,
+        min_capacity: Optional[float] = None,
+    ) -> List[Tuple[str, float]]:
+        """The ``k`` nearest embedded nodes to ``point``.
+
+        ``min_capacity`` restricts results to nodes whose registered
+        available capacity passes the threshold — the capacity-filtered
+        search that keeps Phase III linear.
+        """
+        return self._index.query(point, k, exclude=exclude, min_value=min_capacity)
+
+    def set_available(self, node_id: str, value: float) -> None:
+        """Register a node's available capacity for filtered k-NN queries."""
+        self._index.set_value(node_id, value)
+
+    # ------------------------------------------------------------------
+    # live maintenance (Section 3.5)
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, neighbor_latencies_ms: Mapping[str, float]) -> np.ndarray:
+        """Embed a joining node from latencies to a fixed neighbour sample.
+
+        Constant-time in topology size: only the new node's coordinate is
+        relaxed against its |N| measured neighbours.
+        """
+        if node_id in self._index:
+            raise EmbeddingError(f"node {node_id!r} is already embedded")
+        if not neighbor_latencies_ms:
+            raise EmbeddingError("need at least one neighbour latency to embed a node")
+        neighbor_ids = [nid for nid in neighbor_latencies_ms if nid in self._index]
+        if not neighbor_ids:
+            raise EmbeddingError("none of the measured neighbours are embedded")
+        neighbor_coords = np.vstack([self.position(nid) for nid in neighbor_ids])
+        rtts = np.array([neighbor_latencies_ms[nid] for nid in neighbor_ids], dtype=float)
+        position = self._vivaldi.place_new_node(neighbor_coords, rtts)
+        self._coords[node_id] = position
+        self._index.add(node_id, position)
+        return position
+
+    def remove_node(self, node_id: str) -> None:
+        """Drop a node from the cost space and the neighbour index."""
+        if node_id not in self._index:
+            raise UnknownNodeError(node_id)
+        self._index.remove(node_id)
+        self._coords.pop(node_id, None)
+
+    def update_node(
+        self, node_id: str, neighbor_latencies_ms: Mapping[str, float]
+    ) -> np.ndarray:
+        """Re-embed a node whose latencies drifted (remove + re-add)."""
+        self.remove_node(node_id)
+        return self.add_node(node_id, neighbor_latencies_ms)
+
+    def as_matrix(self) -> Tuple[List[str], np.ndarray]:
+        """Snapshot (ids, coordinates) of all live nodes."""
+        ids = self.node_ids
+        return ids, np.vstack([self.position(nid) for nid in ids])

@@ -1,0 +1,217 @@
+"""Extensibility features of Section 3.6.
+
+Three extensions beyond the two-way-join core:
+
+* **Additional distance-based cost metrics.** Metrics such as energy or
+  monetary cost are embedded as extra dimensions of the cost space
+  (following Pietzuch et al.): each metric contributes its own distance
+  matrix, embedded independently, and the dimensions are concatenated with
+  per-metric weights. Virtual placement then implicitly balances latency
+  against the added metrics without changing the optimization structure.
+* **Multi-way joins.** An n-way join decomposes into a left-deep chain of
+  two-way joins; join-order optimization proper is orthogonal (Ziehn et
+  al.), so the default order is by ascending stream rate, which keeps
+  intermediate amplification low.
+* **Complex operator graphs.** Plans with filters and aggregations
+  generalize Phase II to a spring-force system (Rizou et al.): stateless
+  filters are colocated with their upstream operator; every other free
+  operator becomes a spring-connected body whose equilibrium is its
+  virtual position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import EmbeddingError, PlanError
+from repro.core.config import NovaConfig
+from repro.core.cost_space import CostSpace
+from repro.geometry.springs import SpringSystem
+from repro.query.operators import Operator, OperatorKind
+from repro.query.plan import LogicalPlan
+from repro.topology.latency import DenseLatencyMatrix
+
+
+# ----------------------------------------------------------------------
+# additional cost metrics as extra embedding dimensions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricSpec:
+    """One additional distance-based metric to embed alongside latency."""
+
+    name: str
+    matrix: DenseLatencyMatrix
+    weight: float = 1.0
+    dimensions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise EmbeddingError(f"metric {self.name!r} needs a positive weight")
+        if self.dimensions < 1:
+            raise EmbeddingError(f"metric {self.name!r} needs >= 1 dimension")
+
+
+def build_augmented_cost_space(
+    latency: DenseLatencyMatrix,
+    metrics: Sequence[MetricSpec],
+    config: Optional[NovaConfig] = None,
+) -> CostSpace:
+    """Embed latency plus additional metrics into one augmented cost space.
+
+    Each metric matrix is embedded on its own (classical MDS keeps this
+    deterministic), scaled by ``sqrt(weight)`` so squared distances add up
+    weighted, and concatenated onto the latency coordinates. Distances in
+    the augmented space approximate
+    ``sqrt(latency^2 + sum_i w_i * metric_i^2)``.
+    """
+    from repro.ncs.mds import classical_mds
+
+    config = config or NovaConfig()
+    base = classical_mds(latency, dimensions=config.dimensions)
+    blocks = [base.coordinates]
+    for metric in metrics:
+        if metric.matrix.ids != latency.ids:
+            raise EmbeddingError(
+                f"metric {metric.name!r} covers a different node set than latency"
+            )
+        embedded = classical_mds(metric.matrix, dimensions=metric.dimensions)
+        blocks.append(embedded.coordinates * np.sqrt(metric.weight))
+    coordinates = np.hstack(blocks)
+    return CostSpace(
+        {node_id: coordinates[index] for index, node_id in enumerate(latency.ids)},
+        config,
+    )
+
+
+# ----------------------------------------------------------------------
+# multi-way join decomposition
+# ----------------------------------------------------------------------
+def decompose_multiway_join(
+    plan: LogicalPlan,
+    join_id: str,
+    streams: Sequence[str],
+    sink_id: str,
+    stream_rates: Optional[Mapping[str, float]] = None,
+) -> List[Operator]:
+    """Rewrite an n-way join as a left-deep chain of two-way joins.
+
+    ``streams`` are the logical input streams; the chain joins them in
+    ascending rate order (cheap streams first keeps intermediate volumes
+    low). Returns the created join operators; the final join feeds the
+    given sink. Join-order *optimization* is out of scope — callers may
+    pass any order via a pre-sorted ``streams``.
+    """
+    if len(streams) < 2:
+        raise PlanError("a multi-way join needs at least two input streams")
+    if len(set(streams)) != len(streams):
+        raise PlanError("multi-way join streams must be distinct")
+    sink = plan.operator(sink_id)
+    if not sink.is_sink:
+        raise PlanError(f"{sink_id!r} is not a sink")
+
+    ordered = list(streams)
+    if stream_rates is not None:
+        missing = [s for s in ordered if s not in stream_rates]
+        if missing:
+            raise PlanError(f"missing rates for streams {missing!r}")
+        ordered.sort(key=lambda stream: stream_rates[stream])
+
+    joins: List[Operator] = []
+    left = ordered[0]
+    for step, right in enumerate(ordered[1:]):
+        step_id = f"{join_id}.step{step}"
+        output = f"{step_id}.out"
+        join = plan.add_join(step_id, left=left, right=right, output=output)
+        joins.append(join)
+        left = output
+    sink.inputs.append(joins[-1].outputs[0])
+    return joins
+
+
+# ----------------------------------------------------------------------
+# spring-force virtual placement for complex plans
+# ----------------------------------------------------------------------
+def colocate_filters(plan: LogicalPlan) -> Dict[str, str]:
+    """Map each stateless filter to the operator it should colocate with.
+
+    Filters have negligible overhead (Section 3.6), so they ride along
+    with their upstream producer.
+    """
+    placement: Dict[str, str] = {}
+    for operator in plan.operators_of_kind(OperatorKind.FILTER):
+        if not operator.inputs:
+            raise PlanError(f"filter {operator.op_id!r} has no input stream")
+        stream = operator.inputs[0]
+        try:
+            upstream = plan.producer_of(stream)
+        except PlanError:
+            sources = plan.sources_of_stream(stream)
+            if not sources:
+                raise
+            upstream = sources[0]
+        placement[operator.op_id] = upstream.op_id
+    return placement
+
+
+def spring_virtual_placement(
+    plan: LogicalPlan,
+    cost_space: CostSpace,
+    rate_weights: bool = True,
+) -> Dict[str, np.ndarray]:
+    """Virtual positions for every free operator of a complex plan.
+
+    Builds the Rizou-style spring system: pinned bodies are sources and
+    sinks at their embedded coordinates; free bodies are joins and
+    aggregations; springs follow ``con(Omega)`` with tension equal to the
+    communicated data rate (or 1 when ``rate_weights`` is off). Filters are
+    excluded — they colocate upstream (:func:`colocate_filters`).
+    """
+    system = SpringSystem(dimensions=cost_space.dimensions)
+    colocated = colocate_filters(plan)
+
+    def effective(op_id: str) -> Optional[str]:
+        """Resolve a filter chain to the operator it rides on."""
+        seen = set()
+        while op_id in colocated:
+            if op_id in seen:
+                raise PlanError("filter colocation cycle")
+            seen.add(op_id)
+            op_id = colocated[op_id]
+        return op_id
+
+    free_ids: List[str] = []
+    for operator in plan.operators():
+        if operator.kind == OperatorKind.FILTER:
+            continue
+        if operator.is_pinned:
+            system.pin(operator.op_id, cost_space.position(operator.pinned_node))
+        else:
+            system.add_free(operator.op_id)
+            free_ids.append(operator.op_id)
+
+    rates = {op.op_id: op.data_rate for op in plan.sources()}
+    seen_pairs = set()
+    for producer_id, consumer_id in plan.connected_pairs():
+        producer = effective(producer_id)
+        consumer = effective(consumer_id)
+        if producer == consumer:
+            continue
+        key = (producer, consumer)
+        if key in seen_pairs:
+            continue
+        seen_pairs.add(key)
+        weight = max(rates.get(producer, 1.0), 1e-9) if rate_weights else 1.0
+        system.connect(producer, consumer, weight=weight)
+
+    positions = system.relax()
+    for filter_id, carrier in colocated.items():
+        carrier = effective(filter_id)
+        carrier_op = plan.operator(carrier)
+        if carrier_op.is_pinned:
+            positions[filter_id] = cost_space.position(carrier_op.pinned_node)
+        else:
+            positions[filter_id] = positions[carrier]
+    return positions

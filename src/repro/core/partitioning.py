@@ -1,0 +1,135 @@
+"""Bandwidth-aware stream partitioning (Section 3.4, Eqs. 7-8).
+
+Partitioning splits a join's left and right input streams into rate-bounded
+partitions, replacing one heavy replica by ``m x n`` light sub-joins. The
+partition load bound couples both streams,
+
+    p_max(s, t) = max(1, sigma * 0.5 * (dr(s) + dr(t)))        (Eq. 7)
+
+which improves utilization compared to partitioning each stream against
+sigma independently (the paper's worked example: dr(s)=2, dr(t)=10,
+sigma=0.5 gives p_max=3, leaves s whole, splits t into [3, 3, 3, 1], and
+cuts network transfer from 24 to 18 tuples/s).
+
+When a bandwidth budget ``t_b`` is enforced, sigma is derived by the convex
+program of Eq. 8, whose closed-form solution is
+``sigma* = clip(t_b / (2 dr(s) dr(t)), 0, 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.units import check_fraction, check_non_negative, check_positive
+
+RATE_EPSILON = 1e-9
+
+
+def partition_rates(rate: float, p_max: float) -> List[float]:
+    """Split ``rate`` into partitions none of which exceeds ``p_max``.
+
+    Full partitions carry exactly ``p_max``; the remainder (if any) forms a
+    final smaller partition. A rate of zero yields a single empty partition
+    so the join pair still exists structurally.
+    """
+    rate = check_non_negative("rate", rate)
+    p_max = check_positive("p_max", p_max)
+    if rate <= p_max + RATE_EPSILON:
+        return [rate]
+    full = int(rate // p_max)
+    remainder = rate - full * p_max
+    if remainder <= RATE_EPSILON:
+        return [p_max] * full
+    return [p_max] * full + [remainder]
+
+
+def max_partition_load(left_rate: float, right_rate: float, sigma: float) -> float:
+    """Eq. 7: the joint partition load bound ``p_max(s, t)``."""
+    check_non_negative("left_rate", left_rate)
+    check_non_negative("right_rate", right_rate)
+    check_fraction("sigma", sigma)
+    return max(1.0, sigma * 0.5 * (left_rate + right_rate))
+
+
+def derive_sigma(left_rate: float, right_rate: float, bandwidth_threshold: float) -> float:
+    """Eq. 8: the sigma minimizing ``(sigma * 2 * dr(s) * dr(t) - t_b)^2``.
+
+    The objective is convex in sigma; its unconstrained minimizer is
+    ``t_b / (2 dr(s) dr(t))``, projected onto [0, 1]. Degenerate rates
+    (either stream silent) need no partitioning, so sigma = 1.
+    """
+    check_non_negative("left_rate", left_rate)
+    check_non_negative("right_rate", right_rate)
+    check_positive("bandwidth_threshold", bandwidth_threshold)
+    product = 2.0 * left_rate * right_rate
+    if product <= RATE_EPSILON:
+        return 1.0
+    return min(1.0, max(0.0, bandwidth_threshold / product))
+
+
+@dataclass(frozen=True)
+class PartitioningPlan:
+    """The partitioning decision for one join pair."""
+
+    sigma: float
+    p_max: float
+    left_partitions: Tuple[float, ...]
+    right_partitions: Tuple[float, ...]
+
+    @property
+    def replica_count(self) -> int:
+        """Number of sub-joins: ``m x n``."""
+        return len(self.left_partitions) * len(self.right_partitions)
+
+    @property
+    def max_replica_demand(self) -> float:
+        """Largest C_r among the sub-joins."""
+        return max(self.left_partitions) + max(self.right_partitions)
+
+    @property
+    def network_transfer_rate(self) -> float:
+        """Total tuples/s shipped to sub-joins.
+
+        Every left partition is sent to each of the ``n`` right partitions'
+        replicas and vice versa:
+        ``n * sum(left) + m * sum(right)``.
+        """
+        m = len(self.left_partitions)
+        n = len(self.right_partitions)
+        return n * sum(self.left_partitions) + m * sum(self.right_partitions)
+
+    def replica_demands(self) -> List[float]:
+        """C_r of every sub-join in row-major (left, right) order."""
+        return [
+            left + right
+            for left in self.left_partitions
+            for right in self.right_partitions
+        ]
+
+
+def plan_partitions(
+    left_rate: float,
+    right_rate: float,
+    sigma: Optional[float] = 0.4,
+    bandwidth_threshold: Optional[float] = None,
+) -> PartitioningPlan:
+    """Decide the partitioning of one join pair.
+
+    If ``sigma`` is ``None`` it is derived from ``bandwidth_threshold``
+    via Eq. 8; otherwise the provided value is used directly (the paper's
+    experiments fix sigma = 0.4).
+    """
+    if sigma is None:
+        if bandwidth_threshold is None:
+            raise ValueError("either sigma or bandwidth_threshold must be given")
+        sigma = derive_sigma(left_rate, right_rate, bandwidth_threshold)
+    else:
+        sigma = check_fraction("sigma", sigma)
+    p_max = max_partition_load(left_rate, right_rate, sigma)
+    return PartitioningPlan(
+        sigma=sigma,
+        p_max=p_max,
+        left_partitions=tuple(partition_rates(left_rate, p_max)),
+        right_partitions=tuple(partition_rates(right_rate, p_max)),
+    )

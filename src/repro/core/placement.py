@@ -1,0 +1,126 @@
+"""Placement result data structures.
+
+A :class:`Placement` maps pinned operators and join sub-replicas to nodes.
+Sub-replicas are the unit of physical assignment: one per (left-partition,
+right-partition) combination of a join pair, carrying the partition rates
+that determine its capacity demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SubReplicaPlacement:
+    """One placed join sub-replica (a partition-pair instance).
+
+    ``charged_capacity`` is the *marginal* demand this sub-join adds to its
+    node. Sub-replicas of the same join pair merged onto one node share
+    partition streams: a partition already delivered to the node for a
+    sibling sub-join is received (and processed) only once, so the merged
+    node demand is the sum of *distinct* partitions, not of all (i, j)
+    pairs — this is what lets the running example pack 625 sub-joins onto
+    two 40-capacity fog nodes.
+    """
+
+    sub_id: str
+    replica_id: str
+    join_id: str
+    node_id: str
+    left_source: str
+    right_source: str
+    left_node: str
+    right_node: str
+    sink_node: str
+    left_rate: float
+    right_rate: float
+    charged_capacity: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.charged_capacity < 0:
+            object.__setattr__(self, "charged_capacity", self.left_rate + self.right_rate)
+
+    @property
+    def required_capacity(self) -> float:
+        """Standalone C_r of this sub-join: sum of its partition rates."""
+        return self.left_rate + self.right_rate
+
+
+@dataclass
+class Placement:
+    """A complete operator-to-node mapping plus diagnostics."""
+
+    pinned: Dict[str, str] = field(default_factory=dict)
+    sub_replicas: List[SubReplicaPlacement] = field(default_factory=list)
+    virtual_positions: Dict[str, np.ndarray] = field(default_factory=dict)
+    overload_accepted: bool = False
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def node_of(self, operator_id: str) -> str:
+        """Node hosting a pinned operator."""
+        return self.pinned[operator_id]
+
+    def nodes_used(self) -> List[str]:
+        """All nodes hosting at least one sub-replica."""
+        return sorted({sub.node_id for sub in self.sub_replicas})
+
+    def subs_on_node(self, node_id: str) -> List[SubReplicaPlacement]:
+        """Sub-replicas hosted on a node."""
+        return [sub for sub in self.sub_replicas if sub.node_id == node_id]
+
+    def subs_of_replica(self, replica_id: str) -> List[SubReplicaPlacement]:
+        """Sub-replicas belonging to one join pair replica."""
+        return [sub for sub in self.sub_replicas if sub.replica_id == replica_id]
+
+    def subs_of_join(self, join_id: str) -> List[SubReplicaPlacement]:
+        """Sub-replicas belonging to one logical join."""
+        return [sub for sub in self.sub_replicas if sub.join_id == join_id]
+
+    def node_loads(self) -> Dict[str, float]:
+        """Total join demand per node (tuples/s), merge-aware.
+
+        Sums the charged (marginal) capacity of each sub-replica, so
+        partition streams shared by merged sub-joins count once.
+        """
+        loads: Dict[str, float] = {}
+        for sub in self.sub_replicas:
+            loads[sub.node_id] = loads.get(sub.node_id, 0.0) + sub.charged_capacity
+        return loads
+
+    def replica_count(self) -> int:
+        """Total number of placed sub-replicas."""
+        return len(self.sub_replicas)
+
+    def total_demand(self) -> float:
+        """Sum of C_r over all sub-replicas."""
+        return sum(sub.required_capacity for sub in self.sub_replicas)
+
+    def merge_counts(self) -> Dict[str, int]:
+        """How many sub-replicas were merged onto each node."""
+        counts: Dict[str, int] = {}
+        for sub in self.sub_replicas:
+            counts[sub.node_id] = counts.get(sub.node_id, 0) + 1
+        return counts
+
+    def remove_replica(self, replica_id: str) -> List[SubReplicaPlacement]:
+        """Undeploy all sub-replicas of a join pair; return what was removed."""
+        removed = self.subs_of_replica(replica_id)
+        self.sub_replicas = [s for s in self.sub_replicas if s.replica_id != replica_id]
+        self.virtual_positions.pop(replica_id, None)
+        return removed
+
+    def remove_subs_on_node(self, node_id: str) -> List[SubReplicaPlacement]:
+        """Undeploy all sub-replicas running on a node; return them."""
+        removed = self.subs_on_node(node_id)
+        self.sub_replicas = [s for s in self.sub_replicas if s.node_id != node_id]
+        return removed
+
+    def extend(self, subs: Iterable[SubReplicaPlacement]) -> None:
+        """Add newly placed sub-replicas."""
+        self.sub_replicas.extend(subs)

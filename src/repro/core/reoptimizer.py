@@ -1,0 +1,273 @@
+"""Incremental re-optimization (Section 3.5).
+
+Applies churn events to a live :class:`~repro.core.optimizer.NovaSession`
+without recomputing the full placement:
+
+* **Add worker** — embed the node from a fixed neighbour sample (constant
+  time) and register it with the neighbour index.
+* **Add source** — embed the node, extend the plan and the join matrix,
+  and run Phases II-III only for the new join pairs.
+* **Remove node** — role-dependent: idle workers just leave the cost
+  space; sources take their join pairs with them; join hosts trigger
+  re-placement (Phase III only) of the replicas they carried, reusing the
+  precomputed virtual positions.
+* **Data-rate change** — undeploy the source's replicas, rebuild their
+  descriptors with the new rate, and re-run Phase III. Virtual positions
+  stay valid because the (unweighted) geometric median is rate-independent.
+* **Capacity change** — undeploy everything on the worker, adjust the
+  ledger, and re-place the affected replicas.
+* **Coordinate drift** — re-embed the node, then re-place any replica
+  pinned to it (its median moved) or hosted on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.common.errors import OptimizationError, UnknownNodeError
+from repro.core.optimizer import NovaSession
+from repro.query.expansion import JoinPairReplica, replica_id_for
+from repro.topology.dynamics import (
+    AddSourceEvent,
+    AddWorkerEvent,
+    CapacityChangeEvent,
+    ChurnEvent,
+    CoordinateDriftEvent,
+    DataRateChangeEvent,
+    RemoveNodeEvent,
+)
+from repro.topology.model import Node, NodeRole
+
+
+class Reoptimizer:
+    """Applies churn events to a Nova session incrementally."""
+
+    def __init__(self, session: NovaSession) -> None:
+        self.session = session
+
+    # ------------------------------------------------------------------
+    # event dispatch
+    # ------------------------------------------------------------------
+    def apply(self, event: ChurnEvent) -> None:
+        """Apply one churn event of any supported type."""
+        if isinstance(event, AddWorkerEvent):
+            self.add_worker(event)
+        elif isinstance(event, AddSourceEvent):
+            self.add_source(event)
+        elif isinstance(event, RemoveNodeEvent):
+            self.remove_node(event.node_id)
+        elif isinstance(event, DataRateChangeEvent):
+            self.change_data_rate(event.node_id, event.new_rate)
+        elif isinstance(event, CapacityChangeEvent):
+            self.change_capacity(event.node_id, event.new_capacity)
+        elif isinstance(event, CoordinateDriftEvent):
+            self.update_coordinates(event.node_id, event.neighbor_latencies_ms)
+        else:
+            raise OptimizationError(f"unsupported churn event {event!r}")
+
+    # ------------------------------------------------------------------
+    # additions
+    # ------------------------------------------------------------------
+    def add_worker(self, event: AddWorkerEvent) -> None:
+        """A new worker joins: embed it and make it available to k-NN."""
+        session = self.session
+        session.topology.add_node(
+            Node(event.node_id, capacity=event.capacity, role=NodeRole.WORKER)
+        )
+        session.cost_space.add_node(event.node_id, event.neighbor_latencies_ms)
+        session.available[event.node_id] = event.capacity
+
+    def add_source(self, event: AddSourceEvent) -> None:
+        """A new source joins: extend plan and M, place only its sub-branch."""
+        session = self.session
+        session.topology.add_node(
+            Node(event.node_id, capacity=event.capacity, role=NodeRole.SOURCE)
+        )
+        session.cost_space.add_node(event.node_id, event.neighbor_latencies_ms)
+        # Ingestion consumes the new source's own capacity (cf. optimize()).
+        session.available[event.node_id] = max(event.capacity - event.data_rate, 0.0)
+
+        joins = session.plan.joins()
+        join = next(
+            (j for j in joins if event.logical_stream in j.inputs), None
+        )
+        if join is None:
+            raise OptimizationError(
+                f"no join consumes logical stream {event.logical_stream!r}"
+            )
+        session.plan.add_source(
+            event.node_id,
+            node=event.node_id,
+            rate=event.data_rate,
+            logical_stream=event.logical_stream,
+        )
+        left_stream, right_stream = join.inputs
+        if event.logical_stream == left_stream:
+            session.matrix.add_left(event.node_id)
+            session.matrix.allow(event.node_id, event.partner_source)
+            left_id, right_id = event.node_id, event.partner_source
+        else:
+            session.matrix.add_right(event.node_id)
+            session.matrix.allow(event.partner_source, event.node_id)
+            left_id, right_id = event.partner_source, event.node_id
+
+        session.plan.operator(event.partner_source)  # validate partner exists
+        sink = session.plan.sink_of_join(join.op_id)
+        left_op = session.plan.operator(left_id)
+        right_op = session.plan.operator(right_id)
+        replica = JoinPairReplica(
+            replica_id=replica_id_for(join.op_id, left_id, right_id),
+            join_id=join.op_id,
+            left_source=left_id,
+            right_source=right_id,
+            left_node=left_op.pinned_node,
+            right_node=right_op.pinned_node,
+            sink_id=sink.op_id,
+            sink_node=sink.pinned_node,
+            left_rate=left_op.data_rate,
+            right_rate=right_op.data_rate,
+        )
+        session.resolved.replicas.append(replica)
+        session.placement.pinned[event.node_id] = event.node_id
+        session.place_replicas([replica])
+
+    # ------------------------------------------------------------------
+    # removals
+    # ------------------------------------------------------------------
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node, handling its role-specific cleanup."""
+        session = self.session
+        if node_id not in session.topology:
+            raise UnknownNodeError(node_id)
+        node = session.topology.node(node_id)
+
+        affected: List[JoinPairReplica] = []
+        deleted_ids: Set[str] = set()
+        if node.role == NodeRole.SOURCE and node_id in session.matrix.left_ids + session.matrix.right_ids:
+            removed_pairs = session.matrix.remove_source(node_id)
+            for left_id, right_id in removed_pairs:
+                for join in session.plan.joins():
+                    replica_id = replica_id_for(join.op_id, left_id, right_id)
+                    if any(r.replica_id == replica_id for r in session.resolved.replicas):
+                        session.undeploy_replica(replica_id)
+                        session.resolved.replicas = [
+                            r for r in session.resolved.replicas if r.replica_id != replica_id
+                        ]
+                        deleted_ids.add(replica_id)
+            if node_id in session.plan:
+                session.plan.remove_operator(node_id)
+            session.placement.pinned.pop(node_id, None)
+        # Any node may additionally host sub-joins of other replicas;
+        # those replicas are undeployed and re-placed after the removal.
+        replica_ids = {
+            s.replica_id for s in session.placement.subs_on_node(node_id)
+        } - deleted_ids
+        for replica_id in replica_ids:
+            session.undeploy_replica(replica_id)
+            affected.append(session.replica_by_id(replica_id))
+
+        session.available.pop(node_id, None)
+        if node_id in session.cost_space:
+            session.cost_space.remove_node(node_id)
+        session.topology.remove_node(node_id)
+
+        if affected:
+            # Virtual positions were kept (removed with the replica); Phase
+            # III re-runs against the shrunken candidate space.
+            session.place_replicas(affected)
+
+    # ------------------------------------------------------------------
+    # workload changes
+    # ------------------------------------------------------------------
+    def change_data_rate(self, source_id: str, new_rate: float) -> None:
+        """A source's emission rate changed: rebalance its sub-joins only."""
+        session = self.session
+        operator = session.plan.operator(source_id)
+        if not operator.is_source:
+            raise OptimizationError(f"{source_id!r} is not a source")
+        operator.data_rate = float(new_rate)
+
+        updated: List[JoinPairReplica] = []
+        remaining: List[JoinPairReplica] = []
+        for replica in session.resolved.replicas:
+            if source_id not in (replica.left_source, replica.right_source):
+                remaining.append(replica)
+                continue
+            session.undeploy_replica(replica.replica_id)
+            left_rate = new_rate if replica.left_source == source_id else replica.left_rate
+            right_rate = new_rate if replica.right_source == source_id else replica.right_rate
+            rebuilt = JoinPairReplica(
+                replica_id=replica.replica_id,
+                join_id=replica.join_id,
+                left_source=replica.left_source,
+                right_source=replica.right_source,
+                left_node=replica.left_node,
+                right_node=replica.right_node,
+                sink_id=replica.sink_id,
+                sink_node=replica.sink_node,
+                left_rate=left_rate,
+                right_rate=right_rate,
+            )
+            updated.append(rebuilt)
+        session.resolved.replicas = remaining + updated
+        # The ingestion share of the source node's capacity changed
+        # (old_rate -> new_rate); recompute its headroom absolutely against
+        # what is still hosted there rather than adjusting incrementally,
+        # which would drift once the clamp at zero has been hit.
+        node_id = operator.pinned_node
+        if node_id in session.available:
+            node = session.topology.node(node_id)
+            hosted = sum(
+                s.charged_capacity for s in session.placement.subs_on_node(node_id)
+            )
+            session.available[node_id] = max(node.capacity - new_rate, 0.0) - hosted
+        # The unweighted geometric median ignores rates, so Phase II is
+        # skipped: reuse positions by recomputing only physical placement.
+        for replica in updated:
+            session.placement.virtual_positions[replica.replica_id] = (
+                session.placement.virtual_positions.get(replica.replica_id)
+                or session.virtual_position(replica)
+            )
+        session.place_replicas(updated)
+
+    def change_capacity(self, node_id: str, new_capacity: float) -> None:
+        """A worker's capacity changed: re-place everything it hosted."""
+        session = self.session
+        node = session.topology.node(node_id)
+        replica_ids = {s.replica_id for s in session.placement.subs_on_node(node_id)}
+        affected = []
+        for replica_id in replica_ids:
+            session.undeploy_replica(replica_id)
+            affected.append(session.replica_by_id(replica_id))
+        node.capacity = float(new_capacity)
+        # After undeploying everything hosted here, availability is the new
+        # capacity minus any ingestion load of sources pinned to this node.
+        ingestion = sum(
+            op.data_rate for op in session.plan.sources() if op.pinned_node == node_id
+        )
+        session.available[node_id] = max(float(new_capacity) - ingestion, 0.0)
+        if affected:
+            session.place_replicas(affected)
+
+    def update_coordinates(
+        self, node_id: str, neighbor_latencies_ms: Dict[str, float]
+    ) -> None:
+        """A node's latencies drifted: re-embed it, re-place what it anchors."""
+        session = self.session
+        session.cost_space.update_node(node_id, neighbor_latencies_ms)
+        affected_ids: Set[str] = set()
+        for replica in session.resolved.replicas:
+            if node_id in replica.pinned_nodes:
+                affected_ids.add(replica.replica_id)
+        affected_ids.update(
+            sub.replica_id for sub in session.placement.subs_on_node(node_id)
+        )
+        affected = []
+        for replica_id in affected_ids:
+            session.undeploy_replica(replica_id)
+            replica = session.replica_by_id(replica_id)
+            affected.append(replica)
+            # The anchor moved, so the precomputed median is stale.
+            session.placement.virtual_positions.pop(replica_id, None)
+        if affected:
+            session.place_replicas(affected)

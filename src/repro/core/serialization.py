@@ -1,0 +1,136 @@
+"""Placement serialization: deployment artifacts as JSON.
+
+An optimizer's decision has to travel: to the SPE's deployment engine, to
+dashboards, and into experiment archives. This module round-trips
+:class:`~repro.core.placement.Placement` objects (including virtual
+positions and merge-aware charges) through plain JSON, and exports a
+human-oriented summary of a whole :class:`~repro.core.optimizer.NovaSession`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.common.errors import OptimizationError
+from repro.core.optimizer import NovaSession
+from repro.core.placement import Placement, SubReplicaPlacement
+
+FORMAT_VERSION = 1
+
+
+def placement_to_dict(placement: Placement) -> Dict:
+    """A JSON-serializable representation of a placement."""
+    return {
+        "version": FORMAT_VERSION,
+        "pinned": dict(placement.pinned),
+        "overload_accepted": placement.overload_accepted,
+        "virtual_positions": {
+            replica_id: [float(value) for value in position]
+            for replica_id, position in placement.virtual_positions.items()
+        },
+        "sub_replicas": [
+            {
+                "sub_id": sub.sub_id,
+                "replica_id": sub.replica_id,
+                "join_id": sub.join_id,
+                "node_id": sub.node_id,
+                "left_source": sub.left_source,
+                "right_source": sub.right_source,
+                "left_node": sub.left_node,
+                "right_node": sub.right_node,
+                "sink_node": sub.sink_node,
+                "left_rate": sub.left_rate,
+                "right_rate": sub.right_rate,
+                "charged_capacity": sub.charged_capacity,
+            }
+            for sub in placement.sub_replicas
+        ],
+    }
+
+
+def placement_from_dict(data: Dict) -> Placement:
+    """Rebuild a placement from :func:`placement_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise OptimizationError(
+            f"unsupported placement format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    placement = Placement(
+        pinned=dict(data.get("pinned", {})),
+        overload_accepted=bool(data.get("overload_accepted", False)),
+    )
+    for replica_id, position in data.get("virtual_positions", {}).items():
+        placement.virtual_positions[replica_id] = np.asarray(position, dtype=float)
+    for entry in data.get("sub_replicas", []):
+        try:
+            placement.sub_replicas.append(SubReplicaPlacement(**entry))
+        except TypeError as error:
+            raise OptimizationError(f"malformed sub-replica entry: {error}") from None
+    return placement
+
+
+def save_placement(placement: Placement, path: Union[str, Path]) -> None:
+    """Write a placement to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(placement_to_dict(placement), indent=2, sort_keys=True))
+
+
+def load_placement(path: Union[str, Path]) -> Placement:
+    """Read a placement from a JSON file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise OptimizationError(f"invalid placement file {path}: {error}") from None
+    return placement_from_dict(data)
+
+
+def session_summary(session: NovaSession) -> Dict:
+    """A JSON-serializable report of an optimization session.
+
+    Covers the quantities operators monitor: per-node loads against
+    capacity, partitioning degree per logical join, phase timings, and the
+    overload flag. Does not include the cost space (rebuildable).
+    """
+    loads = session.placement.node_loads()
+    nodes = []
+    for node in session.topology.nodes():
+        load = loads.get(node.node_id, 0.0)
+        if load <= 0.0:
+            continue
+        nodes.append(
+            {
+                "node_id": node.node_id,
+                "role": node.role.value,
+                "capacity": node.capacity,
+                "load": load,
+                "utilization": load / node.capacity if node.capacity else float("inf"),
+            }
+        )
+    joins = {}
+    for join in session.plan.joins():
+        subs = session.placement.subs_of_join(join.op_id)
+        joins[join.op_id] = {
+            "pair_replicas": len({s.replica_id for s in subs}),
+            "sub_joins": len(subs),
+            "hosts": sorted({s.node_id for s in subs}),
+        }
+    return {
+        "version": FORMAT_VERSION,
+        "sigma": session.config.sigma,
+        "embedding": session.config.embedding,
+        "overload_accepted": session.placement.overload_accepted,
+        "timings_s": {
+            "cost_space": session.timings.cost_space_s,
+            "virtual": session.timings.virtual_s,
+            "physical": session.timings.physical_s,
+            "total": session.timings.total_s,
+        },
+        "nodes": nodes,
+        "joins": joins,
+    }

@@ -1,0 +1,43 @@
+"""Placement evaluation: overload and latency metrics, comparison reports."""
+
+from repro.evaluation.latency import (
+    DistanceFn,
+    LatencyStats,
+    direct_transmission_latencies,
+    embedding_distance,
+    latency_stats,
+    matrix_distance,
+    p90_delta_vs_direct,
+    placement_latencies,
+    sub_replica_latency,
+    tree_route_distance,
+)
+from repro.evaluation.overload import (
+    NodeUtilization,
+    max_utilization,
+    node_utilizations,
+    overload_percentage,
+    overloaded_nodes,
+)
+from repro.evaluation.report import ApproachResult, comparison_table, evaluate_approach
+
+__all__ = [
+    "ApproachResult",
+    "DistanceFn",
+    "LatencyStats",
+    "NodeUtilization",
+    "comparison_table",
+    "direct_transmission_latencies",
+    "embedding_distance",
+    "evaluate_approach",
+    "latency_stats",
+    "matrix_distance",
+    "max_utilization",
+    "node_utilizations",
+    "overload_percentage",
+    "overloaded_nodes",
+    "p90_delta_vs_direct",
+    "placement_latencies",
+    "sub_replica_latency",
+    "tree_route_distance",
+]

@@ -1,0 +1,146 @@
+"""Theoretical latency evaluation of placements (Sections 4.3-4.5).
+
+The end-to-end latency of one sub-join is the slower of its two
+source-to-host transfers plus the host-to-sink transfer:
+
+    L(sub) = max(d(left, host), d(right, host)) + d(host, sink).
+
+``d`` is pluggable: the *estimated* view uses cost-space coordinate
+distances, the *measured* view uses the ground-truth latency matrix, and
+tree-based baselines route multi-hop over their spanning trees — exactly
+the distinction behind the estimation-error study of Section 4.4.
+
+The sink-based direct-transmission bound max(d(left, sink), d(right, sink))
+serves as the theoretical lower bound that Figure 7's deltas are measured
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable
+
+import numpy as np
+
+from repro.baselines.tree import tree_path_latency
+from repro.core.cost_space import CostSpace
+from repro.core.placement import Placement, SubReplicaPlacement
+from repro.topology.latency import DenseLatencyMatrix
+
+DistanceFn = Callable[[str, str], float]
+
+
+def matrix_distance(latency: DenseLatencyMatrix) -> DistanceFn:
+    """Distance function backed by a measured latency matrix."""
+    return latency.latency
+
+
+def embedding_distance(cost_space: CostSpace) -> DistanceFn:
+    """Distance function backed by cost-space coordinates (the NCS estimate)."""
+    return cost_space.distance
+
+
+def tree_route_distance(
+    parents_by_root: Dict[str, Dict[str, str]],
+    latency: DenseLatencyMatrix,
+    root_of: Callable[[str], str],
+) -> DistanceFn:
+    """Distance along the spanning-tree overlay of a tree baseline.
+
+    ``root_of`` maps any endpoint to the sink whose tree should route the
+    pair; nodes absent from the tree fall back to direct latency (e.g.
+    sources entering a head-only overlay).
+    """
+
+    def distance(u: str, v: str) -> float:
+        parents = parents_by_root.get(root_of(u)) or parents_by_root.get(root_of(v))
+        if parents is None:
+            return latency.latency(u, v)
+        known = set(parents) | ({next(iter(parents.values()))} if parents else set())
+        extra = 0.0
+        if u not in known and u not in parents:
+            # Route u to its nearest overlay member first.
+            if not known:
+                return latency.latency(u, v)
+            nearest = min(known, key=lambda nid: latency.latency(u, nid))
+            extra += latency.latency(u, nearest)
+            u = nearest
+        if v not in known and v not in parents:
+            if not known:
+                return latency.latency(u, v)
+            nearest = min(known, key=lambda nid: latency.latency(v, nid))
+            extra += latency.latency(v, nearest)
+            v = nearest
+        if u == v:
+            return extra
+        return extra + tree_path_latency(u, v, parents, latency)
+
+    return distance
+
+
+def sub_replica_latency(sub: SubReplicaPlacement, distance: DistanceFn) -> float:
+    """End-to-end latency of one placed sub-join."""
+    inbound = max(
+        distance(sub.left_node, sub.node_id), distance(sub.right_node, sub.node_id)
+    )
+    return inbound + distance(sub.node_id, sub.sink_node)
+
+
+def placement_latencies(placement: Placement, distance: DistanceFn) -> np.ndarray:
+    """Per-sub-replica end-to-end latencies."""
+    return np.array(
+        [sub_replica_latency(sub, distance) for sub in placement.sub_replicas]
+    )
+
+
+def direct_transmission_latencies(
+    placement: Placement, distance: DistanceFn
+) -> np.ndarray:
+    """The sink-based direct-transmission lower bound per sub-join."""
+    return np.array(
+        [
+            max(distance(sub.left_node, sub.sink_node), distance(sub.right_node, sub.sink_node))
+            for sub in placement.sub_replicas
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample (all in milliseconds)."""
+
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    p9999: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "LatencyStats":
+        """Summarize a sample; empty samples yield all-zero stats."""
+        array = np.asarray(list(values), dtype=float)
+        if array.size == 0:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            mean=float(array.mean()),
+            p50=float(np.percentile(array, 50)),
+            p90=float(np.percentile(array, 90)),
+            p99=float(np.percentile(array, 99)),
+            p9999=float(np.percentile(array, 99.99)),
+            maximum=float(array.max()),
+        )
+
+
+def latency_stats(placement: Placement, distance: DistanceFn) -> LatencyStats:
+    """Latency summary of a placement under a distance function."""
+    return LatencyStats.from_values(placement_latencies(placement, distance))
+
+
+def p90_delta_vs_direct(placement: Placement, distance: DistanceFn) -> float:
+    """Figure 7 metric: 90P latency above the direct-transmission bound."""
+    achieved = placement_latencies(placement, distance)
+    bound = direct_transmission_latencies(placement, distance)
+    if achieved.size == 0:
+        return 0.0
+    return float(np.percentile(achieved, 90) - np.percentile(bound, 90))

@@ -1,0 +1,69 @@
+"""Over-utilization metrics (Section 4.2).
+
+A node is overloaded when the total join demand assigned to it exceeds its
+processing capacity. The paper reports overloaded nodes as a percentage of
+the nodes that actually host computation — which is why the sink-based
+approach scores 100% (its single hosting node is overloaded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.placement import Placement
+from repro.topology.model import Topology
+
+OVERLOAD_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """Load versus capacity for one hosting node."""
+
+    node_id: str
+    load: float
+    capacity: float
+
+    @property
+    def utilization(self) -> float:
+        """Load as a fraction of capacity (inf for zero-capacity nodes)."""
+        if self.capacity <= 0:
+            return float("inf") if self.load > 0 else 0.0
+        return self.load / self.capacity
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether the node exceeds its capacity."""
+        return self.load > self.capacity + OVERLOAD_TOLERANCE
+
+
+def node_utilizations(placement: Placement, topology: Topology) -> List[NodeUtilization]:
+    """Utilization of every node hosting at least one sub-replica."""
+    loads = placement.node_loads()
+    return [
+        NodeUtilization(node_id, load, topology.node(node_id).capacity)
+        for node_id, load in sorted(loads.items())
+    ]
+
+
+def overloaded_nodes(placement: Placement, topology: Topology) -> List[NodeUtilization]:
+    """The hosting nodes whose load exceeds capacity."""
+    return [u for u in node_utilizations(placement, topology) if u.overloaded]
+
+
+def overload_percentage(placement: Placement, topology: Topology) -> float:
+    """Percentage of hosting nodes that are overloaded (the Figure 6 metric)."""
+    utilizations = node_utilizations(placement, topology)
+    if not utilizations:
+        return 0.0
+    overloaded = sum(1 for u in utilizations if u.overloaded)
+    return 100.0 * overloaded / len(utilizations)
+
+
+def max_utilization(placement: Placement, topology: Topology) -> float:
+    """The highest load/capacity ratio over hosting nodes."""
+    utilizations = node_utilizations(placement, topology)
+    if not utilizations:
+        return 0.0
+    return max(u.utilization for u in utilizations)

@@ -1,0 +1,68 @@
+"""Cross-approach comparison reports for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.tables import render_table
+from repro.core.placement import Placement
+from repro.evaluation.latency import DistanceFn, LatencyStats, latency_stats
+from repro.evaluation.overload import overload_percentage
+from repro.topology.model import Topology
+
+
+@dataclass
+class ApproachResult:
+    """One approach's placement plus its evaluation under a distance view."""
+
+    name: str
+    placement: Placement
+    stats: LatencyStats
+    overload_pct: float
+    runtime_s: float = 0.0
+
+
+def evaluate_approach(
+    name: str,
+    placement: Placement,
+    topology: Topology,
+    distance: DistanceFn,
+    runtime_s: float = 0.0,
+) -> ApproachResult:
+    """Evaluate one placement: latency summary and overload percentage."""
+    return ApproachResult(
+        name=name,
+        placement=placement,
+        stats=latency_stats(placement, distance),
+        overload_pct=overload_percentage(placement, topology),
+        runtime_s=runtime_s,
+    )
+
+
+def comparison_table(results: Sequence[ApproachResult], title: Optional[str] = None) -> str:
+    """Render a comparison of approaches as a text table."""
+    headers = [
+        "approach",
+        "mean ms",
+        "p90 ms",
+        "p99 ms",
+        "p99.99 ms",
+        "overload %",
+        "replicas",
+        "runtime s",
+    ]
+    rows = [
+        [
+            result.name,
+            result.stats.mean,
+            result.stats.p90,
+            result.stats.p99,
+            result.stats.p9999,
+            result.overload_pct,
+            result.placement.replica_count(),
+            result.runtime_s,
+        ]
+        for result in results
+    ]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,34 @@
+"""Geometry substrate: medians, exact and approximate k-NN, springs."""
+
+from repro.geometry.annoy import AnnoyForest
+from repro.geometry.kdtree import KdTree
+from repro.geometry.knn import (
+    APPROXIMATE_BACKEND,
+    DEFAULT_EXACT_LIMIT,
+    EXACT_BACKEND,
+    NeighborIndex,
+)
+from repro.geometry.median import (
+    MedianResult,
+    gradient_descent_median,
+    median_objective,
+    minimax_point,
+    weiszfeld,
+)
+from repro.geometry.springs import Spring, SpringSystem
+
+__all__ = [
+    "APPROXIMATE_BACKEND",
+    "AnnoyForest",
+    "DEFAULT_EXACT_LIMIT",
+    "EXACT_BACKEND",
+    "KdTree",
+    "MedianResult",
+    "NeighborIndex",
+    "Spring",
+    "SpringSystem",
+    "gradient_descent_median",
+    "median_objective",
+    "minimax_point",
+    "weiszfeld",
+]

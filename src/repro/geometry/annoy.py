@@ -1,0 +1,156 @@
+"""Approximate nearest neighbours via a random-projection forest.
+
+For very large topologies Nova switches from the exact k-d tree to an
+*approximate* Annoy-based index (Section 3.4). The Annoy library is not
+available offline, so this module implements the same idea from scratch: a
+forest of trees, each built by recursively splitting the point set with
+random hyperplanes; a query descends every tree, pools the reached leaves,
+and ranks the pooled candidates exactly.
+
+Accuracy/speed is controlled by ``n_trees`` and ``search_k`` exactly as in
+Annoy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.common.errors import OptimizationError
+from repro.common.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class _SplitNode:
+    normal: np.ndarray
+    offset: float
+    left: Union["_SplitNode", np.ndarray]
+    right: Union["_SplitNode", np.ndarray]
+
+
+class AnnoyForest:
+    """A forest of random-projection trees for approximate k-NN."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        n_trees: int = 8,
+        leaf_size: int = 32,
+        seed: SeedLike = 0,
+    ) -> None:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise OptimizationError("AnnoyForest requires a non-empty (n, d) array")
+        if n_trees < 1:
+            raise OptimizationError("n_trees must be >= 1")
+        if leaf_size < 1:
+            raise OptimizationError("leaf_size must be >= 1")
+        self._points = points
+        self._leaf_size = leaf_size
+        self._deleted = np.zeros(points.shape[0], dtype=bool)
+        rng = ensure_rng(seed)
+        indices = np.arange(points.shape[0])
+        self._trees = [self._build(indices, rng) for _ in range(n_trees)]
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point array (read-only view)."""
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return int((~self._deleted).sum())
+
+    def _build(self, indices: np.ndarray, rng: np.random.Generator):
+        if indices.size <= self._leaf_size:
+            return indices
+        dims = self._points.shape[1]
+        # Split by the hyperplane between two random points (Annoy-style).
+        for _ in range(8):
+            pair = rng.choice(indices, size=2, replace=False)
+            a, b = self._points[pair[0]], self._points[pair[1]]
+            normal = a - b
+            norm = np.linalg.norm(normal)
+            if norm > 1e-12:
+                normal = normal / norm
+                break
+        else:
+            normal = rng.normal(size=dims)
+            normal /= np.linalg.norm(normal)
+        projections = self._points[indices] @ normal
+        offset = float(np.median(projections))
+        left_mask = projections <= offset
+        # Degenerate split: finish as a leaf.
+        if left_mask.all() or not left_mask.any():
+            return indices
+        return _SplitNode(
+            normal=normal,
+            offset=offset,
+            left=self._build(indices[left_mask], rng),
+            right=self._build(indices[~left_mask], rng),
+        )
+
+    def delete(self, index: int) -> None:
+        """Tombstone a point so queries skip it."""
+        if not 0 <= index < self._points.shape[0]:
+            raise OptimizationError(f"point index {index} out of range")
+        self._deleted[index] = True
+
+    def restore(self, index: int) -> None:
+        """Undo a deletion."""
+        if not 0 <= index < self._points.shape[0]:
+            raise OptimizationError(f"point index {index} out of range")
+        self._deleted[index] = False
+
+    def _descend(self, node, target: np.ndarray, pool: List[np.ndarray], budget: int) -> None:
+        while isinstance(node, _SplitNode):
+            side = target @ node.normal - node.offset
+            node = node.left if side <= 0 else node.right
+        pool.append(node)
+
+    def query(
+        self,
+        target: Sequence[float],
+        k: int = 1,
+        search_k: Optional[int] = None,
+        values: Optional[np.ndarray] = None,
+        min_value: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate (distances, indices) of the ``k`` nearest live points.
+
+        ``search_k`` bounds the candidate pool; larger values trade speed for
+        recall (default: ``k * n_trees * 2``). ``values``/``min_value``
+        restrict results to points whose value passes the threshold
+        (capacity-filtered search).
+        """
+        if k < 1:
+            raise OptimizationError("k must be >= 1")
+        target = np.asarray(target, dtype=float)
+        if target.shape != (self._points.shape[1],):
+            raise OptimizationError("query point has the wrong dimensionality")
+        budget = search_k if search_k is not None else max(k * len(self._trees) * 2, k)
+        pool: List[np.ndarray] = []
+        for tree in self._trees:
+            self._descend(tree, target, pool, budget)
+        candidates = np.unique(np.concatenate(pool)) if pool else np.array([], dtype=int)
+        candidates = candidates[~self._deleted[candidates]]
+        if values is not None and min_value is not None and candidates.size:
+            candidates = candidates[values[candidates] >= min_value]
+        if candidates.size == 0:
+            # All reached leaves were tombstoned or filtered; fall back to a
+            # linear scan over the qualifying live points.
+            mask = ~self._deleted
+            if values is not None and min_value is not None:
+                mask = mask & (values >= min_value)
+            candidates = np.nonzero(mask)[0]
+            if candidates.size == 0:
+                return np.array([]), np.array([], dtype=int)
+        distances = np.linalg.norm(self._points[candidates] - target, axis=1)
+        if candidates.size > budget:
+            keep = np.argpartition(distances, budget - 1)[:budget]
+            candidates, distances = candidates[keep], distances[keep]
+        order = np.argsort(distances, kind="stable")[:k]
+        return distances[order], candidates[order]

@@ -1,0 +1,173 @@
+"""An exact k-d tree for nearest-neighbour queries in the cost space.
+
+Phase III selects candidate nodes with a k-NN search around each operator's
+virtual coordinates; for small-to-medium topologies Nova uses an exact index
+(Section 3.4). This is a self-contained median-split k-d tree with a
+best-first (bounded priority queue) k-NN search; no SciPy dependency, so the
+index can also delete points cheaply (tombstones) during re-optimization.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import OptimizationError
+
+
+@dataclass
+class _KdNode:
+    axis: int
+    split: float
+    point_index: int
+    left: Optional["_KdNode"] = None
+    right: Optional["_KdNode"] = None
+
+
+class KdTree:
+    """Static k-d tree over an (n, d) point array with optional deletions."""
+
+    def __init__(self, points: np.ndarray, leaf_size: int = 16) -> None:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise OptimizationError("KdTree requires a non-empty (n, d) array")
+        if leaf_size < 1:
+            raise OptimizationError("leaf_size must be >= 1")
+        self._points = points
+        self._leaf_size = leaf_size
+        self._deleted = np.zeros(points.shape[0], dtype=bool)
+        indices = np.arange(points.shape[0])
+        self._root = self._build(indices, depth=0)
+        self._leaves: dict = {}
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point array (read-only view)."""
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return int((~self._deleted).sum())
+
+    def _build(self, indices: np.ndarray, depth: int):
+        if indices.size == 0:
+            return None
+        if indices.size <= self._leaf_size:
+            return indices
+        axis = depth % self._points.shape[1]
+        values = self._points[indices, axis]
+        order = np.argsort(values, kind="stable")
+        indices = indices[order]
+        mid = indices.size // 2
+        node = _KdNode(
+            axis=axis,
+            split=float(self._points[indices[mid], axis]),
+            point_index=int(indices[mid]),
+        )
+        node.left = self._build(indices[:mid], depth + 1)
+        node.right = self._build(indices[mid + 1 :], depth + 1)
+        return node
+
+    def delete(self, index: int) -> None:
+        """Tombstone a point so queries skip it (O(1))."""
+        if not 0 <= index < self._points.shape[0]:
+            raise OptimizationError(f"point index {index} out of range")
+        self._deleted[index] = True
+
+    def restore(self, index: int) -> None:
+        """Undo a deletion."""
+        if not 0 <= index < self._points.shape[0]:
+            raise OptimizationError(f"point index {index} out of range")
+        self._deleted[index] = False
+
+    def query(
+        self,
+        target: Sequence[float],
+        k: int = 1,
+        values: Optional[np.ndarray] = None,
+        min_value: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (distances, indices) of the ``k`` nearest live points.
+
+        When ``values`` and ``min_value`` are given, only points with
+        ``values[i] >= min_value`` qualify — the capacity-filtered search
+        Phase III uses to find the nearest nodes that can actually host a
+        sub-join, without ever widening k.
+        """
+        if k < 1:
+            raise OptimizationError("k must be >= 1")
+        target = np.asarray(target, dtype=float)
+        if target.shape != (self._points.shape[1],):
+            raise OptimizationError(
+                f"query point has dimension {target.shape}, expected ({self._points.shape[1]},)"
+            )
+        filtered = values is not None and min_value is not None
+        # Max-heap of (-distance, index) keeping the best k found so far.
+        best: List[Tuple[float, int]] = []
+
+        def consider(indices: np.ndarray) -> None:
+            live = indices[~self._deleted[indices]]
+            if filtered and live.size:
+                live = live[values[live] >= min_value]
+            if live.size == 0:
+                return
+            distances = np.linalg.norm(self._points[live] - target, axis=1)
+            for dist, idx in zip(distances, live):
+                if len(best) < k:
+                    heapq.heappush(best, (-float(dist), int(idx)))
+                elif dist < -best[0][0]:
+                    heapq.heapreplace(best, (-float(dist), int(idx)))
+
+        def visit(node) -> None:
+            if node is None:
+                return
+            if isinstance(node, np.ndarray):
+                consider(node)
+                return
+            if not self._deleted[node.point_index]:
+                consider(np.array([node.point_index]))
+            diff = target[node.axis] - node.split
+            near, far = (node.left, node.right) if diff <= 0 else (node.right, node.left)
+            visit(near)
+            worst = -best[0][0] if len(best) == k else float("inf")
+            if abs(diff) <= worst:
+                visit(far)
+
+        visit(self._root)
+        best.sort(key=lambda entry: -entry[0])
+        distances = np.array([-d for d, _ in best])
+        indices = np.array([i for _, i in best], dtype=int)
+        return distances, indices
+
+    def query_radius(self, target: Sequence[float], radius: float) -> np.ndarray:
+        """Indices of all live points within ``radius`` of ``target``."""
+        target = np.asarray(target, dtype=float)
+        result: List[int] = []
+
+        def consider(indices: np.ndarray) -> None:
+            live = indices[~self._deleted[indices]]
+            if live.size == 0:
+                return
+            distances = np.linalg.norm(self._points[live] - target, axis=1)
+            result.extend(int(i) for i in live[distances <= radius])
+
+        def visit(node) -> None:
+            if node is None:
+                return
+            if isinstance(node, np.ndarray):
+                consider(node)
+                return
+            if not self._deleted[node.point_index]:
+                consider(np.array([node.point_index]))
+            diff = target[node.axis] - node.split
+            near, far = (node.left, node.right) if diff <= 0 else (node.right, node.left)
+            visit(near)
+            if abs(diff) <= radius:
+                visit(far)
+
+        visit(self._root)
+        return np.array(sorted(result), dtype=int)

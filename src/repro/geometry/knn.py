@@ -1,0 +1,207 @@
+"""Neighbour-index facade used by candidate selection.
+
+Wraps the exact :class:`~repro.geometry.kdtree.KdTree` and the approximate
+:class:`~repro.geometry.annoy.AnnoyForest` behind one id-based interface and
+auto-selects the backend by topology size, as Phase III prescribes: exact
+search for small topologies, approximate for large ones.
+
+The index is incremental: nodes can be added (buffered and scanned linearly
+until a rebuild amortizes them into the tree) and removed (tombstoned),
+which is what makes Nova's re-optimization cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import OptimizationError, UnknownNodeError
+from repro.common.rng import SeedLike
+from repro.geometry.annoy import AnnoyForest
+from repro.geometry.kdtree import KdTree
+
+EXACT_BACKEND = "kdtree"
+APPROXIMATE_BACKEND = "annoy"
+DEFAULT_EXACT_LIMIT = 200_000
+
+
+class NeighborIndex:
+    """Id-based k-NN index over cost-space coordinates."""
+
+    def __init__(
+        self,
+        ids: Sequence[str],
+        points: np.ndarray,
+        backend: Optional[str] = None,
+        exact_limit: int = DEFAULT_EXACT_LIMIT,
+        rebuild_fraction: float = 0.25,
+        seed: SeedLike = 0,
+    ) -> None:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] != len(ids):
+            raise OptimizationError("points must be an (n, d) array matching ids")
+        if len(set(ids)) != len(ids):
+            raise OptimizationError("duplicate ids in neighbour index")
+        if backend is None:
+            backend = EXACT_BACKEND if len(ids) <= exact_limit else APPROXIMATE_BACKEND
+        if backend not in (EXACT_BACKEND, APPROXIMATE_BACKEND):
+            raise OptimizationError(f"unknown backend {backend!r}")
+        self._backend_name = backend
+        self._seed = seed
+        self._rebuild_fraction = float(rebuild_fraction)
+        self._ids: List[str] = list(ids)
+        self._positions: Dict[str, np.ndarray] = {
+            node_id: points[i] for i, node_id in enumerate(self._ids)
+        }
+        self._dims = points.shape[1]
+        self._index_of: Dict[str, int] = {node_id: i for i, node_id in enumerate(self._ids)}
+        self._extra: Dict[str, np.ndarray] = {}
+        self._removed: set = set()
+        self._tree = self._build_tree(points)
+        # Per-point scalar values (e.g. available capacity) enabling
+        # filtered nearest-neighbour queries. Defaults to +inf: unfiltered.
+        self._values: Dict[str, float] = {}
+        self._value_array = np.full(points.shape[0], np.inf)
+
+    def _build_tree(self, points: np.ndarray):
+        if self._backend_name == EXACT_BACKEND:
+            return KdTree(points)
+        return AnnoyForest(points, seed=self._seed)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Active backend name (``"kdtree"`` or ``"annoy"``)."""
+        return self._backend_name
+
+    def __len__(self) -> int:
+        return len(self._positions) - len(self._removed)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._positions and node_id not in self._removed
+
+    def position(self, node_id: str) -> np.ndarray:
+        """Coordinates of an indexed node."""
+        if node_id not in self._positions or node_id in self._removed:
+            raise UnknownNodeError(node_id)
+        return self._positions[node_id]
+
+    def add(self, node_id: str, point: Sequence[float]) -> None:
+        """Add (or re-add) a node; buffered until the next rebuild."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self._dims,):
+            raise OptimizationError(
+                f"point has shape {point.shape}, expected ({self._dims},)"
+            )
+        if node_id in self._removed:
+            self._removed.discard(node_id)
+            self._positions[node_id] = point
+            if node_id in self._index_of:
+                self._tree.restore(self._index_of[node_id])
+                # Coordinates may have drifted; track the fresh position in
+                # the linear buffer and tombstone the stale tree entry.
+                if not np.allclose(self._tree.points[self._index_of[node_id]], point):
+                    self._tree.delete(self._index_of[node_id])
+                    self._extra[node_id] = point
+            else:
+                self._extra[node_id] = point
+        elif node_id in self._positions:
+            raise OptimizationError(f"node {node_id!r} already indexed")
+        else:
+            self._positions[node_id] = point
+            self._extra[node_id] = point
+        if len(self._extra) > self._rebuild_fraction * max(len(self._positions), 1):
+            self.rebuild()
+
+    def remove(self, node_id: str) -> None:
+        """Tombstone a node so queries skip it."""
+        if node_id not in self._positions or node_id in self._removed:
+            raise UnknownNodeError(node_id)
+        self._removed.add(node_id)
+        if node_id in self._extra:
+            del self._extra[node_id]
+        elif node_id in self._index_of:
+            self._tree.delete(self._index_of[node_id])
+
+    def update(self, node_id: str, point: Sequence[float]) -> None:
+        """Move a node to new coordinates (remove + add)."""
+        self.remove(node_id)
+        self.add(node_id, point)
+
+    def set_value(self, node_id: str, value: float) -> None:
+        """Attach a scalar (e.g. available capacity) used by filtered queries."""
+        if node_id not in self._positions:
+            raise UnknownNodeError(node_id)
+        self._values[node_id] = float(value)
+        index = self._index_of.get(node_id)
+        if index is not None:
+            self._value_array[index] = float(value)
+
+    def value(self, node_id: str) -> float:
+        """The scalar attached to a node (+inf when never set)."""
+        return self._values.get(node_id, float("inf"))
+
+    def rebuild(self) -> None:
+        """Fold buffered additions and removals into a fresh tree."""
+        live = [nid for nid in self._positions if nid not in self._removed]
+        if not live:
+            raise OptimizationError("cannot rebuild an empty index")
+        points = np.vstack([self._positions[nid] for nid in live])
+        self._ids = live
+        self._index_of = {nid: i for i, nid in enumerate(live)}
+        self._positions = {nid: points[i] for i, nid in enumerate(live)}
+        self._extra = {}
+        self._removed = set()
+        self._tree = self._build_tree(points)
+        self._values = {nid: v for nid, v in self._values.items() if nid in self._index_of}
+        self._value_array = np.array(
+            [self._values.get(nid, np.inf) for nid in live], dtype=float
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        target: Sequence[float],
+        k: int,
+        exclude: Optional[set] = None,
+        min_value: Optional[float] = None,
+    ) -> List[Tuple[str, float]]:
+        """The ``k`` nearest live nodes to ``target`` as (id, distance) pairs.
+
+        ``min_value`` restricts results to nodes whose attached scalar is at
+        least the threshold (capacity-filtered search).
+        """
+        if k < 1:
+            raise OptimizationError("k must be >= 1")
+        exclude = exclude or set()
+        target = np.asarray(target, dtype=float)
+        # Over-fetch to survive exclusions and tombstones in the tree.
+        fetch = min(k + len(exclude) + len(self._extra), max(len(self), 1))
+        results: List[Tuple[str, float]] = []
+        if len(self._index_of) > 0 and fetch > 0:
+            kwargs = {}
+            if min_value is not None:
+                kwargs = {"values": self._value_array, "min_value": min_value}
+            if self._backend_name == APPROXIMATE_BACKEND:
+                kwargs["search_k"] = max(64, 8 * fetch)
+            distances, indices = self._tree.query(
+                target, k=min(fetch, len(self._tree)) or 1, **kwargs
+            )
+            for dist, idx in zip(distances, indices):
+                node_id = self._ids[int(idx)]
+                if node_id in exclude or node_id in self._removed or node_id in self._extra:
+                    continue
+                results.append((node_id, float(dist)))
+        for node_id, point in self._extra.items():
+            if node_id in exclude:
+                continue
+            if min_value is not None and self.value(node_id) < min_value:
+                continue
+            results.append((node_id, float(np.linalg.norm(point - target))))
+        results.sort(key=lambda pair: pair[1])
+        return results[:k]

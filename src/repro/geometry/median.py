@@ -1,0 +1,200 @@
+"""Geometric median solvers (the Fermat-Weber point).
+
+Phase II of Nova places each join replica at the point minimizing the sum
+of Euclidean distances to its pinned endpoints — the geometric median
+(Eq. 6). The objective is convex; we provide:
+
+* :func:`weiszfeld` — the classical iteratively-reweighted-average scheme
+  with the standard safeguard at anchor points, which converges fast in
+  practice;
+* :func:`gradient_descent_median` — plain (sub)gradient descent, the method
+  the paper cites, kept as an alternative and as an ablation subject;
+* :func:`minimax_point` — the min-max (smallest enclosing ball) alternative
+  objective discussed and rejected in Section 2.3, implemented for the
+  objective ablation.
+
+All solvers accept optional per-anchor weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import OptimizationError
+
+
+@dataclass(frozen=True)
+class MedianResult:
+    """Solution of a geometric-median problem."""
+
+    point: np.ndarray
+    objective: float
+    iterations: int
+    converged: bool
+
+
+def _prepare(points: np.ndarray, weights: Optional[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise OptimizationError("points must be a non-empty (n, d) array")
+    if weights is None:
+        weights = np.ones(points.shape[0])
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (points.shape[0],):
+            raise OptimizationError("weights must have one entry per point")
+        if np.any(weights < 0):
+            raise OptimizationError("weights must be non-negative")
+        if weights.sum() <= 0:
+            raise OptimizationError("at least one weight must be positive")
+    return points, weights
+
+
+def median_objective(point: np.ndarray, points: np.ndarray, weights: Optional[np.ndarray] = None) -> float:
+    """Weighted sum of distances from ``point`` to ``points``."""
+    points, weights = _prepare(points, weights)
+    distances = np.linalg.norm(points - np.asarray(point, dtype=float), axis=1)
+    return float((weights * distances).sum())
+
+
+def weiszfeld(
+    points: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+) -> MedianResult:
+    """Weiszfeld's algorithm with the anchor-point safeguard.
+
+    When an iterate coincides with an anchor, the plain update is undefined;
+    the safeguard (Vardi-Zhang style) checks the subgradient optimality
+    condition at the anchor and otherwise steps off it.
+    """
+    points, weights = _prepare(points, weights)
+    n, _ = points.shape
+    if n == 1:
+        return MedianResult(points[0].copy(), 0.0, 0, True)
+    current = np.average(points, axis=0, weights=weights)
+    for iteration in range(1, max_iterations + 1):
+        deltas = points - current
+        distances = np.linalg.norm(deltas, axis=1)
+        at_anchor = distances < 1e-12
+        if np.any(at_anchor):
+            anchor_index = int(np.nonzero(at_anchor)[0][0])
+            others = ~at_anchor
+            if not np.any(others):
+                return MedianResult(current, 0.0, iteration, True)
+            directions = deltas[others] / distances[others][:, None]
+            pull = (weights[others][:, None] * directions).sum(axis=0)
+            anchor_weight = weights[anchor_index]
+            pull_norm = float(np.linalg.norm(pull))
+            if pull_norm <= anchor_weight + 1e-12:
+                # The anchor satisfies the subgradient condition: optimal.
+                return MedianResult(
+                    current, median_objective(current, points, weights), iteration, True
+                )
+            step = (pull_norm - anchor_weight) / (weights[others] / distances[others]).sum()
+            current = current + step * pull / pull_norm
+            continue
+        inverse = weights / distances
+        updated = (inverse[:, None] * points).sum(axis=0) / inverse.sum()
+        shift = float(np.linalg.norm(updated - current))
+        current = updated
+        if shift < tolerance:
+            return _snap_to_better_anchor(current, points, weights, iteration, True)
+    return _snap_to_better_anchor(current, points, weights, max_iterations, False)
+
+
+def _snap_to_better_anchor(
+    current: np.ndarray, points: np.ndarray, weights: np.ndarray, iterations: int, converged: bool
+) -> MedianResult:
+    """Return the anchor if it beats the iterate.
+
+    Weiszfeld converges only sublinearly when the optimum coincides with an
+    anchor; comparing against the anchors at the end restores exactness in
+    that case at O(n) cost.
+    """
+    objective = median_objective(current, points, weights)
+    anchor_objectives = [median_objective(p, points, weights) for p in points]
+    best = int(np.argmin(anchor_objectives))
+    if anchor_objectives[best] < objective:
+        return MedianResult(points[best].copy(), anchor_objectives[best], iterations, True)
+    return MedianResult(current, objective, iterations, converged)
+
+
+def gradient_descent_median(
+    points: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    max_iterations: int = 500,
+    learning_rate: float = 0.5,
+    tolerance: float = 1e-9,
+) -> MedianResult:
+    """(Sub)gradient descent on the Fermat-Weber objective.
+
+    Slower than Weiszfeld but matches the paper's description of solving the
+    geometric median "iteratively using gradient descent". The step size
+    decays geometrically; anchors are smoothed with a tiny epsilon to keep
+    the gradient defined.
+    """
+    points, weights = _prepare(points, weights)
+    n, _ = points.shape
+    if n == 1:
+        return MedianResult(points[0].copy(), 0.0, 0, True)
+    current = np.average(points, axis=0, weights=weights)
+    scale = float(np.linalg.norm(points.max(axis=0) - points.min(axis=0))) or 1.0
+    step = learning_rate * scale / 10.0
+    epsilon = 1e-12
+    for iteration in range(1, max_iterations + 1):
+        deltas = current - points
+        distances = np.sqrt((deltas**2).sum(axis=1) + epsilon)
+        gradient = ((weights / distances)[:, None] * deltas).sum(axis=0)
+        gradient_norm = float(np.linalg.norm(gradient))
+        if gradient_norm < 1e-12:
+            return MedianResult(
+                current, median_objective(current, points, weights), iteration, True
+            )
+        updated = current - step * gradient / max(gradient_norm, 1e-12)
+        if median_objective(updated, points, weights) > median_objective(
+            current, points, weights
+        ):
+            step *= 0.5
+        else:
+            current = updated
+        if step < tolerance * scale:
+            return MedianResult(
+                current, median_objective(current, points, weights), iteration, True
+            )
+    return MedianResult(
+        current, median_objective(current, points, weights), max_iterations, False
+    )
+
+
+def minimax_point(
+    points: np.ndarray,
+    max_iterations: int = 500,
+    tolerance: float = 1e-9,
+) -> MedianResult:
+    """Center minimizing the *maximum* distance to the anchors.
+
+    This is the min-max relay-placement objective Section 2.3 argues
+    against; we keep it for the objective ablation. Solved with the simple
+    Badoiu-Clarkson iteration (move toward the farthest point with step
+    1/(k+1)), which converges to the smallest enclosing ball center.
+    """
+    points, _ = _prepare(points, None)
+    if points.shape[0] == 1:
+        return MedianResult(points[0].copy(), 0.0, 0, True)
+    current = points.mean(axis=0)
+    previous_radius = float("inf")
+    for iteration in range(1, max_iterations + 1):
+        distances = np.linalg.norm(points - current, axis=1)
+        farthest = int(np.argmax(distances))
+        radius = float(distances[farthest])
+        current = current + (points[farthest] - current) / (iteration + 1.0)
+        if abs(previous_radius - radius) < tolerance:
+            return MedianResult(current, radius, iteration, True)
+        previous_radius = radius
+    distances = np.linalg.norm(points - current, axis=1)
+    return MedianResult(current, float(distances.max()), max_iterations, False)

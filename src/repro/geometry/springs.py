@@ -1,0 +1,137 @@
+"""Spring-force relaxation for multi-operator plans.
+
+Section 3.6 generalizes Phase II to richer operator graphs: operators are
+bodies connected by springs whose rest length is zero and whose tension is
+the communication rate between the operators (Rizou et al., Pietzuch et
+al.). Pinned bodies (sources, sinks) stay fixed; free bodies settle at the
+equilibrium of the convex total-energy objective
+
+    E(X) = sum over springs (u, v) of w_uv * ||x_u - x_v||
+
+which coincides with the geometric median when a free body has only pinned
+neighbours — exactly the join-replica case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import OptimizationError
+
+
+@dataclass(frozen=True)
+class Spring:
+    """A weighted attraction between two bodies of the operator graph."""
+
+    u: str
+    v: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise OptimizationError("spring endpoints must differ")
+        if self.weight <= 0:
+            raise OptimizationError("spring weight must be positive")
+
+
+@dataclass
+class SpringSystem:
+    """A collection of pinned and free bodies connected by springs."""
+
+    dimensions: int = 2
+    pinned: Dict[str, np.ndarray] = field(default_factory=dict)
+    free: List[str] = field(default_factory=list)
+    springs: List[Spring] = field(default_factory=list)
+
+    def pin(self, body: str, position: Sequence[float]) -> None:
+        """Fix a body at the given cost-space position."""
+        position = np.asarray(position, dtype=float)
+        if position.shape != (self.dimensions,):
+            raise OptimizationError("pinned position has the wrong dimensionality")
+        if body in self.free:
+            raise OptimizationError(f"body {body!r} is already free")
+        self.pinned[body] = position
+
+    def add_free(self, body: str) -> None:
+        """Add a body whose position the relaxation will determine."""
+        if body in self.pinned:
+            raise OptimizationError(f"body {body!r} is already pinned")
+        if body in self.free:
+            raise OptimizationError(f"body {body!r} already added")
+        self.free.append(body)
+
+    def connect(self, u: str, v: str, weight: float = 1.0) -> None:
+        """Add a spring between two known bodies."""
+        for body in (u, v):
+            if body not in self.pinned and body not in self.free:
+                raise OptimizationError(f"unknown body {body!r}")
+        self.springs.append(Spring(u, v, weight))
+
+    def energy(self, positions: Dict[str, np.ndarray]) -> float:
+        """Total weighted spring length under the given free-body positions."""
+        total = 0.0
+        for spring in self.springs:
+            pu = self.pinned.get(spring.u, positions.get(spring.u))
+            pv = self.pinned.get(spring.v, positions.get(spring.v))
+            if pu is None or pv is None:
+                raise OptimizationError("missing position for a spring endpoint")
+            total += spring.weight * float(np.linalg.norm(pu - pv))
+        return total
+
+    def relax(
+        self,
+        max_iterations: int = 500,
+        tolerance: float = 1e-9,
+        initial: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Settle the free bodies with block-coordinate Weiszfeld updates.
+
+        Each pass updates every free body to the weighted geometric median
+        of its current neighbours; the convex energy decreases monotonically
+        until the largest per-body displacement drops below ``tolerance``.
+        """
+        if not self.free:
+            return {}
+        neighbours: Dict[str, List[Tuple[str, float]]] = {body: [] for body in self.free}
+        for spring in self.springs:
+            if spring.u in neighbours:
+                neighbours[spring.u].append((spring.v, spring.weight))
+            if spring.v in neighbours:
+                neighbours[spring.v].append((spring.u, spring.weight))
+        for body, attached in neighbours.items():
+            if not attached:
+                raise OptimizationError(f"free body {body!r} has no springs")
+
+        positions: Dict[str, np.ndarray] = {}
+        anchor_mean = (
+            np.mean(list(self.pinned.values()), axis=0)
+            if self.pinned
+            else np.zeros(self.dimensions)
+        )
+        for body in self.free:
+            if initial and body in initial:
+                positions[body] = np.asarray(initial[body], dtype=float).copy()
+            else:
+                positions[body] = anchor_mean.copy()
+
+        from repro.geometry.median import weiszfeld
+
+        for _ in range(max_iterations):
+            worst_shift = 0.0
+            for body in self.free:
+                points = []
+                weights = []
+                for other, weight in neighbours[body]:
+                    position = self.pinned.get(other, positions.get(other))
+                    points.append(position)
+                    weights.append(weight)
+                result = weiszfeld(np.vstack(points), np.asarray(weights), max_iterations=50)
+                shift = float(np.linalg.norm(result.point - positions[body]))
+                worst_shift = max(worst_shift, shift)
+                positions[body] = result.point
+            if worst_shift < tolerance:
+                break
+        return positions

@@ -1,0 +1,32 @@
+"""Network coordinate systems: Vivaldi, MDS, and accuracy evaluation."""
+
+from repro.ncs.accuracy import (
+    AccuracyReport,
+    embedding_accuracy,
+    mae_vs_neighbors,
+    predicted_matrix,
+)
+from repro.ncs.mds import MdsResult, classical_mds, smacof_mds, stress_value
+from repro.ncs.vivaldi import (
+    VivaldiConfig,
+    VivaldiEmbedding,
+    VivaldiResult,
+    neighbor_rtts,
+    sample_neighbor_sets,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "MdsResult",
+    "VivaldiConfig",
+    "VivaldiEmbedding",
+    "VivaldiResult",
+    "classical_mds",
+    "embedding_accuracy",
+    "mae_vs_neighbors",
+    "neighbor_rtts",
+    "predicted_matrix",
+    "sample_neighbor_sets",
+    "smacof_mds",
+    "stress_value",
+]

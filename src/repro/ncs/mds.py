@@ -1,0 +1,114 @@
+"""Multidimensional scaling for dense latency matrices.
+
+Section 3.2 formulates cost-space construction as MDS: find coordinates
+whose induced distance matrix approximates the latency matrix ``A`` in
+Frobenius norm (Eq. 5). For small topologies Nova can solve this densely;
+this module provides both classical (spectral) MDS and the iterative SMACOF
+majorization algorithm, which directly descends the Eq. 5 stress objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.common.errors import EmbeddingError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.topology.latency import DenseLatencyMatrix
+
+
+@dataclass
+class MdsResult:
+    """Embedding output of an MDS solver."""
+
+    ids: List[str]
+    coordinates: np.ndarray
+    stress: float
+
+    def coords_of(self, node_id: str) -> np.ndarray:
+        """Coordinates of a single node."""
+        return self.coordinates[self.ids.index(node_id)]
+
+
+def _distance_matrix(coords: np.ndarray) -> np.ndarray:
+    deltas = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=2))
+
+
+def stress_value(coords: np.ndarray, target: np.ndarray) -> float:
+    """Normalized Frobenius error between induced distances and ``target``."""
+    induced = _distance_matrix(coords)
+    denominator = np.linalg.norm(target)
+    if denominator == 0:
+        return 0.0
+    return float(np.linalg.norm(induced - target) / denominator)
+
+
+def classical_mds(latency: DenseLatencyMatrix, dimensions: int = 2) -> MdsResult:
+    """Classical (Torgerson) MDS via double centering and eigendecomposition.
+
+    Exact when the latency matrix is Euclidean-realizable; otherwise the
+    top-``dimensions`` eigenvectors give the best low-rank Gram approximation.
+    """
+    if dimensions < 1:
+        raise EmbeddingError("dimensions must be >= 1")
+    distances = latency.matrix
+    n = distances.shape[0]
+    if n == 0:
+        raise EmbeddingError("cannot embed an empty latency matrix")
+    squared = distances**2
+    centering = np.eye(n) - np.full((n, n), 1.0 / n)
+    gram = -0.5 * centering @ squared @ centering
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    order = np.argsort(eigenvalues)[::-1][:dimensions]
+    top_values = np.clip(eigenvalues[order], 0.0, None)
+    coords = eigenvectors[:, order] * np.sqrt(top_values)[None, :]
+    if coords.shape[1] < dimensions:
+        coords = np.pad(coords, ((0, 0), (0, dimensions - coords.shape[1])))
+    return MdsResult(ids=latency.ids, coordinates=coords, stress=stress_value(coords, distances))
+
+
+def smacof_mds(
+    latency: DenseLatencyMatrix,
+    dimensions: int = 2,
+    max_iterations: int = 200,
+    tolerance: float = 1e-6,
+    initial: Optional[np.ndarray] = None,
+    seed: SeedLike = 0,
+) -> MdsResult:
+    """SMACOF majorization for the raw stress objective of Eq. 5.
+
+    Each iteration applies the Guttman transform, which cannot increase the
+    stress; we stop on relative improvement below ``tolerance``.
+    """
+    if dimensions < 1:
+        raise EmbeddingError("dimensions must be >= 1")
+    target = latency.matrix
+    n = target.shape[0]
+    if n == 0:
+        raise EmbeddingError("cannot embed an empty latency matrix")
+    rng = ensure_rng(seed)
+    if initial is not None:
+        coords = np.array(initial, dtype=float)
+        if coords.shape != (n, dimensions):
+            raise EmbeddingError("initial coordinates have the wrong shape")
+    else:
+        coords = classical_mds(latency, dimensions).coordinates
+        coords = coords + rng.normal(0.0, 1e-6, size=coords.shape)
+    previous_stress = stress_value(coords, target)
+    for _ in range(max_iterations):
+        induced = _distance_matrix(coords)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(induced > 1e-12, target / induced, 0.0)
+        b_matrix = -ratio
+        np.fill_diagonal(b_matrix, 0.0)
+        np.fill_diagonal(b_matrix, -b_matrix.sum(axis=1))
+        coords = (b_matrix @ coords) / n
+        current_stress = stress_value(coords, target)
+        if previous_stress - current_stress < tolerance * max(previous_stress, 1e-12):
+            previous_stress = current_stress
+            break
+        previous_stress = current_stress
+    return MdsResult(ids=latency.ids, coordinates=coords, stress=previous_stress)

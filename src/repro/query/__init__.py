@@ -1,0 +1,22 @@
+"""Query model: operators, logical plans, join matrices, resolution."""
+
+from repro.query.expansion import (
+    JoinPairReplica,
+    ResolvedPlan,
+    replica_id_for,
+    resolve_operators,
+)
+from repro.query.join_matrix import JoinMatrix
+from repro.query.operators import Operator, OperatorKind
+from repro.query.plan import LogicalPlan
+
+__all__ = [
+    "JoinMatrix",
+    "JoinPairReplica",
+    "LogicalPlan",
+    "Operator",
+    "OperatorKind",
+    "ResolvedPlan",
+    "replica_id_for",
+    "resolve_operators",
+]

@@ -1,0 +1,134 @@
+"""Source expansion and pair-wise join replication (Phase II, steps 1-2).
+
+``resolve_operators`` (Algorithm 1, line 3) turns a logical plan into the
+intermediate parallelized plan: every logical source stream is expanded
+into its physical data-producing sources, and every join gets one replica
+per joinable pair in the join matrix ``M``. Each resulting
+:class:`JoinPairReplica` is independent — it connects only its two physical
+sources and the downstream sink — which is what makes Phase II decouple
+into per-replica geometric-median problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.common.errors import JoinMatrixError, PlanError
+from repro.query.join_matrix import JoinMatrix
+from repro.query.plan import LogicalPlan
+
+
+@dataclass(frozen=True)
+class JoinPairReplica:
+    """One sub-join of the parallelized plan: a (left, right) source pair.
+
+    ``required_capacity`` is the cost-model demand C_r = dr(left) +
+    dr(right) before any stream partitioning (Section 2.2).
+    """
+
+    replica_id: str
+    join_id: str
+    left_source: str
+    right_source: str
+    left_node: str
+    right_node: str
+    sink_id: str
+    sink_node: str
+    left_rate: float
+    right_rate: float
+
+    @property
+    def required_capacity(self) -> float:
+        """C_r of the un-partitioned sub-join (sum of input rates)."""
+        return self.left_rate + self.right_rate
+
+    @property
+    def pinned_nodes(self) -> Tuple[str, str, str]:
+        """The replica's pinned endpoints: left source, right source, sink."""
+        return (self.left_node, self.right_node, self.sink_node)
+
+
+@dataclass
+class ResolvedPlan:
+    """The intermediate parallelized logical plan Omega'_log."""
+
+    plan: LogicalPlan
+    replicas: List[JoinPairReplica]
+    matrix: JoinMatrix
+
+    def replicas_of_join(self, join_id: str) -> List[JoinPairReplica]:
+        """All pair replicas created for a logical join."""
+        return [r for r in self.replicas if r.join_id == join_id]
+
+    def replicas_of_source(self, source_id: str) -> List[JoinPairReplica]:
+        """All pair replicas fed by a physical source."""
+        return [
+            r
+            for r in self.replicas
+            if r.left_source == source_id or r.right_source == source_id
+        ]
+
+    def replica(self, replica_id: str) -> JoinPairReplica:
+        """Look up one replica by id."""
+        for candidate in self.replicas:
+            if candidate.replica_id == replica_id:
+                return candidate
+        raise PlanError(f"unknown replica {replica_id!r}")
+
+
+def replica_id_for(join_id: str, left_source: str, right_source: str) -> str:
+    """Deterministic id for the sub-join of a (left, right) pair."""
+    return f"{join_id}[{left_source}x{right_source}]"
+
+
+def resolve_operators(plan: LogicalPlan, matrix: JoinMatrix) -> ResolvedPlan:
+    """Expand sources and create one join replica per joinable pair.
+
+    The join matrix is keyed by physical source ids; its left side must be
+    sources of the join's left logical stream and symmetrically for the
+    right side. Raises when the matrix references unknown sources or leaves
+    a join without replicas.
+    """
+    plan.validate()
+    joins = plan.joins()
+    if not joins:
+        raise PlanError("plan contains no join to resolve")
+
+    source_by_id = {op.op_id: op for op in plan.sources()}
+    for source_id in matrix.left_ids + matrix.right_ids:
+        if source_id not in source_by_id:
+            raise JoinMatrixError(f"join matrix references unknown source {source_id!r}")
+
+    replicas: List[JoinPairReplica] = []
+    for join in joins:
+        left_stream, right_stream = join.inputs
+        left_members = {op.op_id for op in plan.sources_of_stream(left_stream)}
+        right_members = {op.op_id for op in plan.sources_of_stream(right_stream)}
+        if not left_members or not right_members:
+            raise PlanError(
+                f"join {join.op_id!r} has no physical sources for one of its streams"
+            )
+        sink = plan.sink_of_join(join.op_id)
+        for left_id, right_id in matrix.pairs():
+            if left_id not in left_members or right_id not in right_members:
+                continue
+            left_source = source_by_id[left_id]
+            right_source = source_by_id[right_id]
+            replicas.append(
+                JoinPairReplica(
+                    replica_id=replica_id_for(join.op_id, left_id, right_id),
+                    join_id=join.op_id,
+                    left_source=left_id,
+                    right_source=right_id,
+                    left_node=left_source.pinned_node,
+                    right_node=right_source.pinned_node,
+                    sink_id=sink.op_id,
+                    sink_node=sink.pinned_node,
+                    left_rate=left_source.data_rate,
+                    right_rate=right_source.data_rate,
+                )
+            )
+    if not replicas:
+        raise PlanError("join matrix produced no joinable pairs for any join")
+    return ResolvedPlan(plan=plan, replicas=replicas, matrix=matrix)

@@ -1,0 +1,167 @@
+"""The join matrix M.
+
+Section 2.1 represents permissible joins between physical stream partitions
+``S = {s_1..s_m}`` and ``T = {t_1..t_n}`` by a binary matrix ``M`` with
+``M[p, q] = 1`` iff ``s_p`` can join ``t_q``. For predefined conditions
+(e.g. region-identifier joins) the matrix is known a priori; when join
+validity is uncertain, the matrix starts dense and is refined at runtime.
+
+The implementation stores the sparse pair set keyed by source operator ids,
+supports runtime updates (add/remove sources, learn non-joinability), and
+region-based construction helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Set, Tuple
+
+from repro.common.errors import JoinMatrixError
+
+
+class JoinMatrix:
+    """Binary joinability relation between left and right physical sources."""
+
+    def __init__(
+        self,
+        left_ids: Iterable[str] = (),
+        right_ids: Iterable[str] = (),
+    ) -> None:
+        self._left: List[str] = []
+        self._right: List[str] = []
+        self._left_set: Set[str] = set()
+        self._right_set: Set[str] = set()
+        self._pairs: Set[Tuple[str, str]] = set()
+        for left_id in left_ids:
+            self.add_left(left_id)
+        for right_id in right_ids:
+            self.add_right(right_id)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def dense(cls, left_ids: Iterable[str], right_ids: Iterable[str]) -> "JoinMatrix":
+        """All-ones matrix: used when join validity is uncertain."""
+        matrix = cls(left_ids, right_ids)
+        for left_id in matrix._left:
+            for right_id in matrix._right:
+                matrix.allow(left_id, right_id)
+        return matrix
+
+    @classmethod
+    def from_regions(
+        cls,
+        left_regions: Mapping[str, str],
+        right_regions: Mapping[str, str],
+    ) -> "JoinMatrix":
+        """Pairs every left source with the right sources of the same region.
+
+        This is the environmental-monitoring pattern: joins on a region
+        identifier make ``M`` known beforehand.
+        """
+        matrix = cls(left_regions.keys(), right_regions.keys())
+        by_region: Dict[str, List[str]] = {}
+        for right_id, region in right_regions.items():
+            by_region.setdefault(region, []).append(right_id)
+        for left_id, region in left_regions.items():
+            for right_id in by_region.get(region, []):
+                matrix.allow(left_id, right_id)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_left(self, left_id: str) -> None:
+        """Register a left-stream physical source."""
+        if left_id in self._left_set:
+            raise JoinMatrixError(f"duplicate left source {left_id!r}")
+        if left_id in self._right_set:
+            raise JoinMatrixError(f"{left_id!r} is already a right source")
+        self._left.append(left_id)
+        self._left_set.add(left_id)
+
+    def add_right(self, right_id: str) -> None:
+        """Register a right-stream physical source."""
+        if right_id in self._right_set:
+            raise JoinMatrixError(f"duplicate right source {right_id!r}")
+        if right_id in self._left_set:
+            raise JoinMatrixError(f"{right_id!r} is already a left source")
+        self._right.append(right_id)
+        self._right_set.add(right_id)
+
+    def allow(self, left_id: str, right_id: str) -> None:
+        """Mark the pair (left, right) as joinable."""
+        if left_id not in self._left_set:
+            raise JoinMatrixError(f"unknown left source {left_id!r}")
+        if right_id not in self._right_set:
+            raise JoinMatrixError(f"unknown right source {right_id!r}")
+        self._pairs.add((left_id, right_id))
+
+    def forbid(self, left_id: str, right_id: str) -> None:
+        """Mark the pair as not joinable (runtime refinement of a dense M)."""
+        self._pairs.discard((left_id, right_id))
+
+    def remove_source(self, source_id: str) -> List[Tuple[str, str]]:
+        """Drop a source from either side; return the pairs that disappeared."""
+        removed = [pair for pair in self._pairs if source_id in pair]
+        self._pairs.difference_update(removed)
+        if source_id in self._left_set:
+            self._left_set.discard(source_id)
+            self._left.remove(source_id)
+        elif source_id in self._right_set:
+            self._right_set.discard(source_id)
+            self._right.remove(source_id)
+        else:
+            raise JoinMatrixError(f"unknown source {source_id!r}")
+        return removed
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def left_ids(self) -> List[str]:
+        """Left-side source ids in registration order."""
+        return list(self._left)
+
+    @property
+    def right_ids(self) -> List[str]:
+        """Right-side source ids in registration order."""
+        return list(self._right)
+
+    def joinable(self, left_id: str, right_id: str) -> bool:
+        """Whether the pair is currently marked joinable."""
+        return (left_id, right_id) in self._pairs
+
+    def pairs(self) -> Iterator[Tuple[str, str]]:
+        """All joinable pairs in deterministic (row-major) order."""
+        right_rank = {right_id: i for i, right_id in enumerate(self._right)}
+        by_left: Dict[str, List[str]] = {}
+        for left_id, right_id in self._pairs:
+            by_left.setdefault(left_id, []).append(right_id)
+        for left_id in self._left:
+            row = by_left.get(left_id)
+            if not row:
+                continue
+            for right_id in sorted(row, key=right_rank.__getitem__):
+                yield (left_id, right_id)
+
+    def pairs_of(self, source_id: str) -> List[Tuple[str, str]]:
+        """All joinable pairs involving the given source."""
+        return [pair for pair in self.pairs() if source_id in pair]
+
+    def num_pairs(self) -> int:
+        """Number of joinable pairs (join replicas Phase II will create)."""
+        return len(self._pairs)
+
+    def density(self) -> float:
+        """Fraction of possible pairs marked joinable."""
+        total = len(self._left) * len(self._right)
+        if total == 0:
+            return 0.0
+        return len(self._pairs) / total
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)

@@ -1,0 +1,96 @@
+"""Operators and streams of the logical plan.
+
+Follows the stream model of Section 2.1: an operator is a tuple
+``(id, r, rho, L_in, L_out)`` — identifier, replica number, total replica
+count, incoming streams, outgoing streams. Sources produce exactly one
+stream and are pinned to data-producing nodes; sinks consume streams and
+are pinned to their delivery node; joins are free and subject to placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.common.errors import PlanError
+from repro.common.units import check_non_negative
+
+
+class OperatorKind(str, Enum):
+    """Functional category of an operator."""
+
+    SOURCE = "source"
+    JOIN = "join"
+    SINK = "sink"
+    FILTER = "filter"
+    AGGREGATE = "aggregate"
+
+
+@dataclass
+class Operator:
+    """A logical operator with named input and output streams.
+
+    ``replica`` (the paper's ``r``) and ``total_replicas`` (``rho``) default
+    to the logical plan convention of one instance per operator; the resolve
+    step produces multi-replica physical descriptors separately.
+    """
+
+    op_id: str
+    kind: OperatorKind
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    pinned_node: Optional[str] = None
+    data_rate: float = 0.0
+    logical_stream: Optional[str] = None
+    replica: int = 1
+    total_replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.op_id:
+            raise PlanError("op_id must be a non-empty string")
+        if not isinstance(self.kind, OperatorKind):
+            self.kind = OperatorKind(self.kind)
+        self.data_rate = check_non_negative("data_rate", self.data_rate)
+        if self.kind == OperatorKind.SOURCE:
+            if self.inputs:
+                raise PlanError(f"source {self.op_id!r} must not have inputs")
+            if len(self.outputs) != 1:
+                raise PlanError(f"source {self.op_id!r} must have exactly one output stream")
+            if self.pinned_node is None:
+                raise PlanError(f"source {self.op_id!r} must be pinned to a node")
+        if self.kind == OperatorKind.SINK:
+            if self.outputs:
+                raise PlanError(f"sink {self.op_id!r} must not have outputs")
+            if not self.inputs:
+                raise PlanError(f"sink {self.op_id!r} must have at least one input stream")
+            if self.pinned_node is None:
+                raise PlanError(f"sink {self.op_id!r} must be pinned to a node")
+        if self.kind == OperatorKind.JOIN and len(self.inputs) != 2:
+            raise PlanError(f"join {self.op_id!r} must have exactly two input streams")
+
+    @property
+    def is_pinned(self) -> bool:
+        """Whether placement of this operator is fixed (sources and sinks)."""
+        return self.pinned_node is not None
+
+    @property
+    def is_source(self) -> bool:
+        """Whether this operator only produces streams."""
+        return self.kind == OperatorKind.SOURCE
+
+    @property
+    def is_sink(self) -> bool:
+        """Whether this operator only consumes streams."""
+        return self.kind == OperatorKind.SINK
+
+    @property
+    def is_join(self) -> bool:
+        """Whether this operator is a two-way stream join."""
+        return self.kind == OperatorKind.JOIN
+
+    def instance_id(self) -> str:
+        """Unique identifier of this operator instance (id plus replica)."""
+        if self.total_replicas == 1:
+            return self.op_id
+        return f"{self.op_id}#{self.replica}"

@@ -1,0 +1,42 @@
+"""Discrete-event SPE simulator: the end-to-end testbed substitute."""
+
+from repro.spe.deployment import (
+    Deployment,
+    SimulationConfig,
+    parse_partition_indices,
+)
+from repro.spe.events import EventQueue
+from repro.spe.metrics import SimulationReport
+from repro.spe.network import Network
+from repro.spe.nodes import ProcessingNode
+from repro.spe.operators import (
+    LEFT,
+    RIGHT,
+    PartitionRoute,
+    RuntimeJoin,
+    RuntimeSink,
+    RuntimeSource,
+)
+from repro.spe.stress import DEFAULT_STRESS_FACTOR, stress_nodes, stress_sources
+from repro.spe.tuples import JoinResult, SimTuple
+
+__all__ = [
+    "DEFAULT_STRESS_FACTOR",
+    "Deployment",
+    "EventQueue",
+    "JoinResult",
+    "LEFT",
+    "Network",
+    "PartitionRoute",
+    "ProcessingNode",
+    "RIGHT",
+    "RuntimeJoin",
+    "RuntimeSink",
+    "RuntimeSource",
+    "SimTuple",
+    "SimulationConfig",
+    "SimulationReport",
+    "parse_partition_indices",
+    "stress_nodes",
+    "stress_sources",
+]

@@ -1,0 +1,238 @@
+"""Deploying a placement onto the simulator.
+
+Translates a :class:`~repro.core.placement.Placement` into runtime objects:
+one :class:`ProcessingNode` per topology node (with optional stress factors
+reducing capacity, emulating the ``stress``-loaded source nodes of the
+testbed), one :class:`RuntimeJoin` per placed sub-replica, one
+:class:`RuntimeSource` per physical source with partition-aware routing,
+and one :class:`RuntimeSink` per sink.
+
+Sub-replica ids follow the ``"<replica>/<i>x<j>"`` convention established
+by the optimizer; the partition indices parsed from them reconstruct each
+replica's routing table (left partition ``i`` broadcasts to every sub
+``(i, *)``, right partition ``j`` to every sub ``(*, j)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.common.rng import SeedLike, ensure_rng, spawn_rng
+from repro.core.placement import Placement, SubReplicaPlacement
+from repro.evaluation.latency import DistanceFn
+from repro.query.plan import LogicalPlan
+from repro.spe.events import EventQueue
+from repro.spe.network import Network
+from repro.spe.nodes import ProcessingNode
+from repro.spe.operators import LEFT, RIGHT, PartitionRoute, RuntimeJoin, RuntimeSink, RuntimeSource
+from repro.topology.model import Topology
+
+MIN_STRESSED_CAPACITY = 0.1
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of a simulated deployment run."""
+
+    window_s: float = 0.1
+    duration_s: float = 10.0
+    allowed_lateness_s: float = 2.0
+    stress_factors: Dict[str, float] = field(default_factory=dict)
+    egress_bandwidth: Optional[Mapping[str, float]] = None
+    capacity_scale: float = 1.0
+    seed: int = 0
+    max_events: Optional[int] = 20_000_000
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise SimulationError("window_s must be positive")
+        if self.duration_s <= 0:
+            raise SimulationError("duration_s must be positive")
+        if self.allowed_lateness_s < 0:
+            raise SimulationError("allowed_lateness_s must be non-negative")
+        for node_id, factor in self.stress_factors.items():
+            if not 0.0 < factor <= 1.0:
+                raise SimulationError(
+                    f"stress factor for {node_id!r} must lie in (0, 1], got {factor!r}"
+                )
+        if self.capacity_scale <= 0:
+            raise SimulationError("capacity_scale must be positive")
+
+
+def parse_partition_indices(sub_id: str) -> Tuple[int, int]:
+    """Recover (left index, right index) from a sub-replica id."""
+    try:
+        suffix = sub_id.rsplit("/", 1)[1]
+        left_text, right_text = suffix.split("x")
+        return int(left_text), int(right_text)
+    except (IndexError, ValueError):
+        raise SimulationError(f"malformed sub-replica id {sub_id!r}") from None
+
+
+class Deployment:
+    """A fully wired simulation ready to run."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        plan: LogicalPlan,
+        placement: Placement,
+        distance_ms: DistanceFn,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.events = EventQueue()
+        self.network = Network(
+            self.events, distance_ms, egress_bandwidth=self.config.egress_bandwidth
+        )
+        self.nodes: Dict[str, ProcessingNode] = {}
+        for node in topology.nodes():
+            capacity = node.capacity * self.config.capacity_scale
+            factor = self.config.stress_factors.get(node.node_id, 1.0)
+            capacity = max(capacity * factor, MIN_STRESSED_CAPACITY)
+            self.nodes[node.node_id] = ProcessingNode(node.node_id, capacity, self.events)
+
+        self.sinks: Dict[str, RuntimeSink] = {}
+        for sink_op in plan.sinks():
+            node = self._node(sink_op.pinned_node)
+            self.sinks[sink_op.op_id] = RuntimeSink(sink_op.op_id, node, self.events)
+
+        rng = ensure_rng(self.config.seed)
+        # Merged execution: one RuntimeJoin per (replica, node), owning all
+        # partition-grid cells placed there.
+        self.joins: Dict[Tuple[str, str], RuntimeJoin] = {}
+        subs_by_replica: Dict[str, List[SubReplicaPlacement]] = {}
+        sink_of_join: Dict[str, RuntimeSink] = {}
+        for join_op in plan.joins():
+            sink_op = plan.sink_of_join(join_op.op_id)
+            sink_of_join[join_op.op_id] = self.sinks[sink_op.op_id]
+        grace_windows = max(
+            1, int(np.ceil(self.config.allowed_lateness_s / self.config.window_s))
+        )
+        for sub in placement.sub_replicas:
+            sink_runtime = sink_of_join[sub.join_id]
+            instance_key = (sub.replica_id, sub.node_id)
+            join = self.joins.get(instance_key)
+            if join is None:
+                join = RuntimeJoin(
+                    sub_id=f"{sub.replica_id}@{sub.node_id}",
+                    node=self._node(sub.node_id),
+                    network=self.network,
+                    events=self.events,
+                    window_s=self.config.window_s,
+                    sink_node=sink_runtime.node.node_id,
+                    deliver_result=sink_runtime.on_result,
+                    window_grace=grace_windows,
+                )
+                self.joins[instance_key] = join
+            i, j = parse_partition_indices(sub.sub_id)
+            join.own_cell(i, j)
+            subs_by_replica.setdefault(sub.replica_id, []).append(sub)
+
+        self.sources: Dict[str, RuntimeSource] = {}
+        for source_op in plan.sources():
+            node = topology.node(source_op.pinned_node)
+            key = node.region or source_op.logical_stream or source_op.op_id
+            self.sources[source_op.op_id] = RuntimeSource(
+                source_id=source_op.op_id,
+                node=self._node(source_op.pinned_node),
+                network=self.network,
+                events=self.events,
+                rate_hz=source_op.data_rate,
+                key=key,
+                stream=source_op.logical_stream or source_op.op_id,
+                rng=spawn_rng(rng),
+                phase_s=float(rng.uniform(0.0, 1.0 / max(source_op.data_rate, 1e-9))),
+            )
+
+        self._wire_routes(subs_by_replica)
+
+    def _node(self, node_id: str) -> ProcessingNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"placement references unknown node {node_id!r}") from None
+
+    def _wire_routes(self, subs_by_replica: Mapping[str, List[SubReplicaPlacement]]) -> None:
+        for replica_id, subs in subs_by_replica.items():
+            left_rates: Dict[int, float] = {}
+            right_rates: Dict[int, float] = {}
+            # Per partition index: distinct hosting nodes (merged delivery —
+            # one copy per node even when several cells share it).
+            left_targets: Dict[int, Dict[str, RuntimeJoin]] = {}
+            right_targets: Dict[int, Dict[str, RuntimeJoin]] = {}
+            for sub in subs:
+                i, j = parse_partition_indices(sub.sub_id)
+                left_rates[i] = sub.left_rate
+                right_rates[j] = sub.right_rate
+                runtime = self.joins[(sub.replica_id, sub.node_id)]
+                left_targets.setdefault(i, {})[sub.node_id] = runtime
+                right_targets.setdefault(j, {})[sub.node_id] = runtime
+            example = subs[0]
+            left_source = self.sources.get(example.left_source)
+            right_source = self.sources.get(example.right_source)
+            if left_source is None or right_source is None:
+                raise SimulationError(
+                    f"replica {replica_id!r} references sources missing from the plan"
+                )
+            left_indices = sorted(left_targets)
+            right_indices = sorted(right_targets)
+            left_source.routes.append(
+                PartitionRoute(
+                    side=LEFT,
+                    indices=left_indices,
+                    weights=np.array(
+                        [max(left_rates[i], 1e-9) for i in left_indices], dtype=float
+                    ),
+                    targets=[list(left_targets[i].items()) for i in left_indices],
+                )
+            )
+            right_source.routes.append(
+                PartitionRoute(
+                    side=RIGHT,
+                    indices=right_indices,
+                    weights=np.array(
+                        [max(right_rates[j], 1e-9) for j in right_indices], dtype=float
+                    ),
+                    targets=[list(right_targets[j].items()) for j in right_indices],
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, duration_s: Optional[float] = None):
+        """Run the deployment and return a :class:`SimulationReport`."""
+        from repro.evaluation.latency import LatencyStats
+        from repro.spe.metrics import SimulationReport
+
+        duration = duration_s if duration_s is not None else self.config.duration_s
+        for source in self.sources.values():
+            source.start(until=duration)
+        self.events.run(until=duration, max_events=self.config.max_events)
+
+        latencies: List[float] = []
+        arrivals: List[float] = []
+        for sink in self.sinks.values():
+            latencies.extend(sink.latencies_ms)
+            arrivals.extend(sink.arrival_times)
+        latencies_array = np.asarray(latencies, dtype=float)
+        arrivals_array = np.asarray(arrivals, dtype=float)
+        return SimulationReport(
+            duration_s=duration,
+            results_delivered=int(latencies_array.size),
+            tuples_emitted=sum(s.emitted for s in self.sources.values()),
+            network_transfers=self.network.transfers,
+            latency=LatencyStats.from_values(latencies_array),
+            latencies_ms=latencies_array,
+            arrival_times_s=arrivals_array,
+            node_processed={nid: node.processed for nid, node in self.nodes.items()},
+            node_backlog_s={
+                nid: node.queue_depth_s() for nid, node in self.nodes.items()
+            },
+            results_dropped_late=sum(j.tuples_dropped_late for j in self.joins.values()),
+        )

@@ -1,0 +1,73 @@
+"""Discrete-event core of the SPE simulator.
+
+A classic calendar queue over ``heapq``: events are (time, sequence,
+action) entries; the sequence number breaks ties deterministically so runs
+are reproducible. Actions are zero-argument callables that may schedule
+further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+Action = Callable[[], None]
+
+
+class EventQueue:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, action: Action) -> None:
+        """Schedule ``action`` at absolute simulation time ``time``."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule into the past ({time:.6f} < now {self._now:.6f})"
+            )
+        heapq.heappush(self._heap, (time, next(self._sequence), action))
+
+    def schedule_in(self, delay: float, action: Action) -> None:
+        """Schedule ``action`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        self.schedule(self._now + delay, action)
+
+    def run(self, until: float, max_events: Optional[int] = None) -> int:
+        """Execute events up to time ``until``; return how many ran.
+
+        ``max_events`` is a safety valve against runaway feedback loops.
+        """
+        executed = 0
+        while self._heap and self._heap[0][0] <= until:
+            time, _, action = heapq.heappop(self._heap)
+            self._now = time
+            action()
+            executed += 1
+            self._processed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded the event budget of {max_events} before t={until}"
+                )
+        self._now = max(self._now, until)
+        return executed

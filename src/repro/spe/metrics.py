@@ -1,0 +1,53 @@
+"""Measurement output of a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.evaluation.latency import LatencyStats
+
+
+@dataclass
+class SimulationReport:
+    """End-to-end metrics of one simulated deployment."""
+
+    duration_s: float
+    results_delivered: int
+    tuples_emitted: int
+    network_transfers: int
+    latency: LatencyStats
+    latencies_ms: np.ndarray
+    arrival_times_s: np.ndarray
+    node_processed: Dict[str, int]
+    node_backlog_s: Dict[str, float]
+    results_dropped_late: int = 0
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Delivered results per second of simulated time."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.results_delivered / self.duration_s
+
+    def latency_trend(self, buckets: int = 20) -> List[Tuple[float, float]]:
+        """(arrival time, mean latency) per time bucket — the Figure 11 curve."""
+        if self.arrival_times_s.size == 0:
+            return []
+        edges = np.linspace(0.0, self.duration_s, buckets + 1)
+        trend: List[Tuple[float, float]] = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            mask = (self.arrival_times_s >= lo) & (self.arrival_times_s < hi)
+            if mask.any():
+                trend.append((float(hi), float(self.latencies_ms[mask].mean())))
+        return trend
+
+    def cumulative_delivery(self, buckets: int = 20) -> List[Tuple[float, int]]:
+        """(time, results delivered so far) — throughput accumulation."""
+        if self.arrival_times_s.size == 0:
+            return []
+        edges = np.linspace(0.0, self.duration_s, buckets + 1)[1:]
+        ordered = np.sort(self.arrival_times_s)
+        return [(float(edge), int(np.searchsorted(ordered, edge))) for edge in edges]

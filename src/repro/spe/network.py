@@ -1,0 +1,66 @@
+"""Network transport of the SPE simulator.
+
+Transfers between nodes incur the path latency from a distance function
+(the topology's latency matrix, i.e. the ``tc``-injected delays of the
+physical testbed) plus, when a finite egress bandwidth is configured,
+queueing at the sender: each node's egress is a FIFO server transmitting
+at ``bandwidth`` tuples per second, so saturated uplinks delay and
+eventually dominate delivery — the congestion behaviour bandwidth-aware
+partitioning is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.common.units import ms_to_seconds
+from repro.spe.events import EventQueue
+
+DistanceFn = Callable[[str, str], float]
+Deliver = Callable[[object], None]
+
+
+class Network:
+    """Latency- and bandwidth-aware point-to-point transport."""
+
+    def __init__(
+        self,
+        events: EventQueue,
+        distance_ms: DistanceFn,
+        egress_bandwidth: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self._events = events
+        self._distance_ms = distance_ms
+        self._egress_bandwidth = dict(egress_bandwidth or {})
+        self._egress_busy_until: Dict[str, float] = {}
+        self._transfers = 0
+
+    @property
+    def transfers(self) -> int:
+        """Total number of tuple transfers sent."""
+        return self._transfers
+
+    def latency_s(self, u: str, v: str) -> float:
+        """Path latency between two nodes in seconds."""
+        if u == v:
+            return 0.0
+        return ms_to_seconds(self._distance_ms(u, v))
+
+    def send(self, sender: str, receiver: str, payload: object, deliver: Deliver) -> None:
+        """Ship ``payload`` from ``sender`` to ``receiver``; calls ``deliver``.
+
+        Local handoffs (sender == receiver) are immediate.
+        """
+        self._transfers += 1
+        now = self._events.now
+        if sender == receiver:
+            deliver(payload)
+            return
+        departure = now
+        bandwidth = self._egress_bandwidth.get(sender)
+        if bandwidth is not None and bandwidth > 0:
+            busy = self._egress_busy_until.get(sender, now)
+            departure = max(now, busy) + 1.0 / bandwidth
+            self._egress_busy_until[sender] = departure
+        arrival = departure + self.latency_s(sender, receiver)
+        self._events.schedule(arrival, lambda: deliver(payload))

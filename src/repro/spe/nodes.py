@@ -1,0 +1,51 @@
+"""Compute nodes of the SPE simulator.
+
+A node is a FIFO server with a processing capacity in tuples per second:
+every tuple handled by an operator hosted on the node occupies the server
+for ``1 / capacity`` seconds. When arrivals outpace capacity the virtual
+queue grows and completion times slide — the backpressure and latency
+blow-up that overloaded placements exhibit on the physical testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import SimulationError
+from repro.spe.events import EventQueue
+
+
+class ProcessingNode:
+    """A single simulated compute node."""
+
+    def __init__(self, node_id: str, capacity: float, events: EventQueue) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"node {node_id!r} needs positive capacity")
+        self.node_id = node_id
+        self.capacity = float(capacity)
+        self._events = events
+        self._busy_until = 0.0
+        self.processed = 0
+
+    @property
+    def service_time(self) -> float:
+        """Seconds of node time one tuple consumes."""
+        return 1.0 / self.capacity
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the node's current backlog drains."""
+        return self._busy_until
+
+    def queue_depth_s(self) -> float:
+        """Current backlog expressed in seconds of work."""
+        return max(0.0, self._busy_until - self._events.now)
+
+    def process(self, work: Callable[[], None]) -> None:
+        """Enqueue one tuple's worth of processing; run ``work`` when served."""
+        now = self._events.now
+        start = max(now, self._busy_until)
+        finish = start + self.service_time
+        self._busy_until = finish
+        self.processed += 1
+        self._events.schedule(finish, work)

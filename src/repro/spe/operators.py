@@ -1,0 +1,244 @@
+"""Runtime operators of the SPE simulator: sources, windowed joins, sinks.
+
+The join is a symmetric hash join over tumbling windows: each arriving
+tuple is buffered under its (window, key) and immediately matched against
+the opposite side's buffer, so results stream out without waiting for
+window close; buffers of expired windows are purged. Tuple-level validity
+(key equality) is checked here even though the join matrix already paired
+the sources — mirroring the paper's note that M only scopes *which*
+partitions can join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.common.units import seconds_to_ms
+from repro.spe.events import EventQueue
+from repro.spe.network import Network
+from repro.spe.nodes import ProcessingNode
+from repro.spe.tuples import JoinResult, SimTuple
+
+LEFT = "left"
+RIGHT = "right"
+
+
+class RuntimeSink:
+    """Terminal operator: records result arrivals and their latency.
+
+    Recording a delivery is measurement, not computation, so it does not
+    consume node capacity — the sink node's capacity only matters for join
+    operators placed on it (as in the sink-based baseline).
+    """
+
+    def __init__(self, sink_id: str, node: ProcessingNode, events: EventQueue) -> None:
+        self.sink_id = sink_id
+        self.node = node
+        self._events = events
+        self.latencies_ms: List[float] = []
+        self.arrival_times: List[float] = []
+
+    def on_result(self, result: JoinResult) -> None:
+        """Receive a join result over the network and record its latency."""
+        now = self._events.now
+        self.latencies_ms.append(seconds_to_ms(now - result.created_at))
+        self.arrival_times.append(now)
+
+    @property
+    def delivered(self) -> int:
+        """Number of results fully processed at the sink."""
+        return len(self.latencies_ms)
+
+
+class RuntimeJoin:
+    """A merged join instance: all sub-joins of one pair replica on one node.
+
+    Owns a set of partition-grid cells (i, j). A left tuple of partition
+    ``i`` is delivered to the node once and matched against the right
+    partitions ``j`` with (i, j) owned here — never against other right
+    partitions, which keeps every (left tuple, right tuple) combination
+    produced exactly once across the grid.
+    """
+
+    def __init__(
+        self,
+        sub_id: str,
+        node: ProcessingNode,
+        network: Network,
+        events: EventQueue,
+        window_s: float,
+        sink_node: str,
+        deliver_result: Callable[[JoinResult], None],
+        window_grace: int = 1,
+    ) -> None:
+        if window_s <= 0:
+            raise SimulationError("window_s must be positive")
+        self.sub_id = sub_id
+        self.node = node
+        self._network = network
+        self._events = events
+        self._window_s = window_s
+        self._sink_node = sink_node
+        self._deliver_result = deliver_result
+        self._window_grace = max(0, int(window_grace))
+        self._cells: set = set()
+        self._left_partners: Dict[int, List[int]] = {}
+        self._right_partners: Dict[int, List[int]] = {}
+        # window -> key -> (side, partition index) -> tuples
+        self._buffers: Dict[int, Dict[str, Dict[Tuple[str, int], List[SimTuple]]]] = {}
+        self.results_emitted = 0
+        self.tuples_dropped_late = 0
+
+    def own_cell(self, left_index: int, right_index: int) -> None:
+        """Register responsibility for partition-grid cell (i, j)."""
+        if (left_index, right_index) in self._cells:
+            raise SimulationError(
+                f"cell ({left_index}, {right_index}) already owned by {self.sub_id!r}"
+            )
+        self._cells.add((left_index, right_index))
+        self._left_partners.setdefault(left_index, []).append(right_index)
+        self._right_partners.setdefault(right_index, []).append(left_index)
+
+    @property
+    def cells(self) -> set:
+        """The owned partition-grid cells."""
+        return set(self._cells)
+
+    def handles(self, side: str, index: int) -> bool:
+        """Whether this instance needs deliveries of the given partition."""
+        partners = self._left_partners if side == LEFT else self._right_partners
+        return index in partners
+
+    def on_tuple(self, side: str, index: int, arrived: SimTuple) -> None:
+        """Receive one partition tuple over the network; join once processed."""
+
+        def work() -> None:
+            self._join(side, index, arrived)
+
+        self.node.process(work)
+
+    def _join(self, side: str, index: int, arrived: SimTuple) -> None:
+        window = arrived.window_index(self._window_s)
+        current = int(self._events.now // self._window_s)
+        horizon = current - self._window_grace
+        # Purge expired windows; drop tuples arriving after the grace period.
+        for stale in [w for w in self._buffers if w < horizon]:
+            del self._buffers[stale]
+        if window < horizon:
+            self.tuples_dropped_late += 1
+            return
+        per_key = self._buffers.setdefault(window, {}).setdefault(arrived.key, {})
+        per_key.setdefault((side, index), []).append(arrived)
+        if side == LEFT:
+            partners = self._left_partners.get(index, [])
+            opposite = RIGHT
+        elif side == RIGHT:
+            partners = self._right_partners.get(index, [])
+            opposite = LEFT
+        else:  # pragma: no cover - internal misuse
+            raise SimulationError(f"unknown join side {side!r}")
+        for partner_index in partners:
+            for other in per_key.get((opposite, partner_index), []):
+                if other.key != arrived.key:
+                    continue
+                left, right = (arrived, other) if side == LEFT else (other, arrived)
+                result = JoinResult.of(left, right, window)
+                self.results_emitted += 1
+                self._network.send(
+                    self.node.node_id, self._sink_node, result, self._deliver_result
+                )
+
+
+@dataclass
+class PartitionRoute:
+    """Fan-out table of one source into one join pair replica.
+
+    A tuple is assigned to a partition index with probability proportional
+    to the partition rates, then delivered once to every *node* hosting a
+    grid cell of that index (merged instances receive one copy).
+    """
+
+    side: str
+    indices: List[int]
+    weights: np.ndarray
+    targets: List[List[Tuple[str, "RuntimeJoin"]]]  # per slot: (host node, join)
+
+    def __post_init__(self) -> None:
+        if not (len(self.targets) == len(self.weights) == len(self.indices)):
+            raise SimulationError("route indices, weights, and targets must align")
+        total = float(self.weights.sum())
+        if total <= 0:
+            raise SimulationError("route weights must sum to a positive value")
+        self.weights = self.weights / total
+
+
+class RuntimeSource:
+    """A sensor: emits tuples at a fixed rate and routes them to sub-joins."""
+
+    def __init__(
+        self,
+        source_id: str,
+        node: ProcessingNode,
+        network: Network,
+        events: EventQueue,
+        rate_hz: float,
+        key: str,
+        stream: str,
+        rng: np.random.Generator,
+        phase_s: float = 0.0,
+    ) -> None:
+        if rate_hz <= 0:
+            raise SimulationError(f"source {source_id!r} needs a positive rate")
+        self.source_id = source_id
+        self.node = node
+        self._network = network
+        self._events = events
+        self.rate_hz = float(rate_hz)
+        self.key = key
+        self.stream = stream
+        self._rng = rng
+        self._phase_s = phase_s
+        self.routes: List[PartitionRoute] = []
+        self.emitted = 0
+
+    def start(self, until: float) -> None:
+        """Schedule the first emission; subsequent ones self-schedule."""
+        self._events.schedule(self._phase_s, lambda: self._emit(until))
+
+    def _emit(self, until: float) -> None:
+        now = self._events.now
+        if now > until:
+            return
+        tuple_ = SimTuple(
+            stream=self.stream,
+            key=self.key,
+            event_time=now,
+            created_at=now,
+            source=self.source_id,
+            value=float(self._rng.normal()),
+        )
+        self.emitted += 1
+
+        def dispatch() -> None:
+            for route in self.routes:
+                slot = int(self._rng.choice(len(route.weights), p=route.weights))
+                index = route.indices[slot]
+                for host, join in route.targets[slot]:
+                    side = route.side
+                    self._network.send(
+                        self.node.node_id,
+                        host,
+                        tuple_,
+                        lambda payload, join=join, side=side, index=index: join.on_tuple(
+                            side, index, payload
+                        ),
+                    )
+
+        # Ingestion consumes source-node capacity before dispatch; this is
+        # why placing joins on busy sources backfires (Section 4.7).
+        self.node.process(dispatch)
+        self._events.schedule(now + 1.0 / self.rate_hz, lambda: self._emit(until))

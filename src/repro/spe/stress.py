@@ -1,0 +1,31 @@
+"""Stress injection (Section 4.7).
+
+The physical testbed applies artificial CPU and memory load to the source
+nodes with the ``stress`` tool (full CPU utilization, 80% memory usage).
+The simulator's equivalent is a capacity reduction: stressed nodes serve
+tuples at a fraction of their nominal rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.topology.model import NodeRole, Topology
+
+DEFAULT_STRESS_FACTOR = 0.25
+
+
+def stress_sources(
+    topology: Topology, factor: float = DEFAULT_STRESS_FACTOR
+) -> Dict[str, float]:
+    """Stress factors loading every source node, as the testbed does."""
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"stress factor must lie in (0, 1], got {factor!r}")
+    return {node.node_id: factor for node in topology.nodes_with_role(NodeRole.SOURCE)}
+
+
+def stress_nodes(node_ids: Iterable[str], factor: float = DEFAULT_STRESS_FACTOR) -> Dict[str, float]:
+    """Stress factors for an explicit node list."""
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"stress factor must lie in (0, 1], got {factor!r}")
+    return {node_id: factor for node_id in node_ids}

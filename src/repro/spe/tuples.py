@@ -1,0 +1,49 @@
+"""Tuples flowing through the simulated stream processing engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SimTuple:
+    """A data tuple: stream of origin, join key, and timing information.
+
+    ``event_time`` is the (simulated) time the reading was taken, which
+    assigns the tuple to a window; ``created_at`` equals event time for
+    source tuples. Join results carry the *latest* constituent creation
+    time, so sink latency measures end-to-end result freshness.
+    """
+
+    stream: str
+    key: str
+    event_time: float
+    created_at: float
+    source: str
+    value: float = 0.0
+
+    def window_index(self, window_s: float) -> int:
+        """Index of the tumbling window this tuple belongs to."""
+        return int(self.event_time // window_s)
+
+
+@dataclass(frozen=True, slots=True)
+class JoinResult:
+    """An output tuple of a join: references the matched pair."""
+
+    key: str
+    window: int
+    left: SimTuple
+    right: SimTuple
+    created_at: float
+
+    @classmethod
+    def of(cls, left: SimTuple, right: SimTuple, window: int) -> "JoinResult":
+        """Build a result whose creation time is the younger constituent's."""
+        return cls(
+            key=left.key,
+            window=window,
+            left=left,
+            right=right,
+            created_at=max(left.created_at, right.created_at),
+        )

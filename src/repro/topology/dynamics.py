@@ -1,0 +1,180 @@
+"""Dynamic network behaviour: diurnal latency drift and churn events.
+
+Section 4.5 measures Nova's resilience over a 24-hour window in which
+successive latency snapshots differ in 7k-14k entries (above a 10 ms
+threshold) with a median change magnitude around 24 ms. The
+:class:`DiurnalLatencyModel` reproduces that drift: a per-cluster sinusoidal
+day/night factor plus per-snapshot jitter on a random subset of pairs.
+
+Churn events (node add/remove, rate change, coordinate drift) are modeled as
+plain data; the re-optimizer consumes them (see
+:mod:`repro.core.reoptimizer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.common.rng import SeedLike, ensure_rng
+from repro.topology.latency import DenseLatencyMatrix
+
+
+class DiurnalLatencyModel:
+    """24-hour latency evolution over a fixed node set.
+
+    ``at_hour(h)`` yields a latency snapshot for hour ``h``. The model
+    combines:
+
+    * a global diurnal factor: congestion peaks in the (simulated) evening,
+      modulating latencies by ``+- amplitude``;
+    * per-pair jitter: each snapshot perturbs a ``churn_fraction`` subset of
+      pairs with Gaussian noise of scale ``jitter_ms``.
+    """
+
+    def __init__(
+        self,
+        base: DenseLatencyMatrix,
+        amplitude: float = 0.10,
+        jitter_ms: float = 30.0,
+        churn_fraction: float = 0.05,
+        seed: SeedLike = 0,
+    ) -> None:
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError(f"amplitude must lie in [0, 1), got {amplitude!r}")
+        if not 0.0 <= churn_fraction <= 1.0:
+            raise ValueError(f"churn_fraction must lie in [0, 1], got {churn_fraction!r}")
+        self._base = base
+        self._amplitude = float(amplitude)
+        self._jitter_ms = float(jitter_ms)
+        self._churn_fraction = float(churn_fraction)
+        self._seed = ensure_rng(seed).integers(0, 2**31 - 1)
+
+    @property
+    def base(self) -> DenseLatencyMatrix:
+        """The hour-0 reference matrix."""
+        return self._base
+
+    def diurnal_factor(self, hour: float) -> float:
+        """Multiplicative congestion factor at ``hour`` (peak around 20:00)."""
+        phase = 2.0 * np.pi * ((hour - 20.0) / 24.0)
+        return 1.0 + self._amplitude * float(np.cos(phase))
+
+    def at_hour(self, hour: float) -> DenseLatencyMatrix:
+        """Latency snapshot for ``hour`` in [0, 24)."""
+        rng = np.random.default_rng((int(self._seed), int(round(hour * 60))))
+        n = len(self._base.ids)
+        matrix = self._base.matrix * self.diurnal_factor(hour)
+        iu, ju = np.triu_indices(n, k=1)
+        total_pairs = iu.size
+        count = int(round(self._churn_fraction * total_pairs))
+        if count > 0:
+            chosen = rng.choice(total_pairs, size=count, replace=False)
+            noise = rng.normal(0.0, self._jitter_ms, size=count)
+            updated = matrix.copy()
+            updated[iu[chosen], ju[chosen]] = np.clip(
+                updated[iu[chosen], ju[chosen]] + noise, 0.1, None
+            )
+            updated[ju[chosen], iu[chosen]] = updated[iu[chosen], ju[chosen]]
+            matrix = updated
+        return self._base.with_entries(matrix)
+
+    def hourly_snapshots(self, hours: int = 24) -> List[DenseLatencyMatrix]:
+        """One snapshot per hour for ``hours`` consecutive hours."""
+        return [self.at_hour(h) for h in range(hours)]
+
+
+# ----------------------------------------------------------------------
+# churn events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AddWorkerEvent:
+    """A new worker joins; its latencies to a neighbour sample are known."""
+
+    node_id: str
+    capacity: float
+    neighbor_latencies_ms: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class AddSourceEvent:
+    """A new source joins and joins with an existing partner stream."""
+
+    node_id: str
+    capacity: float
+    data_rate: float
+    logical_stream: str
+    partner_source: str
+    neighbor_latencies_ms: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class RemoveNodeEvent:
+    """A node (source, worker, or join host) leaves the network."""
+
+    node_id: str
+
+
+@dataclass(frozen=True)
+class DataRateChangeEvent:
+    """A source's emission rate changes."""
+
+    node_id: str
+    new_rate: float
+
+
+@dataclass(frozen=True)
+class CapacityChangeEvent:
+    """A worker's available capacity changes (e.g. co-located load)."""
+
+    node_id: str
+    new_capacity: float
+
+
+@dataclass(frozen=True)
+class CoordinateDriftEvent:
+    """A node's latencies shifted enough that its coordinates must be redone."""
+
+    node_id: str
+    neighbor_latencies_ms: Dict[str, float]
+
+
+ChurnEvent = Union[
+    AddWorkerEvent,
+    AddSourceEvent,
+    RemoveNodeEvent,
+    DataRateChangeEvent,
+    CapacityChangeEvent,
+    CoordinateDriftEvent,
+]
+
+
+def standard_event_suite(
+    existing_worker: str,
+    existing_source: str,
+    partner_source: str,
+    neighbor_latencies: Dict[str, float],
+    next_id: str = "new",
+    new_rate: float = 50.0,
+) -> List[ChurnEvent]:
+    """The five re-optimization events of the scalability study (Section 4.6).
+
+    Adding a source, removing a source, removing a worker, updating a node's
+    coordinates, and changing a source's data rate.
+    """
+    return [
+        AddSourceEvent(
+            node_id=f"{next_id}_source",
+            capacity=25.0,
+            data_rate=new_rate,
+            logical_stream="left",
+            partner_source=partner_source,
+            neighbor_latencies_ms=neighbor_latencies,
+        ),
+        RemoveNodeEvent(node_id=existing_source),
+        RemoveNodeEvent(node_id=existing_worker),
+        CoordinateDriftEvent(node_id=partner_source, neighbor_latencies_ms=neighbor_latencies),
+        DataRateChangeEvent(node_id=partner_source, new_rate=new_rate),
+    ]

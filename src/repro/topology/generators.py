@@ -1,0 +1,309 @@
+"""Synthetic topology generators.
+
+Two families, matching the paper's experimental setup (Section 4.1):
+
+* :func:`gaussian_cluster_topology` — coordinate-based synthetic NCS
+  topologies used for controlled scalability and heterogeneity studies.
+  Nodes are positioned inside ``[0, 100] x [-50, 50]`` in Gaussian clusters
+  that emulate heterogeneous geo-distributed networks; latency between two
+  nodes is their Euclidean distance in milliseconds.
+* :func:`edge_fog_cloud_topology` — an explicit link-graph topology with an
+  edge / base-station / fog / cloud hierarchy, used for small end-to-end
+  scenarios and for the running example (Figure 2).
+
+Capacity samplers implement the uniform-to-exponential heterogeneity sweep
+the over-utilization study relies on: total capacity is held approximately
+constant while the coefficient of variation (CV) grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.rng import SeedLike, ensure_rng
+from repro.common.units import check_positive
+from repro.topology.model import Node, NodeRole, Topology
+
+CapacitySampler = Callable[[int, np.random.Generator], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# capacity distributions (heterogeneity sweep)
+# ----------------------------------------------------------------------
+def uniform_capacities(low: float = 1.0, high: float = 200.0) -> CapacitySampler:
+    """Near-homogeneous capacities: U(low, high); paper's low-CV end."""
+
+    def sample(n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(low, high, size=n)
+
+    return sample
+
+
+def lognormal_capacities(sigma: float = 0.8, median: float = 35.0) -> CapacitySampler:
+    """Moderately skewed capacities with a controllable shape parameter."""
+
+    def sample(n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.lognormal(mean=np.log(median), sigma=sigma, size=n)
+
+    return sample
+
+
+def exponential_capacities(low: float = 1.0, high: float = 1000.0, median: float = 28.0) -> CapacitySampler:
+    """Heavily skewed capacities: exponential, clipped to [low, high].
+
+    The paper's high-CV end ranges capacities between 1 and 1000 with a
+    median around 28.
+    """
+    scale = median / np.log(2.0)
+
+    def sample(n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.clip(rng.exponential(scale, size=n) + low, low, high)
+
+    return sample
+
+
+@dataclass(frozen=True)
+class HeterogeneityLevel:
+    """A named capacity distribution used in the CV sweep of Figure 6."""
+
+    name: str
+    sampler: CapacitySampler
+
+
+def heterogeneity_levels() -> List[HeterogeneityLevel]:
+    """The uniform-to-exponential sweep of capacity distributions.
+
+    Levels are ordered by increasing coefficient of variation. Total
+    capacity is normalized by the caller (:func:`sample_capacities`), so
+    only the *shape* differs between levels.
+    """
+    return [
+        HeterogeneityLevel("uniform", uniform_capacities()),
+        HeterogeneityLevel("lognormal-0.5", lognormal_capacities(sigma=0.5)),
+        HeterogeneityLevel("lognormal-0.8", lognormal_capacities(sigma=0.8)),
+        HeterogeneityLevel("lognormal-1.2", lognormal_capacities(sigma=1.2)),
+        HeterogeneityLevel("exponential", exponential_capacities()),
+    ]
+
+
+def sample_capacities(
+    sampler: CapacitySampler,
+    n: int,
+    rng: np.random.Generator,
+    total_capacity: Optional[float] = None,
+    minimum: float = 1.0,
+) -> np.ndarray:
+    """Draw ``n`` capacities; optionally rescale so they sum to ``total_capacity``.
+
+    Holding the total constant across heterogeneity levels isolates the
+    effect of imbalance from the effect of aggregate provisioning.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    capacities = np.asarray(sampler(n, rng), dtype=float)
+    capacities = np.clip(capacities, minimum, None)
+    if total_capacity is not None:
+        check_positive("total_capacity", total_capacity)
+        capacities *= total_capacity / capacities.sum()
+        capacities = np.clip(capacities, minimum, None)
+    return capacities
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """CV = std / mean; the paper's heterogeneity measure."""
+    array = np.asarray(values, dtype=float)
+    mean = array.mean()
+    if mean == 0:
+        return 0.0
+    return float(array.std() / mean)
+
+
+# ----------------------------------------------------------------------
+# Gaussian-cluster synthetic NCS topologies
+# ----------------------------------------------------------------------
+def gaussian_cluster_positions(
+    n_nodes: int,
+    n_clusters: int,
+    rng: np.random.Generator,
+    x_range: Tuple[float, float] = (0.0, 100.0),
+    y_range: Tuple[float, float] = (-50.0, 50.0),
+    cluster_std: float = 5.0,
+) -> np.ndarray:
+    """Node positions drawn from Gaussian clusters inside the given box."""
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    if n_clusters <= 0:
+        raise ValueError("n_clusters must be positive")
+    centers = np.column_stack(
+        [
+            rng.uniform(x_range[0], x_range[1], size=n_clusters),
+            rng.uniform(y_range[0], y_range[1], size=n_clusters),
+        ]
+    )
+    assignment = rng.integers(0, n_clusters, size=n_nodes)
+    positions = centers[assignment] + rng.normal(0.0, cluster_std, size=(n_nodes, 2))
+    positions[:, 0] = np.clip(positions[:, 0], x_range[0], x_range[1])
+    positions[:, 1] = np.clip(positions[:, 1], y_range[0], y_range[1])
+    return positions
+
+
+def gaussian_cluster_topology(
+    n_nodes: int,
+    n_clusters: int = 10,
+    capacity_sampler: Optional[CapacitySampler] = None,
+    total_capacity: Optional[float] = None,
+    seed: SeedLike = None,
+    x_range: Tuple[float, float] = (0.0, 100.0),
+    y_range: Tuple[float, float] = (-50.0, 50.0),
+    cluster_std: float = 5.0,
+    node_prefix: str = "n",
+) -> Topology:
+    """A coordinate-based synthetic topology with Gaussian geo-clusters.
+
+    Latency between nodes is the Euclidean distance between their positions
+    (1 unit = 1 ms), matching the synthetic NCS setup in Section 4.1. All
+    nodes start as workers; role assignment is a workload concern (see
+    :mod:`repro.workloads.synthetic`).
+    """
+    rng = ensure_rng(seed)
+    positions = gaussian_cluster_positions(
+        n_nodes, n_clusters, rng, x_range=x_range, y_range=y_range, cluster_std=cluster_std
+    )
+    sampler = capacity_sampler or uniform_capacities()
+    capacities = sample_capacities(sampler, n_nodes, rng, total_capacity=total_capacity)
+    topology = Topology()
+    for i in range(n_nodes):
+        topology.add_node(
+            Node(f"{node_prefix}{i}", capacity=float(capacities[i]), role=NodeRole.WORKER),
+            position=positions[i],
+        )
+    return topology
+
+
+# ----------------------------------------------------------------------
+# explicit hierarchical topologies
+# ----------------------------------------------------------------------
+def edge_fog_cloud_topology(
+    n_regions: int = 2,
+    sources_per_region: int = 3,
+    fogs_per_region: int = 2,
+    source_capacity: float = 10.0,
+    fog_capacity: float = 50.0,
+    cloud_capacity: float = 500.0,
+    sink_capacity: float = 20.0,
+    edge_latency_ms: float = 10.0,
+    fog_latency_ms: float = 30.0,
+    cloud_latency_ms: float = 60.0,
+    sink_latency_ms: float = 40.0,
+    bandwidth: float = float("inf"),
+    seed: SeedLike = None,
+) -> Topology:
+    """An explicit edge/fog/cloud link topology for end-to-end scenarios.
+
+    Structure per region: ``sources_per_region`` edge sources attach to a
+    base-station gateway, which connects to ``fogs_per_region`` fog workers;
+    all fogs of all regions connect to a single cloud node; the cloud and the
+    first region's gateway connect to the sink. Latencies get a small random
+    perturbation so paths are not degenerate.
+    """
+    rng = ensure_rng(seed)
+    topology = Topology()
+    cloud = topology.add_node(Node("cloud", cloud_capacity, NodeRole.CLOUD))
+    sink = topology.add_node(Node("sink", sink_capacity, NodeRole.SINK))
+    topology.add_link(cloud.node_id, sink.node_id, sink_latency_ms * 2.5, bandwidth)
+
+    def jitter(base: float) -> float:
+        return float(base * rng.uniform(0.85, 1.15))
+
+    for region in range(n_regions):
+        region_name = f"r{region}"
+        gateway = topology.add_node(
+            Node(f"gw_{region_name}", fog_capacity, NodeRole.GATEWAY, region=region_name)
+        )
+        for s in range(sources_per_region):
+            source = topology.add_node(
+                Node(
+                    f"src_{region_name}_{s}",
+                    source_capacity,
+                    NodeRole.SOURCE,
+                    region=region_name,
+                )
+            )
+            topology.add_link(source.node_id, gateway.node_id, jitter(edge_latency_ms), bandwidth)
+        previous = gateway.node_id
+        for f in range(fogs_per_region):
+            fog = topology.add_node(
+                Node(f"fog_{region_name}_{f}", fog_capacity, NodeRole.WORKER, region=region_name)
+            )
+            topology.add_link(previous, fog.node_id, jitter(fog_latency_ms), bandwidth)
+            previous = fog.node_id
+        topology.add_link(previous, cloud.node_id, jitter(cloud_latency_ms), bandwidth)
+        if region == 0:
+            topology.add_link(gateway.node_id, sink.node_id, jitter(sink_latency_ms), bandwidth)
+    return topology
+
+
+def random_geometric_link_topology(
+    n_nodes: int,
+    connection_radius: float = 25.0,
+    capacity_sampler: Optional[CapacitySampler] = None,
+    seed: SeedLike = None,
+    n_clusters: int = 8,
+) -> Topology:
+    """A connected link-graph topology over Gaussian-cluster positions.
+
+    Nodes within ``connection_radius`` are linked with latency equal to their
+    distance; a latency-weighted spanning chain guarantees connectivity.
+    Used by baselines that need an explicit graph (MST / tree methods) at
+    moderate scale.
+    """
+    rng = ensure_rng(seed)
+    topology = gaussian_cluster_topology(
+        n_nodes, n_clusters=n_clusters, capacity_sampler=capacity_sampler, seed=rng
+    )
+    ids, positions = topology.positions_array()
+    # Link nodes within the radius.
+    for i in range(n_nodes):
+        deltas = positions[i + 1 :] - positions[i]
+        distances = np.sqrt((deltas**2).sum(axis=1))
+        for offset in np.nonzero(distances <= connection_radius)[0]:
+            j = i + 1 + int(offset)
+            topology.add_link(ids[i], ids[j], float(distances[offset]))
+    # Stitch disconnected components together through nearest pairs.
+    component = _components(topology)
+    while len(set(component.values())) > 1:
+        labels = sorted(set(component.values()))
+        first = [i for i, nid in enumerate(ids) if component[nid] == labels[0]]
+        rest = [i for i, nid in enumerate(ids) if component[nid] != labels[0]]
+        best: Tuple[float, int, int] = (float("inf"), -1, -1)
+        rest_positions = positions[rest]
+        for i in first:
+            distances = np.sqrt(((rest_positions - positions[i]) ** 2).sum(axis=1))
+            j_local = int(np.argmin(distances))
+            if distances[j_local] < best[0]:
+                best = (float(distances[j_local]), i, rest[j_local])
+        topology.add_link(ids[best[1]], ids[best[2]], max(best[0], 1e-3))
+        component = _components(topology)
+    return topology
+
+
+def _components(topology: Topology) -> Dict[str, int]:
+    """Label nodes by connected component."""
+    labels: Dict[str, int] = {}
+    current = 0
+    for node_id in topology.node_ids:
+        if node_id in labels:
+            continue
+        frontier = [node_id]
+        labels[node_id] = current
+        while frontier:
+            u = frontier.pop()
+            for v in topology.neighbors(u):
+                if v not in labels:
+                    labels[v] = current
+                    frontier.append(v)
+        current += 1
+    return labels

@@ -1,0 +1,370 @@
+"""Latency matrices and latency providers.
+
+Phase I of Nova consumes pairwise end-to-end latencies (the symmetric matrix
+``A`` of Section 3.2). This module provides:
+
+* :class:`DenseLatencyMatrix` — an explicit ``n x n`` matrix, built either
+  from all-pairs shortest paths over a link graph or from node coordinates.
+* :class:`CoordinateLatencyModel` — an implicit provider backed by node
+  coordinates, used for very large synthetic topologies (10^5..10^6 nodes)
+  where a dense matrix would not fit in memory.
+* Triangle-inequality-violation (TIV) injection and statistics, used by the
+  estimation-error study (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
+
+from repro.common.errors import DisconnectedTopologyError, TopologyError, UnknownNodeError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.topology.model import Topology
+
+
+class LatencyProvider(Protocol):
+    """Anything that can answer pairwise latency queries over a node set."""
+
+    @property
+    def ids(self) -> List[str]:
+        """Node ids covered by this provider."""
+        ...
+
+    def latency(self, u: str, v: str) -> float:
+        """End-to-end latency between ``u`` and ``v`` in milliseconds."""
+        ...
+
+
+class DenseLatencyMatrix:
+    """A symmetric dense latency matrix over an explicit node-id universe."""
+
+    def __init__(self, ids: Sequence[str], matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise TopologyError("latency matrix must be square")
+        if matrix.shape[0] != len(ids):
+            raise TopologyError("latency matrix size does not match id count")
+        if np.any(matrix < 0):
+            raise TopologyError("latencies must be non-negative")
+        self._ids = list(ids)
+        if len(set(self._ids)) != len(self._ids):
+            raise TopologyError("duplicate node ids in latency matrix")
+        self._index: Dict[str, int] = {node_id: i for i, node_id in enumerate(self._ids)}
+        # Force exact symmetry and a zero diagonal; measurement inputs may be
+        # slightly asymmetric, and Phase I assumes a symmetric A.
+        matrix = (matrix + matrix.T) / 2.0
+        np.fill_diagonal(matrix, 0.0)
+        self._matrix = matrix
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, topology: Topology) -> "DenseLatencyMatrix":
+        """All-pairs shortest-path latencies over the link graph.
+
+        Path delay is the sum of link latencies along the route (Section 2.2).
+        Raises :class:`DisconnectedTopologyError` if some pair is unreachable.
+        """
+        ids = topology.node_ids
+        index = {node_id: i for i, node_id in enumerate(ids)}
+        n = len(ids)
+        if n == 0:
+            raise TopologyError("cannot build a latency matrix for an empty topology")
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for link in topology.links():
+            i, j = index[link.u], index[link.v]
+            rows.extend((i, j))
+            cols.extend((j, i))
+            data.extend((link.latency_ms, link.latency_ms))
+        adjacency = csr_matrix((data, (rows, cols)), shape=(n, n))
+        matrix = shortest_path(adjacency, method="D", directed=False)
+        if np.isinf(matrix).any():
+            raise DisconnectedTopologyError(
+                "topology is disconnected; all-pairs latencies are undefined"
+            )
+        return cls(ids, matrix)
+
+    @classmethod
+    def from_coordinates(
+        cls,
+        ids: Sequence[str],
+        coordinates: np.ndarray,
+        scale: float = 1.0,
+    ) -> "DenseLatencyMatrix":
+        """Euclidean distances between coordinates, scaled to milliseconds."""
+        coords = np.asarray(coordinates, dtype=float)
+        if coords.ndim != 2 or coords.shape[0] != len(ids):
+            raise TopologyError("coordinates must be an (n, d) array matching ids")
+        deltas = coords[:, None, :] - coords[None, :, :]
+        matrix = np.sqrt((deltas**2).sum(axis=2)) * float(scale)
+        return cls(ids, matrix)
+
+    @classmethod
+    def from_topology(cls, topology: Topology, scale: float = 1.0) -> "DenseLatencyMatrix":
+        """Build from links when present, otherwise from node positions."""
+        if topology.num_links() > 0:
+            return cls.from_graph(topology)
+        if topology.has_positions():
+            ids, coords = topology.positions_array()
+            return cls.from_coordinates(ids, coords, scale=scale)
+        raise TopologyError("topology has neither links nor positions")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def ids(self) -> List[str]:
+        """Node ids in matrix order."""
+        return list(self._ids)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying symmetric matrix (read-only view)."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._index
+
+    def index_of(self, node_id: str) -> int:
+        """Row/column index of a node id."""
+        try:
+            return self._index[node_id]
+        except KeyError:
+            raise UnknownNodeError(str(node_id)) from None
+
+    def latency(self, u: str, v: str) -> float:
+        """Latency between two nodes in milliseconds."""
+        return float(self._matrix[self.index_of(u), self.index_of(v)])
+
+    def row(self, node_id: str) -> np.ndarray:
+        """Latencies from ``node_id`` to every node, in id order."""
+        return self._matrix[self.index_of(node_id)].copy()
+
+    def submatrix(self, ids: Sequence[str]) -> "DenseLatencyMatrix":
+        """Restrict the matrix to the given node ids (in the given order)."""
+        indices = [self.index_of(i) for i in ids]
+        return DenseLatencyMatrix(list(ids), self._matrix[np.ix_(indices, indices)])
+
+    def with_entries(self, matrix: np.ndarray) -> "DenseLatencyMatrix":
+        """Return a new matrix over the same ids with replaced entries."""
+        return DenseLatencyMatrix(self._ids, matrix)
+
+    # ------------------------------------------------------------------
+    # perturbations
+    # ------------------------------------------------------------------
+    def inject_tivs(
+        self,
+        fraction: float,
+        inflation: Tuple[float, float] = (1.5, 4.0),
+        seed: SeedLike = None,
+    ) -> "DenseLatencyMatrix":
+        """Inflate a random fraction of entries to create TIVs.
+
+        Real Internet latencies violate the triangle inequality; inflating
+        ``fraction`` of the (i, j) pairs by a factor drawn uniformly from
+        ``inflation`` reproduces that pathology (Section 3.2, Limitations).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must lie in [0, 1], got {fraction!r}")
+        rng = ensure_rng(seed)
+        n = len(self._ids)
+        matrix = self._matrix.copy()
+        iu, ju = np.triu_indices(n, k=1)
+        total_pairs = iu.size
+        count = int(round(fraction * total_pairs))
+        if count > 0:
+            chosen = rng.choice(total_pairs, size=count, replace=False)
+            factors = rng.uniform(inflation[0], inflation[1], size=count)
+            matrix[iu[chosen], ju[chosen]] *= factors
+            matrix[ju[chosen], iu[chosen]] = matrix[iu[chosen], ju[chosen]]
+        return DenseLatencyMatrix(self._ids, matrix)
+
+    def with_noise(
+        self,
+        relative_std: float = 0.05,
+        absolute_std_ms: float = 0.0,
+        seed: SeedLike = None,
+    ) -> "DenseLatencyMatrix":
+        """Apply multiplicative/additive Gaussian noise (measurement jitter)."""
+        rng = ensure_rng(seed)
+        n = len(self._ids)
+        noise = rng.normal(1.0, relative_std, size=(n, n))
+        noise = (noise + noise.T) / 2.0
+        additive = rng.normal(0.0, absolute_std_ms, size=(n, n)) if absolute_std_ms else 0.0
+        if isinstance(additive, np.ndarray):
+            additive = (additive + additive.T) / 2.0
+        matrix = np.clip(self._matrix * noise + additive, 0.0, None)
+        return DenseLatencyMatrix(self._ids, matrix)
+
+    def tiv_fraction(self, samples: int = 20000, seed: SeedLike = 0) -> float:
+        """Estimate the fraction of node triples violating the triangle inequality."""
+        n = len(self._ids)
+        if n < 3:
+            return 0.0
+        rng = ensure_rng(seed)
+        triples = rng.integers(0, n, size=(samples, 3))
+        valid = (
+            (triples[:, 0] != triples[:, 1])
+            & (triples[:, 1] != triples[:, 2])
+            & (triples[:, 0] != triples[:, 2])
+        )
+        triples = triples[valid]
+        if triples.size == 0:
+            return 0.0
+        a = self._matrix[triples[:, 0], triples[:, 1]]
+        b = self._matrix[triples[:, 1], triples[:, 2]]
+        c = self._matrix[triples[:, 0], triples[:, 2]]
+        violations = c > (a + b) * (1.0 + 1e-9)
+        return float(np.mean(violations))
+
+    def changed_entries(self, other: "DenseLatencyMatrix", threshold_ms: float) -> int:
+        """Count upper-triangle entries differing from ``other`` by more than a threshold."""
+        if self._ids != other._ids:
+            raise TopologyError("latency matrices cover different node sets")
+        diff = np.abs(self._matrix - other._matrix)
+        iu, ju = np.triu_indices(len(self._ids), k=1)
+        return int(np.count_nonzero(diff[iu, ju] > threshold_ms))
+
+    def median_change(self, other: "DenseLatencyMatrix", threshold_ms: float = 0.0) -> float:
+        """Median magnitude of entry changes above ``threshold_ms``."""
+        if self._ids != other._ids:
+            raise TopologyError("latency matrices cover different node sets")
+        diff = np.abs(self._matrix - other._matrix)
+        iu, ju = np.triu_indices(len(self._ids), k=1)
+        changes = diff[iu, ju]
+        changes = changes[changes > threshold_ms]
+        if changes.size == 0:
+            return 0.0
+        return float(np.median(changes))
+
+
+class CoordinateLatencyModel:
+    """Implicit latency provider: Euclidean distance between node coordinates.
+
+    Scales to millions of nodes because it never materializes the matrix.
+    Optional multiplicative jitter models measurement noise; it is resampled
+    deterministically per pair so repeated queries agree.
+    """
+
+    def __init__(
+        self,
+        ids: Sequence[str],
+        coordinates: np.ndarray,
+        scale: float = 1.0,
+        jitter_std: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        coords = np.asarray(coordinates, dtype=float)
+        if coords.ndim != 2 or coords.shape[0] != len(ids):
+            raise TopologyError("coordinates must be an (n, d) array matching ids")
+        self._ids = list(ids)
+        self._index = {node_id: i for i, node_id in enumerate(self._ids)}
+        self._coords = coords
+        self._scale = float(scale)
+        self._jitter_std = float(jitter_std)
+        self._seed = int(seed)
+
+    @property
+    def ids(self) -> List[str]:
+        """Node ids covered by this provider."""
+        return list(self._ids)
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """The (n, d) ground-truth coordinate matrix."""
+        return self._coords
+
+    @property
+    def scale(self) -> float:
+        """Milliseconds per coordinate-space distance unit."""
+        return self._scale
+
+    @property
+    def jitter_std(self) -> float:
+        """Relative standard deviation of per-pair measurement jitter."""
+        return self._jitter_std
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def index_of(self, node_id: str) -> int:
+        """Index of a node id in the coordinate array."""
+        try:
+            return self._index[node_id]
+        except KeyError:
+            raise UnknownNodeError(str(node_id)) from None
+
+    def _pair_jitter(self, i: int, j: int) -> float:
+        if self._jitter_std <= 0.0:
+            return 1.0
+        lo, hi = (i, j) if i < j else (j, i)
+        pair_rng = np.random.default_rng((self._seed, lo, hi))
+        return max(0.0, 1.0 + pair_rng.normal(0.0, self._jitter_std))
+
+    def latency(self, u: str, v: str) -> float:
+        """Latency between two nodes in milliseconds."""
+        i, j = self.index_of(u), self.index_of(v)
+        if i == j:
+            return 0.0
+        base = float(np.linalg.norm(self._coords[i] - self._coords[j])) * self._scale
+        return base * self._pair_jitter(i, j)
+
+    def latencies_from(self, u: str, others: Iterable[str]) -> np.ndarray:
+        """Vector of latencies from ``u`` to each node in ``others``."""
+        i = self.index_of(u)
+        indices = np.array([self.index_of(o) for o in others], dtype=int)
+        base = np.linalg.norm(self._coords[indices] - self._coords[i], axis=1) * self._scale
+        if self._jitter_std <= 0.0:
+            return base
+        jitter = np.array([self._pair_jitter(i, j) for j in indices])
+        return base * jitter
+
+    def densify(self) -> DenseLatencyMatrix:
+        """Materialize as a dense matrix (small models only)."""
+        matrix = DenseLatencyMatrix.from_coordinates(self._ids, self._coords, self._scale)
+        if self._jitter_std <= 0.0:
+            return matrix
+        entries = matrix.matrix.copy()
+        n = len(self._ids)
+        for i in range(n):
+            for j in range(i + 1, n):
+                factor = self._pair_jitter(i, j)
+                entries[i, j] *= factor
+                entries[j, i] = entries[i, j]
+        return DenseLatencyMatrix(self._ids, entries)
+
+
+def stretch_statistics(
+    estimated: DenseLatencyMatrix, measured: DenseLatencyMatrix
+) -> Dict[str, float]:
+    """Summary of estimation error between two latency matrices.
+
+    Returns mean absolute error, median relative error, and the 90th
+    percentile relative error over all node pairs — the quantities the
+    paper's Section 4.4 analysis is built on.
+    """
+    if estimated.ids != measured.ids:
+        raise TopologyError("latency matrices cover different node sets")
+    n = len(estimated.ids)
+    iu, ju = np.triu_indices(n, k=1)
+    est = estimated.matrix[iu, ju]
+    real = measured.matrix[iu, ju]
+    abs_err = np.abs(est - real)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel_err = np.where(real > 0, abs_err / real, 0.0)
+    return {
+        "mae_ms": float(np.mean(abs_err)),
+        "median_relative_error": float(np.median(rel_err)),
+        "p90_relative_error": float(np.percentile(rel_err, 90)),
+    }

@@ -1,0 +1,289 @@
+"""Topology model: nodes, links, and the network graph.
+
+The paper models the infrastructure as a directed graph ``G_T = (V, E)`` of
+compute nodes and communication links (Section 2.2). Latencies are symmetric
+in the cost model, so :class:`Topology` stores an undirected weighted graph;
+role information (source / worker / sink / gateway / cloud) and per-node
+processing capacity live on :class:`Node`.
+
+Large synthetic topologies used in the scalability study do not materialize
+links at all: they carry per-node coordinates, and latency is derived from
+Euclidean distance (see :mod:`repro.topology.latency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import TopologyError, UnknownNodeError
+from repro.common.units import check_non_negative, check_positive
+
+
+class NodeRole(str, Enum):
+    """Functional role of a node in the edge-fog-cloud continuum."""
+
+    SOURCE = "source"
+    WORKER = "worker"
+    SINK = "sink"
+    GATEWAY = "gateway"
+    CLOUD = "cloud"
+
+    def is_placeable(self) -> bool:
+        """Whether join replicas may run on a node with this role.
+
+        Sources and sinks are pinned, but the paper's baselines do place
+        computation on them, so every role is placeable; the distinction
+        matters only for pinned operators.
+        """
+        return True
+
+
+@dataclass
+class Node:
+    """A compute node with a processing capacity in tuples per second."""
+
+    node_id: str
+    capacity: float
+    role: NodeRole = NodeRole.WORKER
+    region: Optional[str] = None
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise TopologyError("node_id must be a non-empty string")
+        self.capacity = check_non_negative("capacity", self.capacity)
+        if not isinstance(self.role, NodeRole):
+            self.role = NodeRole(self.role)
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected communication link with latency and bandwidth budget."""
+
+    u: str
+    v: str
+    latency_ms: float
+    bandwidth: float = float("inf")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "latency_ms", check_non_negative("latency_ms", self.latency_ms))
+        if self.bandwidth != float("inf"):
+            object.__setattr__(self, "bandwidth", check_positive("bandwidth", self.bandwidth))
+        if self.u == self.v:
+            raise TopologyError(f"self-loop link on node {self.u!r}")
+
+    def other(self, node_id: str) -> str:
+        """Return the opposite endpoint of ``node_id`` on this link."""
+        if node_id == self.u:
+            return self.v
+        if node_id == self.v:
+            return self.u
+        raise UnknownNodeError(node_id)
+
+
+class Topology:
+    """An undirected network of :class:`Node` objects and :class:`Link` edges.
+
+    Nodes may optionally carry 2-D (or higher) coordinates used by synthetic
+    topologies where latency is geometric rather than link-based.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._adjacency: Dict[str, Dict[str, Link]] = {}
+        self._positions: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, position: Optional[Iterable[float]] = None) -> Node:
+        """Add ``node``; optionally record its geometric ``position``."""
+        if node.node_id in self._nodes:
+            raise TopologyError(f"duplicate node id: {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self._adjacency[node.node_id] = {}
+        if position is not None:
+            self.set_position(node.node_id, position)
+        return node
+
+    def add_link(self, u: str, v: str, latency_ms: float, bandwidth: float = float("inf")) -> Link:
+        """Connect nodes ``u`` and ``v`` with the given latency and bandwidth."""
+        if u not in self._nodes:
+            raise UnknownNodeError(u)
+        if v not in self._nodes:
+            raise UnknownNodeError(v)
+        link = Link(u, v, latency_ms, bandwidth)
+        self._adjacency[u][v] = link
+        self._adjacency[v][u] = link
+        return link
+
+    def remove_node(self, node_id: str) -> Node:
+        """Remove a node and all incident links; return the removed node."""
+        node = self.node(node_id)
+        for neighbor in list(self._adjacency[node_id]):
+            del self._adjacency[neighbor][node_id]
+        del self._adjacency[node_id]
+        del self._nodes[node_id]
+        self._positions.pop(node_id, None)
+        return node
+
+    def set_position(self, node_id: str, position: Iterable[float]) -> None:
+        """Attach geometric coordinates to a node (used by synthetic topologies)."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        coords = np.asarray(list(position), dtype=float)
+        if coords.ndim != 1 or coords.size == 0:
+            raise TopologyError("position must be a non-empty 1-D coordinate vector")
+        self._positions[node_id] = coords
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        """Return the node with id ``node_id`` or raise :class:`UnknownNodeError`."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_ids(self) -> List[str]:
+        """All node ids in insertion order."""
+        return list(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        return iter(self._nodes.values())
+
+    def nodes_with_role(self, role: NodeRole) -> List[Node]:
+        """All nodes with the given role."""
+        return [n for n in self._nodes.values() if n.role == role]
+
+    def sources(self) -> List[Node]:
+        """All nodes with the SOURCE role."""
+        return self.nodes_with_role(NodeRole.SOURCE)
+
+    def workers(self) -> List[Node]:
+        """All nodes with the WORKER role."""
+        return self.nodes_with_role(NodeRole.WORKER)
+
+    def sinks(self) -> List[Node]:
+        """All nodes with the SINK role."""
+        return self.nodes_with_role(NodeRole.SINK)
+
+    def links(self) -> Iterator[Link]:
+        """Iterate over each undirected link exactly once."""
+        seen = set()
+        for u, neighbors in self._adjacency.items():
+            for v, link in neighbors.items():
+                key = (min(u, v), max(u, v))
+                if key not in seen:
+                    seen.add(key)
+                    yield link
+
+    def link(self, u: str, v: str) -> Link:
+        """Return the link between ``u`` and ``v``."""
+        if u not in self._nodes:
+            raise UnknownNodeError(u)
+        try:
+            return self._adjacency[u][v]
+        except KeyError:
+            raise TopologyError(f"no link between {u!r} and {v!r}") from None
+
+    def has_link(self, u: str, v: str) -> bool:
+        """Whether a direct link between ``u`` and ``v`` exists."""
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def neighbors(self, node_id: str) -> List[str]:
+        """Ids of nodes directly linked to ``node_id``."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        return list(self._adjacency[node_id])
+
+    def degree(self, node_id: str) -> int:
+        """Number of links incident to ``node_id``."""
+        return len(self.neighbors(node_id))
+
+    def num_links(self) -> int:
+        """Total number of undirected links."""
+        return sum(len(a) for a in self._adjacency.values()) // 2
+
+    def position(self, node_id: str) -> np.ndarray:
+        """Geometric coordinates of a node (raises if none were set)."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        try:
+            return self._positions[node_id]
+        except KeyError:
+            raise TopologyError(f"node {node_id!r} has no position") from None
+
+    def has_positions(self) -> bool:
+        """Whether every node carries geometric coordinates."""
+        return len(self._positions) == len(self._nodes) and len(self._nodes) > 0
+
+    def positions_array(self) -> Tuple[List[str], np.ndarray]:
+        """Return (ids, coordinate matrix) for all nodes, in id order."""
+        if not self.has_positions():
+            raise TopologyError("topology does not carry positions for every node")
+        ids = self.node_ids
+        return ids, np.vstack([self._positions[i] for i in ids])
+
+    # ------------------------------------------------------------------
+    # graph utilities
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether the link graph is connected (trivially true for <= 1 node)."""
+        if len(self._nodes) <= 1:
+            return True
+        start = next(iter(self._nodes))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self._nodes)
+
+    def to_networkx(self):
+        """Export the link graph as a :class:`networkx.Graph`.
+
+        Node attributes: ``capacity``, ``role``; edge attribute: ``latency``
+        and ``bandwidth``. Only used by graph-algorithm baselines (MST).
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        for node in self.nodes():
+            graph.add_node(node.node_id, capacity=node.capacity, role=node.role)
+        for link in self.links():
+            graph.add_edge(link.u, link.v, latency=link.latency_ms, bandwidth=link.bandwidth)
+        return graph
+
+    def total_capacity(self) -> float:
+        """Sum of all node capacities."""
+        return sum(n.capacity for n in self._nodes.values())
+
+    def copy(self) -> "Topology":
+        """Deep-enough copy: nodes are re-created, links shared (immutable)."""
+        clone = Topology()
+        for node in self.nodes():
+            clone.add_node(
+                Node(node.node_id, node.capacity, node.role, node.region, dict(node.tags))
+            )
+        for node_id, coords in self._positions.items():
+            clone.set_position(node_id, coords)
+        for link in self.links():
+            clone.add_link(link.u, link.v, link.latency_ms, link.bandwidth)
+        return clone

@@ -1,0 +1,204 @@
+"""Synthetic emulators of the real-world measurement testbeds.
+
+The paper evaluates on latency datasets from four platforms (Section 4.1):
+
+* **FIT IoT Lab** — 433 nodes across a handful of French sites, four
+  gateway servers; small RTTs (LAN / campus scale).
+* **PlanetLab** — 335 university-hosted nodes in Europe and North America;
+  continental RTTs.
+* **RIPE Atlas** — 723 globally distributed anchors; intercontinental RTTs
+  and notable triangle-inequality violations.
+* **King** — 1,740 Internet DNS servers; the largest and heaviest-tailed
+  dataset.
+
+The raw datasets are not redistributable and unavailable offline, so this
+module generates synthetic latency matrices that match each platform's
+published node count, cluster structure, RTT magnitude, and TIV character.
+The optimizer consumes only the latency matrix, so these matrices exercise
+exactly the same code paths (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.errors import TopologyError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.topology.generators import lognormal_capacities, sample_capacities
+from repro.topology.latency import DenseLatencyMatrix
+from repro.topology.model import Node, NodeRole, Topology
+
+
+@dataclass(frozen=True)
+class TestbedSpec:
+    """Shape parameters for one emulated measurement platform."""
+
+    name: str
+    n_nodes: int
+    n_clusters: int
+    intra_cluster_ms: Tuple[float, float]
+    inter_cluster_ms: Tuple[float, float]
+    tiv_fraction: float
+    rtt_tail_sigma: float
+    vivaldi_neighbors: int
+
+
+TESTBED_SPECS: Dict[str, TestbedSpec] = {
+    "fit_iot_lab": TestbedSpec(
+        name="fit_iot_lab",
+        n_nodes=433,
+        n_clusters=6,
+        intra_cluster_ms=(0.5, 6.0),
+        inter_cluster_ms=(8.0, 35.0),
+        tiv_fraction=0.02,
+        rtt_tail_sigma=0.15,
+        vivaldi_neighbors=20,
+    ),
+    "planetlab": TestbedSpec(
+        name="planetlab",
+        n_nodes=335,
+        n_clusters=28,
+        intra_cluster_ms=(1.0, 12.0),
+        inter_cluster_ms=(20.0, 160.0),
+        tiv_fraction=0.05,
+        rtt_tail_sigma=0.25,
+        vivaldi_neighbors=32,
+    ),
+    "ripe_atlas": TestbedSpec(
+        name="ripe_atlas",
+        n_nodes=723,
+        n_clusters=40,
+        intra_cluster_ms=(1.0, 15.0),
+        inter_cluster_ms=(30.0, 320.0),
+        tiv_fraction=0.08,
+        rtt_tail_sigma=0.35,
+        vivaldi_neighbors=20,
+    ),
+    "king": TestbedSpec(
+        name="king",
+        n_nodes=1740,
+        n_clusters=60,
+        intra_cluster_ms=(1.0, 20.0),
+        inter_cluster_ms=(40.0, 400.0),
+        tiv_fraction=0.10,
+        rtt_tail_sigma=0.45,
+        vivaldi_neighbors=32,
+    ),
+}
+
+
+@dataclass
+class Testbed:
+    """An emulated platform: node universe plus measured latency matrix."""
+
+    spec: TestbedSpec
+    topology: Topology
+    latency: DenseLatencyMatrix
+    cluster_of: Dict[str, int]
+
+    @property
+    def name(self) -> str:
+        """Platform name (e.g. ``"ripe_atlas"``)."""
+        return self.spec.name
+
+    def subset(self, n: int, seed: SeedLike = 0) -> "Testbed":
+        """A random ``n``-node sub-testbed (e.g. the 418-node RIPE subset)."""
+        if n <= 0 or n > len(self.topology):
+            raise TopologyError(
+                f"subset size {n} out of range for testbed of {len(self.topology)} nodes"
+            )
+        rng = ensure_rng(seed)
+        ids = self.topology.node_ids
+        chosen = sorted(rng.choice(len(ids), size=n, replace=False).tolist())
+        chosen_ids = [ids[i] for i in chosen]
+        sub_topology = Topology()
+        for node_id in chosen_ids:
+            original = self.topology.node(node_id)
+            sub_topology.add_node(
+                Node(original.node_id, original.capacity, original.role, original.region)
+            )
+        return Testbed(
+            spec=self.spec,
+            topology=sub_topology,
+            latency=self.latency.submatrix(chosen_ids),
+            cluster_of={nid: self.cluster_of[nid] for nid in chosen_ids},
+        )
+
+
+def _cluster_geometry(
+    spec: TestbedSpec, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster centers (scaled so typical center distance maps to inter-cluster RTT)."""
+    centers = rng.uniform(0.0, 100.0, size=(spec.n_clusters, 2))
+    if spec.n_clusters > 1:
+        deltas = centers[:, None, :] - centers[None, :, :]
+        distances = np.sqrt((deltas**2).sum(axis=2))
+        iu, ju = np.triu_indices(spec.n_clusters, k=1)
+        typical = float(np.median(distances[iu, ju]))
+    else:
+        typical = 1.0
+    target = (spec.inter_cluster_ms[0] + spec.inter_cluster_ms[1]) / 2.0
+    scale = target / max(typical, 1e-9)
+    return centers * scale, np.full(spec.n_clusters, scale)
+
+
+def load_testbed(name: str, seed: SeedLike = 0) -> Testbed:
+    """Generate the emulated testbed called ``name``.
+
+    Latency between nodes i and j is the Euclidean distance between their
+    latent geographic positions plus lognormal last-mile delays of both
+    endpoints, then perturbed with TIV inflation on a spec-given fraction of
+    pairs. Node capacities follow a lognormal distribution resembling the
+    heterogeneous device mix (microcontrollers to gateway servers).
+    """
+    try:
+        spec = TESTBED_SPECS[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown testbed {name!r}; available: {sorted(TESTBED_SPECS)}"
+        ) from None
+    rng = ensure_rng(seed)
+    centers, _ = _cluster_geometry(spec, rng)
+    assignment = rng.integers(0, spec.n_clusters, size=spec.n_nodes)
+    intra_spread = (spec.intra_cluster_ms[1] - spec.intra_cluster_ms[0]) / 2.0
+    positions = centers[assignment] + rng.normal(0.0, intra_spread, size=(spec.n_nodes, 2))
+
+    # Last-mile access delay per node; lognormal tail per platform character.
+    access = rng.lognormal(
+        mean=np.log(max(spec.intra_cluster_ms[0], 0.2)), sigma=spec.rtt_tail_sigma,
+        size=spec.n_nodes,
+    )
+    base = DenseLatencyMatrix.from_coordinates(
+        [f"{spec.name}_{i}" for i in range(spec.n_nodes)], positions
+    )
+    matrix = base.matrix.copy()
+    matrix += access[:, None] + access[None, :]
+    np.fill_diagonal(matrix, 0.0)
+    latency = DenseLatencyMatrix(base.ids, matrix).inject_tivs(
+        spec.tiv_fraction, seed=rng
+    )
+
+    capacities = sample_capacities(lognormal_capacities(sigma=1.0), spec.n_nodes, rng)
+    topology = Topology()
+    cluster_of: Dict[str, int] = {}
+    for i, node_id in enumerate(latency.ids):
+        topology.add_node(
+            Node(node_id, capacity=float(capacities[i]), role=NodeRole.WORKER,
+                 region=f"cluster{assignment[i]}"),
+            position=positions[i],
+        )
+        cluster_of[node_id] = int(assignment[i])
+    return Testbed(spec=spec, topology=topology, latency=latency, cluster_of=cluster_of)
+
+
+def ripe_atlas_subset(n: int = 418, seed: SeedLike = 0) -> Testbed:
+    """The 418-node RIPE Atlas subset used by Sections 4.4 and 4.5."""
+    return load_testbed("ripe_atlas", seed=seed).subset(n, seed=seed)
+
+
+def available_testbeds() -> List[str]:
+    """Names of all emulated platforms."""
+    return sorted(TESTBED_SPECS)

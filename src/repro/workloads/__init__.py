@@ -1,0 +1,53 @@
+"""Workload generators: synthetic OPP, DEBS-like monitoring, sensors."""
+
+from repro.workloads.debs import (
+    DebsWorkload,
+    HUMIDITY_STREAM,
+    PRESSURE_STREAM,
+    cluster_testbed,
+    debs_workload,
+)
+from repro.workloads.running_example import (
+    REGION_1,
+    REGION_2,
+    RunningExample,
+    SOURCE_RATE,
+    build_running_example,
+)
+from repro.workloads.sensor_community import (
+    Anomaly,
+    Reading,
+    SensorCommunityGenerator,
+    detect_regional_anomalies,
+)
+from repro.workloads.synthetic import (
+    LEFT_STREAM,
+    OppWorkload,
+    RIGHT_STREAM,
+    assign_workload_roles,
+    heterogeneity_sweep,
+    synthetic_opp_workload,
+)
+
+__all__ = [
+    "Anomaly",
+    "DebsWorkload",
+    "HUMIDITY_STREAM",
+    "LEFT_STREAM",
+    "OppWorkload",
+    "PRESSURE_STREAM",
+    "REGION_1",
+    "REGION_2",
+    "RIGHT_STREAM",
+    "Reading",
+    "RunningExample",
+    "SOURCE_RATE",
+    "SensorCommunityGenerator",
+    "assign_workload_roles",
+    "build_running_example",
+    "cluster_testbed",
+    "debs_workload",
+    "detect_regional_anomalies",
+    "heterogeneity_sweep",
+    "synthetic_opp_workload",
+]

@@ -1,0 +1,98 @@
+"""The running example of Section 3.1 (Figure 2).
+
+Two sensor streams — pressure T = {t1..t4} and humidity W = {w1, w2} —
+from two regions are joined on region identifier and forwarded to a local
+sink. The topology follows the edge-fog-cloud pattern: sources at the
+edge behind per-region base stations, fog workers A-G, a high-capacity
+cloud node E, and the sink. Each source emits 25 tuples/s; capacities are
+the node subscripts of Figure 2 (A|55, B|40, C|40, F|20, G|200, sources
+10, sink 20).
+
+The figure's full set of edge labels is not spelled out in the text, so
+the link latencies below are chosen to match every quantity the narrative
+states: t1 -> base 10 ms, base -> C 50 ms (so A[t1, C] = 60), t1 -> sink
+110 ms, region-1 traffic reaching the cloud E in about 130 ms, region-2
+in about 155 ms, and E -> sink around 100 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.join_matrix import JoinMatrix
+from repro.query.plan import LogicalPlan
+from repro.topology.latency import DenseLatencyMatrix
+from repro.topology.model import Node, NodeRole, Topology
+
+SOURCE_RATE = 25.0
+REGION_1 = "region1"
+REGION_2 = "region2"
+
+
+@dataclass
+class RunningExample:
+    """Topology, plan, and join matrix of the Figure 2 scenario."""
+
+    topology: Topology
+    latency: DenseLatencyMatrix
+    plan: LogicalPlan
+    matrix: JoinMatrix
+
+
+def build_running_example() -> RunningExample:
+    """Construct the Section 3.1 workload."""
+    topology = Topology()
+    # Sources (capacity 10 tuples/s each, 25 Hz emission).
+    for name, region in [
+        ("t1", REGION_1),
+        ("t2", REGION_1),
+        ("t3", REGION_2),
+        ("t4", REGION_2),
+        ("w1", REGION_1),
+        ("w2", REGION_2),
+    ]:
+        topology.add_node(Node(name, capacity=10.0, role=NodeRole.SOURCE, region=region))
+    # Base stations.
+    topology.add_node(Node("base1", capacity=30.0, role=NodeRole.GATEWAY, region=REGION_1))
+    topology.add_node(Node("base2", capacity=30.0, role=NodeRole.GATEWAY, region=REGION_2))
+    # Fog workers with Figure 2 capacities.
+    for name, capacity in [("A", 55.0), ("B", 40.0), ("C", 40.0), ("D", 60.0), ("F", 20.0), ("G", 200.0)]:
+        topology.add_node(Node(name, capacity=capacity, role=NodeRole.WORKER))
+    # Cloud and sink.
+    topology.add_node(Node("E", capacity=500.0, role=NodeRole.CLOUD))
+    topology.add_node(Node("sink", capacity=20.0, role=NodeRole.SINK))
+
+    # Region 1 edge.
+    for source in ("t1", "t2", "w1"):
+        topology.add_link(source, "base1", 10.0)
+    topology.add_link("base1", "A", 20.0)
+    topology.add_link("A", "B", 10.0)
+    topology.add_link("B", "C", 20.0)
+    topology.add_link("base1", "C", 50.0)
+    topology.add_link("C", "D", 50.0)
+    # Region 2 edge.
+    for source in ("t3", "t4", "w2"):
+        topology.add_link(source, "base2", 10.0)
+    topology.add_link("base2", "G", 35.0)
+    topology.add_link("G", "F", 20.0)
+    topology.add_link("F", "D", 45.0)
+    # Cloud and sink connectivity.
+    topology.add_link("D", "E", 30.0)
+    topology.add_link("base1", "sink", 100.0)
+    topology.add_link("E", "sink", 100.0)
+    topology.add_link("G", "sink", 120.0)
+
+    plan = LogicalPlan()
+    for name in ("t1", "t2", "t3", "t4"):
+        plan.add_source(name, node=name, rate=SOURCE_RATE, logical_stream="T")
+    for name in ("w1", "w2"):
+        plan.add_source(name, node=name, rate=SOURCE_RATE, logical_stream="W")
+    plan.add_join("join", left="T", right="W")
+    plan.add_sink("sink_op", node="sink", inputs=["join.out"])
+
+    matrix = JoinMatrix.from_regions(
+        left_regions={"t1": REGION_1, "t2": REGION_1, "t3": REGION_2, "t4": REGION_2},
+        right_regions={"w1": REGION_1, "w2": REGION_2},
+    )
+    latency = DenseLatencyMatrix.from_graph(topology)
+    return RunningExample(topology=topology, latency=latency, plan=plan, matrix=matrix)

@@ -1,0 +1,173 @@
+"""The synthetic OPP workload of Section 4.1.
+
+Role assignment mirrors the FIT IoT Lab hardware mix: 60% of nodes become
+sources, 40% workers, and the sink is drawn at random to avoid bias. Each
+source is randomly assigned to one of two logical streams and joined with
+exactly one source of the other stream, so the join matrix has exactly one
+entry per row. Source data rates are uniform in [1, 200].
+
+Capacity heterogeneity is swept from near-uniform to exponential while the
+*total* capacity is held constant, so the coefficient of variation (CV)
+isolates imbalance from provisioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import SeedLike, ensure_rng
+from repro.query.join_matrix import JoinMatrix
+from repro.query.plan import LogicalPlan
+from repro.topology.generators import (
+    CapacitySampler,
+    HeterogeneityLevel,
+    coefficient_of_variation,
+    gaussian_cluster_topology,
+    sample_capacities,
+    uniform_capacities,
+)
+from repro.topology.model import NodeRole, Topology
+
+LEFT_STREAM = "left"
+RIGHT_STREAM = "right"
+
+
+@dataclass
+class OppWorkload:
+    """A complete OPP problem instance: topology, plan, join matrix."""
+
+    topology: Topology
+    plan: LogicalPlan
+    matrix: JoinMatrix
+    sink_id: str
+
+    @property
+    def capacity_cv(self) -> float:
+        """Coefficient of variation of node capacities (the Fig. 6 x-axis)."""
+        return coefficient_of_variation([n.capacity for n in self.topology.nodes()])
+
+    def total_demand(self) -> float:
+        """Sum of source data rates (equals total join demand, Eq. 2)."""
+        return sum(op.data_rate for op in self.plan.sources())
+
+
+def assign_workload_roles(
+    topology: Topology,
+    seed: SeedLike = 0,
+    source_fraction: float = 0.6,
+    rate_range: Tuple[float, float] = (1.0, 200.0),
+) -> OppWorkload:
+    """Assign roles and build the plan/matrix over an existing topology.
+
+    The topology's capacities are kept; only roles, rates, and the pairing
+    change. Usable both on synthetic topologies and on the testbed
+    emulations (Sections 4.3-4.5 assign the same workload to FIT,
+    PlanetLab, RIPE Atlas, and King node sets).
+    """
+    rng = ensure_rng(seed)
+    ids = topology.node_ids
+    n = len(ids)
+    if n < 4:
+        raise WorkloadError("workload needs at least 4 nodes (2 sources, worker, sink)")
+    order = rng.permutation(n)
+    n_sources = max(2, int(round(source_fraction * n)))
+    if n_sources % 2 == 1:
+        n_sources -= 1
+    n_sources = min(n_sources, n - 2)
+    if n_sources % 2 == 1:
+        n_sources -= 1
+    source_ids = [ids[i] for i in order[:n_sources]]
+    worker_ids = [ids[i] for i in order[n_sources:]]
+    sink_id = worker_ids[int(rng.integers(0, len(worker_ids)))]
+
+    for node in topology.nodes():
+        node.role = NodeRole.WORKER
+    for source_id in source_ids:
+        topology.node(source_id).role = NodeRole.SOURCE
+    topology.node(sink_id).role = NodeRole.SINK
+
+    half = n_sources // 2
+    left_ids = source_ids[:half]
+    right_ids = source_ids[half:]
+
+    plan = LogicalPlan()
+    rates = rng.uniform(rate_range[0], rate_range[1], size=n_sources)
+    for index, source_id in enumerate(left_ids):
+        plan.add_source(
+            source_id, node=source_id, rate=float(rates[index]), logical_stream=LEFT_STREAM
+        )
+    for index, source_id in enumerate(right_ids):
+        plan.add_source(
+            source_id,
+            node=source_id,
+            rate=float(rates[half + index]),
+            logical_stream=RIGHT_STREAM,
+        )
+    plan.add_join("join", left=LEFT_STREAM, right=RIGHT_STREAM)
+    plan.add_sink("sink", node=sink_id, inputs=["join.out"])
+
+    matrix = JoinMatrix(left_ids, right_ids)
+    for left_id, right_id in zip(left_ids, right_ids):
+        matrix.allow(left_id, right_id)
+    return OppWorkload(topology=topology, plan=plan, matrix=matrix, sink_id=sink_id)
+
+
+def synthetic_opp_workload(
+    n_nodes: int,
+    capacity_sampler: Optional[CapacitySampler] = None,
+    total_capacity: Optional[float] = None,
+    seed: SeedLike = 0,
+    n_clusters: int = 10,
+    source_fraction: float = 0.6,
+    rate_range: Tuple[float, float] = (1.0, 200.0),
+) -> OppWorkload:
+    """A synthetic Gaussian-cluster OPP instance of ``n_nodes`` nodes.
+
+    ``total_capacity`` defaults to ``200 * n_nodes`` — roughly twice the
+    expected join demand, which leaves room for the partition re-delivery
+    overhead of spread placements while keeping single nodes too small for
+    the whole-pair placements the baselines attempt. It is held constant
+    across heterogeneity levels.
+    """
+    rng = ensure_rng(seed)
+    if total_capacity is None:
+        total_capacity = 200.0 * n_nodes
+    topology = gaussian_cluster_topology(
+        n_nodes,
+        n_clusters=n_clusters,
+        capacity_sampler=capacity_sampler or uniform_capacities(),
+        total_capacity=total_capacity,
+        seed=rng,
+    )
+    return assign_workload_roles(
+        topology, seed=rng, source_fraction=source_fraction, rate_range=rate_range
+    )
+
+
+def heterogeneity_sweep(
+    n_nodes: int,
+    levels: List[HeterogeneityLevel],
+    seed: SeedLike = 0,
+    total_capacity: Optional[float] = None,
+) -> List[Tuple[HeterogeneityLevel, OppWorkload]]:
+    """One workload per heterogeneity level with constant total capacity.
+
+    The pairing and rates are re-sampled per level from the same seed
+    stream, matching the paper's independent topology samples per CV point.
+    """
+    base_rng = ensure_rng(seed)
+    instances: List[Tuple[HeterogeneityLevel, OppWorkload]] = []
+    for level in levels:
+        level_seed = int(base_rng.integers(0, 2**31 - 1))
+        workload = synthetic_opp_workload(
+            n_nodes,
+            capacity_sampler=level.sampler,
+            total_capacity=total_capacity,
+            seed=level_seed,
+        )
+        instances.append((level, workload))
+    return instances

@@ -1,0 +1,80 @@
+"""Cl-SF and Cl-Tree-SF baselines and the registry."""
+
+import pytest
+
+from repro.baselines.cluster_sf import ClusterSfPlacement
+from repro.baselines.cluster_tree_sf import ClusterTreeSfPlacement
+from repro.baselines.registry import available_baselines, make_baseline
+from repro.common.errors import OptimizationError
+from repro.workloads.running_example import build_running_example
+from repro.workloads.synthetic import synthetic_opp_workload
+from repro.topology.latency import DenseLatencyMatrix
+
+
+@pytest.fixture(scope="module")
+def example():
+    return build_running_example()
+
+
+class TestClusterSf:
+    def test_same_cluster_pairs_go_to_head(self, example):
+        strategy = ClusterSfPlacement(n_clusters=2, seed=0)
+        placement = strategy.place(example.topology, example.plan, example.matrix, example.latency)
+        clustering = strategy.last_clustering
+        for sub in placement.sub_replicas:
+            left_cluster = clustering.cluster_of(sub.left_node)
+            right_cluster = clustering.cluster_of(sub.right_node)
+            if left_cluster == right_cluster:
+                assert sub.node_id == clustering.heads[left_cluster]
+            else:
+                assert sub.node_id == sub.sink_node
+
+    def test_works_on_coordinate_topology(self):
+        workload = synthetic_opp_workload(60, seed=2)
+        strategy = ClusterSfPlacement(seed=0)
+        placement = strategy.place(workload.topology, workload.plan, workload.matrix)
+        assert placement.replica_count() == workload.matrix.num_pairs()
+
+
+class TestClusterTreeSf:
+    def test_hosts_are_heads_or_sink(self, example):
+        strategy = ClusterTreeSfPlacement(n_clusters=3, seed=0)
+        placement = strategy.place(example.topology, example.plan, example.matrix, example.latency)
+        heads = set(strategy.last_clustering.heads.values())
+        allowed = heads | {"sink"}
+        for sub in placement.sub_replicas:
+            assert sub.node_id in allowed
+
+    def test_parent_maps_retained(self, example):
+        strategy = ClusterTreeSfPlacement(n_clusters=3, seed=0)
+        strategy.place(example.topology, example.plan, example.matrix, example.latency)
+        assert strategy.last_parents_by_sink
+
+
+class TestRegistry:
+    def test_all_six_baselines_registered(self):
+        assert available_baselines() == [
+            "sink-based",
+            "source-based",
+            "top-c",
+            "tree",
+            "cl-sf",
+            "cl-tree-sf",
+        ]
+
+    def test_make_baseline(self):
+        strategy = make_baseline("sink-based")
+        assert strategy.name == "sink-based"
+
+    def test_unknown_baseline(self):
+        with pytest.raises(OptimizationError):
+            make_baseline("quantum")
+
+    @pytest.mark.parametrize("name", available_baselines())
+    def test_every_baseline_places_running_example(self, name, example):
+        placement = make_baseline(name).place(
+            example.topology, example.plan, example.matrix, example.latency
+        )
+        assert placement.replica_count() == 4
+        for sub in placement.sub_replicas:
+            assert sub.node_id in example.topology

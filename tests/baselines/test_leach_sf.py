@@ -1,0 +1,100 @@
+"""LEACH-SF fuzzy clustering."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.leach_sf import Clustering, fuzzy_c_means, leach_sf_clustering
+from repro.common.errors import OptimizationError
+
+
+def blob_points(seed=0):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [
+            rng.normal((0, 0), 0.5, (20, 2)),
+            rng.normal((20, 0), 0.5, (20, 2)),
+            rng.normal((0, 20), 0.5, (20, 2)),
+        ]
+    )
+
+
+class TestFuzzyCMeans:
+    def test_memberships_are_a_distribution(self):
+        points = blob_points()
+        _, memberships = fuzzy_c_means(points, 3, seed=0)
+        assert memberships.shape == (60, 3)
+        assert np.allclose(memberships.sum(axis=1), 1.0)
+        assert (memberships >= 0).all()
+
+    def test_recovers_separated_blobs(self):
+        points = blob_points()
+        _, memberships = fuzzy_c_means(points, 3, seed=0)
+        labels = memberships.argmax(axis=1)
+        # Each true blob should be dominated by a single cluster label.
+        for start in (0, 20, 40):
+            block = labels[start : start + 20]
+            dominant = np.bincount(block).max()
+            assert dominant >= 18
+
+    def test_centers_near_blob_means(self):
+        points = blob_points()
+        centers, _ = fuzzy_c_means(points, 3, seed=0)
+        true_means = np.array([[0, 0], [20, 0], [0, 20]], dtype=float)
+        for mean in true_means:
+            assert np.linalg.norm(centers - mean, axis=1).min() < 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_clusters": 0},
+            {"n_clusters": 100},
+            {"fuzzifier": 1.0},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        points = blob_points()
+        with pytest.raises(OptimizationError):
+            fuzzy_c_means(points, **{"n_clusters": 3, **kwargs})
+
+    def test_empty_points(self):
+        with pytest.raises(OptimizationError):
+            fuzzy_c_means(np.zeros((0, 2)), 1)
+
+    def test_single_cluster(self):
+        points = blob_points()
+        centers, memberships = fuzzy_c_means(points, 1, seed=0)
+        assert centers.shape == (1, 2)
+        assert np.allclose(memberships, 1.0)
+
+
+class TestLeachSfClustering:
+    def coordinates(self, seed=0):
+        points = blob_points(seed)
+        return {f"n{i}": points[i] for i in range(len(points))}
+
+    def test_heads_are_members_of_their_cluster(self):
+        clustering = leach_sf_clustering(self.coordinates(), n_clusters=3, seed=0)
+        for cluster, head in clustering.heads.items():
+            assert clustering.cluster_of(head) == cluster
+
+    def test_every_label_has_head(self):
+        clustering = leach_sf_clustering(self.coordinates(), n_clusters=3, seed=0)
+        assert set(np.unique(clustering.labels).tolist()) == set(clustering.heads)
+
+    def test_default_cluster_count_sqrt_n(self):
+        clustering = leach_sf_clustering(self.coordinates(), seed=0)
+        assert len(clustering.heads) <= 8  # ~sqrt(60)
+
+    def test_head_of_and_members(self):
+        clustering = leach_sf_clustering(self.coordinates(), n_clusters=3, seed=0)
+        head = clustering.head_of("n0")
+        assert head in clustering.members(clustering.cluster_of("n0"))
+
+    def test_empty_coordinates_rejected(self):
+        with pytest.raises(OptimizationError):
+            leach_sf_clustering({})
+
+    def test_n_clusters_clamped(self):
+        coords = {f"n{i}": np.array([float(i), 0.0]) for i in range(3)}
+        clustering = leach_sf_clustering(coords, n_clusters=10, seed=0)
+        assert len(clustering.heads) <= 3

@@ -1,0 +1,94 @@
+"""Sink-based, source-based, and top-c baselines."""
+
+import pytest
+
+from repro.baselines.sink_based import SinkBasedPlacement
+from repro.baselines.source_based import SourceBasedPlacement
+from repro.baselines.top_c import TopCPlacement
+from repro.evaluation.overload import overload_percentage
+from repro.workloads.running_example import build_running_example
+
+
+@pytest.fixture(scope="module")
+def example():
+    return build_running_example()
+
+
+class TestSinkBased:
+    def test_everything_at_sink(self, example):
+        placement = SinkBasedPlacement().place(example.topology, example.plan, example.matrix)
+        assert placement.nodes_used() == ["sink"]
+        assert placement.replica_count() == 4
+
+    def test_sink_overloaded(self, example):
+        placement = SinkBasedPlacement().place(example.topology, example.plan, example.matrix)
+        # 4 pairs x 50 tuples/s = 200 demand on a 20-capacity sink.
+        assert overload_percentage(placement, example.topology) == 100.0
+
+    def test_pinned_recorded(self, example):
+        placement = SinkBasedPlacement().place(example.topology, example.plan, example.matrix)
+        assert placement.pinned["t1"] == "t1"
+
+
+class TestSourceBased:
+    def test_placed_on_higher_rate_source(self, example):
+        placement = SourceBasedPlacement().place(example.topology, example.plan, example.matrix)
+        # All sources emit 25 Hz, ties go to the left source.
+        hosts = {s.node_id for s in placement.sub_replicas}
+        assert hosts <= {"t1", "t2", "t3", "t4"}
+
+    def test_rate_tiebreak(self):
+        from repro.query.join_matrix import JoinMatrix
+        from repro.query.plan import LogicalPlan
+        from repro.topology.model import Node, Topology
+
+        topology = Topology()
+        for name in ("a", "b", "k"):
+            topology.add_node(Node(name, 100.0))
+        plan = LogicalPlan()
+        plan.add_source("sa", node="a", rate=5.0, logical_stream="L")
+        plan.add_source("sb", node="b", rate=50.0, logical_stream="R")
+        plan.add_join("j", left="L", right="R")
+        plan.add_sink("k", node="k", inputs=["j.out"])
+        matrix = JoinMatrix.dense(["sa"], ["sb"])
+        placement = SourceBasedPlacement().place(topology, plan, matrix)
+        assert placement.sub_replicas[0].node_id == "b"  # higher-rate side
+
+
+class TestTopC:
+    def test_decrementing_spreads_over_best_nodes(self, example):
+        placement = TopCPlacement().place(example.topology, example.plan, example.matrix)
+        hosts = {s.node_id for s in placement.sub_replicas}
+        # E (500) and G (200) are the two largest; all four pairs (50 each)
+        # fit E before its availability drops below G.
+        assert "E" in hosts
+
+    def test_static_mode_single_node(self, example):
+        placement = TopCPlacement(decrement=False).place(
+            example.topology, example.plan, example.matrix
+        )
+        assert placement.nodes_used() == ["E"]
+
+    def test_decrement_mode_tracks_availability(self):
+        from repro.query.join_matrix import JoinMatrix
+        from repro.query.plan import LogicalPlan
+        from repro.topology.model import Node, Topology
+
+        topology = Topology()
+        topology.add_node(Node("big", 100.0))
+        topology.add_node(Node("mid", 90.0))
+        topology.add_node(Node("k", 1.0))
+        plan = LogicalPlan()
+        for i in range(3):
+            plan.add_source(f"l{i}", node="big" if i == 0 else "mid", rate=30.0, logical_stream="L")
+        plan.add_source("r0", node="mid", rate=30.0, logical_stream="R")
+        plan.add_join("j", left="L", right="R")
+        plan.add_sink("k", node="k", inputs=["j.out"])
+        matrix = JoinMatrix(["l0", "l1", "l2"], ["r0"])
+        for left in ("l0", "l1", "l2"):
+            matrix.allow(left, "r0")
+        placement = TopCPlacement().place(topology, plan, matrix)
+        hosts = [s.node_id for s in placement.sub_replicas]
+        # First pair goes to big (100), dropping it to 40; second to mid
+        # (90 -> 30); third back to big (40).
+        assert hosts == ["big", "mid", "big"]

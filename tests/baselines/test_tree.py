@@ -1,0 +1,75 @@
+"""The MST tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tree import (
+    TreePlacement,
+    meeting_node,
+    mst_parent_map,
+    path_to_root,
+    tree_path_latency,
+)
+from repro.common.errors import TopologyError
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.running_example import build_running_example
+
+
+def star_matrix():
+    """hub at distance 1 from each of three leaves; leaves mutually at 10."""
+    ids = ["hub", "a", "b", "c"]
+    matrix = np.full((4, 4), 10.0)
+    matrix[0, :] = matrix[:, 0] = 1.0
+    np.fill_diagonal(matrix, 0.0)
+    return DenseLatencyMatrix(ids, matrix)
+
+
+class TestMstParentMap:
+    def test_star_tree_rooted_at_leaf(self):
+        parents = mst_parent_map(star_matrix(), root="a")
+        # MST is the star; rooted at a, the hub's parent is a.
+        assert parents["hub"] == "a"
+        assert parents["b"] == "hub"
+        assert parents["c"] == "hub"
+        assert "a" not in parents
+
+    def test_path_to_root(self):
+        parents = mst_parent_map(star_matrix(), root="a")
+        assert path_to_root("b", parents) == ["b", "hub", "a"]
+        assert path_to_root("a", parents) == ["a"]
+
+    def test_meeting_node(self):
+        parents = mst_parent_map(star_matrix(), root="a")
+        assert meeting_node("b", "c", parents) == "hub"
+        assert meeting_node("b", "hub", parents) == "hub"
+        assert meeting_node("b", "b", parents) == "b"
+
+    def test_tree_path_latency(self):
+        parents = mst_parent_map(star_matrix(), root="a")
+        assert tree_path_latency("b", "c", parents, star_matrix()) == pytest.approx(2.0)
+        assert tree_path_latency("b", "a", parents, star_matrix()) == pytest.approx(2.0)
+        assert tree_path_latency("a", "a", parents, star_matrix()) == 0.0
+
+
+class TestTreePlacement:
+    def test_join_at_path_intersection(self):
+        example = build_running_example()
+        strategy = TreePlacement()
+        placement = strategy.place(example.topology, example.plan, example.matrix, example.latency)
+        assert placement.replica_count() == 4
+        # Region-2 sources route through base2 toward the sink; the meeting
+        # node lies in region 2's branch, not at a region-1 node.
+        region2 = [s for s in placement.sub_replicas if s.left_source in ("t3", "t4")]
+        for sub in region2:
+            assert sub.node_id in {"base2", "G", "F", "D", "base1", "sink"}
+
+    def test_parent_maps_retained_for_evaluation(self):
+        example = build_running_example()
+        strategy = TreePlacement()
+        strategy.place(example.topology, example.plan, example.matrix, example.latency)
+        assert "sink" in strategy.last_parents_by_root
+
+    def test_latency_defaults_from_topology(self):
+        example = build_running_example()
+        placement = TreePlacement().place(example.topology, example.plan, example.matrix)
+        assert placement.replica_count() == 4

@@ -1,0 +1,47 @@
+"""ASCII scatter rendering."""
+
+import numpy as np
+import pytest
+
+from repro.common.ascii_plot import scatter
+
+
+class TestScatter:
+    def test_dimensions(self):
+        points = np.random.default_rng(0).uniform(0, 1, (50, 2))
+        text = scatter(points, width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 13  # border + 10 rows + border + axis line
+        assert all(len(line) == 42 for line in lines[:-1])
+
+    def test_title(self):
+        text = scatter(np.zeros((1, 2)), title="Figure 5")
+        assert text.splitlines()[0] == "Figure 5"
+
+    def test_clusters_render_densely(self):
+        rng = np.random.default_rng(1)
+        cluster = rng.normal((0, 0), 0.01, (200, 2))
+        spread = rng.uniform(-10, 10, (5, 2))
+        text = scatter(np.vstack([cluster, spread]), width=30, height=10)
+        assert "#" in text or "@" in text  # dense cell present
+
+    def test_labels_marked(self):
+        points = np.array([[0.0, 0.0], [10.0, 10.0]])
+        text = scatter(points, labels={"sink": np.array([10.0, 10.0])})
+        assert "S" in text
+
+    def test_degenerate_single_point(self):
+        text = scatter(np.array([[5.0, 5.0]]))
+        assert "n=1" in text
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            scatter(np.zeros((3,)))
+        with pytest.raises(ValueError):
+            scatter(np.zeros((2, 2)), width=1)
+
+    def test_axis_ranges_reported(self):
+        points = np.array([[0.0, -5.0], [100.0, 5.0]])
+        text = scatter(points)
+        assert "x: [0.0, 100.0]" in text
+        assert "y: [-5.0, 5.0]" in text

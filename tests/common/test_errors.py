@@ -1,0 +1,56 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.common.errors import (
+    DisconnectedTopologyError,
+    EmbeddingError,
+    InfeasiblePlacementError,
+    JoinMatrixError,
+    OptimizationError,
+    PlanError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    UnknownNodeError,
+    UnknownOperatorError,
+    WorkloadError,
+)
+
+ALL_ERRORS = [
+    DisconnectedTopologyError,
+    EmbeddingError,
+    InfeasiblePlacementError,
+    JoinMatrixError,
+    OptimizationError,
+    PlanError,
+    SimulationError,
+    TopologyError,
+    UnknownNodeError,
+    UnknownOperatorError,
+    WorkloadError,
+]
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_cls):
+    assert issubclass(error_cls, ReproError)
+
+
+def test_unknown_node_keeps_id():
+    error = UnknownNodeError("n42")
+    assert error.node_id == "n42"
+    assert "n42" in str(error)
+
+
+def test_unknown_operator_keeps_id():
+    error = UnknownOperatorError("join1")
+    assert error.operator_id == "join1"
+
+
+def test_infeasible_is_optimization_error():
+    assert issubclass(InfeasiblePlacementError, OptimizationError)
+
+
+def test_disconnected_is_topology_error():
+    assert issubclass(DisconnectedTopologyError, TopologyError)

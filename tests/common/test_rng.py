@@ -1,0 +1,37 @@
+"""Seeded RNG helpers."""
+
+import numpy as np
+
+from repro.common.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_generator_passes_through(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 2**31, size=8)
+        b = ensure_rng(2).integers(0, 2**31, size=8)
+        assert not (a == b).all()
+
+
+class TestSpawnRng:
+    def test_child_is_independent_stream(self):
+        parent = ensure_rng(7)
+        child = spawn_rng(parent)
+        assert isinstance(child, np.random.Generator)
+        assert child is not parent
+
+    def test_spawn_is_deterministic_given_parent_state(self):
+        a = spawn_rng(ensure_rng(7)).integers(0, 1000, size=5)
+        b = spawn_rng(ensure_rng(7)).integers(0, 1000, size=5)
+        assert (a == b).all()

@@ -1,0 +1,61 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.common.tables import format_value, render_series, render_table
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_value(1.5e9)
+
+    def test_small_float_scientific(self):
+        assert "e" in format_value(1.5e-7)
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_value("nova") == "nova"
+
+    def test_thousands_separator(self):
+        assert format_value(123456.0) == "123,456.00"
+
+
+class TestRenderTable:
+    def test_alignment_and_structure(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["bbbb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="Figure 6")
+        assert text.splitlines()[0] == "Figure 6"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_series_rows(self):
+        text = render_series("lat", [1, 2], [10.0, 20.0], "hour", "ms")
+        assert "hour" in text and "ms" in text
+        assert "10.00" in text and "20.00" in text
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_series("s", [1], [1, 2])

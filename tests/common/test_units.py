@@ -1,0 +1,62 @@
+"""Unit helpers: validation and conversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.units import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    ms_to_seconds,
+    seconds_to_ms,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_coerces_int(self):
+        assert check_positive("x", 3) == 3.0
+        assert isinstance(check_positive("x", 3), float)
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    @pytest.mark.parametrize("value", [-0.001, float("nan"), float("-inf")])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_non_negative("x", value)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_fractions(self, value):
+        assert check_fraction("sigma", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError, match="sigma"):
+            check_fraction("sigma", value)
+
+
+class TestConversions:
+    def test_ms_to_seconds(self):
+        assert ms_to_seconds(1500.0) == 1.5
+
+    def test_seconds_to_ms(self):
+        assert seconds_to_ms(0.25) == 250.0
+
+    @given(st.floats(min_value=0, max_value=1e9))
+    def test_roundtrip(self, value):
+        assert math.isclose(seconds_to_ms(ms_to_seconds(value)), value, abs_tol=1e-6)

@@ -1,0 +1,148 @@
+"""Phase III: physical replica assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import place_replica
+from repro.core.config import FALLBACK_SPREAD, NovaConfig
+from repro.core.cost_space import CostSpace
+from repro.query.expansion import JoinPairReplica
+
+
+def make_replica(left_rate=25.0, right_rate=25.0):
+    return JoinPairReplica(
+        replica_id="join[txw]",
+        join_id="join",
+        left_source="t",
+        right_source="w",
+        left_node="nt",
+        right_node="nw",
+        sink_id="sink",
+        sink_node="nsink",
+        left_rate=left_rate,
+        right_rate=right_rate,
+    )
+
+
+def make_space(worker_positions):
+    coords = {"nt": np.array([0.0, 0.0]), "nw": np.array([10.0, 0.0]), "nsink": np.array([5.0, 10.0])}
+    for name, position in worker_positions.items():
+        coords[name] = np.array(position, dtype=float)
+    return CostSpace(coords)
+
+
+class TestBasicPlacement:
+    def test_fits_on_single_big_node(self):
+        space = make_space({"big": [5.0, 3.0]})
+        available = {"big": 100.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        outcome = place_replica(
+            make_replica(), np.array([5.0, 3.0]), space, available, NovaConfig(sigma=1.0)
+        )
+        assert not outcome.overload_accepted
+        assert {s.node_id for s in outcome.subs} == {"big"}
+        assert available["big"] == pytest.approx(50.0)
+
+    def test_partitioned_across_small_nodes(self):
+        space = make_space({"w1": [5.0, 3.0], "w2": [5.5, 3.0], "w3": [6.0, 3.0], "w4": [6.5, 3.0]})
+        available = {"w1": 30.0, "w2": 30.0, "w3": 30.0, "w4": 30.0,
+                     "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        outcome = place_replica(
+            make_replica(), np.array([5.0, 3.0]), space, available, NovaConfig(sigma=0.4)
+        )
+        assert not outcome.overload_accepted
+        assert len({s.node_id for s in outcome.subs}) >= 2
+        # No node exceeded its capacity.
+        assert all(value >= -1e-9 for value in available.values())
+
+    def test_charged_capacity_dedupes_shared_partitions(self):
+        """All cells of a grid merged on one node charge each distinct
+        partition once: total = left + right rates, not m*n demands."""
+        space = make_space({"big": [5.0, 3.0]})
+        available = {"big": 1000.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        replica = make_replica(50.0, 50.0)
+        outcome = place_replica(
+            replica, np.array([5.0, 3.0]), space, available, NovaConfig(sigma=0.2)
+        )
+        assert outcome.partitioning.replica_count > 1
+        assert {s.node_id for s in outcome.subs} == {"big"}
+        total_charged = sum(s.charged_capacity for s in outcome.subs)
+        assert total_charged == pytest.approx(100.0)
+        assert available["big"] == pytest.approx(900.0)
+
+    def test_running_example_packing(self):
+        """sigma=0 with rates 25/25 (625 cells) packs into two nodes of
+        capacity 40 and 35 like nodes B and C of the running example."""
+        space = make_space({"B": [5.0, 3.0], "C": [5.2, 3.0]})
+        available = {"B": 40.0, "C": 35.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        outcome = place_replica(
+            make_replica(), np.array([5.0, 3.0]), space, available, NovaConfig(sigma=0.0)
+        )
+        assert len(outcome.subs) == 625
+        assert not outcome.overload_accepted
+        assert all(value >= -1e-9 for value in available.values())
+
+
+class TestFallbacks:
+    def test_expansion_reaches_distant_capacity(self):
+        positions = {f"w{i}": [float(i), 50.0] for i in range(20)}
+        space = make_space(positions)
+        available = {f"w{i}": 1.0 for i in range(19)}
+        available["w19"] = 100.0
+        available.update({"nt": 0.0, "nw": 0.0, "nsink": 0.0})
+        outcome = place_replica(
+            make_replica(), np.array([0.0, 50.0]), space, available,
+            NovaConfig(sigma=1.0, max_candidate_expansions=8),
+        )
+        assert not outcome.overload_accepted
+        assert outcome.subs[0].node_id == "w19"
+
+    def test_spread_accepts_overload(self):
+        space = make_space({"w1": [5.0, 3.0], "w2": [6.0, 3.0]})
+        available = {"w1": 10.0, "w2": 10.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        outcome = place_replica(
+            make_replica(), np.array([5.0, 3.0]), space, available,
+            NovaConfig(sigma=1.0, fallback=FALLBACK_SPREAD),
+        )
+        assert outcome.overload_accepted
+        assert len(outcome.subs) == 1
+
+    def test_expand_then_spread_when_truly_infeasible(self):
+        space = make_space({"w1": [5.0, 3.0]})
+        available = {"w1": 1.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        outcome = place_replica(
+            make_replica(), np.array([5.0, 3.0]), space, available, NovaConfig(sigma=1.0)
+        )
+        assert outcome.overload_accepted
+        assert len(outcome.subs) == 1
+
+
+class TestCMin:
+    def test_nodes_below_cmin_not_used(self):
+        space = make_space({"small": [5.0, 3.0], "big": [6.0, 3.0]})
+        available = {"small": 55.0, "big": 60.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        outcome = place_replica(
+            make_replica(), np.array([5.0, 3.0]), space, available,
+            NovaConfig(sigma=1.0, min_available_capacity=58.0),
+        )
+        assert {s.node_id for s in outcome.subs} == {"big"}
+
+
+class TestSubMetadata:
+    def test_sub_ids_encode_grid_cells(self):
+        space = make_space({"big": [5.0, 3.0]})
+        available = {"big": 1000.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        outcome = place_replica(
+            make_replica(10.0, 10.0), np.array([5.0, 3.0]), space, available,
+            NovaConfig(sigma=0.5),
+        )
+        suffixes = {s.sub_id.rsplit("/", 1)[1] for s in outcome.subs}
+        assert len(suffixes) == len(outcome.subs)  # unique cells
+
+    def test_endpoints_propagated(self):
+        space = make_space({"big": [5.0, 3.0]})
+        available = {"big": 100.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        outcome = place_replica(
+            make_replica(), np.array([5.0, 3.0]), space, available, NovaConfig(sigma=1.0)
+        )
+        sub = outcome.subs[0]
+        assert sub.left_node == "nt" and sub.right_node == "nw" and sub.sink_node == "nsink"

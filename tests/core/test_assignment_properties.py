@@ -1,0 +1,132 @@
+"""Property-based invariants of physical replica assignment.
+
+For arbitrary rates, capacities, and sigma, Phase III must uphold:
+
+* grid completeness — every (i, j) partition-pair cell is placed exactly
+  once, so the union of sub-joins reconstructs the full join;
+* capacity safety — unless overload was explicitly accepted, no node's
+  ledger goes negative;
+* merge consistency — the total charged demand never exceeds the naive
+  per-cell total, and per-node charges equal the node's distinct
+  partitions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import place_replica
+from repro.core.config import NovaConfig
+from repro.core.cost_space import CostSpace
+from repro.core.partitioning import plan_partitions
+from repro.query.expansion import JoinPairReplica
+
+rates = st.floats(min_value=1.0, max_value=300.0)
+sigmas = st.floats(min_value=0.05, max_value=1.0)
+capacities = st.lists(st.floats(min_value=5.0, max_value=400.0), min_size=3, max_size=12)
+
+
+def build_problem(left_rate, right_rate, worker_capacities, seed=0):
+    rng = np.random.default_rng(seed)
+    coords = {
+        "nt": np.array([0.0, 0.0]),
+        "nw": np.array([10.0, 0.0]),
+        "nsink": np.array([5.0, 10.0]),
+    }
+    available = {"nt": 0.0, "nw": 0.0, "nsink": 0.0}
+    for index, capacity in enumerate(worker_capacities):
+        name = f"w{index}"
+        coords[name] = rng.uniform(0.0, 10.0, 2)
+        available[name] = float(capacity)
+    replica = JoinPairReplica(
+        replica_id="j[txw]",
+        join_id="j",
+        left_source="t",
+        right_source="w",
+        left_node="nt",
+        right_node="nw",
+        sink_id="sink",
+        sink_node="nsink",
+        left_rate=left_rate,
+        right_rate=right_rate,
+    )
+    return replica, CostSpace(coords), available
+
+
+@given(rates, rates, sigmas, capacities, st.integers(min_value=0, max_value=1000))
+@settings(max_examples=80, deadline=None)
+def test_property_grid_complete_and_capacity_safe(
+    left_rate, right_rate, sigma, worker_capacities, seed
+):
+    replica, space, available = build_problem(left_rate, right_rate, worker_capacities, seed)
+    original = dict(available)
+    config = NovaConfig(sigma=sigma, seed=seed)
+    outcome = place_replica(
+        replica, np.array([5.0, 3.0]), space, available, config
+    )
+
+    partitioning = plan_partitions(left_rate, right_rate, sigma=sigma)
+    # Grid completeness: every cell placed exactly once.
+    expected_cells = {
+        (i, j)
+        for i in range(len(partitioning.left_partitions))
+        for j in range(len(partitioning.right_partitions))
+    }
+    placed_cells = set()
+    for sub in outcome.subs:
+        suffix = sub.sub_id.rsplit("/", 1)[1]
+        i, j = (int(part) for part in suffix.split("x"))
+        assert (i, j) not in placed_cells
+        placed_cells.add((i, j))
+    assert placed_cells == expected_cells
+
+    # Capacity safety.
+    if not outcome.overload_accepted:
+        for node_id, remaining in available.items():
+            assert remaining >= -1e-9, node_id
+
+    # Ledger arithmetic: charged == consumed availability.
+    consumed = {
+        node_id: original[node_id] - available[node_id] for node_id in original
+    }
+    charged = {}
+    for sub in outcome.subs:
+        charged[sub.node_id] = charged.get(sub.node_id, 0.0) + sub.charged_capacity
+    for node_id, amount in charged.items():
+        assert amount == pytest.approx(consumed.get(node_id, 0.0), abs=1e-6)
+
+    # Merge consistency: total charged never exceeds the naive sum, and
+    # per-node charge equals that node's distinct partitions.
+    naive_total = sum(partitioning.replica_demands())
+    assert sum(charged.values()) <= naive_total + 1e-6
+    for node_id in charged:
+        left_parts = set()
+        right_parts = set()
+        for sub in outcome.subs:
+            if sub.node_id != node_id:
+                continue
+            suffix = sub.sub_id.rsplit("/", 1)[1]
+            i, j = (int(part) for part in suffix.split("x"))
+            left_parts.add(i)
+            right_parts.add(j)
+        expected = sum(partitioning.left_partitions[i] for i in left_parts) + sum(
+            partitioning.right_partitions[j] for j in right_parts
+        )
+        assert charged[node_id] == pytest.approx(expected, abs=1e-6)
+
+
+@given(rates, rates, st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_property_abundant_capacity_never_overloads(left_rate, right_rate, seed):
+    """With one node big enough for everything, no overload ever occurs
+    and the total charge collapses to the un-partitioned demand."""
+    replica, space, available = build_problem(
+        left_rate, right_rate, [10_000.0], seed
+    )
+    outcome = place_replica(
+        replica, np.array([5.0, 3.0]), space, available, NovaConfig(sigma=0.3, seed=seed)
+    )
+    assert not outcome.overload_accepted
+    total_charged = sum(s.charged_capacity for s in outcome.subs)
+    assert total_charged == pytest.approx(left_rate + right_rate, rel=1e-6)

@@ -1,0 +1,61 @@
+"""Candidate selection (adaptive k, C_min filter)."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import adaptive_k, select_candidates
+from repro.core.cost_space import CostSpace
+
+
+def line_space(n=10):
+    return CostSpace({f"n{i}": np.array([float(i), 0.0]) for i in range(n)})
+
+
+class TestAdaptiveK:
+    def test_scales_with_demand(self):
+        assert adaptive_k(100.0, 10.0) == 10
+        assert adaptive_k(5.0, 10.0) == 2  # floored at the minimum
+
+    def test_zero_median(self):
+        assert adaptive_k(100.0, 0.0) == 2
+
+    def test_custom_minimum(self):
+        assert adaptive_k(1.0, 100.0, minimum=5) == 5
+
+
+class TestSelectCandidates:
+    def test_nearest_first(self):
+        space = line_space()
+        available = {f"n{i}": 100.0 for i in range(10)}
+        candidates = select_candidates(space, [0.0, 0.0], 50.0, available, k=3)
+        assert [c.node_id for c in candidates] == ["n0", "n1", "n2"]
+        assert candidates[0].distance <= candidates[1].distance
+
+    def test_cmin_filters(self):
+        space = line_space(5)
+        available = {"n0": 5.0, "n1": 50.0, "n2": 50.0, "n3": 5.0, "n4": 50.0}
+        candidates = select_candidates(
+            space, [0.0, 0.0], 50.0, available, min_available=10.0, k=3
+        )
+        assert "n0" not in [c.node_id for c in candidates]
+        assert candidates[0].node_id == "n1"
+
+    def test_adaptive_k_used_when_not_given(self):
+        space = line_space(10)
+        available = {f"n{i}": 10.0 for i in range(10)}
+        candidates = select_candidates(space, [0.0, 0.0], 40.0, available)
+        assert len(candidates) == 4  # ceil(40 / 10)
+
+    def test_exclude(self):
+        space = line_space(4)
+        available = {f"n{i}": 10.0 for i in range(4)}
+        candidates = select_candidates(
+            space, [0.0, 0.0], 10.0, available, k=2, exclude={"n0"}
+        )
+        assert "n0" not in [c.node_id for c in candidates]
+
+    def test_available_capacity_reported(self):
+        space = line_space(3)
+        available = {"n0": 7.0, "n1": 8.0, "n2": 9.0}
+        candidates = select_candidates(space, [0.0, 0.0], 1.0, available, k=1)
+        assert candidates[0].available == 7.0

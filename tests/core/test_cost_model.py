@@ -1,0 +1,58 @@
+"""Cost model and constraint checks (Eqs. 2-4)."""
+
+import pytest
+
+from repro.core.cost_model import (
+    check_bandwidth,
+    check_capacity,
+    check_min_availability,
+    required_capacity,
+)
+
+
+class TestRequiredCapacity:
+    def test_sum_of_input_rates(self):
+        assert required_capacity([25.0, 25.0]) == 50.0
+
+    def test_empty_is_zero(self):
+        assert required_capacity([]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            required_capacity([10.0, -1.0])
+
+
+class TestCapacityCheck:
+    def test_ok(self):
+        assert check_capacity({"a": 10.0}, {"a": 10.0}) == []
+
+    def test_violation_reported(self):
+        violations = check_capacity({"a": 11.0}, {"a": 10.0})
+        assert len(violations) == 1
+        assert violations[0].kind == "capacity"
+        assert violations[0].subject == "a"
+
+    def test_unknown_node_counts_as_zero_capacity(self):
+        assert len(check_capacity({"ghost": 1.0}, {})) == 1
+
+
+class TestMinAvailability:
+    def test_ok(self):
+        assert check_min_availability(["a"], {"a": 20.0}, 15.0) == []
+
+    def test_violation(self):
+        violations = check_min_availability(["a"], {"a": 10.0}, 15.0)
+        assert violations[0].kind == "min_availability"
+
+
+class TestBandwidth:
+    def test_disabled_when_threshold_none(self):
+        assert check_bandwidth({"r": 1e9}, None) == []
+
+    def test_violation(self):
+        violations = check_bandwidth({"r": 50.0}, 40.0)
+        assert violations[0].kind == "bandwidth"
+        assert violations[0].subject == "r"
+
+    def test_ok(self):
+        assert check_bandwidth({"r": 40.0}, 40.0) == []

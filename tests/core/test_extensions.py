@@ -1,0 +1,195 @@
+"""Section 3.6 extensions: metrics, multi-way joins, spring placement."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EmbeddingError, PlanError
+from repro.core.config import NovaConfig
+from repro.core.cost_space import CostSpace
+from repro.core.extensions import (
+    MetricSpec,
+    build_augmented_cost_space,
+    colocate_filters,
+    decompose_multiway_join,
+    spring_virtual_placement,
+)
+from repro.query.operators import Operator, OperatorKind
+from repro.query.plan import LogicalPlan
+from repro.topology.latency import DenseLatencyMatrix
+
+
+def euclidean_matrix(n=15, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0, 100, (n, 2))
+    return DenseLatencyMatrix.from_coordinates(
+        [f"n{i}" for i in range(n)], coords, scale=scale
+    )
+
+
+class TestAugmentedCostSpace:
+    def test_dimensions_concatenated(self):
+        latency = euclidean_matrix(10, seed=1)
+        energy = euclidean_matrix(10, seed=2)
+        space = build_augmented_cost_space(
+            latency, [MetricSpec("energy", energy, weight=1.0, dimensions=2)],
+            NovaConfig(dimensions=2),
+        )
+        assert space.dimensions == 4
+
+    def test_latency_only_matches_mds(self):
+        latency = euclidean_matrix(12, seed=3)
+        space = build_augmented_cost_space(latency, [], NovaConfig(dimensions=2))
+        assert space.distance("n0", "n1") == pytest.approx(
+            latency.latency("n0", "n1"), rel=1e-4
+        )
+
+    def test_augmented_distance_combines_metrics(self):
+        """d_aug^2 ~ latency^2 + w * metric^2."""
+        latency = euclidean_matrix(12, seed=4)
+        energy = euclidean_matrix(12, seed=5)
+        weight = 2.0
+        space = build_augmented_cost_space(
+            latency, [MetricSpec("energy", energy, weight=weight)], NovaConfig()
+        )
+        expected_sq = (
+            latency.latency("n0", "n5") ** 2 + weight * energy.latency("n0", "n5") ** 2
+        )
+        # The 1-D metric embedding is a projection, so the combined
+        # distance is bounded above by the exact combination.
+        assert space.distance("n0", "n5") ** 2 <= expected_sq * 1.05
+        assert space.distance("n0", "n5") >= latency.latency("n0", "n5") * 0.95
+
+    def test_higher_weight_stretches_metric(self):
+        latency = euclidean_matrix(12, seed=6)
+        energy = euclidean_matrix(12, seed=7)
+        light = build_augmented_cost_space(latency, [MetricSpec("e", energy, weight=0.1)])
+        heavy = build_augmented_cost_space(latency, [MetricSpec("e", energy, weight=10.0)])
+        assert heavy.distance("n0", "n3") > light.distance("n0", "n3")
+
+    def test_mismatched_node_sets_rejected(self):
+        latency = euclidean_matrix(10, seed=8)
+        other = euclidean_matrix(11, seed=9)
+        with pytest.raises(EmbeddingError):
+            build_augmented_cost_space(latency, [MetricSpec("x", other)])
+
+    def test_invalid_metric_spec(self):
+        latency = euclidean_matrix(5)
+        with pytest.raises(EmbeddingError):
+            MetricSpec("x", latency, weight=0.0)
+        with pytest.raises(EmbeddingError):
+            MetricSpec("x", latency, dimensions=0)
+
+
+def multiway_plan():
+    plan = LogicalPlan()
+    plan.add_source("a", node="na", rate=30.0, logical_stream="A")
+    plan.add_source("b", node="nb", rate=10.0, logical_stream="B")
+    plan.add_source("c", node="nc", rate=20.0, logical_stream="C")
+    plan.add_sink("sink", node="nk", inputs=["placeholder"])
+    return plan
+
+
+class TestMultiwayDecomposition:
+    def test_left_deep_chain(self):
+        plan = multiway_plan()
+        joins = decompose_multiway_join(
+            plan, "tri", ["A", "B", "C"], "sink",
+            stream_rates={"A": 30.0, "B": 10.0, "C": 20.0},
+        )
+        assert len(joins) == 2
+        # Ascending rate order: B (10) joins C (20) first, then A.
+        assert joins[0].inputs == ["B", "C"]
+        assert joins[1].inputs == [joins[0].outputs[0], "A"]
+        assert joins[1].outputs[0] in plan.operator("sink").inputs
+
+    def test_chain_feeds_sink(self):
+        plan = multiway_plan()
+        joins = decompose_multiway_join(plan, "tri", ["A", "B", "C"], "sink")
+        assert plan.sink_of_join(joins[0].op_id).op_id == "sink"
+
+    def test_needs_two_streams(self):
+        plan = multiway_plan()
+        with pytest.raises(PlanError):
+            decompose_multiway_join(plan, "x", ["A"], "sink")
+
+    def test_distinct_streams_required(self):
+        plan = multiway_plan()
+        with pytest.raises(PlanError):
+            decompose_multiway_join(plan, "x", ["A", "A"], "sink")
+
+    def test_sink_must_be_sink(self):
+        plan = multiway_plan()
+        with pytest.raises(PlanError):
+            decompose_multiway_join(plan, "x", ["A", "B"], "a")
+
+    def test_missing_rates_rejected(self):
+        plan = multiway_plan()
+        with pytest.raises(PlanError):
+            decompose_multiway_join(
+                plan, "x", ["A", "B"], "sink", stream_rates={"A": 1.0}
+            )
+
+
+def complex_plan():
+    plan = LogicalPlan()
+    plan.add_source("s1", node="n0", rate=40.0, logical_stream="S1")
+    plan.add_source("s2", node="n1", rate=40.0, logical_stream="S2")
+    plan.add_operator(
+        Operator("filt", OperatorKind.FILTER, inputs=["s1.out"], outputs=["filt.out"])
+    )
+    plan.add_join("join", left="S1", right="S2")
+    plan.add_sink("sink", node="n2", inputs=["join.out"])
+    return plan
+
+
+class TestSpringPlacement:
+    def space(self):
+        return CostSpace(
+            {
+                "n0": np.array([0.0, 0.0]),
+                "n1": np.array([10.0, 0.0]),
+                "n2": np.array([5.0, 10.0]),
+            }
+        )
+
+    def test_filters_colocate_upstream(self):
+        plan = complex_plan()
+        assert colocate_filters(plan) == {"filt": "s1"}
+
+    def test_join_settles_inside_hull(self):
+        plan = complex_plan()
+        positions = spring_virtual_placement(plan, self.space())
+        join = positions["join"]
+        assert 0.0 - 1e-6 <= join[0] <= 10.0 + 1e-6
+        assert 0.0 - 1e-6 <= join[1] <= 10.0 + 1e-6
+
+    def test_filter_position_follows_carrier(self):
+        plan = complex_plan()
+        positions = spring_virtual_placement(plan, self.space())
+        assert np.allclose(positions["filt"], self.space().position("n0"))
+
+    def test_rate_weights_pull_toward_heavy_source(self):
+        plan = LogicalPlan()
+        plan.add_source("heavy", node="n0", rate=100.0, logical_stream="H")
+        plan.add_source("light", node="n1", rate=1.0, logical_stream="L")
+        plan.add_join("join", left="H", right="L")
+        plan.add_sink("sink", node="n2", inputs=["join.out"])
+        positions = spring_virtual_placement(plan, self.space(), rate_weights=True)
+        heavy_pos = self.space().position("n0")
+        light_pos = self.space().position("n1")
+        join = positions["join"]
+        assert np.linalg.norm(join - heavy_pos) < np.linalg.norm(join - light_pos)
+
+    def test_unweighted_reduces_to_median(self):
+        from repro.geometry.median import weiszfeld
+
+        plan = LogicalPlan()
+        plan.add_source("a", node="n0", rate=5.0, logical_stream="A")
+        plan.add_source("b", node="n1", rate=5.0, logical_stream="B")
+        plan.add_join("join", left="A", right="B")
+        plan.add_sink("sink", node="n2", inputs=["join.out"])
+        space = self.space()
+        positions = spring_virtual_placement(plan, space, rate_weights=False)
+        anchors = np.vstack([space.position(n) for n in ("n0", "n1", "n2")])
+        expected = weiszfeld(anchors).point
+        assert np.allclose(positions["join"], expected, atol=1e-4)

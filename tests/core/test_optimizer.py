@@ -1,0 +1,128 @@
+"""The Nova optimizer end to end (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    MEDIAN_GRADIENT,
+    MEDIAN_MINIMAX,
+    NovaConfig,
+)
+from repro.core.optimizer import Nova
+from repro.evaluation.overload import overload_percentage
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.running_example import build_running_example
+from repro.workloads.synthetic import synthetic_opp_workload
+
+
+@pytest.fixture(scope="module")
+def example():
+    return build_running_example()
+
+
+@pytest.fixture(scope="module")
+def example_session(example):
+    return Nova(NovaConfig(seed=3)).optimize(
+        example.topology, example.plan, example.matrix, latency=example.latency
+    )
+
+
+class TestRunningExample:
+    def test_one_replica_per_join_pair(self, example, example_session):
+        replica_ids = {s.replica_id for s in example_session.placement.sub_replicas}
+        assert len(replica_ids) == example.matrix.num_pairs() == 4
+
+    def test_no_overload(self, example, example_session):
+        assert overload_percentage(example_session.placement, example.topology) == 0.0
+        assert not example_session.placement.overload_accepted
+
+    def test_pinned_operators_stay_pinned(self, example, example_session):
+        placement = example_session.placement
+        assert placement.pinned["t1"] == "t1"
+        assert placement.pinned["sink_op"] == "sink"
+
+    def test_capacity_respected_on_every_node(self, example, example_session):
+        loads = example_session.placement.node_loads()
+        for node_id, load in loads.items():
+            assert load <= example.topology.node(node_id).capacity + 1e-9
+
+    def test_virtual_positions_recorded(self, example_session):
+        placement = example_session.placement
+        assert len(placement.virtual_positions) == 4
+        for position in placement.virtual_positions.values():
+            assert position.shape == (2,)
+
+    def test_timings_populated(self, example_session):
+        timings = example_session.timings
+        assert timings.total_s > 0
+        assert timings.cost_space_s >= 0
+
+    def test_sources_never_host_more_than_available(self, example, example_session):
+        """Source nodes lose ingestion capacity before Phase III."""
+        loads = example_session.placement.node_loads()
+        for source in example.plan.sources():
+            node = example.topology.node(source.pinned_node)
+            hosted = loads.get(source.pinned_node, 0.0)
+            headroom = max(node.capacity - source.data_rate, 0.0)
+            assert hosted <= headroom + 1e-9
+
+
+class TestMedianSolvers:
+    @pytest.mark.parametrize("solver", [MEDIAN_GRADIENT, MEDIAN_MINIMAX])
+    def test_alternative_solvers_produce_valid_placements(self, example, solver):
+        session = Nova(NovaConfig(seed=3, median_solver=solver)).optimize(
+            example.topology, example.plan, example.matrix, latency=example.latency
+        )
+        assert session.placement.replica_count() >= 4
+
+
+class TestSyntheticWorkload:
+    def test_zero_overload_at_default_capacity(self):
+        workload = synthetic_opp_workload(200, seed=7)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=7)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        assert overload_percentage(session.placement, workload.topology) == 0.0
+
+    def test_every_pair_covered_exactly_by_grid(self):
+        workload = synthetic_opp_workload(100, seed=3)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=3)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        placed_pairs = {s.replica_id for s in session.placement.sub_replicas}
+        assert len(placed_pairs) == workload.matrix.num_pairs()
+        # Grid cells of each replica are unique.
+        seen = set()
+        for sub in session.placement.sub_replicas:
+            assert sub.sub_id not in seen
+            seen.add(sub.sub_id)
+
+    def test_prebuilt_cost_space_reused(self):
+        from repro.core.cost_space import CostSpace
+
+        workload = synthetic_opp_workload(80, seed=1)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        config = NovaConfig(seed=1)
+        space = CostSpace.build(latency, config)
+        session = Nova(config).optimize(
+            workload.topology, workload.plan, workload.matrix, cost_space=space
+        )
+        assert session.cost_space is space
+        assert session.timings.cost_space_s < 0.05
+
+    def test_available_ledger_consistent_with_loads(self):
+        workload = synthetic_opp_workload(120, seed=9)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=9)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        loads = session.placement.node_loads()
+        ingestion = {
+            op.pinned_node: op.data_rate for op in workload.plan.sources()
+        }
+        for node in workload.topology.nodes():
+            after_ingestion = max(node.capacity - ingestion.get(node.node_id, 0.0), 0.0)
+            expected = after_ingestion - loads.get(node.node_id, 0.0)
+            assert session.available[node.node_id] == pytest.approx(expected, abs=1e-6)

@@ -1,0 +1,140 @@
+"""Bandwidth-aware stream partitioning (Eqs. 7-8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning import (
+    derive_sigma,
+    max_partition_load,
+    partition_rates,
+    plan_partitions,
+)
+
+rates = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+sigmas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestPartitionRates:
+    def test_paper_example_t_stream(self):
+        """dr(t)=10, p_max=3 -> [3, 3, 3, 1]."""
+        assert partition_rates(10.0, 3.0) == [3.0, 3.0, 3.0, 1.0]
+
+    def test_paper_example_s_stream_unpartitioned(self):
+        """dr(s)=2 <= p_max=3 -> stays whole."""
+        assert partition_rates(2.0, 3.0) == [2.0]
+
+    def test_exact_division(self):
+        assert partition_rates(9.0, 3.0) == [3.0, 3.0, 3.0]
+
+    def test_zero_rate_single_partition(self):
+        assert partition_rates(0.0, 5.0) == [0.0]
+
+    def test_invalid_p_max(self):
+        with pytest.raises(ValueError):
+            partition_rates(10.0, 0.0)
+
+
+class TestMaxPartitionLoad:
+    def test_eq7_value(self):
+        """p_max(s, t) = max(1, 0.5 * 0.5 * 12) = 3 in the worked example."""
+        assert max_partition_load(2.0, 10.0, 0.5) == 3.0
+
+    def test_floor_of_one(self):
+        assert max_partition_load(0.5, 0.5, 0.1) == 1.0
+
+    def test_sigma_zero_floors_at_one(self):
+        assert max_partition_load(25.0, 25.0, 0.0) == 1.0
+
+
+class TestDeriveSigma:
+    def test_eq8_closed_form(self):
+        """sigma* = t_b / (2 dr(s) dr(t)), projected to [0, 1]."""
+        assert derive_sigma(10.0, 10.0, 100.0) == pytest.approx(0.5)
+
+    def test_clipped_to_one(self):
+        assert derive_sigma(1.0, 1.0, 1000.0) == 1.0
+
+    def test_degenerate_rate(self):
+        assert derive_sigma(0.0, 10.0, 5.0) == 1.0
+
+    def test_minimizes_eq8_objective(self):
+        """The closed form beats any sampled sigma on the Eq. 8 objective."""
+        left, right, budget = 7.0, 13.0, 60.0
+        best = derive_sigma(left, right, budget)
+
+        def objective(sigma):
+            return (sigma * 2.0 * left * right - budget) ** 2
+
+        for sigma in np.linspace(0, 1, 101):
+            assert objective(best) <= objective(sigma) + 1e-9
+
+
+class TestPlanPartitions:
+    def test_paper_worked_example(self):
+        """dr(s)=2, dr(t)=10, sigma=0.5: 4 replicas, transfer 18 tuples/s,
+        replica demands 5 (for t' of rate 3) and 3 (for the remainder)."""
+        plan = plan_partitions(2.0, 10.0, sigma=0.5)
+        assert plan.p_max == 3.0
+        assert plan.left_partitions == (2.0,)
+        assert plan.right_partitions == (3.0, 3.0, 3.0, 1.0)
+        assert plan.replica_count == 4
+        assert plan.network_transfer_rate == 18.0
+        assert plan.max_replica_demand == 5.0
+        assert sorted(plan.replica_demands()) == [3.0, 5.0, 5.0, 5.0]
+
+    def test_independent_partitioning_is_worse(self):
+        """The paper's comparison: independent partitioning ships 24
+        tuples/s where the coupled bound ships 18."""
+        coupled = plan_partitions(2.0, 10.0, sigma=0.5)
+        # Independent: s -> [1,1], t -> [5,5]; transfer = 2*2 + 2*10 = 24.
+        assert coupled.network_transfer_rate < 24.0
+
+    def test_sigma_zero_max_partitioning(self):
+        """sigma=0 with rates 25/25 gives the 625-replica explosion."""
+        plan = plan_partitions(25.0, 25.0, sigma=0.0)
+        assert plan.replica_count == 625
+        assert plan.network_transfer_rate == 1250.0
+        assert plan.max_replica_demand == 2.0
+
+    def test_sigma_one_no_partitioning(self):
+        plan = plan_partitions(25.0, 25.0, sigma=1.0)
+        assert plan.replica_count == 1
+        assert plan.network_transfer_rate == 50.0
+
+    def test_sigma_derived_from_bandwidth(self):
+        plan = plan_partitions(10.0, 10.0, sigma=None, bandwidth_threshold=100.0)
+        assert plan.sigma == pytest.approx(0.5)
+
+    def test_missing_both_controls_rejected(self):
+        with pytest.raises(ValueError):
+            plan_partitions(1.0, 1.0, sigma=None, bandwidth_threshold=None)
+
+
+@given(rates, rates, st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=120, deadline=None)
+def test_property_partitions_cover_stream_and_respect_bound(left, right, sigma):
+    """Partitions sum to the stream rate and never exceed p_max."""
+    plan = plan_partitions(left, right, sigma=sigma)
+    assert sum(plan.left_partitions) == pytest.approx(left, abs=1e-6)
+    assert sum(plan.right_partitions) == pytest.approx(right, abs=1e-6)
+    for partition in plan.left_partitions + plan.right_partitions:
+        assert partition <= plan.p_max + 1e-9
+
+
+@given(rates, rates, st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=120, deadline=None)
+def test_property_replica_demand_bounded_by_twice_pmax(left, right, sigma):
+    """Each sub-join's demand is at most 2 * p_max (one partition per side)."""
+    plan = plan_partitions(left, right, sigma=sigma)
+    assert plan.max_replica_demand <= 2.0 * plan.p_max + 1e-9
+
+
+@given(rates, rates, st.floats(min_value=0.05, max_value=0.95))
+@settings(max_examples=80, deadline=None)
+def test_property_transfer_grows_as_sigma_shrinks(left, right, sigma):
+    """More aggressive partitioning never ships less data."""
+    aggressive = plan_partitions(left, right, sigma=sigma / 2.0)
+    relaxed = plan_partitions(left, right, sigma=sigma)
+    assert aggressive.network_transfer_rate >= relaxed.network_transfer_rate - 1e-9

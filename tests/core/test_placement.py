@@ -1,0 +1,76 @@
+"""Placement data structures."""
+
+import pytest
+
+from repro.core.placement import Placement, SubReplicaPlacement
+
+
+def sub(sub_id="r1/0x0", replica="r1", node="n1", left=10.0, right=20.0, charged=None):
+    kwargs = {}
+    if charged is not None:
+        kwargs["charged_capacity"] = charged
+    return SubReplicaPlacement(
+        sub_id=sub_id,
+        replica_id=replica,
+        join_id="join",
+        node_id=node,
+        left_source="t",
+        right_source="w",
+        left_node="nt",
+        right_node="nw",
+        sink_node="nsink",
+        left_rate=left,
+        right_rate=right,
+        **kwargs,
+    )
+
+
+class TestSubReplica:
+    def test_required_capacity(self):
+        assert sub().required_capacity == 30.0
+
+    def test_charged_defaults_to_required(self):
+        assert sub().charged_capacity == 30.0
+
+    def test_charged_override(self):
+        assert sub(charged=5.0).charged_capacity == 5.0
+
+
+class TestPlacement:
+    def test_node_loads_use_charged(self):
+        placement = Placement()
+        placement.extend([sub(charged=30.0), sub(sub_id="r1/0x1", charged=5.0)])
+        assert placement.node_loads() == {"n1": 35.0}
+
+    def test_views(self):
+        placement = Placement(pinned={"src": "n0"})
+        placement.extend(
+            [
+                sub(),
+                sub(sub_id="r2/0x0", replica="r2", node="n2"),
+            ]
+        )
+        assert placement.node_of("src") == "n0"
+        assert placement.nodes_used() == ["n1", "n2"]
+        assert len(placement.subs_on_node("n1")) == 1
+        assert len(placement.subs_of_replica("r2")) == 1
+        assert len(placement.subs_of_join("join")) == 2
+        assert placement.replica_count() == 2
+        assert placement.total_demand() == 60.0
+        assert placement.merge_counts() == {"n1": 1, "n2": 1}
+
+    def test_remove_replica(self):
+        placement = Placement()
+        placement.extend([sub(), sub(sub_id="r1/0x1"), sub(sub_id="r2/0x0", replica="r2")])
+        placement.virtual_positions["r1"] = object()
+        removed = placement.remove_replica("r1")
+        assert len(removed) == 2
+        assert placement.replica_count() == 1
+        assert "r1" not in placement.virtual_positions
+
+    def test_remove_subs_on_node(self):
+        placement = Placement()
+        placement.extend([sub(node="a"), sub(sub_id="x", node="b")])
+        removed = placement.remove_subs_on_node("a")
+        assert len(removed) == 1
+        assert placement.nodes_used() == ["b"]

@@ -1,0 +1,230 @@
+"""Incremental re-optimization (Section 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import OptimizationError, UnknownNodeError
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.core.reoptimizer import Reoptimizer
+from repro.topology.dynamics import (
+    AddSourceEvent,
+    AddWorkerEvent,
+    CapacityChangeEvent,
+    CoordinateDriftEvent,
+    DataRateChangeEvent,
+    RemoveNodeEvent,
+)
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.synthetic import synthetic_opp_workload
+
+
+@pytest.fixture()
+def session_and_latency():
+    workload = synthetic_opp_workload(120, seed=5)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+    session = Nova(NovaConfig(seed=5)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+    return session, latency
+
+
+def neighbor_sample(session, latency, anchor=None, count=12):
+    ids = [nid for nid in session.topology.node_ids][:count + 1]
+    anchor = anchor or ids[0]
+    return {nid: latency.latency(anchor, nid) + 1.0 for nid in ids if nid != anchor}
+
+
+def assert_invariants(session):
+    """Structural invariants that must hold after every event."""
+    for sub in session.placement.sub_replicas:
+        assert sub.node_id in session.topology
+        assert sub.node_id in session.cost_space
+    deployed = {s.replica_id for s in session.placement.sub_replicas}
+    resolved = {r.replica_id for r in session.resolved.replicas}
+    assert deployed == resolved
+
+
+class TestAddWorker:
+    def test_worker_becomes_available(self, session_and_latency):
+        session, latency = session_and_latency
+        re = Reoptimizer(session)
+        re.add_worker(AddWorkerEvent("fresh", 500.0, neighbor_sample(session, latency)))
+        assert "fresh" in session.topology
+        assert "fresh" in session.cost_space
+        assert session.available["fresh"] == 500.0
+        assert_invariants(session)
+
+
+class TestAddSource:
+    def test_new_pair_placed(self, session_and_latency):
+        session, latency = session_and_latency
+        re = Reoptimizer(session)
+        partner = next(
+            op.op_id for op in session.plan.sources() if op.logical_stream == "right"
+        )
+        before = session.placement.replica_count()
+        re.add_source(
+            AddSourceEvent(
+                node_id="newsrc",
+                capacity=100.0,
+                data_rate=40.0,
+                logical_stream="left",
+                partner_source=partner,
+                neighbor_latencies_ms=neighbor_sample(session, latency),
+            )
+        )
+        assert session.placement.replica_count() > before
+        assert "newsrc" in session.plan
+        assert "newsrc" in session.matrix.left_ids
+        assert_invariants(session)
+
+    def test_right_stream_source(self, session_and_latency):
+        session, latency = session_and_latency
+        re = Reoptimizer(session)
+        partner = next(
+            op.op_id for op in session.plan.sources() if op.logical_stream == "left"
+        )
+        re.add_source(
+            AddSourceEvent(
+                node_id="newright",
+                capacity=100.0,
+                data_rate=40.0,
+                logical_stream="right",
+                partner_source=partner,
+                neighbor_latencies_ms=neighbor_sample(session, latency),
+            )
+        )
+        assert "newright" in session.matrix.right_ids
+        assert_invariants(session)
+
+    def test_unknown_stream_rejected(self, session_and_latency):
+        session, latency = session_and_latency
+        re = Reoptimizer(session)
+        with pytest.raises(OptimizationError):
+            re.add_source(
+                AddSourceEvent(
+                    node_id="x",
+                    capacity=1.0,
+                    data_rate=1.0,
+                    logical_stream="ghost-stream",
+                    partner_source="whatever",
+                    neighbor_latencies_ms=neighbor_sample(session, latency),
+                )
+            )
+
+
+class TestRemoveNode:
+    def test_remove_source_drops_its_pairs(self, session_and_latency):
+        session, _ = session_and_latency
+        source = session.plan.sources()[0]
+        affected = {
+            r.replica_id
+            for r in session.resolved.replicas
+            if source.op_id in (r.left_source, r.right_source)
+        }
+        re = Reoptimizer(session)
+        re.remove_node(source.op_id)
+        assert source.op_id not in session.topology
+        assert source.op_id not in session.plan
+        remaining = {r.replica_id for r in session.resolved.replicas}
+        assert not (affected & remaining)
+        assert_invariants(session)
+
+    def test_remove_join_host_replaces_elsewhere(self, session_and_latency):
+        session, _ = session_and_latency
+        host = session.placement.sub_replicas[0].node_id
+        hosted = {s.replica_id for s in session.placement.subs_on_node(host)}
+        re = Reoptimizer(session)
+        re.remove_node(host)
+        assert host not in session.topology
+        # Affected replicas are deployed again, on other nodes.
+        deployed = {s.replica_id for s in session.placement.sub_replicas}
+        assert hosted <= deployed
+        assert_invariants(session)
+
+    def test_remove_idle_worker_is_cheap(self, session_and_latency):
+        session, _ = session_and_latency
+        hosting = {s.node_id for s in session.placement.sub_replicas}
+        pinned = set(session.placement.pinned.values())
+        idle = next(
+            nid for nid in session.topology.node_ids
+            if nid not in hosting and nid not in pinned
+        )
+        before = session.placement.replica_count()
+        Reoptimizer(session).remove_node(idle)
+        assert session.placement.replica_count() == before
+        assert_invariants(session)
+
+    def test_remove_unknown_raises(self, session_and_latency):
+        session, _ = session_and_latency
+        with pytest.raises(UnknownNodeError):
+            Reoptimizer(session).remove_node("ghost")
+
+
+class TestWorkloadChanges:
+    def test_rate_change_updates_descriptors(self, session_and_latency):
+        session, _ = session_and_latency
+        source = session.plan.sources()[2]
+        re = Reoptimizer(session)
+        re.change_data_rate(source.op_id, 180.0)
+        assert session.plan.operator(source.op_id).data_rate == 180.0
+        for replica in session.resolved.replicas:
+            if replica.left_source == source.op_id:
+                assert replica.left_rate == 180.0
+            if replica.right_source == source.op_id:
+                assert replica.right_rate == 180.0
+        assert_invariants(session)
+
+    def test_rate_change_on_non_source_rejected(self, session_and_latency):
+        session, _ = session_and_latency
+        with pytest.raises(OptimizationError):
+            Reoptimizer(session).change_data_rate("join", 10.0)
+
+    def test_capacity_change_rebalances(self, session_and_latency):
+        session, _ = session_and_latency
+        host = session.placement.sub_replicas[0].node_id
+        re = Reoptimizer(session)
+        re.change_capacity(host, 0.5)
+        assert session.topology.node(host).capacity == 0.5
+        assert_invariants(session)
+
+    def test_coordinate_drift_replaces_anchored(self, session_and_latency):
+        session, latency = session_and_latency
+        source = session.plan.sources()[0]
+        re = Reoptimizer(session)
+        re.update_coordinates(
+            source.op_id, neighbor_sample(session, latency, anchor=source.op_id)
+        )
+        assert_invariants(session)
+
+
+class TestDispatch:
+    def test_apply_dispatches_all_event_types(self, session_and_latency):
+        session, latency = session_and_latency
+        re = Reoptimizer(session)
+        source_left = next(
+            op.op_id for op in session.plan.sources() if op.logical_stream == "left"
+        )
+        source_right = next(
+            op.op_id for op in session.plan.sources() if op.logical_stream == "right"
+        )
+        events = [
+            AddWorkerEvent("w_apply", 100.0, neighbor_sample(session, latency)),
+            AddSourceEvent(
+                "s_apply", 50.0, 20.0, "left", source_right,
+                neighbor_sample(session, latency),
+            ),
+            DataRateChangeEvent(source_left, 75.0),
+            CapacityChangeEvent("w_apply", 80.0),
+            CoordinateDriftEvent(source_right, neighbor_sample(session, latency)),
+            RemoveNodeEvent("w_apply"),
+        ]
+        for event in events:
+            re.apply(event)
+        assert_invariants(session)
+
+    def test_unknown_event_rejected(self, session_and_latency):
+        session, _ = session_and_latency
+        with pytest.raises(OptimizationError):
+            Reoptimizer(session).apply(object())

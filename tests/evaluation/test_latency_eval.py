@@ -1,0 +1,111 @@
+"""Theoretical latency evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import Placement, SubReplicaPlacement
+from repro.evaluation.latency import (
+    LatencyStats,
+    direct_transmission_latencies,
+    latency_stats,
+    matrix_distance,
+    p90_delta_vs_direct,
+    placement_latencies,
+    sub_replica_latency,
+    tree_route_distance,
+)
+from repro.baselines.tree import mst_parent_map
+from repro.topology.latency import DenseLatencyMatrix
+
+
+def line_matrix():
+    """a -- 10 -- b -- 10 -- c -- 10 -- d on a line (Euclidean)."""
+    coords = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0], [30.0, 0.0]])
+    return DenseLatencyMatrix.from_coordinates(["a", "b", "c", "d"], coords)
+
+
+def sub(node, left_node="a", right_node="c", sink="d"):
+    return SubReplicaPlacement(
+        sub_id=f"r/{node}",
+        replica_id="r",
+        join_id="j",
+        node_id=node,
+        left_source="ls",
+        right_source="rs",
+        left_node=left_node,
+        right_node=right_node,
+        sink_node=sink,
+        left_rate=1.0,
+        right_rate=1.0,
+    )
+
+
+class TestSubReplicaLatency:
+    def test_max_inbound_plus_outbound(self):
+        distance = matrix_distance(line_matrix())
+        # host b: inbound max(d(a,b)=10, d(c,b)=10) = 10; outbound d(b,d)=20.
+        assert sub_replica_latency(sub("b"), distance) == pytest.approx(30.0)
+
+    def test_host_at_sink_is_direct_transmission(self):
+        distance = matrix_distance(line_matrix())
+        assert sub_replica_latency(sub("d"), distance) == pytest.approx(30.0)
+
+
+class TestPlacementLatencies:
+    def test_vector_and_stats(self):
+        placement = Placement()
+        placement.extend([sub("b"), sub("c")])
+        distance = matrix_distance(line_matrix())
+        values = placement_latencies(placement, distance)
+        assert values.shape == (2,)
+        stats = latency_stats(placement, distance)
+        assert stats.mean == pytest.approx(values.mean())
+        assert stats.maximum == pytest.approx(values.max())
+
+    def test_direct_transmission_bound(self):
+        placement = Placement()
+        placement.extend([sub("b")])
+        distance = matrix_distance(line_matrix())
+        bound = direct_transmission_latencies(placement, distance)
+        assert bound[0] == pytest.approx(30.0)  # max(d(a,d)=30, d(c,d)=10)
+
+    def test_p90_delta_zero_when_host_is_sink(self):
+        placement = Placement()
+        placement.extend([sub("d")])
+        assert p90_delta_vs_direct(placement, matrix_distance(line_matrix())) == pytest.approx(0.0)
+
+    def test_p90_delta_positive_for_detour(self):
+        placement = Placement()
+        placement.extend([sub("a")])  # join at left source: long return path
+        assert p90_delta_vs_direct(placement, matrix_distance(line_matrix())) > 0.0
+
+
+class TestLatencyStats:
+    def test_empty_sample(self):
+        stats = LatencyStats.from_values([])
+        assert stats.mean == 0.0 and stats.p9999 == 0.0
+
+    def test_percentile_ordering(self):
+        stats = LatencyStats.from_values(np.arange(1000.0))
+        assert stats.p50 <= stats.p90 <= stats.p99 <= stats.p9999 <= stats.maximum
+
+
+class TestTreeRouteDistance:
+    def test_multi_hop_longer_than_straight_line(self):
+        """Tree routing can only be as good as direct latency; with a
+        detour it is strictly worse — the Section 4.4 underestimation."""
+        matrix = line_matrix()
+        parents = mst_parent_map(matrix, root="d")
+        route = tree_route_distance({"d": parents}, matrix, root_of=lambda _: "d")
+        assert route("a", "d") >= matrix.latency("a", "d") - 1e-9
+
+    def test_same_node_zero(self):
+        matrix = line_matrix()
+        parents = mst_parent_map(matrix, root="d")
+        route = tree_route_distance({"d": parents}, matrix, root_of=lambda _: "d")
+        assert route("b", "b") == 0.0
+
+    def test_missing_tree_falls_back_to_direct(self):
+        matrix = line_matrix()
+        route = tree_route_distance({}, matrix, root_of=lambda _: "nope")
+        assert route("a", "d") == matrix.latency("a", "d")

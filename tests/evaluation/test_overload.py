@@ -1,0 +1,94 @@
+"""Overload metrics."""
+
+import pytest
+
+from repro.core.placement import Placement, SubReplicaPlacement
+from repro.evaluation.overload import (
+    max_utilization,
+    node_utilizations,
+    overload_percentage,
+    overloaded_nodes,
+)
+from repro.topology.model import Node, Topology
+
+
+def topology_with(capacities):
+    topology = Topology()
+    for name, capacity in capacities.items():
+        topology.add_node(Node(name, capacity))
+    return topology
+
+
+def sub_on(node, demand, sub_id=None):
+    return SubReplicaPlacement(
+        sub_id=sub_id or f"r/{node}/0x0",
+        replica_id="r",
+        join_id="j",
+        node_id=node,
+        left_source="l",
+        right_source="rr",
+        left_node="nl",
+        right_node="nr",
+        sink_node="nk",
+        left_rate=demand / 2.0,
+        right_rate=demand / 2.0,
+    )
+
+
+class TestUtilizations:
+    def test_only_hosting_nodes_counted(self):
+        topology = topology_with({"a": 10.0, "idle": 10.0})
+        placement = Placement()
+        placement.extend([sub_on("a", 5.0)])
+        utilizations = node_utilizations(placement, topology)
+        assert [u.node_id for u in utilizations] == ["a"]
+        assert utilizations[0].utilization == 0.5
+
+    def test_overload_flag(self):
+        topology = topology_with({"a": 10.0})
+        placement = Placement()
+        placement.extend([sub_on("a", 11.0)])
+        assert overloaded_nodes(placement, topology)[0].node_id == "a"
+
+    def test_zero_capacity_node(self):
+        topology = topology_with({"z": 0.0})
+        placement = Placement()
+        placement.extend([sub_on("z", 1.0)])
+        utilization = node_utilizations(placement, topology)[0]
+        assert utilization.utilization == float("inf")
+        assert utilization.overloaded
+
+
+class TestOverloadPercentage:
+    def test_sink_style_hundred_percent(self):
+        """One hosting node, overloaded -> 100% (the sink-based case)."""
+        topology = topology_with({"sink": 10.0, "w1": 100.0, "w2": 100.0})
+        placement = Placement()
+        placement.extend([sub_on("sink", 50.0)])
+        assert overload_percentage(placement, topology) == 100.0
+
+    def test_half(self):
+        topology = topology_with({"a": 10.0, "b": 100.0})
+        placement = Placement()
+        placement.extend([sub_on("a", 50.0), sub_on("b", 50.0, sub_id="x")])
+        assert overload_percentage(placement, topology) == 50.0
+
+    def test_empty_placement(self):
+        assert overload_percentage(Placement(), topology_with({"a": 1.0})) == 0.0
+
+    def test_exact_capacity_not_overloaded(self):
+        topology = topology_with({"a": 10.0})
+        placement = Placement()
+        placement.extend([sub_on("a", 10.0)])
+        assert overload_percentage(placement, topology) == 0.0
+
+
+class TestMaxUtilization:
+    def test_value(self):
+        topology = topology_with({"a": 10.0, "b": 10.0})
+        placement = Placement()
+        placement.extend([sub_on("a", 5.0), sub_on("b", 20.0, sub_id="y")])
+        assert max_utilization(placement, topology) == 2.0
+
+    def test_empty(self):
+        assert max_utilization(Placement(), topology_with({"a": 1.0})) == 0.0

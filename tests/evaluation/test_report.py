@@ -1,0 +1,33 @@
+"""Comparison reports."""
+
+from repro.baselines.sink_based import SinkBasedPlacement
+from repro.evaluation.latency import matrix_distance
+from repro.evaluation.report import comparison_table, evaluate_approach
+from repro.workloads.running_example import build_running_example
+
+
+class TestEvaluateApproach:
+    def test_fields_populated(self):
+        example = build_running_example()
+        placement = SinkBasedPlacement().place(example.topology, example.plan, example.matrix)
+        result = evaluate_approach(
+            "sink-based", placement, example.topology,
+            matrix_distance(example.latency), runtime_s=0.5,
+        )
+        assert result.name == "sink-based"
+        assert result.overload_pct == 100.0
+        assert result.stats.mean > 0
+        assert result.runtime_s == 0.5
+
+
+class TestComparisonTable:
+    def test_renders_all_rows(self):
+        example = build_running_example()
+        placement = SinkBasedPlacement().place(example.topology, example.plan, example.matrix)
+        result = evaluate_approach(
+            "sink-based", placement, example.topology, matrix_distance(example.latency)
+        )
+        text = comparison_table([result, result], title="Fig 7")
+        assert text.splitlines()[0] == "Fig 7"
+        assert text.count("sink-based") == 2
+        assert "overload %" in text

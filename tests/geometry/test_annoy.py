@@ -1,0 +1,113 @@
+"""Approximate nearest neighbours (random-projection forest)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import OptimizationError
+from repro.geometry.annoy import AnnoyForest
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(OptimizationError):
+            AnnoyForest(np.zeros((0, 2)))
+
+    def test_rejects_bad_params(self):
+        points = np.zeros((5, 2))
+        with pytest.raises(OptimizationError):
+            AnnoyForest(points, n_trees=0)
+        with pytest.raises(OptimizationError):
+            AnnoyForest(points, leaf_size=0)
+
+    def test_len(self):
+        forest = AnnoyForest(np.random.default_rng(0).uniform(0, 1, (40, 2)), seed=0)
+        assert len(forest) == 40
+
+
+class TestQuery:
+    def test_high_recall_on_clustered_data(self):
+        rng = np.random.default_rng(1)
+        points = np.vstack(
+            [rng.normal(center, 1.0, (100, 2)) for center in [(0, 0), (50, 0), (0, 50)]]
+        )
+        forest = AnnoyForest(points, n_trees=10, leaf_size=16, seed=0)
+        hits = 0
+        trials = 30
+        for _ in range(trials):
+            target = points[rng.integers(0, len(points))] + rng.normal(0, 0.1, 2)
+            true_d = np.sort(np.linalg.norm(points - target, axis=1))[:5]
+            approx_d, _ = forest.query(target, k=5, search_k=200)
+            hits += len(np.intersect1d(np.round(true_d, 6), np.round(approx_d, 6)))
+        recall = hits / (trials * 5)
+        assert recall > 0.8
+
+    def test_exact_point_found(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 100, (300, 2))
+        forest = AnnoyForest(points, n_trees=8, seed=0)
+        distances, indices = forest.query(points[42], k=1, search_k=100)
+        assert distances[0] == pytest.approx(0.0, abs=1e-9)
+        assert indices[0] == 42
+
+    def test_results_sorted(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 10, (100, 2))
+        forest = AnnoyForest(points, seed=0)
+        distances, _ = forest.query([5.0, 5.0], k=10)
+        assert (np.diff(distances) >= -1e-12).all()
+
+    def test_invalid_query(self):
+        forest = AnnoyForest(np.zeros((3, 2)), seed=0)
+        with pytest.raises(OptimizationError):
+            forest.query([0.0, 0.0], k=0)
+        with pytest.raises(OptimizationError):
+            forest.query([0.0], k=1)
+
+    def test_search_k_tradeoff(self):
+        """Larger search_k can only improve (or tie) the nearest distance."""
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 100, (500, 2))
+        forest = AnnoyForest(points, n_trees=4, leaf_size=8, seed=0)
+        target = rng.uniform(0, 100, 2)
+        d_small, _ = forest.query(target, k=1, search_k=4)
+        d_large, _ = forest.query(target, k=1, search_k=400)
+        assert d_large[0] <= d_small[0] + 1e-9
+
+
+class TestDeletions:
+    def test_deleted_point_skipped(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        forest = AnnoyForest(points, seed=0)
+        forest.delete(0)
+        _, indices = forest.query([0.0, 0.0], k=1, search_k=10)
+        assert indices[0] != 0
+
+    def test_all_deleted_returns_empty(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        forest = AnnoyForest(points, seed=0)
+        forest.delete(0)
+        forest.delete(1)
+        distances, indices = forest.query([0.0, 0.0], k=1)
+        assert len(indices) == 0
+
+    def test_restore(self):
+        points = np.array([[0.0, 0.0], [9.0, 9.0]])
+        forest = AnnoyForest(points, seed=0)
+        forest.delete(0)
+        forest.restore(0)
+        _, indices = forest.query([0.0, 0.0], k=1)
+        assert indices[0] == 0
+
+    def test_fallback_linear_scan_when_leaves_tombstoned(self):
+        """Queries still return live points even when every reached leaf
+        entry is deleted."""
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 1, (64, 2))
+        forest = AnnoyForest(points, n_trees=1, leaf_size=4, seed=0)
+        # Delete a whole corner of the space, query inside it.
+        corner = np.nonzero((points[:, 0] < 0.5) & (points[:, 1] < 0.5))[0]
+        for index in corner:
+            forest.delete(int(index))
+        distances, indices = forest.query([0.1, 0.1], k=3)
+        assert len(indices) >= 1
+        assert all(int(i) not in set(corner.tolist()) for i in indices)

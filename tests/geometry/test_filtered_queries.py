@@ -1,0 +1,125 @@
+"""Capacity-filtered nearest-neighbour queries."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import UnknownNodeError
+from repro.geometry.annoy import AnnoyForest
+from repro.geometry.kdtree import KdTree
+from repro.geometry.knn import NeighborIndex
+
+
+class TestKdTreeFiltered:
+    def test_filter_skips_low_values(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        values = np.array([1.0, 5.0, 10.0])
+        tree = KdTree(points)
+        _, indices = tree.query([0.0, 0.0], k=1, values=values, min_value=4.0)
+        assert indices[0] == 1
+        _, indices = tree.query([0.0, 0.0], k=1, values=values, min_value=6.0)
+        assert indices[0] == 2
+
+    def test_filter_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 100, (200, 2))
+        values = rng.uniform(0, 100, 200)
+        tree = KdTree(points, leaf_size=4)
+        for threshold in (10.0, 50.0, 90.0):
+            target = rng.uniform(0, 100, 2)
+            eligible = np.nonzero(values >= threshold)[0]
+            distances = np.linalg.norm(points[eligible] - target, axis=1)
+            expected = eligible[np.argmin(distances)]
+            _, indices = tree.query(target, k=1, values=values, min_value=threshold)
+            assert indices[0] == expected
+
+    def test_no_qualifying_points(self):
+        points = np.zeros((3, 2))
+        values = np.array([1.0, 1.0, 1.0])
+        tree = KdTree(points)
+        distances, indices = tree.query([0.0, 0.0], k=2, values=values, min_value=5.0)
+        assert len(indices) == 0
+
+
+class TestAnnoyFiltered:
+    def test_filter_falls_back_to_linear_scan(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 100, (100, 2))
+        values = np.zeros(100)
+        values[7] = 50.0
+        forest = AnnoyForest(points, n_trees=2, leaf_size=8, seed=0)
+        _, indices = forest.query([0.0, 0.0], k=1, values=values, min_value=10.0)
+        assert indices[0] == 7
+
+
+class TestNeighborIndexValues:
+    def make(self, n=20, seed=0):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 100, (n, 2))
+        ids = [f"n{i}" for i in range(n)]
+        return NeighborIndex(ids, points), ids, points
+
+    def test_default_value_is_inf(self):
+        index, _, _ = self.make()
+        assert index.value("n0") == float("inf")
+
+    def test_set_value_filters_queries(self):
+        index, ids, points = self.make()
+        for node_id in ids:
+            index.set_value(node_id, 1.0)
+        index.set_value("n5", 100.0)
+        results = index.query(points[0], k=1, min_value=50.0)
+        assert results[0][0] == "n5"
+
+    def test_set_value_unknown_raises(self):
+        index, _, _ = self.make()
+        with pytest.raises(UnknownNodeError):
+            index.set_value("ghost", 1.0)
+
+    def test_values_survive_rebuild(self):
+        index, ids, points = self.make()
+        for node_id in ids:
+            index.set_value(node_id, 1.0)
+        index.set_value("n3", 99.0)
+        for i in range(10):
+            index.add(f"x{i}", [float(i), float(i)])
+            index.set_value(f"x{i}", 1.0)
+        # Adds above force a rebuild; the filter must still find n3.
+        results = index.query(points[3], k=1, min_value=50.0)
+        assert results[0][0] == "n3"
+
+    def test_extra_buffer_respects_filter(self):
+        index, ids, points = self.make(5)
+        index.add("rich", [0.0, 0.0])
+        index.set_value("rich", 100.0)
+        for node_id in ids:
+            index.set_value(node_id, 1.0)
+        results = index.query([0.0, 0.0], k=1, min_value=50.0)
+        assert results[0][0] == "rich"
+
+
+class TestAvailabilityLedger:
+    def test_write_through_to_index(self):
+        from repro.core.cost_space import AvailabilityLedger, CostSpace
+
+        space = CostSpace(
+            {"a": np.array([0.0, 0.0]), "b": np.array([1.0, 0.0])}
+        )
+        backing = {"a": 10.0, "b": 50.0}
+        ledger = AvailabilityLedger(space, backing)
+        assert space.knn([0.0, 0.0], k=1, min_capacity=20.0)[0][0] == "b"
+        ledger["a"] = 100.0
+        assert space.knn([0.0, 0.0], k=1, min_capacity=20.0)[0][0] == "a"
+        # The caller's dict observes writes.
+        assert backing["a"] == 100.0
+
+    def test_mapping_protocol(self):
+        from repro.core.cost_space import AvailabilityLedger, CostSpace
+
+        space = CostSpace({"a": np.array([0.0, 0.0])})
+        ledger = AvailabilityLedger(space, {"a": 1.0, "zzz": 2.0})
+        assert ledger["a"] == 1.0
+        assert "zzz" in ledger  # nodes outside the space are tolerated
+        ledger.pop("zzz")
+        assert "zzz" not in ledger
+        assert len(ledger) == 1
+        assert ledger.get("missing", -1.0) == -1.0

@@ -1,0 +1,126 @@
+"""Exact k-d tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import OptimizationError
+from repro.geometry.kdtree import KdTree
+
+
+def brute_force_knn(points, target, k):
+    distances = np.linalg.norm(points - target, axis=1)
+    order = np.argsort(distances, kind="stable")[:k]
+    return distances[order], order
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(OptimizationError):
+            KdTree(np.zeros((0, 2)))
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(OptimizationError):
+            KdTree(np.zeros((3, 2)), leaf_size=0)
+
+    def test_len(self):
+        tree = KdTree(np.random.default_rng(0).uniform(0, 1, (25, 2)))
+        assert len(tree) == 25
+
+
+class TestQuery:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 100, (200, 2))
+        tree = KdTree(points, leaf_size=4)
+        for _ in range(20):
+            target = rng.uniform(0, 100, 2)
+            expected_d, _ = brute_force_knn(points, target, 5)
+            actual_d, actual_i = tree.query(target, k=5)
+            assert np.allclose(np.sort(actual_d), np.sort(expected_d))
+            recomputed = np.linalg.norm(points[actual_i] - target, axis=1)
+            assert np.allclose(np.sort(recomputed), np.sort(actual_d))
+
+    def test_k_larger_than_n(self):
+        points = np.random.default_rng(0).uniform(0, 1, (5, 2))
+        tree = KdTree(points)
+        distances, indices = tree.query([0.5, 0.5], k=100)
+        assert len(indices) == 5
+
+    def test_exact_hit(self):
+        points = np.array([[1.0, 1.0], [5.0, 5.0]])
+        tree = KdTree(points)
+        distances, indices = tree.query([5.0, 5.0], k=1)
+        assert indices[0] == 1
+        assert distances[0] == 0.0
+
+    def test_results_sorted_by_distance(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 10, (50, 3))
+        tree = KdTree(points)
+        distances, _ = tree.query(rng.uniform(0, 10, 3), k=10)
+        assert (np.diff(distances) >= -1e-12).all()
+
+    def test_invalid_query(self):
+        tree = KdTree(np.zeros((3, 2)))
+        with pytest.raises(OptimizationError):
+            tree.query([0.0, 0.0], k=0)
+        with pytest.raises(OptimizationError):
+            tree.query([0.0, 0.0, 0.0], k=1)
+
+
+class TestDeletions:
+    def test_deleted_point_skipped(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        tree = KdTree(points)
+        tree.delete(0)
+        _, indices = tree.query([0.0, 0.0], k=1)
+        assert indices[0] == 1
+        assert len(tree) == 2
+
+    def test_restore(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        tree = KdTree(points)
+        tree.delete(0)
+        tree.restore(0)
+        _, indices = tree.query([0.0, 0.0], k=1)
+        assert indices[0] == 0
+
+    def test_delete_out_of_range(self):
+        tree = KdTree(np.zeros((2, 2)))
+        with pytest.raises(OptimizationError):
+            tree.delete(5)
+
+
+class TestQueryRadius:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 10, (100, 2))
+        tree = KdTree(points, leaf_size=8)
+        target = np.array([5.0, 5.0])
+        expected = set(np.nonzero(np.linalg.norm(points - target, axis=1) <= 2.0)[0].tolist())
+        actual = set(tree.query_radius(target, 2.0).tolist())
+        assert actual == expected
+
+    def test_radius_respects_deletions(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0]])
+        tree = KdTree(points)
+        tree.delete(1)
+        assert tree.query_radius([0.0, 0.0], 1.0).tolist() == [0]
+
+
+@given(
+    st.integers(min_value=1, max_value=60),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_kdtree_equals_brute_force(n, k, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(-50, 50, (n, 2))
+    tree = KdTree(points, leaf_size=3)
+    target = rng.uniform(-50, 50, 2)
+    expected_d, _ = brute_force_knn(points, target, min(k, n))
+    actual_d, _ = tree.query(target, k=min(k, n))
+    assert np.allclose(np.sort(actual_d), np.sort(expected_d), atol=1e-9)

@@ -1,0 +1,134 @@
+"""Neighbour index facade."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import OptimizationError, UnknownNodeError
+from repro.geometry.knn import APPROXIMATE_BACKEND, EXACT_BACKEND, NeighborIndex
+
+
+def make_index(n=30, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 100, (n, 2))
+    ids = [f"n{i}" for i in range(n)]
+    return NeighborIndex(ids, points, **kwargs), ids, points
+
+
+class TestBackendSelection:
+    def test_small_uses_exact(self):
+        index, _, _ = make_index(10)
+        assert index.backend == EXACT_BACKEND
+
+    def test_large_uses_approximate(self):
+        index, _, _ = make_index(50, exact_limit=20)
+        assert index.backend == APPROXIMATE_BACKEND
+
+    def test_explicit_backend(self):
+        index, _, _ = make_index(10, backend=APPROXIMATE_BACKEND)
+        assert index.backend == APPROXIMATE_BACKEND
+
+    def test_unknown_backend(self):
+        with pytest.raises(OptimizationError):
+            make_index(10, backend="faiss")
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(OptimizationError):
+            NeighborIndex(["a", "a"], np.zeros((2, 2)))
+
+
+class TestQuery:
+    def test_returns_id_distance_pairs(self):
+        index, ids, points = make_index(30)
+        results = index.query(points[3], k=1)
+        assert results[0][0] == "n3"
+        assert results[0][1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_exclusion(self):
+        index, ids, points = make_index(30)
+        results = index.query(points[3], k=1, exclude={"n3"})
+        assert results[0][0] != "n3"
+
+    def test_k_respected_and_sorted(self):
+        index, _, points = make_index(30)
+        results = index.query([50.0, 50.0], k=5)
+        assert len(results) == 5
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_invalid_k(self):
+        index, _, _ = make_index(5)
+        with pytest.raises(OptimizationError):
+            index.query([0.0, 0.0], k=0)
+
+
+class TestMaintenance:
+    def test_add_then_query(self):
+        index, _, _ = make_index(10)
+        index.add("new", [999.0, 999.0])
+        results = index.query([999.0, 999.0], k=1)
+        assert results[0][0] == "new"
+        assert len(index) == 11
+
+    def test_add_duplicate_rejected(self):
+        index, _, _ = make_index(5)
+        with pytest.raises(OptimizationError):
+            index.add("n0", [0.0, 0.0])
+
+    def test_add_wrong_dim_rejected(self):
+        index, _, _ = make_index(5)
+        with pytest.raises(OptimizationError):
+            index.add("x", [0.0, 0.0, 0.0])
+
+    def test_remove_then_query_skips(self):
+        index, _, points = make_index(10)
+        index.remove("n3")
+        results = index.query(points[3], k=1)
+        assert results[0][0] != "n3"
+        assert "n3" not in index
+
+    def test_remove_unknown_raises(self):
+        index, _, _ = make_index(5)
+        with pytest.raises(UnknownNodeError):
+            index.remove("ghost")
+
+    def test_readd_after_remove(self):
+        index, _, points = make_index(10)
+        index.remove("n3")
+        index.add("n3", points[3])
+        results = index.query(points[3], k=1)
+        assert results[0][0] == "n3"
+
+    def test_readd_with_new_position(self):
+        index, _, points = make_index(10)
+        index.remove("n3")
+        index.add("n3", [777.0, 777.0])
+        results = index.query([777.0, 777.0], k=1)
+        assert results[0][0] == "n3"
+
+    def test_update_moves_node(self):
+        index, _, _ = make_index(10)
+        index.update("n2", [-500.0, -500.0])
+        results = index.query([-500.0, -500.0], k=1)
+        assert results[0][0] == "n2"
+
+    def test_rebuild_triggered_by_many_adds(self):
+        index, _, _ = make_index(8)
+        for i in range(10):
+            index.add(f"extra{i}", [float(i), float(i)])
+        assert len(index) == 18
+        results = index.query([4.0, 4.0], k=1)
+        assert results[0][0] == "extra4"
+
+    def test_position_lookup(self):
+        index, _, points = make_index(5)
+        assert np.allclose(index.position("n1"), points[1])
+        index.remove("n1")
+        with pytest.raises(UnknownNodeError):
+            index.position("n1")
+
+    def test_cannot_rebuild_empty(self):
+        index, ids, _ = make_index(2)
+        index.remove("n0")
+        index.remove("n1")
+        with pytest.raises(OptimizationError):
+            index.rebuild()

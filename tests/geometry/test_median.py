@@ -1,0 +1,134 @@
+"""Geometric median solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import OptimizationError
+from repro.geometry.median import (
+    gradient_descent_median,
+    median_objective,
+    minimax_point,
+    weiszfeld,
+)
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+point_lists = st.lists(
+    st.tuples(coords, coords), min_size=1, max_size=12
+).map(lambda pts: np.array(pts, dtype=float))
+
+
+class TestWeiszfeld:
+    def test_single_point(self):
+        result = weiszfeld(np.array([[3.0, 4.0]]))
+        assert np.allclose(result.point, [3.0, 4.0])
+        assert result.converged
+
+    def test_two_points_midline(self):
+        """Any point on the segment is optimal; objective equals distance."""
+        result = weiszfeld(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        assert result.objective == pytest.approx(10.0, abs=1e-6)
+
+    def test_equilateral_triangle_centroid(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]])
+        result = weiszfeld(points)
+        assert np.allclose(result.point, points.mean(axis=0), atol=1e-6)
+
+    def test_majority_anchor_dominates(self):
+        """With weight > half the total at one anchor, the median IS that
+        anchor (the classic Fermat-Weber dominance property)."""
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        weights = np.array([10.0, 1.0, 1.0])
+        result = weiszfeld(points, weights)
+        assert np.allclose(result.point, [0.0, 0.0], atol=1e-6)
+
+    def test_collinear_points_median(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        result = weiszfeld(points)
+        # 1-D geometric median of {0, 1, 10} is the middle point 1.
+        assert np.allclose(result.point, [1.0, 0.0], atol=1e-4)
+
+    def test_start_at_anchor_safeguard(self):
+        """The mean of these points coincides with an anchor; the safeguard
+        must still reach the optimum."""
+        points = np.array([[0.0, 0.0], [4.0, 0.0], [-4.0, 0.0], [0.0, 8.0], [0.0, -8.0]])
+        assert np.allclose(points.mean(axis=0), [0.0, 0.0])
+        result = weiszfeld(points)
+        assert np.allclose(result.point, [0.0, 0.0], atol=1e-6)
+
+    def test_weight_validation(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(OptimizationError):
+            weiszfeld(points, np.array([1.0]))
+        with pytest.raises(OptimizationError):
+            weiszfeld(points, np.array([-1.0, 1.0]))
+        with pytest.raises(OptimizationError):
+            weiszfeld(points, np.array([0.0, 0.0]))
+
+    def test_empty_points(self):
+        with pytest.raises(OptimizationError):
+            weiszfeld(np.zeros((0, 2)))
+
+
+class TestGradientDescent:
+    def test_agrees_with_weiszfeld(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-50, 50, (7, 2))
+        a = weiszfeld(points)
+        b = gradient_descent_median(points, max_iterations=2000)
+        assert b.objective <= a.objective * 1.02 + 1e-6
+
+    def test_single_point(self):
+        result = gradient_descent_median(np.array([[1.0, 2.0]]))
+        assert np.allclose(result.point, [1.0, 2.0])
+
+
+class TestMinimax:
+    def test_two_points_midpoint(self):
+        result = minimax_point(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        assert np.allclose(result.point, [5.0, 0.0], atol=0.2)
+
+    def test_minimax_differs_from_median_under_outlier(self):
+        """The min-max center chases the outlier; the median resists it —
+        the robustness argument of Section 2.3."""
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 0.5], [100.0, 0.0]])
+        median = weiszfeld(points).point
+        center = minimax_point(points).point
+        assert center[0] > 20.0
+        assert median[0] < 2.0
+
+    def test_single_point(self):
+        result = minimax_point(np.array([[5.0, 5.0]]))
+        assert result.objective == 0.0
+
+
+class TestObjective:
+    def test_matches_manual_sum(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert median_objective([0.0, 0.0], points) == pytest.approx(5.0)
+
+    def test_weighted(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert median_objective([0.0, 0.0], points, np.array([1.0, 3.0])) == pytest.approx(3.0)
+
+
+@given(point_lists)
+@settings(max_examples=60, deadline=None)
+def test_property_weiszfeld_beats_all_anchors_and_mean(points):
+    """The solver's objective is no worse than the best anchor or the mean
+    (global optimality of the convex problem, up to tolerance)."""
+    result = weiszfeld(points, max_iterations=400)
+    candidates = [median_objective(p, points) for p in points]
+    candidates.append(median_objective(points.mean(axis=0), points))
+    assert result.objective <= min(candidates) + 1e-5 + 1e-6 * abs(min(candidates))
+
+
+@given(point_lists)
+@settings(max_examples=40, deadline=None)
+def test_property_median_inside_bounding_box(points):
+    """The geometric median lies within the anchors' bounding box."""
+    result = weiszfeld(points, max_iterations=300)
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    assert (result.point >= lo - 1e-6).all()
+    assert (result.point <= hi + 1e-6).all()

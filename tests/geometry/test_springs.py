@@ -1,0 +1,98 @@
+"""Spring-force relaxation for multi-operator graphs."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import OptimizationError
+from repro.geometry.median import weiszfeld
+from repro.geometry.springs import Spring, SpringSystem
+
+
+class TestSpring:
+    def test_self_spring_rejected(self):
+        with pytest.raises(OptimizationError):
+            Spring("a", "a")
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(OptimizationError):
+            Spring("a", "b", 0.0)
+
+
+class TestSpringSystem:
+    def test_single_free_body_reduces_to_geometric_median(self):
+        """A free body connected only to pinned anchors settles at their
+        geometric median — the join-replica case of Phase II."""
+        anchors = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        system = SpringSystem()
+        for i, anchor in enumerate(anchors):
+            system.pin(f"p{i}", anchor)
+        system.add_free("join")
+        for i in range(3):
+            system.connect("join", f"p{i}")
+        positions = system.relax()
+        expected = weiszfeld(anchors).point
+        assert np.allclose(positions["join"], expected, atol=1e-5)
+
+    def test_weighted_springs_pull_harder(self):
+        system = SpringSystem()
+        system.pin("a", [0.0, 0.0])
+        system.pin("b", [10.0, 0.0])
+        system.add_free("op")
+        system.connect("op", "a", weight=10.0)
+        system.connect("op", "b", weight=1.0)
+        positions = system.relax()
+        assert positions["op"][0] < 1.0  # dominated by the heavy anchor
+
+    def test_chain_of_free_bodies(self):
+        """Two chained operators settle between their anchors; energy is
+        no worse than placing both at either anchor."""
+        system = SpringSystem()
+        system.pin("src", [0.0, 0.0])
+        system.pin("snk", [10.0, 0.0])
+        system.add_free("op1")
+        system.add_free("op2")
+        system.connect("src", "op1")
+        system.connect("op1", "op2")
+        system.connect("op2", "snk")
+        positions = system.relax()
+        energy = system.energy(positions)
+        assert energy <= 10.0 + 1e-6
+        assert 0.0 - 1e-6 <= positions["op1"][0] <= 10.0 + 1e-6
+
+    def test_energy_non_negative_and_decreasing_vs_bad_start(self):
+        system = SpringSystem()
+        system.pin("a", [0.0, 0.0])
+        system.pin("b", [4.0, 0.0])
+        system.add_free("x")
+        system.connect("x", "a")
+        system.connect("x", "b")
+        bad = {"x": np.array([100.0, 100.0])}
+        relaxed = system.relax(initial=bad)
+        assert system.energy(relaxed) <= system.energy(bad)
+
+    def test_free_body_without_spring_raises(self):
+        system = SpringSystem()
+        system.pin("a", [0.0, 0.0])
+        system.add_free("dangling")
+        with pytest.raises(OptimizationError):
+            system.relax()
+
+    def test_pin_and_free_conflicts(self):
+        system = SpringSystem()
+        system.pin("a", [0.0, 0.0])
+        with pytest.raises(OptimizationError):
+            system.add_free("a")
+        system.add_free("b")
+        with pytest.raises(OptimizationError):
+            system.pin("b", [1.0, 1.0])
+
+    def test_connect_unknown_body(self):
+        system = SpringSystem()
+        system.pin("a", [0.0, 0.0])
+        with pytest.raises(OptimizationError):
+            system.connect("a", "ghost")
+
+    def test_no_free_bodies_returns_empty(self):
+        system = SpringSystem()
+        system.pin("a", [0.0, 0.0])
+        assert system.relax() == {}

@@ -1,0 +1,29 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        from repro import __version__
+
+        assert capsys.readouterr().out.strip() == __version__
+
+    def test_figures_lists_all_targets(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        for figure in ("Figure 5", "Figure 12", "bench_ablation_sigma"):
+            assert figure in output
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "sub-joins placed" in output
+        assert "overloaded hosts %" in output
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])

@@ -1,0 +1,184 @@
+"""End-to-end integration: the paper's headline orderings must hold.
+
+These tests run the full pipeline — workload generation, optimization,
+baselines, evaluation, and simulation — and assert the *shape* of the
+paper's results: who wins, and roughly by how much.
+"""
+
+import pytest
+
+from repro.baselines.registry import available_baselines, make_baseline
+from repro.baselines.top_c import TopCPlacement
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.evaluation.latency import latency_stats, matrix_distance, p90_delta_vs_direct
+from repro.evaluation.overload import overload_percentage
+from repro.spe.deployment import Deployment, SimulationConfig
+from repro.spe.stress import stress_sources
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.debs import debs_workload
+from repro.workloads.synthetic import synthetic_opp_workload
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    workload = synthetic_opp_workload(300, seed=11)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+    session = Nova(NovaConfig(seed=11)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+    baselines = {
+        name: make_baseline(name).place(
+            workload.topology, workload.plan, workload.matrix, latency
+        )
+        for name in available_baselines()
+    }
+    return workload, latency, session, baselines
+
+
+class TestOverloadOrdering:
+    """Figure 6 shape: Nova 0%, sink 100%, WSN methods worst baselines."""
+
+    def test_nova_zero_overload(self, synthetic):
+        workload, _, session, _ = synthetic
+        assert overload_percentage(session.placement, workload.topology) == 0.0
+
+    def test_sink_based_hundred_percent(self, synthetic):
+        workload, _, _, baselines = synthetic
+        assert overload_percentage(baselines["sink-based"], workload.topology) == 100.0
+
+    def test_topc_best_baseline(self, synthetic):
+        workload, _, _, baselines = synthetic
+        values = {
+            name: overload_percentage(placement, workload.topology)
+            for name, placement in baselines.items()
+        }
+        assert values["top-c"] <= min(
+            values["source-based"], values["tree"], values["cl-sf"], values["cl-tree-sf"]
+        )
+
+    def test_source_based_resource_agnostic(self, synthetic):
+        workload, _, _, baselines = synthetic
+        assert overload_percentage(baselines["source-based"], workload.topology) > 20.0
+
+
+class TestPlacementQuality:
+    """Figure 7 shape: Nova's 90P delta over the direct-transmission bound
+    is small and far below the tree-based methods."""
+
+    def test_nova_near_lower_bound(self, synthetic):
+        workload, latency, session, _ = synthetic
+        delta = p90_delta_vs_direct(session.placement, matrix_distance(latency))
+        bound_stats = latency_stats(session.placement, matrix_distance(latency))
+        assert delta < 0.8 * bound_stats.p90
+
+    def test_nova_beats_tree_methods(self, synthetic):
+        """Tree baselines route multi-hop over their MST, so their real
+        latencies are evaluated along the tree (Section 4.4)."""
+        from repro.baselines.tree import TreePlacement
+        from repro.evaluation.latency import tree_route_distance
+
+        workload, latency, session, _ = synthetic
+        strategy = TreePlacement()
+        tree_placement = strategy.place(
+            workload.topology, workload.plan, workload.matrix, latency
+        )
+        import numpy as np
+
+        from repro.evaluation.latency import (
+            direct_transmission_latencies,
+            placement_latencies,
+        )
+
+        route = tree_route_distance(
+            strategy.last_parents_by_root, latency, root_of=lambda _: workload.sink_id
+        )
+        nova_delta = p90_delta_vs_direct(session.placement, matrix_distance(latency))
+        # Tree achieves multi-hop routes; the bound stays straight-line.
+        achieved = placement_latencies(tree_placement, route)
+        bound = direct_transmission_latencies(tree_placement, matrix_distance(latency))
+        tree_delta = float(np.percentile(achieved, 90) - np.percentile(bound, 90))
+        assert nova_delta < tree_delta
+
+
+class TestEndToEndSimulation:
+    """Figure 11/12 shape: Nova has the highest throughput and the lowest
+    latency, stays robust under stress; sink-based is the floor."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        workload = debs_workload(rate_hz=80.0, seed=1)
+        session = Nova(NovaConfig(seed=1, sigma=1.0)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=workload.latency
+        )
+        placements = {
+            "nova": session.placement,
+            "sink-based": make_baseline("sink-based").place(
+                workload.topology, workload.plan, workload.matrix, workload.latency
+            ),
+            "source-based": make_baseline("source-based").place(
+                workload.topology, workload.plan, workload.matrix, workload.latency
+            ),
+            "top-c": TopCPlacement(decrement=False).place(
+                workload.topology, workload.plan, workload.matrix, workload.latency
+            ),
+        }
+
+        def run(placement, stress=None):
+            config = SimulationConfig(
+                window_s=0.0125,
+                duration_s=10.0,
+                seed=1,
+                stress_factors=stress or {},
+            )
+            return Deployment(
+                workload.topology, workload.plan, placement,
+                workload.latency.latency, config,
+            ).run()
+
+        stress = stress_sources(workload.topology, 0.7)
+        return {
+            "normal": {name: run(p) for name, p in placements.items()},
+            "stressed": {name: run(p, stress) for name, p in placements.items()},
+        }
+
+    def test_nova_highest_throughput(self, reports):
+        normal = reports["normal"]
+        for name, report in normal.items():
+            if name != "nova":
+                assert normal["nova"].results_delivered > report.results_delivered
+
+    def test_nova_factor_over_sink(self, reports):
+        """Paper: 13.4x more tuples than sink-based; require >= 4x."""
+        normal = reports["normal"]
+        assert (
+            normal["nova"].results_delivered
+            >= 4 * normal["sink-based"].results_delivered
+        )
+
+    def test_nova_lowest_mean_latency(self, reports):
+        normal = reports["normal"]
+        for name, report in normal.items():
+            if name != "nova" and report.results_delivered > 0:
+                assert normal["nova"].latency.mean < report.latency.mean
+
+    def test_nova_latency_factor(self, reports):
+        """Paper: 4.6-14.4x lower mean latency; require >= 3x vs sink."""
+        normal = reports["normal"]
+        assert normal["sink-based"].latency.mean > 3 * normal["nova"].latency.mean
+
+    def test_nova_robust_under_stress(self, reports):
+        """Paper: mean rises 8 -> 13 ms under stress; require < 3x."""
+        assert (
+            reports["stressed"]["nova"].latency.mean
+            < 3 * reports["normal"]["nova"].latency.mean
+        )
+
+    def test_stress_gap_versus_baselines(self, reports):
+        """Under stress Nova's tail stays bounded while the static
+        single-node approaches blow up (paper: 39x at the 99.99th)."""
+        stressed = reports["stressed"]
+        assert stressed["top-c"].latency.p9999 > 5 * stressed["nova"].latency.p9999
+
+    def test_no_drops_for_nova(self, reports):
+        assert reports["normal"]["nova"].results_dropped_late == 0

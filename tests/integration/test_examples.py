@@ -1,0 +1,26 @@
+"""The examples must run end to end (they are part of the public API)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "environmental_monitoring.py",
+        "smart_city_speed_limits.py",
+        "dynamic_reoptimization.py",
+    ],
+)
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 100  # produced a real report

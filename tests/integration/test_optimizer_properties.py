@@ -1,0 +1,64 @@
+"""End-level properties of the Nova optimizer over random workloads.
+
+For arbitrary topology sizes, seeds, and sigma values, an optimization
+must produce a *complete* and *consistent* placement: every join pair of
+the matrix deployed, every sub-join on a live node, pinned operators
+untouched, and the capacity constraint honoured whenever the optimizer
+did not explicitly flag accepted overload.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.synthetic import synthetic_opp_workload
+
+
+@given(
+    st.integers(min_value=20, max_value=120),
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.1, max_value=1.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_optimizer_produces_complete_consistent_placements(
+    n_nodes, seed, sigma
+):
+    workload = synthetic_opp_workload(n_nodes, seed=seed)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+    session = Nova(NovaConfig(seed=seed, sigma=sigma)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+    placement = session.placement
+
+    # Completeness: every matrix pair has at least one deployed sub-join.
+    deployed_replicas = {sub.replica_id for sub in placement.sub_replicas}
+    assert len(deployed_replicas) == workload.matrix.num_pairs()
+
+    # Liveness: every sub-join runs on a topology node.
+    for sub in placement.sub_replicas:
+        assert sub.node_id in workload.topology
+
+    # Pins: sources and sinks stay on their nodes.
+    for operator in workload.plan.operators():
+        if operator.is_pinned:
+            assert placement.pinned[operator.op_id] == operator.pinned_node
+
+    # Capacity: without the overload flag, no hosting node exceeds the
+    # headroom left after its own ingestion.
+    if not placement.overload_accepted:
+        ingestion = {}
+        for op in workload.plan.sources():
+            ingestion[op.pinned_node] = ingestion.get(op.pinned_node, 0.0) + op.data_rate
+        for node_id, load in placement.node_loads().items():
+            node = workload.topology.node(node_id)
+            headroom = max(node.capacity - ingestion.get(node_id, 0.0), 0.0)
+            assert load <= headroom + 1e-6, node_id
+
+    # Virtual positions exist for every deployed replica and are finite.
+    for replica_id in deployed_replicas:
+        position = placement.virtual_positions[replica_id]
+        assert np.all(np.isfinite(position))

@@ -1,0 +1,49 @@
+"""Deployment artifacts: a serialized placement must deploy identically.
+
+The operational workflow is optimize -> persist -> deploy; this test
+checks that a placement surviving a JSON round-trip drives the simulator
+to exactly the same outcome as the in-memory original.
+"""
+
+import pytest
+
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.core.serialization import load_placement, save_placement, session_summary
+from repro.spe.deployment import Deployment, SimulationConfig
+from repro.workloads.debs import debs_workload
+
+
+def test_roundtripped_placement_deploys_identically(tmp_path):
+    workload = debs_workload(rate_hz=40.0, seed=6)
+    session = Nova(NovaConfig(seed=6, sigma=0.6)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=workload.latency
+    )
+    path = tmp_path / "deployment.json"
+    save_placement(session.placement, path)
+    restored = load_placement(path)
+
+    config = SimulationConfig(window_s=0.05, duration_s=3.0, seed=9)
+    original_report = Deployment(
+        workload.topology, workload.plan, session.placement,
+        workload.latency.latency, config,
+    ).run()
+    restored_report = Deployment(
+        workload.topology, workload.plan, restored,
+        workload.latency.latency, config,
+    ).run()
+
+    assert restored_report.results_delivered == original_report.results_delivered
+    assert restored_report.latency.mean == pytest.approx(original_report.latency.mean)
+    assert restored_report.network_transfers == original_report.network_transfers
+
+
+def test_session_summary_reflects_debs_structure():
+    workload = debs_workload(rate_hz=40.0, seed=6)
+    session = Nova(NovaConfig(seed=6, sigma=1.0)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=workload.latency
+    )
+    summary = session_summary(session)
+    assert summary["joins"]["climate_join"]["pair_replicas"] == 4
+    assert summary["sigma"] == 1.0
+    assert len(summary["nodes"]) == len(session.placement.nodes_used())

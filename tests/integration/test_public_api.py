@@ -1,0 +1,41 @@
+"""Public API surface: every exported name must resolve."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.common",
+    "repro.topology",
+    "repro.ncs",
+    "repro.geometry",
+    "repro.query",
+    "repro.core",
+    "repro.baselines",
+    "repro.evaluation",
+    "repro.spe",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} must declare __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__
+
+
+def test_no_duplicate_exports():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        exported = package.__all__
+        assert len(exported) == len(set(exported)), package_name

@@ -1,0 +1,144 @@
+"""Long churn sequences keep the session consistent.
+
+A randomized stress test of the re-optimizer: apply dozens of mixed events
+and check the structural invariants after every step — every deployed
+sub-replica references live nodes, the deployed replica set matches the
+resolved plan, and the capacity ledger matches the placement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.core.reoptimizer import Reoptimizer
+from repro.topology.dynamics import (
+    AddSourceEvent,
+    AddWorkerEvent,
+    CapacityChangeEvent,
+    CoordinateDriftEvent,
+    DataRateChangeEvent,
+    RemoveNodeEvent,
+)
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.synthetic import synthetic_opp_workload
+
+
+def check_invariants(session):
+    for sub in session.placement.sub_replicas:
+        assert sub.node_id in session.topology, sub.node_id
+        assert sub.node_id in session.cost_space, sub.node_id
+    deployed = {s.replica_id for s in session.placement.sub_replicas}
+    resolved = {r.replica_id for r in session.resolved.replicas}
+    assert deployed == resolved
+    # Ledger consistency: for every node, available = headroom - load.
+    loads = session.placement.node_loads()
+    ingestion = {}
+    for op in session.plan.sources():
+        ingestion[op.pinned_node] = ingestion.get(op.pinned_node, 0.0) + op.data_rate
+    for node in session.topology.nodes():
+        if node.node_id not in session.available:
+            continue
+        headroom = max(node.capacity - ingestion.get(node.node_id, 0.0), 0.0)
+        expected = headroom - loads.get(node.node_id, 0.0)
+        assert session.available[node.node_id] == pytest.approx(expected, abs=1e-6), (
+            node.node_id
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_churn_marathon(seed):
+    workload = synthetic_opp_workload(100, seed=seed)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+    session = Nova(NovaConfig(seed=seed)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+    reoptimizer = Reoptimizer(session)
+    rng = np.random.default_rng(seed)
+    counter = 0
+
+    def neighbors():
+        ids = session.topology.node_ids
+        chosen = rng.choice(len(ids), size=min(10, len(ids)), replace=False)
+        return {ids[i]: float(rng.uniform(1.0, 100.0)) for i in chosen}
+
+    check_invariants(session)
+    for step in range(40):
+        kind = rng.integers(0, 6)
+        try:
+            if kind == 0:
+                counter += 1
+                reoptimizer.apply(
+                    AddWorkerEvent(f"w_extra{seed}_{counter}", float(rng.uniform(50, 300)), neighbors())
+                )
+            elif kind == 1:
+                counter += 1
+                rights = [
+                    op.op_id for op in session.plan.sources()
+                    if op.logical_stream == "right"
+                ]
+                if not rights:
+                    continue
+                reoptimizer.apply(
+                    AddSourceEvent(
+                        f"s_extra{seed}_{counter}",
+                        float(rng.uniform(50, 200)),
+                        float(rng.uniform(1, 150)),
+                        "left",
+                        rights[int(rng.integers(0, len(rights)))],
+                        neighbors(),
+                    )
+                )
+            elif kind == 2:
+                sources = session.plan.sources()
+                if len(sources) <= 4:
+                    continue
+                victim = sources[int(rng.integers(0, len(sources)))]
+                reoptimizer.apply(RemoveNodeEvent(victim.op_id))
+            elif kind == 3:
+                subs = session.placement.sub_replicas
+                if not subs:
+                    continue
+                host = subs[int(rng.integers(0, len(subs)))].node_id
+                pinned = set(session.placement.pinned.values())
+                if host in pinned:
+                    continue
+                reoptimizer.apply(RemoveNodeEvent(host))
+            elif kind == 4:
+                sources = session.plan.sources()
+                victim = sources[int(rng.integers(0, len(sources)))]
+                reoptimizer.apply(
+                    DataRateChangeEvent(victim.op_id, float(rng.uniform(1, 200)))
+                )
+            else:
+                workers = [
+                    n.node_id for n in session.topology.nodes()
+                    if n.node_id in session.available
+                ]
+                victim = workers[int(rng.integers(0, len(workers)))]
+                if victim in session.plan:
+                    continue
+                reoptimizer.apply(
+                    CapacityChangeEvent(victim, float(rng.uniform(10, 400)))
+                )
+        except Exception:
+            raise AssertionError(f"event kind {kind} failed at step {step}")
+        check_invariants(session)
+
+
+def test_coordinate_drift_marathon():
+    workload = synthetic_opp_workload(80, seed=3)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+    session = Nova(NovaConfig(seed=3)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+    reoptimizer = Reoptimizer(session)
+    rng = np.random.default_rng(3)
+    for _ in range(15):
+        ids = session.topology.node_ids
+        victim = ids[int(rng.integers(0, len(ids)))]
+        sample_ids = [i for i in ids if i != victim][:12]
+        neighbors = {nid: float(rng.uniform(1.0, 120.0)) for nid in sample_ids}
+        reoptimizer.apply(CoordinateDriftEvent(victim, neighbors))
+        for sub in session.placement.sub_replicas:
+            assert sub.node_id in session.cost_space

@@ -1,0 +1,58 @@
+"""Embedding-accuracy evaluation (the NCSIM-style study)."""
+
+import numpy as np
+import pytest
+
+from repro.ncs.accuracy import embedding_accuracy, mae_vs_neighbors, predicted_matrix
+from repro.topology.latency import DenseLatencyMatrix
+
+
+def euclidean_matrix(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0, 100, (n, 2))
+    return DenseLatencyMatrix.from_coordinates([f"n{i}" for i in range(n)], coords), coords
+
+
+class TestPredictedMatrix:
+    def test_shape_and_symmetry(self):
+        _, coords = euclidean_matrix(10)
+        predicted = predicted_matrix(coords)
+        assert predicted.shape == (10, 10)
+        assert np.allclose(predicted, predicted.T)
+        assert np.allclose(np.diag(predicted), 0.0)
+
+
+class TestEmbeddingAccuracy:
+    def test_perfect_embedding(self):
+        matrix, coords = euclidean_matrix(20, seed=1)
+        report = embedding_accuracy(coords, matrix)
+        assert report.mae_ms < 1e-9
+        assert report.stress < 1e-9
+
+    def test_shifted_embedding_invariant(self):
+        """Translations do not change pairwise distances."""
+        matrix, coords = euclidean_matrix(20, seed=2)
+        report = embedding_accuracy(coords + 1000.0, matrix)
+        assert report.mae_ms < 1e-6
+
+    def test_scaled_embedding_has_error(self):
+        matrix, coords = euclidean_matrix(20, seed=3)
+        report = embedding_accuracy(coords * 1.5, matrix)
+        assert report.mae_ms > 0.0
+        assert report.median_relative_error == pytest.approx(0.5, abs=0.05)
+
+
+class TestMaeVsNeighbors:
+    def test_converges_with_neighborhood_size(self):
+        """The paper's m-selection study: error converges quickly and gains
+        beyond a small m are negligible."""
+        matrix, _ = euclidean_matrix(60, seed=4)
+        results = mae_vs_neighbors(matrix, [2, 8, 24], rounds=40, seed=0)
+        assert set(results) == {2, 8, 24}
+        # m=24 should not be dramatically worse than m=8 (convergence).
+        assert results[24] <= results[8] * 1.6
+
+    def test_returns_positive_errors(self):
+        matrix, _ = euclidean_matrix(30, seed=5)
+        results = mae_vs_neighbors(matrix, [4], rounds=20, seed=0)
+        assert results[4] >= 0.0

@@ -1,0 +1,90 @@
+"""Classical MDS and SMACOF."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EmbeddingError
+from repro.ncs.mds import classical_mds, smacof_mds, stress_value
+from repro.topology.latency import DenseLatencyMatrix
+
+
+def euclidean_matrix(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0, 100, (n, 2))
+    return (
+        DenseLatencyMatrix.from_coordinates([f"n{i}" for i in range(n)], coords),
+        coords,
+    )
+
+
+class TestClassicalMds:
+    def test_exact_on_euclidean_input(self):
+        matrix, _ = euclidean_matrix()
+        result = classical_mds(matrix, dimensions=2)
+        assert result.stress < 1e-6
+
+    def test_distances_preserved(self):
+        matrix, _ = euclidean_matrix(20, seed=1)
+        result = classical_mds(matrix)
+        induced = np.linalg.norm(
+            result.coordinates[:, None, :] - result.coordinates[None, :, :], axis=2
+        )
+        assert np.allclose(induced, matrix.matrix, atol=1e-6)
+
+    def test_higher_dims_padded(self):
+        matrix, _ = euclidean_matrix(10)
+        result = classical_mds(matrix, dimensions=5)
+        assert result.coordinates.shape == (10, 5)
+
+    def test_non_euclidean_input_low_rank_approx(self):
+        matrix, _ = euclidean_matrix(25, seed=2)
+        perturbed = matrix.inject_tivs(0.3, seed=0)
+        result = classical_mds(perturbed, dimensions=2)
+        assert 0.0 < result.stress < 1.0
+
+    def test_invalid_dimensions(self):
+        matrix, _ = euclidean_matrix(5)
+        with pytest.raises(EmbeddingError):
+            classical_mds(matrix, dimensions=0)
+
+    def test_coords_of(self):
+        matrix, _ = euclidean_matrix(8)
+        result = classical_mds(matrix)
+        assert result.coords_of("n3").shape == (2,)
+
+
+class TestSmacof:
+    def test_improves_or_matches_classical_on_tiv_input(self):
+        matrix, _ = euclidean_matrix(25, seed=3)
+        perturbed = matrix.inject_tivs(0.2, seed=1)
+        classical = classical_mds(perturbed)
+        smacof = smacof_mds(perturbed, max_iterations=100, seed=0)
+        assert smacof.stress <= classical.stress + 1e-9
+
+    def test_exact_input_stays_exact(self):
+        matrix, _ = euclidean_matrix(15, seed=4)
+        result = smacof_mds(matrix, seed=0)
+        assert result.stress < 1e-4
+
+    def test_initial_coordinates_accepted(self):
+        matrix, coords = euclidean_matrix(12, seed=5)
+        result = smacof_mds(matrix, initial=coords, seed=0)
+        assert result.stress < 1e-6
+
+    def test_initial_wrong_shape_raises(self):
+        matrix, _ = euclidean_matrix(5)
+        with pytest.raises(EmbeddingError):
+            smacof_mds(matrix, initial=np.zeros((3, 2)))
+
+
+class TestStressValue:
+    def test_zero_for_perfect_embedding(self):
+        matrix, coords = euclidean_matrix(10, seed=6)
+        assert stress_value(coords, matrix.matrix) < 1e-9
+
+    def test_positive_for_wrong_embedding(self):
+        matrix, coords = euclidean_matrix(10, seed=7)
+        assert stress_value(coords * 2.0, matrix.matrix) > 0.1
+
+    def test_zero_target(self):
+        assert stress_value(np.zeros((3, 2)), np.zeros((3, 3))) == 0.0

@@ -1,0 +1,146 @@
+"""Vivaldi network coordinates."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EmbeddingError
+from repro.ncs.accuracy import embedding_accuracy
+from repro.ncs.vivaldi import (
+    VivaldiConfig,
+    VivaldiEmbedding,
+    neighbor_rtts,
+    sample_neighbor_sets,
+)
+from repro.topology.latency import CoordinateLatencyModel, DenseLatencyMatrix
+
+
+def euclidean_matrix(n=60, seed=0, scale=100.0):
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0, scale, (n, 2))
+    return DenseLatencyMatrix.from_coordinates([f"n{i}" for i in range(n)], coords)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = VivaldiConfig()
+        assert config.dimensions == 2
+        assert config.neighbors == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimensions": 0},
+            {"neighbors": 0},
+            {"rounds": 0},
+            {"ce": 0.0},
+            {"cc": 1.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            VivaldiConfig(**kwargs)
+
+
+class TestNeighborSets:
+    def test_no_self_selection(self):
+        sets = sample_neighbor_sets(50, 10, np.random.default_rng(0))
+        for i in range(50):
+            assert i not in sets[i]
+
+    def test_clamped_to_n_minus_one(self):
+        sets = sample_neighbor_sets(5, 100, np.random.default_rng(0))
+        assert sets.shape == (5, 4)
+        for i in range(5):
+            assert len(set(sets[i].tolist())) == 4
+
+    def test_too_few_nodes(self):
+        with pytest.raises(EmbeddingError):
+            sample_neighbor_sets(1, 3, np.random.default_rng(0))
+
+
+class TestNeighborRtts:
+    def test_dense_fast_path(self):
+        matrix = euclidean_matrix(10)
+        sets = sample_neighbor_sets(10, 3, np.random.default_rng(0))
+        rtts = neighbor_rtts(matrix, matrix.ids, sets)
+        ids = matrix.ids
+        assert rtts[2, 1] == pytest.approx(matrix.latency(ids[2], ids[int(sets[2, 1])]))
+
+    def test_coordinate_fast_path(self):
+        rng = np.random.default_rng(1)
+        coords = rng.uniform(0, 50, (12, 2))
+        model = CoordinateLatencyModel([f"n{i}" for i in range(12)], coords)
+        sets = sample_neighbor_sets(12, 4, rng)
+        rtts = neighbor_rtts(model, model.ids, sets)
+        assert rtts[0, 0] == pytest.approx(
+            model.latency("n0", f"n{int(sets[0, 0])}")
+        )
+
+
+class TestEmbedding:
+    def test_recovers_euclidean_structure(self):
+        """On a matrix that IS Euclidean, Vivaldi should reach low error."""
+        matrix = euclidean_matrix(80, seed=2)
+        result = VivaldiEmbedding(VivaldiConfig(neighbors=16, rounds=60), seed=0).embed(matrix)
+        report = embedding_accuracy(result.coordinates, matrix)
+        median_latency = float(np.median(matrix.matrix))
+        assert report.mae_ms < 0.35 * median_latency
+
+    def test_more_neighbors_do_not_hurt_much(self):
+        matrix = euclidean_matrix(60, seed=4)
+        small = VivaldiEmbedding(VivaldiConfig(neighbors=4, rounds=40), seed=0).embed(matrix)
+        large = VivaldiEmbedding(VivaldiConfig(neighbors=24, rounds=40), seed=0).embed(matrix)
+        err_small = embedding_accuracy(small.coordinates, matrix).mae_ms
+        err_large = embedding_accuracy(large.coordinates, matrix).mae_ms
+        assert err_large <= err_small * 1.5
+
+    def test_result_shapes(self):
+        matrix = euclidean_matrix(20)
+        result = VivaldiEmbedding(seed=0).embed(matrix)
+        assert result.coordinates.shape == (20, 2)
+        assert result.errors.shape == (20,)
+        assert result.ids == matrix.ids
+
+    def test_single_node(self):
+        matrix = DenseLatencyMatrix(["only"], np.zeros((1, 1)))
+        result = VivaldiEmbedding(seed=0).embed(matrix)
+        assert result.coordinates.shape == (1, 2)
+
+    def test_coords_of_and_mapping(self):
+        matrix = euclidean_matrix(10)
+        result = VivaldiEmbedding(seed=0).embed(matrix)
+        mapping = result.as_mapping()
+        assert np.allclose(mapping["n3"], result.coords_of("n3"))
+
+    def test_deterministic_given_seed(self):
+        matrix = euclidean_matrix(25)
+        a = VivaldiEmbedding(seed=9).embed(matrix)
+        b = VivaldiEmbedding(seed=9).embed(matrix)
+        assert np.allclose(a.coordinates, b.coordinates)
+
+
+class TestPlaceNewNode:
+    def test_lands_near_true_position(self):
+        """A node measured against embedded neighbours should land where
+        its latencies predict."""
+        matrix = euclidean_matrix(60, seed=5)
+        embedding = VivaldiEmbedding(VivaldiConfig(neighbors=16, rounds=60), seed=0)
+        result = embedding.embed(matrix)
+        # Use node 0's real latencies to place a "new" node at its spot.
+        neighbor_ids = matrix.ids[1:21]
+        neighbor_coords = np.vstack([result.coords_of(nid) for nid in neighbor_ids])
+        rtts = np.array([matrix.latency("n0", nid) for nid in neighbor_ids])
+        position = embedding.place_new_node(neighbor_coords, rtts)
+        predicted = np.linalg.norm(neighbor_coords - position, axis=1)
+        mae = np.abs(predicted - rtts).mean()
+        assert mae < 0.5 * rtts.mean()
+
+    def test_requires_neighbors(self):
+        embedding = VivaldiEmbedding(seed=0)
+        with pytest.raises(EmbeddingError):
+            embedding.place_new_node(np.zeros((0, 2)), np.zeros(0))
+
+    def test_misaligned_inputs(self):
+        embedding = VivaldiEmbedding(seed=0)
+        with pytest.raises(EmbeddingError):
+            embedding.place_new_node(np.zeros((3, 2)), np.zeros(2))

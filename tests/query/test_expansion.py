@@ -1,0 +1,94 @@
+"""Source expansion and pair-wise join replication."""
+
+import pytest
+
+from repro.common.errors import JoinMatrixError, PlanError
+from repro.query.expansion import replica_id_for, resolve_operators
+from repro.query.join_matrix import JoinMatrix
+from repro.query.plan import LogicalPlan
+
+
+def build_plan():
+    plan = LogicalPlan()
+    plan.add_source("t1", node="nt1", rate=25.0, logical_stream="T")
+    plan.add_source("t2", node="nt2", rate=30.0, logical_stream="T")
+    plan.add_source("w1", node="nw1", rate=10.0, logical_stream="W")
+    plan.add_join("join", left="T", right="W")
+    plan.add_sink("sink", node="nsink", inputs=["join.out"])
+    return plan
+
+
+class TestResolve:
+    def test_one_replica_per_pair(self):
+        plan = build_plan()
+        matrix = JoinMatrix.dense(["t1", "t2"], ["w1"])
+        resolved = resolve_operators(plan, matrix)
+        assert len(resolved.replicas) == 2
+        ids = {r.replica_id for r in resolved.replicas}
+        assert replica_id_for("join", "t1", "w1") in ids
+        assert replica_id_for("join", "t2", "w1") in ids
+
+    def test_replica_carries_rates_and_nodes(self):
+        plan = build_plan()
+        matrix = JoinMatrix.dense(["t2"], ["w1"])
+        replica = resolve_operators(plan, matrix).replicas[0]
+        assert replica.left_rate == 30.0
+        assert replica.right_rate == 10.0
+        assert replica.required_capacity == 40.0
+        assert replica.pinned_nodes == ("nt2", "nw1", "nsink")
+        assert replica.sink_id == "sink"
+
+    def test_sparse_matrix_restricts_pairs(self):
+        plan = build_plan()
+        matrix = JoinMatrix(["t1", "t2"], ["w1"])
+        matrix.allow("t1", "w1")
+        resolved = resolve_operators(plan, matrix)
+        assert len(resolved.replicas) == 1
+
+    def test_unknown_source_in_matrix_rejected(self):
+        plan = build_plan()
+        matrix = JoinMatrix.dense(["ghost"], ["w1"])
+        with pytest.raises(JoinMatrixError):
+            resolve_operators(plan, matrix)
+
+    def test_empty_pairing_rejected(self):
+        plan = build_plan()
+        matrix = JoinMatrix(["t1"], ["w1"])  # no allowed pairs
+        with pytest.raises(PlanError, match="no joinable pairs"):
+            resolve_operators(plan, matrix)
+
+    def test_plan_without_join_rejected(self):
+        plan = LogicalPlan()
+        plan.add_source("s", node="n", rate=1.0, logical_stream="T")
+        plan.add_sink("k", node="m", inputs=["s.out"])
+        with pytest.raises(PlanError, match="no join"):
+            resolve_operators(plan, JoinMatrix())
+
+    def test_pairs_outside_join_streams_ignored(self):
+        """Matrix rows pairing sources of the wrong logical stream do not
+        create replicas for this join."""
+        plan = build_plan()
+        # w1 listed on the left side: not a member of stream T.
+        matrix = JoinMatrix(["w1"], ["t1"])
+        matrix.allow("w1", "t1")
+        with pytest.raises(PlanError, match="no joinable pairs"):
+            resolve_operators(plan, matrix)
+
+
+class TestResolvedPlanViews:
+    def test_replicas_of_join_and_source(self):
+        plan = build_plan()
+        matrix = JoinMatrix.dense(["t1", "t2"], ["w1"])
+        resolved = resolve_operators(plan, matrix)
+        assert len(resolved.replicas_of_join("join")) == 2
+        assert len(resolved.replicas_of_source("w1")) == 2
+        assert len(resolved.replicas_of_source("t1")) == 1
+
+    def test_replica_lookup(self):
+        plan = build_plan()
+        matrix = JoinMatrix.dense(["t1"], ["w1"])
+        resolved = resolve_operators(plan, matrix)
+        rid = replica_id_for("join", "t1", "w1")
+        assert resolved.replica(rid).left_source == "t1"
+        with pytest.raises(PlanError):
+            resolved.replica("nope")

@@ -1,0 +1,114 @@
+"""The join matrix M."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import JoinMatrixError
+from repro.query.join_matrix import JoinMatrix
+
+
+class TestConstruction:
+    def test_dense(self):
+        matrix = JoinMatrix.dense(["a", "b"], ["x", "y", "z"])
+        assert matrix.num_pairs() == 6
+        assert matrix.density() == 1.0
+
+    def test_from_regions(self):
+        matrix = JoinMatrix.from_regions(
+            {"t1": "r1", "t2": "r1", "t3": "r2"},
+            {"w1": "r1", "w2": "r2"},
+        )
+        assert matrix.joinable("t1", "w1")
+        assert matrix.joinable("t3", "w2")
+        assert not matrix.joinable("t1", "w2")
+        assert matrix.num_pairs() == 3
+
+    def test_duplicate_left_rejected(self):
+        matrix = JoinMatrix(["a"], [])
+        with pytest.raises(JoinMatrixError):
+            matrix.add_left("a")
+
+    def test_side_crossover_rejected(self):
+        matrix = JoinMatrix(["a"], ["x"])
+        with pytest.raises(JoinMatrixError):
+            matrix.add_right("a")
+        with pytest.raises(JoinMatrixError):
+            matrix.add_left("x")
+
+
+class TestMutation:
+    def test_allow_unknown_rejected(self):
+        matrix = JoinMatrix(["a"], ["x"])
+        with pytest.raises(JoinMatrixError):
+            matrix.allow("ghost", "x")
+        with pytest.raises(JoinMatrixError):
+            matrix.allow("a", "ghost")
+
+    def test_forbid(self):
+        matrix = JoinMatrix.dense(["a"], ["x", "y"])
+        matrix.forbid("a", "x")
+        assert not matrix.joinable("a", "x")
+        assert matrix.num_pairs() == 1
+
+    def test_remove_source_returns_lost_pairs(self):
+        matrix = JoinMatrix.dense(["a", "b"], ["x", "y"])
+        removed = matrix.remove_source("a")
+        assert set(removed) == {("a", "x"), ("a", "y")}
+        assert matrix.left_ids == ["b"]
+        assert matrix.num_pairs() == 2
+
+    def test_remove_right_source(self):
+        matrix = JoinMatrix.dense(["a"], ["x", "y"])
+        matrix.remove_source("y")
+        assert matrix.right_ids == ["x"]
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(JoinMatrixError):
+            JoinMatrix().remove_source("ghost")
+
+
+class TestQueries:
+    def test_pairs_deterministic_row_major(self):
+        matrix = JoinMatrix.dense(["b", "a"], ["y", "x"])
+        assert list(matrix.pairs()) == [("b", "y"), ("b", "x"), ("a", "y"), ("a", "x")]
+
+    def test_pairs_of(self):
+        matrix = JoinMatrix.dense(["a", "b"], ["x"])
+        assert matrix.pairs_of("a") == [("a", "x")]
+        assert matrix.pairs_of("x") == [("a", "x"), ("b", "x")]
+
+    def test_contains_and_len(self):
+        matrix = JoinMatrix.dense(["a"], ["x"])
+        assert ("a", "x") in matrix
+        assert len(matrix) == 1
+
+    def test_empty_density(self):
+        assert JoinMatrix().density() == 0.0
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_remove_source_conserves_pairs(n_left, n_right, seed):
+    """Removing every left source one by one drains exactly all pairs."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    lefts = [f"l{i}" for i in range(n_left)]
+    rights = [f"r{i}" for i in range(n_right)]
+    matrix = JoinMatrix(lefts, rights)
+    expected = 0
+    for left in lefts:
+        for right in rights:
+            if rng.random() < 0.5:
+                matrix.allow(left, right)
+                expected += 1
+    drained = 0
+    for left in list(lefts):
+        drained += len(matrix.remove_source(left))
+    assert drained == expected
+    assert matrix.num_pairs() == 0

@@ -1,0 +1,64 @@
+"""Operator model."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.query.operators import Operator, OperatorKind
+
+
+class TestOperatorValidation:
+    def test_source_requires_pin_and_single_output(self):
+        op = Operator("s1", OperatorKind.SOURCE, outputs=["s1.out"], pinned_node="n1")
+        assert op.is_source and op.is_pinned
+
+    def test_source_without_pin_rejected(self):
+        with pytest.raises(PlanError):
+            Operator("s1", OperatorKind.SOURCE, outputs=["o"])
+
+    def test_source_with_inputs_rejected(self):
+        with pytest.raises(PlanError):
+            Operator("s1", OperatorKind.SOURCE, inputs=["x"], outputs=["o"], pinned_node="n")
+
+    def test_source_with_two_outputs_rejected(self):
+        with pytest.raises(PlanError):
+            Operator("s1", OperatorKind.SOURCE, outputs=["a", "b"], pinned_node="n")
+
+    def test_sink_requires_inputs(self):
+        with pytest.raises(PlanError):
+            Operator("k", OperatorKind.SINK, pinned_node="n")
+
+    def test_sink_with_outputs_rejected(self):
+        with pytest.raises(PlanError):
+            Operator("k", OperatorKind.SINK, inputs=["i"], outputs=["o"], pinned_node="n")
+
+    def test_join_needs_two_inputs(self):
+        with pytest.raises(PlanError):
+            Operator("j", OperatorKind.JOIN, inputs=["only"], outputs=["o"])
+
+    def test_join_is_free(self):
+        op = Operator("j", OperatorKind.JOIN, inputs=["a", "b"], outputs=["o"])
+        assert op.is_join and not op.is_pinned
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(PlanError):
+            Operator("", OperatorKind.JOIN, inputs=["a", "b"], outputs=["o"])
+
+    def test_kind_coercion(self):
+        op = Operator("j", "join", inputs=["a", "b"], outputs=["o"])
+        assert op.kind == OperatorKind.JOIN
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Operator("s", OperatorKind.SOURCE, outputs=["o"], pinned_node="n", data_rate=-1.0)
+
+
+class TestInstanceId:
+    def test_single_replica(self):
+        op = Operator("j", OperatorKind.JOIN, inputs=["a", "b"], outputs=["o"])
+        assert op.instance_id() == "j"
+
+    def test_multi_replica(self):
+        op = Operator(
+            "j", OperatorKind.JOIN, inputs=["a", "b"], outputs=["o"], replica=2, total_replicas=4
+        )
+        assert op.instance_id() == "j#2"

@@ -1,0 +1,99 @@
+"""Discrete-event core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.spe.events import EventQueue
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("late"))
+        queue.schedule(1.0, lambda: order.append("early"))
+        queue.run(until=10.0)
+        assert order == ["early", "late"]
+
+    def test_ties_break_by_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append("first"))
+        queue.schedule(1.0, lambda: order.append("second"))
+        queue.run(until=10.0)
+        assert order == ["first", "second"]
+
+    def test_schedule_in(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_in(0.5, lambda: seen.append(queue.now))
+        queue.run(until=1.0)
+        assert seen == [0.5]
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run(until=6.0)
+        with pytest.raises(SimulationError):
+            queue.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule_in(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_stops_at_until(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(5.0, lambda: fired.append(5))
+        executed = queue.run(until=2.0)
+        assert executed == 1
+        assert fired == [1]
+        assert queue.now == 2.0
+        assert len(queue) == 1
+
+    def test_cascading_events(self):
+        queue = EventQueue()
+        counter = []
+
+        def tick():
+            counter.append(queue.now)
+            if len(counter) < 5:
+                queue.schedule_in(1.0, tick)
+
+        queue.schedule(0.0, tick)
+        queue.run(until=100.0)
+        assert counter == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_event_budget(self):
+        queue = EventQueue()
+
+        def forever():
+            queue.schedule_in(0.001, forever)
+
+        queue.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="budget"):
+            queue.run(until=10.0, max_events=100)
+
+    def test_processed_events_counter(self):
+        queue = EventQueue()
+        for t in range(5):
+            queue.schedule(float(t), lambda: None)
+        queue.run(until=10.0)
+        assert queue.processed_events == 5
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_property_execution_order_is_sorted(times):
+    queue = EventQueue()
+    seen = []
+    for t in times:
+        queue.schedule(t, lambda t=t: seen.append(t))
+    queue.run(until=101.0)
+    assert seen == sorted(seen)
+    assert len(seen) == len(times)

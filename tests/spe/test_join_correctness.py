@@ -1,0 +1,92 @@
+"""Join-semantics invariants of the simulator.
+
+The key property: given enough capacity and lateness budget, the set of
+results is a function of the *data*, not of the placement — partitioned,
+merged, or centralized executions of the same join must deliver the same
+number of results (every (left, right) in-window pair exactly once).
+"""
+
+import pytest
+
+from repro.baselines.sink_based import SinkBasedPlacement
+from repro.baselines.top_c import TopCPlacement
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.spe.deployment import Deployment, SimulationConfig
+from repro.topology.model import Node, Topology
+from repro.workloads.debs import debs_workload
+
+
+def generous_workload(sigma, seed=3):
+    """A DEBS workload on a cluster so big nothing ever queues."""
+    workload = debs_workload(rate_hz=20.0, seed=seed)
+    for node in workload.topology.nodes():
+        node.capacity = 1e6
+    config = NovaConfig(seed=seed, sigma=sigma)
+    session = Nova(config).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=workload.latency
+    )
+    return workload, session.placement
+
+
+def run(workload, placement, duration=4.0, seed=11):
+    """Run with a zero-latency network so result counts cannot differ
+    through in-flight tail effects at the simulation horizon."""
+    config = SimulationConfig(
+        window_s=0.1, duration_s=duration, seed=seed, allowed_lateness_s=3.0
+    )
+    return Deployment(
+        workload.topology, workload.plan, placement, lambda u, v: 0.0, config
+    ).run()
+
+
+class TestPlacementInvariance:
+    def test_partitioned_equals_centralized(self):
+        """Nova's partitioned grid (sigma=0.2 -> many cells) delivers the
+        same result count as the sink-based single-node execution."""
+        workload, nova_placement = generous_workload(sigma=0.2)
+        sink_placement = SinkBasedPlacement().place(
+            workload.topology, workload.plan, workload.matrix
+        )
+        nova_report = run(workload, nova_placement)
+        sink_report = run(workload, sink_placement)
+        assert nova_report.results_delivered == sink_report.results_delivered
+        assert nova_report.results_delivered > 0
+
+    def test_sigma_variants_agree(self):
+        workload, coarse = generous_workload(sigma=1.0)
+        _, fine = generous_workload(sigma=0.1)
+        assert run(workload, coarse).results_delivered == run(
+            workload, fine
+        ).results_delivered
+
+    def test_topc_agrees(self):
+        workload, nova_placement = generous_workload(sigma=0.5)
+        topc = TopCPlacement().place(workload.topology, workload.plan, workload.matrix)
+        assert run(workload, topc).results_delivered == run(
+            workload, nova_placement
+        ).results_delivered
+
+
+class TestResultVolume:
+    def test_matches_analytic_expectation_order(self):
+        """With both sources at rate r and window w, each window holds
+        about r*w tuples per side, so results per region per second are
+        about r^2 * w; the simulated count must be within 2x of that."""
+        workload, placement = generous_workload(sigma=1.0)
+        duration = 4.0
+        report = run(workload, placement, duration=duration)
+        rate, window = 20.0, 0.1
+        expected = len(workload.regions) * rate * rate * window * duration
+        assert 0.5 * expected <= report.results_delivered <= 2.0 * expected
+
+    def test_no_results_without_matching_regions(self):
+        """Forbidding every pair yields an empty placement -> no results."""
+        workload = debs_workload(rate_hz=20.0, seed=3)
+        placement = SinkBasedPlacement().place(
+            workload.topology, workload.plan, workload.matrix
+        )
+        # Strip all sub-replicas: no joins deployed, no results.
+        placement.sub_replicas = []
+        report = run(workload, placement)
+        assert report.results_delivered == 0

@@ -1,0 +1,94 @@
+"""Network transport and processing nodes."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.spe.events import EventQueue
+from repro.spe.network import Network
+from repro.spe.nodes import ProcessingNode
+
+
+def distance(u, v):
+    return 100.0  # ms
+
+
+class TestNetwork:
+    def test_latency_applied(self):
+        events = EventQueue()
+        network = Network(events, distance)
+        arrivals = []
+        network.send("a", "b", "payload", lambda p: arrivals.append((events.now, p)))
+        events.run(until=1.0)
+        assert arrivals == [(0.1, "payload")]
+
+    def test_local_delivery_immediate(self):
+        events = EventQueue()
+        network = Network(events, distance)
+        arrivals = []
+        network.send("a", "a", "x", arrivals.append)
+        assert arrivals == ["x"]
+
+    def test_transfers_counted(self):
+        events = EventQueue()
+        network = Network(events, distance)
+        network.send("a", "b", 1, lambda p: None)
+        network.send("a", "a", 2, lambda p: None)
+        assert network.transfers == 2
+
+    def test_egress_bandwidth_queues(self):
+        """Two back-to-back sends over a 10 tuples/s uplink serialize."""
+        events = EventQueue()
+        network = Network(events, distance, egress_bandwidth={"a": 10.0})
+        arrivals = []
+        network.send("a", "b", 1, lambda p: arrivals.append(events.now))
+        network.send("a", "b", 2, lambda p: arrivals.append(events.now))
+        events.run(until=10.0)
+        assert arrivals[0] == pytest.approx(0.1 + 0.1)  # serialization + latency
+        assert arrivals[1] == pytest.approx(0.2 + 0.1)
+
+    def test_unlimited_bandwidth_parallel(self):
+        events = EventQueue()
+        network = Network(events, distance)
+        arrivals = []
+        for i in range(3):
+            network.send("a", "b", i, lambda p: arrivals.append(events.now))
+        events.run(until=1.0)
+        assert arrivals == [0.1, 0.1, 0.1]
+
+
+class TestProcessingNode:
+    def test_service_time(self):
+        events = EventQueue()
+        node = ProcessingNode("n", capacity=10.0, events=events)
+        assert node.service_time == 0.1
+
+    def test_fifo_backlog(self):
+        events = EventQueue()
+        node = ProcessingNode("n", capacity=10.0, events=events)
+        completions = []
+        for _ in range(3):
+            node.process(lambda: completions.append(events.now))
+        events.run(until=10.0)
+        assert completions == pytest.approx([0.1, 0.2, 0.3])
+        assert node.processed == 3
+
+    def test_queue_depth(self):
+        events = EventQueue()
+        node = ProcessingNode("n", capacity=1.0, events=events)
+        for _ in range(5):
+            node.process(lambda: None)
+        assert node.queue_depth_s() == pytest.approx(5.0)
+        events.run(until=100.0)
+        assert node.queue_depth_s() == 0.0
+
+    def test_idle_node_serves_immediately(self):
+        events = EventQueue()
+        node = ProcessingNode("n", capacity=100.0, events=events)
+        done = []
+        events.schedule(1.0, lambda: node.process(lambda: done.append(events.now)))
+        events.run(until=2.0)
+        assert done == pytest.approx([1.01])
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            ProcessingNode("n", capacity=0.0, events=EventQueue())

@@ -1,0 +1,170 @@
+"""Runtime operators: join matching semantics, sink recording, routes."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.spe.events import EventQueue
+from repro.spe.network import Network
+from repro.spe.nodes import ProcessingNode
+from repro.spe.operators import LEFT, RIGHT, PartitionRoute, RuntimeJoin, RuntimeSink
+from repro.spe.tuples import JoinResult, SimTuple
+
+
+def make_join(events, window_s=1.0, grace=10):
+    network = Network(events, lambda u, v: 0.0)
+    node = ProcessingNode("host", capacity=1e6, events=events)
+    sink_node = ProcessingNode("sink", capacity=1e6, events=events)
+    sink = RuntimeSink("sink", sink_node, events)
+    join = RuntimeJoin(
+        sub_id="r@host",
+        node=node,
+        network=network,
+        events=events,
+        window_s=window_s,
+        sink_node="sink",
+        deliver_result=sink.on_result,
+        window_grace=grace,
+    )
+    return join, sink
+
+
+def tup(stream, key, t, source="s"):
+    return SimTuple(stream=stream, key=key, event_time=t, created_at=t, source=source)
+
+
+class TestJoinMatching:
+    def test_matching_pair_produces_result(self):
+        events = EventQueue()
+        join, sink = make_join(events)
+        join.own_cell(0, 0)
+        join.on_tuple(LEFT, 0, tup("L", "k", 0.1))
+        join.on_tuple(RIGHT, 0, tup("R", "k", 0.2))
+        events.run(until=1.0)
+        assert sink.delivered == 1
+
+    def test_key_mismatch_no_result(self):
+        events = EventQueue()
+        join, sink = make_join(events)
+        join.own_cell(0, 0)
+        join.on_tuple(LEFT, 0, tup("L", "k1", 0.1))
+        join.on_tuple(RIGHT, 0, tup("R", "k2", 0.2))
+        events.run(until=1.0)
+        assert sink.delivered == 0
+
+    def test_window_boundary_separates(self):
+        events = EventQueue()
+        join, sink = make_join(events, window_s=1.0)
+        join.own_cell(0, 0)
+        join.on_tuple(LEFT, 0, tup("L", "k", 0.9))
+        events.schedule(1.5, lambda: join.on_tuple(RIGHT, 0, tup("R", "k", 1.5)))
+        events.run(until=3.0)
+        assert sink.delivered == 0  # different tumbling windows
+
+    def test_cross_product_within_window(self):
+        events = EventQueue()
+        join, sink = make_join(events)
+        join.own_cell(0, 0)
+        for i in range(3):
+            join.on_tuple(LEFT, 0, tup("L", "k", 0.1 + i * 0.01))
+        for i in range(2):
+            join.on_tuple(RIGHT, 0, tup("R", "k", 0.2 + i * 0.01))
+        events.run(until=1.0)
+        assert sink.delivered == 6  # 3 x 2
+
+    def test_unowned_partition_pairs_do_not_match(self):
+        """Cells (0,0) and (1,1) owned: left partition 0 must not match
+        right partition 1 — this is the duplicate-prevention invariant."""
+        events = EventQueue()
+        join, sink = make_join(events)
+        join.own_cell(0, 0)
+        join.own_cell(1, 1)
+        join.on_tuple(LEFT, 0, tup("L", "k", 0.1))
+        join.on_tuple(RIGHT, 1, tup("R", "k", 0.2))
+        events.run(until=1.0)
+        assert sink.delivered == 0
+        join.on_tuple(RIGHT, 0, tup("R", "k", 0.3))
+        events.run(until=2.0)
+        assert sink.delivered == 1
+
+    def test_duplicate_cell_rejected(self):
+        events = EventQueue()
+        join, _ = make_join(events)
+        join.own_cell(0, 0)
+        with pytest.raises(SimulationError):
+            join.own_cell(0, 0)
+
+    def test_handles(self):
+        events = EventQueue()
+        join, _ = make_join(events)
+        join.own_cell(0, 1)
+        assert join.handles(LEFT, 0)
+        assert join.handles(RIGHT, 1)
+        assert not join.handles(LEFT, 1)
+
+    def test_late_tuples_dropped(self):
+        events = EventQueue()
+        join, sink = make_join(events, window_s=0.1, grace=1)
+        join.own_cell(0, 0)
+        # Tuple from window 0 arriving at t=5 (window 50): way past grace.
+        events.schedule(5.0, lambda: join.on_tuple(LEFT, 0, tup("L", "k", 0.01)))
+        events.run(until=6.0)
+        assert join.tuples_dropped_late == 1
+        assert sink.delivered == 0
+
+    def test_results_emitted_counter(self):
+        events = EventQueue()
+        join, _ = make_join(events)
+        join.own_cell(0, 0)
+        join.on_tuple(LEFT, 0, tup("L", "k", 0.1))
+        join.on_tuple(RIGHT, 0, tup("R", "k", 0.2))
+        events.run(until=1.0)
+        assert join.results_emitted == 1
+
+    def test_invalid_window(self):
+        events = EventQueue()
+        network = Network(events, lambda u, v: 0.0)
+        node = ProcessingNode("n", 1.0, events)
+        with pytest.raises(SimulationError):
+            RuntimeJoin("x", node, network, events, 0.0, "sink", lambda r: None)
+
+
+class TestSink:
+    def test_latency_recorded_from_created_at(self):
+        events = EventQueue()
+        node = ProcessingNode("sink", 1e6, events)
+        sink = RuntimeSink("sink", node, events)
+        left = tup("L", "k", 0.0)
+        right = tup("R", "k", 0.5)
+        result = JoinResult.of(left, right, window=0)
+        assert result.created_at == 0.5
+        events.schedule(1.0, lambda: sink.on_result(result))
+        events.run(until=2.0)
+        assert sink.latencies_ms == [pytest.approx(500.0)]
+
+
+class TestPartitionRoute:
+    def make_route(self, weights):
+        events = EventQueue()
+        join, _ = make_join(events)
+        join.own_cell(0, 0)
+        return PartitionRoute(
+            side=LEFT,
+            indices=list(range(len(weights))),
+            weights=np.array(weights, dtype=float),
+            targets=[[("host", join)] for _ in weights],
+        )
+
+    def test_weights_normalized(self):
+        route = self.make_route([2.0, 2.0])
+        assert route.weights.tolist() == [0.5, 0.5]
+
+    def test_misaligned_rejected(self):
+        events = EventQueue()
+        join, _ = make_join(events)
+        with pytest.raises(SimulationError):
+            PartitionRoute(LEFT, [0], np.array([1.0, 1.0]), [[("h", join)]])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(SimulationError):
+            self.make_route([0.0, 0.0])

@@ -1,0 +1,91 @@
+"""Stress injection and simulation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.latency import LatencyStats
+from repro.spe.metrics import SimulationReport
+from repro.spe.stress import stress_nodes, stress_sources
+from repro.topology.model import Node, NodeRole, Topology
+
+
+def topology_with_sources():
+    topology = Topology()
+    topology.add_node(Node("s1", 10.0, NodeRole.SOURCE))
+    topology.add_node(Node("s2", 10.0, NodeRole.SOURCE))
+    topology.add_node(Node("w1", 10.0, NodeRole.WORKER))
+    return topology
+
+
+class TestStress:
+    def test_stress_sources_targets_sources_only(self):
+        factors = stress_sources(topology_with_sources(), 0.5)
+        assert factors == {"s1": 0.5, "s2": 0.5}
+
+    def test_stress_nodes_explicit(self):
+        assert stress_nodes(["a", "b"], 0.25) == {"a": 0.25, "b": 0.25}
+
+    @pytest.mark.parametrize("factor", [0.0, 1.5, -1.0])
+    def test_invalid_factor(self, factor):
+        with pytest.raises(ValueError):
+            stress_sources(topology_with_sources(), factor)
+        with pytest.raises(ValueError):
+            stress_nodes(["a"], factor)
+
+
+def make_report(arrivals, latencies, duration=10.0):
+    arrivals = np.asarray(arrivals, dtype=float)
+    latencies = np.asarray(latencies, dtype=float)
+    return SimulationReport(
+        duration_s=duration,
+        results_delivered=len(arrivals),
+        tuples_emitted=100,
+        network_transfers=200,
+        latency=LatencyStats.from_values(latencies),
+        latencies_ms=latencies,
+        arrival_times_s=arrivals,
+        node_processed={"n": 5},
+        node_backlog_s={"n": 0.0},
+    )
+
+
+class TestSimulationReport:
+    def test_throughput(self):
+        report = make_report([1.0, 2.0], [10.0, 20.0])
+        assert report.throughput_per_s == pytest.approx(0.2)
+
+    def test_throughput_zero_duration(self):
+        report = make_report([], [], duration=10.0)
+        report = SimulationReport(
+            duration_s=0.0,
+            results_delivered=0,
+            tuples_emitted=0,
+            network_transfers=0,
+            latency=LatencyStats.from_values([]),
+            latencies_ms=np.array([]),
+            arrival_times_s=np.array([]),
+            node_processed={},
+            node_backlog_s={},
+        )
+        assert report.throughput_per_s == 0.0
+
+    def test_latency_trend_buckets(self):
+        arrivals = [0.5, 1.5, 8.5]
+        latencies = [10.0, 30.0, 50.0]
+        trend = make_report(arrivals, latencies).latency_trend(buckets=10)
+        assert trend[0] == (1.0, 10.0)
+        assert trend[1] == (2.0, 30.0)
+        assert (9.0, 50.0) in trend
+
+    def test_latency_trend_empty(self):
+        assert make_report([], []).latency_trend() == []
+
+    def test_cumulative_delivery_monotone(self):
+        arrivals = [0.5, 1.5, 2.5, 9.0]
+        cumulative = make_report(arrivals, [1.0] * 4).cumulative_delivery(buckets=5)
+        counts = [count for _, count in cumulative]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_cumulative_delivery_empty(self):
+        assert make_report([], []).cumulative_delivery() == []

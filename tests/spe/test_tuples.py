@@ -1,0 +1,48 @@
+"""Simulator tuple types."""
+
+import pytest
+
+from repro.spe.tuples import JoinResult, SimTuple
+
+
+def tup(event_time, created_at=None, key="k", stream="L"):
+    return SimTuple(
+        stream=stream,
+        key=key,
+        event_time=event_time,
+        created_at=created_at if created_at is not None else event_time,
+        source="s",
+    )
+
+
+class TestSimTuple:
+    def test_window_index(self):
+        assert tup(0.05).window_index(0.1) == 0
+        assert tup(0.15).window_index(0.1) == 1
+        # Exact boundaries are subject to float representation; mid-window
+        # timestamps are unambiguous.
+        assert tup(1.05).window_index(0.1) == 10
+
+    def test_window_index_large_window(self):
+        assert tup(59.0).window_index(60.0) == 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            tup(0.0).key = "other"
+
+
+class TestJoinResult:
+    def test_created_at_is_younger_constituent(self):
+        left = tup(0.0, created_at=0.0)
+        right = tup(0.2, created_at=0.2, stream="R")
+        result = JoinResult.of(left, right, window=0)
+        assert result.created_at == 0.2
+        assert result.key == left.key
+        assert result.window == 0
+
+    def test_symmetric(self):
+        left = tup(0.5, stream="L")
+        right = tup(0.1, stream="R")
+        result = JoinResult.of(left, right, window=3)
+        assert result.created_at == 0.5
+        assert result.left is left and result.right is right

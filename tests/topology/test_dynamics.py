@@ -1,0 +1,74 @@
+"""Diurnal latency drift and churn events."""
+
+import numpy as np
+import pytest
+
+from repro.topology.dynamics import (
+    AddSourceEvent,
+    DiurnalLatencyModel,
+    RemoveNodeEvent,
+    standard_event_suite,
+)
+from repro.topology.latency import DenseLatencyMatrix
+
+
+def base_matrix(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0, 200, (n, 2))
+    return DenseLatencyMatrix.from_coordinates([f"n{i}" for i in range(n)], coords)
+
+
+class TestDiurnalModel:
+    def test_snapshot_deterministic(self):
+        model = DiurnalLatencyModel(base_matrix(), seed=1)
+        a = model.at_hour(6)
+        b = model.at_hour(6)
+        assert np.allclose(a.matrix, b.matrix)
+
+    def test_snapshots_differ_between_hours(self):
+        model = DiurnalLatencyModel(base_matrix(), seed=1)
+        assert not np.allclose(model.at_hour(3).matrix, model.at_hour(15).matrix)
+
+    def test_diurnal_factor_peaks_in_evening(self):
+        model = DiurnalLatencyModel(base_matrix(), amplitude=0.2, seed=0)
+        assert model.diurnal_factor(20.0) == pytest.approx(1.2)
+        assert model.diurnal_factor(8.0) == pytest.approx(0.8)
+
+    def test_changed_entries_in_plausible_range(self):
+        """Successive snapshots change a bounded set of entries, like the
+        paper's 7k-14k changed entries on the 418-node RIPE subset."""
+        model = DiurnalLatencyModel(base_matrix(40), churn_fraction=0.1, seed=0)
+        changes = model.at_hour(1).changed_entries(model.at_hour(2), threshold_ms=10.0)
+        total_pairs = 40 * 39 // 2
+        assert 0 < changes < total_pairs
+
+    def test_latencies_stay_positive(self):
+        model = DiurnalLatencyModel(base_matrix(), jitter_ms=500.0, churn_fraction=1.0, seed=0)
+        assert (model.at_hour(5).matrix >= 0).all()
+
+    def test_hourly_snapshots_count(self):
+        model = DiurnalLatencyModel(base_matrix(10), seed=0)
+        assert len(model.hourly_snapshots(24)) == 24
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ValueError):
+            DiurnalLatencyModel(base_matrix(10), amplitude=1.5)
+
+    def test_invalid_churn_fraction(self):
+        with pytest.raises(ValueError):
+            DiurnalLatencyModel(base_matrix(10), churn_fraction=-0.1)
+
+
+class TestEventSuite:
+    def test_standard_suite_has_five_events(self):
+        events = standard_event_suite(
+            existing_worker="w1",
+            existing_source="s1",
+            partner_source="s2",
+            neighbor_latencies={"n1": 10.0},
+        )
+        assert len(events) == 5
+        assert isinstance(events[0], AddSourceEvent)
+        assert isinstance(events[1], RemoveNodeEvent)
+        assert events[1].node_id == "s1"
+        assert events[2].node_id == "w1"

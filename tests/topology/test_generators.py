@@ -1,0 +1,144 @@
+"""Synthetic topology generators and capacity samplers."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import ensure_rng
+from repro.topology.generators import (
+    coefficient_of_variation,
+    edge_fog_cloud_topology,
+    exponential_capacities,
+    gaussian_cluster_positions,
+    gaussian_cluster_topology,
+    heterogeneity_levels,
+    lognormal_capacities,
+    random_geometric_link_topology,
+    sample_capacities,
+    uniform_capacities,
+)
+from repro.topology.model import NodeRole
+
+
+class TestCapacitySamplers:
+    def test_uniform_range(self):
+        values = uniform_capacities(1, 200)(1000, ensure_rng(0))
+        assert values.min() >= 1.0 and values.max() <= 200.0
+
+    def test_exponential_clipped(self):
+        values = exponential_capacities(1, 1000)(5000, ensure_rng(0))
+        assert values.min() >= 1.0 and values.max() <= 1000.0
+
+    def test_lognormal_positive(self):
+        values = lognormal_capacities()(1000, ensure_rng(0))
+        assert (values > 0).all()
+
+    def test_sample_capacities_normalizes_total(self):
+        values = sample_capacities(uniform_capacities(), 100, ensure_rng(0), total_capacity=5000.0)
+        assert values.sum() == pytest.approx(5000.0, rel=0.05)
+
+    def test_sample_capacities_minimum_enforced(self):
+        values = sample_capacities(exponential_capacities(), 100, ensure_rng(0), minimum=2.0)
+        assert values.min() >= 2.0
+
+    def test_sample_capacities_rejects_zero_n(self):
+        with pytest.raises(ValueError):
+            sample_capacities(uniform_capacities(), 0, ensure_rng(0))
+
+
+class TestHeterogeneityLevels:
+    def test_cv_increases_overall(self):
+        """The sweep should span low to high CV (first < last)."""
+        rng = ensure_rng(0)
+        levels = heterogeneity_levels()
+        cvs = [
+            coefficient_of_variation(
+                sample_capacities(level.sampler, 2000, ensure_rng(1), total_capacity=200000)
+            )
+            for level in levels
+        ]
+        assert cvs[0] < cvs[-1]
+        assert len(levels) >= 4
+
+    def test_cv_of_constant_is_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_cv_of_zero_mean(self):
+        assert coefficient_of_variation([0.0, 0.0]) == 0.0
+
+
+class TestGaussianClusterPositions:
+    def test_within_box(self):
+        positions = gaussian_cluster_positions(500, 8, ensure_rng(0))
+        assert positions[:, 0].min() >= 0.0 and positions[:, 0].max() <= 100.0
+        assert positions[:, 1].min() >= -50.0 and positions[:, 1].max() <= 50.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            gaussian_cluster_positions(0, 3, ensure_rng(0))
+        with pytest.raises(ValueError):
+            gaussian_cluster_positions(5, 0, ensure_rng(0))
+
+    def test_clustered_structure(self):
+        """Points should be denser than uniform: mean nearest-neighbour
+        distance is far below the uniform expectation for tight clusters."""
+        positions = gaussian_cluster_positions(400, 4, ensure_rng(2), cluster_std=1.0)
+        sample = positions[:100]
+        nn = []
+        for i in range(len(sample)):
+            distances = np.linalg.norm(sample - sample[i], axis=1)
+            distances[i] = np.inf
+            nn.append(distances.min())
+        assert np.mean(nn) < 3.0
+
+
+class TestGaussianClusterTopology:
+    def test_size_and_positions(self):
+        topology = gaussian_cluster_topology(50, seed=0)
+        assert len(topology) == 50
+        assert topology.has_positions()
+        assert topology.num_links() == 0
+
+    def test_deterministic(self):
+        a = gaussian_cluster_topology(20, seed=7)
+        b = gaussian_cluster_topology(20, seed=7)
+        assert np.allclose(a.positions_array()[1], b.positions_array()[1])
+
+    def test_total_capacity_controlled(self):
+        topology = gaussian_cluster_topology(40, total_capacity=4000.0, seed=0)
+        assert topology.total_capacity() == pytest.approx(4000.0, rel=0.05)
+
+
+class TestEdgeFogCloud:
+    def test_structure(self):
+        topology = edge_fog_cloud_topology(n_regions=3, sources_per_region=2, seed=0)
+        assert len(topology.sources()) == 6
+        assert len(topology.sinks()) == 1
+        assert topology.is_connected()
+
+    def test_roles_present(self):
+        topology = edge_fog_cloud_topology(seed=0)
+        assert topology.nodes_with_role(NodeRole.CLOUD)
+        assert topology.nodes_with_role(NodeRole.GATEWAY)
+        assert topology.nodes_with_role(NodeRole.WORKER)
+
+    def test_deterministic_latencies(self):
+        a = edge_fog_cloud_topology(seed=5)
+        b = edge_fog_cloud_topology(seed=5)
+        la = sorted(l.latency_ms for l in a.links())
+        lb = sorted(l.latency_ms for l in b.links())
+        assert la == lb
+
+
+class TestRandomGeometricLinkTopology:
+    def test_connected(self):
+        topology = random_geometric_link_topology(60, connection_radius=15.0, seed=1)
+        assert topology.is_connected()
+        assert topology.num_links() >= 59  # at least a spanning structure
+
+    def test_small_radius_still_connected(self):
+        topology = random_geometric_link_topology(30, connection_radius=2.0, seed=3)
+        assert topology.is_connected()
+
+    def test_link_latency_positive(self):
+        topology = random_geometric_link_topology(30, seed=2)
+        assert all(l.latency_ms > 0 for l in topology.links())

@@ -1,0 +1,222 @@
+"""Latency matrices and providers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DisconnectedTopologyError, TopologyError, UnknownNodeError
+from repro.topology.latency import (
+    CoordinateLatencyModel,
+    DenseLatencyMatrix,
+    stretch_statistics,
+)
+from repro.topology.model import Node, Topology
+
+
+def chain_topology():
+    topology = Topology()
+    for name in "abc":
+        topology.add_node(Node(name, 1.0))
+    topology.add_link("a", "b", 10.0)
+    topology.add_link("b", "c", 20.0)
+    return topology
+
+
+class TestDenseConstruction:
+    def test_from_graph_shortest_paths(self):
+        matrix = DenseLatencyMatrix.from_graph(chain_topology())
+        assert matrix.latency("a", "c") == 30.0
+        assert matrix.latency("a", "b") == 10.0
+
+    def test_shortcut_preferred(self):
+        topology = chain_topology()
+        topology.add_link("a", "c", 12.0)
+        matrix = DenseLatencyMatrix.from_graph(topology)
+        assert matrix.latency("a", "c") == 12.0
+
+    def test_disconnected_raises(self):
+        topology = chain_topology()
+        topology.add_node(Node("z", 1.0))
+        with pytest.raises(DisconnectedTopologyError):
+            DenseLatencyMatrix.from_graph(topology)
+
+    def test_from_coordinates(self):
+        matrix = DenseLatencyMatrix.from_coordinates(
+            ["a", "b"], np.array([[0.0, 0.0], [3.0, 4.0]])
+        )
+        assert matrix.latency("a", "b") == pytest.approx(5.0)
+
+    def test_from_coordinates_scale(self):
+        matrix = DenseLatencyMatrix.from_coordinates(
+            ["a", "b"], np.array([[0.0], [1.0]]), scale=2.5
+        )
+        assert matrix.latency("a", "b") == pytest.approx(2.5)
+
+    def test_from_topology_prefers_links(self):
+        matrix = DenseLatencyMatrix.from_topology(chain_topology())
+        assert matrix.latency("a", "c") == 30.0
+
+    def test_from_topology_without_anything_raises(self):
+        topology = Topology()
+        topology.add_node(Node("a", 1.0))
+        with pytest.raises(TopologyError):
+            DenseLatencyMatrix.from_topology(topology)
+
+    def test_symmetrized_and_zero_diagonal(self):
+        raw = np.array([[1.0, 10.0], [20.0, 2.0]])
+        matrix = DenseLatencyMatrix(["a", "b"], raw)
+        assert matrix.latency("a", "b") == 15.0
+        assert matrix.latency("a", "a") == 0.0
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(TopologyError):
+            DenseLatencyMatrix(["a", "b"], np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(TopologyError):
+            DenseLatencyMatrix(["a", "a"], np.zeros((2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TopologyError):
+            DenseLatencyMatrix(["a"], np.zeros((2, 2)))
+
+
+class TestDenseQueries:
+    def test_unknown_node(self):
+        matrix = DenseLatencyMatrix.from_graph(chain_topology())
+        with pytest.raises(UnknownNodeError):
+            matrix.latency("a", "zzz")
+
+    def test_row(self):
+        matrix = DenseLatencyMatrix.from_graph(chain_topology())
+        row = matrix.row("a")
+        assert row.tolist() == [0.0, 10.0, 30.0]
+
+    def test_submatrix(self):
+        matrix = DenseLatencyMatrix.from_graph(chain_topology())
+        sub = matrix.submatrix(["c", "a"])
+        assert sub.ids == ["c", "a"]
+        assert sub.latency("c", "a") == 30.0
+
+    def test_matrix_view_readonly(self):
+        matrix = DenseLatencyMatrix.from_graph(chain_topology())
+        with pytest.raises(ValueError):
+            matrix.matrix[0, 1] = 99.0
+
+
+class TestPerturbations:
+    def test_inject_tivs_increases_entries(self):
+        matrix = DenseLatencyMatrix.from_coordinates(
+            [f"n{i}" for i in range(30)], np.random.default_rng(0).uniform(0, 100, (30, 2))
+        )
+        inflated = matrix.inject_tivs(0.3, seed=1)
+        assert (inflated.matrix >= matrix.matrix - 1e-9).all()
+        assert inflated.matrix.sum() > matrix.matrix.sum()
+
+    def test_inject_tivs_zero_fraction_noop(self):
+        matrix = DenseLatencyMatrix.from_coordinates(
+            ["a", "b", "c"], np.array([[0.0, 0], [1, 0], [0, 1]])
+        )
+        assert np.allclose(matrix.inject_tivs(0.0, seed=1).matrix, matrix.matrix)
+
+    def test_inject_tivs_creates_violations(self):
+        rng = np.random.default_rng(3)
+        matrix = DenseLatencyMatrix.from_coordinates(
+            [f"n{i}" for i in range(40)], rng.uniform(0, 100, (40, 2))
+        )
+        assert matrix.tiv_fraction(seed=0) == 0.0  # Euclidean: no TIVs
+        inflated = matrix.inject_tivs(0.2, inflation=(3.0, 5.0), seed=1)
+        assert inflated.tiv_fraction(seed=0) > 0.0
+
+    def test_invalid_fraction(self):
+        matrix = DenseLatencyMatrix(["a", "b"], np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            matrix.inject_tivs(1.5)
+
+    def test_with_noise_stays_non_negative(self):
+        matrix = DenseLatencyMatrix(["a", "b"], np.array([[0.0, 1.0], [1.0, 0.0]]))
+        noisy = matrix.with_noise(relative_std=2.0, seed=0)
+        assert (noisy.matrix >= 0).all()
+
+    def test_changed_entries_and_median_change(self):
+        base = DenseLatencyMatrix(["a", "b", "c"], np.full((3, 3), 50.0))
+        entries = base.matrix.copy()
+        entries[0, 1] = entries[1, 0] = 80.0
+        other = base.with_entries(entries)
+        assert base.changed_entries(other, threshold_ms=10.0) == 1
+        assert base.median_change(other, threshold_ms=10.0) == pytest.approx(30.0)
+
+    def test_changed_entries_different_ids_raises(self):
+        a = DenseLatencyMatrix(["a", "b"], np.zeros((2, 2)))
+        b = DenseLatencyMatrix(["x", "y"], np.zeros((2, 2)))
+        with pytest.raises(TopologyError):
+            a.changed_entries(b, 1.0)
+
+
+class TestCoordinateModel:
+    def test_matches_dense(self):
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(0, 100, (15, 2))
+        ids = [f"n{i}" for i in range(15)]
+        model = CoordinateLatencyModel(ids, coords)
+        dense = DenseLatencyMatrix.from_coordinates(ids, coords)
+        for u, v in [("n0", "n5"), ("n3", "n14")]:
+            assert model.latency(u, v) == pytest.approx(dense.latency(u, v))
+
+    def test_self_latency_zero(self):
+        model = CoordinateLatencyModel(["a"], np.array([[1.0, 1.0]]))
+        assert model.latency("a", "a") == 0.0
+
+    def test_jitter_deterministic_and_symmetric(self):
+        model = CoordinateLatencyModel(
+            ["a", "b"], np.array([[0.0, 0.0], [10.0, 0.0]]), jitter_std=0.2, seed=5
+        )
+        assert model.latency("a", "b") == model.latency("b", "a")
+        assert model.latency("a", "b") == model.latency("a", "b")
+
+    def test_latencies_from_vector(self):
+        coords = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]])
+        model = CoordinateLatencyModel(["a", "b", "c"], coords)
+        values = model.latencies_from("a", ["b", "c"])
+        assert values == pytest.approx([5.0, 10.0])
+
+    def test_densify_matches_scalar_queries(self):
+        coords = np.random.default_rng(1).uniform(0, 10, (6, 2))
+        ids = [f"n{i}" for i in range(6)]
+        model = CoordinateLatencyModel(ids, coords, jitter_std=0.1, seed=2)
+        dense = model.densify()
+        for u in ids[:3]:
+            for v in ids[3:]:
+                assert dense.latency(u, v) == pytest.approx(model.latency(u, v))
+
+
+class TestStretchStatistics:
+    def test_zero_error_for_identical(self):
+        matrix = DenseLatencyMatrix(["a", "b"], np.array([[0.0, 5.0], [5.0, 0.0]]))
+        stats = stretch_statistics(matrix, matrix)
+        assert stats["mae_ms"] == 0.0
+        assert stats["p90_relative_error"] == 0.0
+
+    def test_known_error(self):
+        real = DenseLatencyMatrix(["a", "b"], np.array([[0.0, 10.0], [10.0, 0.0]]))
+        est = DenseLatencyMatrix(["a", "b"], np.array([[0.0, 15.0], [15.0, 0.0]]))
+        stats = stretch_statistics(est, real)
+        assert stats["mae_ms"] == pytest.approx(5.0)
+        assert stats["median_relative_error"] == pytest.approx(0.5)
+
+
+@given(
+    st.integers(min_value=3, max_value=12),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_coordinate_matrices_satisfy_triangle_inequality(n, seed):
+    """Euclidean-induced latency matrices never violate the triangle inequality."""
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0, 100, (n, 2))
+    matrix = DenseLatencyMatrix.from_coordinates([f"n{i}" for i in range(n)], coords).matrix
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-6

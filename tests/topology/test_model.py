@@ -1,0 +1,189 @@
+"""Topology model: nodes, links, graph utilities."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TopologyError, UnknownNodeError
+from repro.topology.model import Link, Node, NodeRole, Topology
+
+
+def small_topology():
+    topology = Topology()
+    topology.add_node(Node("a", 10.0, NodeRole.SOURCE))
+    topology.add_node(Node("b", 20.0))
+    topology.add_node(Node("c", 30.0, NodeRole.SINK))
+    topology.add_link("a", "b", 5.0)
+    topology.add_link("b", "c", 7.0, bandwidth=100.0)
+    return topology
+
+
+class TestNode:
+    def test_defaults(self):
+        node = Node("x", 5.0)
+        assert node.role == NodeRole.WORKER
+        assert node.region is None
+
+    def test_role_coercion_from_string(self):
+        assert Node("x", 1.0, "sink").role == NodeRole.SINK
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(TopologyError):
+            Node("", 1.0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            Node("x", -1.0)
+
+    def test_zero_capacity_allowed(self):
+        assert Node("x", 0.0).capacity == 0.0
+
+
+class TestLink:
+    def test_other_endpoint(self):
+        link = Link("u", "v", 3.0)
+        assert link.other("u") == "v"
+        assert link.other("v") == "u"
+
+    def test_other_unknown_raises(self):
+        with pytest.raises(UnknownNodeError):
+            Link("u", "v", 3.0).other("w")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Link("u", "u", 1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Link("u", "v", -1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Link("u", "v", 1.0, bandwidth=0.0)
+
+
+class TestTopologyConstruction:
+    def test_duplicate_node_rejected(self):
+        topology = Topology()
+        topology.add_node(Node("a", 1.0))
+        with pytest.raises(TopologyError, match="duplicate"):
+            topology.add_node(Node("a", 2.0))
+
+    def test_link_requires_both_nodes(self):
+        topology = Topology()
+        topology.add_node(Node("a", 1.0))
+        with pytest.raises(UnknownNodeError):
+            topology.add_link("a", "missing", 1.0)
+
+    def test_len_and_contains(self):
+        topology = small_topology()
+        assert len(topology) == 3
+        assert "a" in topology
+        assert "zz" not in topology
+
+    def test_remove_node_drops_links(self):
+        topology = small_topology()
+        topology.remove_node("b")
+        assert "b" not in topology
+        assert topology.neighbors("a") == []
+        assert topology.num_links() == 0
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(UnknownNodeError):
+            small_topology().remove_node("zzz")
+
+
+class TestTopologyQueries:
+    def test_roles(self):
+        topology = small_topology()
+        assert [n.node_id for n in topology.sources()] == ["a"]
+        assert [n.node_id for n in topology.sinks()] == ["c"]
+        assert [n.node_id for n in topology.workers()] == ["b"]
+
+    def test_neighbors_and_degree(self):
+        topology = small_topology()
+        assert topology.neighbors("b") == ["a", "c"]
+        assert topology.degree("b") == 2
+
+    def test_links_iterated_once(self):
+        topology = small_topology()
+        links = list(topology.links())
+        assert len(links) == 2
+
+    def test_link_lookup(self):
+        topology = small_topology()
+        assert topology.link("b", "a").latency_ms == 5.0
+        assert topology.has_link("a", "b")
+        assert not topology.has_link("a", "c")
+        with pytest.raises(TopologyError):
+            topology.link("a", "c")
+
+    def test_total_capacity(self):
+        assert small_topology().total_capacity() == 60.0
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert small_topology().is_connected()
+
+    def test_disconnected(self):
+        topology = small_topology()
+        topology.add_node(Node("lonely", 1.0))
+        assert not topology.is_connected()
+
+    def test_single_node_connected(self):
+        topology = Topology()
+        topology.add_node(Node("only", 1.0))
+        assert topology.is_connected()
+
+
+class TestPositions:
+    def test_positions_roundtrip(self):
+        topology = Topology()
+        topology.add_node(Node("a", 1.0), position=[1.0, 2.0])
+        assert np.allclose(topology.position("a"), [1.0, 2.0])
+
+    def test_has_positions_requires_all(self):
+        topology = Topology()
+        topology.add_node(Node("a", 1.0), position=[0.0, 0.0])
+        topology.add_node(Node("b", 1.0))
+        assert not topology.has_positions()
+
+    def test_positions_array_order(self):
+        topology = Topology()
+        topology.add_node(Node("a", 1.0), position=[0.0, 0.0])
+        topology.add_node(Node("b", 1.0), position=[3.0, 4.0])
+        ids, points = topology.positions_array()
+        assert ids == ["a", "b"]
+        assert np.allclose(points[1], [3.0, 4.0])
+
+    def test_missing_position_raises(self):
+        topology = Topology()
+        topology.add_node(Node("a", 1.0))
+        with pytest.raises(TopologyError):
+            topology.position("a")
+
+    def test_invalid_position_rejected(self):
+        topology = Topology()
+        topology.add_node(Node("a", 1.0))
+        with pytest.raises(TopologyError):
+            topology.set_position("a", [])
+
+
+class TestExportAndCopy:
+    def test_to_networkx(self):
+        graph = small_topology().to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph["a"]["b"]["latency"] == 5.0
+
+    def test_copy_is_independent(self):
+        topology = small_topology()
+        clone = topology.copy()
+        clone.remove_node("b")
+        assert "b" in topology
+        assert "b" not in clone
+
+    def test_copy_preserves_capacity_changes_isolation(self):
+        topology = small_topology()
+        clone = topology.copy()
+        clone.node("a").capacity = 999.0
+        assert topology.node("a").capacity == 10.0

@@ -1,0 +1,80 @@
+"""Emulated measurement testbeds."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TopologyError
+from repro.topology.testbeds import (
+    TESTBED_SPECS,
+    available_testbeds,
+    load_testbed,
+    ripe_atlas_subset,
+)
+
+
+class TestSpecs:
+    def test_published_node_counts(self):
+        assert TESTBED_SPECS["fit_iot_lab"].n_nodes == 433
+        assert TESTBED_SPECS["ripe_atlas"].n_nodes == 723
+        assert TESTBED_SPECS["planetlab"].n_nodes == 335
+        assert TESTBED_SPECS["king"].n_nodes == 1740
+
+    def test_paper_neighbor_counts(self):
+        assert TESTBED_SPECS["fit_iot_lab"].vivaldi_neighbors == 20
+        assert TESTBED_SPECS["ripe_atlas"].vivaldi_neighbors == 20
+        assert TESTBED_SPECS["planetlab"].vivaldi_neighbors == 32
+        assert TESTBED_SPECS["king"].vivaldi_neighbors == 32
+
+    def test_available_testbeds(self):
+        assert set(available_testbeds()) == set(TESTBED_SPECS)
+
+
+class TestLoadTestbed:
+    @pytest.mark.parametrize("name", ["fit_iot_lab", "planetlab"])
+    def test_sizes_match_spec(self, name):
+        testbed = load_testbed(name, seed=0)
+        assert len(testbed.topology) == TESTBED_SPECS[name].n_nodes
+        assert len(testbed.latency) == TESTBED_SPECS[name].n_nodes
+
+    def test_unknown_raises(self):
+        with pytest.raises(TopologyError, match="unknown testbed"):
+            load_testbed("surely-not-real")
+
+    def test_deterministic(self):
+        a = load_testbed("planetlab", seed=3)
+        b = load_testbed("planetlab", seed=3)
+        assert np.allclose(a.latency.matrix, b.latency.matrix)
+
+    def test_rtt_magnitudes_respect_scale_ordering(self):
+        """FIT (campus) RTTs are far smaller than King (global DNS) RTTs."""
+        fit = load_testbed("fit_iot_lab", seed=0)
+        king = load_testbed("king", seed=0)
+        assert np.median(fit.latency.matrix) < np.median(king.latency.matrix)
+
+    def test_tivs_present(self):
+        testbed = load_testbed("ripe_atlas", seed=0)
+        assert testbed.latency.tiv_fraction(seed=1) > 0.0
+
+    def test_cluster_assignment_covers_all_nodes(self):
+        testbed = load_testbed("planetlab", seed=0)
+        assert set(testbed.cluster_of) == set(testbed.topology.node_ids)
+
+
+class TestSubset:
+    def test_ripe_subset_size(self):
+        subset = ripe_atlas_subset(418, seed=0)
+        assert len(subset.topology) == 418
+        assert len(subset.latency) == 418
+
+    def test_subset_latencies_preserved(self):
+        full = load_testbed("planetlab", seed=1)
+        subset = full.subset(50, seed=2)
+        u, v = subset.topology.node_ids[:2]
+        assert subset.latency.latency(u, v) == full.latency.latency(u, v)
+
+    def test_subset_out_of_range(self):
+        full = load_testbed("planetlab", seed=1)
+        with pytest.raises(TopologyError):
+            full.subset(0)
+        with pytest.raises(TopologyError):
+            full.subset(10_000)

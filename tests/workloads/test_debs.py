@@ -1,0 +1,64 @@
+"""The DEBS 2021-style workload and cluster testbed."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.topology.model import NodeRole
+from repro.workloads.debs import cluster_testbed, debs_workload
+
+
+class TestClusterTestbed:
+    def test_fourteen_nodes_default(self):
+        topology, latency = cluster_testbed(seed=0)
+        assert len(topology) == 14  # 1 sink + 8 sources + 5 workers
+        assert len(topology.sources()) == 8
+        assert len(topology.workers()) == 5
+        assert len(latency) == 14
+
+    def test_latencies_in_configured_range(self):
+        _, latency = cluster_testbed(latency_range_ms=(5.0, 80.0), seed=0)
+        off_diagonal = latency.matrix[~np.eye(14, dtype=bool)]
+        assert off_diagonal.min() >= 5.0
+        assert off_diagonal.max() <= 80.0
+
+    def test_too_few_sources_rejected(self):
+        with pytest.raises(WorkloadError):
+            cluster_testbed(n_sources=1)
+
+
+class TestDebsWorkload:
+    def test_four_region_structure(self):
+        workload = debs_workload(seed=0)
+        assert len(workload.regions) == 4
+        assert len(workload.plan.sources()) == 8
+        assert workload.matrix.num_pairs() == 4  # one join pair per region
+        workload.plan.validate()
+
+    def test_pairs_respect_regions(self):
+        workload = debs_workload(seed=0)
+        for left, right in workload.matrix.pairs():
+            assert left.split("_")[1] == right.split("_")[1]
+
+    def test_region_tags_on_nodes(self):
+        workload = debs_workload(seed=0)
+        for op in workload.plan.sources():
+            node = workload.topology.node(op.pinned_node)
+            assert node.region in workload.regions
+
+    def test_custom_rate(self):
+        workload = debs_workload(rate_hz=123.0, seed=0)
+        assert all(op.data_rate == 123.0 for op in workload.plan.sources())
+
+    def test_custom_region_count(self):
+        workload = debs_workload(n_regions=2, seed=0)
+        assert workload.matrix.num_pairs() == 2
+
+    def test_insufficient_sources_rejected(self):
+        topology, latency = cluster_testbed(n_sources=4, seed=0)
+        with pytest.raises(WorkloadError):
+            debs_workload(n_regions=4, topology=topology, latency=latency)
+
+    def test_invalid_region_count(self):
+        with pytest.raises(WorkloadError):
+            debs_workload(n_regions=0)

@@ -1,0 +1,52 @@
+"""The Figure 2 running example."""
+
+import pytest
+
+from repro.workloads.running_example import build_running_example
+
+
+@pytest.fixture(scope="module")
+def example():
+    return build_running_example()
+
+
+class TestStructure:
+    def test_six_sources_two_regions(self, example):
+        assert len(example.plan.sources()) == 6
+        regions = {example.topology.node(n).region for n in ("t1", "t2", "w1")}
+        assert regions == {"region1"}
+
+    def test_figure_capacities(self, example):
+        for name, capacity in [("A", 55.0), ("B", 40.0), ("C", 40.0), ("F", 20.0), ("G", 200.0)]:
+            assert example.topology.node(name).capacity == capacity
+        assert example.topology.node("sink").capacity == 20.0
+
+    def test_join_decomposition_matches_paper(self, example):
+        """T x W decomposes into (t1xw1) u (t2xw1) u (t3xw2) u (t4xw2)."""
+        assert set(example.matrix.pairs()) == {
+            ("t1", "w1"),
+            ("t2", "w1"),
+            ("t3", "w2"),
+            ("t4", "w2"),
+        }
+
+    def test_narrative_latencies(self, example):
+        """Quantities the Section 3.2 text states explicitly."""
+        assert example.latency.latency("t1", "base1") == pytest.approx(10.0)
+        # A[t1, C] = 60 (10 to the base station, 50 to C).
+        assert example.latency.latency("t1", "C") == pytest.approx(60.0)
+        # A[t1, sink] = 110.
+        assert example.latency.latency("t1", "sink") == pytest.approx(110.0)
+
+    def test_region2_farther_than_region1(self, example):
+        """The narrative has region-2 paths to the cloud longer than
+        region-1 paths (155 vs 130 ms)."""
+        region1_to_cloud = example.latency.latency("t1", "E")
+        region2_to_cloud = example.latency.latency("t3", "E")
+        assert region2_to_cloud > region1_to_cloud - 30.0
+
+    def test_plan_validates(self, example):
+        example.plan.validate()
+
+    def test_sources_emit_25hz(self, example):
+        assert all(op.data_rate == 25.0 for op in example.plan.sources())

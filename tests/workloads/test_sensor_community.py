@@ -1,0 +1,97 @@
+"""Synthetic Sensor.Community readings."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.sensor_community import (
+    Anomaly,
+    SensorCommunityGenerator,
+    detect_regional_anomalies,
+)
+
+
+class TestGenerator:
+    def test_reading_fields(self):
+        generator = SensorCommunityGenerator(["r1"], seed=0)
+        reading = generator.reading("s1", "r1", "pressure", 0.0)
+        assert reading.kind == "pressure"
+        assert 950.0 < reading.value < 1070.0
+
+    def test_humidity_plausible(self):
+        generator = SensorCommunityGenerator(["r1"], seed=0)
+        values = [
+            generator.reading("s1", "r1", "humidity", t).value for t in range(100)
+        ]
+        assert 0.0 < np.mean(values) < 100.0
+
+    def test_unknown_kind_rejected(self):
+        generator = SensorCommunityGenerator(["r1"], seed=0)
+        with pytest.raises(WorkloadError):
+            generator.reading("s1", "r1", "co2", 0.0)
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(WorkloadError):
+            SensorCommunityGenerator([])
+
+    def test_stream_rate_and_duration(self):
+        generator = SensorCommunityGenerator(["r1"], seed=0)
+        readings = list(generator.stream("s1", "r1", "pressure", rate_hz=10.0, duration_s=2.0))
+        assert len(readings) == 20
+        assert readings[1].timestamp_s - readings[0].timestamp_s == pytest.approx(0.1)
+
+    def test_stream_invalid_rate(self):
+        generator = SensorCommunityGenerator(["r1"], seed=0)
+        with pytest.raises(WorkloadError):
+            list(generator.stream("s1", "r1", "pressure", rate_hz=0.0, duration_s=1.0))
+
+
+class TestAnomalies:
+    def test_injected_step_visible(self):
+        generator = SensorCommunityGenerator(["r1"], seed=0)
+        generator.inject_anomaly(
+            Anomaly(region="r1", kind="pressure", start_s=10.0, end_s=20.0, delta=-30.0)
+        )
+        normal = generator.reading("s1", "r1", "pressure", 5.0).value
+        anomalous = generator.reading("s1", "r1", "pressure", 15.0).value
+        assert anomalous < normal - 15.0
+
+    def test_anomaly_scoped_to_region_and_kind(self):
+        anomaly = Anomaly("r1", "pressure", 0.0, 10.0, -30.0)
+        assert anomaly.applies("pressure", "r1", 5.0)
+        assert not anomaly.applies("humidity", "r1", 5.0)
+        assert not anomaly.applies("pressure", "r2", 5.0)
+        assert not anomaly.applies("pressure", "r1", 15.0)
+
+    def test_unknown_region_rejected(self):
+        generator = SensorCommunityGenerator(["r1"], seed=0)
+        with pytest.raises(WorkloadError):
+            generator.inject_anomaly(Anomaly("ghost", "pressure", 0, 1, -1))
+
+
+class TestDetection:
+    def test_detects_storm_signature(self):
+        generator = SensorCommunityGenerator(["r1"], seed=0)
+        generator.inject_anomaly(Anomaly("r1", "pressure", 0.0, 100.0, -30.0))
+        generator.inject_anomaly(Anomaly("r1", "humidity", 0.0, 100.0, +30.0))
+        pairs = [
+            (
+                generator.reading("p", "r1", "pressure", t),
+                generator.reading("h", "r1", "humidity", t),
+            )
+            for t in range(20)
+        ]
+        alerts = detect_regional_anomalies(pairs)
+        assert alerts
+        assert alerts[0][0] == "r1"
+
+    def test_quiet_weather_no_alerts(self):
+        generator = SensorCommunityGenerator(["r1"], seed=0)
+        pairs = [
+            (
+                generator.reading("p", "r1", "pressure", t),
+                generator.reading("h", "r1", "humidity", t),
+            )
+            for t in range(20)
+        ]
+        assert detect_regional_anomalies(pairs) == []

@@ -1,0 +1,84 @@
+"""The Section 4.1 synthetic OPP workload."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.topology.generators import heterogeneity_levels
+from repro.topology.model import NodeRole, Topology, Node
+from repro.workloads.synthetic import (
+    assign_workload_roles,
+    heterogeneity_sweep,
+    synthetic_opp_workload,
+)
+
+
+class TestRoleAssignment:
+    def test_sixty_forty_split(self):
+        workload = synthetic_opp_workload(100, seed=0)
+        sources = workload.topology.sources()
+        assert len(sources) == 60
+        assert len(workload.topology.sinks()) == 1
+
+    def test_matrix_one_entry_per_row(self):
+        """Each source joins exactly one partner (Section 4.1)."""
+        workload = synthetic_opp_workload(100, seed=0)
+        matrix = workload.matrix
+        assert matrix.num_pairs() == len(matrix.left_ids)
+        for left in matrix.left_ids:
+            assert len([p for p in matrix.pairs() if p[0] == left]) == 1
+
+    def test_rates_in_range(self):
+        workload = synthetic_opp_workload(80, seed=1)
+        for op in workload.plan.sources():
+            assert 1.0 <= op.data_rate <= 200.0
+
+    def test_plan_validates(self):
+        workload = synthetic_opp_workload(50, seed=2)
+        workload.plan.validate()
+
+    def test_sink_is_not_a_source(self):
+        workload = synthetic_opp_workload(60, seed=3)
+        source_nodes = {op.pinned_node for op in workload.plan.sources()}
+        assert workload.sink_id not in source_nodes
+
+    def test_too_small_topology_rejected(self):
+        topology = Topology()
+        for i in range(3):
+            topology.add_node(Node(f"n{i}", 1.0))
+        with pytest.raises(WorkloadError):
+            assign_workload_roles(topology)
+
+    def test_roles_on_existing_topology(self):
+        from repro.topology.testbeds import load_testbed
+
+        testbed = load_testbed("planetlab", seed=0)
+        workload = assign_workload_roles(testbed.topology, seed=1)
+        assert len(workload.topology.sources()) > 100
+        workload.plan.validate()
+
+    def test_total_demand(self):
+        workload = synthetic_opp_workload(40, seed=4)
+        assert workload.total_demand() == pytest.approx(
+            sum(op.data_rate for op in workload.plan.sources())
+        )
+
+    def test_deterministic(self):
+        a = synthetic_opp_workload(50, seed=9)
+        b = synthetic_opp_workload(50, seed=9)
+        assert [op.data_rate for op in a.plan.sources()] == [
+            op.data_rate for op in b.plan.sources()
+        ]
+        assert list(a.matrix.pairs()) == list(b.matrix.pairs())
+
+
+class TestHeterogeneitySweep:
+    def test_total_capacity_constant_across_levels(self):
+        instances = heterogeneity_sweep(100, heterogeneity_levels(), seed=0)
+        totals = [w.topology.total_capacity() for _, w in instances]
+        for total in totals:
+            assert total == pytest.approx(totals[0], rel=0.1)
+
+    def test_cv_spans_range(self):
+        instances = heterogeneity_sweep(200, heterogeneity_levels(), seed=0)
+        cvs = [w.capacity_cv for _, w in instances]
+        assert max(cvs) > 2 * min(cvs)
