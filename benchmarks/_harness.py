@@ -111,6 +111,34 @@ def timed(fn: Callable[[], object]) -> Tuple[object, float]:
     return result, time.perf_counter() - started
 
 
+def phase_rows(timings) -> List[List[object]]:
+    """Per-phase timing/throughput rows for ``render_table``.
+
+    Columns: phase, seconds, work done, throughput. Makes the Phase III
+    packing rate (cells/s) and the batched k-NN query count visible, so
+    scalability regressions show up as a falling rate rather than a bare
+    total.
+    """
+    rows: List[List[object]] = [
+        ["phase I (cost space)", timings.cost_space_s, "", ""],
+        ["plan resolution", timings.resolve_s, "", ""],
+        [
+            "phase II (virtual)",
+            timings.virtual_s,
+            f"{timings.replicas_placed} replicas",
+            f"{timings.replicas_per_s:,.0f} replicas/s",
+        ],
+        [
+            "phase III (physical)",
+            timings.physical_s,
+            f"{timings.cells_placed} cells, {timings.knn_queries} knn queries",
+            f"{timings.physical_cells_per_s:,.0f} cells/s",
+        ],
+        ["total", timings.total_s, "", ""],
+    ]
+    return rows
+
+
 def synthetic_1k(seed: int = 11) -> Tuple[OppWorkload, DenseLatencyMatrix]:
     """The 1000-node synthetic instance used across several figures."""
     workload = synthetic_opp_workload(1000, seed=seed)

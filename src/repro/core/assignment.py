@@ -7,11 +7,18 @@ virtual position) with enough available capacity. When no node can host a
 cell, Nova spreads the remainder evenly over the nearest candidates,
 accepting overload (Section 3.4).
 
-Two properties keep this linear and tight:
+Three properties keep this near-linear and tight:
 
-* **Capacity-filtered search.** The neighbour index answers "nearest node
-  with at least X available", so a single k=1 query replaces the
-  expand-and-retry loop over ever larger candidate sets.
+* **Partition-aware host index.** The ledger keys every used node by the
+  L/R partitions it already receives, so "a node already receiving both
+  partitions" (step 1) and "a node sharing one partition with room for
+  the rest" (step 2) are answered from small per-partition receiver lists
+  instead of scanning every used node per cell; a lazy capacity heap
+  covers the residual case of a used node sharing nothing but having room.
+* **Batched neighbourhood queries.** Fresh hosts (step 3) come from a
+  :class:`~repro.core.cost_space.NeighborhoodCursor`: one over-fetched
+  capacity-filtered k-NN query serves many consecutive cells, so a replica
+  issues a handful of index searches instead of one per cell.
 * **Merged accounting.** Sub-replicas of the same pair on one node share
   partition streams: a partition already delivered for a sibling is
   received (and processed) once, so the marginal demand of cell (i, j)
@@ -21,6 +28,7 @@ Two properties keep this linear and tight:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, MutableMapping, Optional, Sequence, Set, Tuple
 
@@ -28,7 +36,7 @@ import numpy as np
 
 from repro.common.errors import InfeasiblePlacementError
 from repro.core.config import NovaConfig
-from repro.core.cost_space import AvailabilityLedger, CostSpace
+from repro.core.cost_space import AvailabilityLedger, CostSpace, NeighborhoodCursor
 from repro.core.partitioning import PartitioningPlan, plan_partitions
 from repro.core.placement import SubReplicaPlacement
 from repro.query.expansion import JoinPairReplica
@@ -42,15 +50,24 @@ class AssignmentOutcome:
     partitioning: PartitioningPlan
     overload_accepted: bool
     expansions_used: int = 0
+    cells_placed: int = 0
+    knn_queries: int = 0
 
 
 class _PartitionLedger:
-    """Tracks which partitions each node already receives for one replica."""
+    """Tracks which partitions each node already receives for one replica.
+
+    Besides the per-node delivered sets, the ledger maintains the reverse
+    index — per partition, the nodes receiving it in first-delivery order —
+    which is what lets the placement loop find sharing hosts without
+    scanning every used node.
+    """
 
     def __init__(self, left_rates: Sequence[float], right_rates: Sequence[float]) -> None:
         self._left_rates = left_rates
         self._right_rates = right_rates
         self._delivered: Dict[str, Set[Tuple[str, int]]] = {}
+        self._receivers: Dict[Tuple[str, int], List[str]] = {}
 
     def marginal(self, node_id: str, i: int, j: int) -> float:
         """Extra demand sub-join (i, j) adds on ``node_id``."""
@@ -68,9 +85,24 @@ class _PartitionLedger:
         """Record delivery of both partitions to ``node_id``; return marginal."""
         demand = self.marginal(node_id, i, j)
         delivered = self._delivered.setdefault(node_id, set())
-        delivered.add(("L", i))
-        delivered.add(("R", j))
+        for key in (("L", i), ("R", j)):
+            if key not in delivered:
+                delivered.add(key)
+                self._receivers.setdefault(key, []).append(node_id)
         return demand
+
+    def receivers(self, stream: str, index: int) -> List[str]:
+        """Nodes already receiving one partition, in first-delivery order."""
+        return self._receivers.get((stream, index), [])
+
+    def receives_both(self, node_id: str, i: int, j: int) -> bool:
+        """Whether a node already receives both partitions of cell (i, j)."""
+        delivered = self._delivered.get(node_id)
+        return (
+            delivered is not None
+            and ("L", i) in delivered
+            and ("R", j) in delivered
+        )
 
 
 def _grid(partitioning: PartitioningPlan) -> List[Tuple[int, int]]:
@@ -112,53 +144,126 @@ def place_replica(
         isinstance(available, AvailabilityLedger) and available.cost_space is cost_space
     ):
         available = AvailabilityLedger(cost_space, backing=available)
-    ledger = _PartitionLedger(partitioning.left_partitions, partitioning.right_partitions)
+    left_rates = partitioning.left_partitions
+    right_rates = partitioning.right_partitions
+    ledger = _PartitionLedger(left_rates, right_rates)
     c_min = config.min_available_capacity
 
+    # Fresh hosts are streamed from batched neighbourhood cursors, one per
+    # distinct cell demand (a partitioned grid has at most four: full and
+    # remainder partitions on either side). A fixed per-cursor threshold
+    # keeps each cache provably complete and lets the capacity-augmented
+    # index prune everything below it (see NeighborhoodCursor).
+    cursors: Dict[float, NeighborhoodCursor] = {}
+
+    def fresh_host(demand: float) -> Optional[str]:
+        need = max(demand, c_min, 1e-12)
+        cursor = cursors.get(need)
+        if cursor is None:
+            cursor = cost_space.neighborhood(virtual_position, threshold=need)
+            cursors[need] = cursor
+        return cursor.next_host(available)
+
     subs: List[SubReplicaPlacement] = []
-    used_nodes: List[str] = []  # in first-use order (roughly by distance)
+    # Used nodes in first-use order (roughly by distance): node -> rank.
+    use_order: Dict[str, int] = {}
+    # Lazy max-heap over the used nodes' remaining capacity: entries carry
+    # the remaining value at push time and are refreshed on inspection
+    # (capacity only shrinks while a replica is being placed).
+    room_heap: List[Tuple[float, int, str]] = []
     pending: List[Tuple[int, int]] = []
 
     def assign(node_id: str, i: int, j: int) -> None:
         charged = ledger.commit(node_id, i, j)
-        available[node_id] = available.get(node_id, 0.0) - charged
-        if node_id not in ledger._delivered or node_id not in used_nodes:
-            used_nodes.append(node_id)
+        remaining = available.get(node_id, 0.0) - charged
+        available[node_id] = remaining
+        if node_id not in use_order:
+            use_order[node_id] = len(use_order)
+        heapq.heappush(room_heap, (-remaining, use_order[node_id], node_id))
         subs.append(_make_sub(replica, node_id, i, j, partitioning, charged))
 
-    for i, j in _grid(partitioning):
-        host: Optional[str] = None
-        # 1) A node already receiving both partitions hosts for free.
-        for node_id in used_nodes:
-            if ledger.marginal(node_id, i, j) == 0.0:
-                host = node_id
-                break
-        # 2) A node already receiving one partition, with room for the rest.
-        if host is None:
-            for node_id in used_nodes:
-                marginal = ledger.marginal(node_id, i, j)
+    def free_host(i: int, j: int) -> Optional[str]:
+        """Earliest-used node already receiving both partitions (marginal 0)."""
+        left_receivers = ledger.receivers("L", i)
+        right_receivers = ledger.receivers("R", j)
+        if len(right_receivers) < len(left_receivers):
+            left_receivers = right_receivers
+        best_order: Optional[int] = None
+        best: Optional[str] = None
+        for node_id in left_receivers:
+            if ledger.receives_both(node_id, i, j):
+                order = use_order[node_id]
+                if best_order is None or order < best_order:
+                    best_order, best = order, node_id
+        return best
+
+    def sharing_host(i: int, j: int) -> Optional[str]:
+        """Earliest-used node already receiving one partition, with room."""
+        best_order: Optional[int] = None
+        best: Optional[str] = None
+        for stream, index, marginal in (
+            ("L", i, right_rates[j]),
+            ("R", j, left_rates[i]),
+        ):
+            for node_id in ledger.receivers(stream, index):
+                order = use_order[node_id]
+                if best_order is not None and order >= best_order:
+                    continue
                 remaining = available.get(node_id, 0.0)
                 if remaining >= marginal and remaining >= c_min:
-                    host = node_id
-                    break
-        # 3) The nearest fresh node able to host the full cell (Eq. 2-3).
+                    best_order, best = order, node_id
+        return best
+
+    def roomiest_used(need: float) -> Optional[str]:
+        """A used node with ``remaining >= need``, preferring the roomiest."""
+        while room_heap:
+            neg_remaining, order, node_id = room_heap[0]
+            current = available.get(node_id, 0.0)
+            if current != -neg_remaining:
+                heapq.heapreplace(room_heap, (-current, order, node_id))
+                continue
+            if current >= need:
+                return node_id
+            return None
+        return None
+
+    last_host: Optional[str] = None
+    for i, j in _grid(partitioning):
+        demand = left_rates[i] + right_rates[j]
+        host: Optional[str] = None
+        # 0) Fast path: consecutive cells usually merge onto the last host
+        #    for free (it already receives both partitions).
+        if last_host is not None and ledger.receives_both(last_host, i, j):
+            host = last_host
+        # 1) A node already receiving both partitions hosts for free.
         if host is None:
-            demand = ledger._left_rates[i] + ledger._right_rates[j]
-            results = cost_space.knn(
-                virtual_position, k=1, min_capacity=max(demand, c_min, 1e-12)
-            )
-            if results:
-                host = results[0][0]
+            host = free_host(i, j)
+        # 2) A node sharing one partition, with room for the rest (earliest
+        #    used first — receivers are indexed per partition, so only
+        #    nodes actually sharing a stream are inspected).
+        if host is None:
+            host = sharing_host(i, j)
+        # 2b) A used node sharing nothing but with room for the full cell.
+        if host is None:
+            host = roomiest_used(max(demand, c_min))
+        # 3) The nearest fresh node able to host the full cell (Eq. 2-3),
+        #    streamed from the batched neighbourhood cursor of this
+        #    demand level.
+        if host is None:
+            host = fresh_host(demand)
         if host is None:
             pending.append((i, j))
         else:
             assign(host, i, j)
+            last_host = host
 
     # Spread fallback: no node can host these cells; distribute them evenly
     # over the nearest candidates, accepting overload.
     overload = False
+    knn_queries = sum(cursor.queries for cursor in cursors.values())
     if pending:
         candidates = cost_space.knn(virtual_position, k=max(len(pending), 4))
+        knn_queries += 1
         if not candidates:
             raise InfeasiblePlacementError(
                 f"no candidate nodes exist for replica {replica.replica_id!r}"
@@ -171,6 +276,8 @@ def place_replica(
         subs=subs,
         partitioning=partitioning,
         overload_accepted=overload,
+        cells_placed=len(subs),
+        knn_queries=knn_queries,
     )
 
 

@@ -38,6 +38,10 @@ class NovaConfig:
     min_available_capacity: float = 0.0
     knn_backend: Optional[str] = None
     exact_knn_limit: int = 200_000
+    # Below this many nodes, Phase III's batched host queries stay fully
+    # exact; above it they may stop at the first k qualifying nodes found
+    # in best-first order (near-exact, skips the minimality proof).
+    exact_proof_limit: int = 2000
     fallback: str = FALLBACK_EXPAND
     max_candidate_expansions: int = 16
     seed: int = 0
@@ -62,6 +66,8 @@ class NovaConfig:
             raise ValueError(f"unknown fallback strategy {self.fallback!r}")
         if self.max_candidate_expansions < 0:
             raise ValueError("max_candidate_expansions must be >= 0")
+        if self.exact_proof_limit < 0:
+            raise ValueError("exact_proof_limit must be >= 0")
         if self.sigma is None and self.bandwidth_threshold is None:
             raise ValueError(
                 "either sigma must be fixed or bandwidth_threshold must be set "

@@ -145,15 +145,19 @@ class Reoptimizer:
         deleted_ids: Set[str] = set()
         if node.role == NodeRole.SOURCE and node_id in session.matrix.left_ids + session.matrix.right_ids:
             removed_pairs = session.matrix.remove_source(node_id)
+            # One id set up front instead of an O(replicas) membership scan
+            # per (pair, join) combination.
+            known_ids = {r.replica_id for r in session.resolved.replicas}
             for left_id, right_id in removed_pairs:
                 for join in session.plan.joins():
                     replica_id = replica_id_for(join.op_id, left_id, right_id)
-                    if any(r.replica_id == replica_id for r in session.resolved.replicas):
+                    if replica_id in known_ids:
                         session.undeploy_replica(replica_id)
-                        session.resolved.replicas = [
-                            r for r in session.resolved.replicas if r.replica_id != replica_id
-                        ]
                         deleted_ids.add(replica_id)
+            if deleted_ids:
+                session.resolved.replicas = [
+                    r for r in session.resolved.replicas if r.replica_id not in deleted_ids
+                ]
             if node_id in session.plan:
                 session.plan.remove_operator(node_id)
             session.placement.pinned.pop(node_id, None)

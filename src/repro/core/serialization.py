@@ -127,9 +127,16 @@ def session_summary(session: NovaSession) -> Dict:
         "overload_accepted": session.placement.overload_accepted,
         "timings_s": {
             "cost_space": session.timings.cost_space_s,
+            "resolve": session.timings.resolve_s,
             "virtual": session.timings.virtual_s,
             "physical": session.timings.physical_s,
             "total": session.timings.total_s,
+        },
+        "throughput": {
+            "replicas_placed": session.timings.replicas_placed,
+            "cells_placed": session.timings.cells_placed,
+            "knn_queries": session.timings.knn_queries,
+            "physical_cells_per_s": session.timings.physical_cells_per_s,
         },
         "nodes": nodes,
         "joins": joins,

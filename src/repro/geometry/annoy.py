@@ -139,9 +139,10 @@ class AnnoyForest:
         candidates = candidates[~self._deleted[candidates]]
         if values is not None and min_value is not None and candidates.size:
             candidates = candidates[values[candidates] >= min_value]
-        if candidates.size == 0:
-            # All reached leaves were tombstoned or filtered; fall back to a
-            # linear scan over the qualifying live points.
+        if candidates.size < k:
+            # The reached leaves cannot fill k results (heavy churn tombstones
+            # or the value filter thinned them out); supplement with a linear
+            # scan over the qualifying live points so recall survives churn.
             mask = ~self._deleted
             if values is not None and min_value is not None:
                 mask = mask & (values >= min_value)

@@ -2,35 +2,56 @@
 
 Phase III selects candidate nodes with a k-NN search around each operator's
 virtual coordinates; for small-to-medium topologies Nova uses an exact index
-(Section 3.4). This is a self-contained median-split k-d tree with a
-best-first (bounded priority queue) k-NN search; no SciPy dependency, so the
-index can also delete points cheaply (tombstones) during re-optimization.
+(Section 3.4). This is a self-contained median-split *bucket* k-d tree with
+a best-first k-NN search; no SciPy dependency, so the index can also delete
+points cheaply (tombstones) during re-optimization.
+
+Three design points keep the capacity-filtered searches of Phase III cheap:
+
+* **Bucket leaves, vectorized.** All points live in leaf buckets holding
+  contiguous copies of their coordinates and values, so a query evaluates
+  whole leaves with a handful of numpy operations and no fancy indexing.
+* **Value augmentation.** Each point carries a scalar (available
+  capacity); every subtree maintains an *upper bound* on the maximum over
+  its live points. A filtered query prunes any subtree whose bound is
+  below the threshold, so the saturated neighbourhood around a popular
+  virtual position — exactly where Phase III queries concentrate — is
+  skipped wholesale instead of being re-scanned point by point.
+* **Cheap bound maintenance.** A value update recomputes its leaf's
+  bound and walks the parent chain only while the bound keeps changing —
+  a few comparisons in the common case, which keeps the per-cell
+  capacity writes of Phase III near-constant time.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+import math
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.errors import OptimizationError
 
-
-@dataclass
-class _KdNode:
-    axis: int
-    split: float
-    point_index: int
-    left: Optional["_KdNode"] = None
-    right: Optional["_KdNode"] = None
+_NEG_INF = float("-inf")
 
 
 class KdTree:
-    """Static k-d tree over an (n, d) point array with optional deletions."""
+    """Static k-d tree over an (n, d) point array with deletions and values.
 
-    def __init__(self, points: np.ndarray, leaf_size: int = 16) -> None:
+    The tree is stored in flat arrays: internal node ``i`` has
+    ``_node_axis[i]``/``_node_split[i]`` and child references in
+    ``_node_left[i]``/``_node_right[i]``. A reference ``r >= 0`` names an
+    internal node; ``r < 0`` names leaf ``-r - 1``. Parent pointers allow
+    O(depth) upward propagation of the per-subtree value bounds.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        leaf_size: int = 32,
+        values: Optional[np.ndarray] = None,
+    ) -> None:
         points = np.asarray(points, dtype=float)
         if points.ndim != 2 or points.shape[0] == 0:
             raise OptimizationError("KdTree requires a non-empty (n, d) array")
@@ -39,9 +60,30 @@ class KdTree:
         self._points = points
         self._leaf_size = leaf_size
         self._deleted = np.zeros(points.shape[0], dtype=bool)
-        indices = np.arange(points.shape[0])
-        self._root = self._build(indices, depth=0)
-        self._leaves: dict = {}
+        self._live_count = points.shape[0]
+        if values is None:
+            self._values = np.full(points.shape[0], np.inf)
+        else:
+            values = np.asarray(values, dtype=float)
+            if values.shape != (points.shape[0],):
+                raise OptimizationError("values must be one scalar per point")
+            self._values = values.copy()
+
+        self._node_axis: List[int] = []
+        self._node_split: List[float] = []
+        self._node_left: List[int] = []
+        self._node_right: List[int] = []
+        self._node_parent: List[int] = []
+        self._node_max: List[float] = []
+        self._leaf_members: List[np.ndarray] = []
+        self._leaf_points: List[np.ndarray] = []
+        self._leaf_values: List[np.ndarray] = []
+        self._leaf_live: List[np.ndarray] = []
+        self._leaf_parent: List[int] = []
+        self._leaf_max: List[float] = []
+        self._point_leaf = np.zeros(points.shape[0], dtype=int)
+        self._point_slot = np.zeros(points.shape[0], dtype=int)
+        self._root = self._build(np.arange(points.shape[0]), depth=0, parent=-1)
 
     @property
     def points(self) -> np.ndarray:
@@ -51,52 +93,146 @@ class KdTree:
         return view
 
     def __len__(self) -> int:
-        return int((~self._deleted).sum())
+        return self._live_count
 
-    def _build(self, indices: np.ndarray, depth: int):
-        if indices.size == 0:
-            return None
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, indices: np.ndarray, depth: int, parent: int) -> int:
         if indices.size <= self._leaf_size:
-            return indices
+            leaf_id = len(self._leaf_members)
+            self._leaf_members.append(indices)
+            self._leaf_points.append(self._points[indices].copy())
+            self._leaf_values.append(self._values[indices].copy())
+            self._leaf_live.append(np.ones(indices.size, dtype=bool))
+            self._leaf_parent.append(parent)
+            self._leaf_max.append(
+                float(self._values[indices].max()) if indices.size else _NEG_INF
+            )
+            self._point_leaf[indices] = leaf_id
+            self._point_slot[indices] = np.arange(indices.size)
+            return -leaf_id - 1
         axis = depth % self._points.shape[1]
-        values = self._points[indices, axis]
-        order = np.argsort(values, kind="stable")
+        order = np.argsort(self._points[indices, axis], kind="stable")
         indices = indices[order]
         mid = indices.size // 2
-        node = _KdNode(
-            axis=axis,
-            split=float(self._points[indices[mid], axis]),
-            point_index=int(indices[mid]),
+        node_id = len(self._node_axis)
+        self._node_axis.append(axis)
+        self._node_split.append(float(self._points[indices[mid], axis]))
+        self._node_left.append(0)
+        self._node_right.append(0)
+        self._node_parent.append(parent)
+        self._node_max.append(_NEG_INF)
+        self._node_left[node_id] = self._build(indices[:mid], depth + 1, node_id)
+        self._node_right[node_id] = self._build(indices[mid:], depth + 1, node_id)
+        self._node_max[node_id] = max(
+            self._ref_max(self._node_left[node_id]),
+            self._ref_max(self._node_right[node_id]),
         )
-        node.left = self._build(indices[:mid], depth + 1)
-        node.right = self._build(indices[mid + 1 :], depth + 1)
-        return node
+        return node_id
 
+    def _ref_max(self, ref: int) -> float:
+        return self._node_max[ref] if ref >= 0 else self._leaf_max[-ref - 1]
+
+    def _refresh_bounds(self, leaf_id: int) -> None:
+        """Recompute a leaf's value maximum and propagate it upward.
+
+        Stops as soon as an ancestor's bound is unaffected, so the common
+        case (a capacity decrease somewhere inside a subtree that still
+        holds a larger value) costs O(leaf) plus a couple of comparisons.
+        Keeping the bounds tight is what lets filtered queries prune the
+        saturated region around a popular virtual position wholesale.
+        """
+        members = self._leaf_members[leaf_id]
+        new_max = float(self._leaf_values[leaf_id].max()) if members.size else _NEG_INF
+        if new_max == self._leaf_max[leaf_id]:
+            return
+        self._leaf_max[leaf_id] = new_max
+        node = self._leaf_parent[leaf_id]
+        while node >= 0:
+            combined = max(
+                self._ref_max(self._node_left[node]),
+                self._ref_max(self._node_right[node]),
+            )
+            if combined == self._node_max[node]:
+                break
+            self._node_max[node] = combined
+            node = self._node_parent[node]
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
     def delete(self, index: int) -> None:
         """Tombstone a point so queries skip it (O(1))."""
         if not 0 <= index < self._points.shape[0]:
             raise OptimizationError(f"point index {index} out of range")
+        if not self._deleted[index]:
+            self._live_count -= 1
         self._deleted[index] = True
+        leaf, slot = int(self._point_leaf[index]), int(self._point_slot[index])
+        self._leaf_live[leaf][slot] = False
+        # Tombstones never qualify in filtered queries.
+        self._leaf_values[leaf][slot] = _NEG_INF
+        self._refresh_bounds(leaf)
 
     def restore(self, index: int) -> None:
         """Undo a deletion."""
         if not 0 <= index < self._points.shape[0]:
             raise OptimizationError(f"point index {index} out of range")
+        if self._deleted[index]:
+            self._live_count += 1
         self._deleted[index] = False
+        leaf, slot = int(self._point_leaf[index]), int(self._point_slot[index])
+        self._leaf_live[leaf][slot] = True
+        self._leaf_values[leaf][slot] = float(self._values[index])
+        self._refresh_bounds(leaf)
 
+    def set_value(self, index: int, value: float) -> None:
+        """Attach a scalar (e.g. available capacity) used by filtered queries.
+
+        Recomputes the leaf bound and propagates it upward only while it
+        changes an ancestor — a few comparisons in the common case.
+        """
+        if not 0 <= index < self._points.shape[0]:
+            raise OptimizationError(f"point index {index} out of range")
+        value = float(value)
+        self._values[index] = value
+        if self._deleted[index]:
+            return
+        leaf, slot = int(self._point_leaf[index]), int(self._point_slot[index])
+        self._leaf_values[leaf][slot] = value
+        self._refresh_bounds(leaf)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def query(
         self,
         target: Sequence[float],
         k: int = 1,
         values: Optional[np.ndarray] = None,
         min_value: Optional[float] = None,
+        approximate: bool = False,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Return (distances, indices) of the ``k`` nearest live points.
 
-        When ``values`` and ``min_value`` are given, only points with
-        ``values[i] >= min_value`` qualify — the capacity-filtered search
-        Phase III uses to find the nearest nodes that can actually host a
-        sub-join, without ever widening k.
+        When ``min_value`` is given, only points whose value passes the
+        threshold qualify — the capacity-filtered search Phase III uses to
+        find the nearest nodes that can actually host a sub-join, without
+        ever widening k. Values default to the tree's internal scalars
+        (enabling subtree pruning via the maintained bounds); an explicit
+        ``values`` array overrides them, at the cost of pruning.
+
+        ``approximate=True`` stops the best-first descent shortly after k
+        qualifying points are found instead of draining the frontier to
+        prove no closer ones exist: it keeps expanding only while the
+        frontier could still beat the current *nearest* hit, and for at
+        most a few extra leaves. The first result is therefore almost
+        always the true nearest qualifying point, while the proof cost
+        for the remaining ranks — scanning the whole boundary ring of a
+        saturated neighbourhood — is skipped. When fewer than k points
+        qualify the search always drains fully, so "no further qualifying
+        nodes" remains an exact answer either way.
         """
         if k < 1:
             raise OptimizationError("k must be >= 1")
@@ -105,41 +241,91 @@ class KdTree:
             raise OptimizationError(
                 f"query point has dimension {target.shape}, expected ({self._points.shape[1]},)"
             )
-        filtered = values is not None and min_value is not None
-        # Max-heap of (-distance, index) keeping the best k found so far.
+        external = values is not None and min_value is not None
+        internal = not external and min_value is not None
+        node_axis = self._node_axis
+        node_split = self._node_split
+        node_left = self._node_left
+        node_right = self._node_right
+        # Max-heap of (-squared distance, index) of the best k so far.
         best: List[Tuple[float, int]] = []
+        worst2 = math.inf
+        nearest2 = math.inf
 
-        def consider(indices: np.ndarray) -> None:
-            live = indices[~self._deleted[indices]]
-            if filtered and live.size:
-                live = live[values[live] >= min_value]
-            if live.size == 0:
-                return
-            distances = np.linalg.norm(self._points[live] - target, axis=1)
-            for dist, idx in zip(distances, live):
+        def consider(leaf_id: int) -> float:
+            members = self._leaf_members[leaf_id]
+            if members.size == 0:
+                return worst2
+            if internal:
+                mask = self._leaf_values[leaf_id] >= min_value
+            elif external:
+                mask = ~self._deleted[members]
+                mask &= values[members] >= min_value
+            else:
+                mask = self._leaf_live[leaf_id]
+            diff = self._leaf_points[leaf_id] - target
+            dist2 = np.einsum("ij,ij->i", diff, diff)
+            dist2 = np.where(mask, dist2, math.inf)
+            current = worst2
+            if current < math.inf:
+                keep = np.nonzero(dist2 < current)[0]
+                if keep.size == 0:
+                    return current
+                candidates = zip(dist2[keep].tolist(), members[keep].tolist())
+            else:
+                candidates = zip(dist2.tolist(), members.tolist())
+            nonlocal nearest2
+            for d2, idx in candidates:
+                if d2 >= current:
+                    continue
+                if d2 < nearest2:
+                    nearest2 = d2
                 if len(best) < k:
-                    heapq.heappush(best, (-float(dist), int(idx)))
-                elif dist < -best[0][0]:
-                    heapq.heapreplace(best, (-float(dist), int(idx)))
+                    heapq.heappush(best, (-d2, idx))
+                    if len(best) == k:
+                        current = -best[0][0]
+                else:
+                    heapq.heapreplace(best, (-d2, idx))
+                    current = -best[0][0]
+            return current
 
-        def visit(node) -> None:
-            if node is None:
-                return
-            if isinstance(node, np.ndarray):
-                consider(node)
-                return
-            if not self._deleted[node.point_index]:
-                consider(np.array([node.point_index]))
-            diff = target[node.axis] - node.split
-            near, far = (node.left, node.right) if diff <= 0 else (node.right, node.left)
-            visit(near)
-            worst = -best[0][0] if len(best) == k else float("inf")
-            if abs(diff) <= worst:
-                visit(far)
+        # Best-first descent: regions are expanded in increasing order of
+        # their squared-distance lower bound, so the first time the top of
+        # the frontier exceeds the kth-best distance the search is done —
+        # only leaves that could actually contribute are ever evaluated.
+        frontier: List[Tuple[float, int]] = [(0.0, self._root)]
+        extra_leaves = 0
+        while frontier:
+            bound, ref = heapq.heappop(frontier)
+            if bound > worst2:
+                break
+            if approximate and len(best) == k:
+                # k found: keep going only while the frontier could still
+                # beat the nearest hit, and for at most a few more leaves,
+                # so the first result is (almost always) the true nearest
+                # without paying the full minimality proof.
+                if bound > nearest2 or extra_leaves >= 4:
+                    break
+            if internal and self._ref_max(ref) < min_value:
+                continue
+            if ref < 0:
+                if approximate and len(best) == k:
+                    extra_leaves += 1
+                worst2 = consider(-ref - 1)
+                continue
+            diff = target[node_axis[ref]] - node_split[ref]
+            if diff < 0:
+                near, far = node_left[ref], node_right[ref]
+            else:
+                near, far = node_right[ref], node_left[ref]
+            far_bound = diff * diff
+            if far_bound < bound:
+                far_bound = bound
+            heapq.heappush(frontier, (far_bound, far))
+            heapq.heappush(frontier, (bound, near))
 
-        visit(self._root)
         best.sort(key=lambda entry: -entry[0])
-        distances = np.array([-d for d, _ in best])
+        distances = np.sqrt(np.array([-d for d, _ in best]))
         indices = np.array([i for _, i in best], dtype=int)
         return distances, indices
 
@@ -147,27 +333,29 @@ class KdTree:
         """Indices of all live points within ``radius`` of ``target``."""
         target = np.asarray(target, dtype=float)
         result: List[int] = []
+        radius2 = float(radius) * float(radius)
 
-        def consider(indices: np.ndarray) -> None:
-            live = indices[~self._deleted[indices]]
-            if live.size == 0:
-                return
-            distances = np.linalg.norm(self._points[live] - target, axis=1)
-            result.extend(int(i) for i in live[distances <= radius])
+        stack: List[Tuple[int, float]] = [(self._root, 0.0)]
+        while stack:
+            ref, bound = stack.pop()
+            if bound > radius2:
+                continue
+            if ref < 0:
+                leaf_id = -ref - 1
+                members = self._leaf_members[leaf_id]
+                if members.size == 0:
+                    continue
+                diff = self._leaf_points[leaf_id] - target
+                dist2 = np.einsum("ij,ij->i", diff, diff)
+                inside = self._leaf_live[leaf_id] & (dist2 <= radius2)
+                result.extend(members[inside].tolist())
+                continue
+            diff = target[self._node_axis[ref]] - self._node_split[ref]
+            if diff < 0:
+                near, far = self._node_left[ref], self._node_right[ref]
+            else:
+                near, far = self._node_right[ref], self._node_left[ref]
+            stack.append((far, max(diff * diff, bound)))
+            stack.append((near, bound))
 
-        def visit(node) -> None:
-            if node is None:
-                return
-            if isinstance(node, np.ndarray):
-                consider(node)
-                return
-            if not self._deleted[node.point_index]:
-                consider(np.array([node.point_index]))
-            diff = target[node.axis] - node.split
-            near, far = (node.left, node.right) if diff <= 0 else (node.right, node.left)
-            visit(near)
-            if abs(diff) <= radius:
-                visit(far)
-
-        visit(self._root)
         return np.array(sorted(result), dtype=int)

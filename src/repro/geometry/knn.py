@@ -24,6 +24,10 @@ from repro.geometry.kdtree import KdTree
 EXACT_BACKEND = "kdtree"
 APPROXIMATE_BACKEND = "annoy"
 DEFAULT_EXACT_LIMIT = 200_000
+# Below this many live nodes, even "approximate" batch queries run the full
+# minimality proof: small topologies afford exactness, and the proof cost
+# (scanning the boundary ring of a saturated region) only hurts at scale.
+DEFAULT_EXACT_PROOF_LIMIT = 2000
 
 
 class NeighborIndex:
@@ -37,6 +41,7 @@ class NeighborIndex:
         exact_limit: int = DEFAULT_EXACT_LIMIT,
         rebuild_fraction: float = 0.25,
         seed: SeedLike = 0,
+        exact_proof_limit: int = DEFAULT_EXACT_PROOF_LIMIT,
     ) -> None:
         points = np.asarray(points, dtype=float)
         if points.ndim != 2 or points.shape[0] != len(ids):
@@ -50,6 +55,7 @@ class NeighborIndex:
         self._backend_name = backend
         self._seed = seed
         self._rebuild_fraction = float(rebuild_fraction)
+        self._exact_proof_limit = int(exact_proof_limit)
         self._ids: List[str] = list(ids)
         self._positions: Dict[str, np.ndarray] = {
             node_id: points[i] for i, node_id in enumerate(self._ids)
@@ -58,15 +64,18 @@ class NeighborIndex:
         self._index_of: Dict[str, int] = {node_id: i for i, node_id in enumerate(self._ids)}
         self._extra: Dict[str, np.ndarray] = {}
         self._removed: set = set()
-        self._tree = self._build_tree(points)
         # Per-point scalar values (e.g. available capacity) enabling
         # filtered nearest-neighbour queries. Defaults to +inf: unfiltered.
         self._values: Dict[str, float] = {}
         self._value_array = np.full(points.shape[0], np.inf)
+        self._tree = self._build_tree(points, self._value_array)
 
-    def _build_tree(self, points: np.ndarray):
+    def _build_tree(self, points: np.ndarray, values: Optional[np.ndarray] = None):
         if self._backend_name == EXACT_BACKEND:
-            return KdTree(points)
+            # The exact tree keeps the values internally, maintaining
+            # per-subtree maxima so capacity-filtered queries can prune
+            # exhausted regions wholesale.
+            return KdTree(points, values=values)
         return AnnoyForest(points, seed=self._seed)
 
     # ------------------------------------------------------------------
@@ -139,6 +148,8 @@ class NeighborIndex:
         index = self._index_of.get(node_id)
         if index is not None:
             self._value_array[index] = float(value)
+            if self._backend_name == EXACT_BACKEND:
+                self._tree.set_value(index, float(value))
 
     def value(self, node_id: str) -> float:
         """The scalar attached to a node (+inf when never set)."""
@@ -155,11 +166,11 @@ class NeighborIndex:
         self._positions = {nid: points[i] for i, nid in enumerate(live)}
         self._extra = {}
         self._removed = set()
-        self._tree = self._build_tree(points)
         self._values = {nid: v for nid, v in self._values.items() if nid in self._index_of}
         self._value_array = np.array(
             [self._values.get(nid, np.inf) for nid in live], dtype=float
         )
+        self._tree = self._build_tree(points, self._value_array)
 
     # ------------------------------------------------------------------
     # queries
@@ -170,25 +181,41 @@ class NeighborIndex:
         k: int,
         exclude: Optional[set] = None,
         min_value: Optional[float] = None,
+        approximate: bool = False,
     ) -> List[Tuple[str, float]]:
         """The ``k`` nearest live nodes to ``target`` as (id, distance) pairs.
 
         ``min_value`` restricts results to nodes whose attached scalar is at
-        least the threshold (capacity-filtered search).
+        least the threshold (capacity-filtered search). ``approximate``
+        permits the exact backend to stop once k qualifying nodes are found
+        (near-exact, best-first order) instead of proving minimality; the
+        annoy backend is approximate by construction.
         """
         if k < 1:
             raise OptimizationError("k must be >= 1")
         exclude = exclude or set()
         target = np.asarray(target, dtype=float)
-        # Over-fetch to survive exclusions and tombstones in the tree.
-        fetch = min(k + len(exclude) + len(self._extra), max(len(self), 1))
+        # Over-fetch to survive exclusions, buffered additions, and
+        # tombstones: each can consume result slots (tombstoned entries
+        # thin out approximate-backend leaves, excluded/stale ids are
+        # dropped post-hoc), so all three are counted — otherwise heavy
+        # churn starves the caller of its k results.
+        overhead = len(exclude) + len(self._extra) + len(self._removed)
+        fetch = min(k + overhead, max(len(self), 1))
         results: List[Tuple[str, float]] = []
         if len(self._index_of) > 0 and fetch > 0:
             kwargs = {}
             if min_value is not None:
-                kwargs = {"values": self._value_array, "min_value": min_value}
+                # The exact tree holds the values internally (with
+                # per-subtree maxima enabling pruning); the approximate
+                # forest filters against the shared value array.
+                kwargs = {"min_value": min_value}
+                if self._backend_name == APPROXIMATE_BACKEND:
+                    kwargs["values"] = self._value_array
             if self._backend_name == APPROXIMATE_BACKEND:
                 kwargs["search_k"] = max(64, 8 * fetch)
+            elif approximate and len(self) > self._exact_proof_limit:
+                kwargs["approximate"] = True
             distances, indices = self._tree.query(
                 target, k=min(fetch, len(self._tree)) or 1, **kwargs
             )
@@ -205,3 +232,31 @@ class NeighborIndex:
             results.append((node_id, float(np.linalg.norm(point - target))))
         results.sort(key=lambda pair: pair[1])
         return results[:k]
+
+    def query_batch(
+        self,
+        target: Sequence[float],
+        k: int,
+        exclude: Optional[set] = None,
+        min_value: Optional[float] = None,
+    ) -> Tuple[List[Tuple[str, float]], bool]:
+        """One over-fetched neighbourhood plus an exhaustion flag.
+
+        Returns ``(results, exhausted)`` where ``exhausted`` is true when
+        the index holds no further qualifying nodes beyond the returned
+        ones — i.e. fewer than ``k`` nodes passed the filters. Callers that
+        stream a neighbourhood (Phase III walks the partition grid reusing
+        one batch for many consecutive cells) use the flag to stop
+        re-querying with ever larger ``k``.
+
+        The batch is fetched approximately (first k qualifying nodes in
+        best-first order): Phase III wants *a* nearby host with capacity,
+        and skipping the minimality proof avoids re-scanning the boundary
+        of the saturated region around a popular virtual position on every
+        query. Exhaustion stays exact — a short result implies the search
+        drained the whole index.
+        """
+        results = self.query(
+            target, k, exclude=exclude, min_value=min_value, approximate=True
+        )
+        return results, len(results) < k

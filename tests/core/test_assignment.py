@@ -127,6 +127,70 @@ class TestCMin:
         assert {s.node_id for s in outcome.subs} == {"big"}
 
 
+class TestSpreadFallback:
+    def test_overload_round_robin_charges_marginal_demand(self):
+        """Spread cells merged onto a node share partition streams: the
+        round-robin must charge the marginal (distinct-partition) demand,
+        not the full per-cell demand."""
+        space = make_space({"only": [5.0, 3.0]})
+        original = {"only": 3.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        available = dict(original)
+        # sigma=0 with rates 4/4 gives a 4x4 grid of unit partitions.
+        outcome = place_replica(
+            make_replica(4.0, 4.0), np.array([5.0, 3.0]), space, available,
+            NovaConfig(sigma=0.0),
+        )
+        assert outcome.overload_accepted
+        assert len(outcome.subs) == 16
+        # Full (unshared) demand would charge 2.0 per cell = 32 in total;
+        # marginal accounting charges each node only its distinct
+        # partitions, and the consumed availability must match.
+        per_node = {}
+        for sub in outcome.subs:
+            per_node.setdefault(sub.node_id, []).append(sub)
+        total_charged = 0.0
+        for node_id, subs in per_node.items():
+            lefts = {s.sub_id.rsplit("/", 1)[1].split("x")[0] for s in subs}
+            rights = {s.sub_id.rsplit("/", 1)[1].split("x")[1] for s in subs}
+            charged = sum(s.charged_capacity for s in subs)
+            assert charged == pytest.approx(float(len(lefts) + len(rights)))
+            assert original[node_id] - available[node_id] == pytest.approx(charged)
+            total_charged += charged
+        assert total_charged < 32.0 - 1e-6
+
+    def test_spread_distributes_over_multiple_candidates(self):
+        space = make_space({"w1": [5.0, 3.0], "w2": [5.5, 3.0]})
+        available = {"w1": 2.0, "w2": 2.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        outcome = place_replica(
+            make_replica(4.0, 4.0), np.array([5.0, 3.0]), space, available,
+            NovaConfig(sigma=0.0),
+        )
+        assert outcome.overload_accepted
+        # Round-robin over the nearest candidates touches both workers.
+        assert {"w1", "w2"} <= {s.node_id for s in outcome.subs}
+        # Per-node charge equals that node's distinct partitions.
+        for node_id in ("w1", "w2"):
+            node_subs = [s for s in outcome.subs if s.node_id == node_id]
+            lefts = {s.sub_id.rsplit("/", 1)[1].split("x")[0] for s in node_subs}
+            rights = {s.sub_id.rsplit("/", 1)[1].split("x")[1] for s in node_subs}
+            charged = sum(s.charged_capacity for s in node_subs)
+            assert charged == pytest.approx(float(len(lefts) + len(rights)))
+
+
+class TestOutcomeCounters:
+    def test_cells_and_queries_reported(self):
+        space = make_space({"big": [5.0, 3.0]})
+        available = {"big": 1000.0, "nt": 0.0, "nw": 0.0, "nsink": 0.0}
+        outcome = place_replica(
+            make_replica(10.0, 10.0), np.array([5.0, 3.0]), space, available,
+            NovaConfig(sigma=0.5),
+        )
+        assert outcome.cells_placed == len(outcome.subs)
+        # The batched cursor serves the whole grid from one fetched
+        # neighbourhood: far fewer index searches than cells.
+        assert 1 <= outcome.knn_queries < outcome.cells_placed
+
+
 class TestSubMetadata:
     def test_sub_ids_encode_grid_cells(self):
         space = make_space({"big": [5.0, 3.0]})

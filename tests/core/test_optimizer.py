@@ -126,3 +126,61 @@ class TestSyntheticWorkload:
             after_ingestion = max(node.capacity - ingestion.get(node.node_id, 0.0), 0.0)
             expected = after_ingestion - loads.get(node.node_id, 0.0)
             assert session.available[node.node_id] == pytest.approx(expected, abs=1e-6)
+
+
+class TestOverloadPropagation:
+    def test_overload_accepted_propagates_from_place_replica(self):
+        """An under-provisioned topology forces the spread fallback; the
+        flag must surface on the session placement through Nova.optimize."""
+        workload = synthetic_opp_workload(24, seed=5, total_capacity=30.0)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=5)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        assert session.placement.overload_accepted
+        assert overload_percentage(session.placement, workload.topology) > 0.0
+
+    def test_well_provisioned_does_not_flag(self):
+        workload = synthetic_opp_workload(60, seed=6)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=6)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        assert not session.placement.overload_accepted
+
+
+class TestPhaseThroughput:
+    def test_counters_populated(self):
+        workload = synthetic_opp_workload(80, seed=2)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=2)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        timings = session.timings
+        assert timings.replicas_placed == workload.matrix.num_pairs()
+        assert timings.cells_placed == len(session.placement.sub_replicas)
+        # The batched query path issues far fewer searches than cells.
+        assert 0 < timings.knn_queries <= timings.cells_placed
+        assert timings.physical_s > 0 and timings.virtual_s > 0
+        assert timings.physical_cells_per_s > 0
+        assert timings.replicas_per_s > 0
+        assert timings.total_s == pytest.approx(
+            timings.cost_space_s + timings.resolve_s
+            + timings.virtual_s + timings.physical_s
+        )
+
+    def test_counters_accumulate_across_reoptimization(self):
+        from repro.core.reoptimizer import Reoptimizer
+        from repro.topology.dynamics import DataRateChangeEvent
+
+        workload = synthetic_opp_workload(80, seed=4)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=4)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        before = session.timings.cells_placed
+        source = next(op for op in workload.plan.sources())
+        Reoptimizer(session).apply(
+            DataRateChangeEvent(node_id=source.op_id, new_rate=source.data_rate * 1.5)
+        )
+        assert session.timings.cells_placed > before

@@ -124,3 +124,106 @@ def test_property_kdtree_equals_brute_force(n, k, seed):
     expected_d, _ = brute_force_knn(points, target, min(k, n))
     actual_d, _ = tree.query(target, k=min(k, n))
     assert np.allclose(np.sort(actual_d), np.sort(expected_d), atol=1e-9)
+
+
+class TestValueAugmentation:
+    """Internal values with per-subtree bounds drive filtered queries."""
+
+    def test_internal_values_filter_queries(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        tree = KdTree(points, values=np.array([1.0, 5.0, 10.0]))
+        _, indices = tree.query([0.0, 0.0], k=1, min_value=4.0)
+        assert indices[0] == 1
+        _, indices = tree.query([0.0, 0.0], k=1, min_value=6.0)
+        assert indices[0] == 2
+
+    def test_set_value_updates_filtered_results(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 100, (64, 2))
+        tree = KdTree(points, leaf_size=4, values=np.full(64, 1.0))
+        tree.set_value(17, 99.0)
+        _, indices = tree.query(points[3], k=1, min_value=50.0)
+        assert indices[0] == 17
+        tree.set_value(17, 0.0)
+        distances, indices = tree.query(points[3], k=1, min_value=50.0)
+        assert len(indices) == 0
+
+    def test_filtered_matches_brute_force_under_mutation(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 100, (150, 2))
+        values = rng.uniform(0, 100, 150)
+        tree = KdTree(points, leaf_size=4, values=values)
+        deleted = np.zeros(150, dtype=bool)
+        for step in range(200):
+            op = step % 4
+            i = int(rng.integers(0, 150))
+            if op == 0:
+                values[i] = float(rng.uniform(0, 100))
+                tree.set_value(i, values[i])
+            elif op == 1 and not deleted[i]:
+                deleted[i] = True
+                tree.delete(i)
+            elif op == 2 and deleted[i]:
+                deleted[i] = False
+                tree.restore(i)
+            else:
+                threshold = float(rng.uniform(0, 90))
+                target = rng.uniform(0, 100, 2)
+                eligible = np.nonzero(~deleted & (values >= threshold))[0]
+                distances, indices = tree.query(target, k=3, min_value=threshold)
+                expected_d = np.sort(
+                    np.linalg.norm(points[eligible] - target, axis=1)
+                )[:3]
+                assert np.allclose(np.sort(distances), expected_d)
+
+    def test_deleted_value_ignored_by_bounds(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        tree = KdTree(points, leaf_size=1, values=np.array([100.0, 1.0, 1.0]))
+        tree.delete(0)
+        distances, indices = tree.query([0.0, 0.0], k=3, min_value=50.0)
+        assert len(indices) == 0
+        tree.restore(0)
+        _, indices = tree.query([0.0, 0.0], k=1, min_value=50.0)
+        assert indices[0] == 0
+
+
+class TestApproximateQuery:
+    def test_returns_k_qualifying(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 100, (400, 2))
+        values = rng.uniform(0, 100, 400)
+        tree = KdTree(points, leaf_size=8, values=values)
+        distances, indices = tree.query(
+            [50.0, 50.0], k=6, min_value=30.0, approximate=True
+        )
+        assert len(indices) == 6
+        assert all(values[i] >= 30.0 for i in indices)
+        assert list(distances) == sorted(distances)
+
+    def test_exact_when_fewer_than_k_qualify(self):
+        """Approximation only skips the minimality proof; a short result
+        still means the whole index was drained."""
+        rng = np.random.default_rng(6)
+        points = rng.uniform(0, 100, (200, 2))
+        values = np.zeros(200)
+        values[7] = 99.0
+        values[123] = 99.0
+        tree = KdTree(points, leaf_size=8, values=values)
+        distances, indices = tree.query(
+            [50.0, 50.0], k=5, min_value=50.0, approximate=True
+        )
+        assert sorted(indices.tolist()) == [7, 123]
+
+    def test_first_result_is_true_nearest(self):
+        """The bounded rank-1 proof keeps expanding while the frontier
+        could beat the nearest hit, so the first result matches the exact
+        nearest on typical instances (the guarantee is capped, not
+        absolute, hence a fixed seed)."""
+        rng = np.random.default_rng(7)
+        points = rng.uniform(0, 100, (500, 2))
+        tree = KdTree(points, leaf_size=8)
+        for _ in range(25):
+            target = rng.uniform(0, 100, 2)
+            exact_d, _ = tree.query(target, k=4)
+            approx_d, _ = tree.query(target, k=4, approximate=True)
+            assert approx_d[0] == pytest.approx(exact_d[0])

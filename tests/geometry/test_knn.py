@@ -132,3 +132,72 @@ class TestMaintenance:
         index.remove("n1")
         with pytest.raises(OptimizationError):
             index.rebuild()
+
+
+class TestChurnRecall:
+    """Heavy churn must not starve queries of their k results.
+
+    Tombstoned entries thin out the approximate backend's leaves and
+    excluded ids consume result slots; the over-fetch must account for
+    both (and the annoy fallback must supplement short candidate pools),
+    or k live nodes silently become unreachable.
+    """
+
+    def make_churned(self, n=300, removed=270):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 100, (n, 2))
+        ids = [f"n{i}" for i in range(n)]
+        index = NeighborIndex(
+            ids, points, backend=APPROXIMATE_BACKEND, rebuild_fraction=10.0
+        )
+        for i in range(removed):
+            index.remove(f"n{i}")
+        return index, ids, points
+
+    def test_full_k_survives_tombstones(self):
+        index, _, _ = self.make_churned()
+        assert len(index) == 30
+        results = index.query([50.0, 50.0], k=20)
+        assert len(results) == 20
+
+    def test_full_k_survives_tombstones_and_exclusions(self):
+        index, ids, _ = self.make_churned()
+        live = [f"n{i}" for i in range(270, 300)]
+        results = index.query([50.0, 50.0], k=5, exclude=set(live[:25]))
+        assert len(results) == 5
+        assert {nid for nid, _ in results} == set(live[25:])
+
+    def test_exact_backend_full_k_after_drifted_readds(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 100, (40, 2))
+        ids = [f"n{i}" for i in range(40)]
+        index = NeighborIndex(ids, points, rebuild_fraction=10.0)
+        for i in range(30):
+            index.remove(f"n{i}")
+        for i in range(5):
+            index.add(f"n{i}", points[i] + 0.5)
+        results = index.query([50.0, 50.0], k=15)
+        assert len(results) == 15
+
+
+class TestQueryBatch:
+    def test_exhaustion_flag(self):
+        index, ids, points = make_index(10)
+        results, exhausted = index.query_batch(points[0], k=5)
+        assert len(results) == 5 and not exhausted
+        results, exhausted = index.query_batch(points[0], k=10)
+        assert len(results) == 10 and exhausted is False
+        for node_id in ids:
+            index.set_value(node_id, 1.0)
+        index.set_value("n7", 50.0)
+        results, exhausted = index.query_batch(points[0], k=4, min_value=10.0)
+        assert [nid for nid, _ in results] == ["n7"]
+        assert exhausted
+
+    def test_batch_respects_min_value(self):
+        index, ids, points = make_index(30)
+        for node_id in ids:
+            index.set_value(node_id, float(node_id[1:]))
+        results, _ = index.query_batch([50.0, 50.0], k=8, min_value=20.0)
+        assert len(results) == 8
+        assert all(float(nid[1:]) >= 20.0 for nid, _ in results)
