@@ -114,10 +114,10 @@ def timed(fn: Callable[[], object]) -> Tuple[object, float]:
 def phase_rows(timings) -> List[List[object]]:
     """Per-phase timing/throughput rows for ``render_table``.
 
-    Columns: phase, seconds, work done, throughput. Makes the Phase III
-    packing rate (cells/s) and the batched k-NN query count visible, so
-    scalability regressions show up as a falling rate rather than a bare
-    total.
+    Columns: phase, seconds, work done, throughput. Makes the Phase II
+    median-solve rate (medians/s), the Phase III packing rate (cells/s),
+    and the batched k-NN query count visible, so scalability regressions
+    show up as a falling rate rather than a bare total.
     """
     rows: List[List[object]] = [
         ["phase I (cost space)", timings.cost_space_s, "", ""],
@@ -125,14 +125,20 @@ def phase_rows(timings) -> List[List[object]]:
         [
             "phase II (virtual)",
             timings.virtual_s,
-            f"{timings.replicas_placed} replicas",
-            f"{timings.replicas_per_s:,.0f} replicas/s",
+            f"{timings.medians_solved} medians",
+            f"{timings.virtual_medians_per_s:,.0f} medians/s",
         ],
         [
             "phase III (physical)",
             timings.physical_s,
             f"{timings.cells_placed} cells, {timings.knn_queries} knn queries",
             f"{timings.physical_cells_per_s:,.0f} cells/s",
+        ],
+        [
+            "placement (II+III)",
+            timings.virtual_s + timings.physical_s,
+            f"{timings.replicas_placed} replicas",
+            f"{timings.replicas_per_s:,.0f} replicas/s",
         ],
         ["total", timings.total_s, "", ""],
     ]

@@ -1,0 +1,112 @@
+"""A list that keeps its owner's derived indices fresh.
+
+:class:`Placement` and :class:`ResolvedPlan` expose plain ``list``
+attributes that long-standing callers (baselines, serialization, tests)
+append to or reassign directly. Both now maintain lookup indices over
+those lists, so the lists themselves must report every mutation back to
+their owner. :class:`ObservedList` does exactly that: appends flow
+through a cheap incremental callback, while any other mutation (slice
+assignment, ``sort``, ``pop``, ...) triggers a full index rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ObservedList(list):
+    """A ``list`` subclass with mutation callbacks.
+
+    ``on_append(item)`` is invoked after each ``append``/``extend`` element
+    (the common fast path), ``on_rebuild()`` after any other mutation.
+    Either callback may be ``None`` (no-op), which also keeps plain
+    construction — e.g. by ``copy`` protocols — working.
+    """
+
+    __slots__ = ("_on_append", "_on_rebuild")
+
+    def __init__(
+        self,
+        iterable: Iterable[T] = (),
+        on_append: Optional[Callable[[T], None]] = None,
+        on_rebuild: Optional[Callable[[], None]] = None,
+    ) -> None:
+        super().__init__(iterable)
+        self._on_append = on_append
+        self._on_rebuild = on_rebuild
+
+    # ------------------------------------------------------------------
+    # incremental path
+    # ------------------------------------------------------------------
+    def append(self, item: T) -> None:
+        super().append(item)
+        if self._on_append is not None:
+            self._on_append(item)
+
+    def extend(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.append(item)
+
+    def __iadd__(self, items: Iterable[T]) -> "ObservedList":
+        self.extend(items)
+        return self
+
+    # ------------------------------------------------------------------
+    # rebuild path (membership or order may have changed arbitrarily)
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        if self._on_rebuild is not None:
+            self._on_rebuild()
+
+    def insert(self, index: int, item: T) -> None:
+        super().insert(index, item)
+        self._rebuild()
+
+    def remove(self, item: T) -> None:
+        super().remove(item)
+        self._rebuild()
+
+    def pop(self, index: int = -1) -> T:
+        item = super().pop(index)
+        self._rebuild()
+        return item
+
+    def clear(self) -> None:
+        super().clear()
+        self._rebuild()
+
+    def sort(self, **kwargs) -> None:
+        super().sort(**kwargs)
+        self._rebuild()
+
+    def reverse(self) -> None:
+        super().reverse()
+        self._rebuild()
+
+    def __setitem__(self, index, value) -> None:
+        super().__setitem__(index, value)
+        self._rebuild()
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._rebuild()
+
+    def __imul__(self, count: int) -> "ObservedList":
+        result = super().__imul__(count)
+        self._rebuild()
+        return result
+
+    # ------------------------------------------------------------------
+    # owner-side raw access (index code updates contents and indices
+    # together, without re-entering the callbacks)
+    # ------------------------------------------------------------------
+    def replace_contents(self, items: Iterable[T]) -> None:
+        """Swap the list's contents without firing callbacks.
+
+        For owners that surgically update their indices alongside the
+        list (e.g. one-pass removals) and must not pay a full rebuild.
+        """
+        list.clear(self)
+        list.extend(self, items)

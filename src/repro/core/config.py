@@ -33,6 +33,14 @@ class NovaConfig:
     embedding: str = EMBEDDING_VIVALDI
     vivaldi: VivaldiConfig = field(default_factory=VivaldiConfig)
     median_solver: str = MEDIAN_WEISZFELD
+    # Phase II batching: missing virtual positions are solved as one
+    # masked (R, A, d) batch, chunked to median_batch_size problems so
+    # paper-scale runs bound their peak memory. Batches smaller than
+    # median_batch_min fall back to the scalar solvers (per-call numpy
+    # overhead only pays off past a handful of problems); batch size 0
+    # disables batching entirely.
+    median_batch_size: int = 4096
+    median_batch_min: int = 8
     sigma: Optional[float] = 0.4
     bandwidth_threshold: Optional[float] = None
     min_available_capacity: float = 0.0
@@ -57,6 +65,10 @@ class NovaConfig:
             raise ValueError(f"unknown embedding method {self.embedding!r}")
         if self.median_solver not in (MEDIAN_WEISZFELD, MEDIAN_GRADIENT, MEDIAN_MINIMAX):
             raise ValueError(f"unknown median solver {self.median_solver!r}")
+        if self.median_batch_size < 0:
+            raise ValueError("median_batch_size must be >= 0 (0 disables batching)")
+        if self.median_batch_min < 1:
+            raise ValueError("median_batch_min must be >= 1")
         if self.sigma is not None:
             check_fraction("sigma", self.sigma)
         if self.bandwidth_threshold is not None:

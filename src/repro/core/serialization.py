@@ -134,8 +134,10 @@ def session_summary(session: NovaSession) -> Dict:
         },
         "throughput": {
             "replicas_placed": session.timings.replicas_placed,
+            "medians_solved": session.timings.medians_solved,
             "cells_placed": session.timings.cells_placed,
             "knn_queries": session.timings.knn_queries,
+            "virtual_medians_per_s": session.timings.virtual_medians_per_s,
             "physical_cells_per_s": session.timings.physical_cells_per_s,
         },
         "nodes": nodes,

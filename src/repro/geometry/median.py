@@ -14,6 +14,18 @@ of Euclidean distances to its pinned endpoints — the geometric median
   objective ablation.
 
 All solvers accept optional per-anchor weights.
+
+Each solver also has a batched counterpart (:func:`weiszfeld_batch`,
+:func:`gradient_descent_median_batch`, :func:`minimax_point_batch`) that
+solves ``R`` independent problems in one masked ``(R, A, d)`` iteration.
+The paper's Eq. 6 median step is embarrassingly batchable: each replica's
+problem is tiny (typically 3 anchors), so solving them one at a time pays
+small-array numpy overhead thousands of times over. The batch variants
+keep per-problem state — convergence freezing, iteration counts, the
+anchor safeguard, snap-to-anchor — so their results match the scalar
+solvers anchor for anchor. Ragged anchor counts are expressed with a
+boolean ``mask``; padded slots must hold finite coordinates (their
+weights are forced to zero).
 """
 
 from __future__ import annotations
@@ -34,6 +46,24 @@ class MedianResult:
     objective: float
     iterations: int
     converged: bool
+
+
+@dataclass(frozen=True)
+class BatchMedianResult:
+    """Solutions of ``R`` independent geometric-median problems.
+
+    ``points`` is ``(R, d)``; ``objectives``, ``iterations``, and
+    ``converged`` hold one entry per problem, with the same semantics as
+    the scalar :class:`MedianResult` fields.
+    """
+
+    points: np.ndarray
+    objectives: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
 
 
 def _prepare(points: np.ndarray, weights: Optional[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
@@ -117,10 +147,15 @@ def _snap_to_better_anchor(
     that case at O(n) cost.
     """
     objective = median_objective(current, points, weights)
-    anchor_objectives = [median_objective(p, points, weights) for p in points]
+    # One pairwise-distance matrix gives every anchor's objective at once:
+    # objective(p_i) = sum_j w_j * ||p_i - p_j||.
+    pairwise = np.linalg.norm(points[:, None, :] - points[None, :, :], axis=2)
+    anchor_objectives = pairwise @ weights
     best = int(np.argmin(anchor_objectives))
     if anchor_objectives[best] < objective:
-        return MedianResult(points[best].copy(), anchor_objectives[best], iterations, True)
+        return MedianResult(
+            points[best].copy(), float(anchor_objectives[best]), iterations, True
+        )
     return MedianResult(current, objective, iterations, converged)
 
 
@@ -198,3 +233,291 @@ def minimax_point(
         previous_radius = radius
     distances = np.linalg.norm(points - current, axis=1)
     return MedianResult(current, float(distances.max()), max_iterations, False)
+
+
+# ----------------------------------------------------------------------
+# batched solvers
+# ----------------------------------------------------------------------
+def _prepare_batch(
+    points: np.ndarray,
+    weights: Optional[np.ndarray],
+    mask: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate a ``(R, A, d)`` problem batch; zero weights at padded slots."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 3 or points.shape[0] == 0 or points.shape[1] == 0:
+        raise OptimizationError("points must be a non-empty (R, A, d) array")
+    rows, anchors, _ = points.shape
+    if mask is None:
+        mask = np.ones((rows, anchors), dtype=bool)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (rows, anchors):
+            raise OptimizationError("mask must be (R, A), one flag per anchor slot")
+        if not mask.any(axis=1).all():
+            raise OptimizationError("every problem needs at least one valid anchor")
+    if weights is None:
+        weights = np.ones((rows, anchors))
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (rows, anchors):
+            raise OptimizationError("weights must be (R, A), one entry per anchor slot")
+        if np.any(weights[mask] < 0):
+            raise OptimizationError("weights must be non-negative")
+    weights = np.where(mask, weights, 0.0)
+    if np.any(weights.sum(axis=1) <= 0):
+        raise OptimizationError("each problem needs at least one positive weight")
+    return points, weights, mask
+
+
+def median_objective_batch(
+    point: np.ndarray,
+    points: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-problem weighted sum of distances: ``(R, d)`` points vs ``(R, A, d)`` anchors."""
+    points, weights, _ = _prepare_batch(points, weights, mask)
+    point = np.asarray(point, dtype=float)
+    distances = np.linalg.norm(points - point[:, None, :], axis=2)
+    return (weights * distances).sum(axis=1)
+
+
+def _masked_objectives(
+    current: np.ndarray, points: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Objectives of ``current`` rows (weights already zeroed off-mask)."""
+    distances = np.linalg.norm(points - current[:, None, :], axis=2)
+    return (weights * distances).sum(axis=1)
+
+
+def _masked_average(points: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Per-problem weighted anchor average (the common starting iterate)."""
+    return (weights[:, :, None] * points).sum(axis=1) / weights.sum(axis=1)[:, None]
+
+
+def _snap_to_better_anchor_batch(
+    current: np.ndarray,
+    points: np.ndarray,
+    weights: np.ndarray,
+    mask: np.ndarray,
+    iterations: np.ndarray,
+    converged: np.ndarray,
+) -> BatchMedianResult:
+    """Batched version of :func:`_snap_to_better_anchor`.
+
+    The ``(R, A, A)`` pairwise-distance tensor yields every anchor's
+    objective in one shot; padded slots carry zero weight and are masked
+    out of the argmin.
+    """
+    objectives = _masked_objectives(current, points, weights)
+    pairwise = np.linalg.norm(points[:, :, None, :] - points[:, None, :, :], axis=3)
+    anchor_objectives = (pairwise * weights[:, None, :]).sum(axis=2)
+    anchor_objectives = np.where(mask, anchor_objectives, np.inf)
+    best = anchor_objectives.argmin(axis=1)
+    rows = np.arange(points.shape[0])
+    best_objectives = anchor_objectives[rows, best]
+    snap = best_objectives < objectives
+    final_points = np.where(snap[:, None], points[rows, best], current)
+    final_objectives = np.where(snap, best_objectives, objectives)
+    return BatchMedianResult(
+        points=final_points,
+        objectives=final_objectives,
+        iterations=iterations,
+        converged=converged | snap,
+    )
+
+
+def weiszfeld_batch(
+    points: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    mask: Optional[np.ndarray] = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+) -> BatchMedianResult:
+    """Weiszfeld's algorithm over ``R`` problems simultaneously.
+
+    Mirrors :func:`weiszfeld` per problem: the same weighted-average
+    start, the same Vardi-Zhang safeguard when an iterate lands on an
+    anchor, the same shift tolerance, and the same final snap-to-anchor
+    comparison. Problems converge (and freeze) independently; each
+    iteration only touches the still-active rows.
+    """
+    points, weights, mask = _prepare_batch(points, weights, mask)
+    rows = points.shape[0]
+    counts = mask.sum(axis=1)
+    current = _masked_average(points, weights)
+    iterations = np.zeros(rows, dtype=int)
+    converged = np.zeros(rows, dtype=bool)
+    single = counts == 1
+    if single.any():
+        first = mask.argmax(axis=1)
+        current[single] = points[single, first[single]]
+        converged[single] = True
+    active = ~single
+    for iteration in range(1, max_iterations + 1):
+        if not active.any():
+            break
+        idx = np.nonzero(active)[0]
+        pts, w, m, cur = points[idx], weights[idx], mask[idx], current[idx]
+        deltas = pts - cur[:, None, :]
+        distances = np.where(m, np.linalg.norm(deltas, axis=2), 1.0)
+        at_anchor = m & (distances < 1e-12)
+        any_anchor = at_anchor.any(axis=1)
+        iterations[idx] = iteration
+        new_cur = cur.copy()
+        done = np.zeros(len(idx), dtype=bool)
+
+        anchored = np.nonzero(any_anchor)[0]
+        if len(anchored):
+            # Vardi-Zhang safeguard: test the subgradient condition at the
+            # first coincident anchor; step off it when it fails.
+            anchor_slot = at_anchor[anchored].argmax(axis=1)
+            others = m[anchored] & ~at_anchor[anchored]
+            # Coincident slots divide by ~0; they carry zero weight, so give
+            # them a harmless denominator instead of producing 0 * inf.
+            dist_a = np.where(others, distances[anchored], 1.0)
+            w_a = np.where(others, w[anchored], 0.0)
+            directions = deltas[anchored] / dist_a[:, :, None]
+            pull = (w_a[:, :, None] * directions).sum(axis=1)
+            pull_norm = np.linalg.norm(pull, axis=1)
+            anchor_weight = w[anchored, anchor_slot]
+            finish = ~others.any(axis=1) | (pull_norm <= anchor_weight + 1e-12)
+            denominator = (w_a / dist_a).sum(axis=1)
+            step = (pull_norm - anchor_weight) / np.where(denominator > 0, denominator, 1.0)
+            moved = cur[anchored] + (
+                step / np.maximum(pull_norm, 1e-300)
+            )[:, None] * pull
+            new_cur[anchored] = np.where(finish[:, None], cur[anchored], moved)
+            done[anchored] = finish
+
+        smooth = np.nonzero(~any_anchor)[0]
+        if len(smooth):
+            inverse = np.where(m[smooth], w[smooth] / distances[smooth], 0.0)
+            updated = (inverse[:, :, None] * pts[smooth]).sum(axis=1)
+            updated /= inverse.sum(axis=1)[:, None]
+            done[smooth] = np.linalg.norm(updated - cur[smooth], axis=1) < tolerance
+            new_cur[smooth] = updated
+
+        current[idx] = new_cur
+        converged[idx] |= done
+        active[idx[done]] = False
+    return _snap_to_better_anchor_batch(
+        current, points, weights, mask, iterations, converged
+    )
+
+
+def gradient_descent_median_batch(
+    points: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    mask: Optional[np.ndarray] = None,
+    max_iterations: int = 500,
+    learning_rate: float = 0.5,
+    tolerance: float = 1e-9,
+) -> BatchMedianResult:
+    """(Sub)gradient descent over ``R`` problems simultaneously.
+
+    Per-problem step sizes follow the scalar schedule exactly: a step
+    that worsens the objective is rejected and halves the step, and each
+    problem freezes once its step (or gradient) vanishes.
+    """
+    points, weights, mask = _prepare_batch(points, weights, mask)
+    rows = points.shape[0]
+    counts = mask.sum(axis=1)
+    current = _masked_average(points, weights)
+    iterations = np.zeros(rows, dtype=int)
+    converged = counts == 1
+    if converged.any():
+        first = mask.argmax(axis=1)
+        current[converged] = points[converged, first[converged]]
+    upper = np.where(mask[:, :, None], points, -np.inf).max(axis=1)
+    lower = np.where(mask[:, :, None], points, np.inf).min(axis=1)
+    scale = np.linalg.norm(upper - lower, axis=1)
+    scale = np.where(scale > 0, scale, 1.0)
+    step = learning_rate * scale / 10.0
+    epsilon = 1e-12
+    active = ~converged
+    objectives = _masked_objectives(current, points, weights)
+    for iteration in range(1, max_iterations + 1):
+        if not active.any():
+            break
+        idx = np.nonzero(active)[0]
+        pts, w, cur = points[idx], weights[idx], current[idx]
+        deltas = cur[:, None, :] - pts
+        distances = np.sqrt((deltas**2).sum(axis=2) + epsilon)
+        gradient = ((w / distances)[:, :, None] * deltas).sum(axis=1)
+        gradient_norm = np.linalg.norm(gradient, axis=1)
+        iterations[idx] = iteration
+        flat = gradient_norm < 1e-12
+        updated = cur - (step[idx] / np.maximum(gradient_norm, 1e-12))[:, None] * gradient
+        candidate_objectives = _masked_objectives(updated, pts, w)
+        worse = candidate_objectives > objectives[idx]
+        accept = ~flat & ~worse
+        current[idx] = np.where(accept[:, None], updated, cur)
+        objectives[idx] = np.where(accept, candidate_objectives, objectives[idx])
+        step[idx] = np.where(~flat & worse, step[idx] * 0.5, step[idx])
+        done = flat | (step[idx] < tolerance * scale[idx])
+        converged[idx] |= done
+        active[idx[done]] = False
+    return BatchMedianResult(
+        points=current,
+        objectives=_masked_objectives(current, points, weights),
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def minimax_point_batch(
+    points: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    max_iterations: int = 500,
+    tolerance: float = 1e-9,
+) -> BatchMedianResult:
+    """Badoiu-Clarkson smallest-enclosing-ball centers for ``R`` problems.
+
+    As in the scalar solver, the objective reported for a converged
+    problem is the max-distance radius measured just before its final
+    1/(k+1) step toward the farthest anchor.
+    """
+    points, weights, mask = _prepare_batch(points, None, mask)
+    rows = points.shape[0]
+    counts = mask.sum(axis=1)
+    current = _masked_average(points, weights)
+    iterations = np.zeros(rows, dtype=int)
+    converged = counts == 1
+    if converged.any():
+        first = mask.argmax(axis=1)
+        current[converged] = points[converged, first[converged]]
+    objectives = np.zeros(rows)
+    previous_radius = np.full(rows, np.inf)
+    active = ~converged
+    for iteration in range(1, max_iterations + 1):
+        if not active.any():
+            break
+        idx = np.nonzero(active)[0]
+        pts, cur = points[idx], current[idx]
+        distances = np.where(mask[idx], np.linalg.norm(pts - cur[:, None, :], axis=2), -np.inf)
+        farthest = distances.argmax(axis=1)
+        local = np.arange(len(idx))
+        radius = distances[local, farthest]
+        current[idx] = cur + (pts[local, farthest] - cur) / (iteration + 1.0)
+        iterations[idx] = iteration
+        objectives[idx] = radius
+        done = np.abs(previous_radius[idx] - radius) < tolerance
+        previous_radius[idx] = radius
+        converged[idx] |= done
+        active[idx[done]] = False
+    exhausted = np.nonzero(active)[0]
+    if len(exhausted):
+        distances = np.where(
+            mask[exhausted],
+            np.linalg.norm(points[exhausted] - current[exhausted][:, None, :], axis=2),
+            -np.inf,
+        )
+        objectives[exhausted] = distances.max(axis=1)
+    return BatchMedianResult(
+        points=current,
+        objectives=objectives,
+        iterations=iterations,
+        converged=converged,
+    )

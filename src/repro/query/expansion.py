@@ -12,9 +12,10 @@ into per-replica geometric-median problems.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from repro.common.errors import JoinMatrixError, PlanError
+from repro.common.indexed import ObservedList
 from repro.query.join_matrix import JoinMatrix
 from repro.query.plan import LogicalPlan
 
@@ -51,30 +52,119 @@ class JoinPairReplica:
 
 @dataclass
 class ResolvedPlan:
-    """The intermediate parallelized logical plan Omega'_log."""
+    """The intermediate parallelized logical plan Omega'_log.
+
+    Replicas are indexed by id, by feeding source, by pinned node, and by
+    logical join, so the re-optimizer's event handlers (rate changes,
+    node removals, coordinate drift) touch only the affected replicas
+    instead of rescanning the full list. ``replicas`` remains a plain
+    list attribute — appends and reassignment by existing callers keep
+    the indices fresh automatically.
+    """
 
     plan: LogicalPlan
     replicas: List[JoinPairReplica]
     matrix: JoinMatrix
 
+    def __setattr__(self, name: str, value) -> None:
+        if name == "replicas":
+            value = ObservedList(value, on_append=self._index_add, on_rebuild=self._reindex)
+            object.__setattr__(self, name, value)
+            self._reindex()
+        else:
+            object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+    def _reindex(self) -> None:
+        """Rebuild the id/source/node/join indices from the replica list."""
+        object.__setattr__(self, "_by_id", {})
+        object.__setattr__(self, "_by_source", {})
+        object.__setattr__(self, "_by_node", {})
+        object.__setattr__(self, "_by_join", {})
+        object.__setattr__(self, "_pos", {})
+        for position, replica in enumerate(self.replicas):
+            self._index_add(replica)
+            self._pos[replica.replica_id] = position
+
+    def _index_add(self, replica: JoinPairReplica) -> None:
+        self._by_id[replica.replica_id] = replica
+        self._pos[replica.replica_id] = len(self.replicas) - 1
+        for source_id in {replica.left_source, replica.right_source}:
+            self._by_source.setdefault(source_id, []).append(replica.replica_id)
+        for node_id in set(replica.pinned_nodes):
+            self._by_node.setdefault(node_id, []).append(replica.replica_id)
+        self._by_join.setdefault(replica.join_id, []).append(replica.replica_id)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, replica_id: object) -> bool:
+        return replica_id in self._by_id
+
     def replicas_of_join(self, join_id: str) -> List[JoinPairReplica]:
         """All pair replicas created for a logical join."""
-        return [r for r in self.replicas if r.join_id == join_id]
+        by_id = self._by_id
+        return [by_id[rid] for rid in self._by_join.get(join_id, ())]
 
     def replicas_of_source(self, source_id: str) -> List[JoinPairReplica]:
         """All pair replicas fed by a physical source."""
-        return [
-            r
-            for r in self.replicas
-            if r.left_source == source_id or r.right_source == source_id
-        ]
+        by_id = self._by_id
+        return [by_id[rid] for rid in self._by_source.get(source_id, ())]
+
+    def replicas_of_node(self, node_id: str) -> List[JoinPairReplica]:
+        """All pair replicas with an endpoint pinned to a node."""
+        by_id = self._by_id
+        return [by_id[rid] for rid in self._by_node.get(node_id, ())]
 
     def replica(self, replica_id: str) -> JoinPairReplica:
         """Look up one replica by id."""
-        for candidate in self.replicas:
-            if candidate.replica_id == replica_id:
-                return candidate
-        raise PlanError(f"unknown replica {replica_id!r}")
+        try:
+            return self._by_id[replica_id]
+        except KeyError:
+            raise PlanError(f"unknown replica {replica_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, replica: JoinPairReplica) -> None:
+        """Register a newly created replica (e.g. a joining source's pair)."""
+        if replica.replica_id in self._by_id:
+            raise PlanError(f"replica {replica.replica_id!r} already resolved")
+        self.replicas.append(replica)
+
+    def discard(self, replica_ids: Iterable[str]) -> None:
+        """Forget the given replicas (one pass; unknown ids are ignored)."""
+        dead: Set[str] = set(replica_ids)
+        if not dead:
+            return
+        self.replicas.replace_contents(
+            [r for r in self.replicas if r.replica_id not in dead]
+        )
+        self._reindex()
+
+    def replace(self, replica: JoinPairReplica) -> None:
+        """Swap a replica for a rebuilt descriptor with the same id.
+
+        The common case — same endpoints, updated rates (a data-rate
+        change) — is O(1): it swaps the list slot and the id map entry. A
+        replacement that re-keys sources, nodes, or join falls back to a
+        full reindex.
+        """
+        replica_id = replica.replica_id
+        old = self.replica(replica_id)
+        list.__setitem__(self.replicas, self._pos[replica_id], replica)
+        same_keys = (
+            old.left_source == replica.left_source
+            and old.right_source == replica.right_source
+            and old.pinned_nodes == replica.pinned_nodes
+            and old.join_id == replica.join_id
+        )
+        if same_keys:
+            self._by_id[replica_id] = replica
+        else:
+            self._reindex()
 
 
 def replica_id_for(join_id: str, left_source: str, right_source: str) -> str:

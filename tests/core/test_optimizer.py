@@ -76,6 +76,39 @@ class TestMedianSolvers:
         assert session.placement.replica_count() >= 4
 
 
+class TestBatchedVirtualPlacement:
+    @pytest.mark.parametrize(
+        "solver", [NovaConfig().median_solver, MEDIAN_GRADIENT, MEDIAN_MINIMAX]
+    )
+    def test_batched_positions_match_scalar_path(self, solver):
+        """The batched Phase II engine and the per-replica scalar path
+        (median_batch_size=0) must agree on every virtual position."""
+        workload = synthetic_opp_workload(120, seed=21)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+
+        def run(**overrides):
+            return Nova(
+                NovaConfig(seed=21, median_solver=solver, median_batch_min=1, **overrides)
+            ).optimize(workload.topology, workload.plan, workload.matrix, latency=latency)
+
+        batched = run().placement.virtual_positions
+        scalar = run(median_batch_size=0).placement.virtual_positions
+        assert batched.keys() == scalar.keys()
+        for replica_id, position in batched.items():
+            assert np.linalg.norm(position - scalar[replica_id]) < 1e-6, replica_id
+
+    def test_small_chunks_cover_all_replicas(self):
+        """Chunked batching (batch size smaller than the replica count)
+        still solves every median exactly once."""
+        workload = synthetic_opp_workload(100, seed=8)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(
+            NovaConfig(seed=8, median_batch_size=3, median_batch_min=1)
+        ).optimize(workload.topology, workload.plan, workload.matrix, latency=latency)
+        assert session.timings.medians_solved == workload.matrix.num_pairs()
+        assert len(session.placement.virtual_positions) == workload.matrix.num_pairs()
+
+
 class TestSyntheticWorkload:
     def test_zero_overload_at_default_capacity(self):
         workload = synthetic_opp_workload(200, seed=7)
@@ -158,11 +191,13 @@ class TestPhaseThroughput:
         )
         timings = session.timings
         assert timings.replicas_placed == workload.matrix.num_pairs()
+        assert timings.medians_solved == workload.matrix.num_pairs()
         assert timings.cells_placed == len(session.placement.sub_replicas)
         # The batched query path issues far fewer searches than cells.
         assert 0 < timings.knn_queries <= timings.cells_placed
         assert timings.physical_s > 0 and timings.virtual_s > 0
         assert timings.physical_cells_per_s > 0
+        assert timings.virtual_medians_per_s > 0
         assert timings.replicas_per_s > 0
         assert timings.total_s == pytest.approx(
             timings.cost_space_s + timings.resolve_s

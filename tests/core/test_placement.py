@@ -74,3 +74,102 @@ class TestPlacement:
         removed = placement.remove_subs_on_node("a")
         assert len(removed) == 1
         assert placement.nodes_used() == ["b"]
+
+
+def assert_indices_consistent(placement):
+    """Every indexed view must equal a brute-force recomputation."""
+    subs = list(placement.sub_replicas)
+    assert placement.nodes_used() == sorted({s.node_id for s in subs})
+    expected_loads = {}
+    for s in subs:
+        expected_loads[s.node_id] = expected_loads.get(s.node_id, 0.0) + s.charged_capacity
+    loads = placement.node_loads()
+    assert loads.keys() == expected_loads.keys()
+    for node_id, load in expected_loads.items():
+        assert loads[node_id] == pytest.approx(load)
+    for node_id in {s.node_id for s in subs}:
+        assert placement.subs_on_node(node_id) == [s for s in subs if s.node_id == node_id]
+    for replica_id in {s.replica_id for s in subs}:
+        assert placement.subs_of_replica(replica_id) == [
+            s for s in subs if s.replica_id == replica_id
+        ]
+    for join_id in {s.join_id for s in subs}:
+        assert placement.subs_of_join(join_id) == [s for s in subs if s.join_id == join_id]
+    assert placement.merge_counts() == {
+        node_id: sum(1 for s in subs if s.node_id == node_id)
+        for node_id in {s.node_id for s in subs}
+    }
+    assert placement.subs_on_node("no-such-node") == []
+    assert placement.subs_of_replica("no-such-replica") == []
+
+
+class TestIndexConsistency:
+    """The maintained indices must track every mutation path."""
+
+    def test_random_mutation_sequence(self):
+        import random
+
+        rng = random.Random(29)
+        placement = Placement()
+        counter = 0
+        for step in range(120):
+            action = rng.random()
+            if action < 0.6 or placement.replica_count() == 0:
+                batch = [
+                    sub(
+                        sub_id=f"s{counter + i}",
+                        replica=f"r{rng.randrange(6)}",
+                        node=f"n{rng.randrange(4)}",
+                        left=float(rng.randrange(1, 20)),
+                        right=float(rng.randrange(1, 20)),
+                    )
+                    for i in range(rng.randrange(1, 4))
+                ]
+                counter += len(batch)
+                placement.extend(batch)
+            elif action < 0.8:
+                placement.remove_replica(f"r{rng.randrange(6)}")
+            else:
+                placement.remove_subs_on_node(f"n{rng.randrange(4)}")
+            assert_indices_consistent(placement)
+
+    def test_direct_append_keeps_indices_fresh(self):
+        """Baselines and serialization append to the raw list."""
+        placement = Placement()
+        placement.sub_replicas.append(sub())
+        placement.sub_replicas.append(sub(sub_id="r1/0x1", node="n2"))
+        assert placement.subs_on_node("n2")
+        assert placement.node_loads() == {"n1": 30.0, "n2": 30.0}
+        assert_indices_consistent(placement)
+
+    def test_reassignment_rebuilds_indices(self):
+        """tests and callers may replace the list wholesale."""
+        placement = Placement()
+        placement.extend([sub(), sub(sub_id="x", node="b")])
+        placement.sub_replicas = [sub(sub_id="y", replica="r9", node="c")]
+        assert placement.nodes_used() == ["c"]
+        assert placement.subs_of_replica("r1") == []
+        assert_indices_consistent(placement)
+
+    def test_in_place_list_mutations_rebuild(self):
+        placement = Placement()
+        placement.extend([sub(), sub(sub_id="x", replica="r2", node="b")])
+        placement.sub_replicas.pop()
+        assert placement.nodes_used() == ["n1"]
+        assert_indices_consistent(placement)
+        placement.sub_replicas.clear()
+        assert placement.nodes_used() == []
+        assert placement.node_loads() == {}
+        assert_indices_consistent(placement)
+
+    def test_constructor_with_existing_subs_indexes(self):
+        placement = Placement(sub_replicas=[sub(), sub(sub_id="x", node="b")])
+        assert placement.nodes_used() == ["b", "n1"]
+        assert_indices_consistent(placement)
+
+    def test_remove_missing_is_noop(self):
+        placement = Placement()
+        placement.extend([sub()])
+        assert placement.remove_replica("ghost") == []
+        assert placement.remove_subs_on_node("ghost") == []
+        assert_indices_consistent(placement)

@@ -8,9 +8,13 @@ from hypothesis import strategies as st
 from repro.common.errors import OptimizationError
 from repro.geometry.median import (
     gradient_descent_median,
+    gradient_descent_median_batch,
     median_objective,
+    median_objective_batch,
     minimax_point,
+    minimax_point_batch,
     weiszfeld,
+    weiszfeld_batch,
 )
 
 coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
@@ -111,6 +115,165 @@ class TestObjective:
     def test_weighted(self):
         points = np.array([[0.0, 0.0], [1.0, 0.0]])
         assert median_objective([0.0, 0.0], points, np.array([1.0, 3.0])) == pytest.approx(3.0)
+
+
+def pad_batch(problems, weight_lists=None):
+    """Pack ragged per-problem anchor arrays into (R, A_max, d) + mask."""
+    rows = len(problems)
+    a_max = max(p.shape[0] for p in problems)
+    dims = problems[0].shape[1]
+    points = np.zeros((rows, a_max, dims))
+    mask = np.zeros((rows, a_max), dtype=bool)
+    weights = np.zeros((rows, a_max)) if weight_lists is not None else None
+    for i, p in enumerate(problems):
+        points[i, : p.shape[0]] = p
+        mask[i, : p.shape[0]] = True
+        if weight_lists is not None:
+            weights[i, : p.shape[0]] = weight_lists[i]
+    return points, weights, mask
+
+
+BATCH_SOLVERS = {
+    "weiszfeld": (weiszfeld, weiszfeld_batch, True),
+    "gradient": (gradient_descent_median, gradient_descent_median_batch, True),
+    "minimax": (minimax_point, minimax_point_batch, False),
+}
+
+
+def assert_batch_parity(problems, solver_name, weight_lists=None, tolerance=1e-6):
+    """Batched results must match scalar per-problem solves within 1e-6.
+
+    Point agreement is asserted where both solves converged; a problem
+    that exhausts its iteration budget yields an approximation on both
+    paths (knife-edge accept/reject steps may diverge in the last ulps),
+    so there the batch point must merely be exactly as good — its scalar
+    objective must match the reference objective within tolerance.
+    """
+    scalar, batch, takes_weights = BATCH_SOLVERS[solver_name]
+    points, weights, mask = pad_batch(problems, weight_lists)
+    if takes_weights:
+        result = batch(points, weights=weights, mask=mask)
+    else:
+        result = batch(points, mask=mask)
+    for i, anchors in enumerate(problems):
+        problem_weights = None
+        if takes_weights and weight_lists is not None:
+            problem_weights = np.asarray(weight_lists[i], dtype=float)
+            reference = scalar(anchors, problem_weights)
+        else:
+            reference = scalar(anchors)
+        assert result.objectives[i] == pytest.approx(
+            reference.objective, abs=tolerance, rel=tolerance
+        ), f"{solver_name} objective mismatch on problem {i}"
+        if reference.converged and result.converged[i]:
+            assert np.linalg.norm(result.points[i] - reference.point) < tolerance, (
+                f"{solver_name} point mismatch on problem {i}: "
+                f"{result.points[i]} vs {reference.point}"
+            )
+        elif solver_name != "minimax":
+            achieved = median_objective(result.points[i], anchors, problem_weights)
+            assert achieved == pytest.approx(
+                reference.objective, abs=tolerance, rel=tolerance
+            ), f"{solver_name} point quality mismatch on problem {i}"
+
+
+class TestBatchParity:
+    """Property-style parity of the batched solvers vs the scalar ones."""
+
+    @pytest.mark.parametrize("solver", sorted(BATCH_SOLVERS))
+    @pytest.mark.parametrize("anchors", range(1, 9))
+    def test_uniform_anchor_counts(self, solver, anchors):
+        rng = np.random.default_rng(anchors * 101)
+        problems = [rng.uniform(-80, 80, (anchors, 2)) for _ in range(25)]
+        assert_batch_parity(problems, solver)
+
+    @pytest.mark.parametrize("solver", ["weiszfeld", "gradient"])
+    def test_weighted_ragged_batch(self, solver):
+        rng = np.random.default_rng(7)
+        problems, weight_lists = [], []
+        for count in list(range(1, 9)) * 4:
+            problems.append(rng.uniform(-50, 50, (count, 2)))
+            weight_lists.append(rng.uniform(0.1, 5.0, count))
+        assert_batch_parity(problems, solver, weight_lists)
+
+    @pytest.mark.parametrize("solver", sorted(BATCH_SOLVERS))
+    def test_coincident_anchors(self, solver):
+        """Duplicated anchors exercise the at-anchor safeguard in batch."""
+        rng = np.random.default_rng(11)
+        problems = []
+        for count in range(2, 9):
+            anchors = rng.uniform(-20, 20, (count, 2))
+            anchors[1] = anchors[0]  # one duplicated pair
+            problems.append(anchors)
+        problems.append(np.zeros((5, 2)))  # all anchors coincide
+        # The 5-point star whose mean IS an anchor (safeguard start).
+        problems.append(
+            np.array([[0.0, 0.0], [4.0, 0.0], [-4.0, 0.0], [0.0, 8.0], [0.0, -8.0]])
+        )
+        assert_batch_parity(problems, solver)
+
+    @pytest.mark.parametrize("solver", sorted(BATCH_SOLVERS))
+    def test_collinear_anchors(self, solver):
+        """Odd collinear sets have a unique median (the middle anchor)."""
+        rng = np.random.default_rng(13)
+        problems = []
+        for count in (3, 5, 7):
+            xs = rng.uniform(-50, 50, count)
+            problems.append(np.column_stack([xs, np.zeros(count)]))
+        assert_batch_parity(problems, solver)
+
+    def test_flat_optimum_ties_stay_optimal(self):
+        """Even collinear sets have a whole optimal segment; scalar and
+        batch may pick different points on it, but both must be optimal."""
+        rng = np.random.default_rng(17)
+        problems = []
+        for count in (2, 4, 6, 8):
+            xs = rng.uniform(-50, 50, count)
+            problems.append(np.column_stack([xs, np.zeros(count)]))
+        points, _, mask = pad_batch(problems)
+        result = weiszfeld_batch(points, mask=mask)
+        for i, anchors in enumerate(problems):
+            reference = weiszfeld(anchors)
+            assert result.objectives[i] == pytest.approx(reference.objective, abs=1e-6)
+            # The batch point evaluated by the scalar objective is as good.
+            assert median_objective(result.points[i], anchors) == pytest.approx(
+                reference.objective, abs=1e-6
+            )
+
+    def test_weighted_majority_anchor_dominates_in_batch(self):
+        points = np.array([[[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]]])
+        weights = np.array([[10.0, 1.0, 1.0]])
+        result = weiszfeld_batch(points, weights=weights)
+        assert np.allclose(result.points[0], [0.0, 0.0], atol=1e-6)
+
+    def test_convergence_metadata_matches_scalar(self):
+        rng = np.random.default_rng(19)
+        problems = [rng.uniform(-30, 30, (3, 2)) for _ in range(10)]
+        points, _, mask = pad_batch(problems)
+        result = weiszfeld_batch(points, mask=mask)
+        for i, anchors in enumerate(problems):
+            reference = weiszfeld(anchors)
+            assert bool(result.converged[i]) == reference.converged
+            assert int(result.iterations[i]) == reference.iterations
+
+    def test_batch_validation(self):
+        with pytest.raises(OptimizationError):
+            weiszfeld_batch(np.zeros((0, 3, 2)))
+        with pytest.raises(OptimizationError):
+            weiszfeld_batch(np.zeros((2, 3, 2)), mask=np.zeros((2, 3), dtype=bool))
+        with pytest.raises(OptimizationError):
+            weiszfeld_batch(np.zeros((1, 2, 2)), weights=np.array([[-1.0, 1.0]]))
+        with pytest.raises(OptimizationError):
+            weiszfeld_batch(np.zeros((1, 2, 2)), weights=np.array([[0.0, 0.0]]))
+
+    def test_objective_batch_matches_scalar(self):
+        rng = np.random.default_rng(23)
+        problems = [rng.uniform(-10, 10, (c, 2)) for c in (1, 3, 5)]
+        points, _, mask = pad_batch(problems)
+        query = rng.uniform(-10, 10, (3, 2))
+        batched = median_objective_batch(query, points, mask=mask)
+        for i, anchors in enumerate(problems):
+            assert batched[i] == pytest.approx(median_objective(query[i], anchors))
 
 
 @given(point_lists)

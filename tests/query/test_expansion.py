@@ -92,3 +92,102 @@ class TestResolvedPlanViews:
         assert resolved.replica(rid).left_source == "t1"
         with pytest.raises(PlanError):
             resolved.replica("nope")
+
+    def test_replicas_of_node(self):
+        plan = build_plan()
+        matrix = JoinMatrix.dense(["t1", "t2"], ["w1"])
+        resolved = resolve_operators(plan, matrix)
+        assert len(resolved.replicas_of_node("nsink")) == 2
+        assert len(resolved.replicas_of_node("nt1")) == 1
+        assert len(resolved.replicas_of_node("nw1")) == 2
+        assert resolved.replicas_of_node("ghost") == []
+
+
+class TestResolvedPlanIndexMaintenance:
+    def build_resolved(self):
+        plan = build_plan()
+        matrix = JoinMatrix.dense(["t1", "t2"], ["w1"])
+        return resolve_operators(plan, matrix)
+
+    def assert_indices_consistent(self, resolved):
+        replicas = list(resolved.replicas)
+        for replica in replicas:
+            assert resolved.replica(replica.replica_id) is replica
+            assert replica.replica_id in resolved
+        for source_id in {r.left_source for r in replicas} | {
+            r.right_source for r in replicas
+        }:
+            assert resolved.replicas_of_source(source_id) == [
+                r
+                for r in replicas
+                if source_id in (r.left_source, r.right_source)
+            ]
+        for node_id in {n for r in replicas for n in r.pinned_nodes}:
+            assert resolved.replicas_of_node(node_id) == [
+                r for r in replicas if node_id in r.pinned_nodes
+            ]
+        for join_id in {r.join_id for r in replicas}:
+            assert resolved.replicas_of_join(join_id) == [
+                r for r in replicas if r.join_id == join_id
+            ]
+
+    def test_add_and_duplicate_rejected(self):
+        from dataclasses import replace
+
+        resolved = self.build_resolved()
+        template = resolved.replicas[0]
+        extra = replace(
+            template, replica_id=replica_id_for("join", "t9", "w1"), left_source="t9"
+        )
+        resolved.add(extra)
+        assert resolved.replica(extra.replica_id) is extra
+        self.assert_indices_consistent(resolved)
+        with pytest.raises(PlanError, match="already resolved"):
+            resolved.add(extra)
+
+    def test_discard(self):
+        resolved = self.build_resolved()
+        rid = replica_id_for("join", "t1", "w1")
+        resolved.discard({rid, "unknown-id"})
+        assert rid not in resolved
+        assert len(resolved.replicas) == 1
+        self.assert_indices_consistent(resolved)
+
+    def test_replace_same_keys_is_surgical(self):
+        from dataclasses import replace
+
+        resolved = self.build_resolved()
+        rid = replica_id_for("join", "t1", "w1")
+        rebuilt = replace(resolved.replica(rid), left_rate=99.0)
+        resolved.replace(rebuilt)
+        assert resolved.replica(rid).left_rate == 99.0
+        # The flat list slot was swapped too, not just the id map.
+        assert sum(1 for r in resolved.replicas if r.replica_id == rid) == 1
+        assert next(r for r in resolved.replicas if r.replica_id == rid) is rebuilt
+        self.assert_indices_consistent(resolved)
+
+    def test_replace_rekeying_reindexes(self):
+        from dataclasses import replace
+
+        resolved = self.build_resolved()
+        rid = replica_id_for("join", "t1", "w1")
+        rebuilt = replace(resolved.replica(rid), left_node="moved")
+        resolved.replace(rebuilt)
+        assert resolved.replicas_of_node("moved") == [rebuilt]
+        assert resolved.replicas_of_node("nt1") == []
+        self.assert_indices_consistent(resolved)
+
+    def test_raw_append_and_reassignment(self):
+        from dataclasses import replace
+
+        resolved = self.build_resolved()
+        template = resolved.replicas[0]
+        extra = replace(
+            template, replica_id=replica_id_for("join", "t7", "w1"), left_source="t7"
+        )
+        resolved.replicas.append(extra)
+        assert extra.replica_id in resolved
+        self.assert_indices_consistent(resolved)
+        resolved.replicas = [template]
+        assert extra.replica_id not in resolved
+        self.assert_indices_consistent(resolved)
