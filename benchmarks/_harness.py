@@ -116,9 +116,12 @@ def phase_rows(timings) -> List[List[object]]:
 
     Columns: phase, seconds, work done, throughput. Makes the Phase II
     median-solve rate (medians/s), the Phase III packing rate (cells/s),
-    and the batched k-NN query count visible, so scalability regressions
-    show up as a falling rate rather than a bare total.
+    the batched k-NN query count, and the packing engine's shared-ring
+    cache hit rate (plus worker/batch counters when lease-parallel
+    packing ran) visible, so scalability regressions show up as a
+    falling rate rather than a bare total.
     """
+    cache_lookups = timings.cursor_cache_hits + timings.cursor_cache_misses
     rows: List[List[object]] = [
         ["phase I (cost space)", timings.cost_space_s, "", ""],
         ["plan resolution", timings.resolve_s, "", ""],
@@ -135,13 +138,32 @@ def phase_rows(timings) -> List[List[object]]:
             f"{timings.physical_cells_per_s:,.0f} cells/s",
         ],
         [
-            "placement (II+III)",
-            timings.virtual_s + timings.physical_s,
-            f"{timings.replicas_placed} replicas",
-            f"{timings.replicas_per_s:,.0f} replicas/s",
+            "phase III cursor cache",
+            "",
+            f"{timings.cursor_cache_hits}/{cache_lookups} ring lookups",
+            f"{timings.cursor_cache_hit_rate:.0%} hit rate",
         ],
-        ["total", timings.total_s, "", ""],
     ]
+    if timings.packing_workers_used:
+        rows.append(
+            [
+                "phase III workers",
+                "",
+                f"{timings.packing_batches} batches, {timings.packing_deferred} deferred",
+                f"{timings.packing_workers_used} workers",
+            ]
+        )
+    rows.extend(
+        [
+            [
+                "placement (II+III)",
+                timings.virtual_s + timings.physical_s,
+                f"{timings.replicas_placed} replicas",
+                f"{timings.replicas_per_s:,.0f} replicas/s",
+            ],
+            ["total", timings.total_s, "", ""],
+        ]
+    )
     return rows
 
 

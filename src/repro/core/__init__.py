@@ -22,6 +22,7 @@ from repro.core.cost_model import (
 )
 from repro.core.cost_space import AvailabilityLedger, CostSpace
 from repro.core.optimizer import Nova, NovaSession, PhaseTimings
+from repro.core.packing import PackingEngine, PackingStats
 from repro.core.partitioning import (
     PartitioningPlan,
     derive_sigma,
@@ -56,6 +57,8 @@ __all__ = [
     "Nova",
     "NovaConfig",
     "NovaSession",
+    "PackingEngine",
+    "PackingStats",
     "PartitioningPlan",
     "PhaseTimings",
     "Placement",

@@ -1,4 +1,4 @@
-"""Phase III: physical replica assignment.
+"""Phase III: physical replica assignment (compatibility facade).
 
 Maps each join pair replica onto physical nodes: partition its input
 streams (Eq. 7), then walk the partition grid cell by cell, placing each
@@ -7,115 +7,28 @@ virtual position) with enough available capacity. When no node can host a
 cell, Nova spreads the remainder evenly over the nearest candidates,
 accepting overload (Section 3.4).
 
-Three properties keep this near-linear and tight:
-
-* **Partition-aware host index.** The ledger keys every used node by the
-  L/R partitions it already receives, so "a node already receiving both
-  partitions" (step 1) and "a node sharing one partition with room for
-  the rest" (step 2) are answered from small per-partition receiver lists
-  instead of scanning every used node per cell; a lazy capacity heap
-  covers the residual case of a used node sharing nothing but having room.
-* **Batched neighbourhood queries.** Fresh hosts (step 3) come from a
-  :class:`~repro.core.cost_space.NeighborhoodCursor`: one over-fetched
-  capacity-filtered k-NN query serves many consecutive cells, so a replica
-  issues a handful of index searches instead of one per cell.
-* **Merged accounting.** Sub-replicas of the same pair on one node share
-  partition streams: a partition already delivered for a sibling is
-  received (and processed) once, so the marginal demand of cell (i, j)
-  excludes shared partitions — this is what lets the running example pack
-  625 sub-joins onto two fog nodes of capacity 40.
+The actual machinery — the partition-aware host index, the shared
+threshold-bucketed cursor cache, and the lease-parallel batch path —
+lives in :mod:`repro.core.packing`; sessions hold a long-lived
+:class:`~repro.core.packing.PackingEngine` so neighbourhood rings are
+reused across replicas. This module keeps the historical one-shot entry
+point: :func:`place_replica` spins up a throwaway engine per call, which
+preserves the old signature for tests and external callers at the cost
+of the cross-replica cache.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
-from typing import Dict, List, MutableMapping, Optional, Sequence, Set, Tuple
+from typing import MutableMapping
 
 import numpy as np
 
-from repro.common.errors import InfeasiblePlacementError
 from repro.core.config import NovaConfig
-from repro.core.cost_space import AvailabilityLedger, CostSpace, NeighborhoodCursor
-from repro.core.partitioning import PartitioningPlan, plan_partitions
-from repro.core.placement import SubReplicaPlacement
+from repro.core.cost_space import CostSpace
+from repro.core.packing import AssignmentOutcome, PackingEngine
 from repro.query.expansion import JoinPairReplica
 
-
-@dataclass
-class AssignmentOutcome:
-    """Result of placing one join pair replica."""
-
-    subs: List[SubReplicaPlacement]
-    partitioning: PartitioningPlan
-    overload_accepted: bool
-    expansions_used: int = 0
-    cells_placed: int = 0
-    knn_queries: int = 0
-
-
-class _PartitionLedger:
-    """Tracks which partitions each node already receives for one replica.
-
-    Besides the per-node delivered sets, the ledger maintains the reverse
-    index — per partition, the nodes receiving it in first-delivery order —
-    which is what lets the placement loop find sharing hosts without
-    scanning every used node.
-    """
-
-    def __init__(self, left_rates: Sequence[float], right_rates: Sequence[float]) -> None:
-        self._left_rates = left_rates
-        self._right_rates = right_rates
-        self._delivered: Dict[str, Set[Tuple[str, int]]] = {}
-        self._receivers: Dict[Tuple[str, int], List[str]] = {}
-
-    def marginal(self, node_id: str, i: int, j: int) -> float:
-        """Extra demand sub-join (i, j) adds on ``node_id``."""
-        existing = self._delivered.get(node_id)
-        if existing is None:
-            return self._left_rates[i] + self._right_rates[j]
-        demand = 0.0
-        if ("L", i) not in existing:
-            demand += self._left_rates[i]
-        if ("R", j) not in existing:
-            demand += self._right_rates[j]
-        return demand
-
-    def commit(self, node_id: str, i: int, j: int) -> float:
-        """Record delivery of both partitions to ``node_id``; return marginal."""
-        demand = self.marginal(node_id, i, j)
-        delivered = self._delivered.setdefault(node_id, set())
-        for key in (("L", i), ("R", j)):
-            if key not in delivered:
-                delivered.add(key)
-                self._receivers.setdefault(key, []).append(node_id)
-        return demand
-
-    def receivers(self, stream: str, index: int) -> List[str]:
-        """Nodes already receiving one partition, in first-delivery order."""
-        return self._receivers.get((stream, index), [])
-
-    def receives_both(self, node_id: str, i: int, j: int) -> bool:
-        """Whether a node already receives both partitions of cell (i, j)."""
-        delivered = self._delivered.get(node_id)
-        return (
-            delivered is not None
-            and ("L", i) in delivered
-            and ("R", j) in delivered
-        )
-
-
-def _grid(partitioning: PartitioningPlan) -> List[Tuple[int, int]]:
-    """All (left index, right index) cells in row-major order.
-
-    Row-major order keeps consecutive cells sharing the same left
-    partition, which maximizes stream sharing under first-fit.
-    """
-    return [
-        (i, j)
-        for i in range(len(partitioning.left_partitions))
-        for j in range(len(partitioning.right_partitions))
-    ]
+__all__ = ["AssignmentOutcome", "place_replica"]
 
 
 def place_replica(
@@ -131,175 +44,5 @@ def place_replica(
     Never raises on overload: the spread fallback guarantees a placement,
     flagged through ``overload_accepted``.
     """
-    partitioning = plan_partitions(
-        replica.left_rate,
-        replica.right_rate,
-        sigma=config.sigma,
-        bandwidth_threshold=config.bandwidth_threshold,
-    )
-    # Capacity-filtered queries need the index to know availabilities;
-    # wrap plain mappings in a write-through ledger (callers' dicts still
-    # observe every mutation).
-    if not (
-        isinstance(available, AvailabilityLedger) and available.cost_space is cost_space
-    ):
-        available = AvailabilityLedger(cost_space, backing=available)
-    left_rates = partitioning.left_partitions
-    right_rates = partitioning.right_partitions
-    ledger = _PartitionLedger(left_rates, right_rates)
-    c_min = config.min_available_capacity
-
-    # Fresh hosts are streamed from batched neighbourhood cursors, one per
-    # distinct cell demand (a partitioned grid has at most four: full and
-    # remainder partitions on either side). A fixed per-cursor threshold
-    # keeps each cache provably complete and lets the capacity-augmented
-    # index prune everything below it (see NeighborhoodCursor).
-    cursors: Dict[float, NeighborhoodCursor] = {}
-
-    def fresh_host(demand: float) -> Optional[str]:
-        need = max(demand, c_min, 1e-12)
-        cursor = cursors.get(need)
-        if cursor is None:
-            cursor = cost_space.neighborhood(virtual_position, threshold=need)
-            cursors[need] = cursor
-        return cursor.next_host(available)
-
-    subs: List[SubReplicaPlacement] = []
-    # Used nodes in first-use order (roughly by distance): node -> rank.
-    use_order: Dict[str, int] = {}
-    # Lazy max-heap over the used nodes' remaining capacity: entries carry
-    # the remaining value at push time and are refreshed on inspection
-    # (capacity only shrinks while a replica is being placed).
-    room_heap: List[Tuple[float, int, str]] = []
-    pending: List[Tuple[int, int]] = []
-
-    def assign(node_id: str, i: int, j: int) -> None:
-        charged = ledger.commit(node_id, i, j)
-        remaining = available.get(node_id, 0.0) - charged
-        available[node_id] = remaining
-        if node_id not in use_order:
-            use_order[node_id] = len(use_order)
-        heapq.heappush(room_heap, (-remaining, use_order[node_id], node_id))
-        subs.append(_make_sub(replica, node_id, i, j, partitioning, charged))
-
-    def free_host(i: int, j: int) -> Optional[str]:
-        """Earliest-used node already receiving both partitions (marginal 0)."""
-        left_receivers = ledger.receivers("L", i)
-        right_receivers = ledger.receivers("R", j)
-        if len(right_receivers) < len(left_receivers):
-            left_receivers = right_receivers
-        best_order: Optional[int] = None
-        best: Optional[str] = None
-        for node_id in left_receivers:
-            if ledger.receives_both(node_id, i, j):
-                order = use_order[node_id]
-                if best_order is None or order < best_order:
-                    best_order, best = order, node_id
-        return best
-
-    def sharing_host(i: int, j: int) -> Optional[str]:
-        """Earliest-used node already receiving one partition, with room."""
-        best_order: Optional[int] = None
-        best: Optional[str] = None
-        for stream, index, marginal in (
-            ("L", i, right_rates[j]),
-            ("R", j, left_rates[i]),
-        ):
-            for node_id in ledger.receivers(stream, index):
-                order = use_order[node_id]
-                if best_order is not None and order >= best_order:
-                    continue
-                remaining = available.get(node_id, 0.0)
-                if remaining >= marginal and remaining >= c_min:
-                    best_order, best = order, node_id
-        return best
-
-    def roomiest_used(need: float) -> Optional[str]:
-        """A used node with ``remaining >= need``, preferring the roomiest."""
-        while room_heap:
-            neg_remaining, order, node_id = room_heap[0]
-            current = available.get(node_id, 0.0)
-            if current != -neg_remaining:
-                heapq.heapreplace(room_heap, (-current, order, node_id))
-                continue
-            if current >= need:
-                return node_id
-            return None
-        return None
-
-    last_host: Optional[str] = None
-    for i, j in _grid(partitioning):
-        demand = left_rates[i] + right_rates[j]
-        host: Optional[str] = None
-        # 0) Fast path: consecutive cells usually merge onto the last host
-        #    for free (it already receives both partitions).
-        if last_host is not None and ledger.receives_both(last_host, i, j):
-            host = last_host
-        # 1) A node already receiving both partitions hosts for free.
-        if host is None:
-            host = free_host(i, j)
-        # 2) A node sharing one partition, with room for the rest (earliest
-        #    used first — receivers are indexed per partition, so only
-        #    nodes actually sharing a stream are inspected).
-        if host is None:
-            host = sharing_host(i, j)
-        # 2b) A used node sharing nothing but with room for the full cell.
-        if host is None:
-            host = roomiest_used(max(demand, c_min))
-        # 3) The nearest fresh node able to host the full cell (Eq. 2-3),
-        #    streamed from the batched neighbourhood cursor of this
-        #    demand level.
-        if host is None:
-            host = fresh_host(demand)
-        if host is None:
-            pending.append((i, j))
-        else:
-            assign(host, i, j)
-            last_host = host
-
-    # Spread fallback: no node can host these cells; distribute them evenly
-    # over the nearest candidates, accepting overload.
-    overload = False
-    knn_queries = sum(cursor.queries for cursor in cursors.values())
-    if pending:
-        candidates = cost_space.knn(virtual_position, k=max(len(pending), 4))
-        knn_queries += 1
-        if not candidates:
-            raise InfeasiblePlacementError(
-                f"no candidate nodes exist for replica {replica.replica_id!r}"
-            )
-        overload = True
-        for slot, (i, j) in enumerate(pending):
-            assign(candidates[slot % len(candidates)][0], i, j)
-
-    return AssignmentOutcome(
-        subs=subs,
-        partitioning=partitioning,
-        overload_accepted=overload,
-        cells_placed=len(subs),
-        knn_queries=knn_queries,
-    )
-
-
-def _make_sub(
-    replica: JoinPairReplica,
-    node_id: str,
-    left_index: int,
-    right_index: int,
-    partitioning: PartitioningPlan,
-    charged: float,
-) -> SubReplicaPlacement:
-    return SubReplicaPlacement(
-        sub_id=f"{replica.replica_id}/{left_index}x{right_index}",
-        replica_id=replica.replica_id,
-        join_id=replica.join_id,
-        node_id=node_id,
-        left_source=replica.left_source,
-        right_source=replica.right_source,
-        left_node=replica.left_node,
-        right_node=replica.right_node,
-        sink_node=replica.sink_node,
-        left_rate=partitioning.left_partitions[left_index],
-        right_rate=partitioning.right_partitions[right_index],
-        charged_capacity=charged,
-    )
+    engine = PackingEngine(cost_space, config)
+    return engine.place_replica(replica, virtual_position, available)

@@ -52,6 +52,21 @@ class NovaConfig:
     exact_proof_limit: int = 2000
     fallback: str = FALLBACK_EXPAND
     max_candidate_expansions: int = 16
+    # Phase III packing engine. packing_workers=1 runs the plain serial
+    # loop (the reference behaviour); >1 packs contention-disjoint
+    # replica batches on that many threads behind per-region capacity
+    # leases, deferring unprovable replicas to a serial cleanup pass.
+    # Parallelism only kicks in from packing_parallel_min replicas.
+    packing_workers: int = 1
+    packing_parallel_min: int = 64
+    # Shared cursor cache: virtual positions are quantized onto a
+    # packing_bucket_grid^d spatial grid (per axis, over the cost-space
+    # extent) and demands onto power-of-two levels; one over-fetched
+    # capacity-filtered ring per (cell, level) is shared by every replica
+    # in the bucket. packing_ring_start_k seeds the over-fetch (doubled
+    # until the nearest qualifying host is provably covered).
+    packing_bucket_grid: int = 32
+    packing_ring_start_k: int = 8
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -78,6 +93,14 @@ class NovaConfig:
             raise ValueError(f"unknown fallback strategy {self.fallback!r}")
         if self.max_candidate_expansions < 0:
             raise ValueError("max_candidate_expansions must be >= 0")
+        if self.packing_workers < 1:
+            raise ValueError("packing_workers must be >= 1")
+        if self.packing_parallel_min < 1:
+            raise ValueError("packing_parallel_min must be >= 1")
+        if self.packing_bucket_grid < 1:
+            raise ValueError("packing_bucket_grid must be >= 1")
+        if self.packing_ring_start_k < 1:
+            raise ValueError("packing_ring_start_k must be >= 1")
         if self.exact_proof_limit < 0:
             raise ValueError("exact_proof_limit must be >= 0")
         if self.sigma is None and self.bandwidth_threshold is None:

@@ -45,6 +45,15 @@ class AvailabilityLedger(MutableMapping):
     def __getitem__(self, key: str) -> float:
         return self._backing[key]
 
+    def get(self, key: str, default=None):
+        """Direct dict read (bypasses the Mapping mixin's try/except).
+
+        Reads are the packing engine's hottest ledger operation; the
+        mixin's exception-based fallback costs about a microsecond per
+        probe, which adds up over tens of thousands of cells.
+        """
+        return self._backing.get(key, default)
+
     def __setitem__(self, key: str, value: float) -> None:
         self._backing[key] = value
         if key in self.cost_space:
@@ -163,6 +172,12 @@ class CostSpace:
             exact_proof_limit=self._config.exact_proof_limit,
         )
         self._vivaldi = VivaldiEmbedding(self._config.vivaldi, seed=self._config.seed)
+        # Bumped whenever cached capacity-filtered neighbourhoods could go
+        # stale: node additions/removals and availability *increases*.
+        # Decreases never invalidate (a node observed unable to host a
+        # demand can only get worse), which is what lets the packing
+        # engine reuse fetched rings across thousands of replicas.
+        self._mutation_epoch = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -223,9 +238,73 @@ class CostSpace:
     def __contains__(self, node_id: object) -> bool:
         return node_id in self._index
 
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter of cache-invalidating mutations.
+
+        Incremented on node addition/removal and on any availability
+        increase. Consumers caching capacity-filtered neighbourhoods
+        (the packing engine's shared cursor cache) compare epochs and
+        flush when the value moved.
+        """
+        return self._mutation_epoch
+
     def position(self, node_id: str) -> np.ndarray:
         """Cost-space coordinates of a node."""
         return self._index.position(node_id)
+
+    def positions_batch(self, node_ids: Sequence[str]) -> np.ndarray:
+        """Coordinates of many nodes as one ``(n, d)`` gather."""
+        return self._index.positions_batch(node_ids)
+
+    def anchor_matrix(
+        self, groups: Sequence[Sequence[str]]
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Padded ``(R, A, d)`` coordinate gather for ragged anchor groups.
+
+        Returns ``(anchors, mask)`` where ``anchors[r, a]`` is the
+        coordinate of ``groups[r][a]`` and ``mask`` flags the valid slots
+        (``None`` when every group has the same length). One vectorized
+        gather replaces the per-replica Python loop over ``position()``
+        that used to dominate batched Phase II assembly.
+        """
+        if not groups:
+            return np.empty((0, 0, self.dimensions)), None
+        counts = np.fromiter((len(group) for group in groups), dtype=np.intp, count=len(groups))
+        if counts.min() == 0:
+            raise EmbeddingError("anchor groups must be non-empty")
+        anchor_max = int(counts.max())
+        flat = [node_id for group in groups for node_id in group]
+        coords = self._index.positions_batch(flat)
+        anchors = np.zeros((len(groups), anchor_max, self.dimensions))
+        mask = np.arange(anchor_max)[None, :] < counts[:, None]
+        # Boolean assignment fills row-major, matching the flat gather order.
+        anchors[mask] = coords
+        if int(counts.min()) == anchor_max:
+            return anchors, None
+        return anchors, mask
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned (lower, upper) bounds over the embedded nodes."""
+        return self._index.bounds()
+
+    @property
+    def availability_array(self) -> np.ndarray:
+        """Read-only per-row availability values (see :meth:`index_rows`).
+
+        Live: the array reflects every ledger write immediately, which
+        lets the packing engine screen whole candidate rings against a
+        capacity threshold in one vectorized comparison.
+        """
+        return self._index.value_array
+
+    def index_rows(self, node_ids: Sequence[str]) -> np.ndarray:
+        """Row indices of nodes inside :attr:`availability_array`.
+
+        Raises for buffered or removed nodes; cached rows must be dropped
+        when :attr:`mutation_epoch` moves.
+        """
+        return self._index.rows(node_ids)
 
     def distance(self, u: str, v: str) -> float:
         """Estimated latency between two nodes = coordinate distance (ms)."""
@@ -241,14 +320,56 @@ class CostSpace:
         k: int,
         exclude: Optional[set] = None,
         min_capacity: Optional[float] = None,
+        approximate: bool = False,
     ) -> List[Tuple[str, float]]:
         """The ``k`` nearest embedded nodes to ``point``.
 
         ``min_capacity`` restricts results to nodes whose registered
         available capacity passes the threshold — the capacity-filtered
-        search that keeps Phase III linear.
+        search that keeps Phase III linear. ``approximate`` permits the
+        exact backend to stop once k qualifying nodes are found in
+        best-first order instead of proving minimality — the packing
+        engine's escape hatch for saturated paper-scale zones, where the
+        proof would re-scan the whole drained boundary.
         """
-        return self._index.query(point, k, exclude=exclude, min_value=min_capacity)
+        return self._index.query(
+            point, k, exclude=exclude, min_value=min_capacity, approximate=approximate
+        )
+
+    def within(
+        self,
+        point: Sequence[float],
+        radius: float,
+        min_capacity: Optional[float] = None,
+    ) -> List[Tuple[str, float]]:
+        """All nodes within ``radius`` of ``point`` as (id, distance) pairs.
+
+        ``min_capacity`` restricts results to nodes whose registered
+        availability passes the threshold; the result is complete within
+        the radius on both index backends, which is what the packing
+        engine's shared rings rely on for their coverage proofs.
+        """
+        return self._index.within(point, radius, min_value=min_capacity)
+
+    def within_rows(
+        self,
+        point: Sequence[float],
+        radius: float,
+        min_capacity: Optional[float] = None,
+        inner_radius: float = 0.0,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Row-level :meth:`within` fast path (see ``NeighborIndex.within_rows``)."""
+        return self._index.within_rows(
+            point, radius, min_value=min_capacity, inner_radius=inner_radius
+        )
+
+    def node_id_of_row(self, row: int) -> str:
+        """Translate an :meth:`index_rows` row back to its node id."""
+        return self._index.node_id_of_row(row)
+
+    def points_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Coordinates of index rows as one vectorized gather."""
+        return self._index.points_of_rows(rows)
 
     def neighborhood(
         self, point: Sequence[float], threshold: float, start_k: int = 4
@@ -263,7 +384,20 @@ class CostSpace:
         return NeighborhoodCursor(self._index, point, threshold, start_k=start_k)
 
     def set_available(self, node_id: str, value: float) -> None:
-        """Register a node's available capacity for filtered k-NN queries."""
+        """Register a node's available capacity for filtered k-NN queries.
+
+        An *increase* (capacity returned by an undeploy, a raised node
+        capacity) bumps :attr:`mutation_epoch`: cached neighbourhoods
+        fetched under the old availability could be missing the node.
+        Decreases — the only direction Phase III writes — never do.
+        First-time registration also bumps: an unregistered node reads
+        +inf for filtered queries but 0 from any capacity ledger, so the
+        packing engine may have marked it dead-for-the-epoch — giving it
+        a real capacity must flush those caches.
+        """
+        previous = self._index.value(node_id)
+        if value > previous or previous == float("inf"):
+            self._mutation_epoch += 1
         self._index.set_value(node_id, value)
 
     # ------------------------------------------------------------------
@@ -287,6 +421,7 @@ class CostSpace:
         position = self._vivaldi.place_new_node(neighbor_coords, rtts)
         self._coords[node_id] = position
         self._index.add(node_id, position)
+        self._mutation_epoch += 1
         return position
 
     def remove_node(self, node_id: str) -> None:
@@ -295,6 +430,7 @@ class CostSpace:
             raise UnknownNodeError(node_id)
         self._index.remove(node_id)
         self._coords.pop(node_id, None)
+        self._mutation_epoch += 1
 
     def update_node(
         self, node_id: str, neighbor_latencies_ms: Mapping[str, float]

@@ -20,7 +20,6 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
-from repro.core.assignment import place_replica
 from repro.core.cost_space import AvailabilityLedger
 from repro.core.config import (
     MEDIAN_GRADIENT,
@@ -29,6 +28,7 @@ from repro.core.config import (
     NovaConfig,
 )
 from repro.core.cost_space import CostSpace
+from repro.core.packing import PackingEngine
 from repro.core.placement import Placement, SubReplicaPlacement
 from repro.geometry.median import (
     gradient_descent_median,
@@ -70,11 +70,26 @@ class PhaseTimings:
     medians_solved: int = 0
     cells_placed: int = 0
     knn_queries: int = 0
+    # Packing-engine counters: shared-ring cache lookups (a hit reuses a
+    # previously fetched capacity-filtered neighbourhood), plus how the
+    # lease-parallel path split the work (batches run, replicas deferred
+    # to the serial cleanup pass, worker threads actually used).
+    cursor_cache_hits: int = 0
+    cursor_cache_misses: int = 0
+    packing_batches: int = 0
+    packing_deferred: int = 0
+    packing_workers_used: int = 0
 
     @property
     def total_s(self) -> float:
         """Total optimization time."""
         return self.cost_space_s + self.resolve_s + self.virtual_s + self.physical_s
+
+    @property
+    def cursor_cache_hit_rate(self) -> float:
+        """Fraction of neighbourhood-ring lookups served from the cache."""
+        lookups = self.cursor_cache_hits + self.cursor_cache_misses
+        return self.cursor_cache_hits / lookups if lookups else 0.0
 
     @property
     def physical_cells_per_s(self) -> float:
@@ -106,6 +121,20 @@ class NovaSession:
     placement: Placement
     available: AvailabilityLedger
     timings: PhaseTimings = field(default_factory=PhaseTimings)
+    engine: Optional[PackingEngine] = None
+
+    @property
+    def packing_engine(self) -> PackingEngine:
+        """The session's long-lived Phase III engine (created lazily).
+
+        Holding one engine per session is what lets the shared cursor
+        cache survive across ``place_replicas`` calls — including the
+        re-optimizer's churn paths, which invalidate it implicitly
+        through the cost space's mutation epoch.
+        """
+        if self.engine is None:
+            self.engine = PackingEngine(self.cost_space, self.config)
+        return self.engine
 
     # ------------------------------------------------------------------
     # shared placement machinery (used by Nova and the re-optimizer)
@@ -133,17 +162,9 @@ class NovaSession:
         the per-call numpy overhead that dominated the one-at-a-time path
         is paid once per batch instead of once per replica.
         """
-        counts = [len(replica.pinned_nodes) for replica in replicas]
-        anchor_max = max(counts)
-        anchors = np.zeros((len(replicas), anchor_max, self.cost_space.dimensions))
-        position = self.cost_space.position
-        for row, replica in enumerate(replicas):
-            for slot, node_id in enumerate(replica.pinned_nodes):
-                anchors[row, slot] = position(node_id)
-        if min(counts) == anchor_max:
-            mask = None
-        else:
-            mask = np.arange(anchor_max)[None, :] < np.asarray(counts)[:, None]
+        anchors, mask = self.cost_space.anchor_matrix(
+            [replica.pinned_nodes for replica in replicas]
+        )
         solver = self.config.median_solver
         if solver == MEDIAN_WEISZFELD:
             return weiszfeld_batch(anchors, mask=mask).points
@@ -186,16 +207,28 @@ class NovaSession:
             self._solve_virtual_positions(missing)
             timings.virtual_s += time.perf_counter() - started
             timings.medians_solved += len(missing)
-        for replica in replicas:
-            position = positions[replica.replica_id]
-            started = time.perf_counter()
-            outcome = place_replica(
-                replica, position, self.cost_space, self.available, self.config
-            )
-            timings.physical_s += time.perf_counter() - started
-            timings.replicas_placed += 1
+        engine = self.packing_engine
+        stats_before = engine.stats.copy()
+        started = time.perf_counter()
+        outcomes = engine.pack(
+            [(replica, positions[replica.replica_id]) for replica in replicas],
+            self.available,
+        )
+        timings.physical_s += time.perf_counter() - started
+        stats = engine.stats
+        timings.replicas_placed += len(replicas)
+        timings.knn_queries += stats.knn_queries - stats_before.knn_queries
+        timings.cursor_cache_hits += stats.cursor_cache_hits - stats_before.cursor_cache_hits
+        timings.cursor_cache_misses += (
+            stats.cursor_cache_misses - stats_before.cursor_cache_misses
+        )
+        timings.packing_batches += stats.batches - stats_before.batches
+        timings.packing_deferred += stats.deferred - stats_before.deferred
+        timings.packing_workers_used = max(
+            timings.packing_workers_used, stats.workers_used
+        )
+        for outcome in outcomes:
             timings.cells_placed += outcome.cells_placed
-            timings.knn_queries += outcome.knn_queries
             if outcome.overload_accepted:
                 self.placement.overload_accepted = True
             self.placement.extend(outcome.subs)

@@ -1,0 +1,1305 @@
+"""Phase III packing engine: shared cursors, capacity leases, workers.
+
+Physically placing a join pair replica means walking its partition grid
+cell by cell and putting each sub-join on the nearest node (by cost-space
+k-NN around the replica's virtual position) with enough available
+capacity; when nothing can host a cell, Nova spreads the remainder over
+the nearest candidates, accepting overload (Section 3.4). The
+:class:`PackingEngine` owns this hot path across all replicas of a
+session and adds two cross-replica structures on top of the per-replica
+machinery that used to live in ``assignment.place_replica``:
+
+* **A shared, threshold-bucketed cursor cache.** Virtual positions
+  cluster near the sink, so consecutive replicas keep asking for "the
+  nearest node with capacity >= t" around almost the same point. The
+  engine quantizes positions onto a spatial grid and keeps one
+  capacity-filtered *ring* per grid cell: a complete radius
+  neighbourhood, materialized by a vectorized range query (no k-heap,
+  no minimality proof) with ``min_capacity`` at the demand level's
+  power-of-two floor. Because availability only ever decreases while
+  packing runs, a ring stays complete for every later request at any
+  threshold at or above its bound: per-replica views re-rank the ring
+  around the replica's own position (one cached screen per
+  quarter-octave demand level, one masked argmin per host request) and
+  return a host only when its distance is provably inside the covered
+  radius (``d <= horizon - |position - center|``, triangle inequality);
+  otherwise the ring grows by fetching just the new annulus. Rings that
+  outgrow their cell spill to the neighbouring cells they cover, so a
+  hot zone materializes one shared neighbourhood instead of one copy
+  per bucket; in *degenerate* zones (candidate sets beyond
+  ``_DIRECT_QUERY_MIN``, the saturated region at paper scale) views
+  bypass the ring and stream hosts from per-view best-first index
+  queries instead. Exhaustion stays exact (a ring whose radius covers
+  the bounding box, or a short index fetch, proves nothing qualifies),
+  which the spread fallback relies on. The cache is invalidated through
+  :attr:`CostSpace.mutation_epoch` whenever a node joins/leaves or any
+  availability *increases* (churn, undeploys).
+
+* **Lease-parallel packing.** Replicas are grouped by spatial bucket;
+  each bucket checks out a capacity *lease* — a complete ring of nodes
+  around its first replica's position — from the availability ledger,
+  in deterministic order, owning nodes first-come: slots an earlier
+  bucket claimed are marked *foreign*. Worker threads pack the batches
+  against journaled local snapshots (no shared mutable state, no index
+  writes); a replica is rolled back and deferred to the serial cleanup
+  pass whenever its correctness cannot be proven inside the lease — the
+  ring would have to grow, the spread fallback triggers, or a foreign
+  node could be at least as close as the best own candidate. Oversized
+  or mostly-foreign buckets (the contention-dense zone around a popular
+  sink) skip the worker phase entirely. Batches merge in deterministic
+  order (owned node sets are disjoint, so the ledger state is
+  order-independent), sub-replicas are emitted in the original replica
+  order, and deferred replicas pack serially afterwards — so results
+  are deterministic for any worker count, and identical to the serial
+  path when the workload decomposes into disjoint spatial groups.
+  ``NovaConfig.packing_workers = 1`` bypasses all of this and runs the
+  plain serial loop.
+
+The per-replica placement properties (partition-aware host index, merged
+accounting) are unchanged — see :func:`_walk_grid`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, MutableMapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.common.errors import InfeasiblePlacementError
+from repro.core.config import NovaConfig
+from repro.core.cost_space import AvailabilityLedger, CostSpace
+from repro.core.partitioning import PartitioningPlan, plan_partitions
+from repro.core.placement import SubReplicaPlacement
+from repro.query.expansion import JoinPairReplica
+
+
+@dataclass
+class AssignmentOutcome:
+    """Result of placing one join pair replica."""
+
+    subs: List[SubReplicaPlacement]
+    partitioning: PartitioningPlan
+    overload_accepted: bool
+    expansions_used: int = 0
+    cells_placed: int = 0
+    knn_queries: int = 0
+
+
+@dataclass
+class PackingStats:
+    """Cumulative work counters of one engine (all ``pack`` calls).
+
+    ``cursor_cache_hits``/``misses`` count ring-cache lookups (a miss
+    fetches a fresh ring); ``knn_queries`` counts neighbour-index
+    searches (ring fetches, growths, lease checkouts, spread queries).
+    The parallel counters record how the last lease-parallel runs split
+    the work: batches executed, replicas deferred to the serial cleanup
+    pass, and cells placed per worker slot.
+    """
+
+    cursor_cache_hits: int = 0
+    cursor_cache_misses: int = 0
+    knn_queries: int = 0
+    batches: int = 0
+    deferred: int = 0
+    workers_used: int = 0
+    worker_cells: Dict[str, int] = field(default_factory=dict)
+
+    def copy(self) -> "PackingStats":
+        return PackingStats(
+            cursor_cache_hits=self.cursor_cache_hits,
+            cursor_cache_misses=self.cursor_cache_misses,
+            knn_queries=self.knn_queries,
+            batches=self.batches,
+            deferred=self.deferred,
+            workers_used=self.workers_used,
+            worker_cells=dict(self.worker_cells),
+        )
+
+
+class _DeferReplica(Exception):
+    """A replica cannot be proven correct inside its capacity lease."""
+
+
+# Above this many level-set candidates, the shared-ring machinery stops
+# paying for itself (per-view work scales with the candidate set, and in
+# a paper-scale saturated zone the set covers whole annuli): views
+# bypass the ring and stream hosts from per-view index queries instead.
+_DIRECT_QUERY_MIN = 4096
+
+
+class _PartitionLedger:
+    """Tracks which partitions each node already receives for one replica.
+
+    Besides the per-node delivered sets, the ledger maintains the reverse
+    index — per partition, the nodes receiving it in first-delivery order —
+    which is what lets the placement loop find sharing hosts without
+    scanning every used node.
+    """
+
+    def __init__(self, left_rates: Sequence[float], right_rates: Sequence[float]) -> None:
+        self._left_rates = left_rates
+        self._right_rates = right_rates
+        self._delivered: Dict[str, Set[Tuple[str, int]]] = {}
+        self._receivers: Dict[Tuple[str, int], List[str]] = {}
+
+    def marginal(self, node_id: str, i: int, j: int) -> float:
+        """Extra demand sub-join (i, j) adds on ``node_id``."""
+        existing = self._delivered.get(node_id)
+        if existing is None:
+            return self._left_rates[i] + self._right_rates[j]
+        demand = 0.0
+        if ("L", i) not in existing:
+            demand += self._left_rates[i]
+        if ("R", j) not in existing:
+            demand += self._right_rates[j]
+        return demand
+
+    def commit(self, node_id: str, i: int, j: int) -> float:
+        """Record delivery of both partitions to ``node_id``; return marginal."""
+        demand = self.marginal(node_id, i, j)
+        delivered = self._delivered.setdefault(node_id, set())
+        for key in (("L", i), ("R", j)):
+            if key not in delivered:
+                delivered.add(key)
+                self._receivers.setdefault(key, []).append(node_id)
+        return demand
+
+    def receivers(self, stream: str, index: int) -> List[str]:
+        """Nodes already receiving one partition, in first-delivery order."""
+        return self._receivers.get((stream, index), [])
+
+    def receives_both(self, node_id: str, i: int, j: int) -> bool:
+        """Whether a node already receives both partitions of cell (i, j)."""
+        delivered = self._delivered.get(node_id)
+        return (
+            delivered is not None
+            and ("L", i) in delivered
+            and ("R", j) in delivered
+        )
+
+
+def _grid(partitioning: PartitioningPlan) -> List[Tuple[int, int]]:
+    """All (left index, right index) cells in row-major order.
+
+    Row-major order keeps consecutive cells sharing the same left
+    partition, which maximizes stream sharing under first-fit.
+    """
+    return [
+        (i, j)
+        for i in range(len(partitioning.left_partitions))
+        for j in range(len(partitioning.right_partitions))
+    ]
+
+
+def _make_sub(
+    replica: JoinPairReplica,
+    node_id: str,
+    left_index: int,
+    right_index: int,
+    partitioning: PartitioningPlan,
+    charged: float,
+) -> SubReplicaPlacement:
+    return SubReplicaPlacement(
+        sub_id=f"{replica.replica_id}/{left_index}x{right_index}",
+        replica_id=replica.replica_id,
+        join_id=replica.join_id,
+        node_id=node_id,
+        left_source=replica.left_source,
+        right_source=replica.right_source,
+        left_node=replica.left_node,
+        right_node=replica.right_node,
+        sink_node=replica.sink_node,
+        left_rate=partitioning.left_partitions[left_index],
+        right_rate=partitioning.right_partitions[right_index],
+        charged_capacity=charged,
+    )
+
+
+class _Ring:
+    """One over-fetched, capacity-filtered neighbourhood around a point.
+
+    Materialized by a *radius* query with ``min_capacity = min_value``,
+    so the ring provably contains every node whose availability was
+    >= ``min_value`` within ``radius`` of ``center`` at fetch time — and,
+    because availability only decreases between epoch bumps, every node
+    that could qualify for any later request at a threshold >=
+    ``min_value``. ``exhausted`` means the radius covers the whole cost
+    space (``r_full``): there is no qualifying node beyond the ring
+    anywhere, which keeps the spread-fallback trigger exact.
+    """
+
+    __slots__ = (
+        "center",
+        "min_value",
+        "radius",
+        "r_full",
+        "ids",
+        "resolver",
+        "dists",
+        "points",
+        "rows",
+        "dead",
+        "horizon",
+        "exhausted",
+        "version",
+        "alive_cache",
+    )
+
+    def __init__(self, center: np.ndarray, min_value: float, radius: float, r_full: float) -> None:
+        self.center = center
+        self.min_value = min_value
+        self.radius = float(radius)
+        # Distance to the farthest bounding-box corner: a radius at or
+        # beyond it provably covers every embedded node.
+        self.r_full = float(r_full)
+        # Node ids are materialized lazily on the fast (row-based) path:
+        # only hosts actually returned pay the id translation.
+        self.ids: Optional[List[str]] = None
+        self.resolver: Optional[Callable[[int], str]] = None
+        self.dists = np.empty(0)
+        self.points = np.empty((0, center.shape[0]))
+        # Tree-row indices of the ring nodes (None when some candidates sit
+        # in the index's linear add-buffer): enables vectorized screening
+        # of the whole ring against the live availability array.
+        self.rows: Optional[np.ndarray] = None
+        # Nodes observed dead for the whole epoch (absent from the ledger):
+        # excluded from every view's screen.
+        self.dead = np.zeros(0, dtype=bool)
+        self.horizon = 0.0
+        self.exhausted = False
+        self.version = -1
+        # Per power-of-two level: [version, slots, center_dists] of the
+        # candidates that passed the level bound when last screened.
+        # Values only decrease inside an epoch, so a cached set stays a
+        # superset of the truth: views revalidate the few candidates they
+        # actually touch, and refresh the set when it has decayed badly.
+        self.alive_cache: Dict[int, List] = {}
+
+    def level_set(
+        self, key: int, bound: float, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(slots, center distances) at or above a quantized value bound.
+
+        Shared across every view of the ring at this demand level; built
+        once per ring version (and on decay refresh) instead of once per
+        view. Slots ascend, so the distances are sorted — which is what
+        lets views binary-search their own offset into the set. Levels
+        are quarter-octave (``bound = 2^(key/4)``): a coarser bucket
+        would leave a wide band of nodes below the actual threshold but
+        above the bound lingering in the set — in a drained hot zone at
+        paper scale, that zombie band is exactly what every view would
+        have to wade through.
+        """
+        cached = self.alive_cache.get(key)
+        if cached is not None and cached[0] == self.version:
+            return cached[1], cached[2]
+        return self.refresh_level(key, bound, values)
+
+    def refresh_level(
+        self, key: int, bound: float, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        mask = values[self.rows] >= bound
+        mask &= ~self.dead
+        slots = np.nonzero(mask)[0]
+        dists = self.dists[slots]
+        self.alive_cache[key] = [self.version, slots, dists]
+        return slots, dists
+
+    @property
+    def size(self) -> int:
+        return len(self.dists)
+
+    def node_id(self, slot: int) -> str:
+        if self.ids is not None:
+            return self.ids[slot]
+        return self.resolver(int(self.rows[slot]))
+
+    def materialize_ids(self) -> None:
+        """Translate all rows to ids (lease checkout needs the full set)."""
+        if self.ids is None:
+            resolver = self.resolver
+            self.ids = [resolver(int(row)) for row in self.rows]
+
+
+class _RingView:
+    """A per-replica view of a shared ring.
+
+    Streams the nearest node (by distance to the replica's own position)
+    whose *live* availability passes the view's threshold. Serial views
+    draw candidates from the ring's shared per-level slot cache and run
+    one masked argmin per host request over squared distances computed
+    once per view (``_nearest_screened``); degenerate hot zones bypass
+    the ring with per-view index queries (``_nearest_direct``); lease
+    workers, whose availability lives in journaled snapshots, scan the
+    ring in center-distance order with an exact triangle-inequality
+    early stop (``_nearest_scanned``). A hit is returned only when
+    provably no closer qualifying node can exist outside the ring
+    (``d <= horizon - offset``, or the ring is exhausted); otherwise the
+    ring grows (appending its new shell) and the search re-runs against
+    the rebuilt level set.
+    """
+
+    __slots__ = (
+        "ring",
+        "point",
+        "threshold",
+        "level_key",
+        "level_bound",
+        "offset",
+        "values",
+        "alive",
+        "pd2",
+        "screened_version",
+        "foreign",
+        "engine",
+        "direct",
+        "direct_ptr",
+        "direct_k",
+        "direct_exhausted",
+    )
+
+    def __init__(
+        self,
+        ring: _Ring,
+        point: np.ndarray,
+        threshold: float,
+        values: Optional[np.ndarray] = None,
+    ) -> None:
+        self.ring = ring
+        self.point = np.asarray(point, dtype=float)
+        self.threshold = threshold
+        # Quarter-octave quantization of the threshold for the shared
+        # candidate cache (see _Ring.level_set).
+        self.level_key = int(math.floor(math.log2(max(threshold, 1e-12)) * 4.0))
+        self.level_bound = float(2.0 ** (self.level_key / 4.0))
+        self.offset = float(np.linalg.norm(self.point - ring.center))
+        # Live per-row availability array for vectorized screening; only
+        # usable when the ring knows its tree rows AND the availability
+        # store writes through to the index (serial mode). Lease workers
+        # pack against journaled snapshots and pass None.
+        self.values = values if ring.rows is not None else None
+        self.alive: Optional[np.ndarray] = None
+        self.pd2: Optional[np.ndarray] = None
+        self.screened_version = -3
+        # Lease mode: slots owned by another batch (see _Batch.foreign).
+        self.foreign: Optional[np.ndarray] = None
+        # Serial mode only (set by PackingEngine.cursor): enables the
+        # direct-query fallback for degenerate hot zones.
+        self.engine: Optional["PackingEngine"] = None
+        self.direct: Optional[List[Tuple[str, float]]] = None
+        self.direct_ptr = 0
+        self.direct_k = 8
+        self.direct_exhausted = False
+
+    def next_host(
+        self,
+        available,
+        grow: Optional[Callable[["_Ring", float], None]],
+    ) -> Optional[str]:
+        """Nearest provably-correct node with ``available >= threshold``.
+
+        ``grow`` extends the ring when correctness cannot be proven from
+        the cached horizon; passing ``None`` (lease mode) raises
+        :class:`_DeferReplica` instead, because a worker must not issue
+        index queries nor claim nodes outside its lease.
+        """
+        ring = self.ring
+        offset = self.offset
+        while True:
+            if self.values is not None and ring.rows is None:
+                self.values = None
+            if self.values is not None:
+                # Moderate candidate sets are cheapest via one cached
+                # screen + masked argmin; degenerate sets (the saturated
+                # zone at paper scale) bypass the ring with per-view
+                # index queries.
+                level_slots, _ = ring.level_set(
+                    self.level_key, self.level_bound, self.values
+                )
+                if len(level_slots) > _DIRECT_QUERY_MIN and self.engine is not None:
+                    return self._nearest_direct(available)
+                best_slot, best_d = self._nearest_screened(available)
+                blocked_d = math.inf
+            else:
+                best_slot, best_d, blocked_d = self._nearest_scanned(
+                    available, self.foreign
+                )
+            if best_slot >= 0 and best_d < blocked_d:
+                if ring.exhausted or best_d <= ring.horizon - offset:
+                    return ring.node_id(best_slot)
+                target_radius = offset + best_d
+            elif best_slot < 0 and blocked_d == math.inf:
+                if ring.exhausted:
+                    return None
+                target_radius = max(ring.horizon, offset) * 2.0
+            else:
+                # A contested (foreign-owned) candidate could be at least
+                # as close as the best own candidate: only the serial
+                # pass can decide this correctly.
+                target_radius = max(ring.horizon, offset) * 2.0
+            if grow is None:
+                raise _DeferReplica()
+            grow(ring, target_radius)
+
+    def _screen(self, available) -> None:
+        """Build this view's candidate set from the shared level set.
+
+        The per-level slot gather is shared ring-wide; the view filters
+        it against the live values (folding heavy decay back into the
+        shared cache so later views inherit the shrunken set) and
+        computes squared distances to its own position once.
+        """
+        ring = self.ring
+        values = self.values
+        base, _ = ring.level_set(self.level_key, self.level_bound, values)
+        base_values = values[ring.rows[base]]
+        live = ~ring.dead[base]
+        level_alive = (base_values >= self.level_bound) & live
+        if int(level_alive.sum()) * 2 < len(base):
+            base = base[level_alive]
+            ring.alive_cache[self.level_key] = [ring.version, base, ring.dists[base]]
+            base_values = base_values[level_alive]
+            live = live[level_alive]
+        alive = base[(base_values >= self.threshold) & live]
+        diffs = ring.points[alive] - self.point
+        self.alive = alive
+        self.pd2 = np.einsum("ij,ij->i", diffs, diffs)
+        self.screened_version = ring.version
+
+    def _nearest_screened(self, available) -> Tuple[int, float]:
+        """Masked-argmin over the view's cached screen.
+
+        The screen is a superset of the truth (availability only
+        decreases inside an epoch), so each minimum is revalidated with
+        one scalar probe and masked out if it died — amortized O(1)
+        numpy passes per returned host.
+        """
+        ring = self.ring
+        threshold = self.threshold
+        if self.alive is None or self.screened_version != ring.version:
+            self._screen(available)
+        values = self.values
+        pd2 = self.pd2
+        while len(pd2):
+            j = int(np.argmin(pd2))
+            d2 = float(pd2[j])
+            if d2 == math.inf:
+                break
+            slot = int(self.alive[j])
+            # Revalidate the minimum against the live values.
+            if values[int(ring.rows[slot])] < threshold or ring.dead[slot]:
+                pd2[j] = math.inf
+                continue
+            node_id = ring.node_id(slot)
+            if available.get(node_id, 0.0) < threshold:
+                # The live array said alive but the ledger disagrees: the
+                # node is not in this placement's capacity map at all, so
+                # it can never host — dead for the epoch.
+                ring.dead[slot] = True
+                pd2[j] = math.inf
+                continue
+            return slot, math.sqrt(d2)
+        return -1, math.inf
+
+    def _nearest_direct(self, available) -> Optional[str]:
+        """Per-view exact cursor for degenerate (paper-scale) hot zones.
+
+        When a ring's candidate set is enormous, any shared structure
+        re-ranked per replica costs more than asking the index directly:
+        this streams hosts from capacity-filtered k-NN queries around
+        the view's own position, over-fetching and growing k on
+        exhaustion. The queries skip the k-NN minimality proof (the
+        drained boundary of a saturated zone would be re-scanned on
+        every query otherwise) — near-exact best-first order, with
+        exhaustion still exact, matching the pre-engine cursor
+        semantics for exactly this regime.
+        """
+        engine = self.engine
+        threshold = self.threshold
+        while True:
+            if self.direct is None:
+                self.direct = engine.cost_space.knn(
+                    self.point,
+                    k=self.direct_k,
+                    min_capacity=threshold,
+                    approximate=True,
+                )
+                engine.stats.knn_queries += 1
+                self.direct_exhausted = len(self.direct) < self.direct_k
+                self.direct_ptr = 0
+            results = self.direct
+            while self.direct_ptr < len(results):
+                node_id = results[self.direct_ptr][0]
+                if available.get(node_id, 0.0) >= threshold:
+                    return node_id
+                # Below the threshold it can never qualify again.
+                self.direct_ptr += 1
+            if self.direct_exhausted:
+                return None
+            self.direct_k *= 4
+            self.direct = None
+
+    def _nearest_scanned(
+        self, available, foreign: Optional[np.ndarray] = None
+    ) -> Tuple[int, float, float]:
+        """Scalar path: chunked scan in center order with exact early stop.
+
+        Used in lease mode, where availability lives in a journaled
+        per-batch snapshot rather than the write-through index array.
+        Scans candidates in the ring's center-distance order and stops
+        once the next candidate's center distance minus the view's
+        offset exceeds the best hit (triangle inequality) — O(window)
+        per request, no O(ring) screen per view. Returns
+        ``(slot, distance, blocked_distance)`` where ``blocked_distance``
+        is the nearest *foreign* (contested, unknowable) candidate seen —
+        if it is closer than the best own candidate the caller cannot
+        prove its choice and must defer.
+        """
+        ring = self.ring
+        threshold = self.threshold
+        offset = self.offset
+        point = self.point
+        dists = ring.dists
+        size = ring.size
+        best_slot = -1
+        best_d = math.inf
+        blocked_d = math.inf
+        i = 0
+        while i < size:
+            # Decision-safe early stop: any foreign candidate that could
+            # force a defer must be strictly nearer than the best own
+            # candidate, so it was already scanned before this fires.
+            if dists[i] - offset > best_d:
+                break
+            end = min(i + 64, size)
+            hits: List[int] = []
+            contested: List[int] = []
+            for slot in range(i, end):
+                if foreign is not None and foreign[slot]:
+                    contested.append(slot)
+                elif available.get(ring.node_id(slot), 0.0) >= threshold:
+                    hits.append(slot)
+            if hits:
+                diffs = ring.points[hits] - point
+                pd2 = np.einsum("ij,ij->i", diffs, diffs)
+                j = int(np.argmin(pd2))
+                candidate_d = math.sqrt(float(pd2[j]))
+                if candidate_d < best_d:
+                    best_d = candidate_d
+                    best_slot = int(hits[j])
+            if contested:
+                diffs = ring.points[contested] - point
+                pd2 = np.einsum("ij,ij->i", diffs, diffs)
+                nearest = math.sqrt(float(pd2.min()))
+                if nearest < blocked_d:
+                    blocked_d = nearest
+            i = end
+        return best_slot, best_d, blocked_d
+
+
+class _JournaledMap:
+    """A per-batch availability snapshot with per-replica rollback.
+
+    Workers pack against this instead of the live ledger: writes land in
+    a plain dict (no index write-through, no cross-thread state) and the
+    journal records each node's pre-replica value so a deferred replica
+    can be rolled back exactly.
+    """
+
+    __slots__ = ("base", "journal", "touched")
+
+    def __init__(self, base: Dict[str, float]) -> None:
+        self.base = base
+        self.journal: Dict[str, float] = {}
+        self.touched: Set[str] = set()
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self.base.get(key, default)
+
+    def __setitem__(self, key: str, value: float) -> None:
+        if key not in self.journal:
+            self.journal[key] = self.base.get(key, 0.0)
+        self.base[key] = value
+
+    def commit(self) -> None:
+        self.touched.update(self.journal)
+        self.journal.clear()
+
+    def rollback(self) -> None:
+        self.base.update(self.journal)
+        self.journal.clear()
+
+
+@dataclass
+class _Batch:
+    """One bucket's unit of parallel work.
+
+    ``foreign`` flags ring slots owned by an earlier bucket's lease:
+    the batch must not touch them, and a replica whose provably-nearest
+    candidate could be foreign is deferred to the serial pass instead of
+    guessing.
+    """
+
+    job_indices: List[int]
+    ring: _Ring
+    foreign: np.ndarray
+    lease_nodes: List[str]
+
+
+class PackingEngine:
+    """Owns Phase III for a session: cursor cache, leases, workers."""
+
+    def __init__(self, cost_space: CostSpace, config: Optional[NovaConfig] = None) -> None:
+        self.cost_space = cost_space
+        self.config = config or NovaConfig()
+        self.stats = PackingStats()
+        self._rings: Dict[Tuple, _Ring] = {}
+        self._epoch = cost_space.mutation_epoch
+        self._cell_size: Optional[float] = None
+        self._lower: Optional[np.ndarray] = None
+        self._upper: Optional[np.ndarray] = None
+        self._nn_scale = 1.0
+
+    # ------------------------------------------------------------------
+    # cursor cache
+    # ------------------------------------------------------------------
+    @property
+    def cached_rings(self) -> int:
+        """Number of rings currently cached (observability/tests)."""
+        return len(self._rings)
+
+    def _sync_epoch(self) -> None:
+        """Flush the ring cache if the cost space mutated underneath it."""
+        epoch = self.cost_space.mutation_epoch
+        if epoch != self._epoch:
+            self._rings.clear()
+            self._cell_size = None
+            self._epoch = epoch
+
+    def _bucket_cell(self) -> float:
+        if self._cell_size is None:
+            lower, upper = self.cost_space.bounding_box()
+            extent = float(np.max(upper - lower))
+            grid = max(int(self.config.packing_bucket_grid), 1)
+            self._cell_size = extent / grid if extent > 0 else 1.0
+            self._lower, self._upper = lower, upper
+            dims = lower.shape[0]
+            live = max(len(self.cost_space), 1)
+            # Typical nearest-neighbour spacing under uniform density:
+            # seeds ring radii so the first fetch usually covers the
+            # bucket plus a handful of candidates.
+            self._nn_scale = (
+                extent / live ** (1.0 / dims) if extent > 0 else 1.0
+            )
+        return self._cell_size
+
+    def _r_full(self, center: np.ndarray) -> float:
+        """Distance from ``center`` beyond which no embedded node exists."""
+        span = np.maximum(np.abs(center - self._lower), np.abs(self._upper - center))
+        return float(np.linalg.norm(span)) + 1e-9
+
+    def _seed_radius(self, expected: int) -> float:
+        """Initial ring radius: bucket half-diagonal + room for ~expected nodes."""
+        cell = self._bucket_cell()
+        dims = self._lower.shape[0]
+        return 0.5 * cell * math.sqrt(dims) + self._nn_scale * (
+            max(expected, 1) ** (1.0 / dims)
+        )
+
+    def _bucket_key(self, position: np.ndarray) -> Tuple[int, ...]:
+        cell = self._bucket_cell()
+        return tuple(math.floor(c / cell) for c in position.tolist())
+
+    def _bucket_center(self, key: Tuple[int, ...]) -> np.ndarray:
+        cell = self._bucket_cell()
+        return (np.asarray(key, dtype=float) + 0.5) * cell
+
+    @staticmethod
+    def _level(threshold: float) -> int:
+        """Power-of-two demand level: thresholds in [2^e, 2^(e+1)) share rings."""
+        return int(math.floor(math.log2(max(threshold, 1e-12))))
+
+    def _fetch(self, ring: _Ring) -> None:
+        """(Re-)materialize a ring; also the growth step.
+
+        A radius query is complete by construction (``horizon`` *is* the
+        radius), evaluates leaves wholesale with no k-heap, and needs no
+        minimality proof — the reason rings are cheap enough to refetch.
+        """
+        self.stats.knn_queries += 1
+        fast = self.cost_space.within_rows(
+            ring.center, ring.radius, min_capacity=ring.min_value
+        )
+        if fast is not None:
+            dists, rows = fast
+            ring.dists = dists
+            ring.rows = np.asarray(rows, dtype=np.intp)
+            ring.points = self.cost_space.points_of_rows(ring.rows)
+            ring.ids = None
+            ring.resolver = self.cost_space.node_id_of_row
+        else:
+            # Buffered additions make the row-level answer incomplete; fall
+            # back to the id-based query (views then probe availability
+            # through the ledger instead of the vectorized screen).
+            results = self.cost_space.within(
+                ring.center, ring.radius, min_capacity=ring.min_value
+            )
+            ring.ids = [node_id for node_id, _ in results]
+            ring.dists = np.array([dist for _, dist in results], dtype=float)
+            ring.points = self.cost_space.positions_batch(ring.ids)
+            ring.rows = None
+        ring.dead = np.zeros(ring.size, dtype=bool)
+        ring.exhausted = ring.radius >= ring.r_full
+        ring.horizon = ring.radius
+        ring.version += 1
+
+    def _grow(self, ring: _Ring, target_radius: float) -> None:
+        """Extend a ring to cover ``target_radius`` (at least doubling).
+
+        On the row-based fast path only the new annulus is fetched and
+        appended — the interior was already materialized and stays sorted
+        by center distance — so repeated growth of a hot ring costs the
+        final ring size once instead of once per growth step.
+        """
+        inner = ring.radius
+        # Annulus growth makes small steps cheap, so grow just past the
+        # proven need instead of doubling — over-materializing a hot
+        # ring's shell costs more than an extra shell fetch.
+        outer = min(max(inner * 1.3, target_radius * 1.05), ring.r_full)
+        ring.radius = outer
+        if ring.rows is None or ring.ids is not None:
+            # Slow (id-based) mode, or a lease ring with materialized ids:
+            # refetch wholesale.
+            self._fetch(ring)
+            return
+        self.stats.knn_queries += 1
+        shell = self.cost_space.within_rows(
+            ring.center, outer, min_capacity=ring.min_value, inner_radius=inner
+        )
+        if shell is None:
+            self._fetch(ring)
+            return
+        dists, rows = shell
+        if len(dists):
+            rows = np.asarray(rows, dtype=np.intp)
+            ring.dists = np.concatenate([ring.dists, dists])
+            ring.rows = np.concatenate([ring.rows, rows])
+            ring.points = np.concatenate(
+                [ring.points, self.cost_space.points_of_rows(rows)]
+            )
+            ring.dead = np.concatenate(
+                [ring.dead, np.zeros(len(rows), dtype=bool)]
+            )
+        ring.exhausted = outer >= ring.r_full
+        ring.horizon = outer
+        ring.version += 1
+        self._spill(ring)
+
+    def _spill(self, ring: _Ring) -> None:
+        """Register a grown ring under the neighbouring cells it covers.
+
+        Hot zones span several adjacent buckets; without spilling, each
+        bucket grows its own copy of essentially the same neighbourhood.
+        Once a ring's radius dwarfs the cell size, nearby cells adopt it
+        (their replicas just carry a larger offset into the coverage
+        proof), so the drained region is materialized once instead of
+        once per bucket. The grown ring also *replaces* a neighbour's
+        own ring when it strictly dominates it — covers a larger radius
+        at an equal-or-lower capacity bound — which is what stops
+        adjacent hot buckets from growing duplicate copies; views
+        holding the replaced ring stay valid (they keep their
+        reference).
+        """
+        cell = self._bucket_cell()
+        if ring.radius < 4.0 * cell:
+            return
+        dims = ring.center.shape[0]
+        reach = ring.radius / 2.0
+        span = min(int(reach / cell), 8 if dims <= 2 else 2)
+        if span < 1:
+            return
+        base = np.floor(ring.center / cell).astype(int)
+        reach2 = reach * reach
+        offsets = np.stack(
+            np.meshgrid(*([np.arange(-span, span + 1)] * dims), indexing="ij"), axis=-1
+        ).reshape(-1, dims)
+        centers = (base + offsets + 0.5) * cell
+        close = np.einsum(
+            "ij,ij->i", centers - ring.center, centers - ring.center
+        ) <= reach2
+        rings = self._rings
+        for row in offsets[close]:
+            key = tuple(int(v) for v in (base + row))
+            existing = rings.get(key)
+            if existing is None or (
+                existing is not ring
+                and ring.min_value <= existing.min_value
+                and ring.radius > existing.radius
+            ):
+                rings[key] = ring
+
+    def cursor(
+        self,
+        position: np.ndarray,
+        threshold: float,
+        floor_threshold: Optional[float] = None,
+    ) -> _RingView:
+        """A view streaming the nearest nodes with capacity >= ``threshold``.
+
+        Served from the shared per-spatial-bucket ring cache. A miss
+        fetches a fresh complete ring around the requesting replica's own
+        position (tight for singleton buckets; later replicas in the cell
+        carry their offset into the coverage proof) with ``min_capacity``
+        at the demand level's power-of-two lower bound — one ring serves
+        every threshold at or above its level, and a request below the
+        cached level refetches the ring once with the lower bound instead
+        of keeping one ring per level. ``floor_threshold`` — the lowest
+        threshold the caller will ever request (a replica knows its
+        minimum cell demand before walking the grid) — seeds fresh rings
+        low enough that the expensive refetch rarely triggers.
+        """
+        key = self._bucket_key(position)
+        min_value = float(2.0 ** self._level(threshold))
+        if floor_threshold is not None:
+            floor_threshold = max(min(floor_threshold, threshold), 1e-12)
+        else:
+            floor_threshold = threshold
+        ring = self._rings.get(key)
+        if ring is None or ring.min_value > min_value:
+            self.stats.cursor_cache_misses += 1
+            seed_value = float(
+                2.0 ** min(self._level(floor_threshold), self._level(threshold))
+            )
+            if ring is not None:
+                # Same bucket, lower demand level: re-materialize with the
+                # lower capacity bound, keeping the learned radius/center.
+                ring = _Ring(ring.center, seed_value, ring.radius, ring.r_full)
+            else:
+                center = np.asarray(position, dtype=float).copy()
+                r_full = self._r_full(center)
+                radius = min(
+                    self._seed_radius(self.config.packing_ring_start_k), r_full
+                )
+                ring = _Ring(center, seed_value, radius, r_full)
+            self._fetch(ring)
+            self._rings[key] = ring
+        else:
+            self.stats.cursor_cache_hits += 1
+        # Serial views screen against the live availability array (the
+        # ledger writes through to the index, so it is always current).
+        view = _RingView(
+            ring, position, threshold, values=self.cost_space.availability_array
+        )
+        view.engine = self
+        return view
+
+    # ------------------------------------------------------------------
+    # the grid walk (shared by the serial and lease-parallel paths)
+    # ------------------------------------------------------------------
+    def _walk_grid(
+        self,
+        replica: JoinPairReplica,
+        position: np.ndarray,
+        partitioning: PartitioningPlan,
+        available,
+        fresh_host: Callable[[float], Optional[str]],
+        spread: bool,
+    ) -> AssignmentOutcome:
+        """Walk the partition grid and place every cell.
+
+        ``available`` may be the live ledger (serial) or a journaled
+        snapshot (lease mode). ``fresh_host`` streams nearest fresh
+        candidates for a demand. ``spread=False`` raises
+        :class:`_DeferReplica` instead of spreading leftover cells, so a
+        lease worker never touches nodes outside its lease.
+        """
+        left_rates = partitioning.left_partitions
+        right_rates = partitioning.right_partitions
+        ledger = _PartitionLedger(left_rates, right_rates)
+        c_min = self.config.min_available_capacity
+
+        subs: List[SubReplicaPlacement] = []
+        # Used nodes in first-use order (roughly by distance): node -> rank.
+        use_order: Dict[str, int] = {}
+        # Lazy max-heap over the used nodes' remaining capacity: entries carry
+        # the remaining value at push time and are refreshed on inspection
+        # (capacity only shrinks while a replica is being placed).
+        room_heap: List[Tuple[float, int, str]] = []
+        pending: List[Tuple[int, int]] = []
+
+        def assign(node_id: str, i: int, j: int) -> None:
+            charged = ledger.commit(node_id, i, j)
+            if node_id not in use_order:
+                use_order[node_id] = len(use_order)
+            if charged:
+                # Zero-marginal merges (both partitions already delivered)
+                # change nothing: skip the ledger write-through and the
+                # heap push entirely on that majority path.
+                remaining = available.get(node_id, 0.0) - charged
+                available[node_id] = remaining
+                if remaining > 0.0:
+                    # A drained node can never satisfy a later positive
+                    # need within this walk (availability only shrinks),
+                    # so its heap entry would be dead weight.
+                    heapq.heappush(
+                        room_heap, (-remaining, use_order[node_id], node_id)
+                    )
+            subs.append(_make_sub(replica, node_id, i, j, partitioning, charged))
+
+        def free_host(i: int, j: int) -> Optional[str]:
+            """Earliest-used node already receiving both partitions (marginal 0)."""
+            left_receivers = ledger.receivers("L", i)
+            right_receivers = ledger.receivers("R", j)
+            if len(right_receivers) < len(left_receivers):
+                left_receivers = right_receivers
+            best_order: Optional[int] = None
+            best: Optional[str] = None
+            for node_id in left_receivers:
+                if ledger.receives_both(node_id, i, j):
+                    order = use_order[node_id]
+                    if best_order is None or order < best_order:
+                        best_order, best = order, node_id
+            return best
+
+        def sharing_host(i: int, j: int) -> Optional[str]:
+            """Earliest-used node already receiving one partition, with room."""
+            best_order: Optional[int] = None
+            best: Optional[str] = None
+            for stream, index, marginal in (
+                ("L", i, right_rates[j]),
+                ("R", j, left_rates[i]),
+            ):
+                for node_id in ledger.receivers(stream, index):
+                    order = use_order[node_id]
+                    if best_order is not None and order >= best_order:
+                        continue
+                    remaining = available.get(node_id, 0.0)
+                    if remaining >= marginal and remaining >= c_min:
+                        best_order, best = order, node_id
+            return best
+
+        def roomiest_used(need: float) -> Optional[str]:
+            """A used node with ``remaining >= need``, preferring the roomiest."""
+            while room_heap:
+                neg_remaining, order, node_id = room_heap[0]
+                current = available.get(node_id, 0.0)
+                if current != -neg_remaining:
+                    heapq.heapreplace(room_heap, (-current, order, node_id))
+                    continue
+                if current >= need:
+                    return node_id
+                return None
+            return None
+
+        last_host: Optional[str] = None
+        for i, j in _grid(partitioning):
+            demand = left_rates[i] + right_rates[j]
+            host: Optional[str] = None
+            # 0) Fast path: consecutive cells usually merge onto the last host
+            #    for free (it already receives both partitions).
+            if last_host is not None and ledger.receives_both(last_host, i, j):
+                host = last_host
+            # 1) A node already receiving both partitions hosts for free.
+            if host is None:
+                host = free_host(i, j)
+            # 2) A node sharing one partition, with room for the rest (earliest
+            #    used first — receivers are indexed per partition, so only
+            #    nodes actually sharing a stream are inspected).
+            if host is None:
+                host = sharing_host(i, j)
+            # 2b) A used node sharing nothing but with room for the full cell.
+            if host is None:
+                host = roomiest_used(max(demand, c_min))
+            # 3) The nearest fresh node able to host the full cell (Eq. 2-3),
+            #    streamed from the shared neighbourhood ring of this
+            #    demand level.
+            if host is None:
+                host = fresh_host(demand)
+            if host is None:
+                pending.append((i, j))
+            else:
+                assign(host, i, j)
+                last_host = host
+
+        # Spread fallback: no node can host these cells; distribute them evenly
+        # over the nearest candidates, accepting overload.
+        overload = False
+        if pending:
+            if not spread:
+                raise _DeferReplica()
+            candidates = self.cost_space.knn(position, k=max(len(pending), 4))
+            self.stats.knn_queries += 1
+            if not candidates:
+                raise InfeasiblePlacementError(
+                    f"no candidate nodes exist for replica {replica.replica_id!r}"
+                )
+            overload = True
+            for slot, (i, j) in enumerate(pending):
+                assign(candidates[slot % len(candidates)][0], i, j)
+
+        return AssignmentOutcome(
+            subs=subs,
+            partitioning=partitioning,
+            overload_accepted=overload,
+            cells_placed=len(subs),
+        )
+
+    def _partition(self, replica: JoinPairReplica) -> PartitioningPlan:
+        return plan_partitions(
+            replica.left_rate,
+            replica.right_rate,
+            sigma=self.config.sigma,
+            bandwidth_threshold=self.config.bandwidth_threshold,
+        )
+
+    def _threshold(self, demand: float) -> float:
+        return max(demand, self.config.min_available_capacity, 1e-12)
+
+    # ------------------------------------------------------------------
+    # serial path
+    # ------------------------------------------------------------------
+    def place_replica(
+        self,
+        replica: JoinPairReplica,
+        virtual_position: np.ndarray,
+        available: MutableMapping[str, float],
+        partitioning: Optional[PartitioningPlan] = None,
+    ) -> AssignmentOutcome:
+        """Partition and physically place one replica (serial path).
+
+        Mutates ``available`` to account for consumed (marginal) capacity.
+        Never raises on overload: the spread fallback guarantees a
+        placement, flagged through ``overload_accepted``.
+        """
+        available = self._ensure_ledger(available)
+        self._sync_epoch()
+        position = np.asarray(virtual_position, dtype=float)
+        queries_before = self.stats.knn_queries
+        if partitioning is None:
+            partitioning = self._partition(replica)
+        # The smallest cell demand this replica can ever request: fresh
+        # rings seed their capacity bound at its level, so the walk's
+        # later, lower demands rarely force a ring refetch. (Flooring at
+        # the whole batch's minimum instead would let one tiny-demand
+        # outlier drag every ring down to a near-zero capacity bound and
+        # blow their sizes up — per-replica floors keep rings tight.)
+        floor_threshold = self._threshold(
+            min(partitioning.left_partitions) + min(partitioning.right_partitions)
+        )
+        views: Dict[float, _RingView] = {}
+
+        def fresh_host(demand: float) -> Optional[str]:
+            need = self._threshold(demand)
+            view = views.get(need)
+            if view is None:
+                view = self.cursor(position, need, floor_threshold=floor_threshold)
+                views[need] = view
+            return view.next_host(available, self._grow)
+
+        outcome = self._walk_grid(
+            replica, position, partitioning, available, fresh_host, spread=True
+        )
+        outcome.knn_queries = self.stats.knn_queries - queries_before
+        return outcome
+
+    def _ensure_ledger(self, available: MutableMapping[str, float]) -> MutableMapping[str, float]:
+        # Capacity-filtered queries need the index to know availabilities;
+        # wrap plain mappings in a write-through ledger (callers' dicts still
+        # observe every mutation). Wrapping re-registers values, which can
+        # bump the mutation epoch — done before the epoch sync on purpose.
+        if not (
+            isinstance(available, AvailabilityLedger)
+            and available.cost_space is self.cost_space
+        ):
+            available = AvailabilityLedger(self.cost_space, backing=available)
+        return available
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def pack(
+        self,
+        jobs: Sequence[Tuple[JoinPairReplica, np.ndarray]],
+        available: MutableMapping[str, float],
+    ) -> List[AssignmentOutcome]:
+        """Place many replicas; returns one outcome per job, in order.
+
+        Runs serially for ``packing_workers <= 1`` (or small job lists),
+        otherwise through the lease-parallel path. Results are
+        deterministic for any worker count.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        available = self._ensure_ledger(available)
+        workers = self.config.packing_workers
+        if workers > 1 and len(jobs) >= self.config.packing_parallel_min:
+            return self._pack_parallel(jobs, available, workers)
+        return [
+            self.place_replica(replica, position, available)
+            for replica, position in jobs
+        ]
+
+    # ------------------------------------------------------------------
+    # lease-parallel path
+    # ------------------------------------------------------------------
+    def _pack_parallel(
+        self,
+        jobs: List[Tuple[JoinPairReplica, np.ndarray]],
+        available: AvailabilityLedger,
+        workers: int,
+    ) -> List[AssignmentOutcome]:
+        self._sync_epoch()
+        positions = [np.asarray(position, dtype=float) for _, position in jobs]
+        partitionings = [self._partition(replica) for replica, _ in jobs]
+
+        # Group jobs by spatial bucket, in first-appearance order.
+        buckets: Dict[Tuple[int, ...], List[int]] = {}
+        for index, position in enumerate(positions):
+            buckets.setdefault(self._bucket_key(position), []).append(index)
+
+        # Check out one capacity lease (an exact over-fetched ring) per
+        # bucket, in deterministic order. Nodes are owned first-come:
+        # slots of a later bucket's ring that an earlier bucket already
+        # claimed are marked *foreign* — the batch must neither consume
+        # them nor trust their availability, and any replica whose
+        # nearest candidate could be foreign is deferred to the serial
+        # pass. Oversized buckets (the contention-dense zone around a
+        # popular sink, where leases would be all-foreign anyway) skip
+        # the worker phase entirely and keep the serial path's
+        # vectorized screens.
+        bucket_order = sorted(buckets, key=lambda key: buckets[key][0])
+        owner: Dict[str, Tuple[int, ...]] = {}
+        batches: List[_Batch] = []
+        serial_jobs: List[int] = []
+        batch_cap = max(2 * self.config.packing_parallel_min, len(jobs) // 8)
+        for key in bucket_order:
+            indices = buckets[key]
+            if len(indices) > batch_cap:
+                serial_jobs.extend(indices)
+                continue
+            min_threshold = min(
+                self._threshold(min(p.left_partitions) + min(p.right_partitions))
+                for p in (partitionings[i] for i in indices)
+            )
+            center = positions[indices[0]].copy()
+            r_full = self._r_full(center)
+            radius = self._seed_radius(
+                self.config.packing_ring_start_k + 4 * len(indices)
+            )
+            ring = _Ring(center, min_threshold, min(radius, r_full), r_full)
+            self._fetch(ring)
+            # Leases need the full id set up front (ownership map, local
+            # availability snapshots), unlike cached rings which translate
+            # only the hosts actually returned.
+            ring.materialize_ids()
+            foreign = np.zeros(ring.size, dtype=bool)
+            lease_nodes: List[str] = []
+            for slot, node_id in enumerate(ring.ids):
+                if owner.setdefault(node_id, key) is key:
+                    lease_nodes.append(node_id)
+                else:
+                    foreign[slot] = True
+            if ring.size and len(lease_nodes) * 2 < ring.size:
+                # Mostly-foreign lease: nearly every placement would defer
+                # anyway, so skip the futile worker attempt (the claimed
+                # nodes stay claimed — releasing them would make batch
+                # construction order-dependent).
+                serial_jobs.extend(indices)
+                continue
+            batches.append(_Batch(indices, ring, foreign, lease_nodes))
+
+        outcomes: List[Optional[AssignmentOutcome]] = [None] * len(jobs)
+        worker_count = min(workers, len(batches)) or 1
+        batch_results: List[Optional[Tuple[Dict[str, float], List[int], int]]] = [
+            None
+        ] * len(batches)
+
+        def run_batch(batch: _Batch) -> Tuple[Dict[str, float], List[int], int]:
+            snapshot = {
+                node_id: available.get(node_id, 0.0) for node_id in batch.lease_nodes
+            }
+            local = _JournaledMap(snapshot)
+            deferred: List[int] = []
+            cells = 0
+            for index in batch.job_indices:
+                replica, _ = jobs[index]
+                position = positions[index]
+                views: Dict[float, _RingView] = {}
+
+                def fresh_host(demand: float) -> Optional[str]:
+                    need = self._threshold(demand)
+                    view = views.get(need)
+                    if view is None:
+                        view = _RingView(batch.ring, position, need)
+                        view.foreign = batch.foreign
+                        views[need] = view
+                    return view.next_host(local, None)
+
+                try:
+                    outcome = self._walk_grid(
+                        replica,
+                        position,
+                        partitionings[index],
+                        local,
+                        fresh_host,
+                        spread=False,
+                    )
+                except _DeferReplica:
+                    local.rollback()
+                    deferred.append(index)
+                    continue
+                local.commit()
+                cells += outcome.cells_placed
+                outcomes[index] = outcome
+            # ``snapshot`` is the journaled map's backing store, so touched
+            # entries now hold each node's final post-batch availability.
+            final_values = {node_id: snapshot[node_id] for node_id in local.touched}
+            return final_values, deferred, cells
+
+        def run_slot(slot: int) -> None:
+            for batch_index in range(slot, len(batches), worker_count):
+                batch_results[batch_index] = run_batch(batches[batch_index])
+                self.stats.worker_cells[f"w{slot}"] = (
+                    self.stats.worker_cells.get(f"w{slot}", 0)
+                    + batch_results[batch_index][2]
+                )
+
+        if worker_count == 1:
+            run_slot(0)
+        else:
+            threads = [
+                threading.Thread(target=run_slot, args=(slot,), daemon=True)
+                for slot in range(worker_count)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        # Deterministic merge: batches commit in creation order; leases are
+        # disjoint, so the final ledger state is order-independent anyway.
+        all_deferred: List[int] = list(serial_jobs)
+        for batch_result in batch_results:
+            final_values, deferred, _ = batch_result
+            for node_id, value in final_values.items():
+                available[node_id] = value
+            all_deferred.extend(deferred)
+        all_deferred.sort()
+
+        self.stats.batches += len(batches)
+        self.stats.deferred += len(all_deferred)
+        self.stats.workers_used = max(self.stats.workers_used, worker_count)
+
+        # Serial cleanup pass: replicas whose placement could not be proven
+        # inside their lease (ring growth needed, or the spread fallback),
+        # packed in original order against the live ledger.
+        for index in all_deferred:
+            replica, _ = jobs[index]
+            outcomes[index] = self.place_replica(replica, positions[index], available)
+        return [outcome for outcome in outcomes if outcome is not None]

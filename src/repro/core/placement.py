@@ -90,6 +90,9 @@ class Placement:
         object.__setattr__(self, "_by_replica", by_replica)
         object.__setattr__(self, "_by_join", by_join)
         object.__setattr__(self, "_node_load", loads)
+        object.__setattr__(self, "_total_required", 0.0)
+        object.__setattr__(self, "_join_replicas", {})
+        object.__setattr__(self, "_join_hosts", {})
         for sub in self.sub_replicas:
             self._index_add(sub)
 
@@ -98,6 +101,17 @@ class Placement:
         self._by_replica.setdefault(sub.replica_id, []).append(sub)
         self._by_join.setdefault(sub.join_id, []).append(sub)
         self._node_load[sub.node_id] = self._node_load.get(sub.node_id, 0.0) + sub.charged_capacity
+        # Running aggregates: total standalone demand plus per-join
+        # replica/host reference counts, so total_demand() and the
+        # session summary answer incrementally instead of rescanning the
+        # flat list per call.
+        object.__setattr__(
+            self, "_total_required", self._total_required + sub.required_capacity
+        )
+        replicas = self._join_replicas.setdefault(sub.join_id, {})
+        replicas[sub.replica_id] = replicas.get(sub.replica_id, 0) + 1
+        hosts = self._join_hosts.setdefault(sub.join_id, {})
+        hosts[sub.node_id] = hosts.get(sub.node_id, 0) + 1
 
     def _discard(self, removed: List[SubReplicaPlacement]) -> None:
         """Drop the given sub-replicas from the list and all indices.
@@ -127,6 +141,28 @@ class Placement:
                 self._node_load[node_id] = sum(s.charged_capacity for s in bucket)
             else:
                 self._node_load.pop(node_id, None)
+        total = self._total_required
+        for sub in removed:
+            total -= sub.required_capacity
+            replicas = self._join_replicas.get(sub.join_id)
+            if replicas is not None:
+                count = replicas.get(sub.replica_id, 0) - 1
+                if count > 0:
+                    replicas[sub.replica_id] = count
+                else:
+                    replicas.pop(sub.replica_id, None)
+                    if not replicas:
+                        del self._join_replicas[sub.join_id]
+            hosts = self._join_hosts.get(sub.join_id)
+            if hosts is not None:
+                count = hosts.get(sub.node_id, 0) - 1
+                if count > 0:
+                    hosts[sub.node_id] = count
+                else:
+                    hosts.pop(sub.node_id, None)
+                    if not hosts:
+                        del self._join_hosts[sub.join_id]
+        object.__setattr__(self, "_total_required", max(total, 0.0))
 
     # ------------------------------------------------------------------
     # derived views
@@ -164,8 +200,21 @@ class Placement:
         return len(self.sub_replicas)
 
     def total_demand(self) -> float:
-        """Sum of C_r over all sub-replicas."""
-        return sum(sub.required_capacity for sub in self.sub_replicas)
+        """Sum of C_r over all sub-replicas (maintained incrementally)."""
+        return self._total_required
+
+    def join_stats(self, join_id: str) -> Dict:
+        """Incremental per-join summary: replicas, sub-joins, hosts.
+
+        Served from the running per-join reference counts — the session
+        summary used to recompute these with a set comprehension over
+        every sub-replica of the join per call.
+        """
+        return {
+            "pair_replicas": len(self._join_replicas.get(join_id, ())),
+            "sub_joins": len(self._by_join.get(join_id, ())),
+            "hosts": sorted(self._join_hosts.get(join_id, ())),
+        }
 
     def merge_counts(self) -> Dict[str, int]:
         """How many sub-replicas were merged onto each node."""

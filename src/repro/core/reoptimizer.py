@@ -24,6 +24,13 @@ per-node/per-replica buckets and the resolved plan's id/source/node
 maps — so an event's cost scales with the replicas it actually affects,
 not with the total replica count. This is what keeps churn events
 sub-second at 10^5+ nodes.
+
+Re-placement runs through the session's long-lived
+:class:`~repro.core.packing.PackingEngine`: undeploys return capacity
+(an availability *increase*) and node churn mutates the index, both of
+which bump the cost space's mutation epoch — so the engine's shared
+cursor cache invalidates itself without any explicit coupling to the
+handlers here.
 """
 
 from __future__ import annotations

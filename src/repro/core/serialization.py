@@ -112,14 +112,10 @@ def session_summary(session: NovaSession) -> Dict:
                 "utilization": load / node.capacity if node.capacity else float("inf"),
             }
         )
-    joins = {}
-    for join in session.plan.joins():
-        subs = session.placement.subs_of_join(join.op_id)
-        joins[join.op_id] = {
-            "pair_replicas": len({s.replica_id for s in subs}),
-            "sub_joins": len(subs),
-            "hosts": sorted({s.node_id for s in subs}),
-        }
+    joins = {
+        join.op_id: session.placement.join_stats(join.op_id)
+        for join in session.plan.joins()
+    }
     return {
         "version": FORMAT_VERSION,
         "sigma": session.config.sigma,
@@ -139,6 +135,15 @@ def session_summary(session: NovaSession) -> Dict:
             "knn_queries": session.timings.knn_queries,
             "virtual_medians_per_s": session.timings.virtual_medians_per_s,
             "physical_cells_per_s": session.timings.physical_cells_per_s,
+        },
+        "packing": {
+            "cursor_cache_hits": session.timings.cursor_cache_hits,
+            "cursor_cache_misses": session.timings.cursor_cache_misses,
+            "cursor_cache_hit_rate": session.timings.cursor_cache_hit_rate,
+            "workers": session.config.packing_workers,
+            "workers_used": session.timings.packing_workers_used,
+            "batches": session.timings.packing_batches,
+            "deferred": session.timings.packing_deferred,
         },
         "nodes": nodes,
         "joins": joins,

@@ -4,30 +4,89 @@ For very large topologies Nova switches from the exact k-d tree to an
 *approximate* Annoy-based index (Section 3.4). The Annoy library is not
 available offline, so this module implements the same idea from scratch: a
 forest of trees, each built by recursively splitting the point set with
-random hyperplanes; a query descends every tree, pools the reached leaves,
-and ranks the pooled candidates exactly.
+random hyperplanes; a query explores the forest best-first (a shared
+frontier ordered by hyperplane-margin lower bounds), pools the reached
+leaves, and ranks the pooled candidates exactly.
 
 Accuracy/speed is controlled by ``n_trees`` and ``search_k`` exactly as in
-Annoy.
+Annoy. Three additions keep the *capacity-filtered* searches of Phase III
+fast at paper scale, mirroring the exact :class:`~repro.geometry.kdtree.KdTree`:
+
+* **Value augmentation.** Each point carries a scalar (available
+  capacity); every subtree of every tree maintains an upper bound on the
+  maximum over its live points, so a filtered query prunes saturated
+  subtrees wholesale instead of descending into them and pooling
+  candidates that the threshold then discards.
+* **Incremental leaf refresh.** A value increase raises the owning leaf
+  bound per tree with a cheap upward walk; a decrease (the common write
+  while Phase III drains capacity) just marks the leaf dirty — a
+  stale-high bound can never cause a wrong prune — and dirty leaves are
+  recomputed in one batch at the start of the next filtered query.
+* **Exact exhaustion.** Because pruned subtrees provably hold no
+  qualifying point, draining the frontier visits every qualifying live
+  point: a result shorter than ``k`` means no further qualifying nodes
+  exist anywhere, without the O(n) linear-scan fallback the single-descent
+  implementation needed. Phase III's spread fallback relies on this.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+import heapq
+import math
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.errors import OptimizationError
 from repro.common.rng import SeedLike, ensure_rng
 
+_NEG_INF = float("-inf")
 
-@dataclass
-class _SplitNode:
-    normal: np.ndarray
-    offset: float
-    left: Union["_SplitNode", np.ndarray]
-    right: Union["_SplitNode", np.ndarray]
+
+class _Tree:
+    """One random-projection tree in flat-array form.
+
+    A reference ``r >= 0`` names internal node ``r``; ``r < 0`` names leaf
+    ``-r - 1`` (the same encoding as :class:`~repro.geometry.kdtree.KdTree`).
+    Parent pointers allow O(depth) upward propagation of value bounds.
+    """
+
+    __slots__ = (
+        "normals",
+        "offsets",
+        "left",
+        "right",
+        "parent",
+        "node_max",
+        "leaf_members",
+        "leaf_live",
+        "leaf_parent",
+        "leaf_max",
+        "point_leaf",
+        "point_slot",
+        "root",
+        "dirty",
+    )
+
+    def __init__(self, n_points: int) -> None:
+        self.normals: List[np.ndarray] = []
+        self.offsets: List[float] = []
+        self.left: List[int] = []
+        self.right: List[int] = []
+        self.parent: List[int] = []
+        self.node_max: List[float] = []
+        self.leaf_members: List[np.ndarray] = []
+        self.leaf_live: List[np.ndarray] = []
+        self.leaf_parent: List[int] = []
+        self.leaf_max: List[float] = []
+        self.point_leaf = np.zeros(n_points, dtype=np.int32)
+        self.point_slot = np.zeros(n_points, dtype=np.int32)
+        self.root = 0
+        # Leaves whose stored bound may exceed the true live maximum.
+        self.dirty: set = set()
+
+    def ref_max(self, ref: int) -> float:
+        return self.node_max[ref] if ref >= 0 else self.leaf_max[-ref - 1]
 
 
 class AnnoyForest:
@@ -39,6 +98,7 @@ class AnnoyForest:
         n_trees: int = 8,
         leaf_size: int = 32,
         seed: SeedLike = 0,
+        values: Optional[np.ndarray] = None,
     ) -> None:
         points = np.asarray(points, dtype=float)
         if points.ndim != 2 or points.shape[0] == 0:
@@ -50,9 +110,27 @@ class AnnoyForest:
         self._points = points
         self._leaf_size = leaf_size
         self._deleted = np.zeros(points.shape[0], dtype=bool)
+        self._live_count = points.shape[0]
+        if values is None:
+            self._values = np.full(points.shape[0], np.inf)
+        else:
+            values = np.asarray(values, dtype=float)
+            if values.shape != (points.shape[0],):
+                raise OptimizationError("values must be one scalar per point")
+            self._values = values.copy()
+        # Stamp-based per-query dedup of candidates pooled across trees.
+        self._seen = np.zeros(points.shape[0], dtype=np.int64)
+        self._stamp = 0
+        # Lazily built leaf bounding boxes of tree 0 (annulus queries).
+        self._tree0_lo: Optional[List[np.ndarray]] = None
+        self._tree0_hi: Optional[List[np.ndarray]] = None
         rng = ensure_rng(seed)
         indices = np.arange(points.shape[0])
-        self._trees = [self._build(indices, rng) for _ in range(n_trees)]
+        self._trees: List[_Tree] = []
+        for _ in range(n_trees):
+            tree = _Tree(points.shape[0])
+            tree.root = self._build(tree, indices, rng, parent=-1)
+            self._trees.append(tree)
 
     @property
     def points(self) -> np.ndarray:
@@ -62,11 +140,26 @@ class AnnoyForest:
         return view
 
     def __len__(self) -> int:
-        return int((~self._deleted).sum())
+        return self._live_count
 
-    def _build(self, indices: np.ndarray, rng: np.random.Generator):
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _make_leaf(self, tree: _Tree, indices: np.ndarray, parent: int) -> int:
+        leaf_id = len(tree.leaf_members)
+        tree.leaf_members.append(indices)
+        tree.leaf_live.append(np.ones(indices.size, dtype=bool))
+        tree.leaf_parent.append(parent)
+        tree.leaf_max.append(
+            float(self._values[indices].max()) if indices.size else _NEG_INF
+        )
+        tree.point_leaf[indices] = leaf_id
+        tree.point_slot[indices] = np.arange(indices.size)
+        return -leaf_id - 1
+
+    def _build(self, tree: _Tree, indices: np.ndarray, rng: np.random.Generator, parent: int) -> int:
         if indices.size <= self._leaf_size:
-            return indices
+            return self._make_leaf(tree, indices, parent)
         dims = self._points.shape[1]
         # Split by the hyperplane between two random points (Annoy-style).
         for _ in range(8):
@@ -85,32 +178,116 @@ class AnnoyForest:
         left_mask = projections <= offset
         # Degenerate split: finish as a leaf.
         if left_mask.all() or not left_mask.any():
-            return indices
-        return _SplitNode(
-            normal=normal,
-            offset=offset,
-            left=self._build(indices[left_mask], rng),
-            right=self._build(indices[~left_mask], rng),
+            return self._make_leaf(tree, indices, parent)
+        node_id = len(tree.normals)
+        tree.normals.append(normal)
+        tree.offsets.append(offset)
+        tree.left.append(0)
+        tree.right.append(0)
+        tree.parent.append(parent)
+        tree.node_max.append(_NEG_INF)
+        tree.left[node_id] = self._build(tree, indices[left_mask], rng, node_id)
+        tree.right[node_id] = self._build(tree, indices[~left_mask], rng, node_id)
+        tree.node_max[node_id] = max(
+            tree.ref_max(tree.left[node_id]), tree.ref_max(tree.right[node_id])
         )
+        return node_id
 
+    # ------------------------------------------------------------------
+    # value-bound maintenance
+    # ------------------------------------------------------------------
+    def _refresh_leaf(self, tree: _Tree, leaf_id: int) -> None:
+        """Recompute a leaf's live-value maximum and propagate it upward."""
+        members = tree.leaf_members[leaf_id]
+        live = tree.leaf_live[leaf_id]
+        new_max = float(self._values[members][live].max()) if live.any() else _NEG_INF
+        if new_max == tree.leaf_max[leaf_id]:
+            return
+        tree.leaf_max[leaf_id] = new_max
+        node = tree.leaf_parent[leaf_id]
+        while node >= 0:
+            combined = max(tree.ref_max(tree.left[node]), tree.ref_max(tree.right[node]))
+            if combined == tree.node_max[node]:
+                break
+            tree.node_max[node] = combined
+            node = tree.parent[node]
+
+    def _raise_bound(self, tree: _Tree, leaf_id: int, value: float) -> None:
+        tree.leaf_max[leaf_id] = value
+        node = tree.leaf_parent[leaf_id]
+        while node >= 0 and tree.node_max[node] < value:
+            tree.node_max[node] = value
+            node = tree.parent[node]
+
+    def _flush_dirty(self) -> None:
+        for tree in self._trees:
+            if tree.dirty:
+                dirty, tree.dirty = tree.dirty, set()
+                for leaf_id in dirty:
+                    self._refresh_leaf(tree, leaf_id)
+
+    def set_value(self, index: int, value: float) -> None:
+        """Attach a scalar (e.g. available capacity) used by filtered queries.
+
+        Mirrors the exact tree's maintenance: increases raise the owning
+        leaf bound in every tree with a cheap upward walk; decreases mark
+        the leaf dirty and are folded in lazily before the next filtered
+        query, keeping the hot capacity-drain writes O(n_trees).
+        """
+        if not 0 <= index < self._points.shape[0]:
+            raise OptimizationError(f"point index {index} out of range")
+        value = float(value)
+        self._values[index] = value
+        if self._deleted[index]:
+            return
+        for tree in self._trees:
+            leaf_id = int(tree.point_leaf[index])
+            bound = tree.leaf_max[leaf_id]
+            if value > bound:
+                self._raise_bound(tree, leaf_id, value)
+            elif value < bound:
+                tree.dirty.add(leaf_id)
+
+    def value(self, index: int) -> float:
+        """The scalar attached to a point (+inf when never set)."""
+        if not 0 <= index < self._points.shape[0]:
+            raise OptimizationError(f"point index {index} out of range")
+        return float(self._values[index])
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
     def delete(self, index: int) -> None:
         """Tombstone a point so queries skip it."""
         if not 0 <= index < self._points.shape[0]:
             raise OptimizationError(f"point index {index} out of range")
+        if self._deleted[index]:
+            return
         self._deleted[index] = True
+        self._live_count -= 1
+        for tree in self._trees:
+            leaf_id = int(tree.point_leaf[index])
+            tree.leaf_live[leaf_id][tree.point_slot[index]] = False
+            tree.dirty.add(leaf_id)
 
     def restore(self, index: int) -> None:
         """Undo a deletion."""
         if not 0 <= index < self._points.shape[0]:
             raise OptimizationError(f"point index {index} out of range")
+        if not self._deleted[index]:
+            return
         self._deleted[index] = False
+        self._live_count += 1
+        value = float(self._values[index])
+        for tree in self._trees:
+            leaf_id = int(tree.point_leaf[index])
+            tree.leaf_live[leaf_id][tree.point_slot[index]] = True
+            if value > tree.leaf_max[leaf_id]:
+                self._raise_bound(tree, leaf_id, value)
 
-    def _descend(self, node, target: np.ndarray, pool: List[np.ndarray], budget: int) -> None:
-        while isinstance(node, _SplitNode):
-            side = target @ node.normal - node.offset
-            node = node.left if side <= 0 else node.right
-        pool.append(node)
-
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def query(
         self,
         target: Sequence[float],
@@ -121,37 +298,180 @@ class AnnoyForest:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Approximate (distances, indices) of the ``k`` nearest live points.
 
-        ``search_k`` bounds the candidate pool; larger values trade speed for
-        recall (default: ``k * n_trees * 2``). ``values``/``min_value``
-        restrict results to points whose value passes the threshold
-        (capacity-filtered search).
+        ``search_k`` bounds the candidate pool; larger values trade speed
+        for recall (default: ``k * n_trees * 2``). ``min_value`` restricts
+        results to points whose *internal* value (see :meth:`set_value`)
+        passes the threshold — with subtree bounds pruning saturated
+        regions wholesale. Passing an explicit ``values`` array filters
+        against it instead, at the cost of pruning.
+
+        The forest is explored best-first across all trees at once: the
+        frontier is ordered by each subtree's hyperplane-margin lower
+        bound (normals are unit vectors, so ``|margin|`` is the exact
+        distance to the splitting plane), which concentrates the budget
+        on the regions nearest the target. When fewer than ``search_k``
+        qualifying candidates exist, the frontier drains completely, so a
+        result shorter than ``k`` exactly means no further qualifying
+        live points exist.
         """
         if k < 1:
             raise OptimizationError("k must be >= 1")
         target = np.asarray(target, dtype=float)
         if target.shape != (self._points.shape[1],):
             raise OptimizationError("query point has the wrong dimensionality")
+        external = values is not None and min_value is not None
+        internal = min_value is not None and not external
+        if internal:
+            self._flush_dirty()
         budget = search_k if search_k is not None else max(k * len(self._trees) * 2, k)
+        budget = max(budget, k)
+        self._stamp += 1
+        stamp = self._stamp
+        seen = self._seen
         pool: List[np.ndarray] = []
-        for tree in self._trees:
-            self._descend(tree, target, pool, budget)
-        candidates = np.unique(np.concatenate(pool)) if pool else np.array([], dtype=int)
-        candidates = candidates[~self._deleted[candidates]]
-        if values is not None and min_value is not None and candidates.size:
-            candidates = candidates[values[candidates] >= min_value]
-        if candidates.size < k:
-            # The reached leaves cannot fill k results (heavy churn tombstones
-            # or the value filter thinned them out); supplement with a linear
-            # scan over the qualifying live points so recall survives churn.
-            mask = ~self._deleted
-            if values is not None and min_value is not None:
-                mask = mask & (values >= min_value)
-            candidates = np.nonzero(mask)[0]
-            if candidates.size == 0:
-                return np.array([]), np.array([], dtype=int)
+        pooled = 0
+        counter = 0
+        frontier: List[Tuple[float, int, int, int]] = []
+        for tree_id, tree in enumerate(self._trees):
+            frontier.append((0.0, counter, tree_id, tree.root))
+            counter += 1
+        heapq.heapify(frontier)
+        while frontier:
+            bound, _, tree_id, ref = heapq.heappop(frontier)
+            tree = self._trees[tree_id]
+            if internal and tree.ref_max(ref) < min_value:
+                continue
+            if ref < 0:
+                leaf_id = -ref - 1
+                members = tree.leaf_members[leaf_id]
+                if members.size == 0:
+                    continue
+                mask = tree.leaf_live[leaf_id]
+                if internal:
+                    mask = mask & (self._values[members] >= min_value)
+                elif external:
+                    mask = mask & (values[members] >= min_value)
+                candidates = members[mask]
+                fresh = candidates[seen[candidates] != stamp]
+                if fresh.size:
+                    seen[fresh] = stamp
+                    pool.append(fresh)
+                    pooled += fresh.size
+                    if pooled >= budget:
+                        break
+                continue
+            margin = float(target @ tree.normals[ref] - tree.offsets[ref])
+            if margin <= 0:
+                near, far = tree.left[ref], tree.right[ref]
+            else:
+                near, far = tree.right[ref], tree.left[ref]
+            heapq.heappush(frontier, (bound, counter, tree_id, near))
+            counter += 1
+            far_bound = abs(margin)
+            if far_bound < bound:
+                far_bound = bound
+            heapq.heappush(frontier, (far_bound, counter, tree_id, far))
+            counter += 1
+        if pool:
+            candidates = np.concatenate(pool)
+        else:
+            return np.array([]), np.array([], dtype=int)
         distances = np.linalg.norm(self._points[candidates] - target, axis=1)
-        if candidates.size > budget:
-            keep = np.argpartition(distances, budget - 1)[:budget]
-            candidates, distances = candidates[keep], distances[keep]
         order = np.argsort(distances, kind="stable")[:k]
         return distances[order], candidates[order]
+
+    def _leaf_boxes(self, tree: _Tree) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Lazily computed per-leaf bounding boxes (annulus pruning)."""
+        if self._tree0_lo is None:
+            lo: List[np.ndarray] = []
+            hi: List[np.ndarray] = []
+            dims = self._points.shape[1]
+            for members in tree.leaf_members:
+                if members.size:
+                    pts = self._points[members]
+                    lo.append(pts.min(axis=0))
+                    hi.append(pts.max(axis=0))
+                else:
+                    lo.append(np.full(dims, np.inf))
+                    hi.append(np.full(dims, -np.inf))
+            self._tree0_lo, self._tree0_hi = lo, hi
+        return self._tree0_lo, self._tree0_hi
+
+    def within_radius(
+        self,
+        target: Sequence[float],
+        radius: float,
+        min_value: Optional[float] = None,
+        inner_radius: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All live points within ``radius``, as (distances, indices) by distance.
+
+        *Exact* despite the approximate index: a single tree contains
+        every point, and hyperplane margins are valid distance lower
+        bounds (normals are unit vectors), so a bound-pruned traversal of
+        the first tree enumerates the radius completely. ``min_value``
+        additionally prunes subtrees via the capacity bounds, and
+        ``inner_radius`` returns only the annulus beyond it (leaves
+        entirely inside the interior are skipped via lazily built leaf
+        bounding boxes). This is the backend for the packing engine's
+        shared rings at annoy scale.
+        """
+        target = np.asarray(target, dtype=float)
+        if target.shape != (self._points.shape[1],):
+            raise OptimizationError("query point has the wrong dimensionality")
+        if min_value is not None:
+            self._flush_dirty()
+        tree = self._trees[0]
+        radius = float(radius)
+        inner = float(inner_radius)
+        leaf_lo = leaf_hi = None
+        if inner > 0.0:
+            leaf_lo, leaf_hi = self._leaf_boxes(tree)
+        index_chunks: List[np.ndarray] = []
+        dist_chunks: List[np.ndarray] = []
+        stack: List[Tuple[int, float]] = [(tree.root, 0.0)]
+        while stack:
+            ref, bound = stack.pop()
+            if bound > radius:
+                continue
+            if min_value is not None and tree.ref_max(ref) < min_value:
+                continue
+            if ref < 0:
+                leaf_id = -ref - 1
+                members = tree.leaf_members[leaf_id]
+                if members.size == 0:
+                    continue
+                if leaf_lo is not None:
+                    spans = np.maximum(
+                        np.abs(target - leaf_lo[leaf_id]),
+                        np.abs(leaf_hi[leaf_id] - target),
+                    )
+                    if spans @ spans <= inner * inner:
+                        continue  # leaf entirely inside the fetched interior
+                mask = tree.leaf_live[leaf_id]
+                if min_value is not None:
+                    mask = mask & (self._values[members] >= min_value)
+                distances = np.linalg.norm(self._points[members] - target, axis=1)
+                mask = mask & (distances <= radius)
+                if inner > 0.0:
+                    mask = mask & (distances > inner)
+                if mask.any():
+                    index_chunks.append(members[mask])
+                    dist_chunks.append(distances[mask])
+                continue
+            margin = float(target @ tree.normals[ref] - tree.offsets[ref])
+            if margin <= 0:
+                near, far = tree.left[ref], tree.right[ref]
+            else:
+                near, far = tree.right[ref], tree.left[ref]
+            far_bound = abs(margin)
+            if far_bound < bound:
+                far_bound = bound
+            stack.append((far, far_bound))
+            stack.append((near, bound))
+        if not index_chunks:
+            return np.array([]), np.array([], dtype=int)
+        indices = np.concatenate(index_chunks)
+        distances = np.concatenate(dist_chunks)
+        order = np.argsort(distances, kind="stable")
+        return distances[order], indices[order]

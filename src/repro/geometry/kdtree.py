@@ -17,10 +17,16 @@ Three design points keep the capacity-filtered searches of Phase III cheap:
   below the threshold, so the saturated neighbourhood around a popular
   virtual position — exactly where Phase III queries concentrate — is
   skipped wholesale instead of being re-scanned point by point.
-* **Cheap bound maintenance.** A value update recomputes its leaf's
-  bound and walks the parent chain only while the bound keeps changing —
-  a few comparisons in the common case, which keeps the per-cell
-  capacity writes of Phase III near-constant time.
+* **Cheap bound maintenance.** A value *increase* raises the leaf bound
+  and walks the parent chain only while the bound keeps changing. A
+  value *decrease* — the overwhelmingly common write while Phase III
+  drains capacity — leaves the (now stale-high) bound in place and just
+  marks the leaf dirty: a too-high upper bound can never cause a wrong
+  prune, so correctness is unaffected, and the dirty leaves are
+  recomputed in one batch at the start of the next filtered query. This
+  turns tens of thousands of per-cell capacity writes into set inserts,
+  paying the upward propagation only once per (leaf, query) instead of
+  once per write.
 """
 
 from __future__ import annotations
@@ -75,14 +81,25 @@ class KdTree:
         self._node_right: List[int] = []
         self._node_parent: List[int] = []
         self._node_max: List[float] = []
+        # Axis-aligned bounding boxes per internal node and leaf: exact
+        # min/max distance bounds for radius (and annulus) queries. Kept
+        # as plain float lists — the per-node box math runs as scalar
+        # Python arithmetic, which beats numpy on d-element arrays.
+        self._node_lo: List[List[float]] = []
+        self._node_hi: List[List[float]] = []
         self._leaf_members: List[np.ndarray] = []
         self._leaf_points: List[np.ndarray] = []
         self._leaf_values: List[np.ndarray] = []
         self._leaf_live: List[np.ndarray] = []
         self._leaf_parent: List[int] = []
         self._leaf_max: List[float] = []
+        self._leaf_lo: List[List[float]] = []
+        self._leaf_hi: List[List[float]] = []
         self._point_leaf = np.zeros(points.shape[0], dtype=int)
         self._point_slot = np.zeros(points.shape[0], dtype=int)
+        # Leaves whose stored bound may exceed their true value maximum
+        # (after a value decrease); flushed lazily before filtered queries.
+        self._dirty_leaves: set = set()
         self._root = self._build(np.arange(points.shape[0]), depth=0, parent=-1)
 
     @property
@@ -101,14 +118,22 @@ class KdTree:
     def _build(self, indices: np.ndarray, depth: int, parent: int) -> int:
         if indices.size <= self._leaf_size:
             leaf_id = len(self._leaf_members)
+            points = self._points[indices].copy()
             self._leaf_members.append(indices)
-            self._leaf_points.append(self._points[indices].copy())
+            self._leaf_points.append(points)
             self._leaf_values.append(self._values[indices].copy())
             self._leaf_live.append(np.ones(indices.size, dtype=bool))
             self._leaf_parent.append(parent)
             self._leaf_max.append(
                 float(self._values[indices].max()) if indices.size else _NEG_INF
             )
+            dims = self._points.shape[1]
+            if indices.size:
+                self._leaf_lo.append(points.min(axis=0).tolist())
+                self._leaf_hi.append(points.max(axis=0).tolist())
+            else:
+                self._leaf_lo.append([math.inf] * dims)
+                self._leaf_hi.append([-math.inf] * dims)
             self._point_leaf[indices] = leaf_id
             self._point_slot[indices] = np.arange(indices.size)
             return -leaf_id - 1
@@ -123,13 +148,27 @@ class KdTree:
         self._node_right.append(0)
         self._node_parent.append(parent)
         self._node_max.append(_NEG_INF)
+        self._node_lo.append([])
+        self._node_hi.append([])
         self._node_left[node_id] = self._build(indices[:mid], depth + 1, node_id)
         self._node_right[node_id] = self._build(indices[mid:], depth + 1, node_id)
         self._node_max[node_id] = max(
             self._ref_max(self._node_left[node_id]),
             self._ref_max(self._node_right[node_id]),
         )
+        left_lo = self._ref_lo(self._node_left[node_id])
+        right_lo = self._ref_lo(self._node_right[node_id])
+        left_hi = self._ref_hi(self._node_left[node_id])
+        right_hi = self._ref_hi(self._node_right[node_id])
+        self._node_lo[node_id] = [min(a, b) for a, b in zip(left_lo, right_lo)]
+        self._node_hi[node_id] = [max(a, b) for a, b in zip(left_hi, right_hi)]
         return node_id
+
+    def _ref_lo(self, ref: int) -> List[float]:
+        return self._node_lo[ref] if ref >= 0 else self._leaf_lo[-ref - 1]
+
+    def _ref_hi(self, ref: int) -> List[float]:
+        return self._node_hi[ref] if ref >= 0 else self._leaf_hi[-ref - 1]
 
     def _ref_max(self, ref: int) -> float:
         return self._node_max[ref] if ref >= 0 else self._leaf_max[-ref - 1]
@@ -190,8 +229,11 @@ class KdTree:
     def set_value(self, index: int, value: float) -> None:
         """Attach a scalar (e.g. available capacity) used by filtered queries.
 
-        Recomputes the leaf bound and propagates it upward only while it
-        changes an ancestor — a few comparisons in the common case.
+        An increase raises the leaf bound and propagates it upward only
+        while it changes an ancestor. A decrease defers the (potentially
+        lower) bound: the stale-high bound stays a valid upper bound, so
+        the leaf is merely marked dirty and recomputed lazily before the
+        next filtered query — O(1) on the hot capacity-drain path.
         """
         if not 0 <= index < self._points.shape[0]:
             raise OptimizationError(f"point index {index} out of range")
@@ -201,7 +243,24 @@ class KdTree:
             return
         leaf, slot = int(self._point_leaf[index]), int(self._point_slot[index])
         self._leaf_values[leaf][slot] = value
-        self._refresh_bounds(leaf)
+        bound = self._leaf_max[leaf]
+        if value > bound:
+            # Raising the maximum: exact propagation is a cheap upward walk.
+            self._leaf_max[leaf] = value
+            node = self._leaf_parent[leaf]
+            while node >= 0 and self._node_max[node] < value:
+                self._node_max[node] = value
+                node = self._node_parent[node]
+        elif value < bound:
+            self._dirty_leaves.add(leaf)
+
+    def _flush_dirty_bounds(self) -> None:
+        """Recompute the bounds of leaves dirtied by deferred decreases."""
+        if not self._dirty_leaves:
+            return
+        dirty, self._dirty_leaves = self._dirty_leaves, set()
+        for leaf in dirty:
+            self._refresh_bounds(leaf)
 
     # ------------------------------------------------------------------
     # queries
@@ -243,6 +302,10 @@ class KdTree:
             )
         external = values is not None and min_value is not None
         internal = not external and min_value is not None
+        if internal:
+            # Deferred decreases left some bounds stale-high; tighten them
+            # once per query so the saturated-region pruning stays sharp.
+            self._flush_dirty_bounds()
         node_axis = self._node_axis
         node_split = self._node_split
         node_left = self._node_left
@@ -328,6 +391,97 @@ class KdTree:
         distances = np.sqrt(np.array([-d for d, _ in best]))
         indices = np.array([i for _, i in best], dtype=int)
         return distances, indices
+
+    def within_radius(
+        self,
+        target: Sequence[float],
+        radius: float,
+        min_value: Optional[float] = None,
+        inner_radius: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All live points within ``radius``, as (distances, indices) by distance.
+
+        With ``min_value``, only points whose value passes the threshold
+        qualify, and whole subtrees below the threshold are pruned via the
+        maintained bounds. With ``inner_radius``, only the annulus
+        ``inner_radius < dist <= radius`` is returned, and subtrees lying
+        entirely inside the inner sphere are pruned via the per-subtree
+        bounding boxes — growing a neighbourhood pays for the new shell
+        only, not for rescanning its interior. Unlike :meth:`query`,
+        there is no k-heap and no per-candidate Python loop — leaves are
+        evaluated wholesale — which makes this the cheap way to
+        materialize a complete qualifying neighbourhood (the packing
+        engine's shared rings).
+        """
+        target = np.asarray(target, dtype=float)
+        if target.shape != (self._points.shape[1],):
+            raise OptimizationError(
+                f"query point has dimension {target.shape}, expected ({self._points.shape[1]},)"
+            )
+        if min_value is not None:
+            self._flush_dirty_bounds()
+        radius2 = float(radius) * float(radius)
+        inner2 = float(inner_radius) * float(inner_radius)
+        target_list = target.tolist()
+        dims = len(target_list)
+        index_chunks: List[np.ndarray] = []
+        dist_chunks: List[np.ndarray] = []
+        stack: List[int] = [self._root]
+        while stack:
+            ref = stack.pop()
+            if min_value is not None and self._ref_max(ref) < min_value:
+                continue
+            lo = self._ref_lo(ref)
+            hi = self._ref_hi(ref)
+            # Exact min/max squared distance between target and the box,
+            # as scalar arithmetic (beats numpy on d-element vectors).
+            min2 = 0.0
+            for axis in range(dims):
+                t = target_list[axis]
+                if t < lo[axis]:
+                    gap = lo[axis] - t
+                elif t > hi[axis]:
+                    gap = t - hi[axis]
+                else:
+                    continue
+                min2 += gap * gap
+            if min2 > radius2:
+                continue
+            if inner2 > 0.0:
+                max2 = 0.0
+                for axis in range(dims):
+                    t = target_list[axis]
+                    span = max(abs(t - lo[axis]), abs(hi[axis] - t))
+                    max2 += span * span
+                if max2 <= inner2:
+                    continue  # entirely inside the already-fetched interior
+            if ref < 0:
+                leaf_id = -ref - 1
+                members = self._leaf_members[leaf_id]
+                if members.size == 0:
+                    continue
+                diff = self._leaf_points[leaf_id] - target
+                dist2 = np.einsum("ij,ij->i", diff, diff)
+                if min_value is not None:
+                    # Tombstones carry -inf values, so the threshold filter
+                    # excludes them implicitly.
+                    mask = (self._leaf_values[leaf_id] >= min_value) & (dist2 <= radius2)
+                else:
+                    mask = self._leaf_live[leaf_id] & (dist2 <= radius2)
+                if inner2 > 0.0:
+                    mask &= dist2 > inner2
+                if mask.any():
+                    index_chunks.append(members[mask])
+                    dist_chunks.append(dist2[mask])
+                continue
+            stack.append(self._node_left[ref])
+            stack.append(self._node_right[ref])
+        if not index_chunks:
+            return np.array([]), np.array([], dtype=int)
+        indices = np.concatenate(index_chunks)
+        distances = np.sqrt(np.concatenate(dist_chunks))
+        order = np.argsort(distances, kind="stable")
+        return distances[order], indices[order]
 
     def query_radius(self, target: Sequence[float], radius: float) -> np.ndarray:
         """Indices of all live points within ``radius`` of ``target``."""

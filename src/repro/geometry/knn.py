@@ -71,12 +71,13 @@ class NeighborIndex:
         self._tree = self._build_tree(points, self._value_array)
 
     def _build_tree(self, points: np.ndarray, values: Optional[np.ndarray] = None):
+        # Both backends keep the values internally, maintaining per-subtree
+        # maxima so capacity-filtered queries can prune exhausted regions
+        # wholesale (the approximate forest mirrors the exact tree's
+        # capacity-augmented bounds).
         if self._backend_name == EXACT_BACKEND:
-            # The exact tree keeps the values internally, maintaining
-            # per-subtree maxima so capacity-filtered queries can prune
-            # exhausted regions wholesale.
             return KdTree(points, values=values)
-        return AnnoyForest(points, seed=self._seed)
+        return AnnoyForest(points, seed=self._seed, values=values)
 
     # ------------------------------------------------------------------
     # maintenance
@@ -97,6 +98,74 @@ class NeighborIndex:
         if node_id not in self._positions or node_id in self._removed:
             raise UnknownNodeError(node_id)
         return self._positions[node_id]
+
+    def positions_batch(self, node_ids: Sequence[str]) -> np.ndarray:
+        """Coordinates of many nodes as one ``(n, d)`` array.
+
+        The hot path is a single fancy-index gather from the tree's
+        contiguous point matrix (one dict lookup per id, no per-id array
+        handling); ids living in the linear add-buffer or under churn fall
+        back to per-id resolution.
+        """
+        if not node_ids:
+            return np.empty((0, self._dims))
+        if not self._extra and not self._removed:
+            index_of = self._index_of
+            try:
+                rows = np.fromiter(
+                    (index_of[nid] for nid in node_ids),
+                    dtype=np.intp,
+                    count=len(node_ids),
+                )
+            except KeyError as error:
+                raise UnknownNodeError(str(error.args[0])) from None
+            return self._tree.points[rows]
+        return np.vstack([self.position(nid) for nid in node_ids])
+
+    @property
+    def value_array(self) -> np.ndarray:
+        """Read-only view of the per-row scalar values (tree rows only).
+
+        Rows follow :meth:`rows`; buffered additions are not covered.
+        Callers caching row indices must drop them when the index mutates
+        (the cost space's mutation epoch signals this).
+        """
+        view = self._value_array.view()
+        view.flags.writeable = False
+        return view
+
+    def rows(self, node_ids: Sequence[str]) -> np.ndarray:
+        """Tree-row indices of the given nodes (for vectorized value reads).
+
+        Only valid for ids currently in the tree (not buffered, not
+        removed); raises :class:`UnknownNodeError` otherwise.
+        """
+        index_of = self._index_of
+        try:
+            rows = np.fromiter(
+                (index_of[nid] for nid in node_ids), dtype=np.intp, count=len(node_ids)
+            )
+        except KeyError as error:
+            raise UnknownNodeError(str(error.args[0])) from None
+        if self._removed and any(nid in self._removed for nid in node_ids):
+            raise UnknownNodeError("removed node in rows() request")
+        return rows
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned (lower, upper) bounds over the indexed points.
+
+        Computed vectorized over the tree's point matrix plus the add
+        buffer; tombstoned points are included, which only widens the box
+        (callers use it to size spatial buckets, not for exact geometry).
+        """
+        points = self._tree.points
+        lower = points.min(axis=0)
+        upper = points.max(axis=0)
+        if self._extra:
+            extra = np.vstack(list(self._extra.values()))
+            lower = np.minimum(lower, extra.min(axis=0))
+            upper = np.maximum(upper, extra.max(axis=0))
+        return lower, upper
 
     def add(self, node_id: str, point: Sequence[float]) -> None:
         """Add (or re-add) a node; buffered until the next rebuild."""
@@ -148,8 +217,7 @@ class NeighborIndex:
         index = self._index_of.get(node_id)
         if index is not None:
             self._value_array[index] = float(value)
-            if self._backend_name == EXACT_BACKEND:
-                self._tree.set_value(index, float(value))
+            self._tree.set_value(index, float(value))
 
     def value(self, node_id: str) -> float:
         """The scalar attached to a node (+inf when never set)."""
@@ -206,12 +274,10 @@ class NeighborIndex:
         if len(self._index_of) > 0 and fetch > 0:
             kwargs = {}
             if min_value is not None:
-                # The exact tree holds the values internally (with
-                # per-subtree maxima enabling pruning); the approximate
-                # forest filters against the shared value array.
+                # Both backends hold the values internally, with
+                # per-subtree maxima enabling wholesale pruning of
+                # saturated regions.
                 kwargs = {"min_value": min_value}
-                if self._backend_name == APPROXIMATE_BACKEND:
-                    kwargs["values"] = self._value_array
             if self._backend_name == APPROXIMATE_BACKEND:
                 kwargs["search_k"] = max(64, 8 * fetch)
             elif approximate and len(self) > self._exact_proof_limit:
@@ -232,6 +298,70 @@ class NeighborIndex:
             results.append((node_id, float(np.linalg.norm(point - target))))
         results.sort(key=lambda pair: pair[1])
         return results[:k]
+
+    def node_id_of_row(self, row: int) -> str:
+        """Translate a tree row (see :meth:`rows`) back to its node id."""
+        return self._ids[int(row)]
+
+    def points_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Coordinates of the given tree rows as one ``(n, d)`` gather."""
+        return self._tree.points[rows]
+
+    def within_rows(
+        self,
+        target: Sequence[float],
+        radius: float,
+        min_value: Optional[float] = None,
+        inner_radius: float = 0.0,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Row-level radius query: (distances, rows) sorted by distance.
+
+        The zero-copy fast path behind :meth:`within`: results stay numpy
+        arrays end to end (no per-id translation), which is what the
+        packing engine's rings consume. ``inner_radius`` restricts the
+        result to the annulus beyond it (incremental ring growth).
+        Returns ``None`` when buffered additions would make the tree-only
+        answer incomplete — callers fall back to :meth:`within`.
+        """
+        if self._extra:
+            return None
+        return self._tree.within_radius(
+            target, radius, min_value=min_value, inner_radius=inner_radius
+        )
+
+    def within(
+        self,
+        target: Sequence[float],
+        radius: float,
+        min_value: Optional[float] = None,
+    ) -> List[Tuple[str, float]]:
+        """All live nodes within ``radius`` as (id, distance), by distance.
+
+        Complete on both backends (the annoy forest enumerates one tree
+        exactly), with ``min_value`` pruning saturated subtrees via the
+        capacity bounds. This is what materializes the packing engine's
+        shared neighbourhood rings in one vectorized pass instead of a
+        k-NN search with its minimality proof.
+        """
+        target = np.asarray(target, dtype=float)
+        results: List[Tuple[str, float]] = []
+        if len(self._index_of) > 0:
+            distances, indices = self._tree.within_radius(
+                target, radius, min_value=min_value
+            )
+            for dist, idx in zip(distances, indices):
+                node_id = self._ids[int(idx)]
+                if node_id in self._removed or node_id in self._extra:
+                    continue
+                results.append((node_id, float(dist)))
+        for node_id, point in self._extra.items():
+            if min_value is not None and self.value(node_id) < min_value:
+                continue
+            dist = float(np.linalg.norm(point - target))
+            if dist <= radius:
+                results.append((node_id, dist))
+        results.sort(key=lambda pair: pair[1])
+        return results
 
     def query_batch(
         self,

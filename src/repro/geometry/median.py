@@ -26,6 +26,16 @@ anchor safeguard, snap-to-anchor — so their results match the scalar
 solvers anchor for anchor. Ragged anchor counts are expressed with a
 boolean ``mask``; padded slots must hold finite coordinates (their
 weights are forced to zero).
+
+The batch solvers run a *two-tier* schedule: frozen problems already
+drop out of the per-iteration work, but the full-size state arrays keep
+being indexed at the whole batch's width. Once the long tail of
+unconverged problems is small (``compact_after`` iterations in and at
+most half the batch still active), the remaining problems are evicted
+to a compacted second pass — every state array is sliced down to the
+active rows — so the tail iterates at its own width instead of the
+batch's. Per-problem arithmetic is untouched, so results are bit-equal
+with compaction on, off, or forced early.
 """
 
 from __future__ import annotations
@@ -328,12 +338,60 @@ def _snap_to_better_anchor_batch(
     )
 
 
+# After this many iterations, batch solvers evict the unconverged tail
+# to a compacted second pass (see the module docstring).
+TAIL_COMPACT_AFTER = 16
+
+
+class _TailCompactor:
+    """Evicts a batch solver's long tail to a compacted second pass.
+
+    ``maybe_compact`` slices every registered state array down to the
+    active rows once the trigger fires (at most half the batch is still
+    active after ``compact_after`` iterations); ``restore`` scatters the
+    compacted per-problem state back into the full-size arrays. Row
+    arithmetic is independent across problems, so compaction cannot
+    change any result.
+    """
+
+    def __init__(self, compact_after: Optional[int]) -> None:
+        self.compact_after = compact_after
+        self.origin: Optional[np.ndarray] = None
+        self._full: Optional[Tuple[np.ndarray, ...]] = None
+
+    def should_compact(self, iteration: int, active: np.ndarray) -> bool:
+        return (
+            self.compact_after is not None
+            and self.origin is None
+            and iteration >= self.compact_after
+            and active.any()
+            and int(active.sum()) * 2 <= active.shape[0]
+        )
+
+    def compact(self, active: np.ndarray, state: Tuple[np.ndarray, ...]):
+        self.origin = np.nonzero(active)[0]
+        self._full = state
+        return tuple(array[self.origin] for array in state)
+
+    def restore(
+        self, carried: int, state: Tuple[np.ndarray, ...]
+    ) -> Tuple[np.ndarray, ...]:
+        """Scatter back; the first ``carried`` arrays carry results."""
+        if self.origin is None:
+            return state
+        full = self._full
+        for position in range(carried):
+            full[position][self.origin] = state[position]
+        return full
+
+
 def weiszfeld_batch(
     points: np.ndarray,
     weights: Optional[np.ndarray] = None,
     mask: Optional[np.ndarray] = None,
     max_iterations: int = 200,
     tolerance: float = 1e-9,
+    compact_after: Optional[int] = TAIL_COMPACT_AFTER,
 ) -> BatchMedianResult:
     """Weiszfeld's algorithm over ``R`` problems simultaneously.
 
@@ -341,7 +399,9 @@ def weiszfeld_batch(
     start, the same Vardi-Zhang safeguard when an iterate lands on an
     anchor, the same shift tolerance, and the same final snap-to-anchor
     comparison. Problems converge (and freeze) independently; each
-    iteration only touches the still-active rows.
+    iteration only touches the still-active rows, and the long tail is
+    evicted to a compacted second pass after ``compact_after``
+    iterations (``None`` disables the eviction).
     """
     points, weights, mask = _prepare_batch(points, weights, mask)
     rows = points.shape[0]
@@ -355,9 +415,16 @@ def weiszfeld_batch(
         current[single] = points[single, first[single]]
         converged[single] = True
     active = ~single
+    compactor = _TailCompactor(compact_after)
     for iteration in range(1, max_iterations + 1):
         if not active.any():
             break
+        if compactor.should_compact(iteration, active):
+            current, iterations, converged, points, weights, mask, active = (
+                compactor.compact(
+                    active, (current, iterations, converged, points, weights, mask, active)
+                )
+            )
         idx = np.nonzero(active)[0]
         pts, w, m, cur = points[idx], weights[idx], mask[idx], current[idx]
         deltas = pts - cur[:, None, :]
@@ -402,6 +469,9 @@ def weiszfeld_batch(
         current[idx] = new_cur
         converged[idx] |= done
         active[idx[done]] = False
+    current, iterations, converged, points, weights, mask, active = compactor.restore(
+        3, (current, iterations, converged, points, weights, mask, active)
+    )
     return _snap_to_better_anchor_batch(
         current, points, weights, mask, iterations, converged
     )
@@ -414,12 +484,15 @@ def gradient_descent_median_batch(
     max_iterations: int = 500,
     learning_rate: float = 0.5,
     tolerance: float = 1e-9,
+    compact_after: Optional[int] = TAIL_COMPACT_AFTER,
 ) -> BatchMedianResult:
     """(Sub)gradient descent over ``R`` problems simultaneously.
 
     Per-problem step sizes follow the scalar schedule exactly: a step
     that worsens the objective is rejected and halves the step, and each
-    problem freezes once its step (or gradient) vanishes.
+    problem freezes once its step (or gradient) vanishes. The
+    unconverged tail is evicted to a compacted second pass after
+    ``compact_after`` iterations (``None`` disables the eviction).
     """
     points, weights, mask = _prepare_batch(points, weights, mask)
     rows = points.shape[0]
@@ -438,9 +511,37 @@ def gradient_descent_median_batch(
     epsilon = 1e-12
     active = ~converged
     objectives = _masked_objectives(current, points, weights)
+    compactor = _TailCompactor(compact_after)
     for iteration in range(1, max_iterations + 1):
         if not active.any():
             break
+        if compactor.should_compact(iteration, active):
+            (
+                current,
+                iterations,
+                converged,
+                step,
+                objectives,
+                scale,
+                points,
+                weights,
+                mask,
+                active,
+            ) = compactor.compact(
+                active,
+                (
+                    current,
+                    iterations,
+                    converged,
+                    step,
+                    objectives,
+                    scale,
+                    points,
+                    weights,
+                    mask,
+                    active,
+                ),
+            )
         idx = np.nonzero(active)[0]
         pts, w, cur = points[idx], weights[idx], current[idx]
         deltas = cur[:, None, :] - pts
@@ -459,6 +560,32 @@ def gradient_descent_median_batch(
         done = flat | (step[idx] < tolerance * scale[idx])
         converged[idx] |= done
         active[idx[done]] = False
+    (
+        current,
+        iterations,
+        converged,
+        step,
+        objectives,
+        scale,
+        points,
+        weights,
+        mask,
+        active,
+    ) = compactor.restore(
+        5,
+        (
+            current,
+            iterations,
+            converged,
+            step,
+            objectives,
+            scale,
+            points,
+            weights,
+            mask,
+            active,
+        ),
+    )
     return BatchMedianResult(
         points=current,
         objectives=_masked_objectives(current, points, weights),
@@ -472,12 +599,19 @@ def minimax_point_batch(
     mask: Optional[np.ndarray] = None,
     max_iterations: int = 500,
     tolerance: float = 1e-9,
+    compact_after: Optional[int] = TAIL_COMPACT_AFTER,
 ) -> BatchMedianResult:
     """Badoiu-Clarkson smallest-enclosing-ball centers for ``R`` problems.
 
     As in the scalar solver, the objective reported for a converged
     problem is the max-distance radius measured just before its final
-    1/(k+1) step toward the farthest anchor.
+    1/(k+1) step toward the farthest anchor. The unconverged tail is
+    evicted to a compacted second pass after ``compact_after``
+    iterations (``None`` disables the eviction).
+
+    .. note:: the Badoiu-Clarkson step size depends on the *iteration
+       number* (1/(k+1)), which keeps running across the eviction, so
+       compaction is exact here too.
     """
     points, weights, mask = _prepare_batch(points, None, mask)
     rows = points.shape[0]
@@ -491,9 +625,35 @@ def minimax_point_batch(
     objectives = np.zeros(rows)
     previous_radius = np.full(rows, np.inf)
     active = ~converged
+    compactor = _TailCompactor(compact_after)
     for iteration in range(1, max_iterations + 1):
         if not active.any():
             break
+        if compactor.should_compact(iteration, active):
+            (
+                current,
+                iterations,
+                converged,
+                objectives,
+                previous_radius,
+                active,
+                points,
+                weights,
+                mask,
+            ) = compactor.compact(
+                active,
+                (
+                    current,
+                    iterations,
+                    converged,
+                    objectives,
+                    previous_radius,
+                    active,
+                    points,
+                    weights,
+                    mask,
+                ),
+            )
         idx = np.nonzero(active)[0]
         pts, cur = points[idx], current[idx]
         distances = np.where(mask[idx], np.linalg.norm(pts - cur[:, None, :], axis=2), -np.inf)
@@ -507,6 +667,30 @@ def minimax_point_batch(
         previous_radius[idx] = radius
         converged[idx] |= done
         active[idx[done]] = False
+    (
+        current,
+        iterations,
+        converged,
+        objectives,
+        previous_radius,
+        active,
+        points,
+        weights,
+        mask,
+    ) = compactor.restore(
+        6,
+        (
+            current,
+            iterations,
+            converged,
+            objectives,
+            previous_radius,
+            active,
+            points,
+            weights,
+            mask,
+        ),
+    )
     exhausted = np.nonzero(active)[0]
     if len(exhausted):
         distances = np.where(

@@ -195,3 +195,88 @@ class TestNeighborhoodCursor:
         available = dict(available)
         available[first] = 0.0
         assert cursor.next_host(available) != first
+
+
+class TestMutationEpoch:
+    def make_space(self, n=20):
+        coords = {f"n{i}": np.array([float(i), 0.0]) for i in range(n)}
+        return CostSpace(coords)
+
+    def test_decreases_do_not_bump(self):
+        space = self.make_space()
+        space.set_available("n0", 50.0)
+        epoch = space.mutation_epoch
+        space.set_available("n0", 10.0)
+        space.set_available("n0", 0.0)
+        assert space.mutation_epoch == epoch
+
+    def test_increase_bumps(self):
+        space = self.make_space()
+        space.set_available("n0", 10.0)
+        epoch = space.mutation_epoch
+        space.set_available("n0", 20.0)
+        assert space.mutation_epoch == epoch + 1
+
+    def test_node_churn_bumps(self):
+        space = self.make_space()
+        epoch = space.mutation_epoch
+        space.remove_node("n3")
+        assert space.mutation_epoch > epoch
+        epoch = space.mutation_epoch
+        space.add_node("fresh", {"n0": 5.0, "n1": 7.0})
+        assert space.mutation_epoch > epoch
+
+
+class TestVectorizedGathers:
+    def make_space(self, n=30):
+        coords = {f"n{i}": np.array([float(i), float(i % 7)]) for i in range(n)}
+        return CostSpace(coords), coords
+
+    def test_positions_batch_matches_position(self):
+        space, coords = self.make_space()
+        ids = ["n3", "n17", "n3", "n29"]
+        batch = space.positions_batch(ids)
+        assert batch.shape == (4, 2)
+        for row, node_id in enumerate(ids):
+            assert np.allclose(batch[row], space.position(node_id))
+
+    def test_positions_batch_after_churn(self):
+        space, _ = self.make_space()
+        space.remove_node("n5")
+        space.add_node("extra", {"n0": 4.0, "n1": 6.0})
+        batch = space.positions_batch(["n3", "extra"])
+        assert np.allclose(batch[0], space.position("n3"))
+        assert np.allclose(batch[1], space.position("extra"))
+        with pytest.raises(UnknownNodeError):
+            space.positions_batch(["n3", "n5"])
+
+    def test_anchor_matrix_padded_and_masked(self):
+        space, _ = self.make_space()
+        groups = [["n1", "n2", "n3"], ["n4"], ["n5", "n6"]]
+        anchors, mask = space.anchor_matrix(groups)
+        assert anchors.shape == (3, 3, 2)
+        assert mask.shape == (3, 3)
+        assert mask.sum() == 6
+        for row, group in enumerate(groups):
+            for slot, node_id in enumerate(group):
+                assert np.allclose(anchors[row, slot], space.position(node_id))
+
+    def test_anchor_matrix_uniform_groups_have_no_mask(self):
+        space, _ = self.make_space()
+        anchors, mask = space.anchor_matrix([["n1", "n2"], ["n3", "n4"]])
+        assert mask is None
+        assert anchors.shape == (2, 2, 2)
+
+    def test_within_matches_knn(self):
+        space, coords = self.make_space()
+        for node_id in coords:
+            space.set_available(node_id, 10.0)
+        space.set_available("n2", 1.0)
+        point = [3.0, 3.0]
+        ring = space.within(point, radius=6.0, min_capacity=5.0)
+        assert ring == sorted(ring, key=lambda pair: pair[1])
+        ring_ids = {node_id for node_id, _ in ring}
+        assert "n2" not in ring_ids
+        for node_id, dist in space.knn(point, k=len(coords), min_capacity=5.0):
+            if dist <= 6.0:
+                assert node_id in ring_ids

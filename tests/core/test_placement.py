@@ -173,3 +173,70 @@ class TestIndexConsistency:
         assert placement.remove_replica("ghost") == []
         assert placement.remove_subs_on_node("ghost") == []
         assert_indices_consistent(placement)
+
+
+class TestIncrementalAggregates:
+    """total_demand and join_stats are maintained, not recomputed."""
+
+    def build(self):
+        placement = Placement()
+        placement.extend(
+            [
+                sub(sub_id="r1/0x0", replica="r1", node="a"),
+                sub(sub_id="r1/0x1", replica="r1", node="b", left=5.0, right=5.0),
+                sub(sub_id="r2/0x0", replica="r2", node="a", left=1.0, right=2.0),
+            ]
+        )
+        return placement
+
+    def fresh_total(self, placement):
+        return sum(s.required_capacity for s in placement.sub_replicas)
+
+    def test_total_demand_tracks_adds(self):
+        placement = self.build()
+        assert placement.total_demand() == pytest.approx(self.fresh_total(placement))
+        placement.extend([sub(sub_id="r3/0x0", replica="r3", node="c", left=7.0, right=1.0)])
+        assert placement.total_demand() == pytest.approx(self.fresh_total(placement))
+
+    def test_total_demand_tracks_removals(self):
+        placement = self.build()
+        placement.remove_replica("r1")
+        assert placement.total_demand() == pytest.approx(self.fresh_total(placement))
+        placement.remove_subs_on_node("a")
+        assert placement.total_demand() == pytest.approx(self.fresh_total(placement))
+        placement.remove_replica("r2")
+        assert placement.total_demand() == 0.0
+
+    def test_total_demand_survives_reassignment(self):
+        placement = self.build()
+        placement.sub_replicas = [sub(sub_id="x", replica="rx", node="z", left=4.0, right=4.0)]
+        assert placement.total_demand() == pytest.approx(8.0)
+
+    def test_join_stats_match_recompute(self):
+        placement = self.build()
+
+        def recompute(join_id):
+            subs = placement.subs_of_join(join_id)
+            return {
+                "pair_replicas": len({s.replica_id for s in subs}),
+                "sub_joins": len(subs),
+                "hosts": sorted({s.node_id for s in subs}),
+            }
+
+        assert placement.join_stats("join") == recompute("join")
+        placement.remove_replica("r1")
+        assert placement.join_stats("join") == recompute("join")
+        placement.remove_replica("r2")
+        assert placement.join_stats("join") == recompute("join") == {
+            "pair_replicas": 0,
+            "sub_joins": 0,
+            "hosts": [],
+        }
+
+    def test_join_stats_for_unknown_join(self):
+        placement = self.build()
+        assert placement.join_stats("ghost") == {
+            "pair_replicas": 0,
+            "sub_joins": 0,
+            "hosts": [],
+        }

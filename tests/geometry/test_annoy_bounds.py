@@ -1,0 +1,128 @@
+"""Capacity-augmented subtree bounds on the approximate annoy backend.
+
+Mirrors the exact k-d tree's capacity pruning: the forest keeps per-
+subtree value maxima (with incremental leaf refresh on value churn), so
+capacity-filtered queries skip saturated regions wholesale, exhaustion
+is exact, and radius queries enumerate a neighbourhood completely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.annoy import AnnoyForest
+from repro.geometry.kdtree import KdTree
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(42)
+    points = rng.normal(size=(600, 2)) * 25.0
+    values = rng.uniform(0.0, 100.0, size=600)
+    return points, values
+
+
+def build_pair(dataset):
+    points, values = dataset
+    forest = AnnoyForest(points, n_trees=8, seed=1, values=values)
+    tree = KdTree(points, values=values)
+    return forest, tree
+
+
+class TestFilteredRecall:
+    def test_top1_matches_exact_tree(self, dataset):
+        forest, tree = build_pair(dataset)
+        points, _ = dataset
+        rng = np.random.default_rng(7)
+        matches = 0
+        trials = 60
+        for _ in range(trials):
+            target = rng.normal(size=2) * 25.0
+            threshold = float(rng.uniform(10.0, 90.0))
+            exact_d, exact_i = tree.query(target, k=1, min_value=threshold)
+            approx_d, approx_i = forest.query(target, k=1, min_value=threshold)
+            assert len(approx_i) == 1
+            if approx_i[0] == exact_i[0] or approx_d[0] == pytest.approx(exact_d[0]):
+                matches += 1
+        assert matches >= int(0.9 * trials)
+
+    def test_topk_recall_with_bounds(self, dataset):
+        forest, tree = build_pair(dataset)
+        rng = np.random.default_rng(3)
+        recalls = []
+        for _ in range(30):
+            target = rng.normal(size=2) * 25.0
+            threshold = float(rng.uniform(20.0, 80.0))
+            _, exact = tree.query(target, k=10, min_value=threshold)
+            _, approx = forest.query(target, k=10, min_value=threshold)
+            overlap = len(set(exact.tolist()) & set(approx.tolist()))
+            recalls.append(overlap / max(len(exact), 1))
+        assert np.mean(recalls) >= 0.85
+
+    def test_exhaustion_is_exact(self, dataset):
+        points, values = dataset
+        forest = AnnoyForest(points, n_trees=4, seed=2, values=values)
+        threshold = 99.0
+        qualifying = set(np.nonzero(values >= threshold)[0].tolist())
+        _, indices = forest.query(np.zeros(2), k=len(points), min_value=threshold)
+        # Fewer qualifying points than k: the drained frontier must return
+        # exactly the qualifying set — the spread fallback relies on this.
+        assert set(indices.tolist()) == qualifying
+
+
+class TestIncrementalRefresh:
+    def test_value_churn_tracked(self, dataset):
+        points, values = dataset
+        forest = AnnoyForest(points, n_trees=4, seed=5, values=values)
+        target = points[17] + 0.01
+        # Saturate everything, then revive one point: only it qualifies.
+        for index in range(len(points)):
+            forest.set_value(index, 1.0)
+        forest.set_value(33, 80.0)
+        _, indices = forest.query(target, k=3, min_value=50.0)
+        assert indices.tolist() == [33]
+        # Raise a closer point: it must win rank 1 immediately.
+        forest.set_value(17, 90.0)
+        _, indices = forest.query(target, k=1, min_value=50.0)
+        assert indices.tolist() == [17]
+
+    def test_delete_restore_updates_bounds(self, dataset):
+        points, values = dataset
+        forest = AnnoyForest(points, n_trees=4, seed=6, values=values)
+        target = points[5] + 0.02
+        forest.set_value(5, 95.0)
+        _, indices = forest.query(target, k=1, min_value=90.0)
+        assert 5 in indices.tolist()
+        forest.delete(5)
+        _, indices = forest.query(target, k=1, min_value=90.0)
+        assert 5 not in indices.tolist()
+        forest.restore(5)
+        _, indices = forest.query(target, k=1, min_value=90.0)
+        assert 5 in indices.tolist()
+
+
+class TestWithinRadius:
+    def test_matches_exact_tree(self, dataset):
+        forest, tree = build_pair(dataset)
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            target = rng.normal(size=2) * 25.0
+            radius = float(rng.uniform(5.0, 40.0))
+            threshold = float(rng.uniform(0.0, 80.0))
+            kd_d, kd_i = tree.within_radius(target, radius, min_value=threshold)
+            an_d, an_i = forest.within_radius(target, radius, min_value=threshold)
+            # Radius enumeration is exact on both backends.
+            assert set(kd_i.tolist()) == set(an_i.tolist())
+            assert np.allclose(np.sort(kd_d), np.sort(an_d))
+
+    def test_annulus_is_disjoint_shell(self, dataset):
+        forest, tree = build_pair(dataset)
+        target = np.zeros(2)
+        for backend in (forest, tree):
+            full_d, full_i = backend.within_radius(target, 30.0, min_value=10.0)
+            inner_d, inner_i = backend.within_radius(target, 15.0, min_value=10.0)
+            shell_d, shell_i = backend.within_radius(
+                target, 30.0, min_value=10.0, inner_radius=15.0
+            )
+            assert set(inner_i.tolist()) | set(shell_i.tolist()) == set(full_i.tolist())
+            assert not set(inner_i.tolist()) & set(shell_i.tolist())
+            assert all(d > 15.0 for d in shell_d)

@@ -295,3 +295,39 @@ def test_property_median_inside_bounding_box(points):
     lo, hi = points.min(axis=0), points.max(axis=0)
     assert (result.point >= lo - 1e-6).all()
     assert (result.point <= hi + 1e-6).all()
+
+
+class TestTwoTierCompaction:
+    """Tail eviction must be a pure performance change: bit-equal results."""
+
+    @staticmethod
+    def random_batch(seed, rows=64, anchors=5, dims=3):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(rows, anchors, dims)) * 10.0
+        counts = rng.integers(1, anchors + 1, size=rows)
+        mask = np.arange(anchors)[None, :] < counts[:, None]
+        points[~mask] = 0.0
+        return points, mask
+
+    @pytest.mark.parametrize(
+        "solver",
+        [weiszfeld_batch, gradient_descent_median_batch, minimax_point_batch],
+    )
+    def test_compaction_bit_equal(self, solver):
+        for seed in (0, 5, 9):
+            points, mask = self.random_batch(seed)
+            reference = solver(points, mask=mask, compact_after=None)
+            for compact_after in (1, 2, 16):
+                result = solver(points, mask=mask, compact_after=compact_after)
+                assert np.array_equal(reference.points, result.points)
+                assert np.array_equal(reference.objectives, result.objectives)
+                assert np.array_equal(reference.iterations, result.iterations)
+                assert np.array_equal(reference.converged, result.converged)
+
+    def test_compacted_weiszfeld_still_matches_scalar(self):
+        points, mask = self.random_batch(21)
+        batch = weiszfeld_batch(points, mask=mask, compact_after=1)
+        for row in range(points.shape[0]):
+            anchors = points[row][mask[row]]
+            scalar = weiszfeld(anchors)
+            assert np.allclose(batch.points[row], scalar.point, atol=1e-7)
