@@ -25,6 +25,15 @@ each run shows the median-solve throughput (medians/s), the packing
 throughput (cells/s), and the ring-cache hit rate staying healthy from
 10^3 to 10^4.
 
+Churn runs twice per size: the five standard events applied one
+ChangeSet each (the legacy sequential cadence) and, on an identically
+built second session, as ONE transactional ChangeSet — whose PlanDelta
+summary (events/s, sub-replicas added/removed/moved, packing passes) is
+printed and exported into the BENCH json artifact via
+``benchmark.extra_info``. At 10^3 the batched placement is asserted
+identical to sequential; from 10^4 the batch must issue strictly fewer
+packing passes and index queries than the per-event cadence.
+
 Default sizes stop at 10^4 so the suite stays fast; set
 ``NOVA_BENCH_FULL=1`` for the 10^5/10^6 paper-scale points (expect
 minutes per point; 10^6 additionally switches to the approximate annoy
@@ -32,6 +41,7 @@ backend).
 """
 
 import time
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -41,7 +51,6 @@ from repro.baselines.registry import make_baseline
 from repro.common.tables import render_table
 from repro.core.config import NovaConfig
 from repro.core.optimizer import Nova
-from repro.core.reoptimizer import Reoptimizer
 from repro.topology.dynamics import standard_event_suite
 from repro.topology.latency import CoordinateLatencyModel, DenseLatencyMatrix
 from repro.workloads.synthetic import synthetic_opp_workload
@@ -134,12 +143,33 @@ def test_fig10_scalability(benchmark, capsys, n):
         )
         rows.append([name, elapsed])
 
-    reoptimizer = Reoptimizer(session)
+    # Sequential churn: one ChangeSet per event (the legacy per-event
+    # cadence, driven through the new API).
+    sequential_before = replace(session.timings)
     worst_event_s = 0.0
-    for event in reopt_events(session):
-        _, elapsed = timed(lambda event=event: reoptimizer.apply(event))
+    events = reopt_events(session)
+    for event in events:
+        _, elapsed = timed(lambda event=event: session.apply([event]))
         worst_event_s = max(worst_event_s, elapsed)
         rows.append([f"re-opt: {type(event).__name__}", elapsed])
+    sequential_spent = session.timings.since(sequential_before)
+
+    # Batched churn: the same five events as ONE transactional ChangeSet
+    # on an identically built session — one Phase II solve + one packing
+    # pass for the union of affected replicas.
+    workload2, latency2 = build_instance(n)
+    batch_session = Nova(NovaConfig(seed=13)).optimize(
+        workload2.topology, workload2.plan, workload2.matrix, latency=latency2
+    )
+    batch_events = reopt_events(batch_session)
+    delta_holder = {}
+    _, batched_s = timed(
+        lambda: delta_holder.setdefault(
+            "delta", batch_session.apply(batch_events)
+        )
+    )
+    delta = delta_holder["delta"]
+    rows.append(["re-opt: batched ChangeSet (5 events)", batched_s])
 
     print_report(
         capsys,
@@ -150,9 +180,67 @@ def test_fig10_scalability(benchmark, capsys, n):
             title=f"Figure 10 — optimization and re-optimization times at n={n}",
         ),
     )
+    print_report(
+        capsys,
+        render_table(
+            ["metric", "value"],
+            delta.summary_rows(),
+            precision=4,
+            title=f"Figure 10 — batched churn PlanDelta at n={n}",
+        ),
+    )
+
+    # The batched events/s and delta sizes land in the BENCH json artifact.
+    benchmark.extra_info["churn_batched_s"] = batched_s
+    benchmark.extra_info["churn_batched_events_per_s"] = (
+        delta.events_applied / batched_s if batched_s > 0 else 0.0
+    )
+    benchmark.extra_info["churn_delta_subs_added"] = len(delta.subs_added)
+    benchmark.extra_info["churn_delta_subs_removed"] = len(delta.subs_removed)
+    benchmark.extra_info["churn_delta_subs_moved"] = len(delta.moves)
+    benchmark.extra_info["churn_batched_packing_passes"] = delta.timings.packing_passes
+    benchmark.extra_info["churn_sequential_packing_passes"] = (
+        sequential_spent.packing_passes
+    )
+    benchmark.extra_info["churn_batched_knn_queries"] = delta.timings.knn_queries
+    benchmark.extra_info["churn_sequential_knn_queries"] = sequential_spent.knn_queries
 
     # Re-optimization stays sub-second regardless of topology size.
     assert worst_event_s < 1.0, f"re-optimization took {worst_event_s:.2f}s at n={n}"
+
+    # The batched apply returns a populated structured diff and funnels
+    # the whole burst through a single solve-and-pack pass.
+    assert delta.events_applied == len(batch_events)
+    assert delta.subs_added and delta.replicas_replaced
+    assert delta.timings.packing_passes == 1
+
+    # Batch-vs-sequential parity: at 10^3 the batched ChangeSet must land
+    # the exact same placement as per-event application.
+    if n == 1000:
+        sequential_placed = {
+            (s.sub_id, s.node_id, round(s.charged_capacity, 9))
+            for s in session.placement.sub_replicas
+        }
+        batched_placed = {
+            (s.sub_id, s.node_id, round(s.charged_capacity, 9))
+            for s in batch_session.placement.sub_replicas
+        }
+        assert sequential_placed == batched_placed, (
+            f"batched churn diverged from sequential at n={n}: "
+            f"{len(sequential_placed ^ batched_placed)} differing sub-replicas"
+        )
+
+    # At scale the batch must do strictly less packing work than the
+    # per-event cadence: fewer passes and fewer index queries.
+    if n >= 10_000:
+        assert delta.timings.packing_passes < sequential_spent.packing_passes, (
+            f"batched apply used {delta.timings.packing_passes} packing passes "
+            f"vs {sequential_spent.packing_passes} sequential at n={n}"
+        )
+        assert delta.timings.knn_queries < sequential_spent.knn_queries, (
+            f"batched apply issued {delta.timings.knn_queries} index queries "
+            f"vs {sequential_spent.knn_queries} sequential at n={n}"
+        )
 
     # The batched Phase II engine keeps the median step cheaper than the
     # packing step once the replica count is large; at small n both phases

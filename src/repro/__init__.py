@@ -27,12 +27,15 @@ Quickstart::
 
 from repro.baselines import available_baselines, make_baseline
 from repro.core import (
+    ChangeSet,
     CostSpace,
     Nova,
     NovaConfig,
     NovaSession,
     Placement,
+    PlanDelta,
     Reoptimizer,
+    Transaction,
     plan_partitions,
 )
 from repro.evaluation import (
@@ -62,6 +65,7 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChangeSet",
     "CostSpace",
     "Deployment",
     "DenseLatencyMatrix",
@@ -74,9 +78,11 @@ __all__ = [
     "NovaConfig",
     "NovaSession",
     "Placement",
+    "PlanDelta",
     "Reoptimizer",
     "SimulationConfig",
     "Topology",
+    "Transaction",
     "__version__",
     "available_baselines",
     "build_running_example",

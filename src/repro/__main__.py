@@ -5,13 +5,19 @@ Commands:
 * ``demo``      — run the Figure 2 running example and print the placement.
 * ``figures``   — list the benchmark targets that regenerate each paper
   figure.
+* ``replay``    — replay a churn trace (JSON) through the batched
+  ChangeSet API, printing one :class:`~repro.core.changeset.PlanDelta`
+  summary per batch.
 * ``version``   — print the package version.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 FIGURE_TARGETS = [
@@ -73,22 +79,163 @@ def list_figures() -> int:
     return 0
 
 
+def run_replay(trace_path: str, save_deltas: Optional[str] = None) -> int:
+    """Replay a churn trace through ``session.apply``, batch by batch.
+
+    The trace is a JSON document::
+
+        {
+          "version": 1,
+          "workload": {"kind": "synthetic_opp", "nodes": 400, "seed": 42},
+          "batches": [
+            {"events": [{"type": "data_rate_change", "node_id": "...",
+                         "new_rate": 120.0}, ...]},
+            ...
+          ]
+        }
+
+    Each batch applies as one transactional ChangeSet; the printed table
+    summarizes its PlanDelta (sub-replicas moved, availability changes,
+    apply time, packing passes). ``--save-deltas`` archives every delta
+    as JSON for downstream replay (``plan_delta_from_dict`` +
+    ``PlanDelta.apply_to``).
+    """
+    from repro import Nova, NovaConfig
+    from repro.common.errors import ReproError
+    from repro.common.tables import render_table
+    from repro.core.changeset import ChangeSet, TRACE_FORMAT_VERSION
+    from repro.core.serialization import plan_delta_to_dict
+    from repro.evaluation.overload import OverloadMonitor
+    from repro.topology.latency import CoordinateLatencyModel, DenseLatencyMatrix
+    from repro.workloads import synthetic_opp_workload
+
+    path = Path(trace_path)
+    try:
+        trace = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"trace file not found: {path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"invalid trace file {path}: {error}", file=sys.stderr)
+        return 2
+
+    version = trace.get("version", TRACE_FORMAT_VERSION)
+    if version != TRACE_FORMAT_VERSION:
+        print(
+            f"unsupported trace format version {version!r} "
+            f"(expected {TRACE_FORMAT_VERSION})",
+            file=sys.stderr,
+        )
+        return 2
+
+    spec = trace.get("workload", {})
+    kind = spec.get("kind", "synthetic_opp")
+    if kind != "synthetic_opp":
+        print(f"unsupported workload kind {kind!r}", file=sys.stderr)
+        return 2
+    nodes = int(spec.get("nodes", 400))
+    seed = int(spec.get("seed", 0))
+    workload = synthetic_opp_workload(nodes, seed=seed)
+    if nodes <= 2000:
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+    else:
+        ids, coords = workload.topology.positions_array()
+        latency = CoordinateLatencyModel(ids, coords)
+
+    started = time.perf_counter()
+    session = Nova(NovaConfig(seed=seed)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+    print(
+        f"Optimized {nodes}-node workload (seed {seed}): "
+        f"{session.placement.replica_count()} sub-joins in "
+        f"{time.perf_counter() - started:.3f}s"
+    )
+
+    monitor = OverloadMonitor(session.placement, session.topology)
+    batches = trace.get("batches", [])
+    rows = []
+    archived = []
+    for index, batch in enumerate(batches):
+        data = batch if isinstance(batch, dict) else {"events": batch}
+        try:
+            changeset = ChangeSet.from_dict(data)
+            applied_started = time.perf_counter()
+            delta = session.apply(changeset)
+            elapsed = time.perf_counter() - applied_started
+        except ReproError as error:
+            print(f"batch {index} failed (rolled back): {error}", file=sys.stderr)
+            return 1
+        monitor.apply_delta(delta)
+        events_per_s = delta.events_applied / elapsed if elapsed > 0 else 0.0
+        rows.append(
+            [
+                index,
+                f"{delta.events_staged}/{delta.events_applied}",
+                len(delta.subs_added),
+                len(delta.subs_removed),
+                len(delta.moves),
+                len(delta.availability_delta),
+                delta.timings.packing_passes,
+                elapsed,
+                events_per_s,
+                monitor.percentage,
+            ]
+        )
+        archived.append(plan_delta_to_dict(delta))
+    print()
+    print(
+        render_table(
+            [
+                "batch",
+                "events",
+                "subs +",
+                "subs -",
+                "moved",
+                "avail Δ",
+                "passes",
+                "seconds",
+                "events/s",
+                "overload %",
+            ],
+            rows,
+            precision=3,
+            title=f"Churn replay — {len(batches)} batches via session.apply",
+        )
+    )
+    if save_deltas:
+        Path(save_deltas).write_text(json.dumps(archived, indent=2, sort_keys=True))
+        print(f"\nSaved {len(archived)} plan deltas to {save_deltas}")
+    monitor.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI dispatch."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduction of Nova (EDBT 2026): streaming join placement.",
     )
-    parser.add_argument(
-        "command",
-        choices=["demo", "figures", "version"],
-        help="demo: run the running example; figures: list bench targets",
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("demo", help="run the running example")
+    subparsers.add_parser("figures", help="list bench targets")
+    subparsers.add_parser("version", help="print the package version")
+    replay = subparsers.add_parser(
+        "replay", help="replay a churn trace through the batched ChangeSet API"
+    )
+    replay.add_argument("trace", help="path to a JSON churn trace")
+    replay.add_argument(
+        "--save-deltas",
+        default=None,
+        help="archive each batch's PlanDelta as JSON to this path",
     )
     args = parser.parse_args(argv)
     if args.command == "demo":
         return run_demo()
     if args.command == "figures":
         return list_figures()
+    if args.command == "replay":
+        return run_replay(args.trace, save_deltas=args.save_deltas)
     from repro import __version__
 
     print(__version__)

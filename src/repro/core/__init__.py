@@ -20,6 +20,7 @@ from repro.core.cost_model import (
     check_min_availability,
     required_capacity,
 )
+from repro.core.changeset import ChangeSet, PlanDelta, Transaction, apply_changeset
 from repro.core.cost_space import AvailabilityLedger, CostSpace
 from repro.core.optimizer import Nova, NovaSession, PhaseTimings
 from repro.core.packing import PackingEngine, PackingStats
@@ -36,6 +37,8 @@ from repro.core.serialization import (
     load_placement,
     placement_from_dict,
     placement_to_dict,
+    plan_delta_from_dict,
+    plan_delta_to_dict,
     save_placement,
     session_summary,
 )
@@ -44,6 +47,7 @@ __all__ = [
     "AssignmentOutcome",
     "AvailabilityLedger",
     "Candidate",
+    "ChangeSet",
     "ConstraintViolation",
     "CostSpace",
     "EMBEDDING_CLASSICAL_MDS",
@@ -62,9 +66,12 @@ __all__ = [
     "PartitioningPlan",
     "PhaseTimings",
     "Placement",
+    "PlanDelta",
     "Reoptimizer",
     "SubReplicaPlacement",
+    "Transaction",
     "adaptive_k",
+    "apply_changeset",
     "check_bandwidth",
     "check_capacity",
     "check_min_availability",
@@ -78,6 +85,8 @@ __all__ = [
     "load_placement",
     "placement_from_dict",
     "placement_to_dict",
+    "plan_delta_from_dict",
+    "plan_delta_to_dict",
     "save_placement",
     "session_summary",
 ]

@@ -1,0 +1,794 @@
+"""Transactional, batched churn re-optimization (the ChangeSet API).
+
+Real churn arrives in bursts, but the original re-optimizer consumed one
+event at a time: every event paid its own undeploy + ``place_replicas``
+pass and mutated the session in place, with nothing observable but the
+session itself — and a mid-apply failure left the session half-mutated.
+This module redesigns that mutation surface around declarative
+change-sets:
+
+* :class:`ChangeSet` — an ordered batch of churn events with validation
+  (the whole batch is checked against a projected
+  :class:`~repro.topology.dynamics.BatchState` *before* any mutation)
+  and per-node coalescing (two rate changes on one source keep only the
+  last; updates to a node that a later event removes are dropped; an
+  add + remove of the same worker annihilates).
+
+* :func:`apply_changeset` — the engine behind
+  ``NovaSession.apply(events)``. Events run their structural mutations
+  first, only *collecting* the replicas they touch; the union —
+  deduplicated across the whole batch, ordered by the last event that
+  touched each replica — then goes through **one** Phase II batch
+  median solve and **one** :class:`~repro.core.packing.PackingEngine`
+  pass instead of one pass per event. If any mutation or the packing
+  itself fails, a :class:`_SessionJournal` (availability snapshot plus
+  an inverse-operation log, the same journaled-snapshot idea the
+  packing engine's lease workers use) rolls the session back
+  atomically: placement, capacity ledger, and virtual-position cache
+  come back bit-identical.
+
+* :class:`PlanDelta` — the structured diff ``apply`` returns:
+  sub-replicas added/removed/moved, replicas added/removed/re-placed,
+  invalidated and recomputed virtual positions, per-node availability
+  deltas, demand and latency-cost deltas, and the
+  :class:`~repro.core.optimizer.PhaseTimings` spent applying the batch.
+  Deltas serialize (see :mod:`repro.core.serialization`) and re-apply
+  to archived placements (:meth:`PlanDelta.apply_to`), so consumers —
+  the SPE deployment, benchmarks, replay tooling — see *what changed*
+  without diffing snapshots.
+
+* :class:`Transaction` — ``with session.transaction() as txn:`` stages
+  events and applies them as one change-set on exit.
+
+The legacy :class:`~repro.core.reoptimizer.Reoptimizer` remains as a
+thin deprecated shim over this API.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.common.errors import OptimizationError
+from repro.core.placement import Placement, SubReplicaPlacement
+from repro.query.expansion import JoinPairReplica, replica_id_for
+from repro.topology.dynamics import (
+    AddSourceEvent,
+    AddWorkerEvent,
+    BatchState,
+    CapacityChangeEvent,
+    ChurnEvent,
+    CoordinateDriftEvent,
+    DataRateChangeEvent,
+    EVENT_TYPES,
+    RemoveNodeEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.topology.model import Node, NodeRole
+
+_EVENT_CLASSES = tuple(EVENT_TYPES.values())
+
+TRACE_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# the change set
+# ----------------------------------------------------------------------
+class ChangeSet:
+    """An ordered, coalescable batch of churn events.
+
+    Stage events with :meth:`stage` (or the constructor), then hand the
+    set to ``session.apply``. Staging type-checks immediately;
+    :meth:`validate` checks the *staged* sequence against a session
+    without mutating it — the same check ``apply`` runs before touching
+    anything (coalescing only drops work, it never legitimizes an
+    invalid event).
+    """
+
+    def __init__(self, events: Iterable[ChurnEvent] = ()) -> None:
+        self._events: List[ChurnEvent] = []
+        for event in events:
+            self.stage(event)
+
+    def stage(self, event: ChurnEvent) -> "ChangeSet":
+        """Append one event; returns self for chaining."""
+        if not isinstance(event, _EVENT_CLASSES):
+            raise OptimizationError(f"unsupported churn event {event!r}")
+        self._events.append(event)
+        return self
+
+    def extend(self, events: Iterable[ChurnEvent]) -> "ChangeSet":
+        """Append many events; returns self for chaining."""
+        for event in events:
+            self.stage(event)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ChurnEvent]:
+        return iter(self._events)
+
+    def coalesced(self) -> List[ChurnEvent]:
+        """The events that actually execute, after per-node coalescing.
+
+        Three rules, applied in order while preserving event order:
+
+        * *last-wins* — keyed events (rate, capacity, drift) sharing a
+          ``coalesce_key`` keep only the final occurrence;
+        * *subsumption* — keyed events on a node that a later
+          :class:`RemoveNodeEvent` takes away are dropped (the removal
+          erases their effect);
+        * *annihilation* — an :class:`AddWorkerEvent` whose node a later
+          event removes cancels against that removal.
+        """
+        events = self._events
+        keep = [True] * len(events)
+        last_by_key: Dict[Tuple[str, str], int] = {}
+        node_updates: Dict[str, List[int]] = {}
+        added_worker: Dict[str, int] = {}
+        for index, event in enumerate(events):
+            key = event.coalesce_key
+            if key is not None:
+                previous = last_by_key.get(key)
+                if previous is not None:
+                    keep[previous] = False
+                last_by_key[key] = index
+                node_updates.setdefault(event.node_id, []).append(index)
+            elif isinstance(event, AddWorkerEvent):
+                added_worker[event.node_id] = index
+            elif isinstance(event, RemoveNodeEvent):
+                node_id = event.node_id
+                for update_index in node_updates.pop(node_id, []):
+                    keep[update_index] = False
+                add_index = added_worker.pop(node_id, None)
+                if add_index is not None:
+                    keep[add_index] = False
+                    keep[index] = False
+        return [event for index, event in enumerate(events) if keep[index]]
+
+    def validate(self, session, events: Optional[List[ChurnEvent]] = None) -> None:
+        """Check the batch against a session without mutating it.
+
+        Validates the *staged* sequence (not the coalesced one), so a
+        batch is accepted exactly when applying its events in order would
+        be — coalescing can only drop work, never legitimize an invalid
+        event (e.g. adding a worker that already exists and removing it
+        again coalesces to nothing, but must still be rejected). Each
+        event validates against the projected state its predecessors
+        leave behind, so batches may reference nodes they add themselves.
+        Raises the same error types the per-event API raised
+        (``UnknownNodeError``, ``UnknownOperatorError``,
+        ``OptimizationError``) — but *before* any session mutation.
+        """
+        state = BatchState.of_session(session)
+        for event in events if events is not None else self._events:
+            event.validate(state)
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable representation (one trace batch)."""
+        return {"events": [event_to_dict(event) for event in self._events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChangeSet":
+        """Rebuild a change-set from :meth:`to_dict` output."""
+        return cls(event_from_dict(entry) for entry in data.get("events", []))
+
+
+# ----------------------------------------------------------------------
+# the structured diff
+# ----------------------------------------------------------------------
+@dataclass
+class PlanDelta:
+    """What one applied change-set did to the session.
+
+    ``subs_added``/``subs_removed`` are the *net* placement diff:
+    sub-replica instances re-placed identically (same cell, node, and
+    charge) cancel out, so the delta describes only real movement.
+    ``timings`` is the :class:`~repro.core.optimizer.PhaseTimings` slice
+    spent applying this batch (not the session's running totals).
+    """
+
+    events_staged: int = 0
+    events_applied: int = 0
+    replicas_added: List[str] = field(default_factory=list)
+    replicas_removed: List[str] = field(default_factory=list)
+    replicas_replaced: List[str] = field(default_factory=list)
+    subs_added: List[SubReplicaPlacement] = field(default_factory=list)
+    subs_removed: List[SubReplicaPlacement] = field(default_factory=list)
+    virtual_updated: Dict[str, np.ndarray] = field(default_factory=dict)
+    virtual_invalidated: List[str] = field(default_factory=list)
+    pinned_added: Dict[str, str] = field(default_factory=dict)
+    pinned_removed: List[str] = field(default_factory=list)
+    availability_delta: Dict[str, float] = field(default_factory=dict)
+    demand_delta: float = 0.0
+    latency_cost_delta: float = 0.0
+    overload_accepted: bool = False
+    timings: object = None
+
+    @property
+    def moves(self) -> List[Tuple[str, str, str]]:
+        """Sub-replicas that changed host: ``(sub_id, old_node, new_node)``."""
+        removed_nodes = {sub.sub_id: sub.node_id for sub in self.subs_removed}
+        return [
+            (sub.sub_id, removed_nodes[sub.sub_id], sub.node_id)
+            for sub in self.subs_added
+            if sub.sub_id in removed_nodes
+            and removed_nodes[sub.sub_id] != sub.node_id
+        ]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the batch changed nothing observable in the placement."""
+        return not (
+            self.subs_added
+            or self.subs_removed
+            or self.replicas_added
+            or self.replicas_removed
+            or self.availability_delta
+        )
+
+    def apply_to(self, placement: Placement) -> Placement:
+        """Fold this delta into an archived placement (mutating it).
+
+        The replay path: a base placement plus its stream of deltas
+        reconstructs the live placement without re-running the
+        optimizer. Returns the same object for chaining.
+        """
+        placement.discard_subs(
+            (sub.sub_id, sub.node_id) for sub in self.subs_removed
+        )
+        placement.extend(self.subs_added)
+        for replica_id in self.virtual_invalidated:
+            placement.virtual_positions.pop(replica_id, None)
+        for replica_id, position in self.virtual_updated.items():
+            placement.virtual_positions[replica_id] = np.asarray(position, dtype=float)
+        for operator_id in self.pinned_removed:
+            placement.pinned.pop(operator_id, None)
+        placement.pinned.update(self.pinned_added)
+        if self.overload_accepted:
+            placement.overload_accepted = True
+        return placement
+
+    def summary_rows(self) -> List[List[object]]:
+        """Rows for :func:`repro.common.tables.render_table` reports."""
+        timings = self.timings
+        apply_s = timings.total_s if timings is not None else 0.0
+        return [
+            ["events staged / applied", f"{self.events_staged} / {self.events_applied}"],
+            ["replicas re-placed", len(self.replicas_replaced)],
+            ["replicas added / removed", f"{len(self.replicas_added)} / {len(self.replicas_removed)}"],
+            ["sub-replicas added / removed / moved",
+             f"{len(self.subs_added)} / {len(self.subs_removed)} / {len(self.moves)}"],
+            ["virtual positions updated / invalidated",
+             f"{len(self.virtual_updated)} / {len(self.virtual_invalidated)}"],
+            ["nodes with availability change", len(self.availability_delta)],
+            ["demand delta (tuples/s)", self.demand_delta],
+            ["latency cost delta (ms)", self.latency_cost_delta],
+            ["packing passes", timings.packing_passes if timings is not None else 0],
+            ["apply time (s)", apply_s],
+        ]
+
+
+# ----------------------------------------------------------------------
+# the transaction wrapper
+# ----------------------------------------------------------------------
+class Transaction:
+    """Stage events against a session; apply them as one batch on exit.
+
+    ::
+
+        with session.transaction() as txn:
+            txn.stage(DataRateChangeEvent("s1", 80.0))
+            txn.stage(RemoveNodeEvent("w9"))
+        print(txn.delta.summary_rows())
+
+    Exiting with an exception applies nothing; a failure *inside* the
+    batched apply rolls the session back and re-raises. ``delta`` holds
+    the resulting :class:`PlanDelta` after a clean exit.
+    """
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.changeset = ChangeSet()
+        self.delta: Optional[PlanDelta] = None
+
+    def stage(self, event: ChurnEvent) -> "Transaction":
+        self.changeset.stage(event)
+        return self
+
+    def extend(self, events: Iterable[ChurnEvent]) -> "Transaction":
+        self.changeset.extend(events)
+        return self
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.delta = apply_changeset(self.session, self.changeset)
+        return False
+
+
+# ----------------------------------------------------------------------
+# rollback machinery
+# ----------------------------------------------------------------------
+class _SessionJournal:
+    """Snapshot + inverse-operation log for atomic batch rollback.
+
+    Placement, resolved plan, and capacity ledger are cheap flat
+    snapshots (their contents are immutable objects); topology, plan,
+    matrix, and cost-space mutations register inverse closures instead,
+    replayed in reverse on rollback — the same journaled-snapshot idea
+    the packing engine's lease workers use for per-replica rollback.
+    """
+
+    def __init__(self, session) -> None:
+        self.session = session
+        placement = session.placement
+        self._subs = list(placement.sub_replicas)
+        self._pinned = dict(placement.pinned)
+        self._virtual = dict(placement.virtual_positions)
+        self._overload = placement.overload_accepted
+        self._resolved = list(session.resolved.replicas)
+        self._available = dict(session.available)
+        self._undos: List[Callable[[], None]] = []
+
+    @property
+    def available_snapshot(self) -> Dict[str, float]:
+        """The pre-batch ledger contents (read-only by convention)."""
+        return self._available
+
+    def undo(self, operation: Callable[[], None]) -> None:
+        """Register the inverse of a structural mutation just performed."""
+        self._undos.append(operation)
+
+    def rollback(self) -> None:
+        """Restore the session to its pre-batch state, bit-identically."""
+        session = self.session
+        for operation in reversed(self._undos):
+            operation()
+        # Rebuild the ledger in its original key order; writes go through
+        # the ledger so the neighbour index sees restored values again
+        # (the membership undos above already restored the index rows).
+        for key in list(session.available):
+            del session.available[key]
+        for key, value in self._available.items():
+            session.available[key] = value
+        session.resolved.replicas = self._resolved
+        placement = session.placement
+        placement.pinned = self._pinned
+        placement.virtual_positions = self._virtual
+        placement.overload_accepted = self._overload
+        placement.sub_replicas = self._subs
+
+
+def _sub_cost(cost_space, sub: SubReplicaPlacement) -> float:
+    """Cost-space latency footprint of one placed sub-join.
+
+    Distance from the hosting node to the sub-join's pinned endpoints
+    (sources and sink) — the quantity Phase II/III minimize. Nodes no
+    longer embedded contribute nothing.
+    """
+    if sub.node_id not in cost_space:
+        return 0.0
+    total = 0.0
+    for endpoint in (sub.left_node, sub.right_node, sub.sink_node):
+        if endpoint in cost_space:
+            total += cost_space.distance(sub.node_id, endpoint)
+    return total
+
+
+# ----------------------------------------------------------------------
+# the batch applier
+# ----------------------------------------------------------------------
+class _BatchApplier:
+    """Runs each event's structural mutations, collecting the re-placement
+    union instead of placing per event.
+
+    Handlers mirror the legacy per-event re-optimizer exactly — same
+    ledger math, same descriptor rebuilds — minus the per-event
+    ``place_replicas`` call. Replicas touched by several events are
+    collected once, ordered by the *last* event that touched them (which
+    is the order the final sequential pass would have used).
+    """
+
+    def __init__(self, session, journal: _SessionJournal) -> None:
+        self.session = session
+        self.journal = journal
+        self.affected: Dict[str, JoinPairReplica] = {}
+        self.removed_subs: List[SubReplicaPlacement] = []
+        self._removed_costs: Dict[int, float] = {}
+        self.replicas_added: List[str] = []
+        self.replicas_removed: List[str] = []
+        self.pinned_added: Dict[str, str] = {}
+        self.pinned_removed: List[str] = []
+
+    # -- shared helpers -------------------------------------------------
+    def _touch(self, replica: JoinPairReplica) -> None:
+        """(Re-)schedule a replica for the final packing pass."""
+        self.affected.pop(replica.replica_id, None)
+        self.affected[replica.replica_id] = replica
+
+    def _undeploy(self, replica_id: str, keep_position: bool = False) -> None:
+        """Undeploy a replica's sub-joins, crediting the ledger.
+
+        Records each removed sub (and its cost-space footprint, while
+        every involved node is still embedded) for the delta.
+        """
+        session = self.session
+        positions = session.placement.virtual_positions
+        saved = positions.get(replica_id) if keep_position else None
+        for sub in session.placement.remove_replica(replica_id):
+            if sub.node_id in session.available:
+                session.available[sub.node_id] += sub.charged_capacity
+            self.removed_subs.append(sub)
+            self._removed_costs[id(sub)] = _sub_cost(session.cost_space, sub)
+        if saved is not None:
+            positions[replica_id] = saved
+
+    def removed_cost(self, subs: Iterable[SubReplicaPlacement]) -> float:
+        """Summed recorded footprint of the given removed subs."""
+        return sum(self._removed_costs.get(id(sub), 0.0) for sub in subs)
+
+    # -- dispatch -------------------------------------------------------
+    def dispatch(self, event: ChurnEvent) -> None:
+        if isinstance(event, AddWorkerEvent):
+            self.add_worker(event)
+        elif isinstance(event, AddSourceEvent):
+            self.add_source(event)
+        elif isinstance(event, RemoveNodeEvent):
+            self.remove_node(event.node_id)
+        elif isinstance(event, DataRateChangeEvent):
+            self.change_data_rate(event.node_id, event.new_rate)
+        elif isinstance(event, CapacityChangeEvent):
+            self.change_capacity(event.node_id, event.new_capacity)
+        elif isinstance(event, CoordinateDriftEvent):
+            self.update_coordinates(event.node_id, event.neighbor_latencies_ms)
+        else:  # pragma: no cover - staging already type-checked
+            raise OptimizationError(f"unsupported churn event {event!r}")
+
+    # -- additions ------------------------------------------------------
+    def add_worker(self, event: AddWorkerEvent) -> None:
+        session = self.session
+        journal = self.journal
+        node_id = event.node_id
+        session.topology.add_node(
+            Node(node_id, capacity=event.capacity, role=NodeRole.WORKER)
+        )
+        journal.undo(lambda: session.topology.remove_node(node_id))
+        session.cost_space.add_node(node_id, event.neighbor_latencies_ms)
+        journal.undo(lambda: session.cost_space.remove_node(node_id))
+        session.available[node_id] = event.capacity
+
+    def add_source(self, event: AddSourceEvent) -> None:
+        session = self.session
+        journal = self.journal
+        node_id = event.node_id
+        session.topology.add_node(
+            Node(node_id, capacity=event.capacity, role=NodeRole.SOURCE)
+        )
+        journal.undo(lambda: session.topology.remove_node(node_id))
+        session.cost_space.add_node(node_id, event.neighbor_latencies_ms)
+        journal.undo(lambda: session.cost_space.remove_node(node_id))
+        # Ingestion consumes the new source's own capacity (cf. optimize()).
+        session.available[node_id] = max(event.capacity - event.data_rate, 0.0)
+
+        join = next(
+            (j for j in session.plan.joins() if event.logical_stream in j.inputs),
+            None,
+        )
+        if join is None:  # pragma: no cover - validation caught this
+            raise OptimizationError(
+                f"no join consumes logical stream {event.logical_stream!r}"
+            )
+        session.plan.add_source(
+            node_id,
+            node=node_id,
+            rate=event.data_rate,
+            logical_stream=event.logical_stream,
+        )
+        journal.undo(lambda: session.plan.remove_operator(node_id))
+        left_stream, _ = join.inputs
+        if event.logical_stream == left_stream:
+            session.matrix.add_left(node_id)
+            session.matrix.allow(node_id, event.partner_source)
+            left_id, right_id = node_id, event.partner_source
+        else:
+            session.matrix.add_right(node_id)
+            session.matrix.allow(event.partner_source, node_id)
+            left_id, right_id = event.partner_source, node_id
+        journal.undo(lambda: session.matrix.remove_source(node_id))
+
+        sink = session.plan.sink_of_join(join.op_id)
+        left_op = session.plan.operator(left_id)
+        right_op = session.plan.operator(right_id)
+        replica = JoinPairReplica(
+            replica_id=replica_id_for(join.op_id, left_id, right_id),
+            join_id=join.op_id,
+            left_source=left_id,
+            right_source=right_id,
+            left_node=left_op.pinned_node,
+            right_node=right_op.pinned_node,
+            sink_id=sink.op_id,
+            sink_node=sink.pinned_node,
+            left_rate=left_op.data_rate,
+            right_rate=right_op.data_rate,
+        )
+        session.resolved.add(replica)
+        self.replicas_added.append(replica.replica_id)
+        session.placement.pinned[node_id] = node_id
+        self.pinned_added[node_id] = node_id
+        self._touch(replica)
+
+    # -- removals -------------------------------------------------------
+    def remove_node(self, node_id: str) -> None:
+        session = self.session
+        journal = self.journal
+        node = session.topology.node(node_id)
+
+        deleted_ids: Set[str] = set()
+        if (
+            node.role == NodeRole.SOURCE
+            and node_id in session.matrix.left_ids + session.matrix.right_ids
+        ):
+            side = "left" if node_id in session.matrix.left_ids else "right"
+            position = (
+                session.matrix.left_ids.index(node_id)
+                if side == "left"
+                else session.matrix.right_ids.index(node_id)
+            )
+            removed_pairs = session.matrix.remove_source(node_id)
+            journal.undo(
+                lambda: session.matrix.restore_source(
+                    node_id, side, position, removed_pairs
+                )
+            )
+            for left_id, right_id in removed_pairs:
+                for join in session.plan.joins():
+                    replica_id = replica_id_for(join.op_id, left_id, right_id)
+                    if replica_id in session.resolved:
+                        self._undeploy(replica_id)
+                        deleted_ids.add(replica_id)
+            session.resolved.discard(deleted_ids)
+            for replica_id in sorted(deleted_ids):
+                self.affected.pop(replica_id, None)
+                self.replicas_removed.append(replica_id)
+            if node_id in session.plan:
+                operator = session.plan.remove_operator(node_id)
+                journal.undo(lambda: session.plan.add_operator(operator))
+            if session.placement.pinned.pop(node_id, None) is not None:
+                self.pinned_removed.append(node_id)
+        # Any node may additionally host sub-joins of other replicas;
+        # those replicas join the batch's re-placement union.
+        replica_ids = {
+            s.replica_id for s in session.placement.subs_on_node(node_id)
+        } - deleted_ids
+        for replica_id in replica_ids:
+            self._undeploy(replica_id)
+            self._touch(session.replica_by_id(replica_id))
+
+        session.available.pop(node_id, None)
+        if node_id in session.cost_space:
+            old_position = session.cost_space.position(node_id).copy()
+            session.cost_space.remove_node(node_id)
+            journal.undo(
+                lambda: session.cost_space.restore_node(node_id, old_position)
+            )
+        incident = [
+            session.topology.link(node_id, neighbor)
+            for neighbor in session.topology.neighbors(node_id)
+        ]
+        try:
+            geometric_position = session.topology.position(node_id).copy()
+        except Exception:
+            geometric_position = None
+        removed_node = session.topology.remove_node(node_id)
+
+        def restore_topology_node() -> None:
+            session.topology.add_node(removed_node, position=geometric_position)
+            for link in incident:
+                session.topology.add_link(
+                    link.u, link.v, link.latency_ms, link.bandwidth
+                )
+
+        journal.undo(restore_topology_node)
+
+    # -- workload changes ----------------------------------------------
+    def change_data_rate(self, source_id: str, new_rate: float) -> None:
+        session = self.session
+        operator = session.plan.operator(source_id)
+        old_rate = operator.data_rate
+        operator.data_rate = float(new_rate)
+        self.journal.undo(lambda: setattr(operator, "data_rate", old_rate))
+
+        # The source index yields exactly the replicas this source feeds.
+        # The (unweighted) geometric median is rate-independent, so each
+        # replica's virtual position survives the undeploy and the final
+        # pass skips its Phase II solve.
+        for replica in session.resolved.replicas_of_source(source_id):
+            self._undeploy(replica.replica_id, keep_position=True)
+            current = session.resolved.replica(replica.replica_id)
+            rebuilt = replace(
+                current,
+                left_rate=new_rate if current.left_source == source_id else current.left_rate,
+                right_rate=new_rate if current.right_source == source_id else current.right_rate,
+            )
+            session.resolved.replace(rebuilt)
+            self._touch(rebuilt)
+        # Recompute the source node's headroom absolutely against what is
+        # still hosted there (incremental adjustment would drift once the
+        # clamp at zero has been hit).
+        node_id = operator.pinned_node
+        if node_id in session.available:
+            node = session.topology.node(node_id)
+            hosted = sum(
+                s.charged_capacity for s in session.placement.subs_on_node(node_id)
+            )
+            session.available[node_id] = max(node.capacity - new_rate, 0.0) - hosted
+
+    def change_capacity(self, node_id: str, new_capacity: float) -> None:
+        session = self.session
+        node = session.topology.node(node_id)
+        ingestion = sum(
+            op.data_rate for op in session.plan.sources() if op.pinned_node == node_id
+        )
+        hosted = sum(
+            s.charged_capacity for s in session.placement.subs_on_node(node_id)
+        )
+        headroom = max(float(new_capacity) - ingestion, 0.0)
+        old_capacity = node.capacity
+        node.capacity = float(new_capacity)
+        self.journal.undo(lambda: setattr(node, "capacity", old_capacity))
+        if headroom >= hosted:
+            # Fast path: the new capacity covers everything hosted here, so
+            # nothing needs to move — only the availability changes (an
+            # increase bumps the mutation epoch through the ledger).
+            session.available[node_id] = headroom - hosted
+            return
+        replica_ids = {s.replica_id for s in session.placement.subs_on_node(node_id)}
+        for replica_id in replica_ids:
+            self._undeploy(replica_id)
+            self._touch(session.replica_by_id(replica_id))
+        # After undeploying everything hosted here, availability is the new
+        # capacity minus the ingestion load of sources pinned to this node.
+        session.available[node_id] = headroom
+
+    def update_coordinates(
+        self, node_id: str, neighbor_latencies_ms: Dict[str, float]
+    ) -> None:
+        session = self.session
+        old_position = session.cost_space.position(node_id).copy()
+        session.cost_space.update_node(node_id, neighbor_latencies_ms)
+
+        def restore_position() -> None:
+            session.cost_space.remove_node(node_id)
+            session.cost_space.restore_node(node_id, old_position)
+
+        self.journal.undo(restore_position)
+        # The pinned-node index yields the anchored replicas directly; the
+        # anchor moved, so their precomputed medians are stale (undeploy
+        # drops the cached virtual positions).
+        affected_ids: Set[str] = {
+            replica.replica_id
+            for replica in session.resolved.replicas_of_node(node_id)
+        }
+        affected_ids.update(
+            sub.replica_id for sub in session.placement.subs_on_node(node_id)
+        )
+        for replica_id in affected_ids:
+            self._undeploy(replica_id)
+            self._touch(session.replica_by_id(replica_id))
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+def apply_changeset(session, changeset: ChangeSet) -> PlanDelta:
+    """Apply a change-set to a session atomically; return its delta.
+
+    Stage → coalesce → validate → mutate (collecting the affected-replica
+    union) → one batched solve-and-pack pass → diff. Any failure after
+    validation rolls the session back bit-identically and re-raises.
+    """
+    if not isinstance(changeset, ChangeSet):
+        changeset = ChangeSet(changeset)
+    staged = len(changeset)
+    # The staged sequence is validated (sequential-equivalent acceptance);
+    # the coalesced one executes.
+    changeset.validate(session)
+    events = changeset.coalesced()
+
+    timings_before = replace(session.timings)
+    demand_before = session.placement.total_demand()
+    overload_before = session.placement.overload_accepted
+
+    journal = _SessionJournal(session)
+    # The journal's ledger snapshot doubles as the availability
+    # before-image for the delta — do not mutate it.
+    available_before = journal.available_snapshot
+    applier = _BatchApplier(session, journal)
+    try:
+        for event in events:
+            applier.dispatch(event)
+        affected = list(applier.affected.values())
+        placed = session.place_replicas(affected) if affected else []
+    except Exception:
+        journal.rollback()
+        raise
+
+    # ------------------------------------------------------------------
+    # structured diff
+    # ------------------------------------------------------------------
+    added_counts = Counter(placed)
+    net_removed: List[SubReplicaPlacement] = []
+    for sub in applier.removed_subs:
+        if added_counts.get(sub, 0) > 0:
+            added_counts[sub] -= 1
+        else:
+            net_removed.append(sub)
+    removed_counts = Counter(applier.removed_subs)
+    net_added: List[SubReplicaPlacement] = []
+    for sub in placed:
+        if removed_counts.get(sub, 0) > 0:
+            removed_counts[sub] -= 1
+        else:
+            net_added.append(sub)
+
+    added_set = set(applier.replicas_added)
+    removed_set = set(applier.replicas_removed)
+    replicas_added = [r for r in applier.replicas_added if r not in removed_set]
+    replicas_removed = [r for r in applier.replicas_removed if r not in added_set]
+    # Same net-filter for pins: a source added and removed within one
+    # batch must not replay a pin for a node absent from the final state.
+    pinned_removed_set = set(applier.pinned_removed)
+    pinned_added = {
+        op_id: node_id
+        for op_id, node_id in applier.pinned_added.items()
+        if op_id not in pinned_removed_set
+    }
+    pinned_removed = [
+        op_id for op_id in applier.pinned_removed if op_id not in applier.pinned_added
+    ]
+
+    positions = session.placement.virtual_positions
+    virtual_updated = {
+        replica_id: positions[replica_id]
+        for replica_id in applier.affected
+        if replica_id in positions
+    }
+
+    available_after = dict(session.available)
+    availability_delta: Dict[str, float] = {}
+    for key in sorted(set(available_before) | set(available_after)):
+        diff = available_after.get(key, 0.0) - available_before.get(key, 0.0)
+        if diff != 0.0:
+            availability_delta[key] = diff
+
+    cost_space = session.cost_space
+    latency_cost_delta = sum(
+        _sub_cost(cost_space, sub) for sub in net_added
+    ) - applier.removed_cost(net_removed)
+
+    return PlanDelta(
+        events_staged=staged,
+        events_applied=len(events),
+        replicas_added=replicas_added,
+        replicas_removed=replicas_removed,
+        replicas_replaced=list(applier.affected),
+        subs_added=net_added,
+        subs_removed=net_removed,
+        virtual_updated=virtual_updated,
+        virtual_invalidated=list(replicas_removed),
+        pinned_added=pinned_added,
+        pinned_removed=pinned_removed,
+        availability_delta=availability_delta,
+        demand_delta=session.placement.total_demand() - demand_before,
+        latency_cost_delta=latency_cost_delta,
+        overload_accepted=session.placement.overload_accepted and not overload_before,
+        timings=session.timings.since(timings_before),
+    )

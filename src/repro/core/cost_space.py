@@ -424,6 +424,21 @@ class CostSpace:
         self._mutation_epoch += 1
         return position
 
+    def restore_node(self, node_id: str, position: Sequence[float]) -> None:
+        """Re-insert a node at an exact, previously observed coordinate.
+
+        The change-set engine's rollback path: a removal (or re-embedding)
+        that must be undone puts the node back bit-identically, without
+        re-running the embedding. Bumps :attr:`mutation_epoch` like any
+        membership change.
+        """
+        if node_id in self._index:
+            raise EmbeddingError(f"node {node_id!r} is already embedded")
+        point = np.asarray(position, dtype=float)
+        self._coords[node_id] = point
+        self._index.add(node_id, point)
+        self._mutation_epoch += 1
+
     def remove_node(self, node_id: str) -> None:
         """Drop a node from the cost space and the neighbour index."""
         if node_id not in self._index:

@@ -15,7 +15,7 @@ placement.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterable, List, Optional
 
 import numpy as np
@@ -70,6 +70,11 @@ class PhaseTimings:
     medians_solved: int = 0
     cells_placed: int = 0
     knn_queries: int = 0
+    # How many solve-and-pack passes ran: one per ``place_replicas``
+    # call. The batched change-set path funnels a whole event burst into
+    # a single pass, so this is the counter that separates it from
+    # per-event sequential application.
+    packing_passes: int = 0
     # Packing-engine counters: shared-ring cache lookups (a hit reuses a
     # previously fetched capacity-filtered neighbourhood), plus how the
     # lease-parallel path split the work (batches run, replicas deferred
@@ -84,6 +89,28 @@ class PhaseTimings:
     def total_s(self) -> float:
         """Total optimization time."""
         return self.cost_space_s + self.resolve_s + self.virtual_s + self.physical_s
+
+    # Fields that are high-water marks rather than accumulating counters:
+    # ``since`` carries their current value instead of subtracting.
+    _HIGH_WATER_FIELDS = ("packing_workers_used",)
+
+    def since(self, before: "PhaseTimings") -> "PhaseTimings":
+        """The work done between a ``replace(timings)`` snapshot and now.
+
+        Field-wise difference over every dataclass field (so counters
+        added later are diffed automatically), except the high-water
+        marks in ``_HIGH_WATER_FIELDS`` which carry the current value.
+        This is how a :class:`~repro.core.changeset.PlanDelta` reports
+        the timings spent applying one batch.
+        """
+        values = {}
+        for spec in fields(self):
+            current = getattr(self, spec.name)
+            if spec.name in self._HIGH_WATER_FIELDS:
+                values[spec.name] = current
+            else:
+                values[spec.name] = current - getattr(before, spec.name)
+        return PhaseTimings(**values)
 
     @property
     def cursor_cache_hit_rate(self) -> float:
@@ -200,6 +227,8 @@ class NovaSession:
         replicas = list(replicas)
         placed: List[SubReplicaPlacement] = []
         timings = self.timings
+        if replicas:
+            timings.packing_passes += 1
         positions = self.placement.virtual_positions
         missing = [r for r in replicas if r.replica_id not in positions]
         if missing:
@@ -234,6 +263,38 @@ class NovaSession:
             self.placement.extend(outcome.subs)
             placed.extend(outcome.subs)
         return placed
+
+    # ------------------------------------------------------------------
+    # churn (the ChangeSet API, Section 3.5 batched)
+    # ------------------------------------------------------------------
+    def apply(self, events) -> "PlanDelta":
+        """Apply a batch of churn events transactionally; return its diff.
+
+        ``events`` may be a :class:`~repro.core.changeset.ChangeSet` or
+        any iterable of churn events. The batch is validated up front,
+        coalesced per node, applied with *one* Phase II batch median
+        solve and *one* packing pass for the union of affected replicas,
+        and rolled back atomically if anything fails. See
+        :mod:`repro.core.changeset`.
+        """
+        from repro.core.changeset import ChangeSet, apply_changeset
+
+        changeset = events if isinstance(events, ChangeSet) else ChangeSet(events)
+        return apply_changeset(self, changeset)
+
+    def transaction(self) -> "Transaction":
+        """A context manager staging churn events for one batched apply.
+
+        ::
+
+            with session.transaction() as txn:
+                txn.stage(RemoveNodeEvent("w7"))
+                txn.stage(DataRateChangeEvent("s2", 120.0))
+            delta = txn.delta
+        """
+        from repro.core.changeset import Transaction
+
+        return Transaction(self)
 
     def undeploy_replica(self, replica_id: str) -> None:
         """Remove a replica's sub-joins, returning their charged capacity."""

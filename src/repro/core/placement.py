@@ -82,6 +82,7 @@ class Placement:
     # ------------------------------------------------------------------
     def _reindex(self) -> None:
         """Rebuild all indices from the flat sub-replica list."""
+        previous_loads = getattr(self, "_node_load", {})
         by_node: Dict[str, List[SubReplicaPlacement]] = {}
         by_replica: Dict[str, List[SubReplicaPlacement]] = {}
         by_join: Dict[str, List[SubReplicaPlacement]] = {}
@@ -93,14 +94,46 @@ class Placement:
         object.__setattr__(self, "_total_required", 0.0)
         object.__setattr__(self, "_join_replicas", {})
         object.__setattr__(self, "_join_hosts", {})
+        object.__setattr__(
+            self, "_load_observers", getattr(self, "_load_observers", [])
+        )
         for sub in self.sub_replicas:
             self._index_add(sub)
+        # A wholesale rebuild (list reassignment, rollback) may drop nodes
+        # entirely; observers still need their zero-load notification.
+        if self._load_observers:
+            for node_id in previous_loads:
+                if node_id not in loads:
+                    self._notify_load(node_id, 0.0)
+
+    def add_load_observer(self, observer) -> None:
+        """Subscribe ``observer(node_id, load)`` to per-node load changes.
+
+        Fired after every index mutation that moves a node's total load
+        (``load`` is the node's new total; 0.0 when it stops hosting).
+        This is what lets :class:`~repro.evaluation.overload.OverloadMonitor`
+        track overload incrementally instead of rescanning the placement.
+        """
+        self._load_observers.append(observer)
+
+    def remove_load_observer(self, observer) -> None:
+        """Unsubscribe a previously added load observer."""
+        try:
+            self._load_observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _notify_load(self, node_id: str, load: float) -> None:
+        for observer in self._load_observers:
+            observer(node_id, load)
 
     def _index_add(self, sub: SubReplicaPlacement) -> None:
         self._by_node.setdefault(sub.node_id, []).append(sub)
         self._by_replica.setdefault(sub.replica_id, []).append(sub)
         self._by_join.setdefault(sub.join_id, []).append(sub)
         self._node_load[sub.node_id] = self._node_load.get(sub.node_id, 0.0) + sub.charged_capacity
+        if self._load_observers:
+            self._notify_load(sub.node_id, self._node_load[sub.node_id])
         # Running aggregates: total standalone demand plus per-join
         # replica/host reference counts, so total_demand() and the
         # session summary answer incrementally instead of rescanning the
@@ -141,6 +174,8 @@ class Placement:
                 self._node_load[node_id] = sum(s.charged_capacity for s in bucket)
             else:
                 self._node_load.pop(node_id, None)
+            if self._load_observers:
+                self._notify_load(node_id, self._node_load.get(node_id, 0.0))
         total = self._total_required
         for sub in removed:
             total -= sub.required_capacity
@@ -234,6 +269,38 @@ class Placement:
         if removed:
             self._discard(removed)
         return removed
+
+    def discard_subs(self, keys: Iterable[tuple]) -> List[SubReplicaPlacement]:
+        """Remove sub-replicas matching the given ``(sub_id, node_id)`` keys.
+
+        The replay-side inverse of :meth:`extend`: applying a
+        :class:`~repro.core.changeset.PlanDelta` to an archived placement
+        drops exactly the diff's removed instances. Returns what was
+        removed; keys with no match are ignored.
+        """
+        wanted = set(keys)
+        removed = [
+            sub for sub in self.sub_replicas if (sub.sub_id, sub.node_id) in wanted
+        ]
+        if removed:
+            self._discard(removed)
+        return removed
+
+    def copy(self) -> "Placement":
+        """An independent placement with the same contents.
+
+        Sub-replicas are immutable and shared; the containers (list,
+        pinned map, virtual positions) are fresh, so mutating the copy —
+        e.g. folding plan deltas into an archived placement — leaves the
+        original untouched.
+        """
+        duplicate = Placement(
+            pinned=dict(self.pinned),
+            sub_replicas=list(self.sub_replicas),
+            virtual_positions=dict(self.virtual_positions),
+            overload_accepted=self.overload_accepted,
+        )
+        return duplicate
 
     def extend(self, subs: Iterable[SubReplicaPlacement]) -> None:
         """Add newly placed sub-replicas."""

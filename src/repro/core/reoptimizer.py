@@ -1,46 +1,29 @@
-"""Incremental re-optimization (Section 3.5).
+"""Incremental re-optimization (Section 3.5) — deprecated shim.
 
-Applies churn events to a live :class:`~repro.core.optimizer.NovaSession`
-without recomputing the full placement:
-
-* **Add worker** — embed the node from a fixed neighbour sample (constant
-  time) and register it with the neighbour index.
-* **Add source** — embed the node, extend the plan and the join matrix,
-  and run Phases II-III only for the new join pairs.
-* **Remove node** — role-dependent: idle workers just leave the cost
-  space; sources take their join pairs with them; join hosts trigger
-  re-placement (Phase III only) of the replicas they carried, reusing the
-  precomputed virtual positions.
-* **Data-rate change** — undeploy the source's replicas, rebuild their
-  descriptors with the new rate, and re-run Phase III. Virtual positions
-  stay valid because the (unweighted) geometric median is rate-independent.
-* **Capacity change** — undeploy everything on the worker, adjust the
-  ledger, and re-place the affected replicas.
-* **Coordinate drift** — re-embed the node, then re-place any replica
-  pinned to it (its median moved) or hosted on it.
-
-Every handler works off the maintained indices — the placement's
-per-node/per-replica buckets and the resolved plan's id/source/node
-maps — so an event's cost scales with the replicas it actually affects,
-not with the total replica count. This is what keeps churn events
-sub-second at 10^5+ nodes.
-
-Re-placement runs through the session's long-lived
-:class:`~repro.core.packing.PackingEngine`: undeploys return capacity
-(an availability *increase*) and node churn mutates the index, both of
-which bump the cost space's mutation epoch — so the engine's shared
-cursor cache invalidates itself without any explicit coupling to the
-handlers here.
+.. deprecated::
+    The per-event :class:`Reoptimizer` is superseded by the transactional
+    ChangeSet API: ``session.apply(events)`` /
+    ``with session.transaction() as txn`` (see
+    :mod:`repro.core.changeset`). The batched surface validates events up
+    front, coalesces per node, runs one solve-and-pack pass for a whole
+    burst, rolls back atomically on failure, and returns a structured
+    :class:`~repro.core.changeset.PlanDelta` instead of mutating
+    silently. This class remains as a thin delegating wrapper so
+    existing call sites keep working: every method stages a single-event
+    batch through the new engine, which preserves the original per-event
+    semantics and error types — with one deliberate improvement:
+    ``change_capacity`` no longer undeploys and re-packs a node's
+    replicas when the new capacity still covers the hosted load (it only
+    adjusts the ledger, bumping the mutation epoch on an increase), so a
+    raised capacity keeps the placement in place instead of churning it.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, List, Set
+import warnings
+from typing import Dict
 
-from repro.common.errors import OptimizationError, UnknownNodeError
 from repro.core.optimizer import NovaSession
-from repro.query.expansion import JoinPairReplica, replica_id_for
 from repro.topology.dynamics import (
     AddSourceEvent,
     AddWorkerEvent,
@@ -50,13 +33,19 @@ from repro.topology.dynamics import (
     DataRateChangeEvent,
     RemoveNodeEvent,
 )
-from repro.topology.model import Node, NodeRole
 
 
 class Reoptimizer:
-    """Applies churn events to a Nova session incrementally."""
+    """Deprecated per-event facade over ``NovaSession.apply``."""
 
-    def __init__(self, session: NovaSession) -> None:
+    def __init__(self, session: NovaSession, _warn: bool = True) -> None:
+        if _warn:
+            warnings.warn(
+                "Reoptimizer is deprecated; use session.apply(events) or "
+                "session.transaction() (repro.core.changeset)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.session = session
 
     # ------------------------------------------------------------------
@@ -64,213 +53,45 @@ class Reoptimizer:
     # ------------------------------------------------------------------
     def apply(self, event: ChurnEvent) -> None:
         """Apply one churn event of any supported type."""
-        if isinstance(event, AddWorkerEvent):
-            self.add_worker(event)
-        elif isinstance(event, AddSourceEvent):
-            self.add_source(event)
-        elif isinstance(event, RemoveNodeEvent):
-            self.remove_node(event.node_id)
-        elif isinstance(event, DataRateChangeEvent):
-            self.change_data_rate(event.node_id, event.new_rate)
-        elif isinstance(event, CapacityChangeEvent):
-            self.change_capacity(event.node_id, event.new_capacity)
-        elif isinstance(event, CoordinateDriftEvent):
-            self.update_coordinates(event.node_id, event.neighbor_latencies_ms)
-        else:
-            raise OptimizationError(f"unsupported churn event {event!r}")
+        self.session.apply([event])
 
     # ------------------------------------------------------------------
-    # additions
+    # per-event methods (legacy signatures)
     # ------------------------------------------------------------------
     def add_worker(self, event: AddWorkerEvent) -> None:
         """A new worker joins: embed it and make it available to k-NN."""
-        session = self.session
-        session.topology.add_node(
-            Node(event.node_id, capacity=event.capacity, role=NodeRole.WORKER)
-        )
-        session.cost_space.add_node(event.node_id, event.neighbor_latencies_ms)
-        session.available[event.node_id] = event.capacity
+        self.session.apply([event])
 
     def add_source(self, event: AddSourceEvent) -> None:
         """A new source joins: extend plan and M, place only its sub-branch."""
-        session = self.session
-        session.topology.add_node(
-            Node(event.node_id, capacity=event.capacity, role=NodeRole.SOURCE)
-        )
-        session.cost_space.add_node(event.node_id, event.neighbor_latencies_ms)
-        # Ingestion consumes the new source's own capacity (cf. optimize()).
-        session.available[event.node_id] = max(event.capacity - event.data_rate, 0.0)
+        self.session.apply([event])
 
-        joins = session.plan.joins()
-        join = next(
-            (j for j in joins if event.logical_stream in j.inputs), None
-        )
-        if join is None:
-            raise OptimizationError(
-                f"no join consumes logical stream {event.logical_stream!r}"
-            )
-        session.plan.add_source(
-            event.node_id,
-            node=event.node_id,
-            rate=event.data_rate,
-            logical_stream=event.logical_stream,
-        )
-        left_stream, right_stream = join.inputs
-        if event.logical_stream == left_stream:
-            session.matrix.add_left(event.node_id)
-            session.matrix.allow(event.node_id, event.partner_source)
-            left_id, right_id = event.node_id, event.partner_source
-        else:
-            session.matrix.add_right(event.node_id)
-            session.matrix.allow(event.partner_source, event.node_id)
-            left_id, right_id = event.partner_source, event.node_id
-
-        session.plan.operator(event.partner_source)  # validate partner exists
-        sink = session.plan.sink_of_join(join.op_id)
-        left_op = session.plan.operator(left_id)
-        right_op = session.plan.operator(right_id)
-        replica = JoinPairReplica(
-            replica_id=replica_id_for(join.op_id, left_id, right_id),
-            join_id=join.op_id,
-            left_source=left_id,
-            right_source=right_id,
-            left_node=left_op.pinned_node,
-            right_node=right_op.pinned_node,
-            sink_id=sink.op_id,
-            sink_node=sink.pinned_node,
-            left_rate=left_op.data_rate,
-            right_rate=right_op.data_rate,
-        )
-        session.resolved.add(replica)
-        session.placement.pinned[event.node_id] = event.node_id
-        session.place_replicas([replica])
-
-    # ------------------------------------------------------------------
-    # removals
-    # ------------------------------------------------------------------
     def remove_node(self, node_id: str) -> None:
         """Remove a node, handling its role-specific cleanup."""
-        session = self.session
-        if node_id not in session.topology:
-            raise UnknownNodeError(node_id)
-        node = session.topology.node(node_id)
+        self.session.apply([RemoveNodeEvent(node_id=node_id)])
 
-        affected: List[JoinPairReplica] = []
-        deleted_ids: Set[str] = set()
-        if node.role == NodeRole.SOURCE and node_id in session.matrix.left_ids + session.matrix.right_ids:
-            removed_pairs = session.matrix.remove_source(node_id)
-            # The resolved plan's id index answers membership in O(1) per
-            # (pair, join) combination.
-            for left_id, right_id in removed_pairs:
-                for join in session.plan.joins():
-                    replica_id = replica_id_for(join.op_id, left_id, right_id)
-                    if replica_id in session.resolved:
-                        session.undeploy_replica(replica_id)
-                        deleted_ids.add(replica_id)
-            session.resolved.discard(deleted_ids)
-            if node_id in session.plan:
-                session.plan.remove_operator(node_id)
-            session.placement.pinned.pop(node_id, None)
-        # Any node may additionally host sub-joins of other replicas;
-        # those replicas are undeployed and re-placed after the removal.
-        replica_ids = {
-            s.replica_id for s in session.placement.subs_on_node(node_id)
-        } - deleted_ids
-        for replica_id in replica_ids:
-            session.undeploy_replica(replica_id)
-            affected.append(session.replica_by_id(replica_id))
-
-        session.available.pop(node_id, None)
-        if node_id in session.cost_space:
-            session.cost_space.remove_node(node_id)
-        session.topology.remove_node(node_id)
-
-        if affected:
-            # Virtual positions were kept (removed with the replica); Phase
-            # III re-runs against the shrunken candidate space.
-            session.place_replicas(affected)
-
-    # ------------------------------------------------------------------
-    # workload changes
-    # ------------------------------------------------------------------
     def change_data_rate(self, source_id: str, new_rate: float) -> None:
         """A source's emission rate changed: rebalance its sub-joins only."""
-        session = self.session
-        operator = session.plan.operator(source_id)
-        if not operator.is_source:
-            raise OptimizationError(f"{source_id!r} is not a source")
-        operator.data_rate = float(new_rate)
-
-        # The source index yields exactly the replicas this source feeds;
-        # untouched replicas are never visited. The (unweighted) geometric
-        # median is rate-independent, so each replica's virtual position
-        # survives the undeploy/redeploy cycle and Phase II is skipped.
-        updated: List[JoinPairReplica] = []
-        positions = session.placement.virtual_positions
-        for replica in session.resolved.replicas_of_source(source_id):
-            saved_position = positions.get(replica.replica_id)
-            session.undeploy_replica(replica.replica_id)
-            if saved_position is not None:
-                positions[replica.replica_id] = saved_position
-            rebuilt = replace(
-                replica,
-                left_rate=new_rate if replica.left_source == source_id else replica.left_rate,
-                right_rate=new_rate if replica.right_source == source_id else replica.right_rate,
-            )
-            session.resolved.replace(rebuilt)
-            updated.append(rebuilt)
-        # The ingestion share of the source node's capacity changed
-        # (old_rate -> new_rate); recompute its headroom absolutely against
-        # what is still hosted there rather than adjusting incrementally,
-        # which would drift once the clamp at zero has been hit.
-        node_id = operator.pinned_node
-        if node_id in session.available:
-            node = session.topology.node(node_id)
-            hosted = sum(
-                s.charged_capacity for s in session.placement.subs_on_node(node_id)
-            )
-            session.available[node_id] = max(node.capacity - new_rate, 0.0) - hosted
-        session.place_replicas(updated)
+        self.session.apply([DataRateChangeEvent(node_id=source_id, new_rate=new_rate)])
 
     def change_capacity(self, node_id: str, new_capacity: float) -> None:
-        """A worker's capacity changed: re-place everything it hosted."""
-        session = self.session
-        node = session.topology.node(node_id)
-        replica_ids = {s.replica_id for s in session.placement.subs_on_node(node_id)}
-        affected = []
-        for replica_id in replica_ids:
-            session.undeploy_replica(replica_id)
-            affected.append(session.replica_by_id(replica_id))
-        node.capacity = float(new_capacity)
-        # After undeploying everything hosted here, availability is the new
-        # capacity minus any ingestion load of sources pinned to this node.
-        ingestion = sum(
-            op.data_rate for op in session.plan.sources() if op.pinned_node == node_id
+        """A worker's capacity changed: re-place what no longer fits.
+
+        When the new capacity still covers the hosted load, only the
+        availability ledger is adjusted (fast path) — nothing moves.
+        """
+        self.session.apply(
+            [CapacityChangeEvent(node_id=node_id, new_capacity=new_capacity)]
         )
-        session.available[node_id] = max(float(new_capacity) - ingestion, 0.0)
-        if affected:
-            session.place_replicas(affected)
 
     def update_coordinates(
         self, node_id: str, neighbor_latencies_ms: Dict[str, float]
     ) -> None:
         """A node's latencies drifted: re-embed it, re-place what it anchors."""
-        session = self.session
-        session.cost_space.update_node(node_id, neighbor_latencies_ms)
-        # The pinned-node index yields the anchored replicas directly.
-        affected_ids: Set[str] = {
-            replica.replica_id
-            for replica in session.resolved.replicas_of_node(node_id)
-        }
-        affected_ids.update(
-            sub.replica_id for sub in session.placement.subs_on_node(node_id)
+        self.session.apply(
+            [
+                CoordinateDriftEvent(
+                    node_id=node_id, neighbor_latencies_ms=neighbor_latencies_ms
+                )
+            ]
         )
-        affected = []
-        for replica_id in affected_ids:
-            session.undeploy_replica(replica_id)
-            replica = session.replica_by_id(replica_id)
-            affected.append(replica)
-            # The anchor moved, so the precomputed median is stale.
-            session.placement.virtual_positions.pop(replica_id, None)
-        if affected:
-            session.place_replicas(affected)

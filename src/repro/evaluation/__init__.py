@@ -14,6 +14,7 @@ from repro.evaluation.latency import (
 )
 from repro.evaluation.overload import (
     NodeUtilization,
+    OverloadMonitor,
     max_utilization,
     node_utilizations,
     overload_percentage,
@@ -26,6 +27,7 @@ __all__ = [
     "DistanceFn",
     "LatencyStats",
     "NodeUtilization",
+    "OverloadMonitor",
     "comparison_table",
     "direct_transmission_latencies",
     "embedding_distance",

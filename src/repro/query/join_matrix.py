@@ -115,6 +115,31 @@ class JoinMatrix:
             raise JoinMatrixError(f"unknown source {source_id!r}")
         return removed
 
+    def restore_source(
+        self,
+        source_id: str,
+        side: str,
+        position: int,
+        pairs: Iterable[Tuple[str, str]],
+    ) -> None:
+        """Undo a :meth:`remove_source`: re-insert the id and its pairs.
+
+        The change-set engine's rollback path — ``position`` is the id's
+        original slot in the side list, so a rolled-back matrix is
+        indistinguishable from one that never lost the source.
+        """
+        if source_id in self._left_set or source_id in self._right_set:
+            raise JoinMatrixError(f"source {source_id!r} is already registered")
+        if side == "left":
+            self._left.insert(position, source_id)
+            self._left_set.add(source_id)
+        elif side == "right":
+            self._right.insert(position, source_id)
+            self._right_set.add(source_id)
+        else:
+            raise JoinMatrixError(f"unknown matrix side {side!r}")
+        self._pairs.update(pairs)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -76,6 +76,32 @@ def parse_partition_indices(sub_id: str) -> Tuple[int, int]:
 class Deployment:
     """A fully wired simulation ready to run."""
 
+    @classmethod
+    def from_artifacts(
+        cls,
+        topology: Topology,
+        plan: LogicalPlan,
+        placement: Placement,
+        deltas,
+        distance_ms: DistanceFn,
+        config: Optional["SimulationConfig"] = None,
+    ) -> "Deployment":
+        """Wire a deployment from an archived placement plus its deltas.
+
+        The churn-replay path onto the SPE: instead of re-running the
+        optimizer, fold a stream of
+        :class:`~repro.core.changeset.PlanDelta` diffs (as returned by
+        ``session.apply`` or rebuilt via
+        :func:`~repro.core.serialization.plan_delta_from_dict`) into a
+        *copy* of the base placement and deploy the result. ``topology``
+        and ``plan`` must describe the post-churn state the deltas lead
+        to (the placement deltas reference only surviving nodes).
+        """
+        updated = placement.copy()
+        for delta in deltas:
+            delta.apply_to(updated)
+        return cls(topology, plan, updated, distance_ms, config=config)
+
     def __init__(
         self,
         topology: Topology,

@@ -7,17 +7,31 @@ threshold) with a median change magnitude around 24 ms. The
 day/night factor plus per-snapshot jitter on a random subset of pairs.
 
 Churn events (node add/remove, rate change, coordinate drift) are modeled as
-plain data; the re-optimizer consumes them (see
-:mod:`repro.core.reoptimizer`).
+plain data; the change-set engine consumes them in batches (see
+:mod:`repro.core.changeset`). Each event type carries two declarative
+hooks used by that engine:
+
+* ``coalesce_key`` — events sharing a key within one batch collapse to
+  the last occurrence (two rate changes on the same source, say);
+  ``None`` marks structural events (adds, removals) that must all run.
+* ``validate(state)`` — checks the event against a :class:`BatchState`
+  (the projected session state at its position in the batch) and folds
+  its own effect into that state, so a whole batch validates *before*
+  any session mutation happens.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Union
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from repro.common.errors import (
+    OptimizationError,
+    UnknownNodeError,
+    UnknownOperatorError,
+)
 from repro.common.rng import SeedLike, ensure_rng
 from repro.topology.latency import DenseLatencyMatrix
 
@@ -89,6 +103,38 @@ class DiurnalLatencyModel:
 # ----------------------------------------------------------------------
 # churn events
 # ----------------------------------------------------------------------
+@dataclass
+class BatchState:
+    """The projected session state a batch of events validates against.
+
+    Seeded from a live session (:meth:`of_session`) and folded forward by
+    each event's ``validate`` hook, so an event staged after a removal
+    sees the removal, and a batch touching a node it adds itself is
+    legal. Tracks only what validation needs: node membership, the
+    plan's operator ids, which of them are sources (and their logical
+    stream), and the logical streams consumed by joins.
+    """
+
+    nodes: Set[str] = field(default_factory=set)
+    operators: Set[str] = field(default_factory=set)
+    sources: Dict[str, str] = field(default_factory=dict)
+    join_streams: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def of_session(cls, session) -> "BatchState":
+        """Snapshot the validation-relevant state of a Nova session."""
+        return cls(
+            nodes=set(session.topology.node_ids),
+            operators={op.op_id for op in session.plan.operators()},
+            sources={
+                op.op_id: op.logical_stream for op in session.plan.sources()
+            },
+            join_streams={
+                stream for join in session.plan.joins() for stream in join.inputs
+            },
+        )
+
+
 @dataclass(frozen=True)
 class AddWorkerEvent:
     """A new worker joins; its latencies to a neighbour sample are known."""
@@ -96,6 +142,21 @@ class AddWorkerEvent:
     node_id: str
     capacity: float
     neighbor_latencies_ms: Dict[str, float]
+
+    @property
+    def coalesce_key(self) -> Optional[Tuple[str, str]]:
+        return None
+
+    def validate(self, state: BatchState) -> None:
+        if self.node_id in state.nodes:
+            raise OptimizationError(
+                f"cannot add worker {self.node_id!r}: node already exists"
+            )
+        if not self.neighbor_latencies_ms:
+            raise OptimizationError(
+                f"cannot add worker {self.node_id!r}: no neighbour latencies"
+            )
+        state.nodes.add(self.node_id)
 
 
 @dataclass(frozen=True)
@@ -109,12 +170,46 @@ class AddSourceEvent:
     partner_source: str
     neighbor_latencies_ms: Dict[str, float]
 
+    @property
+    def coalesce_key(self) -> Optional[Tuple[str, str]]:
+        return None
+
+    def validate(self, state: BatchState) -> None:
+        if self.node_id in state.nodes:
+            raise OptimizationError(
+                f"cannot add source {self.node_id!r}: node already exists"
+            )
+        if self.logical_stream not in state.join_streams:
+            raise OptimizationError(
+                f"no join consumes logical stream {self.logical_stream!r}"
+            )
+        if self.partner_source not in state.sources:
+            raise UnknownOperatorError(self.partner_source)
+        if not self.neighbor_latencies_ms:
+            raise OptimizationError(
+                f"cannot add source {self.node_id!r}: no neighbour latencies"
+            )
+        state.nodes.add(self.node_id)
+        state.operators.add(self.node_id)
+        state.sources[self.node_id] = self.logical_stream
+
 
 @dataclass(frozen=True)
 class RemoveNodeEvent:
     """A node (source, worker, or join host) leaves the network."""
 
     node_id: str
+
+    @property
+    def coalesce_key(self) -> Optional[Tuple[str, str]]:
+        return None
+
+    def validate(self, state: BatchState) -> None:
+        if self.node_id not in state.nodes:
+            raise UnknownNodeError(self.node_id)
+        state.nodes.discard(self.node_id)
+        state.operators.discard(self.node_id)
+        state.sources.pop(self.node_id, None)
 
 
 @dataclass(frozen=True)
@@ -124,6 +219,16 @@ class DataRateChangeEvent:
     node_id: str
     new_rate: float
 
+    @property
+    def coalesce_key(self) -> Optional[Tuple[str, str]]:
+        return ("rate", self.node_id)
+
+    def validate(self, state: BatchState) -> None:
+        if self.node_id not in state.operators:
+            raise UnknownOperatorError(self.node_id)
+        if self.node_id not in state.sources:
+            raise OptimizationError(f"{self.node_id!r} is not a source")
+
 
 @dataclass(frozen=True)
 class CapacityChangeEvent:
@@ -132,6 +237,14 @@ class CapacityChangeEvent:
     node_id: str
     new_capacity: float
 
+    @property
+    def coalesce_key(self) -> Optional[Tuple[str, str]]:
+        return ("capacity", self.node_id)
+
+    def validate(self, state: BatchState) -> None:
+        if self.node_id not in state.nodes:
+            raise UnknownNodeError(self.node_id)
+
 
 @dataclass(frozen=True)
 class CoordinateDriftEvent:
@@ -139,6 +252,18 @@ class CoordinateDriftEvent:
 
     node_id: str
     neighbor_latencies_ms: Dict[str, float]
+
+    @property
+    def coalesce_key(self) -> Optional[Tuple[str, str]]:
+        return ("drift", self.node_id)
+
+    def validate(self, state: BatchState) -> None:
+        if self.node_id not in state.nodes:
+            raise UnknownNodeError(self.node_id)
+        if not self.neighbor_latencies_ms:
+            raise OptimizationError(
+                f"cannot re-embed {self.node_id!r}: no neighbour latencies"
+            )
 
 
 ChurnEvent = Union[
@@ -149,6 +274,40 @@ ChurnEvent = Union[
     CapacityChangeEvent,
     CoordinateDriftEvent,
 ]
+
+# Stable wire names for churn-trace files (see ``event_to_dict``).
+EVENT_TYPES: Dict[str, type] = {
+    "add_worker": AddWorkerEvent,
+    "add_source": AddSourceEvent,
+    "remove_node": RemoveNodeEvent,
+    "data_rate_change": DataRateChangeEvent,
+    "capacity_change": CapacityChangeEvent,
+    "coordinate_drift": CoordinateDriftEvent,
+}
+_EVENT_NAMES = {cls: name for name, cls in EVENT_TYPES.items()}
+
+
+def event_to_dict(event: ChurnEvent) -> Dict:
+    """A JSON-serializable representation of one churn event."""
+    name = _EVENT_NAMES.get(type(event))
+    if name is None:
+        raise OptimizationError(f"unsupported churn event {event!r}")
+    data = asdict(event)
+    data["type"] = name
+    return data
+
+
+def event_from_dict(data: Dict) -> ChurnEvent:
+    """Rebuild a churn event from :func:`event_to_dict` output."""
+    payload = dict(data)
+    name = payload.pop("type", None)
+    cls = EVENT_TYPES.get(name)
+    if cls is None:
+        raise OptimizationError(f"unknown churn event type {name!r}")
+    try:
+        return cls(**payload)
+    except TypeError as error:
+        raise OptimizationError(f"malformed {name!r} event: {error}") from None
 
 
 def standard_event_suite(

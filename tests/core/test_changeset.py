@@ -1,0 +1,685 @@
+"""The transactional ChangeSet API: coalescing, batching, rollback, deltas."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    OptimizationError,
+    UnknownNodeError,
+    UnknownOperatorError,
+)
+from repro.core.changeset import ChangeSet, PlanDelta, apply_changeset
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.topology.dynamics import (
+    AddSourceEvent,
+    AddWorkerEvent,
+    CapacityChangeEvent,
+    CoordinateDriftEvent,
+    DataRateChangeEvent,
+    RemoveNodeEvent,
+    standard_event_suite,
+)
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.synthetic import synthetic_opp_workload
+
+
+def build_session(n=120, seed=5):
+    workload = synthetic_opp_workload(n, seed=seed)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+    session = Nova(NovaConfig(seed=seed)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+    return workload, latency, session
+
+
+@pytest.fixture()
+def session_and_latency():
+    _, latency, session = build_session()
+    return session, latency
+
+
+def neighbor_sample(session, latency, anchor=None, count=12):
+    ids = [nid for nid in session.topology.node_ids][: count + 1]
+    anchor = anchor or ids[0]
+    return {nid: latency.latency(anchor, nid) + 1.0 for nid in ids if nid != anchor}
+
+
+def state_snapshot(session):
+    """Everything the rollback contract promises to restore bit-identically."""
+    return (
+        [(s.sub_id, s.node_id, s.charged_capacity) for s in session.placement.sub_replicas],
+        dict(session.placement.pinned),
+        {k: v.copy() for k, v in session.placement.virtual_positions.items()},
+        session.placement.overload_accepted,
+        dict(session.available),
+        [r.replica_id for r in session.resolved.replicas],
+        sorted(session.topology.node_ids),
+        sorted(session.cost_space.node_ids),
+        {op.op_id: op.data_rate for op in session.plan.sources()},
+        {n.node_id: n.capacity for n in session.topology.nodes()},
+    )
+
+
+def assert_snapshots_equal(before, after):
+    for index, (b, a) in enumerate(zip(before, after)):
+        if index == 2:
+            assert set(b) == set(a), "virtual position key sets differ"
+            for key in b:
+                assert np.array_equal(b[key], a[key]), f"virtual position {key} differs"
+        else:
+            assert b == a, f"snapshot field {index} differs"
+
+
+def assert_invariants(session):
+    for sub in session.placement.sub_replicas:
+        assert sub.node_id in session.topology
+        assert sub.node_id in session.cost_space
+    deployed = {s.replica_id for s in session.placement.sub_replicas}
+    resolved = {r.replica_id for r in session.resolved.replicas}
+    assert deployed == resolved
+
+
+# ----------------------------------------------------------------------
+# coalescing
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_last_rate_change_wins(self):
+        changes = ChangeSet(
+            [
+                DataRateChangeEvent("s", 10.0),
+                DataRateChangeEvent("s", 20.0),
+                DataRateChangeEvent("s", 30.0),
+            ]
+        )
+        events = changes.coalesced()
+        assert events == [DataRateChangeEvent("s", 30.0)]
+
+    def test_distinct_nodes_not_coalesced(self):
+        changes = ChangeSet(
+            [DataRateChangeEvent("a", 10.0), DataRateChangeEvent("b", 20.0)]
+        )
+        assert len(changes.coalesced()) == 2
+
+    def test_drift_and_rate_both_survive(self):
+        """Different event kinds on one node collapse to one *re-placement*
+        (union dedup), but both events execute."""
+        changes = ChangeSet(
+            [
+                CoordinateDriftEvent("s", {"a": 1.0}),
+                DataRateChangeEvent("s", 20.0),
+            ]
+        )
+        assert len(changes.coalesced()) == 2
+
+    def test_updates_subsumed_by_removal(self):
+        changes = ChangeSet(
+            [
+                DataRateChangeEvent("s", 10.0),
+                CoordinateDriftEvent("s", {"a": 1.0}),
+                CapacityChangeEvent("s", 50.0),
+                RemoveNodeEvent("s"),
+            ]
+        )
+        assert changes.coalesced() == [RemoveNodeEvent("s")]
+
+    def test_add_worker_annihilates_with_removal(self):
+        changes = ChangeSet(
+            [
+                AddWorkerEvent("w", 100.0, {"a": 1.0}),
+                CapacityChangeEvent("w", 50.0),
+                RemoveNodeEvent("w"),
+                DataRateChangeEvent("other", 5.0),
+            ]
+        )
+        assert changes.coalesced() == [DataRateChangeEvent("other", 5.0)]
+
+    def test_remove_then_readd_kept(self):
+        events = [
+            RemoveNodeEvent("w"),
+            AddWorkerEvent("w", 100.0, {"a": 1.0}),
+        ]
+        assert ChangeSet(events).coalesced() == events
+
+    def test_unknown_event_type_rejected_at_stage(self):
+        with pytest.raises(OptimizationError):
+            ChangeSet([object()])
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_batch_sees_its_own_additions(self, session_and_latency):
+        session, latency = session_and_latency
+        changes = ChangeSet(
+            [
+                AddWorkerEvent("batch-w", 100.0, neighbor_sample(session, latency)),
+                CapacityChangeEvent("batch-w", 80.0),
+                RemoveNodeEvent("batch-w"),
+            ]
+        )
+        changes.validate(session)  # does not raise, does not mutate
+
+    def test_ghost_removal_rejected_without_mutation(self, session_and_latency):
+        session, _ = session_and_latency
+        before = state_snapshot(session)
+        with pytest.raises(UnknownNodeError):
+            session.apply(
+                [DataRateChangeEvent(session.plan.sources()[0].op_id, 77.0),
+                 RemoveNodeEvent("ghost")]
+            )
+        assert_snapshots_equal(before, state_snapshot(session))
+
+    def test_rate_change_on_non_source_rejected(self, session_and_latency):
+        session, _ = session_and_latency
+        with pytest.raises(OptimizationError):
+            session.apply([DataRateChangeEvent("join", 10.0)])
+
+    def test_rate_change_on_unknown_operator(self, session_and_latency):
+        session, _ = session_and_latency
+        with pytest.raises(UnknownOperatorError):
+            session.apply([DataRateChangeEvent("ghost", 10.0)])
+
+    def test_add_source_unknown_stream_rejected(self, session_and_latency):
+        session, latency = session_and_latency
+        with pytest.raises(OptimizationError):
+            session.apply(
+                [
+                    AddSourceEvent(
+                        "x", 1.0, 1.0, "ghost-stream", "whatever",
+                        neighbor_sample(session, latency),
+                    )
+                ]
+            )
+
+    def test_double_removal_rejected(self, session_and_latency):
+        session, _ = session_and_latency
+        victim = session.plan.sources()[0].op_id
+        before = state_snapshot(session)
+        with pytest.raises(UnknownNodeError):
+            session.apply([RemoveNodeEvent(victim), RemoveNodeEvent(victim)])
+        assert_snapshots_equal(before, state_snapshot(session))
+
+
+# ----------------------------------------------------------------------
+# batched application
+# ----------------------------------------------------------------------
+class TestBatchedApply:
+    def test_single_packing_pass_for_multi_event_batch(self, session_and_latency):
+        session, latency = session_and_latency
+        partner = next(
+            op.op_id for op in session.plan.sources() if op.logical_stream == "right"
+        )
+        source = next(
+            op.op_id for op in session.plan.sources() if op.logical_stream == "left"
+        )
+        delta = session.apply(
+            [
+                AddSourceEvent(
+                    "batch-src", 100.0, 40.0, "left", partner,
+                    neighbor_sample(session, latency),
+                ),
+                DataRateChangeEvent(source, 150.0),
+                CoordinateDriftEvent(partner, neighbor_sample(session, latency)),
+            ]
+        )
+        assert delta.timings.packing_passes == 1
+        assert delta.events_staged == 3 and delta.events_applied == 3
+        assert delta.subs_added
+        assert "batch-src" in {r.split("[")[1].split("x")[0] for r in delta.replicas_added} or delta.replicas_added
+        assert_invariants(session)
+
+    def test_replicas_touched_by_multiple_events_deduped(self, session_and_latency):
+        session, latency = session_and_latency
+        partner = next(
+            op.op_id for op in session.plan.sources() if op.logical_stream == "right"
+        )
+        delta = session.apply(
+            [
+                CoordinateDriftEvent(partner, neighbor_sample(session, latency)),
+                DataRateChangeEvent(partner, 120.0),
+            ]
+        )
+        replaced = delta.replicas_replaced
+        assert len(replaced) == len(set(replaced))
+        # Phase II re-solved each affected replica's median exactly once.
+        assert delta.timings.medians_solved == len(
+            [r for r in replaced if r in delta.virtual_updated]
+        )
+        assert_invariants(session)
+
+    def test_empty_batch_is_a_noop(self, session_and_latency):
+        session, _ = session_and_latency
+        before = state_snapshot(session)
+        delta = session.apply([])
+        assert delta.is_empty
+        assert delta.timings.packing_passes == 0
+        assert_snapshots_equal(before, state_snapshot(session))
+
+    def test_transaction_context_manager(self, session_and_latency):
+        session, latency = session_and_latency
+        source = session.plan.sources()[3].op_id
+        with session.transaction() as txn:
+            txn.stage(AddWorkerEvent("txn-w", 200.0, neighbor_sample(session, latency)))
+            txn.stage(DataRateChangeEvent(source, 66.0))
+        assert txn.delta is not None
+        assert txn.delta.events_applied == 2
+        assert "txn-w" in session.topology
+        assert session.plan.operator(source).data_rate == 66.0
+        assert_invariants(session)
+
+    def test_transaction_aborted_by_exception_applies_nothing(
+        self, session_and_latency
+    ):
+        session, _ = session_and_latency
+        before = state_snapshot(session)
+        source = session.plan.sources()[3].op_id
+        with pytest.raises(RuntimeError):
+            with session.transaction() as txn:
+                txn.stage(DataRateChangeEvent(source, 66.0))
+                raise RuntimeError("caller changed its mind")
+        assert txn.delta is None
+        assert_snapshots_equal(before, state_snapshot(session))
+
+    def test_changeset_round_trip(self):
+        changes = ChangeSet(
+            [
+                AddWorkerEvent("w", 10.0, {"a": 1.0}),
+                DataRateChangeEvent("s", 42.0),
+                RemoveNodeEvent("gone"),
+            ]
+        )
+        rebuilt = ChangeSet.from_dict(changes.to_dict())
+        assert list(rebuilt) == list(changes)
+
+
+# ----------------------------------------------------------------------
+# batch-vs-sequential parity
+# ----------------------------------------------------------------------
+def fig10_events(session, seed=13):
+    rng = np.random.default_rng(seed)
+    sources = session.plan.sources()
+    left = next(op for op in sources if op.logical_stream == "left")
+    right = next(op for op in sources if op.logical_stream == "right")
+    hosting = {s.node_id for s in session.placement.sub_replicas}
+    pinned = set(session.placement.pinned.values())
+    idle = [
+        nid for nid in session.topology.node_ids
+        if nid not in hosting and nid not in pinned
+    ]
+    worker = idle[0] if idle else session.topology.node_ids[-1]
+    sample = [nid for nid in session.topology.node_ids[:16] if nid != right.op_id]
+    neighbors = {nid: float(rng.uniform(1.0, 100.0)) for nid in sample}
+    return standard_event_suite(
+        existing_worker=worker,
+        existing_source=left.op_id,
+        partner_source=right.op_id,
+        neighbor_latencies=neighbors,
+        next_id=f"parity{seed}",
+    )
+
+
+class TestBatchSequentialParity:
+    @pytest.mark.parametrize("n", [300, 1000])
+    def test_fig10_suite_placement_identical(self, n):
+        """The five-event scalability suite lands the same placement whether
+        applied per event or as one ChangeSet (asserted at n=10^3, the
+        acceptance bar, plus a faster n=300 smoke point)."""
+        _, _, sequential = build_session(n=n, seed=13)
+        _, _, batched = build_session(n=n, seed=13)
+
+        events = fig10_events(sequential)
+        assert events == fig10_events(batched)  # identical sessions, same suite
+
+        passes_before = sequential.timings.packing_passes
+        for event in events:
+            sequential.apply([event])
+        sequential_passes = sequential.timings.packing_passes - passes_before
+
+        delta = batched.apply(events)
+        assert delta.timings.packing_passes == 1
+        assert delta.timings.packing_passes < sequential_passes
+
+        def placed(session):
+            return {
+                (s.sub_id, s.node_id, round(s.charged_capacity, 9))
+                for s in session.placement.sub_replicas
+            }
+
+        assert placed(sequential) == placed(batched)
+        assert dict(sequential.available).keys() == dict(batched.available).keys()
+        for node_id, value in sequential.available.items():
+            assert batched.available[node_id] == pytest.approx(value, abs=1e-9)
+        seq_virtual = sequential.placement.virtual_positions
+        bat_virtual = batched.placement.virtual_positions
+        assert set(seq_virtual) == set(bat_virtual)
+        for replica_id in seq_virtual:
+            assert np.allclose(seq_virtual[replica_id], bat_virtual[replica_id])
+
+
+# ----------------------------------------------------------------------
+# transactional rollback
+# ----------------------------------------------------------------------
+class TestRollback:
+    def test_packing_failure_rolls_back_bit_identically(
+        self, session_and_latency, monkeypatch
+    ):
+        session, latency = session_and_latency
+        before = state_snapshot(session)
+        host = session.placement.sub_replicas[0].node_id
+        source = session.plan.sources()[2].op_id
+
+        def boom(replicas):
+            raise RuntimeError("injected packing failure")
+
+        monkeypatch.setattr(session, "place_replicas", boom)
+        with pytest.raises(RuntimeError):
+            session.apply(
+                [
+                    AddWorkerEvent(
+                        "roll-w", 200.0, neighbor_sample(session, latency)
+                    ),
+                    RemoveNodeEvent(host),
+                    DataRateChangeEvent(source, 250.0),
+                    CoordinateDriftEvent(
+                        source, neighbor_sample(session, latency, anchor=source)
+                    ),
+                ]
+            )
+        assert_snapshots_equal(before, state_snapshot(session))
+
+    def test_session_usable_after_rollback(self, session_and_latency, monkeypatch):
+        session, latency = session_and_latency
+        source = session.plan.sources()[2].op_id
+        original = session.place_replicas
+
+        calls = {"n": 0}
+
+        def flaky(replicas):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient failure")
+            return original(replicas)
+
+        monkeypatch.setattr(session, "place_replicas", flaky)
+        with pytest.raises(RuntimeError):
+            session.apply([DataRateChangeEvent(source, 250.0)])
+        delta = session.apply([DataRateChangeEvent(source, 99.0)])
+        assert delta.events_applied == 1
+        assert session.plan.operator(source).data_rate == 99.0
+        assert_invariants(session)
+
+    def test_source_removal_rollback_restores_matrix_and_plan(
+        self, session_and_latency, monkeypatch
+    ):
+        session, _ = session_and_latency
+        source = next(
+            op.op_id
+            for op in session.plan.sources()
+            if op.op_id in session.matrix.left_ids
+        )
+        left_before = session.matrix.left_ids
+        pairs_before = set(session.matrix.pairs())
+
+        def boom(replicas):
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(session, "place_replicas", boom)
+        # Removing the source deletes replicas; a drift on another node
+        # forces a final packing pass that then fails.
+        other = next(
+            op.op_id for op in session.plan.sources() if op.op_id != source
+        )
+        anchor = next(
+            nid for nid in session.topology.node_ids
+            if nid not in (source, other)
+        )
+        with pytest.raises(RuntimeError):
+            session.apply(
+                [
+                    RemoveNodeEvent(source),
+                    CoordinateDriftEvent(other, {anchor: 5.0}),
+                ]
+            )
+        assert session.matrix.left_ids == left_before
+        assert set(session.matrix.pairs()) == pairs_before
+        assert source in session.plan
+        assert source in session.topology
+        assert source in session.cost_space
+        assert_invariants(session)
+
+
+# ----------------------------------------------------------------------
+# the capacity fast path (satellite)
+# ----------------------------------------------------------------------
+class TestCapacityFastPath:
+    def test_capacity_increase_moves_nothing(self, session_and_latency):
+        session, _ = session_and_latency
+        host = session.placement.sub_replicas[0].node_id
+        hosted_before = {
+            (s.sub_id, s.node_id) for s in session.placement.subs_on_node(host)
+        }
+        assert hosted_before
+        old_capacity = session.topology.node(host).capacity
+        delta = session.apply([CapacityChangeEvent(host, old_capacity * 2.0)])
+        hosted_after = {
+            (s.sub_id, s.node_id) for s in session.placement.subs_on_node(host)
+        }
+        assert hosted_after == hosted_before  # nothing re-placed
+        assert delta.timings.packing_passes == 0
+        assert not delta.subs_added and not delta.subs_removed
+        assert delta.availability_delta.get(host, 0.0) > 0.0
+        assert_invariants(session)
+
+    def test_capacity_increase_bumps_mutation_epoch(self, session_and_latency):
+        """Raised availability must invalidate cached rings (the node may
+        now qualify for thresholds it previously failed)."""
+        session, _ = session_and_latency
+        host = session.placement.sub_replicas[0].node_id
+        epoch_before = session.cost_space.mutation_epoch
+        session.apply(
+            [CapacityChangeEvent(host, session.topology.node(host).capacity * 2.0)]
+        )
+        assert session.cost_space.mutation_epoch > epoch_before
+
+    def test_covering_decrease_keeps_placement(self, session_and_latency):
+        session, _ = session_and_latency
+        host = session.placement.sub_replicas[0].node_id
+        load = session.placement.node_loads()[host]
+        ingestion = sum(
+            op.data_rate
+            for op in session.plan.sources()
+            if op.pinned_node == host
+        )
+        new_capacity = load + ingestion + 1.0  # still covers everything hosted
+        hosted_before = {
+            (s.sub_id, s.node_id) for s in session.placement.subs_on_node(host)
+        }
+        delta = session.apply([CapacityChangeEvent(host, new_capacity)])
+        hosted_after = {
+            (s.sub_id, s.node_id) for s in session.placement.subs_on_node(host)
+        }
+        assert hosted_after == hosted_before
+        assert delta.timings.packing_passes == 0
+        assert session.available[host] == pytest.approx(1.0)
+
+    def test_real_decrease_still_rebalances(self, session_and_latency):
+        session, _ = session_and_latency
+        host = session.placement.sub_replicas[0].node_id
+        delta = session.apply([CapacityChangeEvent(host, 0.5)])
+        assert session.topology.node(host).capacity == 0.5
+        assert delta.timings.packing_passes == 1
+        assert_invariants(session)
+
+
+# ----------------------------------------------------------------------
+# the structured diff
+# ----------------------------------------------------------------------
+class TestPlanDelta:
+    def test_delta_replays_onto_placement_copy(self, session_and_latency):
+        """base placement + delta  ==  live placement after the batch."""
+        session, latency = session_and_latency
+        base = session.placement.copy()
+        partner = next(
+            op.op_id for op in session.plan.sources() if op.logical_stream == "right"
+        )
+        delta = session.apply(
+            [
+                DataRateChangeEvent(partner, 140.0),
+                AddWorkerEvent("replay-w", 300.0, neighbor_sample(session, latency)),
+            ]
+        )
+        replayed = delta.apply_to(base)
+
+        def as_set(placement):
+            return {
+                (s.sub_id, s.node_id, round(s.charged_capacity, 9))
+                for s in placement.sub_replicas
+            }
+
+        assert as_set(replayed) == as_set(session.placement)
+        assert replayed.pinned == session.placement.pinned
+        assert set(replayed.virtual_positions) == set(
+            session.placement.virtual_positions
+        )
+        for replica_id, position in session.placement.virtual_positions.items():
+            assert np.allclose(replayed.virtual_positions[replica_id], position)
+        assert replayed.node_loads() == pytest.approx(
+            session.placement.node_loads()
+        )
+
+    def test_moves_reported_for_rehosted_cells(self, session_and_latency):
+        session, _ = session_and_latency
+        host = session.placement.sub_replicas[0].node_id
+        delta = session.apply([RemoveNodeEvent(host)])
+        # Every sub of a replica touching the dead host was undeployed;
+        # moves pair identical cells across their old and new hosts.
+        assert delta.subs_removed
+        removed_nodes = {sub.node_id for sub in delta.subs_removed}
+        assert host in removed_nodes
+        for sub_id, old_node, new_node in delta.moves:
+            assert old_node in removed_nodes
+            assert new_node != old_node
+            assert new_node != host  # the dead host cannot receive work
+
+    def test_availability_delta_tracks_removed_and_added_nodes(
+        self, session_and_latency
+    ):
+        session, latency = session_and_latency
+        hosting = {s.node_id for s in session.placement.sub_replicas}
+        pinned = set(session.placement.pinned.values())
+        idle = next(
+            nid
+            for nid in session.topology.node_ids
+            if nid not in hosting and nid not in pinned
+        )
+        idle_avail = session.available[idle]
+        delta = session.apply(
+            [
+                RemoveNodeEvent(idle),
+                AddWorkerEvent("fresh-w", 123.0, neighbor_sample(session, latency)),
+            ]
+        )
+        assert delta.availability_delta[idle] == pytest.approx(-idle_avail)
+        assert delta.availability_delta["fresh-w"] == pytest.approx(123.0)
+
+    def test_demand_delta_matches_placement_totals(self, session_and_latency):
+        session, _ = session_and_latency
+        before = session.placement.total_demand()
+        source = session.plan.sources()[1].op_id
+        delta = session.apply([DataRateChangeEvent(source, 5.0)])
+        assert delta.demand_delta == pytest.approx(
+            session.placement.total_demand() - before
+        )
+
+    def test_pins_net_filtered_when_source_added_then_removed(
+        self, session_and_latency
+    ):
+        """A source added and removed in one batch must not replay a pin
+        for a node absent from the final topology."""
+        session, latency = session_and_latency
+        base = session.placement.copy()
+        partner = next(
+            op.op_id for op in session.plan.sources() if op.logical_stream == "right"
+        )
+        delta = session.apply(
+            [
+                AddSourceEvent(
+                    "ephemeral", 100.0, 40.0, "left", partner,
+                    neighbor_sample(session, latency),
+                ),
+                RemoveNodeEvent("ephemeral"),
+            ]
+        )
+        assert "ephemeral" not in delta.pinned_added
+        assert "ephemeral" not in delta.pinned_removed
+        replayed = delta.apply_to(base)
+        assert replayed.pinned == session.placement.pinned
+        assert "ephemeral" not in replayed.pinned
+
+
+class TestStagedValidation:
+    def test_duplicate_add_not_legitimized_by_annihilation(
+        self, session_and_latency
+    ):
+        """Adding an *existing* node and removing it coalesces to nothing,
+        but the batch must still be rejected (sequential equivalence)."""
+        session, latency = session_and_latency
+        existing = next(
+            nid for nid in session.topology.node_ids
+            if nid not in set(session.placement.pinned.values())
+        )
+        before = state_snapshot(session)
+        changes = ChangeSet(
+            [
+                AddWorkerEvent(existing, 100.0, neighbor_sample(session, latency)),
+                RemoveNodeEvent(existing),
+            ]
+        )
+        assert changes.coalesced() == []  # annihilated...
+        with pytest.raises(OptimizationError):
+            session.apply(changes)  # ...but still invalid
+        assert_snapshots_equal(before, state_snapshot(session))
+
+    def test_double_add_rejected_even_with_removal(self, session_and_latency):
+        session, latency = session_and_latency
+        neighbors = neighbor_sample(session, latency)
+        before = state_snapshot(session)
+        with pytest.raises(OptimizationError):
+            session.apply(
+                [
+                    AddWorkerEvent("dup-w", 100.0, neighbors),
+                    AddWorkerEvent("dup-w", 150.0, neighbors),
+                    RemoveNodeEvent("dup-w"),
+                ]
+            )
+        assert_snapshots_equal(before, state_snapshot(session))
+
+
+def test_rollback_restores_topology_positions():
+    """Geometric positions survive a rolled-back node removal (synthetic
+    topologies need them for positions_array / CoordinateLatencyModel)."""
+    _, _, session = build_session(n=100, seed=7)
+    assert session.topology.has_positions()
+    pinned = set(session.placement.pinned.values())
+    host = next(
+        sub.node_id
+        for sub in session.placement.sub_replicas
+        if sub.node_id not in pinned
+    )
+    position_before = session.topology.position(host).copy()
+
+    def boom(replicas):
+        raise RuntimeError("injected")
+
+    original = session.place_replicas
+    session.place_replicas = boom
+    try:
+        with pytest.raises(RuntimeError):
+            session.apply([RemoveNodeEvent(host)])
+    finally:
+        session.place_replicas = original
+    assert session.topology.has_positions()
+    assert np.array_equal(session.topology.position(host), position_before)
+    session.topology.positions_array()  # must not raise

@@ -96,3 +96,69 @@ class TestSessionSummary:
     def test_summary_is_json_serializable(self, session):
         _, nova_session = session
         json.dumps(session_summary(nova_session))
+
+
+class TestPlanDeltaRoundTrip:
+    def make_delta(self):
+        from repro.core.config import NovaConfig
+        from repro.core.optimizer import Nova
+        from repro.topology.dynamics import DataRateChangeEvent, RemoveNodeEvent
+        from repro.topology.latency import DenseLatencyMatrix
+        from repro.workloads.synthetic import synthetic_opp_workload
+
+        workload = synthetic_opp_workload(100, seed=4)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=4)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        base = session.placement.copy()
+        host = session.placement.sub_replicas[0].node_id
+        source = session.plan.sources()[1].op_id
+        delta = session.apply(
+            [RemoveNodeEvent(host), DataRateChangeEvent(source, 150.0)]
+        )
+        return session, base, delta
+
+    def test_round_trip_preserves_replay(self):
+        import numpy as np
+
+        from repro.core.serialization import (
+            plan_delta_from_dict,
+            plan_delta_to_dict,
+        )
+
+        session, base, delta = self.make_delta()
+        data = plan_delta_to_dict(delta)
+        json.dumps(data)  # must be plain JSON
+        rebuilt = plan_delta_from_dict(data)
+        assert rebuilt.events_applied == delta.events_applied
+        assert rebuilt.replicas_replaced == delta.replicas_replaced
+        assert rebuilt.timings.packing_passes == delta.timings.packing_passes
+        assert rebuilt.timings.knn_queries == delta.timings.knn_queries
+
+        replayed = rebuilt.apply_to(base)
+        live = {
+            (s.sub_id, s.node_id, round(s.charged_capacity, 9))
+            for s in session.placement.sub_replicas
+        }
+        folded = {
+            (s.sub_id, s.node_id, round(s.charged_capacity, 9))
+            for s in replayed.sub_replicas
+        }
+        assert live == folded
+        assert set(replayed.virtual_positions) == set(
+            session.placement.virtual_positions
+        )
+        for key, value in session.placement.virtual_positions.items():
+            assert np.allclose(replayed.virtual_positions[key], value)
+
+    def test_version_check(self):
+        from repro.core.serialization import plan_delta_from_dict
+
+        with pytest.raises(OptimizationError, match="format version"):
+            plan_delta_from_dict({"version": 99})
+
+    def test_summary_reports_packing_passes(self, session):
+        _, nova_session = session
+        summary = session_summary(nova_session)
+        assert summary["throughput"]["packing_passes"] >= 1

@@ -92,3 +92,144 @@ class TestMaxUtilization:
 
     def test_empty(self):
         assert max_utilization(Placement(), topology_with({"a": 1.0})) == 0.0
+
+
+class TestOverloadMonitor:
+    def make(self, capacities):
+        from repro.evaluation.overload import OverloadMonitor
+
+        topology = topology_with(capacities)
+        placement = Placement()
+        return placement, topology, OverloadMonitor(placement, topology)
+
+    def test_tracks_additions_incrementally(self):
+        placement, topology, monitor = self.make({"a": 10.0, "b": 10.0})
+        placement.extend([sub_on("a", 5.0)])
+        assert monitor.hosting_count == 1
+        assert monitor.overloaded_count == 0
+        placement.extend([sub_on("b", 11.0, sub_id="r/b/0x1")])
+        assert monitor.overloaded_count == 1
+        assert monitor.overloaded_node_ids == ["b"]
+        assert monitor.percentage == pytest.approx(50.0)
+
+    def test_tracks_removals(self):
+        placement, topology, monitor = self.make({"a": 10.0})
+        placement.extend([sub_on("a", 6.0, sub_id="r/a/0x0"),
+                          sub_on("a", 6.0, sub_id="r/a/0x1")])
+        assert monitor.overloaded_count == 1
+        placement.remove_replica("r")
+        assert monitor.hosting_count == 0
+        assert monitor.overloaded_count == 0
+        assert monitor.percentage == 0.0
+
+    def test_matches_scan_functions_through_churn(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        capacities = {f"n{i}": float(rng.uniform(5, 15)) for i in range(8)}
+        placement, topology, monitor = self.make(capacities)
+        for step in range(30):
+            node = f"n{rng.integers(0, 8)}"
+            if rng.random() < 0.6:
+                placement.extend(
+                    [sub_on(node, float(rng.uniform(1, 8)),
+                            sub_id=f"r{step}/{node}/0x0")]
+                )
+            else:
+                for sub in list(placement.sub_replicas):
+                    if sub.node_id == node:
+                        placement.remove_replica(sub.replica_id)
+                        break
+            assert monitor.percentage == pytest.approx(
+                overload_percentage(placement, topology)
+            )
+            assert monitor.max_utilization == pytest.approx(
+                max_utilization(placement, topology)
+            )
+
+    def test_refresh_node_after_capacity_only_change(self):
+        placement, topology, monitor = self.make({"a": 10.0})
+        placement.extend([sub_on("a", 8.0)])
+        assert monitor.overloaded_count == 0
+        topology.node("a").capacity = 4.0  # no load change: monitor is stale
+        monitor.refresh_node("a")
+        assert monitor.overloaded_count == 1
+        assert monitor.percentage == pytest.approx(
+            overload_percentage(placement, topology)
+        )
+
+    def test_close_detaches_observer(self):
+        placement, topology, monitor = self.make({"a": 10.0})
+        monitor.close()
+        placement.extend([sub_on("a", 20.0)])
+        assert monitor.hosting_count == 0  # no longer notified
+
+    def test_wholesale_list_reassignment_resyncs(self):
+        placement, topology, monitor = self.make({"a": 10.0, "b": 10.0})
+        placement.extend([sub_on("a", 20.0)])
+        assert monitor.overloaded_node_ids == ["a"]
+        placement.sub_replicas = [sub_on("b", 3.0)]
+        monitor.resync()
+        assert monitor.overloaded_count == 0
+        assert monitor.hosting_count == 1
+
+    def test_session_apply_keeps_monitor_current(self):
+        from repro.core.config import NovaConfig
+        from repro.core.optimizer import Nova
+        from repro.evaluation.overload import OverloadMonitor
+        from repro.topology.dynamics import DataRateChangeEvent, RemoveNodeEvent
+        from repro.topology.latency import DenseLatencyMatrix
+        from repro.workloads.synthetic import synthetic_opp_workload
+
+        workload = synthetic_opp_workload(100, seed=1)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=1)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        monitor = OverloadMonitor(session.placement, session.topology)
+        host = session.placement.sub_replicas[0].node_id
+        source = session.plan.sources()[1].op_id
+        session.apply([RemoveNodeEvent(host), DataRateChangeEvent(source, 180.0)])
+        assert monitor.percentage == pytest.approx(
+            overload_percentage(session.placement, session.topology)
+        )
+        assert monitor.hosting_count == len(
+            node_utilizations(session.placement, session.topology)
+        )
+
+    def test_observer_notified_when_rebuild_drops_nodes(self):
+        """Wholesale list reassignment (the rollback path) must zero out
+        nodes that stopped hosting, not leave phantom monitor entries."""
+        placement, topology, monitor = self.make({"a": 10.0, "b": 10.0})
+        placement.extend([sub_on("a", 20.0), sub_on("b", 3.0, sub_id="r/b/0x0")])
+        assert monitor.overloaded_node_ids == ["a"]
+        placement.sub_replicas = [sub_on("b", 3.0)]  # "a" vanishes
+        assert monitor.hosting_count == 1
+        assert monitor.overloaded_count == 0
+        assert monitor.percentage == pytest.approx(
+            overload_percentage(placement, topology)
+        )
+
+    def test_apply_delta_covers_capacity_fast_path(self):
+        from repro.core.config import NovaConfig
+        from repro.core.optimizer import Nova
+        from repro.evaluation.overload import OverloadMonitor
+        from repro.topology.dynamics import CapacityChangeEvent
+        from repro.topology.latency import DenseLatencyMatrix
+        from repro.workloads.synthetic import synthetic_opp_workload
+
+        workload = synthetic_opp_workload(100, seed=1)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=1)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        monitor = OverloadMonitor(session.placement, session.topology)
+        host = session.placement.sub_replicas[0].node_id
+        delta = session.apply(
+            [CapacityChangeEvent(host, session.topology.node(host).capacity * 3)]
+        )
+        assert not delta.subs_added  # fast path: nothing moved
+        monitor.apply_delta(delta)
+        assert monitor.percentage == pytest.approx(
+            overload_percentage(session.placement, session.topology)
+        )

@@ -27,3 +27,71 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["explode"])
+
+
+class TestReplay:
+    def write_trace(self, tmp_path, batches, nodes=120, seed=3):
+        import json
+
+        trace = {
+            "version": 1,
+            "workload": {"kind": "synthetic_opp", "nodes": nodes, "seed": seed},
+            "batches": batches,
+        }
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace))
+        return path
+
+    def test_replay_prints_per_batch_delta_summaries(self, tmp_path, capsys):
+        from repro.topology.dynamics import (
+            AddWorkerEvent,
+            DataRateChangeEvent,
+            RemoveNodeEvent,
+            event_to_dict,
+        )
+
+        neighbors = {f"n{i}": 10.0 for i in range(8)}
+        path = self.write_trace(
+            tmp_path,
+            [
+                {"events": [
+                    event_to_dict(AddWorkerEvent("cli-w", 250.0, neighbors)),
+                    event_to_dict(DataRateChangeEvent("n86", 90.0)),
+                ]},
+                {"events": [event_to_dict(RemoveNodeEvent("cli-w"))]},
+            ],
+        )
+        deltas_path = tmp_path / "deltas.json"
+        assert main(["replay", str(path), "--save-deltas", str(deltas_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Churn replay" in output
+        assert "events/s" in output
+        assert "overload %" in output
+
+        import json
+
+        archived = json.loads(deltas_path.read_text())
+        assert len(archived) == 2
+        assert archived[0]["events_applied"] == 2
+        from repro.core.serialization import plan_delta_from_dict
+
+        rebuilt = plan_delta_from_dict(archived[0])
+        assert rebuilt.timings.packing_passes == 1
+
+    def test_replay_missing_trace(self, tmp_path):
+        assert main(["replay", str(tmp_path / "nope.json")]) == 2
+
+    def test_replay_invalid_batch_fails_cleanly(self, tmp_path, capsys):
+        path = self.write_trace(
+            tmp_path,
+            [{"events": [{"type": "remove_node", "node_id": "ghost"}]}],
+        )
+        assert main(["replay", str(path)]) == 1
+        assert "rolled back" in capsys.readouterr().err
+
+    def test_replay_rejects_future_trace_version(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"version": 99, "batches": []}))
+        assert main(["replay", str(path)]) == 2

@@ -164,3 +164,49 @@ class TestRun:
             workload.latency.latency, config,
         ).run()
         assert nova_report.results_delivered > sink_report.results_delivered
+
+
+class TestFromArtifacts:
+    def test_delta_stream_deploys_like_live_placement(self):
+        """An archived base placement + PlanDelta stream wires the same
+        runtime objects as deploying the live post-churn placement."""
+        from repro.evaluation.latency import matrix_distance
+        from repro.topology.dynamics import DataRateChangeEvent, RemoveNodeEvent
+        from repro.topology.latency import DenseLatencyMatrix
+        from repro.workloads.synthetic import synthetic_opp_workload
+
+        workload2 = synthetic_opp_workload(80, seed=9)
+        latency = DenseLatencyMatrix.from_topology(workload2.topology)
+        session = Nova(NovaConfig(seed=9)).optimize(
+            workload2.topology, workload2.plan, workload2.matrix, latency=latency
+        )
+        base = session.placement.copy()
+        pinned = set(session.placement.pinned.values())
+        host = next(
+            sub.node_id
+            for sub in session.placement.sub_replicas
+            if sub.node_id not in pinned
+        )
+        source = session.plan.sources()[1].op_id
+        deltas = [
+            session.apply([RemoveNodeEvent(host)]),
+            session.apply([DataRateChangeEvent(source, 120.0)]),
+        ]
+
+        config = SimulationConfig(duration_s=0.2, seed=9)
+        distance = matrix_distance(latency)
+        replayed = Deployment.from_artifacts(
+            session.topology, session.plan, base, deltas, distance, config=config
+        )
+        live = Deployment(
+            session.topology, session.plan, session.placement, distance,
+            config=config,
+        )
+        assert set(replayed.joins) == set(live.joins)
+        assert {
+            (key, frozenset(join.cells)) for key, join in replayed.joins.items()
+        } == {
+            (key, frozenset(join.cells)) for key, join in live.joins.items()
+        }
+        # The base placement itself must be untouched by the fold.
+        assert any(sub.node_id == host for sub in base.sub_replicas)

@@ -72,3 +72,111 @@ class TestEventSuite:
         assert isinstance(events[1], RemoveNodeEvent)
         assert events[1].node_id == "s1"
         assert events[2].node_id == "w1"
+
+
+class TestEventHooks:
+    def test_coalesce_keys(self):
+        from repro.topology.dynamics import (
+            AddWorkerEvent,
+            CapacityChangeEvent,
+            CoordinateDriftEvent,
+            DataRateChangeEvent,
+        )
+
+        assert DataRateChangeEvent("s", 1.0).coalesce_key == ("rate", "s")
+        assert CapacityChangeEvent("w", 1.0).coalesce_key == ("capacity", "w")
+        assert CoordinateDriftEvent("x", {"a": 1.0}).coalesce_key == ("drift", "x")
+        assert AddWorkerEvent("w", 1.0, {"a": 1.0}).coalesce_key is None
+        assert RemoveNodeEvent("w").coalesce_key is None
+
+    def test_validate_folds_state_forward(self):
+        from repro.common.errors import UnknownNodeError
+        from repro.topology.dynamics import AddWorkerEvent, BatchState, CapacityChangeEvent
+
+        state = BatchState(nodes={"a"})
+        AddWorkerEvent("w", 10.0, {"a": 1.0}).validate(state)
+        assert "w" in state.nodes
+        CapacityChangeEvent("w", 5.0).validate(state)  # sees the addition
+        RemoveNodeEvent("w").validate(state)
+        assert "w" not in state.nodes
+        with pytest.raises(UnknownNodeError):
+            CapacityChangeEvent("w", 5.0).validate(state)
+
+    def test_validate_source_rules(self):
+        from repro.common.errors import OptimizationError, UnknownOperatorError
+        from repro.topology.dynamics import BatchState, DataRateChangeEvent
+
+        state = BatchState(
+            nodes={"s", "w"},
+            operators={"s", "join"},
+            sources={"s": "left"},
+            join_streams={"left", "right"},
+        )
+        DataRateChangeEvent("s", 9.0).validate(state)
+        with pytest.raises(UnknownOperatorError):
+            DataRateChangeEvent("ghost", 9.0).validate(state)
+        with pytest.raises(OptimizationError):
+            DataRateChangeEvent("join", 9.0).validate(state)
+
+    def test_add_source_requires_known_stream_and_partner(self):
+        from repro.common.errors import OptimizationError, UnknownOperatorError
+        from repro.topology.dynamics import BatchState
+
+        state = BatchState(
+            nodes={"p"}, operators={"p"}, sources={"p": "right"},
+            join_streams={"left", "right"},
+        )
+        good = AddSourceEvent("new", 10.0, 5.0, "left", "p", {"p": 1.0})
+        good.validate(state)
+        assert state.sources["new"] == "left"
+        with pytest.raises(OptimizationError):
+            AddSourceEvent("x", 1.0, 1.0, "ghost", "p", {"p": 1.0}).validate(
+                BatchState(nodes={"p"}, sources={"p": "right"},
+                           join_streams={"left", "right"})
+            )
+        with pytest.raises(UnknownOperatorError):
+            AddSourceEvent("x", 1.0, 1.0, "left", "ghost", {"p": 1.0}).validate(
+                BatchState(nodes={"p"}, sources={"p": "right"},
+                           join_streams={"left", "right"})
+            )
+
+
+class TestEventSerialization:
+    def test_round_trip_all_types(self):
+        from repro.topology.dynamics import (
+            AddWorkerEvent,
+            CapacityChangeEvent,
+            CoordinateDriftEvent,
+            DataRateChangeEvent,
+            event_from_dict,
+            event_to_dict,
+        )
+
+        events = [
+            AddWorkerEvent("w", 100.0, {"a": 1.0, "b": 2.0}),
+            AddSourceEvent("s", 50.0, 20.0, "left", "p", {"a": 1.0}),
+            RemoveNodeEvent("gone"),
+            DataRateChangeEvent("s", 42.0),
+            CapacityChangeEvent("w", 7.0),
+            CoordinateDriftEvent("x", {"a": 3.0}),
+        ]
+        for event in events:
+            data = event_to_dict(event)
+            assert isinstance(data["type"], str)
+            assert event_from_dict(data) == event
+
+    def test_unknown_type_rejected(self):
+        from repro.common.errors import OptimizationError
+        from repro.topology.dynamics import event_from_dict, event_to_dict
+
+        with pytest.raises(OptimizationError):
+            event_from_dict({"type": "teleport", "node_id": "x"})
+        with pytest.raises(OptimizationError):
+            event_to_dict(object())
+
+    def test_malformed_payload_rejected(self):
+        from repro.common.errors import OptimizationError
+        from repro.topology.dynamics import event_from_dict
+
+        with pytest.raises(OptimizationError):
+            event_from_dict({"type": "remove_node", "wrong_field": "x"})
