@@ -19,17 +19,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.registry import available_baselines, make_baseline
-from repro.baselines.tree import TreePlacement
-from repro.baselines.cluster_tree_sf import ClusterTreeSfPlacement
+from repro.baselines.registry import available_baselines
 from repro.core.config import NovaConfig
-from repro.core.optimizer import Nova, NovaSession
+from repro.core.optimizer import NovaSession
 from repro.core.placement import Placement
+from repro.core.planner import PlanResult, plan
 from repro.evaluation.latency import (
     direct_transmission_latencies,
-    matrix_distance,
     placement_latencies,
-    tree_route_distance,
 )
 from repro.topology.latency import DenseLatencyMatrix
 from repro.workloads.synthetic import OppWorkload, synthetic_opp_workload
@@ -53,46 +50,43 @@ def nova_session(
 ) -> NovaSession:
     """Run Nova on a workload with the paper's default configuration."""
     config = NovaConfig(seed=seed, **config_overrides)
-    return Nova(config).optimize(
-        workload.topology, workload.plan, workload.matrix, latency=latency
-    )
+    return plan(workload, "nova", config=config, latency=latency).session
 
 
-def baseline_placements(
+def plan_approaches(
     workload: OppWorkload,
     latency: DenseLatencyMatrix,
     names: Optional[List[str]] = None,
-) -> Dict[str, Tuple[Placement, object]]:
-    """Place every requested baseline; returns (placement, strategy)."""
-    results: Dict[str, Tuple[Placement, object]] = {}
-    for name in names or available_baselines():
-        strategy = make_baseline(name)
-        placement = strategy.place(workload.topology, workload.plan, workload.matrix, latency)
-        results[name] = (placement, strategy)
-    return results
+    seed: int = 0,
+    **config_overrides,
+) -> Dict[str, PlanResult]:
+    """Plan the workload with every requested strategy, uniformly.
+
+    One ``repro.plan`` call per strategy — Nova and baselines go through
+    the same registry surface and come back as :class:`PlanResult`, so
+    figure benches iterate one dict instead of special-casing APIs.
+    """
+    config = NovaConfig(seed=seed, **config_overrides)
+    return {
+        name: plan(workload, name, config=config, latency=latency)
+        for name in (names or available_baselines())
+    }
 
 
 def measured_distance_for(
-    name: str,
-    strategy,
-    latency: DenseLatencyMatrix,
+    result: PlanResult,
+    latency,
     sink_id: str,
 ) -> Callable[[str, str], float]:
     """The distance function matching how an approach actually routes.
 
-    Tree-family baselines ship data along their spanning trees, so their
-    measured latencies follow the tree (this is what makes them blow up
-    in Section 4.4); everything else transmits point to point.
+    Tree-family strategies ship data along their spanning trees, so
+    their measured latencies follow the tree (this is what makes them
+    blow up in Section 4.4); everything else transmits point to point.
+    Delegates to :meth:`PlanResult.measured_distance` — the routing
+    overlay travels inside the result, no isinstance dispatch.
     """
-    if isinstance(strategy, TreePlacement) and strategy.last_parents_by_root:
-        return tree_route_distance(
-            strategy.last_parents_by_root, latency, root_of=lambda _: sink_id
-        )
-    if isinstance(strategy, ClusterTreeSfPlacement) and strategy.last_parents_by_sink:
-        return tree_route_distance(
-            strategy.last_parents_by_sink, latency, root_of=lambda _: sink_id
-        )
-    return matrix_distance(latency)
+    return result.measured_distance(latency, sink_id)
 
 
 def p90_delta(placement: Placement, achieved_distance, bound_distance) -> float:

@@ -9,8 +9,8 @@ other baselines; top-c is the best baseline.
 
 import pytest
 
-from _harness import nova_session, print_report
-from repro.baselines.registry import available_baselines, make_baseline
+from _harness import nova_session, plan_approaches, print_report
+from repro.baselines.registry import available_baselines
 from repro.common.tables import render_table
 from repro.evaluation.overload import overload_percentage
 from repro.topology.generators import heterogeneity_levels
@@ -46,11 +46,9 @@ def test_fig06_overload_vs_heterogeneity(benchmark, capsys):
         nova_pct = overload_percentage(sessions[level.name].placement, workload.topology)
         nova_values.append(nova_pct)
         row.append(nova_pct)
+        results = plan_approaches(workload, latency, seed=11)
         for name in available_baselines():
-            placement = make_baseline(name).place(
-                workload.topology, workload.plan, workload.matrix, latency
-            )
-            pct = overload_percentage(placement, workload.topology)
+            pct = overload_percentage(results[name].placement, workload.topology)
             per_approach[name].append(pct)
             if name == "sink-based":
                 sink_values.append(pct)

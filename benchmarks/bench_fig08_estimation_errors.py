@@ -10,9 +10,9 @@ dramatically because their multi-hop routes compound the violations.
 import pytest
 
 from _harness import (
-    baseline_placements,
     measured_distance_for,
     nova_session,
+    plan_approaches,
     print_report,
 )
 from repro.common.tables import render_table
@@ -45,12 +45,12 @@ def test_fig08_estimated_vs_measured(benchmark, capsys):
     rows.append(["nova", est_stats.mean, real_stats.mean, est_stats.p90, real_stats.p90])
     results = {"nova": (est_stats, real_stats)}
 
-    placements = baseline_placements(workload, latency, APPROACHES)
+    planned = plan_approaches(workload, latency, APPROACHES, seed=4)
     for name in APPROACHES:
-        placement, strategy = placements[name]
-        est = latency_stats(placement, estimated)
-        real_distance = measured_distance_for(name, strategy, latency, workload.sink_id)
-        real = latency_stats(placement, real_distance)
+        result = planned[name]
+        est = latency_stats(result.placement, estimated)
+        real_distance = measured_distance_for(result, latency, workload.sink_id)
+        real = latency_stats(result.placement, real_distance)
         results[name] = (est, real)
         rows.append([name, est.mean, real.mean, est.p90, real.p90])
 

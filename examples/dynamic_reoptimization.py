@@ -18,9 +18,9 @@ Run with::
 
 import time
 
-from repro import Nova, NovaConfig
+import repro
+from repro import NovaConfig
 from repro.common.tables import render_table
-from repro.evaluation import OverloadMonitor
 from repro.topology import DenseLatencyMatrix
 from repro.topology.dynamics import (
     AddSourceEvent,
@@ -37,11 +37,12 @@ def main() -> None:
     latency = DenseLatencyMatrix.from_topology(workload.topology)
 
     started = time.perf_counter()
-    session = Nova(NovaConfig(seed=42)).optimize(
-        workload.topology, workload.plan, workload.matrix, latency=latency
-    )
+    # plan() hands back a PlanResult whose live session (Nova supports
+    # churn) is what the transactions below mutate.
+    result = repro.plan(workload, "nova", config=NovaConfig(seed=42), latency=latency)
+    session = result.session
     full_seconds = time.perf_counter() - started
-    monitor = OverloadMonitor(session.placement, session.topology)
+    monitor = session.overload_monitor
     print(f"Initial optimization: {session.placement.replica_count()} sub-joins "
           f"in {full_seconds:.3f}s, overload {monitor.percentage:.1f}%")
 

@@ -12,7 +12,8 @@ Run with::
     python examples/environmental_monitoring.py
 """
 
-from repro import Deployment, Nova, NovaConfig, SimulationConfig, debs_workload, make_baseline
+import repro
+from repro import Deployment, NovaConfig, SimulationConfig, debs_workload
 from repro.common.tables import render_table
 from repro.workloads import Anomaly, SensorCommunityGenerator, detect_regional_anomalies
 
@@ -39,16 +40,14 @@ def main() -> None:
           f"{len(workload.topology.workers())} workers); "
           f"{len(workload.regions)} regional joins")
 
-    session = Nova(NovaConfig(seed=3, sigma=1.0)).optimize(
-        workload.topology, workload.plan, workload.matrix, latency=workload.latency
-    )
-    sink_placement = make_baseline("sink-based").place(
-        workload.topology, workload.plan, workload.matrix, workload.latency
-    )
+    # Both approaches go through the one planning surface; the workload
+    # bundle (topology/plan/matrix/latency) is coerced automatically.
+    nova_result = repro.plan(workload, "nova", config=NovaConfig(seed=3, sigma=1.0))
+    sink_result = repro.plan(workload, "sink-based")
 
     rows = [
-        simulate(workload, session.placement, "nova"),
-        simulate(workload, sink_placement, "sink-based"),
+        simulate(workload, nova_result.placement, "nova"),
+        simulate(workload, sink_result.placement, "sink-based"),
     ]
     print()
     print(

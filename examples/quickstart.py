@@ -3,17 +3,18 @@
 
 Builds the paper's running example (Figure 2) — four pressure sensors and
 two humidity sensors in two regions, joined on region identifier and
-delivered to a local sink — runs Nova's three-phase optimizer, and
-compares the result against the sink-based default placement.
+delivered to a local sink — and plans it with Nova *and* three baselines
+through the one ``repro.plan(...)`` surface: every strategy consumes the
+same workload and returns a uniform ``PlanResult``.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Nova, NovaConfig, make_baseline
+import repro
 from repro.common.tables import render_table
-from repro.evaluation import latency_stats, matrix_distance, overload_percentage
+from repro.evaluation import evaluate_result, matrix_distance
 from repro.workloads import build_running_example
 
 
@@ -25,33 +26,23 @@ def main() -> None:
 
     # Run Nova: cost-space embedding, geometric-median virtual placement,
     # bandwidth-aware partitioning, capacity-checked physical assignment.
-    session = Nova(NovaConfig(seed=7)).optimize(
-        example.topology, example.plan, example.matrix, latency=example.latency
-    )
+    # plan() returns a PlanResult whose live session carries the phases'
+    # timings and accepts churn; baselines return the same shape minus
+    # the session.
+    result = repro.plan(example, "nova", config=repro.NovaConfig(seed=7))
 
     print("\nNova placement (node <- merged sub-join load, tuples/s):")
-    for node_id, load in sorted(session.placement.node_loads().items()):
+    for node_id, load in sorted(result.placement.node_loads().items()):
         capacity = example.topology.node(node_id).capacity
         print(f"  {node_id:6s}  load {load:6.1f} / capacity {capacity:.0f}")
 
     distance = matrix_distance(example.latency)
     rows = []
-    nova_stats = latency_stats(session.placement, distance)
-    rows.append(
-        [
-            "nova",
-            nova_stats.mean,
-            nova_stats.p90,
-            overload_percentage(session.placement, example.topology),
-        ]
-    )
-    for name in ("sink-based", "source-based", "top-c"):
-        placement = make_baseline(name).place(
-            example.topology, example.plan, example.matrix, example.latency
-        )
-        stats = latency_stats(placement, distance)
+    for name in ("nova", "sink-based", "source-based", "top-c"):
+        approach = result if name == "nova" else repro.plan(example, name)
+        evaluated = evaluate_result(approach, distance)
         rows.append(
-            [name, stats.mean, stats.p90, overload_percentage(placement, example.topology)]
+            [name, evaluated.stats.mean, evaluated.stats.p90, evaluated.overload_pct]
         )
     print()
     print(

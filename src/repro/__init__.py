@@ -10,19 +10,20 @@ workload generators of the evaluation.
 
 Quickstart::
 
-    from repro import (
-        Nova, NovaConfig, synthetic_opp_workload,
-        overload_percentage, latency_stats, matrix_distance,
-    )
-    from repro.topology import DenseLatencyMatrix
+    import repro
 
-    workload = synthetic_opp_workload(200, seed=7)
-    latency = DenseLatencyMatrix.from_topology(workload.topology)
-    session = Nova(NovaConfig(seed=7)).optimize(
-        workload.topology, workload.plan, workload.matrix, latency=latency
-    )
-    print(overload_percentage(session.placement, workload.topology))
-    print(latency_stats(session.placement, matrix_distance(latency)))
+    workload = repro.synthetic_opp_workload(200, seed=7)
+    result = repro.plan(workload, "nova", config=repro.NovaConfig(seed=7))
+    print(repro.overload_percentage(result.placement, workload.topology))
+    for name in repro.available_strategies():
+        print(name, repro.plan(workload, name).summary())
+
+``repro.plan(...)`` is the single planning surface: every strategy —
+Nova and the paper's six baselines — consumes the same immutable
+``Workload`` and returns a uniform ``PlanResult`` (placement, resolved
+plan, phase timings, capability flags, and a live session when the
+strategy supports churn). ``Nova.optimize`` remains available as a thin
+facade over the same staged ``PlacementPipeline``.
 """
 
 from repro.baselines import available_baselines, make_baseline
@@ -32,12 +33,21 @@ from repro.core import (
     Nova,
     NovaConfig,
     NovaSession,
+    PlacementPipeline,
     Placement,
     PlanDelta,
+    PlanResult,
     Reoptimizer,
+    StrategyCapabilities,
     Transaction,
+    Workload,
+    available_strategies,
+    plan,
     plan_partitions,
+    register_strategy,
+    strategy_capabilities,
 )
+from repro.core.planner import planner
 from repro.evaluation import (
     LatencyStats,
     embedding_distance,
@@ -77,14 +87,19 @@ __all__ = [
     "Nova",
     "NovaConfig",
     "NovaSession",
+    "PlacementPipeline",
     "Placement",
     "PlanDelta",
+    "PlanResult",
     "Reoptimizer",
     "SimulationConfig",
+    "StrategyCapabilities",
     "Topology",
     "Transaction",
+    "Workload",
     "__version__",
     "available_baselines",
+    "available_strategies",
     "build_running_example",
     "debs_workload",
     "embedding_distance",
@@ -95,8 +110,12 @@ __all__ = [
     "matrix_distance",
     "overload_percentage",
     "p90_delta_vs_direct",
+    "plan",
     "plan_partitions",
+    "planner",
+    "register_strategy",
     "resolve_operators",
+    "strategy_capabilities",
     "stress_sources",
     "synthetic_opp_workload",
 ]

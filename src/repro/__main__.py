@@ -2,6 +2,9 @@
 
 Commands:
 
+* ``plan``      — plan a workload with any registered strategy (Nova or
+  a baseline) through the unified Planner API and print its
+  :class:`~repro.core.planner.PlanResult` summary.
 * ``demo``      — run the Figure 2 running example and print the placement.
 * ``figures``   — list the benchmark targets that regenerate each paper
   figure.
@@ -33,6 +36,134 @@ FIGURE_TARGETS = [
     ("Ablation", "benchmarks/bench_ablation_knn.py", "exact vs approximate k-NN"),
     ("Ablation", "benchmarks/bench_ablation_median.py", "median solver and objective"),
 ]
+
+
+PLAN_WORKLOADS = ("running-example", "synthetic", "debs")
+
+
+def _build_plan_workload(name: str, nodes: int, seed: int):
+    """Assemble the named workload as a planner :class:`Workload`."""
+    from repro.core.planner import Workload
+    from repro.topology.latency import CoordinateLatencyModel, DenseLatencyMatrix
+
+    if name in ("running-example", "running_example"):
+        from repro.workloads import build_running_example
+
+        return Workload.of(build_running_example(), name="running-example")
+    if name == "synthetic":
+        from repro.workloads import synthetic_opp_workload
+
+        workload = synthetic_opp_workload(nodes, seed=seed)
+        if nodes <= 2000:
+            latency = DenseLatencyMatrix.from_topology(workload.topology)
+        else:
+            ids, coords = workload.topology.positions_array()
+            latency = CoordinateLatencyModel(ids, coords)
+        return Workload.of(
+            workload, latency=latency, name=f"synthetic-{nodes}"
+        )
+    if name == "debs":
+        from repro.workloads import debs_workload
+
+        return Workload.of(debs_workload(seed=seed), name="debs")
+    print(
+        f"unknown workload {name!r}; choose from {', '.join(PLAN_WORKLOADS)}",
+        file=sys.stderr,
+    )
+    return None
+
+
+def run_plan(
+    workload_name: str, strategy: str, nodes: int = 400, seed: int = 0
+) -> int:
+    """Plan a workload through the unified Planner API and report it.
+
+    ``--strategy all`` runs every registered strategy and renders one
+    comparison table; a single strategy prints its full PlanResult
+    summary. Exits non-zero when any strategy produces an empty
+    placement — which is what lets CI treat this as a smoke assertion.
+    """
+    from repro import NovaConfig, available_strategies, plan
+    from repro.common.errors import ReproError
+    from repro.common.tables import render_table
+    from repro.evaluation import evaluate_result
+
+    workload = _build_plan_workload(workload_name, nodes, seed)
+    if workload is None:
+        return 2
+    registered = available_strategies()
+    if strategy == "all":
+        names = registered
+    elif strategy in registered:
+        names = [strategy]
+    else:
+        print(
+            f"unknown strategy {strategy!r}; available: {registered}",
+            file=sys.stderr,
+        )
+        return 2
+
+    rows = []
+    empty = []
+    for name in names:
+        try:
+            result = plan(workload, name, config=NovaConfig(seed=seed))
+        except ReproError as error:
+            print(f"planning failed for {name!r}: {error}", file=sys.stderr)
+            return 1
+        evaluated = evaluate_result(result)
+        summary = result.summary()
+        if summary["sub_replicas"] == 0:
+            empty.append(name)
+        if len(names) == 1:
+            print(
+                render_table(
+                    ["field", "value"],
+                    result.summary_rows()
+                    + [
+                        ["mean latency ms", evaluated.stats.mean],
+                        ["p90 latency ms", evaluated.stats.p90],
+                        ["overloaded hosts %", evaluated.overload_pct],
+                    ],
+                    precision=2,
+                    title=f"PlanResult — {name} on {workload.name or workload_name}",
+                )
+            )
+        else:
+            rows.append(
+                [
+                    name,
+                    summary["sub_replicas"],
+                    summary["hosting_nodes"],
+                    evaluated.overload_pct,
+                    evaluated.stats.mean,
+                    evaluated.stats.p90,
+                    summary["plan_s"],
+                    "yes" if summary["live_session"] else "no",
+                ]
+            )
+    if rows:
+        print(
+            render_table(
+                [
+                    "strategy",
+                    "sub-joins",
+                    "hosts",
+                    "overload %",
+                    "mean ms",
+                    "p90 ms",
+                    "plan s",
+                    "session",
+                ],
+                rows,
+                precision=2,
+                title=f"Planner comparison — {workload.name or workload_name}",
+            )
+        )
+    if empty:
+        print(f"empty placement from: {', '.join(empty)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def run_demo() -> int:
@@ -105,7 +236,6 @@ def run_replay(trace_path: str, save_deltas: Optional[str] = None) -> int:
     from repro.common.tables import render_table
     from repro.core.changeset import ChangeSet, TRACE_FORMAT_VERSION
     from repro.core.serialization import plan_delta_to_dict
-    from repro.evaluation.overload import OverloadMonitor
     from repro.topology.latency import CoordinateLatencyModel, DenseLatencyMatrix
     from repro.workloads import synthetic_opp_workload
 
@@ -152,7 +282,7 @@ def run_replay(trace_path: str, save_deltas: Optional[str] = None) -> int:
         f"{time.perf_counter() - started:.3f}s"
     )
 
-    monitor = OverloadMonitor(session.placement, session.topology)
+    monitor = session.overload_monitor
     batches = trace.get("batches", [])
     rows = []
     archived = []
@@ -206,7 +336,6 @@ def run_replay(trace_path: str, save_deltas: Optional[str] = None) -> int:
     if save_deltas:
         Path(save_deltas).write_text(json.dumps(archived, indent=2, sort_keys=True))
         print(f"\nSaved {len(archived)} plan deltas to {save_deltas}")
-    monitor.close()
     return 0
 
 
@@ -217,6 +346,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Reproduction of Nova (EDBT 2026): streaming join placement.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    plan_parser = subparsers.add_parser(
+        "plan", help="plan a workload with any registered strategy"
+    )
+    plan_parser.add_argument(
+        "workload",
+        help=f"workload to plan: one of {', '.join(PLAN_WORKLOADS)}",
+    )
+    plan_parser.add_argument(
+        "--strategy",
+        default="nova",
+        help="a registered strategy name, or 'all' for a comparison table",
+    )
+    plan_parser.add_argument(
+        "--nodes", type=int, default=400, help="node count for synthetic workloads"
+    )
+    plan_parser.add_argument("--seed", type=int, default=0, help="workload/config seed")
     subparsers.add_parser("demo", help="run the running example")
     subparsers.add_parser("figures", help="list bench targets")
     subparsers.add_parser("version", help="print the package version")
@@ -230,6 +375,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="archive each batch's PlanDelta as JSON to this path",
     )
     args = parser.parse_args(argv)
+    if args.command == "plan":
+        return run_plan(
+            args.workload, args.strategy, nodes=args.nodes, seed=args.seed
+        )
     if args.command == "demo":
         return run_demo()
     if args.command == "figures":

@@ -38,8 +38,34 @@ class PlacementStrategy(ABC):
     ) -> Placement:
         """Produce a placement for the given workload."""
 
+    def route_parent_maps(self) -> Dict[str, Dict[str, str]]:
+        """Overlay parent maps from the last ``place`` call, keyed by root.
+
+        Tree-family strategies ship data along their spanning trees;
+        they override this so evaluation can measure latencies along the
+        actual routes instead of point-to-point. Strategies that
+        transmit directly return an empty mapping — which is how the
+        planner surface distinguishes the two without isinstance checks.
+        """
+        return {}
+
     def _resolve(self, plan: LogicalPlan, matrix: JoinMatrix) -> ResolvedPlan:
+        prepared = getattr(self, "_prepared_resolution", None)
+        if prepared is not None and prepared[0] is plan and prepared[1] is matrix:
+            return prepared[2]
         return resolve_operators(plan, matrix)
+
+    def prepare_resolution(
+        self, plan: LogicalPlan, matrix: JoinMatrix, resolved: ResolvedPlan
+    ) -> None:
+        """Hand a prebuilt resolution to the next ``place`` call.
+
+        The planner surface resolves once for the PlanResult; this keeps
+        the strategy from expanding the same plan/matrix a second time.
+        Identity-keyed on (plan, matrix), so a call with different
+        inputs falls back to resolving itself.
+        """
+        self._prepared_resolution = (plan, matrix, resolved)
 
     @staticmethod
     def _pinned(plan: LogicalPlan) -> Dict[str, str]:

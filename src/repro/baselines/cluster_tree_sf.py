@@ -62,3 +62,7 @@ class ClusterTreeSfPlacement(PlacementStrategy):
             placement.sub_replicas.append(self.whole_sub(replica, host))
         self.last_parents_by_sink = parents_by_sink
         return placement
+
+    def route_parent_maps(self) -> Dict[str, Dict[str, str]]:
+        """The head-overlay MST parent maps (keyed by sink)."""
+        return self.last_parents_by_sink

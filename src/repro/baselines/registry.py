@@ -1,39 +1,41 @@
-"""Name-based registry of baseline placement strategies."""
+"""Name-based registry of baseline placement strategies (legacy shim).
+
+The single source of truth is the strategy registry in
+:mod:`repro.core.planner`, which spans Nova *and* the six baselines
+behind one ``repro.plan(...)`` surface. This module keeps the historical
+entry points alive: ``available_baselines()`` lists the registered
+strategies that are baselines (in the paper's order), and
+``make_baseline(name)`` hands out a raw
+:class:`~repro.baselines.base.PlacementStrategy` instance for callers
+that want the low-level ``place(...)`` API directly.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import List
 
 from repro.baselines.base import PlacementStrategy
-from repro.baselines.cluster_sf import ClusterSfPlacement
-from repro.baselines.cluster_tree_sf import ClusterTreeSfPlacement
-from repro.baselines.sink_based import SinkBasedPlacement
-from repro.baselines.source_based import SourceBasedPlacement
-from repro.baselines.top_c import TopCPlacement
-from repro.baselines.tree import TreePlacement
 from repro.common.errors import OptimizationError
-
-_FACTORIES: Dict[str, Callable[[], PlacementStrategy]] = {
-    "sink-based": SinkBasedPlacement,
-    "source-based": SourceBasedPlacement,
-    "top-c": TopCPlacement,
-    "tree": TreePlacement,
-    "cl-sf": ClusterSfPlacement,
-    "cl-tree-sf": ClusterTreeSfPlacement,
-}
 
 
 def available_baselines() -> List[str]:
     """Names of all registered baselines, in the paper's order."""
-    return list(_FACTORIES)
+    from repro.core.planner import available_strategies, strategy_entry
+
+    return [
+        name
+        for name in available_strategies()
+        if strategy_entry(name).baseline_factory is not None
+    ]
 
 
 def make_baseline(name: str) -> PlacementStrategy:
     """Instantiate a baseline by name."""
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
+    from repro.core.planner import strategy_entry
+
+    entry = strategy_entry(name)
+    if entry is None or entry.baseline_factory is None:
         raise OptimizationError(
             f"unknown baseline {name!r}; available: {available_baselines()}"
         ) from None
-    return factory()
+    return entry.baseline_factory()

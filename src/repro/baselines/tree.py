@@ -121,3 +121,7 @@ class TreePlacement(PlacementStrategy):
             placement.sub_replicas.append(self.whole_sub(replica, host))
         self.last_parents_by_root = parents_by_root
         return placement
+
+    def route_parent_maps(self) -> Dict[str, Dict[str, str]]:
+        """The MST parent maps data actually routes along (keyed by sink)."""
+        return self.last_parents_by_root

@@ -51,6 +51,23 @@ class OptimizationError(ReproError):
     """Raised when an optimizer cannot produce a placement."""
 
 
+class UnsupportedEventError(OptimizationError):
+    """Raised when a strategy cannot apply a churn event.
+
+    Carries the offending ``event`` (its wire name, e.g. ``"remove_node"``)
+    and the ``strategy`` that rejected it, so callers can tell a
+    capability gap (baselines accept no churn at all; Nova cannot remove
+    a sink node) from a malformed batch.
+    """
+
+    def __init__(
+        self, message: str, *, event: str = "", strategy: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.event = event
+        self.strategy = strategy
+
+
 class InfeasiblePlacementError(OptimizationError):
     """Raised when constraints cannot be satisfied and no fallback applies."""
 

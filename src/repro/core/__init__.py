@@ -32,6 +32,32 @@ from repro.core.partitioning import (
     plan_partitions,
 )
 from repro.core.placement import Placement, SubReplicaPlacement
+from repro.core.planner import (
+    BaselinePlanner,
+    CostSpaceStage,
+    NovaPlanner,
+    PhysicalStage,
+    PipelineStage,
+    PlacementPipeline,
+    PlanContext,
+    PlanResult,
+    Planner,
+    ResolveStage,
+    StageReport,
+    StrategyCapabilities,
+    StrategyEntry,
+    VirtualStage,
+    Workload,
+    available_strategies,
+    plan,
+    register_strategy,
+    strategy_capabilities,
+)
+
+# NOTE: the planner() factory function is deliberately NOT re-exported
+# here — binding it in this namespace would shadow the repro.core.planner
+# *submodule* attribute. It lives at the top level (repro.planner) and in
+# repro.core.planner.planner.
 from repro.core.reoptimizer import Reoptimizer
 from repro.core.serialization import (
     load_placement,
@@ -46,10 +72,12 @@ from repro.core.serialization import (
 __all__ = [
     "AssignmentOutcome",
     "AvailabilityLedger",
+    "BaselinePlanner",
     "Candidate",
     "ChangeSet",
     "ConstraintViolation",
     "CostSpace",
+    "CostSpaceStage",
     "EMBEDDING_CLASSICAL_MDS",
     "EMBEDDING_SMACOF",
     "EMBEDDING_VIVALDI",
@@ -60,18 +88,32 @@ __all__ = [
     "MEDIAN_WEISZFELD",
     "Nova",
     "NovaConfig",
+    "NovaPlanner",
     "NovaSession",
     "PackingEngine",
     "PackingStats",
     "PartitioningPlan",
     "PhaseTimings",
+    "PhysicalStage",
+    "PipelineStage",
+    "PlacementPipeline",
     "Placement",
+    "PlanContext",
     "PlanDelta",
+    "PlanResult",
+    "Planner",
     "Reoptimizer",
+    "ResolveStage",
+    "StageReport",
+    "StrategyCapabilities",
+    "StrategyEntry",
     "SubReplicaPlacement",
     "Transaction",
+    "VirtualStage",
+    "Workload",
     "adaptive_k",
     "apply_changeset",
+    "available_strategies",
     "check_bandwidth",
     "check_capacity",
     "check_min_availability",
@@ -79,9 +121,12 @@ __all__ = [
     "max_partition_load",
     "partition_rates",
     "place_replica",
+    "plan",
     "plan_partitions",
+    "register_strategy",
     "required_capacity",
     "select_candidates",
+    "strategy_capabilities",
     "load_placement",
     "placement_from_dict",
     "placement_to_dict",

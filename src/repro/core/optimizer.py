@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, fields
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 import numpy as np
 
@@ -38,11 +38,14 @@ from repro.geometry.median import (
     weiszfeld,
     weiszfeld_batch,
 )
-from repro.query.expansion import JoinPairReplica, ResolvedPlan, resolve_operators
+from repro.query.expansion import JoinPairReplica, ResolvedPlan
 from repro.query.join_matrix import JoinMatrix
 from repro.query.plan import LogicalPlan
-from repro.topology.latency import DenseLatencyMatrix, LatencyProvider
+from repro.topology.latency import LatencyProvider
 from repro.topology.model import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - type names only
+    from repro.evaluation.overload import OverloadMonitor
 
 
 @dataclass
@@ -149,6 +152,23 @@ class NovaSession:
     available: AvailabilityLedger
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     engine: Optional[PackingEngine] = None
+    monitor: Optional[object] = None
+
+    @property
+    def overload_monitor(self) -> "OverloadMonitor":
+        """A lazily created incremental overload monitor on this placement.
+
+        Consumers holding a live session (the evaluation report, the
+        replay CLI) read overload state in O(1) through this monitor
+        instead of rescanning the placement per call; the monitor stays
+        subscribed to the placement's load notifications for the
+        session's lifetime.
+        """
+        if self.monitor is None:
+            from repro.evaluation.overload import OverloadMonitor
+
+            self.monitor = OverloadMonitor(self.placement, self.topology)
+        return self.monitor
 
     @property
     def packing_engine(self) -> PackingEngine:
@@ -218,17 +238,24 @@ class NovaSession:
         """Phase II + III for the given replicas; mutates the session state.
 
         Runs as a two-pass pipeline: first every replica missing a
-        virtual position is batch-solved (Phase II), then each replica is
-        packed onto physical hosts (Phase III). Phase II and Phase III
-        time is accumulated separately into :attr:`timings`, together
-        with the solved-median, placed-cell, and k-NN-query counters that
-        drive the per-phase throughput report.
+        virtual position is batch-solved (Phase II,
+        :meth:`solve_virtual`), then each replica is packed onto physical
+        hosts (Phase III, :meth:`pack_replicas`). The two halves are the
+        ``VirtualStage``/``PhysicalStage`` work units of the
+        :class:`~repro.core.planner.PlacementPipeline`; this wrapper
+        keeps them fused for the churn path.
         """
         replicas = list(replicas)
-        placed: List[SubReplicaPlacement] = []
+        self.solve_virtual(replicas)
+        return self.pack_replicas(replicas)
+
+    def solve_virtual(self, replicas: Iterable[JoinPairReplica]) -> int:
+        """Phase II: batch-solve every replica missing a virtual position.
+
+        Returns the number of medians solved. Phase II time and the
+        solved-median counter accumulate into :attr:`timings`.
+        """
         timings = self.timings
-        if replicas:
-            timings.packing_passes += 1
         positions = self.placement.virtual_positions
         missing = [r for r in replicas if r.replica_id not in positions]
         if missing:
@@ -236,6 +263,21 @@ class NovaSession:
             self._solve_virtual_positions(missing)
             timings.virtual_s += time.perf_counter() - started
             timings.medians_solved += len(missing)
+        return len(missing)
+
+    def pack_replicas(self, replicas: Iterable[JoinPairReplica]) -> List[SubReplicaPlacement]:
+        """Phase III: pack replicas (with solved positions) onto hosts.
+
+        Phase III time is accumulated into :attr:`timings`, together with
+        the placed-cell and k-NN-query counters that drive the per-phase
+        throughput report.
+        """
+        replicas = list(replicas)
+        placed: List[SubReplicaPlacement] = []
+        timings = self.timings
+        if replicas:
+            timings.packing_passes += 1
+        positions = self.placement.virtual_positions
         engine = self.packing_engine
         stats_before = engine.stats.copy()
         started = time.perf_counter()
@@ -308,7 +350,15 @@ class NovaSession:
 
 
 class Nova:
-    """The Nova optimization approach for join placement and parallelization."""
+    """The Nova optimization approach for join placement and parallelization.
+
+    A thin facade over the staged :class:`~repro.core.planner.PlacementPipeline`
+    — ``optimize`` assembles a :class:`~repro.core.planner.Workload` and runs
+    the default stage sequence (cost space, resolve, virtual, physical).
+    Prefer :func:`repro.plan` for new code: it returns a uniform
+    :class:`~repro.core.planner.PlanResult` and serves baselines through the
+    same registry surface.
+    """
 
     def __init__(self, config: Optional[NovaConfig] = None) -> None:
         self.config = config or NovaConfig()
@@ -325,51 +375,16 @@ class Nova:
 
         ``latency`` defaults to the matrix induced by the topology (links if
         present, positions otherwise). Passing a prebuilt ``cost_space``
-        skips Phase I, which benchmarks use to time phases separately.
+        skips Phase I (sugar for
+        ``pipeline.with_stage_result("cost_space", cost_space)``), which
+        benchmarks use to time phases separately.
         """
-        timings = PhaseTimings()
+        from repro.core.planner import PlacementPipeline, Workload
 
-        started = time.perf_counter()
-        if cost_space is None:
-            if latency is None:
-                latency = DenseLatencyMatrix.from_topology(topology)
-            cost_space = CostSpace.build(latency, self.config)
-        timings.cost_space_s = time.perf_counter() - started
-
-        started = time.perf_counter()
-        resolved = resolve_operators(plan, matrix)
-        timings.resolve_s = time.perf_counter() - started
-
-        placement = Placement()
-        for operator in plan.operators():
-            if operator.is_pinned:
-                placement.pinned[operator.op_id] = operator.pinned_node
-
-        initial = {node.node_id: node.capacity for node in topology.nodes()}
-        # Ingestion consumes capacity on source nodes: a source emitting at
-        # rate r spends r tuples/s of its own processing budget, so the
-        # available capacity C_a seen by Phase III is reduced accordingly.
-        for operator in plan.sources():
-            if operator.pinned_node in initial:
-                initial[operator.pinned_node] = max(
-                    0.0, initial[operator.pinned_node] - operator.data_rate
-                )
-        available = AvailabilityLedger(cost_space, backing=initial)
-        session = NovaSession(
-            config=self.config,
-            topology=topology,
-            plan=plan,
-            matrix=matrix,
-            resolved=resolved,
-            cost_space=cost_space,
-            placement=placement,
-            available=available,
-            timings=timings,
+        pipeline = PlacementPipeline(self.config)
+        if cost_space is not None:
+            pipeline = pipeline.with_stage_result("cost_space", cost_space)
+        workload = Workload(
+            topology=topology, plan=plan, matrix=matrix, latency=latency
         )
-
-        # place_replicas runs the two-pass pipeline: Phase II batch-solves
-        # every missing virtual position, then Phase III packs replica by
-        # replica; it accumulates virtual_s/physical_s and the per-phase
-        # throughput counters itself.
-        session.place_replicas(resolved.replicas)
-        return session
+        return pipeline.run(workload).session

@@ -20,7 +20,12 @@ from repro.evaluation.overload import (
     overload_percentage,
     overloaded_nodes,
 )
-from repro.evaluation.report import ApproachResult, comparison_table, evaluate_approach
+from repro.evaluation.report import (
+    ApproachResult,
+    comparison_table,
+    evaluate_approach,
+    evaluate_result,
+)
 
 __all__ = [
     "ApproachResult",
@@ -32,6 +37,7 @@ __all__ = [
     "direct_transmission_latencies",
     "embedding_distance",
     "evaluate_approach",
+    "evaluate_result",
     "latency_stats",
     "matrix_distance",
     "max_utilization",

@@ -29,14 +29,47 @@ def evaluate_approach(
     topology: Topology,
     distance: DistanceFn,
     runtime_s: float = 0.0,
+    session=None,
 ) -> ApproachResult:
-    """Evaluate one placement: latency summary and overload percentage."""
+    """Evaluate one placement: latency summary and overload percentage.
+
+    When a live :class:`~repro.core.optimizer.NovaSession` owning this
+    placement is supplied, the overload figure is read from the
+    session's incremental :class:`~repro.evaluation.overload.OverloadMonitor`
+    (O(1) under churn) instead of rescanning the placement's load index;
+    the two paths agree exactly (parity-tested).
+    """
+    if session is not None and session.placement is placement:
+        overload_pct = session.overload_monitor.percentage
+    else:
+        overload_pct = overload_percentage(placement, topology)
     return ApproachResult(
         name=name,
         placement=placement,
         stats=latency_stats(placement, distance),
-        overload_pct=overload_percentage(placement, topology),
+        overload_pct=overload_pct,
         runtime_s=runtime_s,
+    )
+
+
+def evaluate_result(result, distance: Optional[DistanceFn] = None) -> ApproachResult:
+    """Evaluate a :class:`~repro.core.planner.PlanResult` uniformly.
+
+    ``distance`` defaults to a matrix lookup over the workload's latency
+    provider, routed along the strategy's overlay tree when it has one
+    (``result.measured_distance``). Overload goes through the attached
+    live session's monitor when the strategy produced one.
+    """
+    workload = result.workload
+    if distance is None:
+        distance = result.measured_distance(workload.ensure_latency())
+    return evaluate_approach(
+        result.strategy,
+        result.placement,
+        workload.topology,
+        distance,
+        runtime_s=result.timings.total_s,
+        session=result.session,
     )
 
 

@@ -31,6 +31,7 @@ from repro.common.errors import (
     OptimizationError,
     UnknownNodeError,
     UnknownOperatorError,
+    UnsupportedEventError,
 )
 from repro.common.rng import SeedLike, ensure_rng
 from repro.topology.latency import DenseLatencyMatrix
@@ -119,11 +120,19 @@ class BatchState:
     operators: Set[str] = field(default_factory=set)
     sources: Dict[str, str] = field(default_factory=dict)
     join_streams: Set[str] = field(default_factory=set)
+    #: Nodes that host a sink operator: removing one would orphan every
+    #: join's output stream, which no strategy supports yet.
+    sinks: Set[str] = field(default_factory=set)
+    #: Name of the strategy the batch targets (for error messages).
+    #: Nova sessions are the only churn-capable strategy today; a future
+    #: churn-capable strategy passes its own name through ``of_session``.
+    strategy: str = "nova"
 
     @classmethod
-    def of_session(cls, session) -> "BatchState":
+    def of_session(cls, session, strategy: str = "nova") -> "BatchState":
         """Snapshot the validation-relevant state of a Nova session."""
         return cls(
+            strategy=strategy,
             nodes=set(session.topology.node_ids),
             operators={op.op_id for op in session.plan.operators()},
             sources={
@@ -131,6 +140,11 @@ class BatchState:
             },
             join_streams={
                 stream for join in session.plan.joins() for stream in join.inputs
+            },
+            sinks={
+                op.pinned_node
+                for op in session.plan.sinks()
+                if op.pinned_node is not None
             },
         )
 
@@ -207,6 +221,14 @@ class RemoveNodeEvent:
     def validate(self, state: BatchState) -> None:
         if self.node_id not in state.nodes:
             raise UnknownNodeError(self.node_id)
+        if self.node_id in state.sinks:
+            raise UnsupportedEventError(
+                f"strategy {state.strategy!r} does not support remove_node on "
+                f"sink node {self.node_id!r}: removing the sink would orphan "
+                "every join's output stream",
+                event="remove_node",
+                strategy=state.strategy,
+            )
         state.nodes.discard(self.node_id)
         state.operators.discard(self.node_id)
         state.sources.pop(self.node_id, None)

@@ -7,6 +7,7 @@ from repro.common.errors import (
     OptimizationError,
     UnknownNodeError,
     UnknownOperatorError,
+    UnsupportedEventError,
 )
 from repro.core.changeset import ChangeSet, PlanDelta, apply_changeset
 from repro.core.config import NovaConfig
@@ -200,6 +201,49 @@ class TestValidation:
         with pytest.raises(UnknownNodeError):
             session.apply([RemoveNodeEvent(victim), RemoveNodeEvent(victim)])
         assert_snapshots_equal(before, state_snapshot(session))
+
+    def test_sink_removal_rejected_with_clean_error(self, session_and_latency):
+        """Removing a *sink* node was undefined behaviour; now it is a
+        clean UnsupportedEventError naming the event and strategy, raised
+        before any session mutation."""
+        session, _ = session_and_latency
+        sink_node = session.plan.sinks()[0].pinned_node
+        before = state_snapshot(session)
+        with pytest.raises(UnsupportedEventError) as excinfo:
+            session.apply([RemoveNodeEvent(sink_node)])
+        message = str(excinfo.value)
+        assert "remove_node" in message
+        assert "nova" in message
+        assert sink_node in message
+        assert excinfo.value.event == "remove_node"
+        assert excinfo.value.strategy == "nova"
+        assert_snapshots_equal(before, state_snapshot(session))
+
+    def test_sink_removal_rejected_mid_batch_without_mutation(
+        self, session_and_latency
+    ):
+        session, _ = session_and_latency
+        sink_node = session.plan.sinks()[0].pinned_node
+        victim = session.plan.sources()[0].op_id
+        before = state_snapshot(session)
+        with pytest.raises(UnsupportedEventError):
+            session.apply(
+                [DataRateChangeEvent(victim, 55.0), RemoveNodeEvent(sink_node)]
+            )
+        assert_snapshots_equal(before, state_snapshot(session))
+
+    def test_worker_removal_still_allowed(self, session_and_latency):
+        """Only sink *hosts* are protected — ordinary workers still leave."""
+        session, _ = session_and_latency
+        sink_node = session.plan.sinks()[0].pinned_node
+        worker = next(
+            node_id
+            for node_id in session.topology.node_ids
+            if node_id != sink_node
+            and node_id not in {op.pinned_node for op in session.plan.sources()}
+        )
+        delta = session.apply([RemoveNodeEvent(worker)])
+        assert worker not in session.topology
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,384 @@
+"""The Planner API: one registry surface for Nova and every baseline."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import available_baselines, make_baseline
+from repro.common.errors import OptimizationError, UnsupportedEventError
+from repro.core.config import NovaConfig
+from repro.core.cost_space import CostSpace
+from repro.core.optimizer import Nova
+from repro.core.planner import (
+    BaselinePlanner,
+    NovaPlanner,
+    PlacementPipeline,
+    PlanResult,
+    StrategyCapabilities,
+    Workload,
+    available_strategies,
+    plan,
+    planner,
+    register_strategy,
+    strategy_capabilities,
+    strategy_entry,
+)
+from repro.topology.dynamics import DataRateChangeEvent, RemoveNodeEvent
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.running_example import build_running_example
+from repro.workloads.synthetic import synthetic_opp_workload
+
+ALL_STRATEGIES = ["nova", "sink-based", "source-based", "top-c", "tree", "cl-sf", "cl-tree-sf"]
+
+
+@pytest.fixture(scope="module")
+def example():
+    return build_running_example()
+
+
+def synthetic_bundle(n, seed):
+    workload = synthetic_opp_workload(n, seed=seed)
+    latency = DenseLatencyMatrix.from_topology(workload.topology)
+    return workload, latency
+
+
+# ----------------------------------------------------------------------
+# registry round-trip
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_seven_strategies_registered_in_paper_order(self):
+        assert available_strategies() == ALL_STRATEGIES
+
+    def test_baseline_shim_sees_the_same_registry(self):
+        assert available_baselines() == ALL_STRATEGIES[1:]
+        for name in available_baselines():
+            assert make_baseline(name).name == name
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_planner_round_trip(self, name):
+        built = planner(name)
+        assert built.name == name
+        assert built.capabilities == strategy_capabilities(name)
+
+    def test_capability_flags(self):
+        assert strategy_capabilities("nova").supports_churn
+        assert strategy_capabilities("nova").supports_partitioning
+        for name in available_baselines():
+            capabilities = strategy_capabilities(name)
+            assert not capabilities.supports_churn
+            assert not capabilities.supports_partitioning
+        assert strategy_capabilities("tree").routes_via_tree
+        assert strategy_capabilities("cl-tree-sf").routes_via_tree
+        assert not strategy_capabilities("cl-sf").routes_via_tree
+
+    def test_unknown_strategy_rejected_with_listing(self, example):
+        with pytest.raises(OptimizationError, match="available"):
+            planner("quantum")
+        with pytest.raises(OptimizationError, match="quantum"):
+            plan(example, "quantum")
+
+    def test_register_strategy_extension_point(self, example):
+        class EchoPlanner(NovaPlanner):
+            name = "echo-nova"
+
+        try:
+            register_strategy(
+                "echo-nova",
+                lambda config=None: EchoPlanner(config),
+                NovaPlanner.capabilities,
+            )
+            assert "echo-nova" in available_strategies()
+            result = plan(example, "echo-nova", config=NovaConfig(seed=7))
+            assert result.placement.sub_replicas
+            with pytest.raises(OptimizationError, match="already registered"):
+                register_strategy(
+                    "echo-nova",
+                    lambda config=None: EchoPlanner(config),
+                    NovaPlanner.capabilities,
+                )
+        finally:
+            from repro.core.planner import _REGISTRY
+
+            _REGISTRY.pop("echo-nova", None)
+
+    def test_custom_baselines_not_exposed_as_baseline(self):
+        assert strategy_entry("nova").baseline_factory is None
+        assert strategy_entry("tree").baseline_factory is not None
+
+    def test_planner_submodule_not_shadowed_by_factory(self):
+        """repro.core.planner must stay the module; the planner() factory
+        lives at the top level and inside the module itself."""
+        import importlib
+
+        import repro
+        import repro.core
+
+        module = importlib.import_module("repro.core.planner")
+        assert repro.core.planner is module
+        assert repro.core.planner.Workload is Workload
+        assert callable(repro.planner) and repro.planner("nova").name == "nova"
+
+
+# ----------------------------------------------------------------------
+# the shared workload
+# ----------------------------------------------------------------------
+class TestWorkload:
+    def test_of_coerces_bundles_and_tuples(self, example):
+        workload = Workload.of(example)
+        assert workload.topology is example.topology
+        assert workload.latency is example.latency
+        assert workload.name == "RunningExample"
+
+        as_tuple = Workload.of((example.topology, example.plan, example.matrix))
+        assert as_tuple.latency is None
+
+        synthetic, _ = synthetic_bundle(50, 3)
+        coerced = Workload.of(synthetic)
+        assert coerced.latency is None
+        assert coerced.matrix is synthetic.matrix
+
+    def test_of_applies_overrides_immutably(self, example):
+        base = Workload.of(example)
+        override = DenseLatencyMatrix.from_topology(example.topology)
+        derived = Workload.of(base, latency=override, name="renamed")
+        assert derived.latency is override
+        assert derived.name == "renamed"
+        assert base.latency is example.latency
+        with pytest.raises(Exception):
+            base.name = "mutated"  # frozen
+
+    def test_of_rejects_garbage(self):
+        with pytest.raises(OptimizationError, match="Workload"):
+            Workload.of(42)
+
+    def test_sink_accessors(self, example):
+        workload = Workload.of(example)
+        assert workload.sink_id == "sink"
+        assert workload.sink_nodes == ["sink"]
+
+
+# ----------------------------------------------------------------------
+# every strategy through one surface
+# ----------------------------------------------------------------------
+class TestPlanAllStrategies:
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_uniform_plan_result(self, example, name):
+        result = plan(example, name, config=NovaConfig(seed=7))
+        assert isinstance(result, PlanResult)
+        assert result.strategy == name
+        assert result.placement.sub_replicas, "placement must be non-empty"
+        assert result.resolved.replicas
+        assert result.capabilities == strategy_capabilities(name)
+        assert (result.session is not None) == (name == "nova")
+        summary = result.summary()
+        assert summary["sub_replicas"] > 0
+        json.dumps(summary)  # JSON-serializable for CLI/CI consumers
+        assert result.summary_rows()
+        assert result.timings.total_s >= 0.0
+
+    def test_tree_strategies_expose_route_parents(self, example):
+        for name in ("tree", "cl-tree-sf"):
+            result = plan(example, name)
+            assert result.route_parents, name
+            distance = result.measured_distance(example.latency)
+            u, v = "t1", "w2"
+            assert distance(u, v) >= 0.0
+        flat = plan(example, "sink-based")
+        assert flat.route_parents is None
+
+
+# ----------------------------------------------------------------------
+# Nova-via-planner parity
+# ----------------------------------------------------------------------
+class TestNovaParity:
+    def test_bit_identical_to_optimize_at_1e3(self):
+        workload, latency = synthetic_bundle(1000, 11)
+        session = Nova(NovaConfig(seed=11)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+
+        workload2, latency2 = synthetic_bundle(1000, 11)
+        result = plan(workload2, "nova", config=NovaConfig(seed=11), latency=latency2)
+
+        assert result.placement.sub_replicas == session.placement.sub_replicas
+        assert result.placement.pinned == session.placement.pinned
+        positions = session.placement.virtual_positions
+        planner_positions = result.placement.virtual_positions
+        assert set(planner_positions) == set(positions)
+        for replica_id, position in positions.items():
+            assert np.array_equal(planner_positions[replica_id], position)
+        assert result.timings.replicas_placed == session.timings.replicas_placed
+        assert result.timings.medians_solved == session.timings.medians_solved
+        assert result.timings.packing_passes == session.timings.packing_passes
+
+    def test_optimize_is_a_pipeline_shim(self, example):
+        session = Nova(NovaConfig(seed=7)).optimize(
+            example.topology, example.plan, example.matrix, latency=example.latency
+        )
+        result = plan(example, "nova", config=NovaConfig(seed=7))
+        assert session.placement.sub_replicas == result.placement.sub_replicas
+
+
+# ----------------------------------------------------------------------
+# staged pipeline: reuse and instrumentation
+# ----------------------------------------------------------------------
+class TestPlacementPipeline:
+    def test_stage_names(self):
+        assert PlacementPipeline().stage_names == [
+            "cost_space",
+            "resolve",
+            "virtual",
+            "physical",
+        ]
+
+    def test_prebuilt_cost_space_parity(self):
+        workload, latency = synthetic_bundle(300, 4)
+        config = NovaConfig(seed=4)
+        full = plan(workload, "nova", config=config, latency=latency)
+
+        space = CostSpace.build(latency, config)
+        seeded = plan(workload, "nova", config=config, cost_space=space)
+        assert seeded.placement.sub_replicas == full.placement.sub_replicas
+        assert seeded.session.cost_space is space
+
+        pipeline = PlacementPipeline(config).with_stage_result("cost_space", space)
+        context = pipeline.run(Workload.of(workload, latency=latency))
+        assert (
+            context.session.placement.sub_replicas == full.placement.sub_replicas
+        )
+        # The kwarg form of Nova.optimize rides the same seam.
+        session = Nova(config).optimize(
+            workload.topology, workload.plan, workload.matrix, cost_space=space
+        )
+        assert session.placement.sub_replicas == full.placement.sub_replicas
+
+    def test_seeded_virtual_positions_skip_phase_ii(self):
+        workload, latency = synthetic_bundle(200, 9)
+        config = NovaConfig(seed=9)
+        reference = plan(workload, "nova", config=config, latency=latency)
+        positions = dict(reference.placement.virtual_positions)
+
+        pipeline = PlacementPipeline(config).with_stage_result("virtual", positions)
+        context = pipeline.run(Workload.of(workload, latency=latency))
+        assert context.timings.medians_solved == 0
+        assert (
+            context.session.placement.sub_replicas
+            == reference.placement.sub_replicas
+        )
+
+    def test_unknown_stage_result_rejected(self):
+        with pytest.raises(OptimizationError, match="unknown pipeline stage"):
+            PlacementPipeline().with_stage_result("quantum", object())
+
+    def test_with_stage_result_returns_derived_pipeline(self):
+        base = PlacementPipeline()
+        derived = base.with_stage_result("resolve", None)
+        assert derived is not base
+        assert not base._seeds and "resolve" in derived._seeds
+
+    def test_hooks_observe_every_stage_boundary(self, example):
+        before, after = [], []
+        pipeline = (
+            PlacementPipeline(NovaConfig(seed=7))
+            .before_stage(lambda stage, ctx: before.append(stage))
+            .after_stage(lambda report, ctx: after.append(report))
+        )
+        space = CostSpace.build(example.latency, NovaConfig(seed=7))
+        pipeline = pipeline.with_stage_result("cost_space", space)
+        result = plan(example, "nova", config=NovaConfig(seed=7), pipeline=pipeline)
+        assert before == ["cost_space", "resolve", "virtual", "physical"]
+        assert [report.stage for report in after] == before
+        assert after[0].seeded and not after[1].seeded
+        assert all(report.seconds >= 0.0 for report in after)
+        assert result.placement.sub_replicas
+
+    def test_custom_pipeline_only_for_nova(self, example):
+        with pytest.raises(OptimizationError, match="pipeline"):
+            plan(example, "sink-based", pipeline=PlacementPipeline())
+
+    def test_explicit_config_wins_over_pipeline_config(self, example):
+        config = NovaConfig(seed=5)
+        result = plan(example, "nova", config=config, pipeline=PlacementPipeline())
+        assert result.session.config is config
+        # Without an explicit config, the pipeline's own config applies.
+        pipeline_config = NovaConfig(seed=9)
+        kept = plan(example, "nova", pipeline=PlacementPipeline(pipeline_config))
+        assert kept.session.config is pipeline_config
+
+    def test_workload_cost_space_reports_seeded(self, example):
+        config = NovaConfig(seed=7)
+        space = CostSpace.build(example.latency, config)
+        reports = []
+        pipeline = PlacementPipeline(config).after_stage(
+            lambda report, ctx: reports.append(report)
+        )
+        result = plan(
+            example, "nova", config=config, cost_space=space, pipeline=pipeline
+        )
+        assert reports[0].stage == "cost_space" and reports[0].seeded
+        assert result.session.cost_space is space
+
+
+class TestBaselineResolutionReuse:
+    def test_planner_resolution_is_reused_by_the_strategy(self, example, monkeypatch):
+        """BaselinePlanner resolves once; the strategy's internal _resolve
+        must reuse that expansion rather than re-deriving it."""
+        import repro.baselines.base as base_module
+
+        def boom(plan_, matrix_):
+            raise AssertionError("strategy re-resolved the plan")
+
+        monkeypatch.setattr(base_module, "resolve_operators", boom)
+        result = plan(example, "sink-based")
+        assert result.placement.sub_replicas
+
+    def test_prepared_resolution_is_identity_keyed(self, example):
+        strategy = make_baseline("sink-based")
+        from repro.query.expansion import resolve_operators
+
+        resolved = resolve_operators(example.plan, example.matrix)
+        strategy.prepare_resolution(example.plan, example.matrix, resolved)
+        assert strategy._resolve(example.plan, example.matrix) is resolved
+        # A different plan/matrix identity falls back to resolving fresh.
+        other = build_running_example()
+        fresh = strategy._resolve(other.plan, other.matrix)
+        assert fresh is not resolved
+        assert len(fresh.replicas) == len(resolved.replicas)
+
+
+# ----------------------------------------------------------------------
+# capability-flag enforcement
+# ----------------------------------------------------------------------
+class TestCapabilityEnforcement:
+    @pytest.mark.parametrize("name", ALL_STRATEGIES[1:])
+    def test_baselines_raise_cleanly_on_apply(self, example, name):
+        result = plan(example, name)
+        assert not result.supports_churn
+        with pytest.raises(UnsupportedEventError) as excinfo:
+            result.apply([DataRateChangeEvent("t1", 99.0)])
+        assert name in str(excinfo.value)
+        assert "data_rate_change" in str(excinfo.value)
+        assert excinfo.value.event == "data_rate_change"  # wire-name contract
+        assert excinfo.value.strategy == name
+        with pytest.raises(UnsupportedEventError):
+            result.transaction()
+        # The placement is untouched by the refused churn.
+        assert result.placement.sub_replicas
+
+    def test_nova_result_accepts_churn(self):
+        workload, latency = synthetic_bundle(80, 2)
+        result = plan(workload, "nova", config=NovaConfig(seed=2), latency=latency)
+        assert result.supports_churn
+        source = workload.plan.sources()[0].op_id
+        delta = result.apply([DataRateChangeEvent(source, 42.0)])
+        assert delta.events_applied == 1
+        with result.transaction() as txn:
+            txn.stage(DataRateChangeEvent(source, 21.0))
+        assert txn.delta is not None
+
+    def test_nova_refuses_sink_removal_via_planner_surface(self):
+        workload, latency = synthetic_bundle(80, 2)
+        result = plan(workload, "nova", config=NovaConfig(seed=2), latency=latency)
+        with pytest.raises(UnsupportedEventError, match="sink"):
+            result.apply([RemoveNodeEvent(workload.sink_id)])

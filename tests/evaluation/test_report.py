@@ -1,9 +1,19 @@
 """Comparison reports."""
 
 from repro.baselines.sink_based import SinkBasedPlacement
+from repro.core.config import NovaConfig
+from repro.core.planner import plan
 from repro.evaluation.latency import matrix_distance
-from repro.evaluation.report import comparison_table, evaluate_approach
+from repro.evaluation.overload import overload_percentage
+from repro.evaluation.report import (
+    comparison_table,
+    evaluate_approach,
+    evaluate_result,
+)
+from repro.topology.dynamics import DataRateChangeEvent
+from repro.topology.latency import DenseLatencyMatrix
 from repro.workloads.running_example import build_running_example
+from repro.workloads.synthetic import synthetic_opp_workload
 
 
 class TestEvaluateApproach:
@@ -18,6 +28,77 @@ class TestEvaluateApproach:
         assert result.overload_pct == 100.0
         assert result.stats.mean > 0
         assert result.runtime_s == 0.5
+
+
+class TestMonitorRouting:
+    """Live sessions route overload through OverloadMonitor; the figure
+    must match the stateless scan path exactly."""
+
+    def build(self):
+        workload = synthetic_opp_workload(100, seed=6)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        result = plan(workload, "nova", config=NovaConfig(seed=6), latency=latency)
+        return workload, latency, result
+
+    def test_session_path_matches_scan_path(self):
+        workload, latency, result = self.build()
+        distance = matrix_distance(latency)
+        session = result.session
+        via_monitor = evaluate_approach(
+            "nova", result.placement, workload.topology, distance, session=session
+        )
+        via_scan = evaluate_approach(
+            "nova", result.placement, workload.topology, distance
+        )
+        assert via_monitor.overload_pct == via_scan.overload_pct
+        assert via_monitor.overload_pct == overload_percentage(
+            result.placement, workload.topology
+        )
+
+    def test_parity_survives_churn(self):
+        workload, latency, result = self.build()
+        distance = matrix_distance(latency)
+        source = workload.plan.sources()[0].op_id
+        # Instantiate the monitor before churn so it must track the
+        # changes incrementally rather than resyncing at creation.
+        monitor = result.session.overload_monitor
+        result.apply([DataRateChangeEvent(source, 180.0)])
+        via_monitor = evaluate_approach(
+            "nova",
+            result.placement,
+            workload.topology,
+            distance,
+            session=result.session,
+        )
+        assert via_monitor.overload_pct == overload_percentage(
+            result.placement, workload.topology
+        )
+        assert monitor is result.session.overload_monitor  # one monitor, reused
+
+    def test_foreign_placement_falls_back_to_scan(self):
+        workload, latency, result = self.build()
+        other = plan(workload, "sink-based", latency=latency)
+        evaluated = evaluate_approach(
+            "sink-based",
+            other.placement,
+            workload.topology,
+            matrix_distance(latency),
+            session=result.session,  # session does not own this placement
+        )
+        assert evaluated.overload_pct == overload_percentage(
+            other.placement, workload.topology
+        )
+
+    def test_evaluate_result_uniform_over_strategies(self):
+        example = build_running_example()
+        for name in ("nova", "sink-based", "tree"):
+            result = plan(example, name, config=NovaConfig(seed=7))
+            evaluated = evaluate_result(result)
+            assert evaluated.name == name
+            assert evaluated.overload_pct == overload_percentage(
+                result.placement, example.topology
+            )
+            assert evaluated.stats.mean >= 0.0
 
 
 class TestComparisonTable:

@@ -29,6 +29,40 @@ class TestCli:
             main(["explode"])
 
 
+class TestPlanCommand:
+    def test_plan_all_strategies_on_running_example(self, capsys):
+        assert main(["plan", "running-example", "--strategy", "all"]) == 0
+        output = capsys.readouterr().out
+        from repro import available_strategies
+
+        for name in available_strategies():
+            assert name in output
+        assert "Planner comparison" in output
+        assert "session" in output
+
+    def test_plan_single_strategy_prints_summary(self, capsys):
+        assert main(["plan", "running-example", "--strategy", "cl-sf"]) == 0
+        output = capsys.readouterr().out
+        assert "PlanResult — cl-sf" in output
+        assert "sub-joins placed" in output
+        assert "live session" in output
+
+    def test_plan_synthetic_nova(self, capsys):
+        assert main(
+            ["plan", "synthetic", "--nodes", "80", "--seed", "3", "--strategy", "nova"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "supports_churn" in output
+
+    def test_plan_unknown_strategy_rejected(self, capsys):
+        assert main(["plan", "running-example", "--strategy", "quantum"]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_plan_unknown_workload_rejected(self, capsys):
+        assert main(["plan", "atlantis"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
 class TestReplay:
     def write_trace(self, tmp_path, batches, nodes=120, seed=3):
         import json
