@@ -47,6 +47,7 @@ thin deprecated shim over this API.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -317,54 +318,337 @@ class Transaction:
 # ----------------------------------------------------------------------
 # rollback machinery
 # ----------------------------------------------------------------------
-class _SessionJournal:
-    """Snapshot + inverse-operation log for atomic batch rollback.
+_ABSENT = object()
 
-    Placement, resolved plan, and capacity ledger are cheap flat
-    snapshots (their contents are immutable objects); topology, plan,
-    matrix, and cost-space mutations register inverse closures instead,
-    replayed in reverse on rollback — the same journaled-snapshot idea
-    the packing engine's lease workers use for per-replica rollback.
+
+class _CowDict(MutableMapping):
+    """A copy-on-write proxy over a dict the batch may mutate.
+
+    Wraps the *same* dict by reference — reads delegate straight through —
+    and records each key's pre-image on its first write. :meth:`restore`
+    undoes exactly the touched keys. The journal installs one over
+    ``placement.pinned`` and one over ``placement.virtual_positions`` for
+    the duration of a batch, replacing the old whole-dict snapshots.
+    """
+
+    __slots__ = ("base", "_pre")
+
+    def __init__(self, base: Dict) -> None:
+        self.base = base
+        self._pre: Dict = {}
+
+    def _note(self, key) -> None:
+        if key not in self._pre:
+            self._pre[key] = self.base.get(key, _ABSENT)
+
+    def __setitem__(self, key, value) -> None:
+        self._note(key)
+        self.base[key] = value
+
+    def __delitem__(self, key) -> None:
+        self._note(key)
+        del self.base[key]
+
+    def __getitem__(self, key):
+        return self.base[key]
+
+    def get(self, key, default=None):
+        return self.base.get(key, default)
+
+    def __contains__(self, key) -> bool:
+        return key in self.base
+
+    def __iter__(self):
+        return iter(self.base)
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def keys(self):
+        return self.base.keys()
+
+    def values(self):
+        return self.base.values()
+
+    def items(self):
+        return self.base.items()
+
+    @property
+    def touched(self) -> int:
+        """Number of distinct keys written during the batch."""
+        return len(self._pre)
+
+    def restore(self) -> None:
+        """Write every touched key's pre-image back into the base dict."""
+        base = self.base
+        for key, value in self._pre.items():
+            if value is _ABSENT:
+                base.pop(key, None)
+            else:
+                base[key] = value
+
+
+class _SessionJournal:
+    """Copy-on-write journal + inverse-operation log for batch rollback.
+
+    The old journal flat-copied the placement, resolved plan, pinned map,
+    virtual positions, and ledger before the first event ran — O(placement)
+    per batch regardless of how little the batch touched. This one records
+    pre-images *on first touch only*:
+
+    * placement buckets — :meth:`note_sub_added`/:meth:`note_subs_removed`
+      fire from :class:`~repro.core.placement.Placement` before each bucket
+      mutation and snapshot the touched node/replica bucket once
+      (``copied_subs`` counts what was copied);
+    * the flat sub-replica view — removals only tombstone it, so a
+      rollback usually just extends the tombstone map; if a mid-batch read
+      compacts the view, :meth:`pin_flat` preserves the pre-batch order
+      first;
+    * ledger rows — the :class:`~repro.core.cost_space.AvailabilityLedger`
+      reports each row's first write (:meth:`note_available`); the touched
+      set doubles as the availability before-image for the
+      :class:`PlanDelta` diff;
+    * ``pinned`` / ``virtual_positions`` — wrapped in :class:`_CowDict`
+      proxies for the batch;
+    * resolved entries, topology, plan, matrix, and cost-space mutations —
+      inverse closures (:meth:`undo`), replayed in reverse, the same
+      journaled-snapshot idea the packing engine's lease workers use.
+
+    The forward path is O(affected); rollback may be O(n) (it repairs
+    touched join buckets with one pass over the restored flat view), which
+    is the right trade — rollbacks are exceptional, batches are not.
     """
 
     def __init__(self, session) -> None:
         self.session = session
         placement = session.placement
-        self._subs = list(placement.sub_replicas)
-        self._pinned = dict(placement.pinned)
-        self._virtual = dict(placement.virtual_positions)
         self._overload = placement.overload_accepted
-        self._resolved = list(session.resolved.replicas)
-        self._available = dict(session.available)
         self._undos: List[Callable[[], None]] = []
+        self._node_buckets: Dict[str, Tuple[Optional[List[SubReplicaPlacement]], Optional[float]]] = {}
+        self._replica_buckets: Dict[str, Optional[List[SubReplicaPlacement]]] = {}
+        self._joins_touched: Set[str] = set()
+        self._added_subs: List[SubReplicaPlacement] = []
+        self._pinned_flat: Optional[List[SubReplicaPlacement]] = None
+        self._full_rebuild = False
+        self._available: Dict[str, float] = {}
+        self._total_required = placement.total_demand()
+        self._count = placement.replica_count()
+        self._pre_dead = placement.sub_replicas.dead_snapshot()
+        #: Sub-replica instances copied into pre-images this batch — the
+        #: O(affected) acceptance counter surfaced through PhaseTimings.
+        self.copied_subs = len(self._pre_dead)
+        self._detached = False
 
+        placement.begin_journal(self)
+        ledger = session.available
+        begin = getattr(ledger, "begin_journal", None)
+        if begin is not None:
+            begin(self)
+            self.ledger_fallback: Optional[Dict[str, float]] = None
+        else:
+            # Plain-dict ledgers (no write hooks) keep the old whole-copy
+            # behaviour; Nova sessions always carry an AvailabilityLedger.
+            self.ledger_fallback = dict(ledger)
+        self._pinned_proxy = _CowDict(placement.pinned)
+        placement.pinned = self._pinned_proxy
+        self._virtual_proxy = _CowDict(placement.virtual_positions)
+        placement.virtual_positions = self._virtual_proxy
+
+    # -- first-touch hooks ---------------------------------------------
+    def note_sub_added(self, placement, sub: SubReplicaPlacement) -> None:
+        """Placement hook: ``sub`` is about to be indexed into its buckets."""
+        if self._full_rebuild:
+            return
+        self._added_subs.append(sub)
+        self._touch_node(placement, sub.node_id)
+        self._touch_replica(placement, sub.replica_id)
+        self._joins_touched.add(sub.join_id)
+
+    def note_subs_removed(
+        self, placement, removed: Iterable[SubReplicaPlacement]
+    ) -> None:
+        """Placement hook: ``removed`` are about to leave their buckets."""
+        if self._full_rebuild:
+            return
+        for sub in removed:
+            self._touch_node(placement, sub.node_id)
+            self._touch_replica(placement, sub.replica_id)
+            self._joins_touched.add(sub.join_id)
+
+    def _touch_node(self, placement, node_id: str) -> None:
+        if node_id in self._node_buckets:
+            return
+        bucket = placement._by_node.get(node_id)
+        if bucket is None:
+            self._node_buckets[node_id] = (None, None)
+        else:
+            self._node_buckets[node_id] = (
+                list(bucket),
+                placement._node_load[node_id],
+            )
+            self.copied_subs += len(bucket)
+
+    def _touch_replica(self, placement, replica_id: str) -> None:
+        if replica_id in self._replica_buckets:
+            return
+        bucket = placement._by_replica.get(replica_id)
+        self._replica_buckets[replica_id] = None if bucket is None else list(bucket)
+        if bucket is not None:
+            self.copied_subs += len(bucket)
+
+    def pin_flat(self, placement) -> None:
+        """Preserve the pre-batch flat order before a compaction loses it.
+
+        Fires at most once (idempotent), and only when a mid-batch read
+        actually compacts the lazy view — the common batch never pays it.
+        """
+        if self._pinned_flat is not None or self._full_rebuild:
+            return
+        added = {id(sub) for sub in self._added_subs}
+        pre_dead = self._pre_dead
+        self._pinned_flat = [
+            sub
+            for sub in placement.sub_replicas.raw()
+            if id(sub) not in added and id(sub) not in pre_dead
+        ]
+        self.copied_subs += len(self._pinned_flat)
+
+    def note_full_rebuild(self, placement) -> None:
+        """Escape hatch: the flat view is being wholesale rebuilt
+        (reassignment, sort, ...) mid-batch. Pins the pre-batch list and
+        falls back to snapshot-style placement restore on rollback. No
+        engine path triggers this; it keeps direct mutation safe."""
+        if self._full_rebuild:
+            return
+        self.pin_flat(placement)
+        self._full_rebuild = True
+
+    def note_available(self, backing: Dict[str, float], key: str) -> None:
+        """Ledger hook: row ``key`` is about to be written or deleted."""
+        if key not in self._available:
+            self._available[key] = backing.get(key, _ABSENT)
+
+    # -- counters and delta inputs -------------------------------------
     @property
-    def available_snapshot(self) -> Dict[str, float]:
-        """The pre-batch ledger contents (read-only by convention)."""
+    def nodes_touched(self) -> int:
+        """Distinct nodes whose bucket or ledger row gained a pre-image."""
+        return len(set(self._node_buckets) | set(self._available))
+
+    def available_touched(self) -> Dict[str, float]:
+        """Touched ledger rows with their pre-images (``_ABSENT`` = new)."""
         return self._available
 
     def undo(self, operation: Callable[[], None]) -> None:
         """Register the inverse of a structural mutation just performed."""
         self._undos.append(operation)
 
+    # -- outcomes -------------------------------------------------------
+    def _detach(self) -> None:
+        if self._detached:
+            return
+        self._detached = True
+        placement = self.session.placement
+        placement.end_journal()
+        end = getattr(self.session.available, "end_journal", None)
+        if end is not None:
+            end()
+        if placement.pinned is self._pinned_proxy:
+            placement.pinned = self._pinned_proxy.base
+        if placement.virtual_positions is self._virtual_proxy:
+            placement.virtual_positions = self._virtual_proxy.base
+
+    def commit(self) -> None:
+        """The batch succeeded: drop the hooks, keep the mutations."""
+        self._detach()
+
     def rollback(self) -> None:
         """Restore the session to its pre-batch state, bit-identically."""
         session = self.session
+        self._detach()
         for operation in reversed(self._undos):
             operation()
-        # Rebuild the ledger in its original key order; writes go through
-        # the ledger so the neighbour index sees restored values again
-        # (the membership undos above already restored the index rows).
-        for key in list(session.available):
-            del session.available[key]
-        for key, value in self._available.items():
-            session.available[key] = value
-        session.resolved.replicas = self._resolved
-        placement = session.placement
-        placement.pinned = self._pinned
-        placement.virtual_positions = self._virtual
-        placement.overload_accepted = self._overload
-        placement.sub_replicas = self._subs
+        # Ledger rows next: the membership undos above restored the
+        # cost-space index rows, so write-through re-syncs availability.
+        if self.ledger_fallback is not None:
+            for key in list(session.available):
+                del session.available[key]
+            for key, value in self.ledger_fallback.items():
+                session.available[key] = value
+        else:
+            for key in sorted(self._available):
+                value = self._available[key]
+                if value is _ABSENT:
+                    session.available.pop(key, None)
+                else:
+                    session.available[key] = value
+        self._pinned_proxy.restore()
+        self._virtual_proxy.restore()
+        self._restore_placement()
+        session.placement.overload_accepted = self._overload
+
+    def _restore_placement(self) -> None:
+        placement = self.session.placement
+        if self._full_rebuild:
+            # Snapshot-style fallback: reassign the pinned pre-batch list
+            # (full reindex, observers re-fire, dropped nodes zeroed).
+            placement.sub_replicas = list(self._pinned_flat or [])
+            return
+        flat = placement.sub_replicas
+        # (a) the flat view: either swap the pinned pre-batch order back
+        # in, or just tombstone everything the batch appended — the next
+        # read compacts back to the pre-batch sequence.
+        if self._pinned_flat is not None:
+            flat.replace_contents(self._pinned_flat)
+        else:
+            dead = dict(self._pre_dead)
+            for sub in self._added_subs:
+                dead[id(sub)] = sub
+            flat.set_dead(dead)
+        # (b) node buckets and loads, re-notifying subscribed observers.
+        for node_id, (bucket, load) in self._node_buckets.items():
+            if bucket is None:
+                placement._by_node.pop(node_id, None)
+                placement._node_load.pop(node_id, None)
+            else:
+                placement._by_node[node_id] = list(bucket)
+                placement._node_load[node_id] = load
+            if placement._load_observers:
+                placement._notify_load(
+                    node_id, placement._node_load.get(node_id, 0.0)
+                )
+        # (c) replica buckets.
+        for replica_id, bucket in self._replica_buckets.items():
+            if bucket is None:
+                placement._by_replica.pop(replica_id, None)
+            else:
+                placement._by_replica[replica_id] = list(bucket)
+        # (d) join buckets and per-join aggregates: rebuilt for the
+        # touched joins in one pass over the restored flat view (bucket
+        # order equals flat order filtered to the key, so this is exact).
+        joins = self._joins_touched
+        if joins:
+            buckets: Dict[str, List[SubReplicaPlacement]] = {j: [] for j in joins}
+            replica_counts: Dict[str, Dict[str, int]] = {j: {} for j in joins}
+            host_counts: Dict[str, Dict[str, int]] = {j: {} for j in joins}
+            for sub in flat:
+                if sub.join_id in buckets:
+                    buckets[sub.join_id].append(sub)
+                    counts = replica_counts[sub.join_id]
+                    counts[sub.replica_id] = counts.get(sub.replica_id, 0) + 1
+                    counts = host_counts[sub.join_id]
+                    counts[sub.node_id] = counts.get(sub.node_id, 0) + 1
+            for join_id in joins:
+                if buckets[join_id]:
+                    placement._by_join[join_id] = buckets[join_id]
+                    placement._join_replicas[join_id] = replica_counts[join_id]
+                    placement._join_hosts[join_id] = host_counts[join_id]
+                else:
+                    placement._by_join.pop(join_id, None)
+                    placement._join_replicas.pop(join_id, None)
+                    placement._join_hosts.pop(join_id, None)
+        # (e) scalars.
+        object.__setattr__(placement, "_total_required", self._total_required)
+        object.__setattr__(placement, "_count", self._count)
 
 
 def _sub_cost(cost_space, sub: SubReplicaPlacement) -> float:
@@ -520,16 +804,77 @@ class _BatchApplier:
             right_rate=right_op.data_rate,
         )
         session.resolved.add(replica)
+        journal.undo(
+            lambda replica_id=replica.replica_id: session.resolved.discard(
+                [replica_id]
+            )
+        )
         self.replicas_added.append(replica.replica_id)
         session.placement.pinned[node_id] = node_id
         self.pinned_added[node_id] = node_id
         self._touch(replica)
 
     # -- removals -------------------------------------------------------
+    def _migrate_sinks(self, node_id: str) -> None:
+        """Re-pin sink operators hosted on a leaving node.
+
+        Picks the nearest surviving embedded node (validation only
+        guaranteed *a* survivor exists; proximity is an apply-time
+        decision), re-pins the sink operator, and re-anchors every
+        replica of the joins feeding it — their sink endpoint moved, so
+        their cached virtual positions are dropped and they rejoin the
+        batch's re-placement union. Runs while the leaving node is still
+        embedded, so the proximity query is meaningful. If a later event
+        in the same batch removes the chosen host too, its own removal
+        simply migrates the sink again.
+        """
+        session = self.session
+        journal = self.journal
+        sinks_here = [
+            op for op in session.plan.sinks() if op.pinned_node == node_id
+        ]
+        if not sinks_here:
+            return
+        candidates = session.cost_space.knn(
+            session.cost_space.position(node_id), k=8, exclude={node_id}
+        )
+        if not candidates:
+            raise OptimizationError(
+                f"cannot migrate sink off {node_id!r}: no surviving node is "
+                "embedded in the cost space"
+            )
+        new_host = candidates[0][0]
+        for sink_op in sinks_here:
+            old_host = sink_op.pinned_node
+            sink_op.pinned_node = new_host
+            journal.undo(
+                lambda op=sink_op, host=old_host: setattr(op, "pinned_node", host)
+            )
+            if session.placement.pinned.get(sink_op.op_id) is not None:
+                session.placement.pinned[sink_op.op_id] = new_host
+                self.pinned_added[sink_op.op_id] = new_host
+            olds: List[JoinPairReplica] = []
+            rebuilt: List[JoinPairReplica] = []
+            for join in session.plan.joins():
+                if session.plan.sink_of_join(join.op_id).op_id != sink_op.op_id:
+                    continue
+                for current in session.resolved.replicas_of_join(join.op_id):
+                    self._undeploy(current.replica_id)
+                    olds.append(current)
+                    rebuilt.append(replace(current, sink_node=new_host))
+            if rebuilt:
+                session.resolved.replace_many(rebuilt)
+                journal.undo(
+                    lambda olds=tuple(olds): session.resolved.replace_many(olds)
+                )
+                for replica in rebuilt:
+                    self._touch(replica)
+
     def remove_node(self, node_id: str) -> None:
         session = self.session
         journal = self.journal
         node = session.topology.node(node_id)
+        self._migrate_sinks(node_id)
 
         deleted_ids: Set[str] = set()
         if (
@@ -554,6 +899,20 @@ class _BatchApplier:
                     if replica_id in session.resolved:
                         self._undeploy(replica_id)
                         deleted_ids.add(replica_id)
+            if deleted_ids:
+                # Record (slot, entry) pairs so rollback reinserts each
+                # replica exactly where it sat, instead of snapshotting
+                # the whole resolved list up front.
+                entries = sorted(
+                    (
+                        (session.resolved.position(rid), session.resolved.replica(rid))
+                        for rid in deleted_ids
+                    ),
+                    key=lambda entry: entry[0],
+                )
+                journal.undo(
+                    lambda entries=entries: session.resolved.restore(entries)
+                )
             session.resolved.discard(deleted_ids)
             for replica_id in sorted(deleted_ids):
                 self.affected.pop(replica_id, None)
@@ -619,6 +978,9 @@ class _BatchApplier:
                 right_rate=new_rate if current.right_source == source_id else current.right_rate,
             )
             session.resolved.replace(rebuilt)
+            self.journal.undo(
+                lambda current=current: session.resolved.replace(current)
+            )
             self._touch(rebuilt)
         # Recompute the source node's headroom absolutely against what is
         # still hosted there (incremental adjustment would drift once the
@@ -708,9 +1070,6 @@ def apply_changeset(session, changeset: ChangeSet) -> PlanDelta:
     overload_before = session.placement.overload_accepted
 
     journal = _SessionJournal(session)
-    # The journal's ledger snapshot doubles as the availability
-    # before-image for the delta — do not mutate it.
-    available_before = journal.available_snapshot
     applier = _BatchApplier(session, journal)
     try:
         for event in events:
@@ -720,6 +1079,9 @@ def apply_changeset(session, changeset: ChangeSet) -> PlanDelta:
     except Exception:
         journal.rollback()
         raise
+    journal.commit()
+    session.timings.journal_nodes_touched += journal.nodes_touched
+    session.timings.copied_subs += journal.copied_subs
 
     # ------------------------------------------------------------------
     # structured diff
@@ -762,12 +1124,23 @@ def apply_changeset(session, changeset: ChangeSet) -> PlanDelta:
         if replica_id in positions
     }
 
-    available_after = dict(session.available)
+    # The availability diff reads only the rows the batch wrote (the
+    # journal's touched set) — untouched rows cannot have moved.
     availability_delta: Dict[str, float] = {}
-    for key in sorted(set(available_before) | set(available_after)):
-        diff = available_after.get(key, 0.0) - available_before.get(key, 0.0)
-        if diff != 0.0:
-            availability_delta[key] = diff
+    if journal.ledger_fallback is not None:
+        available_after = dict(session.available)
+        for key in sorted(set(journal.ledger_fallback) | set(available_after)):
+            diff = available_after.get(key, 0.0) - journal.ledger_fallback.get(key, 0.0)
+            if diff != 0.0:
+                availability_delta[key] = diff
+    else:
+        touched = journal.available_touched()
+        for key in sorted(touched):
+            before = touched[key]
+            before_value = 0.0 if before is _ABSENT else before
+            diff = session.available.get(key, 0.0) - before_value
+            if diff != 0.0:
+                availability_delta[key] = diff
 
     cost_space = session.cost_space
     latency_cost_delta = sum(

@@ -38,9 +38,21 @@ class AvailabilityLedger(MutableMapping):
     def __init__(self, cost_space: "CostSpace", backing: Dict[str, float]) -> None:
         self.cost_space = cost_space
         self._backing = backing
+        self._journal = None
         for node_id, value in backing.items():
             if node_id in cost_space:
                 cost_space.set_available(node_id, value)
+
+    # -- copy-on-write journal hooks -----------------------------------
+    def begin_journal(self, journal) -> None:
+        """Attach a session journal: each row's pre-image is recorded on
+        first write (``journal.note_available``), so a batch rollback
+        restores only the touched rows instead of snapshotting the ledger."""
+        self._journal = journal
+
+    def end_journal(self) -> None:
+        """Detach the session journal."""
+        self._journal = None
 
     def __getitem__(self, key: str) -> float:
         return self._backing[key]
@@ -55,11 +67,15 @@ class AvailabilityLedger(MutableMapping):
         return self._backing.get(key, default)
 
     def __setitem__(self, key: str, value: float) -> None:
+        if self._journal is not None:
+            self._journal.note_available(self._backing, key)
         self._backing[key] = value
         if key in self.cost_space:
             self.cost_space.set_available(key, value)
 
     def __delitem__(self, key: str) -> None:
+        if self._journal is not None:
+            self._journal.note_available(self._backing, key)
         del self._backing[key]
 
     def __iter__(self):

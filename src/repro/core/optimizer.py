@@ -87,6 +87,15 @@ class PhaseTimings:
     packing_batches: int = 0
     packing_deferred: int = 0
     packing_workers_used: int = 0
+    # State-plane counters: how much pre-image copying the change-set
+    # journal did per batch. ``journal_nodes_touched`` is the number of
+    # distinct nodes whose placement bucket or ledger row gained a
+    # copy-on-write pre-image; ``copied_subs`` the total sub-replica
+    # instances copied into those pre-images. A single-event batch keeps
+    # both O(affected) — independent of placement size — which is the
+    # acceptance bound bench_fig10 asserts.
+    journal_nodes_touched: int = 0
+    copied_subs: int = 0
 
     @property
     def total_s(self) -> float:

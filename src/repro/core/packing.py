@@ -57,6 +57,13 @@ machinery that used to live in ``assignment.place_replica``:
 
 The per-replica placement properties (partition-aware host index, merged
 accounting) are unchanged — see :func:`_walk_grid`.
+
+All availability mutations go through the
+:class:`~repro.core.cost_space.AvailabilityLedger` mapping, whose
+``__setitem__``/``__delitem__`` notify an attached change-set journal on
+first touch — so every ledger write the engine makes during a batched
+re-optimization is copy-on-write covered and rolls back row-exactly
+without the engine knowing a journal exists.
 """
 
 from __future__ import annotations

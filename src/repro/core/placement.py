@@ -5,19 +5,23 @@ Sub-replicas are the unit of physical assignment: one per (left-partition,
 right-partition) combination of a join pair, carrying the partition rates
 that determine its capacity demand.
 
-The placement maintains per-node, per-replica, and per-join indices over
-its sub-replicas, so the hot queries (``subs_on_node``, ``subs_of_replica``,
-``subs_of_join``, ``node_loads``) answer from a dict lookup instead of a
-full-list scan, and removals do a single pass instead of one scan per
-view. ``sub_replicas`` stays a real list — existing callers append to it
-or reassign it directly — but every mutation path keeps the indices
-fresh (see :class:`~repro.common.indexed.ObservedList`).
+The per-node, per-replica, and per-join buckets are the placement's source
+of truth: the hot queries (``subs_on_node``, ``subs_of_replica``,
+``subs_of_join``, ``node_loads``) answer from a dict lookup, and removals
+touch only the affected buckets — O(affected), never O(placement). The
+flat ``sub_replicas`` list is a *lazily-materialized cached view* over
+that store (:class:`_SubReplicaList`): removals mark tombstones instead of
+rebuilding the list, and the next read compacts them away. The view still
+satisfies the :class:`~repro.common.indexed.ObservedList` contract that
+baselines, serialization, and tests rely on — appends flow through the
+incremental index callback, any other list mutation triggers a full
+reindex, and direct reassignment re-wraps the new list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -60,6 +64,180 @@ class SubReplicaPlacement:
         return self.left_rate + self.right_rate
 
 
+class _SubReplicaList(ObservedList):
+    """The lazily-compacted flat view over the placement's buckets.
+
+    Removals never rewrite the list: the owner marks the removed
+    instances dead (:meth:`mark_dead`, O(removed)) and the next *read*
+    filters the tombstones out in one pass (:meth:`compact`). Appends and
+    wholesale mutations keep the full :class:`ObservedList` contract.
+    Tombstones are held as ``id -> instance`` so the dead objects stay
+    alive and their ids can never be recycled onto a live entry; when
+    tombstones outnumber live entries the list compacts eagerly, keeping
+    memory O(live) and reads amortized O(1).
+
+    ``on_compact`` fires once right before a compaction destroys the raw
+    (tombstoned) sequence — the session journal uses it to pin the
+    pre-batch flat order if a mid-batch read forces a compaction.
+    """
+
+    __slots__ = ("_dead", "_on_compact")
+
+    def __init__(
+        self,
+        iterable: Iterable[SubReplicaPlacement] = (),
+        on_append: Optional[Callable] = None,
+        on_rebuild: Optional[Callable] = None,
+        on_compact: Optional[Callable] = None,
+    ) -> None:
+        self._dead: Dict[int, SubReplicaPlacement] = {}
+        self._on_compact = on_compact
+        super().__init__(iterable, on_append=on_append, on_rebuild=on_rebuild)
+
+    # -- owner-side surgical API ---------------------------------------
+    def mark_dead(self, subs: Iterable[SubReplicaPlacement]) -> None:
+        """Tombstone the given instances without touching the list."""
+        dead = self._dead
+        for sub in subs:
+            dead[id(sub)] = sub
+        if len(dead) * 2 > list.__len__(self):
+            self.compact()
+
+    def compact(self) -> None:
+        """Physically drop tombstoned entries (order-preserving)."""
+        if not self._dead:
+            return
+        if self._on_compact is not None:
+            self._on_compact()
+        dead = self._dead
+        self._dead = {}
+        kept = [item for item in list.__iter__(self) if id(item) not in dead]
+        list.clear(self)
+        list.extend(self, kept)
+
+    def raw(self) -> Iterable[SubReplicaPlacement]:
+        """The physical sequence, tombstones included (no compaction)."""
+        return list.__iter__(self)
+
+    def dead_snapshot(self) -> Dict[int, SubReplicaPlacement]:
+        """A copy of the current tombstone map (for journaling)."""
+        return dict(self._dead)
+
+    def set_dead(self, dead: Dict[int, SubReplicaPlacement]) -> None:
+        """Replace the tombstone map wholesale (rollback path)."""
+        self._dead = dict(dead)
+
+    # -- reads materialize the view ------------------------------------
+    def __len__(self) -> int:
+        self.compact()
+        return list.__len__(self)
+
+    def __iter__(self):
+        self.compact()
+        return list.__iter__(self)
+
+    def __reversed__(self):
+        self.compact()
+        return list.__reversed__(self)
+
+    def __getitem__(self, index):
+        self.compact()
+        return list.__getitem__(self, index)
+
+    def __contains__(self, item) -> bool:
+        self.compact()
+        return list.__contains__(self, item)
+
+    def __eq__(self, other) -> bool:
+        self.compact()
+        return list.__eq__(self, other)
+
+    def __ne__(self, other) -> bool:
+        self.compact()
+        return list.__ne__(self, other)
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        self.compact()
+        return list.__repr__(self)
+
+    def index(self, *args):
+        self.compact()
+        return list.index(self, *args)
+
+    def count(self, value) -> int:
+        self.compact()
+        return list.count(self, value)
+
+    def copy(self) -> List[SubReplicaPlacement]:
+        self.compact()
+        return list(list.__iter__(self))
+
+    # -- mutations compact first (positions refer to the live view) ----
+    def _pin(self) -> None:
+        """Give the journal its chance to pin the current raw order
+        before a mutation destroys it (sort, slice assignment, ...)."""
+        if self._on_compact is not None:
+            self._on_compact()
+
+    def append(self, item) -> None:
+        # Re-appending a tombstoned instance resurrects it rather than
+        # leaving a mark that would silently drop it at compaction.
+        self._dead.pop(id(item), None)
+        super().append(item)
+
+    def insert(self, index, item) -> None:
+        self._pin()
+        self.compact()
+        super().insert(index, item)
+
+    def remove(self, item) -> None:
+        self._pin()
+        self.compact()
+        super().remove(item)
+
+    def pop(self, index: int = -1):
+        self._pin()
+        self.compact()
+        return super().pop(index)
+
+    def clear(self) -> None:
+        self._pin()
+        self._dead.clear()
+        super().clear()
+
+    def sort(self, **kwargs) -> None:
+        self._pin()
+        self.compact()
+        super().sort(**kwargs)
+
+    def reverse(self) -> None:
+        self._pin()
+        self.compact()
+        super().reverse()
+
+    def __setitem__(self, index, value) -> None:
+        self._pin()
+        self.compact()
+        super().__setitem__(index, value)
+
+    def __delitem__(self, index) -> None:
+        self._pin()
+        self.compact()
+        super().__delitem__(index)
+
+    def __imul__(self, count: int) -> "_SubReplicaList":
+        self._pin()
+        self.compact()
+        return super().__imul__(count)
+
+    def replace_contents(self, items) -> None:
+        self._pin()
+        self._dead.clear()
+        super().replace_contents(items)
+
+
 @dataclass
 class Placement:
     """A complete operator-to-node mapping plus diagnostics."""
@@ -71,7 +249,17 @@ class Placement:
 
     def __setattr__(self, name: str, value) -> None:
         if name == "sub_replicas":
-            value = ObservedList(value, on_append=self._index_add, on_rebuild=self._reindex)
+            journal = getattr(self, "_journal", None)
+            if journal is not None:
+                # Mid-batch wholesale reassignment: pin the pre-batch
+                # state off the old list before it is replaced.
+                journal.note_full_rebuild(self)
+            value = _SubReplicaList(
+                value,
+                on_append=self._index_add,
+                on_rebuild=self._reindex,
+                on_compact=self._on_flat_compact,
+            )
             object.__setattr__(self, name, value)
             self._reindex()
         else:
@@ -81,7 +269,13 @@ class Placement:
     # index maintenance
     # ------------------------------------------------------------------
     def _reindex(self) -> None:
-        """Rebuild all indices from the flat sub-replica list."""
+        """Rebuild the bucket store from the flat sub-replica view."""
+        journal = getattr(self, "_journal", None)
+        if journal is not None:
+            # A full rebuild mid-batch (sort, slice assignment, ...) is
+            # incompatible with per-bucket copy-on-write; the journal
+            # falls back to snapshot-style restore for this batch.
+            journal.note_full_rebuild(self)
         previous_loads = getattr(self, "_node_load", {})
         by_node: Dict[str, List[SubReplicaPlacement]] = {}
         by_replica: Dict[str, List[SubReplicaPlacement]] = {}
@@ -92,11 +286,13 @@ class Placement:
         object.__setattr__(self, "_by_join", by_join)
         object.__setattr__(self, "_node_load", loads)
         object.__setattr__(self, "_total_required", 0.0)
+        object.__setattr__(self, "_count", 0)
         object.__setattr__(self, "_join_replicas", {})
         object.__setattr__(self, "_join_hosts", {})
         object.__setattr__(
             self, "_load_observers", getattr(self, "_load_observers", [])
         )
+        object.__setattr__(self, "_journal", getattr(self, "_journal", None))
         for sub in self.sub_replicas:
             self._index_add(sub)
         # A wholesale rebuild (list reassignment, rollback) may drop nodes
@@ -113,6 +309,8 @@ class Placement:
         (``load`` is the node's new total; 0.0 when it stops hosting).
         This is what lets :class:`~repro.evaluation.overload.OverloadMonitor`
         track overload incrementally instead of rescanning the placement.
+        A copy-on-write rollback re-notifies every node it restores, so
+        subscribers stay consistent without a resync.
         """
         self._load_observers.append(observer)
 
@@ -127,7 +325,26 @@ class Placement:
         for observer in self._load_observers:
             observer(node_id, load)
 
+    # -- journal hooks (copy-on-write rollback support) ----------------
+    def begin_journal(self, journal) -> None:
+        """Attach a session journal: every bucket mutation is reported
+        *before* it happens, so the journal can record first-touch
+        pre-images (see ``_SessionJournal`` in :mod:`repro.core.changeset`)."""
+        object.__setattr__(self, "_journal", journal)
+
+    def end_journal(self) -> None:
+        """Detach the session journal."""
+        object.__setattr__(self, "_journal", None)
+
+    def _on_flat_compact(self) -> None:
+        journal = self._journal
+        if journal is not None:
+            journal.pin_flat(self)
+
     def _index_add(self, sub: SubReplicaPlacement) -> None:
+        journal = self._journal
+        if journal is not None:
+            journal.note_sub_added(self, sub)
         self._by_node.setdefault(sub.node_id, []).append(sub)
         self._by_replica.setdefault(sub.replica_id, []).append(sub)
         self._by_join.setdefault(sub.join_id, []).append(sub)
@@ -141,22 +358,25 @@ class Placement:
         object.__setattr__(
             self, "_total_required", self._total_required + sub.required_capacity
         )
+        object.__setattr__(self, "_count", self._count + 1)
         replicas = self._join_replicas.setdefault(sub.join_id, {})
         replicas[sub.replica_id] = replicas.get(sub.replica_id, 0) + 1
         hosts = self._join_hosts.setdefault(sub.join_id, {})
         hosts[sub.node_id] = hosts.get(sub.node_id, 0) + 1
 
     def _discard(self, removed: List[SubReplicaPlacement]) -> None:
-        """Drop the given sub-replicas from the list and all indices.
+        """Drop the given sub-replicas from the store — O(affected).
 
-        One pass over the flat list plus one pass per touched index
-        bucket; removal is by object identity, which is consistent
-        because buckets reference the same instances as the list.
+        The flat view only tombstones the instances (the next read
+        compacts them); each touched bucket is filtered in one pass.
+        Removal is by object identity, which is consistent because
+        buckets reference the same instances as the list.
         """
+        journal = self._journal
+        if journal is not None:
+            journal.note_subs_removed(self, removed)
         dead = {id(sub) for sub in removed}
-        self.sub_replicas.replace_contents(
-            [sub for sub in self.sub_replicas if id(sub) not in dead]
-        )
+        self.sub_replicas.mark_dead(removed)
         for index, key_of in (
             (self._by_node, lambda s: s.node_id),
             (self._by_replica, lambda s: s.replica_id),
@@ -198,6 +418,7 @@ class Placement:
                     if not hosts:
                         del self._join_hosts[sub.join_id]
         object.__setattr__(self, "_total_required", max(total, 0.0))
+        object.__setattr__(self, "_count", self._count - len(removed))
 
     # ------------------------------------------------------------------
     # derived views
@@ -231,8 +452,8 @@ class Placement:
         return dict(self._node_load)
 
     def replica_count(self) -> int:
-        """Total number of placed sub-replicas."""
-        return len(self.sub_replicas)
+        """Total number of placed sub-replicas (O(1), never materializes)."""
+        return self._count
 
     def total_demand(self) -> float:
         """Sum of C_r over all sub-replicas (maintained incrementally)."""
@@ -275,13 +496,20 @@ class Placement:
 
         The replay-side inverse of :meth:`extend`: applying a
         :class:`~repro.core.changeset.PlanDelta` to an archived placement
-        drops exactly the diff's removed instances. Returns what was
-        removed; keys with no match are ignored.
+        drops exactly the diff's removed instances. Each key is resolved
+        through its node's bucket, so the cost is O(touched buckets), not
+        O(placement). Returns what was removed; keys with no match are
+        ignored.
         """
         wanted = set(keys)
-        removed = [
-            sub for sub in self.sub_replicas if (sub.sub_id, sub.node_id) in wanted
-        ]
+        removed: List[SubReplicaPlacement] = []
+        for node_id in sorted({node_id for _, node_id in wanted}):
+            bucket = self._by_node.get(node_id)
+            if not bucket:
+                continue
+            removed.extend(
+                sub for sub in bucket if (sub.sub_id, sub.node_id) in wanted
+            )
         if removed:
             self._discard(removed)
         return removed

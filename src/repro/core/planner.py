@@ -293,7 +293,7 @@ class PlanResult:
             "workload": self.workload.name or "workload",
             "capabilities": self.capabilities.as_dict(),
             "replicas_resolved": len(self.resolved.replicas),
-            "sub_replicas": len(self.placement.sub_replicas),
+            "sub_replicas": self.placement.replica_count(),
             "hosting_nodes": len(self.placement.nodes_used()),
             "overload_accepted": self.placement.overload_accepted,
             "plan_s": self.timings.total_s,
@@ -665,7 +665,7 @@ class BaselinePlanner(Planner):
         )
         timings.physical_s = time.perf_counter() - started
         timings.replicas_placed = len(resolved.replicas)
-        timings.cells_placed = len(placement.sub_replicas)
+        timings.cells_placed = placement.replica_count()
 
         return PlanResult(
             strategy=self.name,

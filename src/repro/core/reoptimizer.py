@@ -39,7 +39,11 @@ class Reoptimizer:
     """Deprecated per-event facade over ``NovaSession.apply``."""
 
     def __init__(self, session: NovaSession, _warn: bool = True) -> None:
-        if _warn:
+        # Warn once per session, not once per construction: callers that
+        # wrap the same session repeatedly (one shim per event burst) get
+        # a single nudge instead of a flood.
+        if _warn and not getattr(session, "_reoptimizer_warned", False):
+            session._reoptimizer_warned = True
             warnings.warn(
                 "Reoptimizer is deprecated; use session.apply(events) or "
                 "session.transaction() (repro.core.changeset)",

@@ -230,6 +230,13 @@ def session_summary(session: NovaSession) -> Dict:
             "batches": session.timings.packing_batches,
             "deferred": session.timings.packing_deferred,
         },
+        "state_plane": {
+            # Running totals over every batch applied to this session:
+            # nodes whose bucket/ledger row gained a copy-on-write
+            # pre-image, and sub-replica instances copied into them.
+            "journal_nodes_touched": session.timings.journal_nodes_touched,
+            "copied_subs": session.timings.copied_subs,
+        },
         "nodes": nodes,
         "joins": joins,
     }

@@ -15,6 +15,13 @@ Two access paths:
   churn-heavy consumers (the change-set replay CLI, long-running
   dashboards) read overload state in O(1) per query instead of
   re-deriving it per batch.
+
+The notification stream is rollback-safe: when a change-set fails
+mid-batch, the journal restores node buckets through the same
+load-observer path (including explicit zero-load notifications for
+nodes whose buckets emptied and re-filled), so a subscribed monitor
+ends the failed batch exactly where it started — no re-subscription or
+rescan needed.
 """
 
 from __future__ import annotations

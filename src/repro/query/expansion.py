@@ -125,6 +125,18 @@ class ResolvedPlan:
         except KeyError:
             raise PlanError(f"unknown replica {replica_id!r}") from None
 
+    def position(self, replica_id: str) -> int:
+        """The replica's slot in the ``replicas`` list.
+
+        The session journal records ``(position, replica)`` pairs before a
+        :meth:`discard` so a rollback can reinsert exactly where each
+        entry sat (:meth:`restore`) instead of snapshotting the list.
+        """
+        try:
+            return self._pos[replica_id]
+        except KeyError:
+            raise PlanError(f"unknown replica {replica_id!r}") from None
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
@@ -165,6 +177,40 @@ class ResolvedPlan:
             self._by_id[replica_id] = replica
         else:
             self._reindex()
+
+    def replace_many(self, replicas: Iterable[JoinPairReplica]) -> None:
+        """Swap several same-id replicas, deferring any needed reindex.
+
+        Each swap is the O(1) slot update of :meth:`replace`; if any
+        descriptor re-keys sources, nodes, or join (e.g. a sink
+        migration moving ``sink_node``), one reindex runs at the end
+        instead of one per entry.
+        """
+        rekeyed = False
+        for replica in replicas:
+            replica_id = replica.replica_id
+            old = self.replica(replica_id)
+            list.__setitem__(self.replicas, self._pos[replica_id], replica)
+            self._by_id[replica_id] = replica
+            rekeyed = rekeyed or not (
+                old.left_source == replica.left_source
+                and old.right_source == replica.right_source
+                and old.pinned_nodes == replica.pinned_nodes
+                and old.join_id == replica.join_id
+            )
+        if rekeyed:
+            self._reindex()
+
+    def restore(self, entries: Iterable[Tuple[int, JoinPairReplica]]) -> None:
+        """Reinsert ``(position, replica)`` pairs removed by :meth:`discard`.
+
+        Entries must be sorted by ascending original position — inserting
+        low positions first makes every later slot index valid again, so
+        the list comes back bit-identical to its pre-discard order.
+        """
+        for position, replica in entries:
+            list.insert(self.replicas, position, replica)
+        self._reindex()
 
 
 def replica_id_for(join_id: str, left_source: str, right_source: str) -> str:

@@ -104,6 +104,90 @@ class DiurnalLatencyModel:
 # ----------------------------------------------------------------------
 # churn events
 # ----------------------------------------------------------------------
+_MISSING = object()
+
+
+class _LiveSet:
+    """A set-like overlay: live base membership plus staged deltas.
+
+    Validation only needs ``in``, ``add``, ``discard``, and ``len`` — all
+    answered from a base predicate/size (read straight off the session)
+    plus two small delta sets, so seeding a :class:`BatchState` from a
+    million-node session copies nothing.
+    """
+
+    __slots__ = ("_contains", "_size", "_added", "_removed")
+
+    def __init__(self, contains, size) -> None:
+        self._contains = contains
+        self._size = size
+        self._added: Set[str] = set()
+        self._removed: Set[str] = set()
+
+    def __contains__(self, item: object) -> bool:
+        if item in self._added:
+            return True
+        if item in self._removed:
+            return False
+        return self._contains(item)
+
+    def add(self, item: str) -> None:
+        if item in self._removed:
+            self._removed.discard(item)
+        elif not self._contains(item):
+            self._added.add(item)
+
+    def discard(self, item: str) -> None:
+        if item in self._added:
+            self._added.discard(item)
+        elif item not in self._removed and self._contains(item):
+            self._removed.add(item)
+
+    def __len__(self) -> int:
+        return self._size() + len(self._added) - len(self._removed)
+
+
+class _LiveMap:
+    """A dict-like overlay over a live base getter (see :class:`_LiveSet`)."""
+
+    __slots__ = ("_get", "_added", "_removed")
+
+    def __init__(self, get) -> None:
+        self._get = get  # key -> value, or _MISSING
+        self._added: Dict[str, str] = {}
+        self._removed: Set[str] = set()
+
+    def __contains__(self, key: object) -> bool:
+        if key in self._added:
+            return True
+        if key in self._removed:
+            return False
+        return self._get(key) is not _MISSING
+
+    def __getitem__(self, key: str) -> str:
+        if key in self._added:
+            return self._added[key]
+        if key not in self._removed:
+            value = self._get(key)
+            if value is not _MISSING:
+                return value
+        raise KeyError(key)
+
+    def __setitem__(self, key: str, value: str) -> None:
+        self._removed.discard(key)
+        self._added[key] = value
+
+    def pop(self, key: str, default=None):
+        if key in self._added:
+            return self._added.pop(key)
+        if key not in self._removed:
+            value = self._get(key)
+            if value is not _MISSING:
+                self._removed.add(key)
+                return value
+        return default
+
+
 @dataclass
 class BatchState:
     """The projected session state a batch of events validates against.
@@ -114,14 +198,24 @@ class BatchState:
     legal. Tracks only what validation needs: node membership, the
     plan's operator ids, which of them are sources (and their logical
     stream), and the logical streams consumed by joins.
+
+    :meth:`of_session` installs *live-view overlays* for the three
+    session-sized collections (``nodes``, ``operators``, ``sources``):
+    membership checks read the session directly and staged effects live
+    in O(batch) delta sets, so validating a one-event batch never copies
+    the session state. ``join_streams``/``sinks`` stay eager sets — their
+    size is the number of joins/sinks, independent of topology size.
+    Direct construction with plain sets/dicts (as tests do) keeps
+    working: validation uses only the operations both shapes support.
     """
 
     nodes: Set[str] = field(default_factory=set)
     operators: Set[str] = field(default_factory=set)
     sources: Dict[str, str] = field(default_factory=dict)
     join_streams: Set[str] = field(default_factory=set)
-    #: Nodes that host a sink operator: removing one would orphan every
-    #: join's output stream, which no strategy supports yet.
+    #: Nodes that host a sink operator. Removing one is supported — the
+    #: apply path migrates the sink to a surviving node — unless it would
+    #: leave no node to migrate to.
     sinks: Set[str] = field(default_factory=set)
     #: Name of the strategy the batch targets (for error messages).
     #: Nova sessions are the only churn-capable strategy today; a future
@@ -130,20 +224,29 @@ class BatchState:
 
     @classmethod
     def of_session(cls, session, strategy: str = "nova") -> "BatchState":
-        """Snapshot the validation-relevant state of a Nova session."""
+        """A live view of the validation-relevant state of a Nova session."""
+        topology = session.topology
+        plan = session.plan
+
+        def source_stream(op_id):
+            if op_id not in plan:
+                return _MISSING
+            operator = plan.operator(op_id)
+            if operator.kind.value != "source":
+                return _MISSING
+            return operator.logical_stream
+
         return cls(
             strategy=strategy,
-            nodes=set(session.topology.node_ids),
-            operators={op.op_id for op in session.plan.operators()},
-            sources={
-                op.op_id: op.logical_stream for op in session.plan.sources()
-            },
+            nodes=_LiveSet(topology.__contains__, topology.__len__),
+            operators=_LiveSet(plan.__contains__, plan.__len__),
+            sources=_LiveMap(source_stream),
             join_streams={
-                stream for join in session.plan.joins() for stream in join.inputs
+                stream for join in plan.joins() for stream in join.inputs
             },
             sinks={
                 op.pinned_node
-                for op in session.plan.sinks()
+                for op in plan.sinks()
                 if op.pinned_node is not None
             },
         )
@@ -222,13 +325,19 @@ class RemoveNodeEvent:
         if self.node_id not in state.nodes:
             raise UnknownNodeError(self.node_id)
         if self.node_id in state.sinks:
-            raise UnsupportedEventError(
-                f"strategy {state.strategy!r} does not support remove_node on "
-                f"sink node {self.node_id!r}: removing the sink would orphan "
-                "every join's output stream",
-                event="remove_node",
-                strategy=state.strategy,
-            )
+            # Removing a sink host is supported: the apply path migrates
+            # the sink operator onto a surviving node (picked by cost-space
+            # proximity, which validation cannot predict) and re-anchors
+            # its joins' replicas. All it needs is a survivor to land on.
+            if len(state.nodes) <= 1:
+                raise UnsupportedEventError(
+                    f"strategy {state.strategy!r} cannot remove sink node "
+                    f"{self.node_id!r}: no surviving node remains to migrate "
+                    "the sink operator to",
+                    event="remove_node",
+                    strategy=state.strategy,
+                )
+            state.sinks.discard(self.node_id)
         state.nodes.discard(self.node_id)
         state.operators.discard(self.node_id)
         state.sources.pop(self.node_id, None)

@@ -202,35 +202,50 @@ class TestValidation:
             session.apply([RemoveNodeEvent(victim), RemoveNodeEvent(victim)])
         assert_snapshots_equal(before, state_snapshot(session))
 
-    def test_sink_removal_rejected_with_clean_error(self, session_and_latency):
-        """Removing a *sink* node was undefined behaviour; now it is a
-        clean UnsupportedEventError naming the event and strategy, raised
-        before any session mutation."""
+    def test_sink_removal_migrates_sink(self, session_and_latency):
+        """Removing a sink host is no longer rejected: the sink operator
+        is re-pinned onto the nearest surviving node and every replica is
+        re-anchored to the new sink endpoint."""
         session, _ = session_and_latency
-        sink_node = session.plan.sinks()[0].pinned_node
-        before = state_snapshot(session)
+        sink_op = session.plan.sinks()[0]
+        sink_node = sink_op.pinned_node
+        delta = session.apply([RemoveNodeEvent(sink_node)])
+        assert sink_node not in session.topology
+        new_host = sink_op.pinned_node
+        assert new_host != sink_node
+        assert new_host in session.topology
+        assert session.placement.pinned[sink_op.op_id] == new_host
+        assert delta.pinned_added.get(sink_op.op_id) == new_host
+        for replica in session.resolved.replicas:
+            assert replica.sink_node == new_host
+        for sub in session.placement.sub_replicas:
+            assert sub.sink_node == new_host
+        assert_invariants(session)
+
+    def test_sink_removal_mid_batch_migrates(self, session_and_latency):
+        session, _ = session_and_latency
+        sink_op = session.plan.sinks()[0]
+        sink_node = sink_op.pinned_node
+        victim = session.plan.sources()[0].op_id
+        delta = session.apply(
+            [DataRateChangeEvent(victim, 55.0), RemoveNodeEvent(sink_node)]
+        )
+        assert delta.events_applied == 2
+        assert sink_node not in session.topology
+        assert sink_op.pinned_node in session.topology
+        assert session.plan.operator(victim).data_rate == 55.0
+        assert_invariants(session)
+
+    def test_sink_removal_without_survivor_rejected(self):
+        """The one case migration cannot handle: no node left to land on."""
+        from repro.topology.dynamics import BatchState
+
+        state = BatchState(nodes={"the-sink"}, sinks={"the-sink"})
         with pytest.raises(UnsupportedEventError) as excinfo:
-            session.apply([RemoveNodeEvent(sink_node)])
-        message = str(excinfo.value)
-        assert "remove_node" in message
-        assert "nova" in message
-        assert sink_node in message
+            RemoveNodeEvent("the-sink").validate(state)
         assert excinfo.value.event == "remove_node"
         assert excinfo.value.strategy == "nova"
-        assert_snapshots_equal(before, state_snapshot(session))
-
-    def test_sink_removal_rejected_mid_batch_without_mutation(
-        self, session_and_latency
-    ):
-        session, _ = session_and_latency
-        sink_node = session.plan.sinks()[0].pinned_node
-        victim = session.plan.sources()[0].op_id
-        before = state_snapshot(session)
-        with pytest.raises(UnsupportedEventError):
-            session.apply(
-                [DataRateChangeEvent(victim, 55.0), RemoveNodeEvent(sink_node)]
-            )
-        assert_snapshots_equal(before, state_snapshot(session))
+        assert "the-sink" in str(excinfo.value)
 
     def test_worker_removal_still_allowed(self, session_and_latency):
         """Only sink *hosts* are protected — ordinary workers still leave."""
@@ -491,6 +506,28 @@ class TestRollback:
         assert source in session.plan
         assert source in session.topology
         assert source in session.cost_space
+        assert_invariants(session)
+
+    def test_sink_migration_rolls_back_bit_identically(
+        self, session_and_latency, monkeypatch
+    ):
+        """A failed batch containing a sink migration restores the sink
+        pin, every replica's sink anchor, and the placement exactly."""
+        session, _ = session_and_latency
+        sink_op = session.plan.sinks()[0]
+        sink_node = sink_op.pinned_node
+        before = state_snapshot(session)
+        anchors_before = [r.sink_node for r in session.resolved.replicas]
+
+        def boom(replicas):
+            raise RuntimeError("injected packing failure")
+
+        monkeypatch.setattr(session, "place_replicas", boom)
+        with pytest.raises(RuntimeError):
+            session.apply([RemoveNodeEvent(sink_node)])
+        assert sink_op.pinned_node == sink_node
+        assert [r.sink_node for r in session.resolved.replicas] == anchors_before
+        assert_snapshots_equal(before, state_snapshot(session))
         assert_invariants(session)
 
 

@@ -377,8 +377,18 @@ class TestCapabilityEnforcement:
             txn.stage(DataRateChangeEvent(source, 21.0))
         assert txn.delta is not None
 
-    def test_nova_refuses_sink_removal_via_planner_surface(self):
+    def test_nova_migrates_sink_removal_via_planner_surface(self):
+        """Sink-host removal used to be a capability gap; the planner
+        surface now migrates the sink to a surviving node instead."""
         workload, latency = synthetic_bundle(80, 2)
         result = plan(workload, "nova", config=NovaConfig(seed=2), latency=latency)
-        with pytest.raises(UnsupportedEventError, match="sink"):
-            result.apply([RemoveNodeEvent(workload.sink_id)])
+        session = result.session
+        delta = result.apply([RemoveNodeEvent(workload.sink_id)])
+        assert delta.events_applied == 1
+        assert workload.sink_id not in session.topology
+        sink_op = session.plan.sinks()[0]
+        assert sink_op.pinned_node in session.topology
+        assert all(
+            replica.sink_node == sink_op.pinned_node
+            for replica in session.resolved.replicas
+        )

@@ -228,3 +228,62 @@ class TestDispatch:
         session, _ = session_and_latency
         with pytest.raises(OptimizationError):
             Reoptimizer(session).apply(object())
+
+
+class TestDeprecationShim:
+    def test_warns_exactly_once_per_session(self, session_and_latency):
+        session, _ = session_and_latency
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Reoptimizer(session)
+            Reoptimizer(session)
+            Reoptimizer(session)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "session.apply" in str(deprecations[0].message)
+
+    def test_fresh_session_warns_again(self, session_and_latency):
+        session, latency = session_and_latency
+        import warnings
+
+        workload = synthetic_opp_workload(40, seed=7)
+        fresh_latency = DenseLatencyMatrix.from_topology(workload.topology)
+        fresh = Nova(NovaConfig(seed=7)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=fresh_latency
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Reoptimizer(session)
+            Reoptimizer(fresh)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        # One per distinct session: the flag lives on the session object.
+        assert len(deprecations) == 2
+
+    def test_warn_opt_out_respected(self, session_and_latency):
+        session, _ = session_and_latency
+        import warnings
+
+        workload = synthetic_opp_workload(40, seed=9)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        quiet = Nova(NovaConfig(seed=9)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Reoptimizer(quiet, _warn=False)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        # _warn=False must not consume the session's single warning.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Reoptimizer(quiet)
+        assert [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

@@ -1,0 +1,370 @@
+"""The O(affected) state plane: bucketed Placement, COW journal, live views.
+
+Covers the storage-layer contract introduced by the state-plane refactor:
+the per-node/replica/join buckets are the source of truth, the flat
+``sub_replicas`` list is a lazily-compacted cached view that still honours
+the ObservedList append/replace contract, the change-set journal records
+pre-images on first touch only (surfaced through the new PhaseTimings
+counters), and rollback restores sessions bit-identically from those
+pre-images — including at n=10^4 with an injected mid-batch failure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.core.placement import Placement, SubReplicaPlacement
+from repro.core.serialization import (
+    placement_from_dict,
+    placement_to_dict,
+    session_summary,
+)
+from repro.topology.dynamics import (
+    BatchState,
+    DataRateChangeEvent,
+    RemoveNodeEvent,
+)
+from repro.topology.latency import CoordinateLatencyModel, DenseLatencyMatrix
+from repro.workloads.synthetic import synthetic_opp_workload
+
+
+def make_sub(i, node, replica=None, join="join", charged=None):
+    kwargs = {"charged_capacity": charged} if charged is not None else {}
+    return SubReplicaPlacement(
+        sub_id=f"sub{i}",
+        replica_id=replica or f"r{i % 5}",
+        join_id=join,
+        node_id=node,
+        left_source="l",
+        right_source="r",
+        left_node="nl",
+        right_node="nr",
+        sink_node="ns",
+        left_rate=float(10 + i),
+        right_rate=float(20 + i),
+        **kwargs,
+    )
+
+
+def sample_placement(count=40, nodes=8):
+    placement = Placement()
+    placement.extend(make_sub(i, f"n{i % nodes}") for i in range(count))
+    return placement
+
+
+def brute_force_views(placement):
+    """Recompute every derived view from the flat list alone."""
+    subs = list(placement.sub_replicas)
+    by_node, by_replica, by_join, loads = {}, {}, {}, {}
+    for sub in subs:
+        by_node.setdefault(sub.node_id, []).append(sub)
+        by_replica.setdefault(sub.replica_id, []).append(sub)
+        by_join.setdefault(sub.join_id, []).append(sub)
+        loads[sub.node_id] = loads.get(sub.node_id, 0.0) + sub.charged_capacity
+    return {
+        "by_node": by_node,
+        "by_replica": by_replica,
+        "by_join": by_join,
+        "loads": loads,
+        "total": sum(s.required_capacity for s in subs),
+        "count": len(subs),
+    }
+
+
+def assert_parity(placement):
+    """The bucket store answers identically to a flat-list recompute."""
+    expected = brute_force_views(placement)
+    for node_id, bucket in expected["by_node"].items():
+        assert placement.subs_on_node(node_id) == bucket
+    for replica_id, bucket in expected["by_replica"].items():
+        assert placement.subs_of_replica(replica_id) == bucket
+    for join_id, bucket in expected["by_join"].items():
+        assert placement.subs_of_join(join_id) == bucket
+        stats = placement.join_stats(join_id)
+        assert stats["sub_joins"] == len(bucket)
+        assert stats["pair_replicas"] == len({s.replica_id for s in bucket})
+        assert stats["hosts"] == sorted({s.node_id for s in bucket})
+    assert placement.node_loads() == pytest.approx(expected["loads"])
+    assert placement.total_demand() == pytest.approx(expected["total"])
+    assert placement.replica_count() == expected["count"]
+    assert sorted(placement.nodes_used()) == sorted(expected["by_node"])
+
+
+class TestBucketFlatParity:
+    def test_parity_after_appends(self):
+        assert_parity(sample_placement())
+
+    def test_parity_after_targeted_removals(self):
+        placement = sample_placement()
+        placement.remove_replica("r2")
+        placement.remove_subs_on_node("n3")
+        placement.discard_subs([("sub0", "n0"), ("sub8", "n0")])
+        assert_parity(placement)
+
+    def test_parity_after_interleaved_churn(self):
+        placement = sample_placement()
+        for round_index in range(4):
+            placement.remove_replica(f"r{round_index}")
+            placement.extend(
+                make_sub(100 + round_index * 10 + j, f"n{j}", replica="rx")
+                for j in range(3)
+            )
+            assert_parity(placement)
+
+    def test_parity_after_wholesale_reassignment(self):
+        placement = sample_placement()
+        placement.sub_replicas = [make_sub(i, f"m{i % 3}") for i in range(9)]
+        assert_parity(placement)
+
+    def test_parity_after_list_mutation_contract(self):
+        """sort/setitem/del fall back to a full reindex, like ObservedList."""
+        placement = sample_placement(12, nodes=3)
+        placement.sub_replicas.sort(key=lambda s: s.sub_id, reverse=True)
+        assert_parity(placement)
+        placement.sub_replicas[0] = make_sub(99, "n9")
+        assert_parity(placement)
+        del placement.sub_replicas[3]
+        assert_parity(placement)
+
+    def test_serialization_round_trip_after_bucket_churn(self):
+        placement = sample_placement()
+        placement.remove_replica("r1")
+        placement.remove_subs_on_node("n5")
+        placement.pinned["op"] = "n0"
+        placement.virtual_positions["r2"] = np.array([1.0, 2.0])
+        data = placement_to_dict(placement)
+        restored = placement_from_dict(data)
+        assert list(restored.sub_replicas) == list(placement.sub_replicas)
+        assert restored.pinned == dict(placement.pinned)
+        assert_parity(restored)
+
+
+class TestLazyFlatView:
+    def test_removal_tombstones_instead_of_rewriting(self):
+        placement = sample_placement(30, nodes=10)
+        raw_before = len(list(placement.sub_replicas.raw()))
+        placement.remove_replica("r1")
+        # The physical list still holds the tombstoned entries...
+        assert len(list(placement.sub_replicas.raw())) == raw_before
+        assert placement.sub_replicas.dead_snapshot()
+        # ...while the O(1) count and the buckets already exclude them.
+        assert placement.replica_count() == 30 - 6
+
+    def test_read_compacts_lazily(self):
+        placement = sample_placement(30, nodes=10)
+        placement.remove_replica("r1")
+        assert len(placement.sub_replicas) == 24  # a read compacts
+        assert not placement.sub_replicas.dead_snapshot()
+        assert len(list(placement.sub_replicas.raw())) == 24
+
+    def test_heavy_removal_auto_compacts(self):
+        placement = sample_placement(30, nodes=3)
+        placement.remove_subs_on_node("n0")
+        placement.remove_subs_on_node("n1")
+        # More tombstones than live entries triggers an eager compaction
+        # without any intervening read.
+        assert not placement.sub_replicas.dead_snapshot()
+
+    def test_observed_contract_append_indexes_incrementally(self):
+        placement = sample_placement(6, nodes=2)
+        extra = make_sub(50, "n1")
+        placement.sub_replicas.append(extra)
+        assert extra in placement.subs_on_node("n1")
+        placement.sub_replicas += [make_sub(51, "n0")]
+        assert_parity(placement)
+
+    def test_flat_equality_against_plain_list(self):
+        placement = sample_placement(10, nodes=2)
+        placement.remove_replica("r0")
+        assert placement.sub_replicas == [
+            s for s in placement.sub_replicas if True
+        ]
+
+
+class TestJournalCounters:
+    @pytest.fixture(scope="class")
+    def session(self):
+        workload = synthetic_opp_workload(300, seed=11)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        return Nova(NovaConfig(seed=11)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+
+    def test_single_event_batch_reports_bounded_touch_set(self, session):
+        source = session.plan.sources()[0].op_id
+        delta = session.apply([DataRateChangeEvent(source, 64.0)])
+        touched = delta.timings.journal_nodes_touched
+        copied = delta.timings.copied_subs
+        assert 0 < touched < 50
+        assert 0 <= copied < len(session.placement.sub_replicas)
+
+    def test_counters_accumulate_in_session_summary(self, session):
+        before = session.timings.copied_subs
+        source = session.plan.sources()[1].op_id
+        session.apply([DataRateChangeEvent(source, 48.0)])
+        summary = session_summary(session)
+        plane = summary["state_plane"]
+        assert plane["journal_nodes_touched"] == session.timings.journal_nodes_touched
+        assert plane["copied_subs"] == session.timings.copied_subs >= before
+
+    def test_counters_survive_delta_round_trip(self, session):
+        from repro.core.serialization import plan_delta_from_dict, plan_delta_to_dict
+
+        source = session.plan.sources()[2].op_id
+        delta = session.apply([DataRateChangeEvent(source, 32.0)])
+        restored = plan_delta_from_dict(plan_delta_to_dict(delta))
+        assert (
+            restored.timings.journal_nodes_touched
+            == delta.timings.journal_nodes_touched
+        )
+        assert restored.timings.copied_subs == delta.timings.copied_subs
+
+
+class TestLiveViewBatchState:
+    def test_of_session_copies_nothing_sized_by_topology(self):
+        workload = synthetic_opp_workload(200, seed=3)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=3)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        state = BatchState.of_session(session)
+        # The overlays answer through the session, not through copies.
+        assert len(state.nodes) == len(session.topology)
+        node = session.topology.node_ids[0]
+        assert node in state.nodes
+        state.nodes.discard(node)
+        assert node not in state.nodes
+        assert node in session.topology  # the session is untouched
+        state.nodes.add(node)
+        assert node in state.nodes
+        # Staged deltas stay O(batch).
+        assert len(state.nodes._added) == 0 and len(state.nodes._removed) == 0
+
+    def test_live_map_overlay_semantics(self):
+        workload = synthetic_opp_workload(200, seed=3)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=3)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        state = BatchState.of_session(session)
+        source = session.plan.sources()[0]
+        assert source.op_id in state.sources
+        assert state.sources[source.op_id] == source.logical_stream
+        assert state.sources.pop(source.op_id) == source.logical_stream
+        assert source.op_id not in state.sources
+        state.sources["fresh"] = "left"
+        assert state.sources["fresh"] == "left"
+        assert state.sources.pop("ghost", "dflt") == "dflt"
+
+    def test_validation_still_mutation_free(self):
+        workload = synthetic_opp_workload(150, seed=4)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=4)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        victim = session.plan.sources()[0].op_id
+        nodes_before = sorted(session.topology.node_ids)
+        from repro.core.changeset import ChangeSet
+
+        ChangeSet(
+            [DataRateChangeEvent(victim, 9.0), RemoveNodeEvent(victim)]
+        ).validate(session)
+        assert sorted(session.topology.node_ids) == nodes_before
+        assert victim in session.plan
+
+
+class TestObserversAcrossRollback:
+    def test_overload_monitor_unchanged_after_failed_batch(self, monkeypatch):
+        from repro.evaluation.overload import OverloadMonitor
+
+        workload = synthetic_opp_workload(150, seed=8)
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+        session = Nova(NovaConfig(seed=8)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+        monitor = OverloadMonitor(session.placement, session.topology)
+        loads_before = dict(monitor._loads)
+        overloaded_before = set(monitor.overloaded_node_ids)
+        hosting_before = monitor.hosting_count
+
+        host = session.placement.sub_replicas[0].node_id
+
+        def boom(replicas):
+            raise RuntimeError("injected packing failure")
+
+        monkeypatch.setattr(session, "place_replicas", boom)
+        with pytest.raises(RuntimeError):
+            session.apply([RemoveNodeEvent(host)])
+
+        # Rollback restores buckets through the observer path, so the
+        # incrementally maintained monitor lands exactly where it began.
+        assert dict(monitor._loads) == pytest.approx(loads_before)
+        assert set(monitor.overloaded_node_ids) == overloaded_before
+        assert monitor.hosting_count == hosting_before
+        monitor.close()
+
+
+class TestCowRollbackAtScale:
+    def test_rollback_bit_identical_at_1e4(self, monkeypatch):
+        """The acceptance bar: an injected mid-batch failure at n=10^4
+        rolls back bit-identically through the copy-on-write journal."""
+        workload = synthetic_opp_workload(10_000, seed=13)
+        ids, coords = workload.topology.positions_array()
+        latency = CoordinateLatencyModel(ids, coords)
+        session = Nova(NovaConfig(seed=13)).optimize(
+            workload.topology, workload.plan, workload.matrix, latency=latency
+        )
+
+        subs_before = [
+            (s.sub_id, s.node_id, s.charged_capacity)
+            for s in session.placement.sub_replicas
+        ]
+        pinned_before = dict(session.placement.pinned)
+        available_before = dict(session.available)
+        resolved_before = [r.replica_id for r in session.resolved.replicas]
+        virtual_before = {
+            k: v.copy() for k, v in session.placement.virtual_positions.items()
+        }
+        loads_before = session.placement.node_loads()
+        total_before = session.placement.total_demand()
+
+        source = session.plan.sources()[0].op_id
+        host = session.placement.sub_replicas[0].node_id
+
+        def boom(replicas):
+            raise RuntimeError("injected packing failure")
+
+        monkeypatch.setattr(session, "place_replicas", boom)
+        with pytest.raises(RuntimeError):
+            session.apply(
+                [DataRateChangeEvent(source, 123.0), RemoveNodeEvent(host)]
+            )
+
+        assert [
+            (s.sub_id, s.node_id, s.charged_capacity)
+            for s in session.placement.sub_replicas
+        ] == subs_before
+        assert dict(session.placement.pinned) == pinned_before
+        assert dict(session.available) == available_before
+        assert [r.replica_id for r in session.resolved.replicas] == resolved_before
+        virtual_after = session.placement.virtual_positions
+        assert set(virtual_after) == set(virtual_before)
+        for key, value in virtual_before.items():
+            assert np.array_equal(virtual_after[key], value)
+        assert session.placement.node_loads() == loads_before
+        assert session.placement.total_demand() == total_before
+        assert_parity_light(session.placement)
+
+
+def assert_parity_light(placement):
+    """Spot-check bucket/flat agreement on a large placement."""
+    subs = list(placement.sub_replicas)
+    assert placement.replica_count() == len(subs)
+    loads = {}
+    for sub in subs:
+        loads[sub.node_id] = loads.get(sub.node_id, 0.0) + sub.charged_capacity
+    node_loads = placement.node_loads()
+    assert set(node_loads) == set(loads)
+    for node_id, load in loads.items():
+        assert node_loads[node_id] == pytest.approx(load)
