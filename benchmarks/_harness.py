@@ -143,7 +143,10 @@ def phase_rows(timings) -> List[List[object]]:
             [
                 "phase III workers",
                 "",
-                f"{timings.packing_batches} batches, {timings.packing_deferred} deferred",
+                f"{timings.packing_batches} batches, "
+                f"{timings.packing_speculated} speculative, "
+                f"{timings.cleanup_deferred} deferred, "
+                f"{timings.packing_hot_zone} hot-zone",
                 f"{timings.packing_workers_used} workers",
             ]
         )

@@ -73,8 +73,27 @@ def _build_plan_workload(name: str, nodes: int, seed: int):
     return None
 
 
+def _config_overrides(
+    workers: Optional[str], backend: Optional[str]
+) -> dict:
+    """NovaConfig kwargs for the shared --workers/--execution-backend
+    flags. Workers stay a string here ("4" or "auto"); the config's
+    resolve step normalizes either form."""
+    overrides: dict = {}
+    if workers is not None:
+        overrides["packing_workers"] = workers
+    if backend is not None:
+        overrides["execution_backend"] = backend
+    return overrides
+
+
 def run_plan(
-    workload_name: str, strategy: str, nodes: int = 400, seed: int = 0
+    workload_name: str,
+    strategy: str,
+    nodes: int = 400,
+    seed: int = 0,
+    workers: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> int:
     """Plan a workload through the unified Planner API and report it.
 
@@ -82,11 +101,21 @@ def run_plan(
     comparison table; a single strategy prints its full PlanResult
     summary. Exits non-zero when any strategy produces an empty
     placement — which is what lets CI treat this as a smoke assertion.
+    ``--workers`` (an integer or ``auto``) and ``--execution-backend``
+    select the Phase III lease fan-out; results are bit-identical for
+    every combination.
     """
     from repro import NovaConfig, available_strategies, plan
     from repro.common.errors import ReproError
     from repro.common.tables import render_table
     from repro.evaluation import evaluate_result
+
+    overrides = _config_overrides(workers, backend)
+    try:
+        NovaConfig(seed=seed, **overrides)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
     workload = _build_plan_workload(workload_name, nodes, seed)
     if workload is None:
@@ -107,7 +136,7 @@ def run_plan(
     empty = []
     for name in names:
         try:
-            result = plan(workload, name, config=NovaConfig(seed=seed))
+            result = plan(workload, name, config=NovaConfig(seed=seed, **overrides))
         except ReproError as error:
             print(f"planning failed for {name!r}: {error}", file=sys.stderr)
             return 1
@@ -210,7 +239,12 @@ def list_figures() -> int:
     return 0
 
 
-def run_replay(trace_path: str, save_deltas: Optional[str] = None) -> int:
+def run_replay(
+    trace_path: str,
+    save_deltas: Optional[str] = None,
+    workers: Optional[str] = None,
+    backend: Optional[str] = None,
+) -> int:
     """Replay a churn trace through ``session.apply``, batch by batch.
 
     The trace is a JSON document::
@@ -265,6 +299,11 @@ def run_replay(trace_path: str, save_deltas: Optional[str] = None) -> int:
         return 2
     nodes = int(spec.get("nodes", 400))
     seed = int(spec.get("seed", 0))
+    try:
+        config = NovaConfig(seed=seed, **_config_overrides(workers, backend))
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     workload = synthetic_opp_workload(nodes, seed=seed)
     if nodes <= 2000:
         latency = DenseLatencyMatrix.from_topology(workload.topology)
@@ -273,7 +312,7 @@ def run_replay(trace_path: str, save_deltas: Optional[str] = None) -> int:
         latency = CoordinateLatencyModel(ids, coords)
 
     started = time.perf_counter()
-    session = Nova(NovaConfig(seed=seed)).optimize(
+    session = Nova(config).optimize(
         workload.topology, workload.plan, workload.matrix, latency=latency
     )
     print(
@@ -295,6 +334,7 @@ def run_replay(trace_path: str, save_deltas: Optional[str] = None) -> int:
             elapsed = time.perf_counter() - applied_started
         except ReproError as error:
             print(f"batch {index} failed (rolled back): {error}", file=sys.stderr)
+            session.close()
             return 1
         monitor.apply_delta(delta)
         events_per_s = delta.events_applied / elapsed if elapsed > 0 else 0.0
@@ -336,6 +376,7 @@ def run_replay(trace_path: str, save_deltas: Optional[str] = None) -> int:
     if save_deltas:
         Path(save_deltas).write_text(json.dumps(archived, indent=2, sort_keys=True))
         print(f"\nSaved {len(archived)} plan deltas to {save_deltas}")
+    session.close()
     return 0
 
 
@@ -362,6 +403,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--nodes", type=int, default=400, help="node count for synthetic workloads"
     )
     plan_parser.add_argument("--seed", type=int, default=0, help="workload/config seed")
+    plan_parser.add_argument(
+        "--workers",
+        default=None,
+        help="Phase III packing workers: a positive integer or 'auto' "
+        "(= cpu count); results are identical for every worker count",
+    )
+    plan_parser.add_argument(
+        "--execution-backend",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="where lease speculation runs (default: thread)",
+    )
     subparsers.add_parser("demo", help="run the running example")
     subparsers.add_parser("figures", help="list bench targets")
     subparsers.add_parser("version", help="print the package version")
@@ -374,17 +427,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="archive each batch's PlanDelta as JSON to this path",
     )
+    replay.add_argument(
+        "--workers",
+        default=None,
+        help="Phase III packing workers: a positive integer or 'auto'",
+    )
+    replay.add_argument(
+        "--execution-backend",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="where lease speculation runs (default: thread)",
+    )
     args = parser.parse_args(argv)
     if args.command == "plan":
         return run_plan(
-            args.workload, args.strategy, nodes=args.nodes, seed=args.seed
+            args.workload,
+            args.strategy,
+            nodes=args.nodes,
+            seed=args.seed,
+            workers=args.workers,
+            backend=args.execution_backend,
         )
     if args.command == "demo":
         return run_demo()
     if args.command == "figures":
         return list_figures()
     if args.command == "replay":
-        return run_replay(args.trace, save_deltas=args.save_deltas)
+        return run_replay(
+            args.trace,
+            save_deltas=args.save_deltas,
+            workers=args.workers,
+            backend=args.execution_backend,
+        )
     from repro import __version__
 
     print(__version__)

@@ -25,7 +25,13 @@ change-sets:
   an inverse-operation log, the same journaled-snapshot idea the
   packing engine's lease workers use) rolls the session back
   atomically: placement, capacity ledger, and virtual-position cache
-  come back bit-identical.
+  come back bit-identical. That same guarantee covers the parallel
+  execution backends: a
+  :class:`~repro.core.execution.WorkerFailure` raised when a lease
+  worker dies mid-batch propagates out of the packing pass like any
+  other error, so the journal restores the exact pre-batch state —
+  no worker-side mutation ever reaches the session (workers only
+  return compact ops; the commit loop is the sole writer).
 
 * :class:`PlanDelta` — the structured diff ``apply`` returns:
   sub-replicas added/removed/moved, replicas added/removed/re-placed,

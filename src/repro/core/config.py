@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.common.units import check_fraction, check_non_negative, check_positive
+from repro.core.execution import (
+    BACKEND_THREAD,
+    BACKENDS,
+    resolve_workers,
+)
 from repro.ncs.vivaldi import VivaldiConfig
 
 EMBEDDING_VIVALDI = "vivaldi"
@@ -18,6 +24,17 @@ MEDIAN_MINIMAX = "minimax"
 
 FALLBACK_SPREAD = "spread"
 FALLBACK_EXPAND = "expand"
+
+
+def _default_workers() -> Union[int, str]:
+    """Env-overridable default so CI can sweep worker counts without
+    touching test code (``NOVA_PACKING_WORKERS=2`` / ``=auto``)."""
+    return os.environ.get("NOVA_PACKING_WORKERS", 1)
+
+
+def _default_backend() -> str:
+    """Env-overridable default (``NOVA_EXECUTION_BACKEND=process``)."""
+    return os.environ.get("NOVA_EXECUTION_BACKEND", BACKEND_THREAD)
 
 
 @dataclass
@@ -53,12 +70,19 @@ class NovaConfig:
     fallback: str = FALLBACK_EXPAND
     max_candidate_expansions: int = 16
     # Phase III packing engine. packing_workers=1 runs the plain serial
-    # loop (the reference behaviour); >1 packs contention-disjoint
-    # replica batches on that many threads behind per-region capacity
-    # leases, deferring unprovable replicas to a serial cleanup pass.
-    # Parallelism only kicks in from packing_parallel_min replicas.
-    packing_workers: int = 1
+    # loop (the reference behaviour); >1 speculatively packs
+    # contention-disjoint replica buckets on that many workers behind
+    # per-region capacity leases while the hot zone streams through the
+    # serial engine, then commits worker ops in original job order —
+    # results are bit-identical to serial for every backend and worker
+    # count. "auto" resolves to os.cpu_count(). Parallelism only kicks
+    # in from packing_parallel_min replicas.
+    packing_workers: Union[int, str] = field(default_factory=_default_workers)
     packing_parallel_min: int = 64
+    # Where lease speculation runs: "serial" (in-process, lazy),
+    # "thread" (persistent thread pool; GIL-bound overlap), or
+    # "process" (persistent process pool; true multi-core).
+    execution_backend: str = field(default_factory=_default_backend)
     # Shared cursor cache: virtual positions are quantized onto a
     # packing_bucket_grid^d spatial grid (per axis, over the cost-space
     # extent) and demands onto power-of-two levels; one over-fetched
@@ -93,8 +117,12 @@ class NovaConfig:
             raise ValueError(f"unknown fallback strategy {self.fallback!r}")
         if self.max_candidate_expansions < 0:
             raise ValueError("max_candidate_expansions must be >= 0")
-        if self.packing_workers < 1:
-            raise ValueError("packing_workers must be >= 1")
+        self.packing_workers = resolve_workers(self.packing_workers)
+        if self.execution_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown execution backend {self.execution_backend!r}; "
+                f"expected one of {', '.join(BACKENDS)}"
+            )
         if self.packing_parallel_min < 1:
             raise ValueError("packing_parallel_min must be >= 1")
         if self.packing_bucket_grid < 1:

@@ -80,12 +80,23 @@ class PhaseTimings:
     packing_passes: int = 0
     # Packing-engine counters: shared-ring cache lookups (a hit reuses a
     # previously fetched capacity-filtered neighbourhood), plus how the
-    # lease-parallel path split the work (batches run, replicas deferred
-    # to the serial cleanup pass, worker threads actually used).
+    # speculative lease path split the work. ``packing_hot_zone`` jobs
+    # streamed through the serial engine up front (oversized,
+    # mostly-foreign, degenerate, or contention-dense buckets);
+    # ``packing_speculated`` jobs committed a worker's ops verbatim;
+    # ``cleanup_deferred`` jobs fell back to a serial recompute at
+    # commit time (the worker deferred them, or a serial write spoiled
+    # their lease). ``packing_deferred`` keeps the legacy meaning —
+    # everything the serial engine placed during a parallel pass
+    # (hot zone + cleanup) — so the periphery/hot-zone split is
+    # measurable as a ratio against ``replicas_placed``.
     cursor_cache_hits: int = 0
     cursor_cache_misses: int = 0
     packing_batches: int = 0
     packing_deferred: int = 0
+    packing_hot_zone: int = 0
+    packing_speculated: int = 0
+    cleanup_deferred: int = 0
     packing_workers_used: int = 0
     # State-plane counters: how much pre-image copying the change-set
     # journal did per batch. ``journal_nodes_touched`` is the number of
@@ -193,6 +204,28 @@ class NovaSession:
         return self.engine
 
     # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down session-owned execution resources.
+
+        The packing engine's worker pools (thread or process) spawn
+        lazily and persist across packing passes; this closes them.
+        Idempotent, and safe to skip for serial sessions — a finalizer
+        reaps unclosed process pools — but long-lived drivers should
+        close (or use the session as a context manager) so worker
+        processes don't outlive their useful life.
+        """
+        if self.engine is not None:
+            self.engine.shutdown()
+
+    def __enter__(self) -> "NovaSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # shared placement machinery (used by Nova and the re-optimizer)
     # ------------------------------------------------------------------
     def virtual_position(self, replica: JoinPairReplica) -> np.ndarray:
@@ -288,6 +321,12 @@ class NovaSession:
             timings.packing_passes += 1
         positions = self.placement.virtual_positions
         engine = self.packing_engine
+        # Contention probe for the speculative scheduler: per-node
+        # existing-sub counts from the bucketed placement (O(1) each).
+        # On a fresh optimize the placement is empty and the probe is a
+        # no-op; on churn it routes already-dense zones straight to the
+        # serial stream.
+        engine.contention = self.placement.node_sub_count
         stats_before = engine.stats.copy()
         started = time.perf_counter()
         outcomes = engine.pack(
@@ -303,7 +342,12 @@ class NovaSession:
             stats.cursor_cache_misses - stats_before.cursor_cache_misses
         )
         timings.packing_batches += stats.batches - stats_before.batches
-        timings.packing_deferred += stats.deferred - stats_before.deferred
+        hot_zone = stats.hot_zone - stats_before.hot_zone
+        cleanup = stats.deferred - stats_before.deferred
+        timings.packing_hot_zone += hot_zone
+        timings.cleanup_deferred += cleanup
+        timings.packing_deferred += hot_zone + cleanup
+        timings.packing_speculated += stats.speculated - stats_before.speculated
         timings.packing_workers_used = max(
             timings.packing_workers_used, stats.workers_used
         )

@@ -35,25 +35,39 @@ machinery that used to live in ``assignment.place_replica``:
   :attr:`CostSpace.mutation_epoch` whenever a node joins/leaves or any
   availability *increases* (churn, undeploys).
 
-* **Lease-parallel packing.** Replicas are grouped by spatial bucket;
-  each bucket checks out a capacity *lease* — a complete ring of nodes
-  around its first replica's position — from the availability ledger,
-  in deterministic order, owning nodes first-come: slots an earlier
-  bucket claimed are marked *foreign*. Worker threads pack the batches
-  against journaled local snapshots (no shared mutable state, no index
-  writes); a replica is rolled back and deferred to the serial cleanup
-  pass whenever its correctness cannot be proven inside the lease — the
-  ring would have to grow, the spread fallback triggers, or a foreign
-  node could be at least as close as the best own candidate. Oversized
-  or mostly-foreign buckets (the contention-dense zone around a popular
-  sink) skip the worker phase entirely. Batches merge in deterministic
-  order (owned node sets are disjoint, so the ledger state is
-  order-independent), sub-replicas are emitted in the original replica
-  order, and deferred replicas pack serially afterwards — so results
-  are deterministic for any worker count, and identical to the serial
-  path when the workload decomposes into disjoint spatial groups.
-  ``NovaConfig.packing_workers = 1`` bypasses all of this and runs the
-  plain serial loop.
+* **Speculative lease packing with an order-respecting commit.**
+  Replicas are grouped by spatial bucket; each bucket checks out a
+  capacity *lease* — a complete ring of nodes around its first
+  replica's position — in deterministic order, owning nodes
+  first-come: slots an earlier bucket claimed are marked *foreign*.
+  Each lease becomes a pickle-lean :class:`LeaseWorkUnit` (ring
+  arrays, an availability snapshot of the owned nodes, config
+  scalars — never the session) that an execution backend
+  (:mod:`repro.core.execution`: in-process, thread pool, or process
+  pool) evaluates *speculatively* via :func:`_pack_lease_unit`,
+  returning compact per-job placement ops. Oversized, mostly-foreign,
+  degenerate (ring beyond ``_DIRECT_QUERY_MIN``) or contention-dense
+  buckets (measured against the bucketed ``Placement`` when the
+  session provides it) form the *hot zone* and skip speculation.
+
+  The commit loop then walks **all jobs in their original order**
+  while workers are still speculating: hot-zone jobs stream through
+  the serial engine immediately; a speculated job joins its unit's
+  result and applies the worker's ops verbatim **iff none of its op
+  hosts were written by a serially-recomputed job** (a *spoiled*
+  node), else it is recomputed serially at its original position.
+  This is exact, not heuristic: inside one epoch availability only
+  decreases, so a worker's *rejections* stay valid; a worker defers
+  whenever a foreign slot could tie-or-beat its best own candidate or
+  the ring would have to grow, so its *choices* are provably nearest
+  globally; and the grid walk's reuse ladder consults only the
+  replica's own used hosts, which are exactly its op hosts. Hence
+  every backend and worker count commits the identical, bit-identical
+  placement the plain serial loop would produce, and worker ops
+  replay the same IEEE-754 ledger arithmetic in the same per-node
+  order. ``NovaConfig.packing_workers = 1`` (or
+  ``execution_backend="serial"`` with lazily-joined units) bypasses
+  none of the semantics — only the overlap.
 
 The per-replica placement properties (partition-aware host index, merged
 accounting) are unchanged — see :func:`_walk_grid`.
@@ -70,7 +84,6 @@ from __future__ import annotations
 
 import heapq
 import math
-import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, MutableMapping, Optional, Sequence, Set, Tuple
 
@@ -79,6 +92,14 @@ import numpy as np
 from repro.common.errors import InfeasiblePlacementError
 from repro.core.config import NovaConfig
 from repro.core.cost_space import AvailabilityLedger, CostSpace
+from repro.core.execution import (
+    BACKEND_SERIAL,
+    ExecutionBackend,
+    WorkerFailure,
+    create_backend,
+    fork_generation,
+    in_worker,
+)
 from repro.core.partitioning import PartitioningPlan, plan_partitions
 from repro.core.placement import SubReplicaPlacement
 from repro.query.expansion import JoinPairReplica
@@ -103,15 +124,22 @@ class PackingStats:
     ``cursor_cache_hits``/``misses`` count ring-cache lookups (a miss
     fetches a fresh ring); ``knn_queries`` counts neighbour-index
     searches (ring fetches, growths, lease checkouts, spread queries).
-    The parallel counters record how the last lease-parallel runs split
-    the work: batches executed, replicas deferred to the serial cleanup
-    pass, and cells placed per worker slot.
+    The parallel counters record how the lease runs split the work:
+    ``batches`` work units dispatched to the execution backend,
+    ``hot_zone`` jobs routed straight to the serial stream (oversized /
+    mostly-foreign / degenerate / contention-dense buckets),
+    ``speculated`` jobs whose worker ops committed verbatim,
+    ``deferred`` jobs that fell back to a serial recompute at commit
+    time (worker-deferred or spoiled by a serial write), and cells
+    placed per worker slot.
     """
 
     cursor_cache_hits: int = 0
     cursor_cache_misses: int = 0
     knn_queries: int = 0
     batches: int = 0
+    hot_zone: int = 0
+    speculated: int = 0
     deferred: int = 0
     workers_used: int = 0
     worker_cells: Dict[str, int] = field(default_factory=dict)
@@ -122,6 +150,8 @@ class PackingStats:
             cursor_cache_misses=self.cursor_cache_misses,
             knn_queries=self.knn_queries,
             batches=self.batches,
+            hot_zone=self.hot_zone,
+            speculated=self.speculated,
             deferred=self.deferred,
             workers_used=self.workers_used,
             worker_cells=dict(self.worker_cells),
@@ -642,20 +672,258 @@ class _JournaledMap:
         self.journal.clear()
 
 
-@dataclass
-class _Batch:
-    """One bucket's unit of parallel work.
+def _walk_cells(
+    partitioning: PartitioningPlan,
+    available,
+    fresh_host: Callable[[float], Optional[str]],
+    spread_candidates: Optional[Callable[[int], List[Tuple[str, float]]]],
+    c_min: float,
+) -> Tuple[List[Tuple[str, int, int, float]], bool]:
+    """Walk one replica's partition grid; return its placement cells.
 
-    ``foreign`` flags ring slots owned by an earlier bucket's lease:
-    the batch must not touch them, and a replica whose provably-nearest
-    candidate could be foreign is deferred to the serial pass instead of
-    guessing.
+    The core first-fit ladder, shared verbatim by the serial engine and
+    the lease workers (it depends on nothing but the availability
+    mapping handed in): each grid cell tries the last host, a node
+    already receiving both partitions, a node sharing one partition
+    with room, the roomiest used node, then the nearest fresh node from
+    ``fresh_host``. Returns ``(cells, overload)`` where each cell is
+    ``(node_id, left_index, right_index, charged)`` in placement order —
+    enough to replay the exact ledger writes anywhere.
+    ``spread_candidates`` supplies nearest nodes for the overload
+    fallback; passing ``None`` (lease mode) raises
+    :class:`_DeferReplica` instead, because a worker must not claim
+    nodes outside its lease.
+    """
+    left_rates = partitioning.left_partitions
+    right_rates = partitioning.right_partitions
+    ledger = _PartitionLedger(left_rates, right_rates)
+
+    cells: List[Tuple[str, int, int, float]] = []
+    # Used nodes in first-use order (roughly by distance): node -> rank.
+    use_order: Dict[str, int] = {}
+    # Lazy max-heap over the used nodes' remaining capacity: entries carry
+    # the remaining value at push time and are refreshed on inspection
+    # (capacity only shrinks while a replica is being placed).
+    room_heap: List[Tuple[float, int, str]] = []
+    pending: List[Tuple[int, int]] = []
+
+    def assign(node_id: str, i: int, j: int) -> None:
+        charged = ledger.commit(node_id, i, j)
+        if node_id not in use_order:
+            use_order[node_id] = len(use_order)
+        if charged:
+            # Zero-marginal merges (both partitions already delivered)
+            # change nothing: skip the ledger write-through and the
+            # heap push entirely on that majority path.
+            remaining = available.get(node_id, 0.0) - charged
+            available[node_id] = remaining
+            if remaining > 0.0:
+                # A drained node can never satisfy a later positive
+                # need within this walk (availability only shrinks),
+                # so its heap entry would be dead weight.
+                heapq.heappush(room_heap, (-remaining, use_order[node_id], node_id))
+        cells.append((node_id, i, j, charged))
+
+    def free_host(i: int, j: int) -> Optional[str]:
+        """Earliest-used node already receiving both partitions (marginal 0)."""
+        left_receivers = ledger.receivers("L", i)
+        right_receivers = ledger.receivers("R", j)
+        if len(right_receivers) < len(left_receivers):
+            left_receivers = right_receivers
+        best_order: Optional[int] = None
+        best: Optional[str] = None
+        for node_id in left_receivers:
+            if ledger.receives_both(node_id, i, j):
+                order = use_order[node_id]
+                if best_order is None or order < best_order:
+                    best_order, best = order, node_id
+        return best
+
+    def sharing_host(i: int, j: int) -> Optional[str]:
+        """Earliest-used node already receiving one partition, with room."""
+        best_order: Optional[int] = None
+        best: Optional[str] = None
+        for stream, index, marginal in (
+            ("L", i, right_rates[j]),
+            ("R", j, left_rates[i]),
+        ):
+            for node_id in ledger.receivers(stream, index):
+                order = use_order[node_id]
+                if best_order is not None and order >= best_order:
+                    continue
+                remaining = available.get(node_id, 0.0)
+                if remaining >= marginal and remaining >= c_min:
+                    best_order, best = order, node_id
+        return best
+
+    def roomiest_used(need: float) -> Optional[str]:
+        """A used node with ``remaining >= need``, preferring the roomiest."""
+        while room_heap:
+            neg_remaining, order, node_id = room_heap[0]
+            current = available.get(node_id, 0.0)
+            if current != -neg_remaining:
+                heapq.heapreplace(room_heap, (-current, order, node_id))
+                continue
+            if current >= need:
+                return node_id
+            return None
+        return None
+
+    last_host: Optional[str] = None
+    for i, j in _grid(partitioning):
+        demand = left_rates[i] + right_rates[j]
+        host: Optional[str] = None
+        # 0) Fast path: consecutive cells usually merge onto the last host
+        #    for free (it already receives both partitions).
+        if last_host is not None and ledger.receives_both(last_host, i, j):
+            host = last_host
+        # 1) A node already receiving both partitions hosts for free.
+        if host is None:
+            host = free_host(i, j)
+        # 2) A node sharing one partition, with room for the rest (earliest
+        #    used first — receivers are indexed per partition, so only
+        #    nodes actually sharing a stream are inspected).
+        if host is None:
+            host = sharing_host(i, j)
+        # 2b) A used node sharing nothing but with room for the full cell.
+        if host is None:
+            host = roomiest_used(max(demand, c_min))
+        # 3) The nearest fresh node able to host the full cell (Eq. 2-3),
+        #    streamed from the shared neighbourhood ring of this
+        #    demand level.
+        if host is None:
+            host = fresh_host(demand)
+        if host is None:
+            pending.append((i, j))
+        else:
+            assign(host, i, j)
+            last_host = host
+
+    # Spread fallback: no node can host these cells; distribute them evenly
+    # over the nearest candidates, accepting overload.
+    overload = False
+    if pending:
+        if spread_candidates is None:
+            raise _DeferReplica()
+        candidates = spread_candidates(len(pending))
+        overload = True
+        for slot, (i, j) in enumerate(pending):
+            assign(candidates[slot % len(candidates)][0], i, j)
+
+    return cells, overload
+
+
+@dataclass
+class LeaseWorkUnit:
+    """One bucket's speculative work unit — everything a worker needs.
+
+    Deliberately pickle-lean: the ring's candidate arrays, an
+    availability snapshot of the *owned* lease nodes only, and the
+    config scalars the mini engine needs — never the session, cost
+    space, or index. Ops come back slot-indexed against ``ring_ids``,
+    so the result is compact too. ``inject_failure`` is a test seam:
+    the worker raises :class:`~repro.core.execution.WorkerFailure`
+    before touching anything, exercising mid-batch rollback under any
+    start method.
     """
 
+    index: int
     job_indices: List[int]
-    ring: _Ring
+    replicas: List[JoinPairReplica]
+    positions: List[np.ndarray]
+    ring_center: np.ndarray
+    ring_min_value: float
+    ring_radius: float
+    ring_r_full: float
+    ring_ids: List[str]
+    ring_dists: np.ndarray
+    ring_points: np.ndarray
+    ring_exhausted: bool
     foreign: np.ndarray
-    lease_nodes: List[str]
+    snapshot: Dict[str, float]
+    min_capacity: float
+    sigma: Optional[float]
+    bandwidth_threshold: Optional[float]
+    inject_failure: bool = False
+
+
+@dataclass
+class LeaseResult:
+    """Compact speculation result for one :class:`LeaseWorkUnit`.
+
+    ``ops[k]`` holds job ``k``'s placement as ``(slot, i, j, charged)``
+    tuples (slot indexes ``ring_ids``), or ``None`` when the worker
+    deferred the job (its consumption was rolled back, so later jobs in
+    the unit speculated as if it never ran — exactly what the commit
+    loop's serial recompute then makes true).
+    """
+
+    index: int
+    ops: List[Optional[List[Tuple[int, int, int, float]]]]
+    deferred: int
+    cells: int
+
+
+def _pack_lease_unit(unit: LeaseWorkUnit) -> LeaseResult:
+    """Speculatively pack one lease unit (the worker-side mini engine).
+
+    Rebuilds a read-only ring from the shipped arrays, recomputes each
+    replica's partitioning from its rate scalars, and runs the shared
+    grid walk against a journaled copy of the lease snapshot. Defers —
+    never guesses — whenever correctness cannot be proven inside the
+    lease: ring growth needed, spread fallback, or a foreign slot that
+    could tie-or-beat the best owned candidate.
+    """
+    if unit.inject_failure:
+        raise WorkerFailure(f"injected failure in lease unit {unit.index}")
+    ring = _Ring(unit.ring_center, unit.ring_min_value, unit.ring_radius, unit.ring_r_full)
+    ring.ids = list(unit.ring_ids)
+    ring.dists = unit.ring_dists
+    ring.points = unit.ring_points
+    ring.dead = np.zeros(len(unit.ring_ids), dtype=bool)
+    ring.horizon = unit.ring_radius
+    ring.exhausted = unit.ring_exhausted
+    ring.version = 0
+    slot_of = {node_id: slot for slot, node_id in enumerate(unit.ring_ids)}
+    # Copy the snapshot: the parent reuses its pristine copy to verify
+    # nothing else wrote the lease (and fork children share memory).
+    local = _JournaledMap(dict(unit.snapshot))
+    c_min = unit.min_capacity
+    ops: List[Optional[List[Tuple[int, int, int, float]]]] = []
+    deferred = 0
+    cells = 0
+    for k, replica in enumerate(unit.replicas):
+        position = unit.positions[k]
+        partitioning = plan_partitions(
+            replica.left_rate,
+            replica.right_rate,
+            sigma=unit.sigma,
+            bandwidth_threshold=unit.bandwidth_threshold,
+        )
+        views: Dict[float, _RingView] = {}
+
+        def fresh_host(demand: float, position=position, views=views) -> Optional[str]:
+            need = max(demand, c_min, 1e-12)
+            view = views.get(need)
+            if view is None:
+                view = _RingView(ring, position, need)
+                view.foreign = unit.foreign
+                views[need] = view
+            return view.next_host(local, None)
+
+        try:
+            cell_list, _ = _walk_cells(partitioning, local, fresh_host, None, c_min)
+        except _DeferReplica:
+            local.rollback()
+            ops.append(None)
+            deferred += 1
+            continue
+        local.commit()
+        cells += len(cell_list)
+        ops.append(
+            [(slot_of[node_id], i, j, charged) for node_id, i, j, charged in cell_list]
+        )
+    return LeaseResult(unit.index, ops, deferred, cells)
 
 
 class PackingEngine:
@@ -671,6 +939,14 @@ class PackingEngine:
         self._lower: Optional[np.ndarray] = None
         self._upper: Optional[np.ndarray] = None
         self._nn_scale = 1.0
+        self._backend: Optional[ExecutionBackend] = None
+        self._fork_generation = fork_generation()
+        # Contention probe (node_id -> existing sub count), wired by the
+        # session from the bucketed Placement; None disables the
+        # contention-aware routing rule.
+        self.contention: Optional[Callable[[str], int]] = None
+        # Test seam: called with each LeaseWorkUnit before dispatch.
+        self._unit_hook: Optional[Callable[[LeaseWorkUnit], None]] = None
 
     # ------------------------------------------------------------------
     # cursor cache
@@ -681,12 +957,38 @@ class PackingEngine:
         return len(self._rings)
 
     def _sync_epoch(self) -> None:
-        """Flush the ring cache if the cost space mutated underneath it."""
+        """Flush the ring cache if the cost space mutated underneath it.
+
+        Also fork safety: a forked child inherits rings that were
+        screened against the *parent's* live availability array, which
+        the child no longer shares — the fork-generation counter from
+        :mod:`repro.core.execution` forces a flush on first use after
+        any fork.
+        """
         epoch = self.cost_space.mutation_epoch
-        if epoch != self._epoch:
+        generation = fork_generation()
+        if epoch != self._epoch or generation != self._fork_generation:
             self._rings.clear()
             self._cell_size = None
             self._epoch = epoch
+            self._fork_generation = generation
+
+    # ------------------------------------------------------------------
+    # execution backend lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def execution(self) -> ExecutionBackend:
+        """The lazily-created execution backend (pools spawn on first use)."""
+        if self._backend is None:
+            self._backend = create_backend(self.config)
+        return self._backend
+
+    def shutdown(self) -> None:
+        """Close the execution backend's pools (idempotent; re-usable —
+        the next parallel pack lazily spawns a fresh backend)."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
 
     def _bucket_cell(self) -> float:
         if self._cell_size is None:
@@ -923,132 +1225,33 @@ class PackingEngine:
         snapshot (lease mode). ``fresh_host`` streams nearest fresh
         candidates for a demand. ``spread=False`` raises
         :class:`_DeferReplica` instead of spreading leftover cells, so a
-        lease worker never touches nodes outside its lease.
+        lease worker never touches nodes outside its lease. The walk
+        itself lives in the module-level :func:`_walk_cells`, shared
+        verbatim with the worker-side mini engine.
         """
-        left_rates = partitioning.left_partitions
-        right_rates = partitioning.right_partitions
-        ledger = _PartitionLedger(left_rates, right_rates)
-        c_min = self.config.min_available_capacity
+        spread_candidates: Optional[Callable[[int], List[Tuple[str, float]]]] = None
+        if spread:
 
-        subs: List[SubReplicaPlacement] = []
-        # Used nodes in first-use order (roughly by distance): node -> rank.
-        use_order: Dict[str, int] = {}
-        # Lazy max-heap over the used nodes' remaining capacity: entries carry
-        # the remaining value at push time and are refreshed on inspection
-        # (capacity only shrinks while a replica is being placed).
-        room_heap: List[Tuple[float, int, str]] = []
-        pending: List[Tuple[int, int]] = []
-
-        def assign(node_id: str, i: int, j: int) -> None:
-            charged = ledger.commit(node_id, i, j)
-            if node_id not in use_order:
-                use_order[node_id] = len(use_order)
-            if charged:
-                # Zero-marginal merges (both partitions already delivered)
-                # change nothing: skip the ledger write-through and the
-                # heap push entirely on that majority path.
-                remaining = available.get(node_id, 0.0) - charged
-                available[node_id] = remaining
-                if remaining > 0.0:
-                    # A drained node can never satisfy a later positive
-                    # need within this walk (availability only shrinks),
-                    # so its heap entry would be dead weight.
-                    heapq.heappush(
-                        room_heap, (-remaining, use_order[node_id], node_id)
+            def spread_candidates(count: int) -> List[Tuple[str, float]]:
+                candidates = self.cost_space.knn(position, k=max(count, 4))
+                self.stats.knn_queries += 1
+                if not candidates:
+                    raise InfeasiblePlacementError(
+                        f"no candidate nodes exist for replica {replica.replica_id!r}"
                     )
-            subs.append(_make_sub(replica, node_id, i, j, partitioning, charged))
+                return candidates
 
-        def free_host(i: int, j: int) -> Optional[str]:
-            """Earliest-used node already receiving both partitions (marginal 0)."""
-            left_receivers = ledger.receivers("L", i)
-            right_receivers = ledger.receivers("R", j)
-            if len(right_receivers) < len(left_receivers):
-                left_receivers = right_receivers
-            best_order: Optional[int] = None
-            best: Optional[str] = None
-            for node_id in left_receivers:
-                if ledger.receives_both(node_id, i, j):
-                    order = use_order[node_id]
-                    if best_order is None or order < best_order:
-                        best_order, best = order, node_id
-            return best
-
-        def sharing_host(i: int, j: int) -> Optional[str]:
-            """Earliest-used node already receiving one partition, with room."""
-            best_order: Optional[int] = None
-            best: Optional[str] = None
-            for stream, index, marginal in (
-                ("L", i, right_rates[j]),
-                ("R", j, left_rates[i]),
-            ):
-                for node_id in ledger.receivers(stream, index):
-                    order = use_order[node_id]
-                    if best_order is not None and order >= best_order:
-                        continue
-                    remaining = available.get(node_id, 0.0)
-                    if remaining >= marginal and remaining >= c_min:
-                        best_order, best = order, node_id
-            return best
-
-        def roomiest_used(need: float) -> Optional[str]:
-            """A used node with ``remaining >= need``, preferring the roomiest."""
-            while room_heap:
-                neg_remaining, order, node_id = room_heap[0]
-                current = available.get(node_id, 0.0)
-                if current != -neg_remaining:
-                    heapq.heapreplace(room_heap, (-current, order, node_id))
-                    continue
-                if current >= need:
-                    return node_id
-                return None
-            return None
-
-        last_host: Optional[str] = None
-        for i, j in _grid(partitioning):
-            demand = left_rates[i] + right_rates[j]
-            host: Optional[str] = None
-            # 0) Fast path: consecutive cells usually merge onto the last host
-            #    for free (it already receives both partitions).
-            if last_host is not None and ledger.receives_both(last_host, i, j):
-                host = last_host
-            # 1) A node already receiving both partitions hosts for free.
-            if host is None:
-                host = free_host(i, j)
-            # 2) A node sharing one partition, with room for the rest (earliest
-            #    used first — receivers are indexed per partition, so only
-            #    nodes actually sharing a stream are inspected).
-            if host is None:
-                host = sharing_host(i, j)
-            # 2b) A used node sharing nothing but with room for the full cell.
-            if host is None:
-                host = roomiest_used(max(demand, c_min))
-            # 3) The nearest fresh node able to host the full cell (Eq. 2-3),
-            #    streamed from the shared neighbourhood ring of this
-            #    demand level.
-            if host is None:
-                host = fresh_host(demand)
-            if host is None:
-                pending.append((i, j))
-            else:
-                assign(host, i, j)
-                last_host = host
-
-        # Spread fallback: no node can host these cells; distribute them evenly
-        # over the nearest candidates, accepting overload.
-        overload = False
-        if pending:
-            if not spread:
-                raise _DeferReplica()
-            candidates = self.cost_space.knn(position, k=max(len(pending), 4))
-            self.stats.knn_queries += 1
-            if not candidates:
-                raise InfeasiblePlacementError(
-                    f"no candidate nodes exist for replica {replica.replica_id!r}"
-                )
-            overload = True
-            for slot, (i, j) in enumerate(pending):
-                assign(candidates[slot % len(candidates)][0], i, j)
-
+        cells, overload = _walk_cells(
+            partitioning,
+            available,
+            fresh_host,
+            spread_candidates,
+            self.config.min_available_capacity,
+        )
+        subs = [
+            _make_sub(replica, node_id, i, j, partitioning, charged)
+            for node_id, i, j, charged in cells
+        ]
         return AssignmentOutcome(
             subs=subs,
             partitioning=partitioning,
@@ -1136,16 +1339,23 @@ class PackingEngine:
     ) -> List[AssignmentOutcome]:
         """Place many replicas; returns one outcome per job, in order.
 
-        Runs serially for ``packing_workers <= 1`` (or small job lists),
-        otherwise through the lease-parallel path. Results are
-        deterministic for any worker count.
+        Runs serially for ``packing_workers <= 1`` (or small job lists,
+        or ``execution_backend="serial"``... or inside a pool worker,
+        where nested parallelism is refused), otherwise through the
+        speculative lease path. Results are bit-identical to the serial
+        loop for every backend and worker count.
         """
         jobs = list(jobs)
         if not jobs:
             return []
         available = self._ensure_ledger(available)
         workers = self.config.packing_workers
-        if workers > 1 and len(jobs) >= self.config.packing_parallel_min:
+        if (
+            workers > 1
+            and len(jobs) >= self.config.packing_parallel_min
+            and self.config.execution_backend != BACKEND_SERIAL
+            and not in_worker()
+        ):
             return self._pack_parallel(jobs, available, workers)
         return [
             self.place_replica(replica, position, available)
@@ -1153,14 +1363,65 @@ class PackingEngine:
         ]
 
     # ------------------------------------------------------------------
-    # lease-parallel path
+    # speculative lease path
     # ------------------------------------------------------------------
+    def _contended(self, lease_nodes: List[str]) -> bool:
+        """Contention-aware routing: is this lease zone already packed?
+
+        Probes the bucketed ``Placement`` (when the session wired it in)
+        for sub-replicas already hosted on the lease's nodes. A zone
+        carrying more than two existing subs per lease node is dense
+        enough that serial recomputes elsewhere in the batch are likely
+        to write into it and spoil the speculation — streaming it
+        through the serial engine up front is cheaper than speculating
+        and throwing the work away. Pure scheduling: routing cannot
+        change results, only where they are computed.
+        """
+        contention = self.contention
+        if contention is None or not lease_nodes:
+            return False
+        limit = 2 * len(lease_nodes)
+        existing = 0
+        for node_id in lease_nodes:
+            existing += contention(node_id)
+            if existing > limit:
+                return True
+        return False
+
     def _pack_parallel(
         self,
         jobs: List[Tuple[JoinPairReplica, np.ndarray]],
         available: AvailabilityLedger,
         workers: int,
     ) -> List[AssignmentOutcome]:
+        """Speculate on the periphery, commit everything in serial order.
+
+        Three stages, the first two overlapped:
+
+        1. **Schedule.** Jobs are bucketed spatially; each bucket checks
+           out a lease ring in deterministic (first-job) order, owning
+           nodes first-come. Oversized, mostly-foreign, degenerate, or
+           contention-dense buckets join the *hot zone*; the rest become
+           :class:`LeaseWorkUnit`\\ s dispatched to the execution
+           backend. Construction depends only on the job list and the
+           epoch state — never on worker count or backend.
+        2. **Commit in original job order** (the fixed tiebreak rule):
+           hot-zone jobs recompute through the serial engine immediately
+           — while workers are still speculating — and every node they
+           write is *spoiled*. A speculated job joins its unit's result
+           lazily and commits the worker's ops verbatim only if the
+           worker didn't defer it and none of its op hosts are spoiled;
+           otherwise it recomputes serially at its original position
+           (spoiling its writes too). Replaying an op re-runs the exact
+           ledger subtraction the serial walk would have run, in the
+           same per-node order — bit-identical IEEE-754 state.
+        3. **Account.** Worker cells are attributed per worker slot
+           deterministically (``unit index % worker count``).
+
+        A worker exception (e.g. :class:`WorkerFailure`) surfaces at the
+        join and propagates unchanged; inside a change-set batch the
+        session journal then rolls the whole batch back bit-identically.
+        """
         self._sync_epoch()
         positions = [np.asarray(position, dtype=float) for _, position in jobs]
         partitionings = [self._partition(replica) for replica, _ in jobs]
@@ -1170,25 +1431,18 @@ class PackingEngine:
         for index, position in enumerate(positions):
             buckets.setdefault(self._bucket_key(position), []).append(index)
 
-        # Check out one capacity lease (an exact over-fetched ring) per
-        # bucket, in deterministic order. Nodes are owned first-come:
-        # slots of a later bucket's ring that an earlier bucket already
-        # claimed are marked *foreign* — the batch must neither consume
-        # them nor trust their availability, and any replica whose
-        # nearest candidate could be foreign is deferred to the serial
-        # pass. Oversized buckets (the contention-dense zone around a
-        # popular sink, where leases would be all-foreign anyway) skip
-        # the worker phase entirely and keep the serial path's
-        # vectorized screens.
         bucket_order = sorted(buckets, key=lambda key: buckets[key][0])
-        owner: Dict[str, Tuple[int, ...]] = {}
-        batches: List[_Batch] = []
-        serial_jobs: List[int] = []
+        units: List[LeaseWorkUnit] = []
+        unit_of_job: Dict[int, Tuple[int, int]] = {}
+        hot_zone_jobs = 0
         batch_cap = max(2 * self.config.packing_parallel_min, len(jobs) // 8)
+        config = self.config
         for key in bucket_order:
             indices = buckets[key]
             if len(indices) > batch_cap:
-                serial_jobs.extend(indices)
+                # Oversized bucket (the zone around a popular sink):
+                # leases would be all-foreign anyway.
+                hot_zone_jobs += len(indices)
                 continue
             min_threshold = min(
                 self._threshold(min(p.left_partitions) + min(p.right_partitions))
@@ -1197,116 +1451,141 @@ class PackingEngine:
             center = positions[indices[0]].copy()
             r_full = self._r_full(center)
             radius = self._seed_radius(
-                self.config.packing_ring_start_k + 4 * len(indices)
+                config.packing_ring_start_k + 4 * len(indices)
             )
             ring = _Ring(center, min_threshold, min(radius, r_full), r_full)
             self._fetch(ring)
+            if ring.size > _DIRECT_QUERY_MIN:
+                # Degenerate zone: the serial path would answer through
+                # near-exact direct index queries, which a worker's exact
+                # ring scan can diverge from — keep it serial. (Skipped
+                # before ownership, like the oversized rule, so the
+                # claim map stays worker-count independent.)
+                hot_zone_jobs += len(indices)
+                continue
             # Leases need the full id set up front (ownership map, local
             # availability snapshots), unlike cached rings which translate
             # only the hosts actually returned.
             ring.materialize_ids()
-            foreign = np.zeros(ring.size, dtype=bool)
+            # Geometric ownership: a unit owns exactly the ring slots
+            # whose node sits inside its own bucket cell. Cells tile the
+            # space, so ownership is disjoint across units by
+            # construction and — unlike first-come claiming — depends
+            # only on node coordinates, never on bucket order: adjacent
+            # dense cells around a hot sink each get a real lease
+            # instead of the first one claiming the whole zone. Nodes in
+            # cells without a unit stay unowned (foreign to everyone);
+            # only the serial stream may consume them.
+            foreign = np.ones(ring.size, dtype=bool)
             lease_nodes: List[str] = []
-            for slot, node_id in enumerate(ring.ids):
-                if owner.setdefault(node_id, key) is key:
-                    lease_nodes.append(node_id)
-                else:
-                    foreign[slot] = True
-            if ring.size and len(lease_nodes) * 2 < ring.size:
-                # Mostly-foreign lease: nearly every placement would defer
-                # anyway, so skip the futile worker attempt (the claimed
-                # nodes stay claimed — releasing them would make batch
-                # construction order-dependent).
-                serial_jobs.extend(indices)
+            for slot in range(ring.size):
+                if self._bucket_key(ring.points[slot]) == key:
+                    foreign[slot] = False
+                    lease_nodes.append(ring.ids[slot])
+            if not lease_nodes:
+                # A cell with jobs but no qualifying nodes: every
+                # placement would defer on the first fresh-host request.
+                hot_zone_jobs += len(indices)
                 continue
-            batches.append(_Batch(indices, ring, foreign, lease_nodes))
+            if self._contended(lease_nodes):
+                hot_zone_jobs += len(indices)
+                continue
+            unit_index = len(units)
+            for local_index, job_index in enumerate(indices):
+                unit_of_job[job_index] = (unit_index, local_index)
+            unit = LeaseWorkUnit(
+                index=unit_index,
+                job_indices=list(indices),
+                replicas=[jobs[i][0] for i in indices],
+                positions=[positions[i] for i in indices],
+                ring_center=ring.center,
+                ring_min_value=ring.min_value,
+                ring_radius=ring.radius,
+                ring_r_full=ring.r_full,
+                ring_ids=ring.ids,
+                ring_dists=ring.dists,
+                ring_points=ring.points,
+                ring_exhausted=ring.exhausted,
+                foreign=foreign,
+                snapshot={
+                    node_id: available.get(node_id, 0.0) for node_id in lease_nodes
+                },
+                min_capacity=config.min_available_capacity,
+                sigma=config.sigma,
+                bandwidth_threshold=config.bandwidth_threshold,
+            )
+            if self._unit_hook is not None:
+                self._unit_hook(unit)
+            units.append(unit)
+
+        # Kick off speculation; joins are lazy, so the hot zone below
+        # streams through the serial engine while workers run.
+        worker_count = min(workers, len(units)) or 1
+        handles = self.execution.start(_pack_lease_unit, units)
 
         outcomes: List[Optional[AssignmentOutcome]] = [None] * len(jobs)
-        worker_count = min(workers, len(batches)) or 1
-        batch_results: List[Optional[Tuple[Dict[str, float], List[int], int]]] = [
-            None
-        ] * len(batches)
+        results: List[Optional[LeaseResult]] = [None] * len(units)
+        spoiled: Set[str] = set()
+        speculated = 0
+        cleanup = 0
 
-        def run_batch(batch: _Batch) -> Tuple[Dict[str, float], List[int], int]:
-            snapshot = {
-                node_id: available.get(node_id, 0.0) for node_id in batch.lease_nodes
-            }
-            local = _JournaledMap(snapshot)
-            deferred: List[int] = []
-            cells = 0
-            for index in batch.job_indices:
-                replica, _ = jobs[index]
-                position = positions[index]
-                views: Dict[float, _RingView] = {}
-
-                def fresh_host(demand: float) -> Optional[str]:
-                    need = self._threshold(demand)
-                    view = views.get(need)
-                    if view is None:
-                        view = _RingView(batch.ring, position, need)
-                        view.foreign = batch.foreign
-                        views[need] = view
-                    return view.next_host(local, None)
-
-                try:
-                    outcome = self._walk_grid(
-                        replica,
-                        position,
-                        partitionings[index],
-                        local,
-                        fresh_host,
-                        spread=False,
-                    )
-                except _DeferReplica:
-                    local.rollback()
-                    deferred.append(index)
-                    continue
-                local.commit()
-                cells += outcome.cells_placed
-                outcomes[index] = outcome
-            # ``snapshot`` is the journaled map's backing store, so touched
-            # entries now hold each node's final post-batch availability.
-            final_values = {node_id: snapshot[node_id] for node_id in local.touched}
-            return final_values, deferred, cells
-
-        def run_slot(slot: int) -> None:
-            for batch_index in range(slot, len(batches), worker_count):
-                batch_results[batch_index] = run_batch(batches[batch_index])
-                self.stats.worker_cells[f"w{slot}"] = (
-                    self.stats.worker_cells.get(f"w{slot}", 0)
-                    + batch_results[batch_index][2]
-                )
-
-        if worker_count == 1:
-            run_slot(0)
-        else:
-            threads = [
-                threading.Thread(target=run_slot, args=(slot,), daemon=True)
-                for slot in range(worker_count)
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-
-        # Deterministic merge: batches commit in creation order; leases are
-        # disjoint, so the final ledger state is order-independent anyway.
-        all_deferred: List[int] = list(serial_jobs)
-        for batch_result in batch_results:
-            final_values, deferred, _ = batch_result
-            for node_id, value in final_values.items():
-                available[node_id] = value
-            all_deferred.extend(deferred)
-        all_deferred.sort()
-
-        self.stats.batches += len(batches)
-        self.stats.deferred += len(all_deferred)
-        self.stats.workers_used = max(self.stats.workers_used, worker_count)
-
-        # Serial cleanup pass: replicas whose placement could not be proven
-        # inside their lease (ring growth needed, or the spread fallback),
-        # packed in original order against the live ledger.
-        for index in all_deferred:
+        def recompute(index: int) -> None:
             replica, _ = jobs[index]
-            outcomes[index] = self.place_replica(replica, positions[index], available)
+            outcome = self.place_replica(
+                replica, positions[index], available, partitioning=partitionings[index]
+            )
+            outcomes[index] = outcome
+            for sub in outcome.subs:
+                spoiled.add(sub.node_id)
+
+        for index in range(len(jobs)):
+            slot_info = unit_of_job.get(index)
+            if slot_info is None:
+                recompute(index)
+                continue
+            unit_index, local_index = slot_info
+            result = results[unit_index]
+            if result is None:
+                result = handles[unit_index]()
+                results[unit_index] = result
+                worker_key = f"w{unit_index % worker_count}"
+                self.stats.worker_cells[worker_key] = (
+                    self.stats.worker_cells.get(worker_key, 0) + result.cells
+                )
+            ops = result.ops[local_index]
+            if ops is None:
+                # The worker could not prove this job inside its lease.
+                cleanup += 1
+                recompute(index)
+                continue
+            unit = units[unit_index]
+            ring_ids = unit.ring_ids
+            if any(ring_ids[slot] in spoiled for slot, _, _, _ in ops):
+                # A serial recompute wrote one of the op hosts after the
+                # snapshot: the speculation's arithmetic no longer
+                # replays exactly — redo it at the original position.
+                cleanup += 1
+                recompute(index)
+                continue
+            replica, _ = jobs[index]
+            partitioning = partitionings[index]
+            subs: List[SubReplicaPlacement] = []
+            for slot, i, j, charged in ops:
+                node_id = ring_ids[slot]
+                if charged:
+                    available[node_id] = available.get(node_id, 0.0) - charged
+                subs.append(_make_sub(replica, node_id, i, j, partitioning, charged))
+            outcomes[index] = AssignmentOutcome(
+                subs=subs,
+                partitioning=partitioning,
+                overload_accepted=False,
+                cells_placed=len(subs),
+            )
+            speculated += 1
+
+        self.stats.batches += len(units)
+        self.stats.hot_zone += hot_zone_jobs
+        self.stats.speculated += speculated
+        self.stats.deferred += cleanup
+        self.stats.workers_used = max(self.stats.workers_used, worker_count)
         return [outcome for outcome in outcomes if outcome is not None]

@@ -225,10 +225,14 @@ def session_summary(session: NovaSession) -> Dict:
             "cursor_cache_hits": session.timings.cursor_cache_hits,
             "cursor_cache_misses": session.timings.cursor_cache_misses,
             "cursor_cache_hit_rate": session.timings.cursor_cache_hit_rate,
+            "execution_backend": session.config.execution_backend,
             "workers": session.config.packing_workers,
             "workers_used": session.timings.packing_workers_used,
             "batches": session.timings.packing_batches,
             "deferred": session.timings.packing_deferred,
+            "speculated": session.timings.packing_speculated,
+            "hot_zone": session.timings.packing_hot_zone,
+            "cleanup_deferred": session.timings.cleanup_deferred,
         },
         "state_plane": {
             # Running totals over every batch applied to this session:
