@@ -12,7 +12,9 @@ This module owns *where* the speculation runs:
   CPython's GIL limits the overlap to numpy sections, but the pool is
   cheap and the semantics match the process backend exactly.
 * ``process`` — units run on a persistent :class:`ProcessPoolExecutor`
-  (fork start method where available, spawn otherwise). Units are
+  (fork start method on Linux, the platform default elsewhere — macOS
+  lists fork but forking a threaded parent is unsafe there, and the
+  pickle-lean unit design makes spawn just as viable). Units are
   pickled to the children and compact placement ops come back; the
   parent's session state never crosses the boundary.
 
@@ -44,6 +46,7 @@ from __future__ import annotations
 import functools
 import multiprocessing
 import os
+import sys
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, List, Sequence, Union
@@ -221,10 +224,15 @@ class ProcessBackend(ExecutionBackend):
 
     def _ensure(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            # Fork only on Linux: macOS lists fork but forked children
+            # crash in system frameworks (CPython's default moved to
+            # spawn for that reason), and forking a parent with live
+            # threads (BLAS pools, a prior ThreadBackend) risks
+            # deadlock. Everywhere else the platform default is fine —
+            # LeaseWorkUnit is pickle-lean by design, so spawn works.
             methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
+            use_fork = sys.platform.startswith("linux") and "fork" in methods
+            context = multiprocessing.get_context("fork" if use_fork else None)
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=context,

@@ -85,8 +85,9 @@ class PhaseTimings:
     # mostly-foreign, degenerate, or contention-dense buckets);
     # ``packing_speculated`` jobs committed a worker's ops verbatim;
     # ``cleanup_deferred`` jobs fell back to a serial recompute at
-    # commit time (the worker deferred them, or a serial write spoiled
-    # their lease). ``packing_deferred`` keeps the legacy meaning —
+    # commit time (the worker deferred them, a serial write spoiled
+    # their lease, or an earlier spoiled job poisoned their unit).
+    # ``packing_deferred`` keeps the legacy meaning —
     # everything the serial engine placed during a parallel pass
     # (hot zone + cleanup) — so the periphery/hot-zone split is
     # measurable as a ratio against ``replicas_placed``.

@@ -53,21 +53,39 @@ machinery that used to live in ``assignment.place_replica``:
   The commit loop then walks **all jobs in their original order**
   while workers are still speculating: hot-zone jobs stream through
   the serial engine immediately; a speculated job joins its unit's
-  result and applies the worker's ops verbatim **iff none of its op
-  hosts were written by a serially-recomputed job** (a *spoiled*
-  node), else it is recomputed serially at its original position.
-  This is exact, not heuristic: inside one epoch availability only
-  decreases, so a worker's *rejections* stay valid; a worker defers
-  whenever a foreign slot could tie-or-beat its best own candidate or
-  the ring would have to grow, so its *choices* are provably nearest
-  globally; and the grid walk's reuse ladder consults only the
-  replica's own used hosts, which are exactly its op hosts. Hence
-  every backend and worker count commits the identical, bit-identical
-  placement the plain serial loop would produce, and worker ops
-  replay the same IEEE-754 ledger arithmetic in the same per-node
-  order. ``NovaConfig.packing_workers = 1`` (or
-  ``execution_backend="serial"`` with lazily-joined units) bypasses
-  none of the semantics — only the overlap.
+  result and applies the worker's ops verbatim **iff the worker did
+  not defer it, its unit is unpoisoned, and none of its op hosts were
+  written by a serially-recomputed job** (a *spoiled* node), else it
+  is recomputed serially at its original position. The first
+  commit-time spoil *poisons* the rest of its unit — later unit jobs
+  speculated on top of the now-discarded writes, so their rejections
+  are no longer provable and they recompute serially too (a
+  worker-side defer does not poison: its writes were rolled back
+  in-worker before later jobs ran). This is exact, not heuristic:
+  inside one epoch availability only decreases, so a surviving
+  worker's *rejections* stay valid; a worker defers whenever a
+  foreign slot could tie-or-beat its best own candidate or the ring
+  would have to grow, so its *choices* are provably nearest globally
+  (exact distance ties resolve by node id on every exact path, so
+  the winner never depends on which ring served the search); and the
+  grid walk's reuse ladder consults only the replica's own used
+  hosts, which are exactly its op hosts. Hence every backend and
+  worker count commits the identical, bit-identical placement the
+  plain serial loop would produce — as long as the serial engine
+  itself stays on its exact ring machinery, which is guaranteed
+  whenever candidate sets stay below ``_DIRECT_QUERY_MIN``. Beyond
+  that bound (the saturated regime at paper scale) serial views
+  answer through *near-exact* direct index queries that no exact
+  lease scan can replay: the scheduler hot-zones every bucket whose
+  fresh lease ring or cached serving ring crosses the bound, but a
+  ring grown past it mid-batch by earlier serial jobs can still, in
+  principle, serve a speculated bucket differently — the parity
+  contract is therefore pinned below the direct regime (asserted at
+  n=10^3 in tests and bench_fig10; at paper scale the saturated
+  center is near-exact either way). ``NovaConfig.packing_workers =
+  1`` bypasses the lease path entirely; ``execution_backend =
+  "serial"`` runs it with lazily-joined in-process units — none of
+  the semantics change, only the overlap.
 
 The per-replica placement properties (partition-aware host index, merged
 accounting) are unchanged — see :func:`_walk_grid`.
@@ -93,7 +111,6 @@ from repro.common.errors import InfeasiblePlacementError
 from repro.core.config import NovaConfig
 from repro.core.cost_space import AvailabilityLedger, CostSpace
 from repro.core.execution import (
-    BACKEND_SERIAL,
     ExecutionBackend,
     WorkerFailure,
     create_backend,
@@ -130,8 +147,9 @@ class PackingStats:
     mostly-foreign / degenerate / contention-dense buckets),
     ``speculated`` jobs whose worker ops committed verbatim,
     ``deferred`` jobs that fell back to a serial recompute at commit
-    time (worker-deferred or spoiled by a serial write), and cells
-    placed per worker slot.
+    time (worker-deferred, spoiled by a serial write, or in a unit
+    poisoned by an earlier spoiled job), and cells placed per worker
+    slot.
     """
 
     cursor_cache_hits: int = 0
@@ -540,6 +558,24 @@ class _RingView:
                 ring.dead[slot] = True
                 pd2[j] = math.inf
                 continue
+            # Exact distance ties resolve by node id — the same rule the
+            # lease scan applies — so the winner never depends on which
+            # cached ring (possibly a spilled neighbour's, with a foreign
+            # center order) happens to serve this view.
+            for t in np.nonzero(pd2 == d2)[0]:
+                other = int(self.alive[int(t)])
+                if other == slot:
+                    continue
+                if values[int(ring.rows[other])] < threshold or ring.dead[other]:
+                    pd2[int(t)] = math.inf
+                    continue
+                other_id = ring.node_id(other)
+                if available.get(other_id, 0.0) < threshold:
+                    ring.dead[other] = True
+                    pd2[int(t)] = math.inf
+                    continue
+                if other_id < node_id:
+                    slot, node_id = other, other_id
             return slot, math.sqrt(d2)
         return -1, math.inf
 
@@ -591,7 +627,9 @@ class _RingView:
         Scans candidates in the ring's center-distance order and stops
         once the next candidate's center distance minus the view's
         offset exceeds the best hit (triangle inequality) — O(window)
-        per request, no O(ring) screen per view. Returns
+        per request, no O(ring) screen per view. Exact distance ties
+        resolve by node id, matching ``_nearest_screened``, so the
+        choice is independent of this ring's center order. Returns
         ``(slot, distance, blocked_distance)`` where ``blocked_distance``
         is the nearest *foreign* (contested, unknowable) candidate seen —
         if it is closer than the best own candidate the caller cannot
@@ -604,6 +642,7 @@ class _RingView:
         dists = ring.dists
         size = ring.size
         best_slot = -1
+        best_d2 = math.inf
         best_d = math.inf
         blocked_d = math.inf
         i = 0
@@ -625,10 +664,21 @@ class _RingView:
                 diffs = ring.points[hits] - point
                 pd2 = np.einsum("ij,ij->i", diffs, diffs)
                 j = int(np.argmin(pd2))
-                candidate_d = math.sqrt(float(pd2[j]))
-                if candidate_d < best_d:
-                    best_d = candidate_d
-                    best_slot = int(hits[j])
+                d2 = float(pd2[j])
+                if d2 <= best_d2:
+                    # Ties are compared on the squared distances (the
+                    # per-node arithmetic is identical on both paths,
+                    # while sqrt can collapse distinct values).
+                    for t in np.nonzero(pd2 == d2)[0]:
+                        slot = int(hits[int(t)])
+                        if (
+                            best_slot < 0
+                            or d2 < best_d2
+                            or ring.node_id(slot) < ring.node_id(best_slot)
+                        ):
+                            best_slot = slot
+                            best_d2 = d2
+                            best_d = math.sqrt(d2)
             if contested:
                 diffs = ring.points[contested] - point
                 pd2 = np.einsum("ij,ij->i", diffs, diffs)
@@ -1339,11 +1389,15 @@ class PackingEngine:
     ) -> List[AssignmentOutcome]:
         """Place many replicas; returns one outcome per job, in order.
 
-        Runs serially for ``packing_workers <= 1`` (or small job lists,
-        or ``execution_backend="serial"``... or inside a pool worker,
-        where nested parallelism is refused), otherwise through the
-        speculative lease path. Results are bit-identical to the serial
-        loop for every backend and worker count.
+        Runs the plain serial loop for ``packing_workers <= 1`` (or
+        small job lists, or inside a pool worker, where nested
+        parallelism is refused); otherwise the speculative lease path —
+        with real overlap on the thread/process backends, or with
+        lazily-joined in-process units under
+        ``execution_backend="serial"`` (the deterministic way to drive
+        the commit machinery, e.g. for debugging it). Results are
+        bit-identical across all of these paths; see
+        :meth:`_pack_parallel` for the exact scope of that guarantee.
         """
         jobs = list(jobs)
         if not jobs:
@@ -1353,7 +1407,6 @@ class PackingEngine:
         if (
             workers > 1
             and len(jobs) >= self.config.packing_parallel_min
-            and self.config.execution_backend != BACKEND_SERIAL
             and not in_worker()
         ):
             return self._pack_parallel(jobs, available, workers)
@@ -1410,11 +1463,20 @@ class PackingEngine:
            — while workers are still speculating — and every node they
            write is *spoiled*. A speculated job joins its unit's result
            lazily and commits the worker's ops verbatim only if the
-           worker didn't defer it and none of its op hosts are spoiled;
-           otherwise it recomputes serially at its original position
-           (spoiling its writes too). Replaying an op re-runs the exact
-           ledger subtraction the serial walk would have run, in the
-           same per-node order — bit-identical IEEE-754 state.
+           worker didn't defer it, its unit is not *poisoned*, and none
+           of its op hosts are spoiled; otherwise it recomputes serially
+           at its original position (spoiling its writes too). The
+           first commit-time spoil *poisons the rest of the unit*:
+           the discarded job's speculative writes were observed by
+           every later job of the unit, so lease nodes it drained but
+           its serial recompute never touched now hold *more* live
+           capacity than those workers assumed — their rejections are
+           no longer covered by the availability-only-decreases proof
+           and they must recompute serially too. (A worker-side defer
+           does not poison: the worker rolled the deferred job's writes
+           back before later jobs speculated.) Replaying an op re-runs
+           the exact ledger subtraction the serial walk would have run,
+           in the same per-node order — bit-identical IEEE-754 state.
         3. **Account.** Worker cells are attributed per worker slot
            deterministically (``unit index % worker count``).
 
@@ -1442,6 +1504,18 @@ class PackingEngine:
             if len(indices) > batch_cap:
                 # Oversized bucket (the zone around a popular sink):
                 # leases would be all-foreign anyway.
+                hot_zone_jobs += len(indices)
+                continue
+            cached = self._rings.get(key)
+            if cached is not None and cached.size > _DIRECT_QUERY_MIN:
+                # The serial reference would serve this bucket from an
+                # already-cached ring — its own, grown over earlier
+                # passes, or a dominating neighbour's installed by
+                # _spill — whose level sets can cross the direct-query
+                # threshold and flip serial views to near-exact index
+                # queries no exact lease scan can replay. The fresh
+                # lease ring below can't see that, so check the cache
+                # too and keep such buckets serial.
                 hot_zone_jobs += len(indices)
                 continue
             min_threshold = min(
@@ -1526,6 +1600,7 @@ class PackingEngine:
         outcomes: List[Optional[AssignmentOutcome]] = [None] * len(jobs)
         results: List[Optional[LeaseResult]] = [None] * len(units)
         spoiled: Set[str] = set()
+        poisoned: Set[int] = set()
         speculated = 0
         cleanup = 0
 
@@ -1555,15 +1630,28 @@ class PackingEngine:
             ops = result.ops[local_index]
             if ops is None:
                 # The worker could not prove this job inside its lease.
+                # (Safe for the rest of the unit: the worker rolled the
+                # deferred job's writes back before later jobs
+                # speculated, so nothing observed them.)
                 cleanup += 1
                 recompute(index)
                 continue
             unit = units[unit_index]
             ring_ids = unit.ring_ids
-            if any(ring_ids[slot] in spoiled for slot, _, _, _ in ops):
+            if unit_index in poisoned or any(
+                ring_ids[slot] in spoiled for slot, _, _, _ in ops
+            ):
                 # A serial recompute wrote one of the op hosts after the
                 # snapshot: the speculation's arithmetic no longer
                 # replays exactly — redo it at the original position.
+                # Discarding these ops also poisons the rest of the
+                # unit: later unit jobs speculated on top of the
+                # discarded writes, so lease nodes this job drained but
+                # its serial recompute never touched now hold *more*
+                # live capacity than those workers assumed — their
+                # rejections of such nodes are no longer provable and
+                # they must recompute serially too.
+                poisoned.add(unit_index)
                 cleanup += 1
                 recompute(index)
                 continue

@@ -148,10 +148,12 @@ class TestCrossBackendDeterminism:
     def test_bit_identical_across_backends_and_worker_counts(self):
         """The acceptance bar: every backend and worker count reproduces
         the serial engine's placement and ledger bit-for-bit at n=10^3."""
-        _, serial = build_session(1000, 13, execution_backend="serial")
+        _, serial = build_session(
+            1000, 13, execution_backend="serial", packing_workers=1
+        )
         reference = state_signature(serial)
         serial.close()
-        for backend in ("thread", "process"):
+        for backend in ("serial", "thread", "process"):
             for workers in (1, 2, 4):
                 _, session = build_session(
                     1000, 13, execution_backend=backend, packing_workers=workers
@@ -160,6 +162,19 @@ class TestCrossBackendDeterminism:
                     f"{backend}/{workers} diverged from serial"
                 )
                 session.close()
+
+    def test_serial_backend_drives_the_commit_loop(self):
+        """``execution_backend="serial"`` with workers > 1 runs the full
+        speculation/commit machinery with lazily-joined in-process units
+        (the deterministic way to debug the commit loop), rather than
+        bypassing it for the plain serial loop."""
+        _, session = build_session(
+            1000, 13, execution_backend="serial", packing_workers=2
+        )
+        stats = session.engine.stats
+        assert stats.batches > 0, "serial backend never dispatched a lease unit"
+        assert stats.speculated > 0, "serial backend never committed worker ops"
+        session.close()
 
 
 class TestWorkerFailureRollback:

@@ -112,6 +112,53 @@ class TestSerialParallelParity:
         assert sum(engine.stats.worker_cells.values()) >= 0
 
 
+class TestCommitTimeSpoilPoisonsUnit:
+    def test_hot_zone_write_between_unit_jobs_poisons_later_jobs(self):
+        """Regression: the first commit-time spoil must poison its unit.
+
+        Hot-zone job H (ordered first, in a node-less bucket) lightly
+        drains X, the lease bucket's closest node. C's worker
+        speculatively filled X, so C's ops are spoiled and C recomputes
+        serially — landing on W and leaving X with capacity. D's worker
+        speculated *after* C drained X, rejected it, and chose Y; but
+        the serial reference places D on X (C's discarded drain never
+        happened there). Committing D's ops verbatim would silently
+        diverge — D must be recomputed because its unit is poisoned.
+        """
+        coords = {
+            "P1": np.array([-1.0, -1.0]),
+            "P2": np.array([20.0, 20.0]),
+            "W": np.array([3.0, 5.0]),
+            "X": np.array([5.0, 5.0]),
+            "Y": np.array([8.0, 5.0]),
+        }
+        capacities = {"P1": 100.0, "P2": 100.0, "W": 10.0, "X": 10.0, "Y": 10.0}
+        jobs = [
+            # sigma=1.0 keeps every grid 1x1, so cell demand = 2 * rate.
+            (make_replica("H", "P1", "P2", "P1", rate=2.0), np.array([5.0, 12.0])),
+            (make_replica("C", "P1", "P2", "P1", rate=3.5), np.array([5.2, 5.0])),
+            (make_replica("D", "P1", "P2", "P1", rate=2.5), np.array([6.0, 5.0])),
+        ]
+        overrides = dict(sigma=1.0, packing_bucket_grid=2)
+        _, serial_avail, serial = run_engine(
+            coords, capacities, jobs, packing_workers=1, **overrides
+        )
+        # Pin the scenario: H -> X (light drain), C -> W (X now too
+        # drained for C), D -> X (still fits D's smaller demand).
+        assert [o.subs[0].node_id for o in serial] == ["X", "W", "X"]
+        engine, parallel_avail, parallel = run_engine(
+            coords, capacities, jobs, packing_workers=2, **overrides
+        )
+        assert placement_signature(parallel) == placement_signature(serial)
+        assert dict(parallel_avail) == dict(serial_avail)
+        # The parallel run really exercised the poison path: H streamed
+        # through the hot zone, C was spoiled, D was poisoned — nothing
+        # committed verbatim.
+        assert engine.stats.hot_zone == 1
+        assert engine.stats.speculated == 0
+        assert engine.stats.deferred == 2
+
+
 class TestSharedCursorCache:
     def test_rings_shared_across_replicas(self):
         coords, capacities, jobs = cluster_scenario(seed=2, clusters=1)
