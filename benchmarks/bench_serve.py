@@ -1,0 +1,118 @@
+"""Serving-mode sustained churn — steady-state daemon throughput.
+
+The serving loop (``repro serve``) is the repo's long-lived deployment
+story: an unbounded churn stream grouped into coalescing windows, each
+window applied as one transactional ChangeSet batch. This bench drives
+the real :class:`~repro.serve.loop.ServeLoop` — sources, ingress queue,
+window admission, apply, delta archive, status plane — over a sustained
+event stream at n=10^3 and n=10^4 and records:
+
+* steady-state applied-event throughput (events/s over the recent
+  window sample, excluding warmup idle time),
+* window-apply latency percentiles (p50/p99 milliseconds),
+* shed and dead-letter counts (asserted zero here: a block-policy queue
+  behind a healthy applier must not drop anything).
+
+The BENCH json artifact picks these up via ``benchmark.extra_info``
+(keys ``serve_events_per_s_<n>``, ``serve_window_p50_ms_<n>``,
+``serve_window_p99_ms_<n>``, ``serve_shed_<n>``,
+``serve_dead_letter_<n>``), so CI tracks serving throughput next to the
+figure-level numbers.
+"""
+
+import io
+
+import pytest
+
+from _harness import print_report
+from repro.common.tables import render_table
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.serve import IterableSource, ServeLoop, ServeSettings
+from repro.topology.dynamics import churn_event_stream
+from repro.topology.latency import CoordinateLatencyModel, DenseLatencyMatrix
+from repro.workloads.synthetic import synthetic_opp_workload
+
+SIZES = [1000, 10_000]
+EVENTS_PER_SIZE = {1000: 1536, 10_000: 512}
+MAX_BATCH = 64
+
+
+def build_instance(n, seed=13):
+    workload = synthetic_opp_workload(n, seed=seed)
+    if n <= 2000:
+        latency = DenseLatencyMatrix.from_topology(workload.topology)
+    else:
+        ids, coords = workload.topology.positions_array()
+        latency = CoordinateLatencyModel(ids, coords)
+    return workload, latency
+
+
+@pytest.mark.benchmark(group="serve")
+@pytest.mark.parametrize("n", SIZES)
+def test_serve_sustained_churn(benchmark, capsys, n):
+    workload, latency = build_instance(n)
+    session = Nova(NovaConfig(seed=13)).optimize(
+        workload.topology, workload.plan, workload.matrix, latency=latency
+    )
+    stream = churn_event_stream(workload.topology, workload.plan, seed=29)
+    events = [next(stream) for _ in range(EVENTS_PER_SIZE[n])]
+
+    loop_holder = {}
+
+    def serve_stream():
+        loop = ServeLoop(
+            session,
+            [IterableSource(events)],
+            # A distant time trigger keeps every window count-triggered,
+            # so the bench measures apply throughput, not wall-clock
+            # window pacing.
+            ServeSettings(
+                window_ms=600_000.0,
+                max_batch=MAX_BATCH,
+                queue_size=4 * MAX_BATCH,
+                exit_on_eof=True,
+                status_interval_s=0,
+            ),
+            status_stream=io.StringIO(),
+        )
+        loop_holder["loop"] = loop
+        assert loop.run() == 0
+        return loop
+
+    loop = benchmark.pedantic(serve_stream, rounds=1, iterations=1)
+    stats = loop.stats
+    latency_ms = stats.window_latency()
+    events_per_s = stats.recent_events_per_s()
+
+    assert stats.events_applied == len(events), "sustained stream must fully apply"
+    assert stats.events_shed == 0
+    assert stats.events_dead_lettered == 0
+    assert stats.windows_applied >= len(events) // MAX_BATCH
+    assert events_per_s > 0
+    assert latency_ms.p99 >= latency_ms.p50 > 0
+
+    benchmark.extra_info[f"serve_events_per_s_{n}"] = events_per_s
+    benchmark.extra_info[f"serve_window_p50_ms_{n}"] = latency_ms.p50
+    benchmark.extra_info[f"serve_window_p99_ms_{n}"] = latency_ms.p99
+    benchmark.extra_info[f"serve_shed_{n}"] = stats.events_shed
+    benchmark.extra_info[f"serve_dead_letter_{n}"] = stats.events_dead_lettered
+    benchmark.extra_info[f"serve_windows_{n}"] = stats.windows_applied
+
+    print_report(
+        capsys,
+        render_table(
+            ["metric", "value"],
+            [
+                ["events applied", stats.events_applied],
+                ["windows applied", stats.windows_applied],
+                ["steady-state events/s", events_per_s],
+                ["window p50 ms", latency_ms.p50],
+                ["window p99 ms", latency_ms.p99],
+                ["shed", stats.events_shed],
+                ["dead-lettered", stats.events_dead_lettered],
+            ],
+            precision=2,
+            title=f"Serving mode — sustained churn at n={n}",
+        ),
+    )

@@ -11,6 +11,10 @@ Commands:
 * ``replay``    — replay a churn trace (JSON) through the batched
   ChangeSet API, printing one :class:`~repro.core.changeset.PlanDelta`
   summary per batch.
+* ``serve``     — run the long-lived serving daemon: ingest a churn
+  event stream (stdin JSONL, tailed file, or local socket), apply it in
+  coalescing windows through one live session, and expose a status
+  plane (see :mod:`repro.serve`).
 * ``version``   — print the package version.
 """
 
@@ -140,8 +144,14 @@ def run_plan(
         except ReproError as error:
             print(f"planning failed for {name!r}: {error}", file=sys.stderr)
             return 1
-        evaluated = evaluate_result(result)
-        summary = result.summary()
+        try:
+            evaluated = evaluate_result(result)
+            summary = result.summary()
+        finally:
+            # Strategies that support churn hand back a live session with
+            # execution backends attached; release them once evaluated.
+            if result.session is not None:
+                result.session.close()
         if summary["sub_replicas"] == 0:
             empty.append(name)
         if len(names) == 1:
@@ -203,25 +213,25 @@ def run_demo() -> int:
     from repro.workloads import build_running_example
 
     example = build_running_example()
-    session = Nova(NovaConfig(seed=7)).optimize(
+    with Nova(NovaConfig(seed=7)).optimize(
         example.topology, example.plan, example.matrix, latency=example.latency
-    )
-    stats = latency_stats(session.placement, matrix_distance(example.latency))
-    print(
-        render_table(
-            ["metric", "value"],
-            [
-                ["sub-joins placed", session.placement.replica_count()],
-                ["hosting nodes", ", ".join(session.placement.nodes_used())],
-                ["overloaded hosts %", overload_percentage(session.placement, example.topology)],
-                ["mean latency ms", stats.mean],
-                ["p90 latency ms", stats.p90],
-                ["optimization time s", session.timings.total_s],
-            ],
-            precision=2,
-            title="Nova on the running example (Figure 2)",
+    ) as session:
+        stats = latency_stats(session.placement, matrix_distance(example.latency))
+        print(
+            render_table(
+                ["metric", "value"],
+                [
+                    ["sub-joins placed", session.placement.replica_count()],
+                    ["hosting nodes", ", ".join(session.placement.nodes_used())],
+                    ["overloaded hosts %", overload_percentage(session.placement, example.topology)],
+                    ["mean latency ms", stats.mean],
+                    ["p90 latency ms", stats.p90],
+                    ["optimization time s", session.timings.total_s],
+                ],
+                precision=2,
+                title="Nova on the running example (Figure 2)",
+            )
         )
-    )
     return 0
 
 
@@ -264,35 +274,27 @@ def run_replay(
     apply time, packing passes). ``--save-deltas`` archives every delta
     as JSON for downstream replay (``plan_delta_from_dict`` +
     ``PlanDelta.apply_to``).
+
+    Replay is the finite-trace client of the serving machinery: trace
+    parsing goes through :func:`repro.topology.event_codec.load_trace`
+    and each batch applies through the same
+    :class:`~repro.serve.loop.WindowApplier` the daemon uses — in strict
+    mode, so a failed batch rolls back and stops the replay instead of
+    being retried and dead-lettered.
     """
     from repro import Nova, NovaConfig
     from repro.common.errors import ReproError
     from repro.common.tables import render_table
-    from repro.core.changeset import ChangeSet, TRACE_FORMAT_VERSION
-    from repro.core.serialization import plan_delta_to_dict
-    from repro.topology.latency import CoordinateLatencyModel, DenseLatencyMatrix
-    from repro.workloads import synthetic_opp_workload
+    from repro.serve.loop import WindowApplier
+    from repro.topology.event_codec import TraceError, load_trace
 
-    path = Path(trace_path)
     try:
-        trace = json.loads(path.read_text())
-    except FileNotFoundError:
-        print(f"trace file not found: {path}", file=sys.stderr)
-        return 2
-    except json.JSONDecodeError as error:
-        print(f"invalid trace file {path}: {error}", file=sys.stderr)
+        trace = load_trace(trace_path)
+    except TraceError as error:
+        print(str(error), file=sys.stderr)
         return 2
 
-    version = trace.get("version", TRACE_FORMAT_VERSION)
-    if version != TRACE_FORMAT_VERSION:
-        print(
-            f"unsupported trace format version {version!r} "
-            f"(expected {TRACE_FORMAT_VERSION})",
-            file=sys.stderr,
-        )
-        return 2
-
-    spec = trace.get("workload", {})
+    spec = trace.workload
     kind = spec.get("kind", "synthetic_opp")
     if kind != "synthetic_opp":
         print(f"unsupported workload kind {kind!r}", file=sys.stderr)
@@ -304,80 +306,193 @@ def run_replay(
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
-    workload = synthetic_opp_workload(nodes, seed=seed)
-    if nodes <= 2000:
-        latency = DenseLatencyMatrix.from_topology(workload.topology)
-    else:
-        ids, coords = workload.topology.positions_array()
-        latency = CoordinateLatencyModel(ids, coords)
+    workload = _build_plan_workload("synthetic", nodes, seed)
+
+    started = time.perf_counter()
+    with Nova(config).optimize(
+        workload.topology, workload.plan, workload.matrix,
+        latency=workload.ensure_latency(),
+    ) as session:
+        print(
+            f"Optimized {nodes}-node workload (seed {seed}): "
+            f"{session.placement.replica_count()} sub-joins in "
+            f"{time.perf_counter() - started:.3f}s"
+        )
+
+        applier = WindowApplier(session)
+        monitor = session.overload_monitor
+        rows = []
+        for index, events in enumerate(trace.batches):
+            try:
+                applied = applier.apply(events, index, strict=True)
+            except ReproError as error:
+                print(
+                    f"batch {index} failed (rolled back): {error}",
+                    file=sys.stderr,
+                )
+                return 1
+            for item in applied:
+                delta = item.delta
+                events_per_s = (
+                    delta.events_applied / item.elapsed_s
+                    if item.elapsed_s > 0
+                    else 0.0
+                )
+                rows.append(
+                    [
+                        index,
+                        f"{delta.events_staged}/{delta.events_applied}",
+                        len(delta.subs_added),
+                        len(delta.subs_removed),
+                        len(delta.moves),
+                        len(delta.availability_delta),
+                        delta.timings.packing_passes,
+                        item.elapsed_s,
+                        events_per_s,
+                        monitor.percentage,
+                    ]
+                )
+        print()
+        print(
+            render_table(
+                [
+                    "batch",
+                    "events",
+                    "subs +",
+                    "subs -",
+                    "moved",
+                    "avail Δ",
+                    "passes",
+                    "seconds",
+                    "events/s",
+                    "overload %",
+                ],
+                rows,
+                precision=3,
+                title=f"Churn replay — {len(trace.batches)} batches via session.apply",
+            )
+        )
+        if save_deltas:
+            archived = [entry["delta"] for entry in applier.deltas.entries]
+            Path(save_deltas).write_text(
+                json.dumps(archived, indent=2, sort_keys=True)
+            )
+            print(f"\nSaved {len(archived)} plan deltas to {save_deltas}")
+    return 0
+
+
+def _parse_source(spec: str):
+    """Build one event source from a ``--source`` spec string."""
+    from repro.common.errors import OptimizationError
+    from repro.serve import FileTailSource, SocketSource, StreamSource
+
+    if spec == "stdin":
+        return StreamSource(sys.stdin)
+    if spec.startswith("tail:"):
+        return FileTailSource(spec[len("tail:"):])
+    if spec.startswith("socket:"):
+        return SocketSource(spec[len("socket:"):])
+    raise OptimizationError(
+        f"unknown source {spec!r}: expected stdin, tail:PATH, or socket:PATH"
+    )
+
+
+def run_serve(
+    workload_name: str = "synthetic",
+    nodes: int = 400,
+    seed: int = 0,
+    source_specs: Optional[List[str]] = None,
+    window_ms: float = 250.0,
+    max_batch: int = 128,
+    queue_size: int = 1024,
+    overflow: str = "block",
+    save_deltas: Optional[str] = None,
+    dead_letter: Optional[str] = None,
+    status_file: Optional[str] = None,
+    status_interval: float = 5.0,
+    max_windows: Optional[int] = None,
+    exit_on_eof: bool = False,
+    workers: Optional[str] = None,
+    backend: Optional[str] = None,
+) -> int:
+    """Run the long-lived serving daemon (see :mod:`repro.serve`).
+
+    Plans the workload once, then serves an unbounded churn-event
+    stream: events from every ``--source`` are grouped into coalescing
+    windows (closing after ``--window-ms`` or at ``--max-batch`` events,
+    whichever first) and each window applies as one transactional
+    ChangeSet batch. Ingestion is backpressured by a bounded queue whose
+    ``--overflow`` policy is ``block`` (stall producers), ``coalesce``
+    (compact the queue with the ChangeSet coalescing rules), or ``shed``
+    (dead-letter the newest event). SIGINT/SIGTERM drain gracefully:
+    queued events and the in-flight window apply, archives flush, the
+    session closes, and the daemon exits 0.
+    """
+    from repro import Nova, NovaConfig
+    from repro.common.errors import ReproError
+    from repro.serve import (
+        DeadLetterArchive,
+        DeltaArchive,
+        IngressQueue,
+        ServeLoop,
+        ServeSettings,
+    )
+
+    try:
+        config = NovaConfig(seed=seed, **_config_overrides(workers, backend))
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    settings = ServeSettings(
+        window_ms=window_ms,
+        max_batch=max_batch,
+        queue_size=queue_size,
+        overflow=overflow,
+        status_interval_s=status_interval,
+        max_windows=max_windows,
+        exit_on_eof=exit_on_eof,
+    )
+    sources = []
+    try:
+        # Validate the cheap knobs before paying for the initial solve.
+        settings.window_policy()
+        IngressQueue(settings.queue_size, policy=settings.overflow)
+        for spec in source_specs or ["stdin"]:
+            sources.append(_parse_source(spec))
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    workload = _build_plan_workload(workload_name, nodes, seed)
+    if workload is None:
+        return 2
 
     started = time.perf_counter()
     session = Nova(config).optimize(
-        workload.topology, workload.plan, workload.matrix, latency=latency
+        workload.topology, workload.plan, workload.matrix,
+        latency=workload.ensure_latency(),
     )
     print(
-        f"Optimized {nodes}-node workload (seed {seed}): "
-        f"{session.placement.replica_count()} sub-joins in "
-        f"{time.perf_counter() - started:.3f}s"
+        f"serving {workload.name or workload_name} (seed {seed}): "
+        f"{session.placement.replica_count()} sub-joins placed in "
+        f"{time.perf_counter() - started:.3f}s; "
+        f"sources: {', '.join(source.name for source in sources)}",
+        file=sys.stderr,
     )
-
-    monitor = session.overload_monitor
-    batches = trace.get("batches", [])
-    rows = []
-    archived = []
-    for index, batch in enumerate(batches):
-        data = batch if isinstance(batch, dict) else {"events": batch}
-        try:
-            changeset = ChangeSet.from_dict(data)
-            applied_started = time.perf_counter()
-            delta = session.apply(changeset)
-            elapsed = time.perf_counter() - applied_started
-        except ReproError as error:
-            print(f"batch {index} failed (rolled back): {error}", file=sys.stderr)
-            session.close()
-            return 1
-        monitor.apply_delta(delta)
-        events_per_s = delta.events_applied / elapsed if elapsed > 0 else 0.0
-        rows.append(
-            [
-                index,
-                f"{delta.events_staged}/{delta.events_applied}",
-                len(delta.subs_added),
-                len(delta.subs_removed),
-                len(delta.moves),
-                len(delta.availability_delta),
-                delta.timings.packing_passes,
-                elapsed,
-                events_per_s,
-                monitor.percentage,
-            ]
+    try:
+        loop = ServeLoop(
+            session,
+            sources,
+            settings,
+            dead_letters=DeadLetterArchive(dead_letter),
+            deltas=DeltaArchive(save_deltas),
+            status_file=status_file,
         )
-        archived.append(plan_delta_to_dict(delta))
-    print()
-    print(
-        render_table(
-            [
-                "batch",
-                "events",
-                "subs +",
-                "subs -",
-                "moved",
-                "avail Δ",
-                "passes",
-                "seconds",
-                "events/s",
-                "overload %",
-            ],
-            rows,
-            precision=3,
-            title=f"Churn replay — {len(batches)} batches via session.apply",
-        )
-    )
-    if save_deltas:
-        Path(save_deltas).write_text(json.dumps(archived, indent=2, sort_keys=True))
-        print(f"\nSaved {len(archived)} plan deltas to {save_deltas}")
-    session.close()
-    return 0
+    except ReproError as error:
+        session.close()
+        print(str(error), file=sys.stderr)
+        return 2
+    # ServeLoop.run closes the session and archives on every exit path.
+    return loop.run(install_signals=True)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -438,6 +553,99 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["serial", "thread", "process"],
         help="where lease speculation runs (default: thread)",
     )
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived serving daemon over a churn-event stream",
+    )
+    serve.add_argument(
+        "--workload",
+        default="synthetic",
+        help=f"workload to serve: one of {', '.join(PLAN_WORKLOADS)}",
+    )
+    serve.add_argument(
+        "--nodes", type=int, default=400, help="node count for synthetic workloads"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="workload/config seed")
+    serve.add_argument(
+        "--source",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="event source: 'stdin', 'tail:PATH', or 'socket:PATH' "
+        "(repeatable; default stdin). A socket source doubles as the "
+        "status endpoint: send the line 'status' to get a JSON snapshot.",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=250.0,
+        help="close the coalescing window after this much wall-clock time",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=128,
+        help="close the coalescing window at this many buffered events",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=1024,
+        help="bounded ingress queue capacity (the backpressure threshold)",
+    )
+    serve.add_argument(
+        "--overflow",
+        default="block",
+        choices=["block", "coalesce", "shed"],
+        help="what a full ingress queue does to producers (default: block)",
+    )
+    serve.add_argument(
+        "--save-deltas",
+        default=None,
+        metavar="PATH",
+        help="archive each applied window (events + PlanDelta) as JSONL",
+    )
+    serve.add_argument(
+        "--dead-letter",
+        default=None,
+        metavar="PATH",
+        help="archive undeliverable events as structured JSONL records",
+    )
+    serve.add_argument(
+        "--status-file",
+        default=None,
+        metavar="PATH",
+        help="atomically rewrite a JSON status snapshot here on each report",
+    )
+    serve.add_argument(
+        "--status-interval",
+        type=float,
+        default=5.0,
+        help="seconds between periodic status reports (0 disables them)",
+    )
+    serve.add_argument(
+        "--max-windows",
+        type=int,
+        default=None,
+        help="stop after applying this many windows (default: unbounded)",
+    )
+    serve.add_argument(
+        "--exit-on-eof",
+        action="store_true",
+        help="drain and exit once every source hits end-of-stream "
+        "(default: keep serving until signaled)",
+    )
+    serve.add_argument(
+        "--workers",
+        default=None,
+        help="Phase III packing workers: a positive integer or 'auto'",
+    )
+    serve.add_argument(
+        "--execution-backend",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="where lease speculation runs (default: thread)",
+    )
     args = parser.parse_args(argv)
     if args.command == "plan":
         return run_plan(
@@ -456,6 +664,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_replay(
             args.trace,
             save_deltas=args.save_deltas,
+            workers=args.workers,
+            backend=args.execution_backend,
+        )
+    if args.command == "serve":
+        return run_serve(
+            workload_name=args.workload,
+            nodes=args.nodes,
+            seed=args.seed,
+            source_specs=args.source,
+            window_ms=args.window_ms,
+            max_batch=args.max_batch,
+            queue_size=args.queue_size,
+            overflow=args.overflow,
+            save_deltas=args.save_deltas,
+            dead_letter=args.dead_letter,
+            status_file=args.status_file,
+            status_interval=args.status_interval,
+            max_windows=args.max_windows,
+            exit_on_eof=args.exit_on_eof,
             workers=args.workers,
             backend=args.execution_backend,
         )

@@ -75,11 +75,10 @@ from repro.topology.dynamics import (
     event_from_dict,
     event_to_dict,
 )
+from repro.topology.event_codec import TRACE_FORMAT_VERSION  # noqa: F401  (re-export)
 from repro.topology.model import Node, NodeRole
 
 _EVENT_CLASSES = tuple(EVENT_TYPES.values())
-
-TRACE_FORMAT_VERSION = 1
 
 
 # ----------------------------------------------------------------------

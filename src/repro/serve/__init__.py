@@ -1,0 +1,70 @@
+"""Long-lived serving mode: a daemon over one ``NovaSession``.
+
+``python -m repro serve`` builds a session, attaches one or more event
+:mod:`sources <repro.serve.sources>` (stdin JSONL, ``tail -f`` of a
+file, a local UNIX socket), and runs the :class:`ServeLoop`: events are
+grouped into :class:`coalescing windows <repro.serve.window.CoalescingWindow>`,
+each window applies as one transactional ChangeSet batch, backpressure
+is governed by a bounded :class:`IngressQueue` with pluggable overflow
+policies, failures dead-letter instead of killing the loop, and a
+:class:`status plane <repro.serve.status.StatusPlane>` exposes live
+operational state.
+"""
+
+from repro.serve.deadletter import (
+    DeadLetterArchive,
+    DeadLetterRecord,
+    DeltaArchive,
+    REASON_APPLY_FAILED,
+    REASON_MALFORMED,
+    REASON_REJECTED,
+    REASON_SHED,
+)
+from repro.serve.loop import (
+    AppliedWindow,
+    IngressQueue,
+    OVERFLOW_BLOCK,
+    OVERFLOW_COALESCE,
+    OVERFLOW_POLICIES,
+    OVERFLOW_SHED,
+    ServeLoop,
+    ServeSettings,
+    WindowApplier,
+)
+from repro.serve.sources import (
+    EventSource,
+    FileTailSource,
+    IterableSource,
+    SocketSource,
+    StreamSource,
+)
+from repro.serve.status import ServeStats, StatusPlane
+from repro.serve.window import CoalescingWindow, WindowPolicy
+
+__all__ = [
+    "AppliedWindow",
+    "CoalescingWindow",
+    "DeadLetterArchive",
+    "DeadLetterRecord",
+    "DeltaArchive",
+    "EventSource",
+    "FileTailSource",
+    "IngressQueue",
+    "IterableSource",
+    "OVERFLOW_BLOCK",
+    "OVERFLOW_COALESCE",
+    "OVERFLOW_POLICIES",
+    "OVERFLOW_SHED",
+    "REASON_APPLY_FAILED",
+    "REASON_MALFORMED",
+    "REASON_REJECTED",
+    "REASON_SHED",
+    "ServeLoop",
+    "ServeSettings",
+    "ServeStats",
+    "SocketSource",
+    "StatusPlane",
+    "StreamSource",
+    "WindowApplier",
+    "WindowPolicy",
+]

@@ -1,0 +1,174 @@
+"""Dead-letter and delta archives: the serving loop's durable records.
+
+Robustness in the serving loop means *nothing kills the loop and nothing
+vanishes silently*. Two append-only JSONL archives make that auditable:
+
+* :class:`DeadLetterArchive` — every event the loop could not apply
+  lands here as a structured record: malformed input (undecodable JSONL
+  lines), events rejected by batch validation, events whose window
+  failed to apply even after the half-window retry, and events shed by
+  the overflow policy. Each record carries the reason, the error text,
+  the event (decoded dict or raw line, verbatim), the window index when
+  one exists, and a wall-clock timestamp.
+
+* :class:`DeltaArchive` — the observability plane's per-window record:
+  the applied events (wire form) and the resulting
+  :class:`~repro.core.changeset.PlanDelta` (serialized), one JSON object
+  per line. A base placement plus this stream reconstructs the live
+  placement (``PlanDelta.apply_to``), and tests replay the archived
+  batches through ``session.apply`` to assert the daemon's end state is
+  bit-identical to direct application.
+
+Both archives keep an in-memory tail as well, so in-process drivers
+(tests, benchmarks) can assert on records without touching the
+filesystem; pass ``path=None`` for memory-only operation. Writers are
+thread-safe — ingestion threads dead-letter malformed lines while the
+loop thread dead-letters rejected events.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Dead-letter reasons (the ``reason`` field of each record).
+REASON_MALFORMED = "malformed"
+REASON_REJECTED = "rejected"
+REASON_APPLY_FAILED = "apply-failed"
+REASON_SHED = "shed"
+
+
+class _JsonlWriter:
+    """A line-buffered, thread-safe JSONL appender (optional file)."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def write(self, record: Dict) -> None:
+        if self.path is None:
+            return
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle is None:
+                self._handle = self.path.open("a", buffering=1)
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+@dataclass
+class DeadLetterRecord:
+    """One event the serving loop could not apply, with why."""
+
+    reason: str
+    error: str
+    event: Optional[Dict] = None
+    raw: Optional[str] = None
+    window: Optional[int] = None
+    at: float = field(default_factory=time.time)
+
+    def to_dict(self) -> Dict:
+        return {
+            "reason": self.reason,
+            "error": self.error,
+            "event": self.event,
+            "raw": self.raw,
+            "window": self.window,
+            "at": self.at,
+        }
+
+
+class DeadLetterArchive:
+    """Structured sink for events the loop declines to apply."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self._writer = _JsonlWriter(path)
+        self._lock = threading.Lock()
+        self.records: List[DeadLetterRecord] = []
+        self.counts: Dict[str, int] = {}
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._writer.path
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(
+        self,
+        reason: str,
+        error: Union[str, BaseException],
+        event: Optional[Dict] = None,
+        raw: Optional[str] = None,
+        window: Optional[int] = None,
+    ) -> DeadLetterRecord:
+        """Archive one record; returns it for callers that report further."""
+        entry = DeadLetterRecord(
+            reason=reason,
+            error=str(error),
+            event=event,
+            raw=raw,
+            window=window,
+        )
+        with self._lock:
+            self.records.append(entry)
+            self.counts[reason] = self.counts.get(reason, 0) + 1
+        self._writer.write(entry.to_dict())
+        return entry
+
+    def count(self, reason: str) -> int:
+        return self.counts.get(reason, 0)
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+class DeltaArchive:
+    """Per-window JSONL archive of applied events and their PlanDeltas."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self._writer = _JsonlWriter(path)
+        self._lock = threading.Lock()
+        self.entries: List[Dict] = []
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._writer.path
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def record(
+        self,
+        window: int,
+        events: List[Dict],
+        delta: Dict,
+        elapsed_s: float,
+        retry: bool = False,
+    ) -> Dict:
+        """Archive one applied window (events in wire form, delta dict)."""
+        entry = {
+            "window": window,
+            "retry": retry,
+            "events": events,
+            "delta": delta,
+            "elapsed_s": elapsed_s,
+            "at": time.time(),
+        }
+        with self._lock:
+            self.entries.append(entry)
+        self._writer.write(entry)
+        return entry
+
+    def close(self) -> None:
+        self._writer.close()

@@ -1,0 +1,292 @@
+"""Pluggable ingestion sources for the serving daemon.
+
+A source is anything that produces raw JSONL event lines: the daemon's
+stdin, a file another process appends to, a local (UNIX-domain) socket
+clients connect to, or an in-process iterable (tests, benchmarks, the
+replay CLI's trace batches). Sources do **not** decode events — they
+hand raw lines to the sink the loop installs, and the loop's ingress
+path owns decoding, dead-lettering, and backpressure. That keeps every
+robustness decision in one place regardless of where bytes came from.
+
+Each source runs its reader on its own daemon thread:
+
+* ``start(sink, on_eof=None, status_provider=None)`` — begin producing;
+  ``sink(raw_line, origin)`` is thread-safe and may block (that *is* the
+  backpressure propagating to the producer). Finite sources call
+  ``on_eof(source)`` exactly once when exhausted.
+* ``stop()`` — ask the reader to wind down; ``join(timeout)`` waits.
+
+``status_provider`` is a zero-argument callable returning the current
+status snapshot dict; only the socket source uses it (a client line of
+``status`` — or ``{"op": "status"}`` — gets the snapshot JSON written
+back instead of being ingested), which is what makes the socket double
+as the daemon's on-demand status endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, TextIO, Union
+
+from repro.common.errors import OptimizationError
+from repro.topology.dynamics import ChurnEvent
+from repro.topology.event_codec import encode_event_line
+
+Sink = Callable[[str, str], None]
+StatusProvider = Callable[[], Dict]
+
+
+class EventSource:
+    """Base class: reader-thread lifecycle shared by every source."""
+
+    name = "source"
+
+    def __init__(self) -> None:
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def start(
+        self,
+        sink: Sink,
+        on_eof: Optional[Callable[["EventSource"], None]] = None,
+        status_provider: Optional[StatusProvider] = None,
+    ) -> None:
+        if self._thread is not None:
+            raise OptimizationError(f"source {self.name!r} already started")
+        self._sink = sink
+        self._on_eof = on_eof
+        self._status_provider = status_provider
+        self._thread = threading.Thread(
+            target=self._guarded_run, name=f"serve-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def _guarded_run(self) -> None:
+        try:
+            self._run()
+        finally:
+            if self._on_eof is not None:
+                self._on_eof(self)
+
+    def _run(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _emit(self, line: str) -> None:
+        line = line.strip()
+        if line:
+            self._sink(line, self.name)
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+class StreamSource(EventSource):
+    """JSONL lines from an open text stream (typically the daemon's stdin).
+
+    Reads until EOF or ``stop()``. A reader blocked inside ``readline``
+    on a still-open pipe cannot be interrupted portably; the thread is a
+    daemon, so shutdown never hangs on it — the loop simply stops
+    accepting its output.
+    """
+
+    def __init__(self, stream: TextIO, name: str = "stdin") -> None:
+        super().__init__()
+        self._stream = stream
+        self.name = name
+
+    def _run(self) -> None:
+        for line in self._stream:
+            if self._stop.is_set():
+                break
+            self._emit(line)
+
+
+class IterableSource(EventSource):
+    """An in-process source fed from an iterable (tests and benchmarks).
+
+    Accepts raw JSONL lines or :class:`ChurnEvent` instances (encoded on
+    the way out). ``pace_s`` optionally sleeps between items to emulate
+    a paced producer.
+    """
+
+    name = "iterable"
+
+    def __init__(
+        self,
+        items: Iterable[Union[str, ChurnEvent]],
+        pace_s: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self._items = items
+        self._pace_s = pace_s
+
+    def _run(self) -> None:
+        for item in self._items:
+            if self._stop.is_set():
+                break
+            if not isinstance(item, str):
+                item = encode_event_line(item)
+            self._emit(item)
+            if self._pace_s > 0:
+                time.sleep(self._pace_s)
+
+
+class FileTailSource(EventSource):
+    """Follow a file ``tail -f``-style, ingesting appended JSONL lines.
+
+    Starts from the beginning of the file by default (``from_start``),
+    then polls for growth every ``poll_s``. Handles the file not
+    existing yet (waits for it) and truncation (reopens from the top).
+    Never signals EOF — a tailed file is an unbounded source.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        poll_s: float = 0.2,
+        from_start: bool = True,
+    ) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.name = f"tail:{self.path}"
+        self._poll_s = poll_s
+        self._from_start = from_start
+
+    def _run(self) -> None:
+        handle: Optional[TextIO] = None
+        try:
+            while not self._stop.is_set():
+                if handle is None:
+                    try:
+                        handle = self.path.open("r")
+                    except FileNotFoundError:
+                        self._stop.wait(self._poll_s)
+                        continue
+                    if not self._from_start:
+                        handle.seek(0, os.SEEK_END)
+                line = handle.readline()
+                if line:
+                    if line.endswith("\n"):
+                        self._emit(line)
+                    else:
+                        # A partial line (writer mid-append): rewind and
+                        # retry once the writer finishes it.
+                        handle.seek(handle.tell() - len(line))
+                        self._stop.wait(self._poll_s)
+                    continue
+                try:
+                    size = self.path.stat().st_size
+                except FileNotFoundError:
+                    size = 0
+                if size < handle.tell():
+                    handle.close()
+                    handle = None  # truncated/rotated: reopen from the top
+                else:
+                    self._stop.wait(self._poll_s)
+        finally:
+            if handle is not None:
+                handle.close()
+
+
+class SocketSource(EventSource):
+    """A local UNIX-domain socket accepting JSONL event lines.
+
+    Clients connect and stream event lines; each line is ingested like a
+    stdin line. A line reading ``status`` (or the JSON object
+    ``{"op": "status"}``) is a control request instead: the daemon's
+    current status snapshot is written back as one JSON line. Multiple
+    concurrent connections are served (one daemon thread each), so a
+    status probe never waits behind an event stream.
+    """
+
+    def __init__(self, path: Union[str, Path], backlog: int = 8) -> None:
+        super().__init__()
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise OptimizationError("socket sources require AF_UNIX support")
+        self.path = Path(path)
+        self.name = f"socket:{self.path}"
+        self._backlog = backlog
+        self._listener: Optional[socket.socket] = None
+
+    def _run(self) -> None:
+        if self.path.exists():
+            self.path.unlink()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.path))
+        listener.listen(self._backlog)
+        listener.settimeout(0.2)
+        self._listener = listener
+        try:
+            while not self._stop.is_set():
+                try:
+                    connection, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                threading.Thread(
+                    target=self._serve_connection,
+                    args=(connection,),
+                    name=f"serve-conn-{self.path.name}",
+                    daemon=True,
+                ).start()
+        finally:
+            listener.close()
+            if self.path.exists():
+                self.path.unlink()
+
+    @staticmethod
+    def _is_status_request(line: str) -> bool:
+        if line == "status":
+            return True
+        if line.startswith("{"):
+            try:
+                return json.loads(line).get("op") == "status"
+            except (json.JSONDecodeError, AttributeError):
+                return False
+        return False
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            reader = connection.makefile("r")
+            for line in reader:
+                if self._stop.is_set():
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                if self._is_status_request(line):
+                    snapshot = (
+                        self._status_provider()
+                        if self._status_provider is not None
+                        else {}
+                    )
+                    payload = json.dumps(snapshot, sort_keys=True, default=str)
+                    try:
+                        connection.sendall(payload.encode() + b"\n")
+                    except OSError:
+                        break
+                else:
+                    self._sink(line, self.name)
+
+    def stop(self) -> None:
+        super().stop()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass

@@ -1,0 +1,235 @@
+"""The serving daemon's observability plane.
+
+Two surfaces over one set of counters (:class:`ServeStats`):
+
+* periodic one-line status reports written to the daemon's log stream
+  (and, when configured, a full JSON snapshot rewritten atomically to
+  ``--status-file``), emitted every ``interval_s`` from the serving
+  loop's idle path;
+* an on-demand :meth:`StatusPlane.snapshot` — the same JSON document,
+  served live over any socket source (a client sends ``status``, gets
+  the snapshot back).
+
+The snapshot exposes what an operator of a long-lived placement daemon
+needs: ingress queue depth against capacity, window-apply latency
+percentiles (p50/p90/p99 over a sliding sample), sustained events/s
+(lifetime and over the recent sample), dead-letter/shed/retry counters,
+the :class:`~repro.evaluation.overload.OverloadMonitor`'s live overload
+state, and the full ``session_summary()`` (phase timings, packing and
+state-plane counters, per-node loads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Deque, Dict, Optional, TextIO, Tuple, Union
+
+from repro.evaluation.latency import LatencyStats
+
+#: Sliding sample size for window latency percentiles and recent rate.
+RECENT_WINDOWS = 256
+
+
+class ServeStats:
+    """Thread-safe counters and sliding samples for one serving run."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.started_at = clock()
+        self.events_ingested = 0
+        self.events_applied = 0
+        self.events_rejected = 0
+        self.events_shed = 0
+        self.events_coalesced_away = 0
+        self.events_dead_lettered = 0
+        self.windows_applied = 0
+        self.windows_failed = 0
+        self.window_retries = 0
+        #: (completed_at, events_in_window, apply_seconds) per window.
+        self._recent: Deque[Tuple[float, int, float]] = deque(
+            maxlen=RECENT_WINDOWS
+        )
+
+    # -- recording ------------------------------------------------------
+    def note_ingested(self, count: int = 1) -> None:
+        with self._lock:
+            self.events_ingested += count
+
+    def note_rejected(self) -> None:
+        with self._lock:
+            self.events_rejected += 1
+            self.events_dead_lettered += 1
+
+    def note_shed(self) -> None:
+        with self._lock:
+            self.events_shed += 1
+            self.events_dead_lettered += 1
+
+    def note_coalesced_away(self, count: int) -> None:
+        with self._lock:
+            self.events_coalesced_away += count
+
+    def note_window_applied(self, events: int, elapsed_s: float) -> None:
+        with self._lock:
+            self.windows_applied += 1
+            self.events_applied += events
+            self._recent.append((self._clock(), events, elapsed_s))
+
+    def note_window_failed(self, events: int) -> None:
+        with self._lock:
+            self.windows_failed += 1
+            self.events_dead_lettered += events
+
+    def note_retry(self) -> None:
+        with self._lock:
+            self.window_retries += 1
+
+    # -- derived --------------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        return self._clock() - self.started_at
+
+    def window_latency(self) -> LatencyStats:
+        """Apply-latency stats (ms) over the recent window sample."""
+        with self._lock:
+            samples = [1000.0 * elapsed for _, _, elapsed in self._recent]
+        return LatencyStats.from_values(samples)
+
+    def events_per_s(self) -> float:
+        """Lifetime applied-event throughput."""
+        uptime = self.uptime_s
+        return self.events_applied / uptime if uptime > 0 else 0.0
+
+    def recent_events_per_s(self) -> float:
+        """Sustained throughput over the recent window sample.
+
+        Measured from the first to the last completion in the sample, so
+        long idle gaps before the sample don't dilute the steady-state
+        rate the way the lifetime average does.
+        """
+        with self._lock:
+            if len(self._recent) < 2:
+                return self.events_per_s()
+            first_at = self._recent[0][0]
+            last_at = self._recent[-1][0]
+            events = sum(count for _, count, _ in self._recent)
+        span = last_at - first_at
+        return events / span if span > 0 else self.events_per_s()
+
+
+class StatusPlane:
+    """Renders :class:`ServeStats` + session state as lines and snapshots."""
+
+    def __init__(
+        self,
+        session,
+        stats: ServeStats,
+        queue_depth: Callable[[], int],
+        queue_size: int,
+        status_file: Optional[Union[str, Path]] = None,
+        interval_s: float = 5.0,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.session = session
+        self.stats = stats
+        self.queue_depth = queue_depth
+        self.queue_size = queue_size
+        self.status_file = Path(status_file) if status_file else None
+        self.interval_s = interval_s
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._last_emitted = clock()
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """The full status document (JSON-serializable)."""
+        from repro.core.serialization import session_summary
+
+        stats = self.stats
+        latency = stats.window_latency()
+        monitor = self.session.overload_monitor
+        return {
+            "uptime_s": stats.uptime_s,
+            "queue": {"depth": self.queue_depth(), "size": self.queue_size},
+            "events": {
+                "ingested": stats.events_ingested,
+                "applied": stats.events_applied,
+                "rejected": stats.events_rejected,
+                "shed": stats.events_shed,
+                "coalesced_away": stats.events_coalesced_away,
+                "dead_lettered": stats.events_dead_lettered,
+                "per_s": stats.events_per_s(),
+                "per_s_recent": stats.recent_events_per_s(),
+            },
+            "windows": {
+                "applied": stats.windows_applied,
+                "failed": stats.windows_failed,
+                "retries": stats.window_retries,
+                "latency_ms": {
+                    "mean": latency.mean,
+                    "p50": latency.p50,
+                    "p90": latency.p90,
+                    "p99": latency.p99,
+                    "max": latency.maximum,
+                },
+            },
+            "overload": {
+                "percentage": monitor.percentage,
+                "overloaded": monitor.overloaded_count,
+                "hosting": monitor.hosting_count,
+                "max_utilization": monitor.max_utilization,
+            },
+            "session": session_summary(self.session),
+        }
+
+    def status_line(self) -> str:
+        """The compact periodic report line."""
+        stats = self.stats
+        latency = stats.window_latency()
+        monitor = self.session.overload_monitor
+        return (
+            f"serve: up {stats.uptime_s:7.1f}s"
+            f" | queue {self.queue_depth()}/{self.queue_size}"
+            f" | windows {stats.windows_applied}"
+            f" (+{stats.windows_failed} failed, {stats.window_retries} retried)"
+            f" | events {stats.events_applied}"
+            f" @ {stats.recent_events_per_s():,.0f}/s"
+            f" | window p50/p99 {latency.p50:.1f}/{latency.p99:.1f} ms"
+            f" | dead-letter {stats.events_dead_lettered}"
+            f" | overload {monitor.percentage:.1f}%"
+        )
+
+    # -- emission -------------------------------------------------------
+    def write_status_file(self) -> None:
+        """Atomically rewrite the status file with a fresh snapshot."""
+        if self.status_file is None:
+            return
+        payload = json.dumps(self.snapshot(), sort_keys=True, default=str)
+        scratch = self.status_file.with_suffix(
+            self.status_file.suffix + ".tmp"
+        )
+        scratch.write_text(payload + "\n")
+        os.replace(scratch, self.status_file)
+
+    def emit(self) -> None:
+        """Write one status line (and refresh the status file) now."""
+        print(self.status_line(), file=self.stream, flush=True)
+        self.write_status_file()
+        self._last_emitted = self._clock()
+
+    def maybe_emit(self) -> bool:
+        """Emit if the reporting interval has elapsed; returns whether."""
+        if self.interval_s <= 0:
+            return False
+        if self._clock() - self._last_emitted >= self.interval_s:
+            self.emit()
+            return True
+        return False

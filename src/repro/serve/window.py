@@ -1,0 +1,98 @@
+"""Coalescing windows: grouping an event stream into ChangeSet batches.
+
+The serving loop does not apply events one at a time — the transactional
+ChangeSet batch is the natural unit (one Phase II batch solve + one
+packing pass per batch, per-node coalescing inside the batch). A
+:class:`CoalescingWindow` accumulates decoded events and reports when
+the window must close: after ``window_ms`` of wall-clock time has
+elapsed since the *first* event entered (so a trickle still flushes
+promptly) **or** once ``max_batch`` events are buffered (so a burst
+cannot grow a batch without bound), whichever triggers first. An empty
+window never closes — idle periods cost nothing.
+
+The window is deliberately clock-agnostic: callers pass ``now`` into the
+time-dependent queries (the loop uses ``time.monotonic``; tests pass a
+fake clock), which keeps the trigger logic deterministic under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import OptimizationError
+from repro.topology.dynamics import ChurnEvent
+
+
+@dataclass(frozen=True)
+class WindowPolicy:
+    """When a non-empty window closes: elapsed time OR buffered count."""
+
+    window_ms: float = 250.0
+    max_batch: int = 128
+
+    def __post_init__(self) -> None:
+        if self.window_ms <= 0:
+            raise OptimizationError(
+                f"window_ms must be positive, got {self.window_ms!r}"
+            )
+        if self.max_batch < 1:
+            raise OptimizationError(
+                f"max_batch must be at least 1, got {self.max_batch!r}"
+            )
+
+    @property
+    def window_s(self) -> float:
+        return self.window_ms / 1000.0
+
+
+class CoalescingWindow:
+    """One in-flight batch of events awaiting its close trigger."""
+
+    def __init__(self, policy: WindowPolicy) -> None:
+        self.policy = policy
+        self._events: List[ChurnEvent] = []
+        self._opened_at: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[ChurnEvent]:
+        """The buffered events (a view; do not mutate)."""
+        return self._events
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._events
+
+    def append(self, event: ChurnEvent, now: float) -> None:
+        """Buffer one event; the first event starts the window clock."""
+        if self._opened_at is None:
+            self._opened_at = now
+        self._events.append(event)
+
+    def remaining_s(self, now: float) -> Optional[float]:
+        """Seconds until the time trigger fires; ``None`` while empty.
+
+        The serving loop uses this as its queue-poll timeout, so an idle
+        window wakes up exactly when it must close.
+        """
+        if self._opened_at is None:
+            return None
+        return max(0.0, self.policy.window_s - (now - self._opened_at))
+
+    def should_close(self, now: float) -> bool:
+        """Whether either trigger (time elapsed, count reached) has fired."""
+        if not self._events:
+            return False
+        if len(self._events) >= self.policy.max_batch:
+            return True
+        return (now - self._opened_at) >= self.policy.window_s
+
+    def close(self) -> List[ChurnEvent]:
+        """Take the buffered events and reset for the next window."""
+        events = self._events
+        self._events = []
+        self._opened_at = None
+        return events

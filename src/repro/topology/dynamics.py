@@ -23,7 +23,7 @@ hooks used by that engine:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -439,6 +439,73 @@ def event_from_dict(data: Dict) -> ChurnEvent:
         return cls(**payload)
     except TypeError as error:
         raise OptimizationError(f"malformed {name!r} event: {error}") from None
+
+
+def churn_event_stream(
+    topology,
+    plan,
+    seed: SeedLike = 0,
+    rate_span: Tuple[float, float] = (20.0, 150.0),
+    capacity_span: Tuple[float, float] = (50.0, 400.0),
+    neighbor_sample: int = 12,
+    transient_prefix: str = "churn_w",
+) -> Iterator[ChurnEvent]:
+    """An unbounded synthetic churn stream for serving-mode drivers.
+
+    Yields an endless, reproducible mix of churn events against a fixed
+    workload: data-rate changes on the plan's sources, capacity changes
+    and coordinate drift on existing nodes, and paired add/remove churn
+    of *transient* workers (nodes the stream itself introduced, so the
+    stream never removes workload nodes and every event is valid when
+    applied in order). This is the workload shape of the iDynamics-style
+    continuous-emulation studies — ``repro serve`` benchmarks and tests
+    drive it through :func:`repro.topology.event_codec.encode_event_line`
+    as a stdin JSONL feed or an in-process source.
+    """
+    rng = ensure_rng(seed)
+    source_ids = [op.op_id for op in plan.sources()]
+    node_ids = list(topology.node_ids)
+    if not source_ids or not node_ids:
+        raise OptimizationError(
+            "churn_event_stream needs a workload with sources and nodes"
+        )
+    sample_ids = node_ids[: max(2, neighbor_sample)]
+    transient: List[str] = []
+    serial = 0
+
+    def latencies() -> Dict[str, float]:
+        return {
+            node_id: float(rng.uniform(1.0, 100.0)) for node_id in sample_ids
+        }
+
+    while True:
+        roll = rng.random()
+        if roll < 0.45:
+            yield DataRateChangeEvent(
+                node_id=source_ids[int(rng.integers(len(source_ids)))],
+                new_rate=float(rng.uniform(*rate_span)),
+            )
+        elif roll < 0.70:
+            yield CapacityChangeEvent(
+                node_id=node_ids[int(rng.integers(len(node_ids)))],
+                new_capacity=float(rng.uniform(*capacity_span)),
+            )
+        elif roll < 0.90:
+            yield CoordinateDriftEvent(
+                node_id=node_ids[int(rng.integers(len(node_ids)))],
+                neighbor_latencies_ms=latencies(),
+            )
+        elif transient and (len(transient) >= 4 or rng.random() < 0.5):
+            yield RemoveNodeEvent(node_id=transient.pop(0))
+        else:
+            node_id = f"{transient_prefix}{serial}"
+            serial += 1
+            transient.append(node_id)
+            yield AddWorkerEvent(
+                node_id=node_id,
+                capacity=float(rng.uniform(*capacity_span)),
+                neighbor_latencies_ms=latencies(),
+            )
 
 
 def standard_event_suite(

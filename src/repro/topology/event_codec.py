@@ -1,0 +1,151 @@
+"""Wire codec for churn-event streams and trace files.
+
+One place owns the JSON shapes that travel between processes: the
+line-oriented JSONL event stream the serving daemon ingests
+(:func:`decode_event_line`), the batch shape both the ``replay`` CLI
+and archived traces use (:func:`decode_batch`), and the trace-file
+envelope (:func:`load_trace`). The per-event dict codec itself
+(``event_to_dict``/``event_from_dict``) lives with the event classes in
+:mod:`repro.topology.dynamics`; this module layers the stream and file
+framing on top so ``replay``, ``serve``, tests, and benchmarks all parse
+churn input through the same functions and cannot drift.
+
+Decode failures raise :class:`EventDecodeError`, which carries the
+offending raw payload — the serving loop's dead-letter archive stores it
+verbatim next to the structured error instead of dropping the evidence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.common.errors import OptimizationError
+from repro.topology.dynamics import ChurnEvent, event_from_dict, event_to_dict
+
+#: Version stamp of the trace-file envelope (also re-exported by
+#: :mod:`repro.core.changeset` for backwards compatibility).
+TRACE_FORMAT_VERSION = 1
+
+
+class TraceError(OptimizationError):
+    """Raised for malformed trace files or unsupported trace versions."""
+
+
+class EventDecodeError(TraceError):
+    """A single event payload could not be decoded.
+
+    ``raw`` holds the offending input (a JSONL line or a dict) so
+    dead-letter records can archive exactly what arrived.
+    """
+
+    def __init__(self, message: str, *, raw: object = None) -> None:
+        super().__init__(message)
+        self.raw = raw
+
+
+# ----------------------------------------------------------------------
+# event lines (the JSONL stream format)
+# ----------------------------------------------------------------------
+def encode_event_line(event: ChurnEvent) -> str:
+    """One churn event as a single JSONL line (no trailing newline)."""
+    return json.dumps(event_to_dict(event), sort_keys=True)
+
+
+def decode_event_dict(data: object) -> ChurnEvent:
+    """Rebuild a churn event from its dict form, with structured errors."""
+    if not isinstance(data, dict):
+        raise EventDecodeError(
+            f"event payload must be a JSON object, got {type(data).__name__}",
+            raw=data,
+        )
+    try:
+        return event_from_dict(data)
+    except OptimizationError as error:
+        raise EventDecodeError(str(error), raw=data) from None
+
+
+def decode_event_line(line: str) -> ChurnEvent:
+    """Parse one JSONL stream line into a churn event.
+
+    Raises :class:`EventDecodeError` (carrying the raw line) for invalid
+    JSON, non-object payloads, unknown event types, and malformed fields.
+    """
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise EventDecodeError(f"invalid JSON: {error}", raw=line) from None
+    try:
+        return decode_event_dict(data)
+    except EventDecodeError as error:
+        raise EventDecodeError(str(error), raw=line) from None
+
+
+# ----------------------------------------------------------------------
+# batches and trace files
+# ----------------------------------------------------------------------
+def decode_batch(data: Union[Dict, List]) -> List[ChurnEvent]:
+    """Decode one trace batch: ``{"events": [...]}`` or a bare event list."""
+    if isinstance(data, dict):
+        entries = data.get("events", [])
+    else:
+        entries = data
+    if not isinstance(entries, list):
+        raise EventDecodeError(
+            f"batch events must be a list, got {type(entries).__name__}",
+            raw=data,
+        )
+    return [decode_event_dict(entry) for entry in entries]
+
+
+@dataclass
+class ChurnTrace:
+    """A parsed churn-trace file: workload spec plus event batches."""
+
+    version: int = TRACE_FORMAT_VERSION
+    workload: Dict = field(default_factory=dict)
+    batches: List[List[ChurnEvent]] = field(default_factory=list)
+
+    @property
+    def event_count(self) -> int:
+        """Total events across all batches."""
+        return sum(len(batch) for batch in self.batches)
+
+
+def parse_trace(data: Dict) -> ChurnTrace:
+    """Validate and decode a trace document (see ``run_replay`` docs)."""
+    if not isinstance(data, dict):
+        raise TraceError(
+            f"trace must be a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("version", TRACE_FORMAT_VERSION)
+    if version != TRACE_FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    return ChurnTrace(
+        version=version,
+        workload=dict(data.get("workload", {})),
+        batches=[decode_batch(batch) for batch in data.get("batches", [])],
+    )
+
+
+def load_trace(path: Union[str, Path]) -> ChurnTrace:
+    """Read and parse a churn-trace JSON file.
+
+    Raises :class:`TraceError` for a missing file, invalid JSON, an
+    unsupported version, or malformed events.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise TraceError(f"trace file not found: {path}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise TraceError(f"invalid trace file {path}: {error}") from None
+    return parse_trace(data)

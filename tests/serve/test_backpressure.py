@@ -1,0 +1,152 @@
+"""Bounded ingress and the three overflow policies."""
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import OptimizationError
+from repro.serve import (
+    IngressQueue,
+    IterableSource,
+    OVERFLOW_SHED,
+    REASON_SHED,
+    ServeLoop,
+    ServeSettings,
+)
+from repro.topology.dynamics import DataRateChangeEvent
+
+from tests.serve.conftest import churn_events
+
+
+def event(i, node="s"):
+    return DataRateChangeEvent(node, 10.0 + i)
+
+
+class TestIngressQueue:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(OptimizationError, match="queue size"):
+            IngressQueue(0)
+        with pytest.raises(OptimizationError, match="overflow policy"):
+            IngressQueue(4, policy="drop-oldest")
+
+    def test_fifo_and_depth(self):
+        queue = IngressQueue(8)
+        for i in range(3):
+            assert queue.put(event(i, node=f"n{i}"))
+        assert queue.depth == 3
+        assert queue.get(timeout=0).node_id == "n0"
+        assert queue.depth == 2
+
+    def test_get_times_out_empty(self):
+        queue = IngressQueue(2)
+        started = time.monotonic()
+        assert queue.get(timeout=0.05) is None
+        assert time.monotonic() - started >= 0.04
+
+    def test_block_policy_stalls_producer_until_consumer_drains(self):
+        queue = IngressQueue(2, policy="block")
+        assert queue.put(event(0, "a"))
+        assert queue.put(event(1, "b"))
+        accepted = threading.Event()
+
+        def producer():
+            queue.put(event(2, "c"))
+            accepted.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not accepted.wait(0.15)  # full queue: producer is stalled
+        assert queue.get(timeout=0) is not None
+        assert accepted.wait(1.0)  # freed slot unblocks it
+        assert queue.depth == 2
+        thread.join(1.0)
+
+    def test_block_policy_admits_over_capacity_while_stopping(self):
+        queue = IngressQueue(1, policy="block")
+        assert queue.put(event(0, "a"))
+        assert queue.put(event(1, "b"), stopping=lambda: True)
+        assert queue.depth == 2  # drain will consume it immediately
+
+    def test_shed_policy_drops_newest_with_record(self):
+        shed = []
+        queue = IngressQueue(2, policy="shed", on_shed=shed.append)
+        assert queue.put(event(0, "a"))
+        assert queue.put(event(1, "b"))
+        assert not queue.put(event(2, "c"))
+        assert [e.node_id for e in shed] == ["c"]
+        assert queue.depth == 2  # queued events untouched
+
+    def test_coalesce_policy_compacts_queue_in_place(self):
+        dropped = []
+        queue = IngressQueue(3, policy="coalesce", on_coalesced=dropped.append)
+        # Three rate changes on one node: last-wins coalescing collapses
+        # them, so the full queue compacts to a single event.
+        for i in range(3):
+            assert queue.put(event(i, "s"))
+        assert queue.put(event(3, "s"))
+        assert dropped == [2]
+        assert queue.depth == 2
+        drained = queue.drain()
+        # The survivor of the compacted run is the latest pre-overflow
+        # write; the overflowing event queues behind it.
+        assert [e.new_rate for e in drained] == [12.0, 13.0]
+
+    def test_coalesce_policy_blocks_when_nothing_compacts(self):
+        queue = IngressQueue(2, policy="coalesce")
+        assert queue.put(event(0, "a"))
+        assert queue.put(event(1, "b"))
+        accepted = threading.Event()
+
+        def producer():
+            queue.put(event(2, "c"))  # distinct nodes: nothing to drop
+            accepted.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not accepted.wait(0.15)
+        queue.get(timeout=0)
+        assert accepted.wait(1.0)
+        thread.join(1.0)
+
+
+class TestLoopBackpressure:
+    def test_shed_policy_dead_letters_and_survives(
+        self, small_instance, monkeypatch
+    ):
+        """A slow applier + tiny queue sheds load without losing count."""
+        workload, session = small_instance
+        original_apply = session.apply
+
+        def slow_apply(changes):
+            time.sleep(0.05)
+            return original_apply(changes)
+
+        monkeypatch.setattr(session, "apply", slow_apply)
+        events = churn_events(workload, 80)
+        loop = ServeLoop(
+            session,
+            [IterableSource(events)],
+            ServeSettings(
+                window_ms=10.0,
+                max_batch=4,
+                queue_size=4,
+                overflow=OVERFLOW_SHED,
+                exit_on_eof=True,
+                status_interval_s=0,
+            ),
+            status_stream=io.StringIO(),
+        )
+        assert loop.run() == 0
+        stats = loop.stats
+        assert stats.events_shed > 0, "tiny queue behind a slow applier must shed"
+        assert stats.events_shed == loop.dead_letters.count(REASON_SHED)
+        # Conservation: every ingested event was applied or dead-lettered.
+        assert (
+            stats.events_applied + stats.events_dead_lettered
+            == stats.events_ingested
+        )
+        for record in loop.dead_letters.records:
+            if record.reason == REASON_SHED:
+                assert record.event is not None  # shed events are archived

@@ -1,0 +1,232 @@
+"""Dead-lettering and failure recovery: nothing kills the serving loop."""
+
+import io
+
+import pytest
+
+from repro.serve import (
+    DeadLetterArchive,
+    IterableSource,
+    REASON_APPLY_FAILED,
+    REASON_MALFORMED,
+    REASON_REJECTED,
+    ServeLoop,
+    ServeSettings,
+    WindowApplier,
+)
+from repro.topology.dynamics import (
+    AddWorkerEvent,
+    DataRateChangeEvent,
+    event_to_dict,
+)
+from repro.topology.event_codec import encode_event_line
+
+from tests.serve.conftest import churn_events, placement_signature
+
+
+def make_loop(session, items, **overrides):
+    defaults = dict(
+        window_ms=30.0,
+        max_batch=16,
+        queue_size=256,
+        exit_on_eof=True,
+        status_interval_s=0,
+    )
+    defaults.update(overrides)
+    settings = ServeSettings(**defaults)
+    return ServeLoop(
+        session,
+        [IterableSource(items)],
+        settings,
+        status_stream=io.StringIO(),
+    )
+
+
+class TestArchive:
+    def test_records_counts_and_jsonl(self, tmp_path):
+        import json
+
+        archive = DeadLetterArchive(tmp_path / "dead.jsonl")
+        archive.record(REASON_MALFORMED, "boom", raw="not json")
+        archive.record(
+            REASON_REJECTED,
+            ValueError("nope"),
+            event={"type": "remove_node"},
+            window=3,
+        )
+        archive.close()
+        assert len(archive) == 2
+        assert archive.count(REASON_MALFORMED) == 1
+        assert archive.count(REASON_REJECTED) == 1
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "dead.jsonl").read_text().splitlines()
+        ]
+        assert lines[0]["reason"] == REASON_MALFORMED
+        assert lines[0]["raw"] == "not json"
+        assert lines[1]["error"] == "nope"
+        assert lines[1]["window"] == 3
+        assert all("at" in line for line in lines)
+
+
+class TestMalformedInput:
+    def test_undecodable_lines_dead_letter_and_loop_survives(
+        self, small_instance
+    ):
+        workload, session = small_instance
+        good = churn_events(workload, 20)
+        items = (
+            ["this is not json", '{"type": "warp_drive", "node_id": "x"}']
+            + [encode_event_line(event) for event in good]
+            + ['{"no_type": true}']
+        )
+        loop = make_loop(session, items)
+        assert loop.run() == 0
+        assert loop.stats.events_applied == 20
+        assert loop.dead_letters.count(REASON_MALFORMED) == 3
+        raws = [
+            record.raw
+            for record in loop.dead_letters.records
+            if record.reason == REASON_MALFORMED
+        ]
+        assert "this is not json" in raws  # offending payload preserved
+
+
+class TestRejectedEvents:
+    def test_validation_rejects_dead_letter_alone(self, small_instance):
+        """One bad event dead-letters; its window-mates still apply."""
+        workload, session = small_instance
+        good = churn_events(workload, 10)
+        items = good[:5] + [DataRateChangeEvent("ghost-node", 50.0)] + good[5:]
+        loop = make_loop(session, items)
+        assert loop.run() == 0
+        assert loop.stats.events_applied == 10
+        assert loop.stats.events_rejected == 1
+        rejected = [
+            record
+            for record in loop.dead_letters.records
+            if record.reason == REASON_REJECTED
+        ]
+        assert len(rejected) == 1
+        assert rejected[0].event["node_id"] == "ghost-node"
+        assert "ghost-node" in rejected[0].error
+
+    def test_duplicate_add_within_window_rejected(self, small_instance):
+        """Window admission mirrors batch validation, not just node lookup."""
+        workload, session = small_instance
+        neighbors = {
+            node_id: 5.0 for node_id in list(session.topology.node_ids)[:6]
+        }
+        items = [
+            AddWorkerEvent("dup-w", 200.0, neighbors),
+            AddWorkerEvent("dup-w", 300.0, neighbors),  # already staged
+        ]
+        loop = make_loop(session, items)
+        assert loop.run() == 0
+        assert loop.stats.events_applied == 1
+        assert loop.dead_letters.count(REASON_REJECTED) == 1
+
+
+class TestApplyFailure:
+    def test_transient_failure_retries_at_half_window(
+        self, small_instance, monkeypatch
+    ):
+        """First apply blows up, rollback happens, halves succeed."""
+        workload, session = small_instance
+        events = churn_events(workload, 8)
+        applier = WindowApplier(session)
+        original = session.place_replicas
+        calls = {"count": 0}
+
+        def flaky(replicas):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("injected transient fault")
+            return original(replicas)
+
+        monkeypatch.setattr(session, "place_replicas", flaky)
+        applied = applier.apply(events, window=0)
+        assert len(applied) == 2  # two half-size batches
+        assert all(item.retry for item in applied)
+        assert [len(item.events) for item in applied] == [4, 4]
+        assert applier.stats.window_retries == 1
+        assert applier.stats.windows_failed == 0
+        assert applier.stats.events_applied == 8
+        assert len(applier.dead_letters) == 0
+
+    def test_persistent_failure_dead_letters_and_rolls_back(
+        self, small_instance, monkeypatch
+    ):
+        """Both halves fail: events dead-letter, state is bit-identical."""
+        workload, session = small_instance
+        events = churn_events(workload, 6)
+        before = placement_signature(session)
+        available_before = dict(session.available)
+        applier = WindowApplier(session)
+
+        def boom(replicas):
+            raise RuntimeError("injected persistent fault")
+
+        monkeypatch.setattr(session, "place_replicas", boom)
+        applied = applier.apply(events, window=7)
+        assert applied == []
+        assert applier.stats.window_retries == 1
+        assert applier.stats.windows_failed >= 1
+        failed = [
+            record
+            for record in applier.dead_letters.records
+            if record.reason == REASON_APPLY_FAILED and record.event is not None
+        ]
+        # Every event of the failed window is archived individually.
+        archived = [record.event for record in failed]
+        assert archived == [event_to_dict(event) for event in events]
+        assert all(record.window == 7 for record in failed)
+        # Rollback contract: the journal restored the placement exactly.
+        assert placement_signature(session) == before
+        assert dict(session.available) == available_before
+
+    def test_strict_mode_raises_for_replay(self, small_instance, monkeypatch):
+        workload, session = small_instance
+        events = churn_events(workload, 4)
+        applier = WindowApplier(session)
+
+        def boom(replicas):
+            raise RuntimeError("injected fault")
+
+        monkeypatch.setattr(session, "place_replicas", boom)
+        with pytest.raises(RuntimeError, match="injected fault"):
+            applier.apply(events, window=0, strict=True)
+        assert applier.stats.window_retries == 0
+        assert len(applier.dead_letters) == 0
+
+    def test_loop_survives_failed_window(self, small_instance, monkeypatch):
+        """A poisoned window dead-letters; later windows keep applying."""
+        workload, session = small_instance
+        events = churn_events(workload, 24)
+        original = session.place_replicas
+        state = {"poisoned": True}
+
+        def sometimes(replicas):
+            if state["poisoned"]:
+                raise RuntimeError("poisoned window")
+            return original(replicas)
+
+        monkeypatch.setattr(session, "place_replicas", sometimes)
+        # A long time trigger makes every window count-triggered (8 events).
+        loop = make_loop(session, events, max_batch=8, window_ms=10_000.0)
+
+        # Heal the injection after the first window fails completely.
+        failures = []
+        original_note = loop.stats.note_window_failed
+
+        def heal_after(count):
+            original_note(count)
+            failures.append(count)
+            if len(failures) >= 2:  # both halves of window 0 failed
+                state["poisoned"] = False
+
+        monkeypatch.setattr(loop.stats, "note_window_failed", heal_after)
+        assert loop.run() == 0
+        assert loop.stats.windows_failed >= 2
+        assert loop.stats.events_applied > 0, "loop kept serving after failure"
+        assert loop.dead_letters.count(REASON_APPLY_FAILED) >= 8

@@ -1,0 +1,175 @@
+"""The status plane: counters, snapshots, status file, socket endpoint."""
+
+import io
+import json
+import socket
+import threading
+import time
+
+from repro.serve import (
+    IterableSource,
+    ServeLoop,
+    ServeSettings,
+    ServeStats,
+    SocketSource,
+)
+from repro.topology.event_codec import encode_event_line
+
+from tests.serve.conftest import churn_events
+
+
+class TestServeStats:
+    def test_counters_and_conservation(self):
+        stats = ServeStats()
+        for _ in range(5):
+            stats.note_ingested()
+        stats.note_window_applied(3, 0.010)
+        stats.note_rejected()
+        stats.note_shed()
+        assert stats.events_ingested == 5
+        assert stats.events_applied == 3
+        assert stats.events_rejected == 1
+        assert stats.events_shed == 1
+        assert stats.events_dead_lettered == 2
+        assert stats.windows_applied == 1
+
+    def test_window_latency_percentiles(self):
+        stats = ServeStats()
+        for elapsed in (0.010, 0.020, 0.030, 0.040):
+            stats.note_window_applied(1, elapsed)
+        latency = stats.window_latency()
+        assert latency.mean == 25.0  # milliseconds
+        assert latency.p50 == 25.0
+        assert latency.maximum == 40.0
+
+    def test_recent_rate_uses_sample_span(self):
+        ticks = iter([0.0, 10.0, 11.0, 12.0, 100.0])
+        clock = lambda: next(ticks)  # noqa: E731
+        stats = ServeStats(clock=clock)
+        stats.note_window_applied(50, 0.01)  # at t=10
+        stats.note_window_applied(50, 0.01)  # at t=11
+        stats.note_window_applied(50, 0.01)  # at t=12
+        # 150 events over the 2s first-to-last span, not over uptime.
+        assert stats.recent_events_per_s() == 75.0
+
+
+class TestStatusDocument:
+    def test_snapshot_structure_after_a_run(self, small_instance, tmp_path):
+        workload, session = small_instance
+        events = churn_events(workload, 20)
+        loop = ServeLoop(
+            session,
+            [IterableSource(events)],
+            ServeSettings(
+                window_ms=30.0,
+                max_batch=8,
+                queue_size=32,
+                exit_on_eof=True,
+                status_interval_s=0,
+            ),
+            status_file=tmp_path / "status.json",
+            status_stream=io.StringIO(),
+        )
+        assert loop.run() == 0
+        snapshot = loop.snapshot()
+        assert snapshot["events"]["ingested"] == 20
+        assert snapshot["events"]["applied"] == 20
+        assert snapshot["queue"]["size"] == 32
+        assert snapshot["queue"]["depth"] == 0
+        assert snapshot["windows"]["applied"] >= 3
+        assert snapshot["windows"]["latency_ms"]["p99"] >= (
+            snapshot["windows"]["latency_ms"]["p50"]
+        )
+        assert set(snapshot["overload"]) == {
+            "percentage",
+            "overloaded",
+            "hosting",
+            "max_utilization",
+        }
+        # The embedded session summary is the serialization-layer one.
+        assert {"joins", "nodes", "packing", "state_plane"} <= set(
+            snapshot["session"]
+        )
+
+        # The status file holds the same document shape, as JSON.
+        on_disk = json.loads((tmp_path / "status.json").read_text())
+        assert on_disk["events"]["applied"] == 20
+        assert on_disk["uptime_s"] > 0
+
+    def test_status_line_is_compact_and_informative(self, small_instance):
+        workload, session = small_instance
+        events = churn_events(workload, 10)
+        stream = io.StringIO()
+        loop = ServeLoop(
+            session,
+            [IterableSource(events)],
+            ServeSettings(
+                window_ms=30.0,
+                max_batch=10,
+                queue_size=16,
+                exit_on_eof=True,
+                status_interval_s=0,
+            ),
+            status_stream=stream,
+        )
+        assert loop.run() == 0
+        final_report = stream.getvalue().strip().splitlines()[-1]
+        assert final_report.startswith("serve:")
+        assert "queue" in final_report
+        assert "dead-letter" in final_report
+        assert "overload" in final_report
+
+
+class TestSocketEndpoint:
+    def test_socket_ingests_events_and_serves_status(
+        self, small_instance, tmp_path
+    ):
+        workload, session = small_instance
+        events = churn_events(workload, 6)
+        path = tmp_path / "serve.sock"
+        loop = ServeLoop(
+            session,
+            [SocketSource(path)],
+            ServeSettings(
+                window_ms=40.0,
+                max_batch=6,
+                queue_size=32,
+                status_interval_s=0,
+            ),
+            status_stream=io.StringIO(),
+        )
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.update(code=loop.run()), daemon=True
+        )
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        while not path.exists() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert path.exists(), "socket source never bound its path"
+
+        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        client.connect(str(path))
+        with client:
+            reader = client.makefile("r")
+            payload = "".join(
+                encode_event_line(event) + "\n" for event in events
+            )
+            client.sendall(payload.encode())
+            deadline = time.monotonic() + 10.0
+            while (
+                loop.stats.events_applied < 6
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            # An on-demand status probe over the same socket.
+            client.sendall(b"status\n")
+            snapshot = json.loads(reader.readline())
+        assert snapshot["events"]["ingested"] == 6
+        assert snapshot["events"]["applied"] == 6
+        assert snapshot["windows"]["applied"] >= 1
+
+        loop.request_stop("test")
+        thread.join(20.0)
+        assert result["code"] == 0
+        assert not path.exists(), "socket path is unlinked on shutdown"

@@ -1,0 +1,78 @@
+"""Coalescing-window triggers: close on elapsed time OR buffered count."""
+
+import pytest
+
+from repro.common.errors import OptimizationError
+from repro.serve.window import CoalescingWindow, WindowPolicy
+from repro.topology.dynamics import DataRateChangeEvent
+
+
+def event(i=0):
+    return DataRateChangeEvent(f"n{i}", 10.0 + i)
+
+
+class TestWindowPolicy:
+    def test_defaults(self):
+        policy = WindowPolicy()
+        assert policy.window_ms == 250.0
+        assert policy.max_batch == 128
+        assert policy.window_s == 0.25
+
+    @pytest.mark.parametrize("window_ms", [0.0, -5.0])
+    def test_rejects_non_positive_window(self, window_ms):
+        with pytest.raises(OptimizationError, match="window_ms"):
+            WindowPolicy(window_ms=window_ms)
+
+    def test_rejects_non_positive_batch(self):
+        with pytest.raises(OptimizationError, match="max_batch"):
+            WindowPolicy(max_batch=0)
+
+
+class TestTriggers:
+    def test_empty_window_never_closes(self):
+        window = CoalescingWindow(WindowPolicy(window_ms=1.0, max_batch=1))
+        assert window.is_empty
+        assert not window.should_close(now=1e9)
+        assert window.remaining_s(now=1e9) is None
+
+    def test_count_trigger_fires_at_max_batch(self):
+        window = CoalescingWindow(WindowPolicy(window_ms=60_000.0, max_batch=3))
+        now = 100.0
+        for i in range(2):
+            window.append(event(i), now)
+            assert not window.should_close(now)
+        window.append(event(2), now)
+        assert window.should_close(now)  # count, long before the time trigger
+
+    def test_time_trigger_fires_after_window_ms(self):
+        window = CoalescingWindow(WindowPolicy(window_ms=250.0, max_batch=10_000))
+        window.append(event(), now=100.0)
+        assert not window.should_close(now=100.2)
+        assert window.should_close(now=100.25)
+        assert window.should_close(now=100.9)
+
+    def test_clock_starts_at_first_event(self):
+        window = CoalescingWindow(WindowPolicy(window_ms=100.0, max_batch=100))
+        window.append(event(0), now=50.0)
+        window.append(event(1), now=50.09)  # later events don't reset it
+        assert window.remaining_s(now=50.09) == pytest.approx(0.01)
+        assert window.should_close(now=50.1)
+
+    def test_remaining_is_the_poll_timeout(self):
+        window = CoalescingWindow(WindowPolicy(window_ms=200.0, max_batch=100))
+        window.append(event(), now=10.0)
+        assert window.remaining_s(now=10.05) == pytest.approx(0.15)
+        assert window.remaining_s(now=99.0) == 0.0  # clamped, never negative
+
+    def test_close_takes_events_and_resets(self):
+        window = CoalescingWindow(WindowPolicy(window_ms=100.0, max_batch=2))
+        window.append(event(0), now=1.0)
+        window.append(event(1), now=1.0)
+        taken = window.close()
+        assert [e.node_id for e in taken] == ["n0", "n1"]
+        assert window.is_empty
+        assert len(window) == 0
+        assert window.remaining_s(now=1.0) is None
+        # The next window starts its own clock.
+        window.append(event(2), now=500.0)
+        assert not window.should_close(now=500.05)

@@ -1,0 +1,147 @@
+"""The shared churn-event wire codec: lines, batches, trace files."""
+
+import json
+
+import pytest
+
+from repro.topology.dynamics import (
+    AddSourceEvent,
+    AddWorkerEvent,
+    CapacityChangeEvent,
+    CoordinateDriftEvent,
+    DataRateChangeEvent,
+    RemoveNodeEvent,
+)
+from repro.topology.event_codec import (
+    ChurnTrace,
+    EventDecodeError,
+    TRACE_FORMAT_VERSION,
+    TraceError,
+    decode_batch,
+    decode_event_dict,
+    decode_event_line,
+    encode_event_line,
+    load_trace,
+    parse_trace,
+)
+
+ALL_EVENTS = [
+    AddWorkerEvent("w9", 150.0, {"n0": 3.5, "n1": 7.25}),
+    AddSourceEvent("s9", 100.0, 42.0, "alpha", "s0", {"n0": 2.0}),
+    RemoveNodeEvent("n3"),
+    DataRateChangeEvent("s0", 88.5),
+    CapacityChangeEvent("n1", 310.0),
+    CoordinateDriftEvent("n2", {"n0": 11.0, "n4": 5.5}),
+]
+
+
+class TestEventLines:
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: type(e).__name__)
+    def test_round_trip_every_event_type(self, event):
+        line = encode_event_line(event)
+        assert "\n" not in line
+        assert decode_event_line(line) == event
+
+    def test_lines_are_plain_json_objects(self):
+        payload = json.loads(encode_event_line(RemoveNodeEvent("n3")))
+        assert payload == {"type": "remove_node", "node_id": "n3"}
+
+    def test_invalid_json_carries_raw_line(self):
+        with pytest.raises(EventDecodeError, match="invalid JSON") as exc:
+            decode_event_line("{oops")
+        assert exc.value.raw == "{oops"
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(EventDecodeError, match="JSON object"):
+            decode_event_line("[1, 2, 3]")
+
+    def test_unknown_type_rejected_with_raw(self):
+        line = '{"type": "teleport", "node_id": "n1"}'
+        with pytest.raises(EventDecodeError, match="unknown churn event") as exc:
+            decode_event_line(line)
+        assert exc.value.raw == line
+
+    def test_malformed_fields_rejected(self):
+        with pytest.raises(EventDecodeError, match="malformed"):
+            decode_event_dict({"type": "remove_node", "node": "wrong-key"})
+
+
+class TestBatches:
+    def test_accepts_events_object_and_bare_list(self):
+        entries = [
+            {"type": "data_rate_change", "node_id": "s0", "new_rate": 10.0}
+        ]
+        expected = [DataRateChangeEvent("s0", 10.0)]
+        assert decode_batch({"events": entries}) == expected
+        assert decode_batch(entries) == expected
+        assert decode_batch({"events": []}) == []
+
+    def test_non_list_events_rejected(self):
+        with pytest.raises(EventDecodeError, match="must be a list"):
+            decode_batch({"events": "nope"})
+
+
+class TestTraceFiles:
+    def trace_doc(self):
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "workload": {"kind": "synthetic_opp", "nodes": 50, "seed": 1},
+            "batches": [
+                {"events": [
+                    {"type": "capacity_change", "node_id": "n1",
+                     "new_capacity": 200.0},
+                    {"type": "remove_node", "node_id": "n2"},
+                ]},
+                [{"type": "data_rate_change", "node_id": "s0",
+                  "new_rate": 55.0}],
+            ],
+        }
+
+    def test_parse_trace_decodes_batches(self):
+        trace = parse_trace(self.trace_doc())
+        assert isinstance(trace, ChurnTrace)
+        assert trace.workload["nodes"] == 50
+        assert [len(batch) for batch in trace.batches] == [2, 1]
+        assert trace.event_count == 3
+        assert trace.batches[1] == [DataRateChangeEvent("s0", 55.0)]
+
+    def test_parse_trace_rejects_other_versions(self):
+        doc = self.trace_doc()
+        doc["version"] = 99
+        with pytest.raises(TraceError, match="unsupported trace format"):
+            parse_trace(doc)
+
+    def test_parse_trace_rejects_non_objects(self):
+        with pytest.raises(TraceError, match="JSON object"):
+            parse_trace(["not", "a", "trace"])
+
+    def test_load_trace_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(self.trace_doc()))
+        assert load_trace(path).event_count == 3
+
+    def test_load_trace_missing_file_message(self, tmp_path):
+        path = tmp_path / "nope.json"
+        with pytest.raises(TraceError, match=f"trace file not found: {path}"):
+            load_trace(path)
+
+    def test_load_trace_invalid_json_message(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        with pytest.raises(TraceError, match="invalid trace file"):
+            load_trace(path)
+
+
+class TestCompatibility:
+    def test_changeset_reexports_the_version(self):
+        from repro.core.changeset import (
+            TRACE_FORMAT_VERSION as reexported,
+        )
+
+        assert reexported == TRACE_FORMAT_VERSION
+
+    def test_decode_errors_are_optimization_errors(self):
+        from repro.common.errors import OptimizationError
+
+        assert issubclass(TraceError, OptimizationError)
+        assert issubclass(EventDecodeError, TraceError)
