@@ -11,7 +11,7 @@ assignment, ``sort``, ``pop``, ...) triggers a full index rebuild.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, TypeVar
+from typing import Any, Callable, Iterable, Optional, TypeVar
 
 T = TypeVar("T")
 
@@ -85,11 +85,11 @@ class ObservedList(list):
         super().reverse()
         self._rebuild()
 
-    def __setitem__(self, index, value) -> None:
+    def __setitem__(self, index: Any, value: Any) -> None:
         super().__setitem__(index, value)
         self._rebuild()
 
-    def __delitem__(self, index) -> None:
+    def __delitem__(self, index: Any) -> None:
         super().__delitem__(index)
         self._rebuild()
 

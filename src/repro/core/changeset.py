@@ -932,7 +932,7 @@ class _BatchApplier:
         replica_ids = {
             s.replica_id for s in session.placement.subs_on_node(node_id)
         } - deleted_ids
-        for replica_id in replica_ids:
+        for replica_id in sorted(replica_ids):
             self._undeploy(replica_id)
             self._touch(session.replica_by_id(replica_id))
 
@@ -1018,7 +1018,7 @@ class _BatchApplier:
             session.available[node_id] = headroom - hosted
             return
         replica_ids = {s.replica_id for s in session.placement.subs_on_node(node_id)}
-        for replica_id in replica_ids:
+        for replica_id in sorted(replica_ids):
             self._undeploy(replica_id)
             self._touch(session.replica_by_id(replica_id))
         # After undeploying everything hosted here, availability is the new
@@ -1047,7 +1047,7 @@ class _BatchApplier:
         affected_ids.update(
             sub.replica_id for sub in session.placement.subs_on_node(node_id)
         )
-        for replica_id in affected_ids:
+        for replica_id in sorted(affected_ids):
             self._undeploy(replica_id)
             self._touch(session.replica_by_id(replica_id))
 

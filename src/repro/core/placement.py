@@ -382,13 +382,13 @@ class Placement:
             (self._by_replica, lambda s: s.replica_id),
             (self._by_join, lambda s: s.join_id),
         ):
-            for key in {key_of(sub) for sub in removed}:
+            for key in sorted({key_of(sub) for sub in removed}):
                 bucket = [s for s in index[key] if id(s) not in dead]
                 if bucket:
                     index[key] = bucket
                 else:
                     del index[key]
-        for node_id in {sub.node_id for sub in removed}:
+        for node_id in sorted({sub.node_id for sub in removed}):
             bucket = self._by_node.get(node_id)
             if bucket:
                 self._node_load[node_id] = sum(s.charged_capacity for s in bucket)

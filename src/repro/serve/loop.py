@@ -39,9 +39,10 @@ from __future__ import annotations
 import signal
 import threading
 import time
+from pathlib import Path
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, TextIO, Union
 
 from repro.common.errors import OptimizationError, ReproError
 from repro.core.changeset import ChangeSet, PlanDelta
@@ -101,7 +102,7 @@ class IngressQueue:
         self.policy = policy
         self._on_shed = on_shed
         self._on_coalesced = on_coalesced
-        self._items: Deque[ChurnEvent] = deque()
+        self._items: Deque[ChurnEvent] = deque()  # shared-under: _cond
         self._cond = threading.Condition()
 
     @property
@@ -191,7 +192,7 @@ class WindowApplier:
 
     def __init__(
         self,
-        session,
+        session: Any,
         stats: Optional[ServeStats] = None,
         dead_letters: Optional[DeadLetterArchive] = None,
         deltas: Optional[DeltaArchive] = None,
@@ -293,13 +294,13 @@ class ServeLoop:
 
     def __init__(
         self,
-        session,
+        session: Any,
         sources: List[EventSource],
         settings: Optional[ServeSettings] = None,
         dead_letters: Optional[DeadLetterArchive] = None,
         deltas: Optional[DeltaArchive] = None,
-        status_file=None,
-        status_stream=None,
+        status_file: Optional[Union[str, Path]] = None,
+        status_stream: Optional[TextIO] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not sources:
@@ -340,7 +341,7 @@ class ServeLoop:
         )
         self._stop = threading.Event()
         self._stop_reason: Optional[str] = None
-        self._eof_sources: set = set()
+        self._eof_sources: set = set()  # shared-under: _eof_lock
         self._eof_lock = threading.Lock()
         self._window_index = 0
         self._batch_state: Optional[BatchState] = None
@@ -356,7 +357,7 @@ class ServeLoop:
     def stopping(self) -> bool:
         return self._stop.is_set()
 
-    def _signal_handler(self, signum, frame) -> None:
+    def _signal_handler(self, signum: int, frame: object) -> None:
         self.request_stop(signal.Signals(signum).name)
 
     def _on_shed(self, event: ChurnEvent) -> None:

@@ -28,7 +28,7 @@ import threading
 import time
 from collections import deque
 from pathlib import Path
-from typing import Callable, Deque, Dict, Optional, TextIO, Tuple, Union
+from typing import Any, Callable, Deque, Dict, Optional, TextIO, Tuple, Union
 
 from repro.evaluation.latency import LatencyStats
 
@@ -53,7 +53,7 @@ class ServeStats:
         self.windows_failed = 0
         self.window_retries = 0
         #: (completed_at, events_in_window, apply_seconds) per window.
-        self._recent: Deque[Tuple[float, int, float]] = deque(
+        self._recent: Deque[Tuple[float, int, float]] = deque(  # shared-under: _lock
             maxlen=RECENT_WINDOWS
         )
 
@@ -129,7 +129,7 @@ class StatusPlane:
 
     def __init__(
         self,
-        session,
+        session: Any,
         stats: ServeStats,
         queue_depth: Callable[[], int],
         queue_size: int,

@@ -23,7 +23,7 @@ hooks used by that engine:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -118,7 +118,9 @@ class _LiveSet:
 
     __slots__ = ("_contains", "_size", "_added", "_removed")
 
-    def __init__(self, contains, size) -> None:
+    def __init__(
+        self, contains: Callable[[object], bool], size: Callable[[], int]
+    ) -> None:
         self._contains = contains
         self._size = size
         self._added: Set[str] = set()
@@ -152,7 +154,7 @@ class _LiveMap:
 
     __slots__ = ("_get", "_added", "_removed")
 
-    def __init__(self, get) -> None:
+    def __init__(self, get: Callable[[str], object]) -> None:
         self._get = get  # key -> value, or _MISSING
         self._added: Dict[str, str] = {}
         self._removed: Set[str] = set()
@@ -177,7 +179,7 @@ class _LiveMap:
         self._removed.discard(key)
         self._added[key] = value
 
-    def pop(self, key: str, default=None):
+    def pop(self, key: str, default: Optional[str] = None) -> Optional[str]:
         if key in self._added:
             return self._added.pop(key)
         if key not in self._removed:
@@ -223,12 +225,12 @@ class BatchState:
     strategy: str = "nova"
 
     @classmethod
-    def of_session(cls, session, strategy: str = "nova") -> "BatchState":
+    def of_session(cls, session: Any, strategy: str = "nova") -> "BatchState":
         """A live view of the validation-relevant state of a Nova session."""
         topology = session.topology
         plan = session.plan
 
-        def source_stream(op_id):
+        def source_stream(op_id: str) -> object:
             if op_id not in plan:
                 return _MISSING
             operator = plan.operator(op_id)
@@ -442,8 +444,8 @@ def event_from_dict(data: Dict) -> ChurnEvent:
 
 
 def churn_event_stream(
-    topology,
-    plan,
+    topology: Any,
+    plan: Any,
     seed: SeedLike = 0,
     rate_span: Tuple[float, float] = (20.0, 150.0),
     capacity_span: Tuple[float, float] = (50.0, 400.0),

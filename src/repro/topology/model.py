@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -256,7 +256,7 @@ class Topology:
                     frontier.append(neighbor)
         return len(seen) == len(self._nodes)
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export the link graph as a :class:`networkx.Graph`.
 
         Node attributes: ``capacity``, ``role``; edge attribute: ``latency``

@@ -1,0 +1,91 @@
+"""Cross-run determinism under hash randomization.
+
+Regression for the set-iteration fixes in ``placement.py`` and
+``changeset.py`` (``remove_node``/``change_capacity``/
+``update_coordinates``): the affected-replica unions were iterated in
+set order, which is ``PYTHONHASHSEED``-dependent — so undeploy order,
+ledger float-accumulation order, and packing order could differ between
+two runs of the *same* scenario. The fix iterates ``sorted(...)``.
+
+The test replays one churn scenario in subprocesses pinned to different
+hash seeds and requires bit-identical placement fingerprints, raw
+iteration order included.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SCENARIO = """
+import json
+
+from repro.core.config import NovaConfig
+from repro.core.optimizer import Nova
+from repro.topology.dynamics import (
+    CapacityChangeEvent,
+    CoordinateDriftEvent,
+    RemoveNodeEvent,
+)
+from repro.topology.latency import DenseLatencyMatrix
+from repro.workloads.synthetic import synthetic_opp_workload
+
+workload = synthetic_opp_workload(60, seed=5)
+latency = DenseLatencyMatrix.from_topology(workload.topology)
+session = Nova(NovaConfig(seed=5)).optimize(
+    workload.topology, workload.plan, workload.matrix, latency=latency
+)
+
+pinned_hosts = {op.pinned_node for op in session.plan.sinks()}
+pinned_hosts |= {op.pinned_node for op in session.plan.sources()}
+free = [n for n in session.topology.node_ids if n not in pinned_hosts]
+victim, squeezed, anchor = free[0], free[1], free[2]
+
+neighbors = {
+    nid: latency.latency(anchor, nid) + 1.0
+    for nid in session.topology.node_ids[:10]
+    if nid != anchor
+}
+session.apply([RemoveNodeEvent(victim)])
+session.apply([CapacityChangeEvent(squeezed, 0.5)])
+session.apply([CoordinateDriftEvent(anchor, neighbors)])
+
+fingerprint = {
+    "subs": [
+        [s.sub_id, s.node_id, repr(s.charged_capacity)]
+        for s in session.placement.sub_replicas
+    ],
+    "pinned": list(session.placement.pinned.items()),
+    "available": [[k, repr(v)] for k, v in session.available.items()],
+    "replicas": [r.replica_id for r in session.resolved.replicas],
+}
+print(json.dumps(fingerprint))
+"""
+
+
+def _run(hashseed: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCENARIO],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "PYTHONHASHSEED": hashseed,
+            "PATH": "/usr/bin:/bin",
+        },
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+def test_churn_replay_is_hashseed_invariant():
+    outputs = {seed: _run(seed) for seed in ("0", "1", "4242")}
+    baseline = outputs["0"]
+    assert json.loads(baseline)["subs"], "scenario produced no placement"
+    for seed, output in outputs.items():
+        assert output == baseline, (
+            f"placement fingerprint diverged under PYTHONHASHSEED={seed}"
+        )

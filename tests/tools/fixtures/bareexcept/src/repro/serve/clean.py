@@ -1,0 +1,25 @@
+"""Golden fixture: containment that dead-letters instead of swallowing."""
+
+
+def pump(source, dead_letter):
+    for raw in source:
+        try:
+            raw.decode()
+        except Exception as error:
+            dead_letter(raw, reason=str(error))  # handled, not silent
+
+
+def narrow_is_fine(source):
+    for raw in source:
+        try:
+            raw.decode()
+        except UnicodeDecodeError:
+            continue
+
+
+def outside_a_loop_is_fine(payload):
+    try:
+        return payload.decode()
+    except Exception:
+        pass
+    return None

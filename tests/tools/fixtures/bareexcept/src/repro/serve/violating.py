@@ -1,0 +1,25 @@
+"""Golden fixture: silent broad handlers inside serve loops."""
+
+
+def pump(source):
+    for raw in source:
+        try:
+            raw.decode()
+        except Exception:  # line 8: swallowed in a for loop
+            pass
+
+
+def spin(queue):
+    while True:
+        try:
+            queue.get()
+        except:  # line 16: bare except, continue body  # noqa: E722
+            continue
+
+
+def tuple_broad(queue):
+    while True:
+        try:
+            queue.get()
+        except (ValueError, Exception):  # line 24: broad via tuple
+            pass

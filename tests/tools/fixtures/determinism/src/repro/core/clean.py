@@ -1,0 +1,41 @@
+"""Golden fixture: deterministic counterparts of every violation."""
+
+import time
+
+
+def sorted_loop(subs):
+    ids = {s.replica_id for s in subs}
+    for replica_id in sorted(ids):
+        print(replica_id)
+
+
+def dict_iteration_is_ordered(costs):
+    # Plain dict iteration is insertion-ordered: allowed.
+    for node in costs:
+        print(node, costs[node])
+
+
+def comp_over_sorted(subs):
+    ids = set(s.node_id for s in subs)
+    return [x for x in sorted(ids)]
+
+
+def float_sum_sorted(loads):
+    pending = {1.5, 2.5} | set(loads)
+    return sum(sorted(pending))
+
+
+def argmin_with_explicit_ties(candidates, cost):
+    return min(sorted(set(candidates)), key=cost)
+
+
+def list_rebinding_evicts(subs):
+    ids = {s.replica_id for s in subs}
+    ids = sorted(ids)  # rebound to a list: no longer set-typed
+    for replica_id in ids:
+        print(replica_id)
+
+
+def timing_counters_are_fine():
+    started = time.perf_counter()
+    return time.perf_counter() - started

@@ -1,0 +1,42 @@
+"""Golden fixture: every determinism violation shape."""
+
+import random  # line 3: entropy import
+import time
+
+
+def set_loop(subs):
+    ids = {s.replica_id for s in subs}
+    for replica_id in ids:  # line 9: loop over a set variable
+        print(replica_id)
+
+
+def inline_set_loop(a, b):
+    for key in {a, b}:  # line 14: loop over a set display
+        print(key)
+
+
+def comp_over_set(subs):
+    ids = set(s.node_id for s in subs)
+    return [x for x in ids]  # line 20: list comprehension over a set
+
+
+def float_sum(loads):
+    pending = {1.5, 2.5} | set(loads)
+    return sum(pending)  # line 25: unordered float accumulation
+
+
+def argmin_over_set(candidates, cost):
+    return min(set(candidates), key=cost)  # line 29: tie-break over a set
+
+
+def keys_argmin(costs):
+    best, best_cost = None, float("inf")
+    for node in costs.keys():  # line 34: .keys() feeding a tie-break
+        if costs[node] < best_cost:
+            best = node
+            best_cost = costs[node]
+    return best
+
+
+def wall_clock_decision():
+    return time.time()  # line 42: wall clock in a deterministic path

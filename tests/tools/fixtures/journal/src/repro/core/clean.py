@@ -1,0 +1,32 @@
+"""Golden fixture: journal-respecting counterparts of every violation."""
+
+
+class Placement:
+    """Mutations inside the hook-surface classes are the implementation."""
+
+    def __init__(self):
+        self._by_node = {}
+        self._node_load = {}
+
+    def add(self, sub):
+        self._by_node.setdefault(sub.node_id, []).append(sub)
+        self._node_load[sub.node_id] = sub.charged_capacity
+
+
+class AvailabilityLedger:
+    def __init__(self):
+        self._backing = {}
+
+    def __setitem__(self, node_id, value):
+        self._backing[node_id] = value
+
+
+def through_the_api(placement, sub, ledger, node_id, value):
+    # Outside the surface, mutate via the public API only.
+    placement.add(sub)
+    ledger[node_id] = value
+
+
+def reads_are_fine(placement, node_id):
+    bucket = placement._by_node.get(node_id, [])
+    return len(bucket), placement.pinned

@@ -1,0 +1,34 @@
+"""Golden fixture: every journal-coverage violation shape."""
+
+
+def direct_subscript_write(placement, sub):
+    placement._by_node[sub.node_id] = [sub]  # line 5: subscript write
+
+
+def direct_subscript_delete(placement, node_id):
+    del placement._by_node[node_id]  # line 9: subscript delete
+
+
+def ledger_backing_write(ledger, node_id, value):
+    ledger._backing[node_id] = value  # line 13: ledger backing write
+
+
+def bucket_rebinding(placement):
+    placement._node_load = {}  # line 17: rebinding the store
+
+
+def cow_wholesale(placement):
+    placement.pinned = {}  # line 21: detaches the COW proxy
+
+
+def mutating_call(placement, node_id):
+    placement._join_hosts.pop(node_id, None)  # line 25: mutating call
+
+
+def setattr_bypass(placement):
+    object.__setattr__(placement, "_by_replica", {})  # line 29
+
+
+class NotOnTheSurface:
+    def sneaky(self, placement, key):
+        placement._by_join[key] = []  # line 34: class is not allowed either

@@ -1,0 +1,34 @@
+"""Golden fixture: lock-disciplined counterparts."""
+
+import threading
+from collections import deque
+
+
+class IngressQueue:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = deque()  # shared-under: _cond
+        self._items.append(None)  # construction: not yet shared
+
+    def put(self, event):
+        with self._cond:
+            self._items.append(event)
+            self._cond.notify()
+
+    def _compact_locked(self):
+        # _locked suffix: the caller holds the lock by contract.
+        self._items.clear()
+
+    def drain(self):
+        with self._cond:
+            out = list(self._items)
+            self._compact_locked()
+        return out
+
+
+class Undeclared:
+    def __init__(self):
+        self._items = deque()  # no declaration: rule stays silent
+
+    def put(self, event):
+        self._items.append(event)

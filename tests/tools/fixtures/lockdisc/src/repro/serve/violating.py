@@ -1,0 +1,23 @@
+"""Golden fixture: shared-under attribute touched without its lock."""
+
+import threading
+from collections import deque
+
+
+class IngressQueue:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = deque()  # shared-under: _cond
+
+    def put(self, event):
+        self._items.append(event)  # line 13: no lock held
+
+    def size_unlocked(self):
+        return len(self._items)  # line 16: read without the lock
+
+    def drain(self):
+        with self._cond:
+            while self._items:
+                first = self._items.popleft()
+                del first
+        return self._items  # line 23: access after the with block

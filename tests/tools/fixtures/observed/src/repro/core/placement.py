@@ -1,0 +1,7 @@
+"""Golden fixture: the placement store itself is exempt by path."""
+
+
+def compact(replica):
+    replica.sub_replicas.mark_dead(0)
+    replica.sub_replicas[0] = None
+    replica.sub_replicas.sort()

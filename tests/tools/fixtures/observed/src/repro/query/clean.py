@@ -1,0 +1,16 @@
+"""Golden fixture: allowed interactions with sub_replicas."""
+
+
+def growth_is_fine(replica, sub, more):
+    replica.sub_replicas.append(sub)
+    replica.sub_replicas.extend(more)
+
+
+def reads_are_fine(replica):
+    return [sub.node_id for sub in replica.sub_replicas]
+
+
+def wholesale_reassignment_is_fine(replica, view):
+    # Rebinding the attribute goes through the owning object's setattr
+    # guards; only positional surgery on the live view is forbidden.
+    replica.sub_replicas = view

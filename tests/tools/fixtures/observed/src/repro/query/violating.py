@@ -1,0 +1,21 @@
+"""Golden fixture: positional surgery on the tombstone view."""
+
+
+def index_write(replica, sub):
+    replica.sub_replicas[0] = sub  # line 5: unstable index write
+
+
+def index_delete(replica):
+    del replica.sub_replicas[2]  # line 9: unstable index delete
+
+
+def tombstone_internal(replica):
+    replica.sub_replicas.mark_dead(1)  # line 13: bypasses _pin()
+
+
+def positional_call(replica):
+    replica.sub_replicas.sort()  # line 17: reorders observed positions
+
+
+def replace_wholesale_contents(replica, subs):
+    replica.sub_replicas.replace_contents(subs)  # line 21: internals

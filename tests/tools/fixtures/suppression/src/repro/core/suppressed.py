@@ -1,0 +1,24 @@
+"""Golden fixture: the suppression comment grammar, good and bad."""
+
+
+def inline_with_reason(placement):
+    placement._by_node["n1"] = []  # novalint: allow[journal-coverage] fixture: rebuilt from journal pre-images below
+
+
+def standalone_with_reason(placement):
+    # novalint: allow[journal-coverage] fixture: covers the next code line
+    del placement._by_node["n1"]
+
+
+def reasonless_does_not_suppress(placement):
+    placement._node_load = {}  # novalint: allow[journal-coverage]
+
+
+def unknown_rule(placement):
+    bucket = placement  # novalint: allow[no-such-rule] reason text here
+    return bucket
+
+
+def unused_allow(placement):
+    bucket = placement  # novalint: allow[determinism] nothing here violates it
+    return bucket

@@ -1,0 +1,40 @@
+"""Golden fixture: a pure worker entry in the style of packing.py."""
+
+import threading
+
+_FROZEN_TABLE = (1, 2, 3)  # immutable module constant: fine to read
+
+
+class _Ring:
+    """Worker-side helper class, methods reached via attribute calls."""
+
+    def __init__(self, hosts):
+        self.hosts = list(hosts)
+        self.cursor = 0
+
+    def next_host(self):
+        host = self.hosts[self.cursor % len(self.hosts)]
+        self.cursor += 1
+        return host
+
+
+def _pure_entry(unit):
+    ring = _Ring(unit.hosts)
+    total = sum(sorted(unit.weights))
+    return ring.next_host(), total, _FROZEN_TABLE[0]
+
+
+def launch(backend, units):
+    backend.start(_pure_entry, units)
+
+
+def driver_side_locks_are_fine():
+    # Not reachable from any .start entry: the driver may lock freely.
+    lock = threading.Lock()
+    with lock:
+        return open("/dev/null")
+
+
+class Timer:
+    def start(self):  # zero-arg .start is not the backend protocol
+        return self

@@ -1,0 +1,37 @@
+"""Golden fixture: impurity shapes crossing the backend boundary."""
+
+import threading
+
+_SHARED_CACHE = {}  # module-level mutable state
+
+
+def _helper(unit):
+    lock = threading.Lock()  # line 9: lock in worker path
+    with lock:
+        return unit
+
+
+def _impure_entry(unit):
+    global _COUNTER  # line 15: global statement
+    _COUNTER = 1
+    if unit.key in _SHARED_CACHE:  # line 17: mutable-global read
+        return _SHARED_CACHE[unit.key]
+    with open("/tmp/scratch") as fh:  # line 19: file handle
+        fh.read()
+    session = NovaSession  # line 21: session reference  # noqa: F821
+    return _helper(unit), session
+
+
+def launch(backend, units):
+    backend.start(_impure_entry, units)
+
+
+def launch_lambda(backend, units):
+    backend.start(lambda u: u, units)  # line 30: closure across boundary
+
+
+def launch_nested(backend, units):
+    def _nested(unit):
+        return unit
+
+    backend.start(_nested, units)  # line 37: nested fn across boundary

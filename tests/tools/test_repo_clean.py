@@ -1,0 +1,33 @@
+"""Acceptance tripwire: the real tree lints clean.
+
+Reintroducing a journal-coverage or determinism violation anywhere in
+``src/`` fails this test *and* the CI lint job — the double fence the
+static-analysis pass promises.
+"""
+
+from pathlib import Path
+
+from tools.novalint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_has_no_unsuppressed_errors():
+    result = lint_paths(["src"], root=REPO_ROOT)
+    assert result.files_checked > 50  # sanity: the walk found the tree
+    offenders = [f.to_dict() for f in result.errors]
+    assert offenders == [], offenders
+    assert result.exit_code == 0
+
+
+def test_src_tree_has_no_warnings_either():
+    # Unused suppressions rot: keep the tree free of them too.
+    result = lint_paths(["src"], root=REPO_ROOT)
+    warnings = [f.to_dict() for f in result.warnings]
+    assert warnings == [], warnings
+
+
+def test_tools_tree_itself_parses_clean():
+    result = lint_paths(["tools"], root=REPO_ROOT)
+    parse_errors = [f for f in result.findings if f.rule == "parse-error"]
+    assert parse_errors == []

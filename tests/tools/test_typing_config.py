@@ -1,0 +1,59 @@
+"""Typing posture: py.typed marker, mypy config, and (when available)
+an actual mypy pass over the strict-tier packages."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_py_typed_marker_ships_with_the_package():
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+
+
+def test_mypy_config_declares_the_strict_tier():
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in text
+    for module in ("repro.common", "repro.topology", "repro.serve"):
+        assert module in text
+    assert "disallow_untyped_defs = true" in text
+
+
+def test_strict_tier_has_no_untyped_defs():
+    """AST-level stand-in for mypy's disallow_untyped_defs, so the
+    strict-tier bar holds even where mypy itself is not installed."""
+    import ast
+
+    offenders = []
+    for pkg in ("common", "topology", "serve"):
+        for path in sorted((REPO_ROOT / "src" / "repro" / pkg).rglob("*.py")):
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                args = node.args
+                params = args.posonlyargs + args.args + args.kwonlyargs
+                missing = [
+                    a.arg
+                    for a in params
+                    if a.annotation is None and a.arg not in ("self", "cls")
+                ]
+                if missing or node.returns is None:
+                    offenders.append(f"{path}:{node.lineno} {node.name}")
+    assert offenders == [], offenders
+
+
+def test_mypy_passes_when_installed():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,1 @@
+"""Repository tooling (static analysis, CI helpers)."""

@@ -1,0 +1,7 @@
+"""``python -m tools.novalint`` entry point."""
+
+import sys
+
+from tools.novalint.cli import main
+
+sys.exit(main())

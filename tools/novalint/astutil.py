@@ -1,0 +1,165 @@
+"""Shared AST helpers for novalint rules (stdlib ``ast`` only)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+#: dict/set methods that mutate their receiver.
+MUTATING_METHODS = frozenset(
+    {
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "sort",
+        "reverse",
+        "add",
+        "discard",
+    }
+)
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHOD_NAMES = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_dotted(node: ast.Call) -> Optional[str]:
+    """The dotted name a call invokes, if statically nameable."""
+    return dotted_name(node.func)
+
+
+def enclosing_scopes(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """Yield ``(node, ancestors)`` for every node, ancestors outermost-first."""
+    stack: List[Tuple[ast.AST, List[ast.AST]]] = [(tree, [])]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_ancestors = ancestors + [node]
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_ancestors))
+
+
+def class_stack(ancestors: List[ast.AST]) -> List[str]:
+    """Names of the ClassDefs among a node's ancestors, outermost first."""
+    return [a.name for a in ancestors if isinstance(a, ast.ClassDef)]
+
+
+def is_annotation_set(annotation: Optional[ast.AST]) -> bool:
+    """Whether a type annotation denotes a set/frozenset."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("set", "frozenset", "Set", "FrozenSet")
+    if isinstance(annotation, ast.Subscript):
+        return is_annotation_set(annotation.value)
+    if isinstance(annotation, ast.Attribute):
+        # typing.Set / typing.FrozenSet
+        return annotation.attr in ("Set", "FrozenSet")
+    return False
+
+
+class SetTypeTracker:
+    """Flow-insensitive tracker of names bound to set values in a scope.
+
+    A single forward pass over the scope's statements: names assigned
+    set-typed expressions (displays, comprehensions, ``set()``/
+    ``frozenset()`` calls, set binary operators over set operands, or
+    ``Set[...]``-annotated) are recorded; re-binding to a non-set value
+    evicts. Good enough to catch the ``ids = {…}; for x in ids:``
+    pattern without real type inference.
+    """
+
+    def __init__(self) -> None:
+        self.set_vars: Set[str] = set()
+
+    def observe(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            is_set = self.is_set_expr(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if is_set:
+                        self.set_vars.add(target.id)
+                    else:
+                        self.set_vars.discard(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if is_annotation_set(stmt.annotation) or (
+                stmt.value is not None and self.is_set_expr(stmt.value)
+            ):
+                self.set_vars.add(stmt.target.id)
+            else:
+                self.set_vars.discard(stmt.target.id)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            # ``ids |= {...}`` keeps (or establishes) set-ness.
+            if isinstance(stmt.op, _SET_BINOPS) and (
+                stmt.target.id in self.set_vars or self.is_set_expr(stmt.value)
+            ):
+                self.set_vars.add(stmt.target.id)
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_vars
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHOD_NAMES
+                and self.is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+
+def scope_bodies(tree: ast.AST) -> Iterator[Tuple[ast.AST, List[ast.stmt]]]:
+    """Yield ``(scope_node, body)`` for the module and every function."""
+    yield tree, getattr(tree, "body", [])
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def statements_recursive(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """All statements of a scope body, excluding nested function/class bodies."""
+    stack = list(reversed(body))
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for attr in ("body", "orelse", "finalbody"):
+            stack.extend(reversed(getattr(stmt, attr, [])))
+        for handler in getattr(stmt, "handlers", []):
+            stack.extend(reversed(handler.body))

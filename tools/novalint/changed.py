@@ -1,0 +1,61 @@
+"""``--changed`` support: lint only files differing from the merge base.
+
+Keeps the CI job O(diff) as the tree grows. The file set is the union of
+
+* committed changes since ``merge-base(HEAD, base)``,
+* uncommitted (staged + unstaged) modifications, and
+* untracked files,
+
+filtered to ``.py``. When git is unavailable or the base cannot be
+resolved, returns ``None`` and the caller falls back to a full lint —
+``--changed`` must never *hide* findings just because the diff could
+not be computed.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Set
+
+DEFAULT_BASES = ("origin/main", "main", "HEAD")
+
+
+def _git(root: Path, *args: str) -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(root), *args],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def resolve_merge_base(root: Path, base: Optional[str] = None) -> Optional[str]:
+    candidates: List[str] = [base] if base else list(DEFAULT_BASES)
+    for candidate in candidates:
+        out = _git(root, "merge-base", "HEAD", candidate)
+        if out:
+            return out.strip()
+    return None
+
+
+def changed_files(root: Path, base: Optional[str] = None) -> Optional[Set[str]]:
+    """Repo-relative POSIX paths of changed ``.py`` files, or None."""
+    merge_base = resolve_merge_base(root, base)
+    if merge_base is None:
+        return None
+    changed: Set[str] = set()
+    diff = _git(root, "diff", "--name-only", merge_base)
+    if diff is None:
+        return None
+    changed.update(line for line in diff.splitlines() if line)
+    untracked = _git(root, "ls-files", "--others", "--exclude-standard")
+    if untracked is not None:
+        changed.update(line for line in untracked.splitlines() if line)
+    return {path for path in changed if path.endswith(".py")}

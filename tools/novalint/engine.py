@@ -1,0 +1,204 @@
+"""The novalint engine: file discovery, rule dispatch, suppression merge."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from tools.novalint.findings import (
+    Finding,
+    LintResult,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+)
+from tools.novalint.registry import Rule, all_rules, known_rule_ids
+from tools.novalint.suppressions import Suppression, scan_suppressions
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "node_modules"}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one file."""
+
+    path: Path
+    rel: str  # POSIX path relative to the lint root
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    suppressions: List[Suppression]
+
+
+def iter_python_files(paths: Sequence[Path], root: Path) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: Set[Path] = set()
+    for path in paths:
+        path = path if path.is_absolute() else root / path
+        if path.is_dir():
+            for child in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(child.parts):
+                    found.add(child)
+        elif path.suffix == ".py" and path.exists():
+            found.add(path)
+    return sorted(found)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(
+    path: Path, root: Path, rules: Sequence[Rule]
+) -> List[Finding]:
+    """Run the applicable rules over one file; suppressions applied."""
+    rel = _relpath(path, root)
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    suppressions = scan_suppressions(lines)
+    findings: List[Finding] = []
+
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        findings.append(
+            Finding(
+                rule="parse-error",
+                severity=SEVERITY_ERROR,
+                path=rel,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                message=f"file does not parse: {error.msg}",
+            )
+        )
+        tree = None
+
+    if tree is not None:
+        ctx = FileContext(
+            path=path,
+            rel=rel,
+            source=source,
+            tree=tree,
+            lines=lines,
+            suppressions=suppressions,
+        )
+        for rule in rules:
+            if rule.applies_to(rel):
+                findings.extend(rule.check(ctx))
+
+    findings.extend(_audit_suppressions(rel, suppressions))
+    _apply_suppressions(findings, suppressions)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _audit_suppressions(
+    rel: str, suppressions: List[Suppression]
+) -> List[Finding]:
+    """Reason-less and unknown-rule allow comments are findings themselves."""
+    audit: List[Finding] = []
+    known = set(known_rule_ids())
+    for suppression in suppressions:
+        if not suppression.reason:
+            audit.append(
+                Finding(
+                    rule="bad-suppression",
+                    severity=SEVERITY_ERROR,
+                    path=rel,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        "allow["
+                        + ",".join(suppression.rules)
+                        + "] has no reason; suppressions must explain "
+                        "why the invariant holds here"
+                    ),
+                )
+            )
+        unknown = [r for r in suppression.rules if r not in known]
+        if unknown or not suppression.rules:
+            suppression.used = True  # already reported; skip the unused pass
+            audit.append(
+                Finding(
+                    rule="bad-suppression",
+                    severity=SEVERITY_ERROR,
+                    path=rel,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        "allow names unknown rule(s): "
+                        + (", ".join(unknown) if unknown else "<empty>")
+                    ),
+                )
+            )
+    return audit
+
+
+def _apply_suppressions(
+    findings: List[Finding], suppressions: List[Suppression]
+) -> None:
+    """Mark findings covered by a *valid* allow comment as suppressed."""
+    for finding in findings:
+        if finding.rule in ("bad-suppression", "unused-suppression"):
+            continue
+        for suppression in suppressions:
+            if not suppression.reason:
+                continue  # invalid: suppresses nothing
+            if suppression.matches(finding.rule, finding.line):
+                finding.suppressed = True
+                finding.suppress_reason = suppression.reason
+                suppression.used = True
+                break
+    path = findings[0].path if findings else None
+    for suppression in suppressions:
+        if suppression.reason and not suppression.used and path is not None:
+            findings.append(
+                Finding(
+                    rule="unused-suppression",
+                    severity=SEVERITY_WARNING,
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        "allow["
+                        + ",".join(suppression.rules)
+                        + "] matched no finding; remove the stale comment"
+                    ),
+                )
+            )
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+    only_files: Optional[Set[str]] = None,
+) -> LintResult:
+    """Lint files/directories and return the merged result.
+
+    ``only_files`` (repo-relative POSIX paths) restricts which files are
+    *reported on* — the ``--changed`` mode. ``select`` restricts rules
+    by id.
+    """
+    root = (root or Path.cwd()).resolve()
+    active_rules: Sequence[Rule] = (
+        list(rules) if rules is not None else all_rules()
+    )
+    if select is not None:
+        wanted = set(select)
+        active_rules = [rule for rule in active_rules if rule.id in wanted]
+
+    result = LintResult()
+    for path in iter_python_files([Path(p) for p in paths], root):
+        rel = _relpath(path, root)
+        if only_files is not None and rel not in only_files:
+            continue
+        result.files_checked += 1
+        result.findings.extend(lint_file(path, root, active_rules))
+    result.findings.sort(key=Finding.sort_key)
+    return result

@@ -1,0 +1,98 @@
+"""Finding model shared by the engine, rules, and reporters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass
+class Finding:
+    """One diagnostic: a rule firing at a source location.
+
+    ``suppressed`` findings stay in the result (the JSON reporter keeps
+    them for accounting) but never affect the exit code.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppress_reason: Optional[str] = None
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict:
+        data = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.suppress_reason is not None:
+            data["suppress_reason"] = self.suppress_reason
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            severity=data["severity"],
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=data["message"],
+            suppressed=bool(data.get("suppressed", False)),
+            suppress_reason=data.get("suppress_reason"),
+        )
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that count (not suppressed)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.active if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.active if f.severity == SEVERITY_WARNING]
+
+    def counts(self) -> Dict[str, int]:
+        """Active findings per rule id (for the CI summary table)."""
+        counts: Dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def suppressed_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            if finding.suppressed:
+                counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    @property
+    def exit_code(self) -> int:
+        """0 = clean (warnings allowed), 1 = unsuppressed errors."""
+        return 1 if self.errors else 0

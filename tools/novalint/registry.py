@@ -1,0 +1,103 @@
+"""Rule base class and the rule registry.
+
+A rule is a small object with an ``id``, a default ``severity``, a path
+``scope`` (repo-relative prefixes it applies to), and a ``check``
+method that walks one file's AST and yields findings. Registration is a
+decorator; the CLI and engine discover rules through :func:`all_rules`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Type
+
+from tools.novalint.findings import Finding, SEVERITY_ERROR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from tools.novalint.engine import FileContext
+
+
+class Rule:
+    """One invariant checker. Subclass, set the class attrs, register."""
+
+    #: Stable kebab-case identifier (used in suppression comments).
+    id: str = ""
+    #: Default severity; the CLI can downgrade per rule with ``--warn``.
+    severity: str = SEVERITY_ERROR
+    #: One-line description for ``--list-rules`` and the docs.
+    description: str = ""
+    #: Repo-relative path prefixes (POSIX) the rule applies to.
+    #: Empty tuple = every file handed to the engine.
+    scope: Tuple[str, ...] = ()
+
+    def applies_to(self, rel: str) -> bool:
+        if not self.scope:
+            return True
+        return any(rel.startswith(prefix) for prefix in self.scope)
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: "FileContext",
+        line: int,
+        col: int,
+        message: str,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=severity if severity is not None else self.severity,
+            path=ctx.rel,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+#: Pseudo-rule ids emitted by the engine itself (not registered Rule
+#: objects, but valid targets for suppression comments and reporting).
+ENGINE_RULES = {
+    "parse-error": "the file does not parse; novalint checks nothing else in it",
+    "bad-suppression": "a `# novalint: allow[...]` comment without a reason",
+    "unused-suppression": "an allow comment that matched no finding",
+}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: validate and add to the registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY or cls.id in ENGINE_RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of the registered rules, sorted by id.
+
+    Fresh so per-invocation tweaks (``--warn`` downgrades severity on
+    the instance) never leak into other in-process callers.
+    """
+    _ensure_loaded()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    return _REGISTRY[rule_id]()
+
+
+def known_rule_ids() -> List[str]:
+    """Every id a suppression comment may name."""
+    _ensure_loaded()
+    return sorted(set(_REGISTRY) | set(ENGINE_RULES))
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package populates the registry as a side
+    # effect; deferred so registry.py itself has no import cycle.
+    import tools.novalint.rules  # noqa: F401

@@ -1,0 +1,65 @@
+"""Text and JSON reporters over a :class:`LintResult`."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO
+
+from tools.novalint.findings import Finding, LintResult
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(
+    result: LintResult, stream: TextIO, show_suppressed: bool = False
+) -> None:
+    """Human-readable report: one line per finding plus a summary."""
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        marker = " (suppressed: %s)" % finding.suppress_reason if finding.suppressed else ""
+        stream.write(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.severity}[{finding.rule}] {finding.message}{marker}\n"
+        )
+    errors = len(result.errors)
+    warnings = len(result.warnings)
+    suppressed = sum(result.suppressed_counts().values())
+    stream.write(
+        f"novalint: {result.files_checked} file(s) checked, "
+        f"{errors} error(s), {warnings} warning(s), "
+        f"{suppressed} suppressed\n"
+    )
+
+
+def to_json_dict(result: LintResult) -> Dict:
+    """The JSON document (stable shape; version bumped on change)."""
+    return {
+        "version": JSON_FORMAT_VERSION,
+        "files_checked": result.files_checked,
+        "errors": len(result.errors),
+        "warnings": len(result.warnings),
+        "counts": result.counts(),
+        "suppressed": result.suppressed_counts(),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "exit_code": result.exit_code,
+    }
+
+
+def render_json(result: LintResult, stream: TextIO) -> None:
+    json.dump(to_json_dict(result), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def result_from_json(text: str) -> LintResult:
+    """Rebuild a :class:`LintResult` from the JSON reporter's output."""
+    data = json.loads(text)
+    result = LintResult(
+        findings=[Finding.from_dict(entry) for entry in data["findings"]],
+        files_checked=int(data["files_checked"]),
+    )
+    return result
+
+
+def findings_from_json(text: str) -> List[Finding]:
+    return result_from_json(text).findings

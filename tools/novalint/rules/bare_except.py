@@ -1,0 +1,98 @@
+"""no-bare-except-in-loop: the serve loop dead-letters, never swallows.
+
+A broad ``except``/``except Exception`` inside a serve-plane loop whose
+body does nothing (``pass``/``continue``/``break``/bare ``return``)
+silently drops the event that raised — the one failure mode the serve
+design forbids: malformed or failing events must land in the
+dead-letter channel with a reason, so operators can replay them.
+
+Handlers that *do something* (log, count, dead-letter, re-raise) are
+fine, as are narrow handlers (``except OSError``) — containment is the
+point, silence is the violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from tools.novalint.engine import FileContext
+from tools.novalint.findings import Finding
+from tools.novalint.registry import Rule, register
+
+_BROAD_NAMES = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    if isinstance(handler.type, ast.Name):
+        return handler.type.id in _BROAD_NAMES
+    if isinstance(handler.type, ast.Tuple):
+        return any(
+            isinstance(elt, ast.Name) and elt.id in _BROAD_NAMES
+            for elt in handler.type.elts
+        )
+    return False
+
+
+def _is_silent(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Return) and (
+            stmt.value is None or isinstance(stmt.value, ast.Constant)
+        ):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+@register
+class BareExceptInLoopRule(Rule):
+    id = "no-bare-except-in-loop"
+    description = (
+        "broad except with a silent body inside a serve loop — events "
+        "must be dead-lettered, not swallowed"
+    )
+    scope = ("src/repro/serve/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # Track the ancestor path so we can ask "is the nearest loop
+        # closer than the nearest function boundary?"
+        stack: List[tuple] = [(ctx.tree, [])]
+        while stack:
+            node, ancestors = stack.pop()
+            if isinstance(node, ast.ExceptHandler):
+                if (
+                    _is_broad(node)
+                    and _is_silent(node.body)
+                    and self._in_loop(ancestors)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        "broad except with a silent body inside a loop "
+                        "swallows the failing event; dead-letter it "
+                        "(record source, reason, payload) or narrow the "
+                        "exception type",
+                    )
+            child_ancestors = ancestors + [node]
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, child_ancestors))
+
+    @staticmethod
+    def _in_loop(ancestors: List[ast.AST]) -> bool:
+        """A loop encloses the handler within the same function scope."""
+        for ancestor in reversed(ancestors):
+            if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+                return True
+            if isinstance(
+                ancestor,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                return False
+        return False

@@ -1,0 +1,132 @@
+"""lock-discipline: declared shared state is only touched under its lock.
+
+The serve plane (ingress queue, window applier, status counters) is the
+only multi-threaded part of the system. Attributes that cross threads
+are *declared* at their assignment site:
+
+    self._items: Deque[ChurnEvent] = deque()  # shared-under: _cond
+
+and the rule enforces the declaration: every other access to
+``self._items`` anywhere in the class must sit inside a
+``with self._cond:`` block. Exemptions, matching the codebase's
+conventions:
+
+* ``__init__`` — the object is not shared during construction;
+* methods whose name ends in ``_locked`` — the suffix is the repo's
+  contract that the *caller* already holds the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List
+
+from tools.novalint.astutil import dotted_name
+from tools.novalint.engine import FileContext
+from tools.novalint.findings import Finding
+from tools.novalint.registry import Rule, register
+from tools.novalint.suppressions import SHARED_UNDER_RE
+
+
+def _self_attr(node: ast.AST) -> str:
+    """``X`` for ``self.X`` nodes, else empty string."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    description = (
+        "access to a '# shared-under: <lock>' attribute outside "
+        "'with self.<lock>:' (and outside *_locked helpers)"
+    )
+    scope = ("src/repro/serve/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _declarations(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Dict[str, str]:
+        """``attr -> lockname`` from ``# shared-under:`` comment lines."""
+        shared: Dict[str, str] = {}
+        for node in ast.walk(cls):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            line = (
+                ctx.lines[node.lineno - 1]
+                if node.lineno - 1 < len(ctx.lines)
+                else ""
+            )
+            match = SHARED_UNDER_RE.search(line)
+            if not match:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr:
+                    shared[attr] = match.group(1)
+        return shared
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        shared = self._declarations(ctx, cls)
+        if not shared:
+            return
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            yield from self._check_method(ctx, method, shared)
+
+    def _check_method(
+        self,
+        ctx: FileContext,
+        method: ast.AST,
+        shared: Dict[str, str],
+    ) -> Iterator[Finding]:
+        # Depth-first with an explicit ancestor path so each ``self.X``
+        # access can look upward for the guarding ``with self.<lock>:``.
+        stack: List[tuple] = [(method, [])]
+        while stack:
+            node, ancestors = stack.pop()
+            attr = _self_attr(node)
+            if attr in shared and not self._under_lock(
+                ancestors, shared[attr]
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"'self.{attr}' is declared shared-under "
+                    f"'{shared[attr]}' but accessed outside "
+                    f"'with self.{shared[attr]}:'; take the lock or move "
+                    "the access into a *_locked helper",
+                )
+            child_ancestors = ancestors + [node]
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, child_ancestors))
+
+    @staticmethod
+    def _under_lock(ancestors: List[ast.AST], lockname: str) -> bool:
+        wanted = f"self.{lockname}"
+        for ancestor in ancestors:
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    if dotted_name(item.context_expr) == wanted:
+                        return True
+        return False

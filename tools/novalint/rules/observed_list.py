@@ -1,0 +1,99 @@
+"""observed-list-contract: no positional surgery on ``sub_replicas``.
+
+``JoinReplica.sub_replicas`` is a :class:`_SubReplicaList` — a lazily
+compacted tombstone view. Its *indices are unstable*: ``view[2]`` can
+name a different sub-replica after any ``mark_dead``/``compact`` cycle,
+and the journal's pre-images pin the *flattened* contents, not the
+positions. Code outside the placement store that does ``view[i] = x``,
+``del view[i]``, ``.insert``/``.pop``/``.sort``, or calls the
+tombstone internals (``mark_dead``/``set_dead``/``replace_contents``)
+directly bypasses both the ``_pin()`` copy-on-write step and the
+journal hooks.
+
+Growing the list (``append``/``extend``) and wholesale reassignment go
+through the placement API's own guards and are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.novalint.engine import FileContext
+from tools.novalint.findings import Finding
+from tools.novalint.registry import Rule, register
+
+#: The one file that owns the tombstone representation.
+ALLOWED_FILES = frozenset({"src/repro/core/placement.py"})
+
+_FORBIDDEN_CALLS = frozenset(
+    {
+        "sort",
+        "insert",
+        "remove",
+        "pop",
+        "reverse",
+        "clear",
+        "replace_contents",
+        "mark_dead",
+        "set_dead",
+    }
+)
+
+
+@register
+class ObservedListContractRule(Rule):
+    id = "observed-list-contract"
+    description = (
+        "positional writes or tombstone-internal calls on sub_replicas "
+        "outside the placement store"
+    )
+    scope = ("src/repro/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel in ALLOWED_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    if self._is_sub_replicas_index(target):
+                        yield self.finding(
+                            ctx,
+                            target.lineno,
+                            target.col_offset,
+                            "index assignment into sub_replicas: indices "
+                            "of the tombstone view are unstable and the "
+                            "write bypasses _pin(); use the placement "
+                            "API (add/mark_dead via Placement)",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                func = node.func
+                if (
+                    func.attr in _FORBIDDEN_CALLS
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "sub_replicas"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"sub_replicas.{func.attr}() outside the "
+                        "placement store: tombstone internals must only "
+                        "be driven from _pin()-aware call sites in "
+                        "core/placement.py",
+                    )
+
+    @staticmethod
+    def _is_sub_replicas_index(target: ast.AST) -> bool:
+        return (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == "sub_replicas"
+        )

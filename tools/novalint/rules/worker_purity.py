@@ -1,0 +1,275 @@
+"""worker-purity: payloads crossing the execution backend stay lean.
+
+``ExecutionBackend.start(fn, units)`` ships ``fn`` and every
+``LeaseWorkUnit`` to worker processes by pickling. The process pool
+breaks — or silently degrades to "works only on fork" — when the
+payload drags in:
+
+* a ``NovaSession`` (unpicklable thread machinery, and a worker holding
+  a session would mutate state the journal cannot see),
+* open file handles or ``threading`` primitives,
+* lambdas / nested functions (not picklable by reference),
+* module-level mutable state (``global``, or reads of module-level
+  ``dict``/``list``/``set`` bindings — each worker gets its *own* copy,
+  so writes diverge and reads race with fork timing).
+
+The rule resolves the entry function passed to ``.start(...)`` and
+walks its same-module call graph — including methods of same-module
+classes it instantiates, resolved by invoked attribute names to a
+fixpoint — flagging any of the above inside the reachable worker-side
+code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.novalint.astutil import call_dotted, dotted_name
+from tools.novalint.engine import FileContext
+from tools.novalint.findings import Finding
+from tools.novalint.registry import Rule, register
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+)
+
+
+def _module_functions(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _module_classes(tree: ast.Module) -> Dict[str, ast.ClassDef]:
+    return {
+        node.name: node for node in tree.body if isinstance(node, ast.ClassDef)
+    }
+
+
+def _module_mutable_globals(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to mutable containers."""
+    mutable: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        is_mutable = isinstance(value, (ast.List, ast.Dict, ast.Set)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_FACTORIES
+        )
+        if not is_mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutable.add(target.id)
+    return mutable
+
+
+@register
+class WorkerPurityRule(Rule):
+    id = "worker-purity"
+    description = (
+        "session/handle/lock/closure/global-state references reachable "
+        "from an ExecutionBackend.start entry function"
+    )
+    scope = ("src/repro/core/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        funcs = _module_functions(ctx.tree)
+        classes = _module_classes(ctx.tree)
+        mutable_globals = _module_mutable_globals(ctx.tree)
+        for call in ast.walk(ctx.tree):
+            if not self._is_backend_start(call):
+                continue
+            entry = call.args[0]
+            if isinstance(entry, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    entry.lineno,
+                    entry.col_offset,
+                    "lambda crossing the execution-backend boundary: "
+                    "closures are not picklable by reference; pass a "
+                    "module-level function",
+                )
+                continue
+            if isinstance(entry, ast.Name):
+                if entry.id in funcs:
+                    yield from self._check_entry(
+                        ctx, funcs[entry.id], funcs, classes, mutable_globals
+                    )
+                elif self._is_nested_function(ctx.tree, entry.id):
+                    yield self.finding(
+                        ctx,
+                        entry.lineno,
+                        entry.col_offset,
+                        f"nested function {entry.id!r} crossing the "
+                        "execution-backend boundary: closures are not "
+                        "picklable by reference; hoist it to module level",
+                    )
+
+    @staticmethod
+    def _is_backend_start(node: ast.AST) -> bool:
+        """``<something>.start(fn, units, ...)`` — the backend protocol."""
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "start"
+            and len(node.args) >= 2
+        )
+
+    @staticmethod
+    def _is_nested_function(tree: ast.Module, name: str) -> bool:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name
+            ):
+                return True
+        return False
+
+    # -- reachability ---------------------------------------------------
+    def _check_entry(
+        self,
+        ctx: FileContext,
+        entry: ast.FunctionDef,
+        funcs: Dict[str, ast.FunctionDef],
+        classes: Dict[str, ast.ClassDef],
+        mutable_globals: Set[str],
+    ) -> Iterator[Finding]:
+        reachable, invoked_attrs = self._reach(entry, funcs, classes)
+        emitted: Set[Tuple[int, int, str]] = set()
+        for node in reachable:
+            for finding in self._check_body(ctx, node, mutable_globals):
+                key = (finding.line, finding.col, finding.message)
+                if key not in emitted:
+                    emitted.add(key)
+                    yield finding
+        del invoked_attrs  # fixpoint detail; nothing more to report
+
+    def _reach(
+        self,
+        entry: ast.FunctionDef,
+        funcs: Dict[str, ast.FunctionDef],
+        classes: Dict[str, ast.ClassDef],
+    ) -> Tuple[List[ast.AST], Set[str]]:
+        """Same-module call-graph closure from ``entry``.
+
+        Classes instantiated in reachable code contribute ``__init__``
+        plus every method whose name is *invoked by attribute* anywhere
+        in reachable code, iterated to a fixpoint — dynamic dispatch
+        without type inference.
+        """
+        reachable: List[ast.AST] = []
+        seen: Set[int] = set()
+        reachable_classes: Set[str] = set()
+        invoked_attrs: Set[str] = set()
+        worklist: List[ast.AST] = [entry]
+
+        def visit(node: ast.AST) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            reachable.append(node)
+            worklist.append(node)
+
+        while worklist:
+            current = worklist.pop()
+            if id(current) not in seen:
+                seen.add(id(current))
+                reachable.append(current)
+            for node in ast.walk(current):
+                if isinstance(node, ast.Attribute):
+                    invoked_attrs.add(node.attr)
+                if isinstance(node, ast.Name):
+                    if node.id in funcs and id(funcs[node.id]) not in seen:
+                        visit(funcs[node.id])
+                    elif node.id in classes:
+                        reachable_classes.add(node.id)
+            # fixpoint over class methods named by invoked attributes
+            progressed = True
+            while progressed:
+                progressed = False
+                for class_name in sorted(reachable_classes):
+                    for stmt in classes[class_name].body:
+                        if not isinstance(
+                            stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            continue
+                        wanted = (
+                            stmt.name == "__init__"
+                            or stmt.name in invoked_attrs
+                        )
+                        if wanted and id(stmt) not in seen:
+                            visit(stmt)
+                            progressed = True
+        return reachable, invoked_attrs
+
+    # -- purity checks --------------------------------------------------
+    def _check_body(
+        self, ctx: FileContext, func: ast.AST, mutable_globals: Set[str]
+    ) -> Iterator[Finding]:
+        func_name = getattr(func, "name", "<entry>")
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"worker-reachable {func_name!r} declares global "
+                    f"{', '.join(node.names)}: module state diverges "
+                    "per worker process",
+                )
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                if node.id == "NovaSession":
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"worker-reachable {func_name!r} references "
+                        "NovaSession: sessions must not cross the "
+                        "backend boundary",
+                    )
+                elif node.id in mutable_globals:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"worker-reachable {func_name!r} reads "
+                        f"module-level mutable {node.id!r}: each worker "
+                        "holds an independent copy; pass it through the "
+                        "work unit instead",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = call_dotted(node)
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "open"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"worker-reachable {func_name!r} opens a file "
+                        "handle: handles are not picklable and leak "
+                        "per-worker",
+                    )
+                elif dotted is not None and dotted.startswith("threading."):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"worker-reachable {func_name!r} builds a "
+                        f"{dotted} primitive: locks do not cross "
+                        "process boundaries",
+                    )

@@ -1,0 +1,74 @@
+"""In-source suppression comments.
+
+A finding is silenced by a comment naming the rule *and* a reason::
+
+    risky_thing()  # novalint: allow[determinism] order is checksummed below
+
+    # novalint: allow[journal-coverage] rollback path restores pre-images
+    placement._by_node[node_id] = bucket
+
+Inline comments cover their own line; standalone comments cover the next
+line that holds code. Several rules may share one comment:
+``allow[rule-a,rule-b] reason``. The reason is mandatory — an allow
+without one produces a ``bad-suppression`` error (and suppresses
+nothing), and an allow that matches no finding produces an
+``unused-suppression`` warning so stale annotations rot visibly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+_ALLOW_RE = re.compile(
+    r"#\s*novalint:\s*allow\[([A-Za-z0-9_\-, ]*)\]\s*(.*?)\s*$"
+)
+#: Comment prefix of lock-discipline declarations (not a suppression).
+SHARED_UNDER_RE = re.compile(r"#\s*shared-under:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass
+class Suppression:
+    """One parsed allow comment."""
+
+    line: int  # 1-based line the comment sits on
+    rules: Tuple[str, ...]
+    reason: str
+    covers: int  # 1-based line whose findings it silences
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, rule: str, line: int) -> bool:
+        return line in (self.line, self.covers) and rule in self.rules
+
+
+def scan_suppressions(lines: List[str]) -> List[Suppression]:
+    """Extract every allow comment from a file's source lines."""
+    suppressions: List[Suppression] = []
+    for index, text in enumerate(lines):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        reason = match.group(2).strip()
+        lineno = index + 1
+        before = text[: match.start()].strip()
+        if before:
+            covers = lineno  # inline: covers its own line
+        else:
+            covers = _next_code_line(lines, index + 1)
+        suppressions.append(
+            Suppression(line=lineno, rules=rules, reason=reason, covers=covers)
+        )
+    return suppressions
+
+
+def _next_code_line(lines: List[str], start: int) -> int:
+    """1-based line of the next statement after a standalone comment."""
+    for index in range(start, len(lines)):
+        stripped = lines[index].strip()
+        if stripped and not stripped.startswith("#"):
+            return index + 1
+    return start  # comment at EOF: covers nothing real
